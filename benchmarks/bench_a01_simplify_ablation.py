@@ -1,0 +1,54 @@
+"""Ablation A1: subsumption reduction (``simplify``) in BLU--C.
+
+Section 4 anticipates "correctness-preserving optimizations"; the library
+applies tautology elimination + subsumption reduction to operator outputs
+by default.  This ablation measures what that buys on a realistic update
+stream: with simplification off, intermediate states retain subsumed
+clauses and each mask step pays for them.
+"""
+
+import random
+
+import pytest
+
+from repro.blu.clausal_impl import ClausalImplementation
+from repro.hlu.interpreter import run_update
+from repro.hlu import language
+from repro.logic.clauses import ClauseSet
+from repro.logic.propositions import Vocabulary
+from repro.workloads.generators import update_stream
+
+VOCAB = Vocabulary.standard(14)
+
+
+def run_stream(simplify: bool, count: int) -> ClauseSet:
+    impl = ClausalImplementation(VOCAB, simplify=simplify)
+    state = ClauseSet.tautology(VOCAB)
+    rng = random.Random(17)
+    for payload in update_stream(rng, VOCAB, count, width=2):
+        state = run_update(impl, state, language.insert(payload))
+    return state
+
+
+@pytest.mark.parametrize("simplify", [True, False], ids=["simplified", "raw"])
+def test_update_stream_with_and_without_simplification(benchmark, simplify):
+    state = benchmark(run_stream, simplify, 12)
+    # Both settings are correct: same models.
+    from repro.logic.semantics import models_of_clauses
+
+    reference = run_stream(not simplify, 12)
+    assert models_of_clauses(state) == models_of_clauses(reference)
+
+
+def test_simplification_keeps_states_smaller(benchmark):
+    def compare():
+        simplified = run_stream(True, 12)
+        raw = run_stream(False, 12)
+        return simplified.length, raw.length
+
+    simplified_length, raw_length = benchmark.pedantic(
+        compare, rounds=1, iterations=1
+    )
+    benchmark.extra_info["simplified_length"] = simplified_length
+    benchmark.extra_info["raw_length"] = raw_length
+    assert simplified_length <= raw_length

@@ -1,0 +1,112 @@
+"""Ablation A2: masking strategies.
+
+Section 4: "we might demand that all sets of clauses be fully expanded to
+include all consequences.  Masking then becomes trivial.  Of course,
+other operations then become intolerably slow."  Compared here:
+
+* **resolve-then-drop** (the paper's Algorithm 2.3.5): work proportional
+  to the letters actually masked;
+* **expand-then-drop** (:func:`mask_via_implicates`): full prime-implicate
+  saturation first, trivial drop after.
+
+Also ablated: the letter *elimination order* inside resolve-then-drop
+(given order vs fewest-occurrences-first), a classical Davis-Putnam
+heuristic the paper leaves open.
+"""
+
+import random
+
+import pytest
+
+from repro.blu.clausal_mask import clausal_mask
+from repro.logic.clauses import ClauseSet
+from repro.logic.implicates import mask_via_implicates
+from repro.logic.propositions import Vocabulary
+from repro.logic.resolution import drop, eliminate_letter
+from repro.logic.semantics import models_of_clauses
+from repro.workloads.generators import random_clause_set
+
+VOCAB = Vocabulary.standard(12)
+
+
+def make_state(clauses: int) -> ClauseSet:
+    rng = random.Random(23)
+    return random_clause_set(rng, VOCAB, clauses, width=3)
+
+
+def mask_fewest_occurrences_first(state: ClauseSet, indices) -> ClauseSet:
+    """Resolve-then-drop, eliminating the rarest letter first."""
+    remaining = set(indices)
+    current = state
+    while remaining:
+
+        def occurrence_count(index: int) -> int:
+            return sum(
+                1
+                for clause in current.clauses
+                if index + 1 in clause or -(index + 1) in clause
+            )
+
+        best = min(remaining, key=occurrence_count)
+        remaining.discard(best)
+        current = eliminate_letter(current, best)
+    return current
+
+
+MASK_INDICES = [0, 1, 2]
+
+
+@pytest.mark.parametrize("clauses", [20, 40])
+def test_resolve_then_drop(benchmark, clauses):
+    state = make_state(clauses)
+    result = benchmark(clausal_mask, state, MASK_INDICES, True)
+    assert not (result.prop_indices & set(MASK_INDICES))
+
+
+@pytest.mark.parametrize("clauses", [8, 12])
+def test_expand_then_drop(benchmark, clauses):
+    # Note the far smaller states than the resolve-then-drop runs: full
+    # prime-implicate expansion exhausts a 100k-clause budget already at
+    # ~20 random width-3 clauses over 12 letters -- the Section 4 point
+    # that making masking trivial makes everything else intolerable.
+    state = make_state(clauses)
+    result = benchmark(mask_via_implicates, state, MASK_INDICES, 500_000)
+    assert models_of_clauses(result) == models_of_clauses(
+        clausal_mask(state, MASK_INDICES)
+    )
+
+
+def test_expansion_budget_exhausts_on_moderate_states(benchmark):
+    """The blow-up itself, pinned: 40 random clauses over 12 letters
+    exceed a 100k-clause prime-implicate budget."""
+
+    def blows_up() -> bool:
+        try:
+            mask_via_implicates(make_state(40), MASK_INDICES, 100_000)
+        except MemoryError:
+            return True
+        return False
+
+    assert benchmark.pedantic(blows_up, rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("clauses", [20, 40])
+def test_fewest_occurrences_first_order(benchmark, clauses):
+    state = make_state(clauses)
+    result = benchmark(mask_fewest_occurrences_first, state, MASK_INDICES)
+    assert models_of_clauses(result) == models_of_clauses(
+        clausal_mask(state, MASK_INDICES)
+    )
+
+
+def test_strategies_agree_semantically(benchmark):
+    def check():
+        state = make_state(12)
+        a = clausal_mask(state, MASK_INDICES)
+        b = mask_via_implicates(state, MASK_INDICES, 500_000)
+        c = mask_fewest_occurrences_first(state, MASK_INDICES)
+        return (
+            models_of_clauses(a) == models_of_clauses(b) == models_of_clauses(c)
+        )
+
+    assert benchmark.pedantic(check, rounds=1, iterations=1)

@@ -1,0 +1,86 @@
+"""Ablation A4: hybrid cleanup policies for the Wilkins strategy.
+
+Section 3.3.1 observes that Wilkins' deferred masking must eventually be
+paid: "to 'clean up' the knowledge base, masking of these auxiliary
+symbols would be necessary".  A practical system would clean up *sometimes*
+-- this ablation sweeps the policy spectrum:
+
+* never clean (pure Wilkins): cheapest updates, queries degrade;
+* clean every k updates: bounded auxiliary count, periodic mask cost;
+* clean every update (eager): equivalent cost profile to Hegner's
+  mask-assert, paid in a different place.
+
+Total cost of (stream of inserts + interleaved queries) is measured per
+policy, making the §3.3.1 "no superior alternative" argument quantitative.
+"""
+
+import random
+
+import pytest
+
+from repro.baselines.wilkins import WilkinsDatabase
+from repro.hlu import language
+from repro.hlu.session import IncompleteDatabase
+from repro.logic.propositions import Vocabulary
+from repro.workloads.generators import update_stream
+
+VOCAB = Vocabulary.standard(12)
+INSERTS = 24
+QUERIES_PER_INSERT = 4
+QUERY = "A1 | A2 | A3"
+
+
+def payloads():
+    rng = random.Random(47)
+    return list(update_stream(rng, VOCAB, INSERTS, width=2))
+
+
+def run_wilkins(cleanup_every: int | None) -> WilkinsDatabase:
+    db = WilkinsDatabase(VOCAB)
+    for step, payload in enumerate(payloads(), start=1):
+        db.insert(payload)
+        if cleanup_every and step % cleanup_every == 0:
+            db.cleanup()
+        for _ in range(QUERIES_PER_INSERT):
+            db.is_certain(QUERY)
+    return db
+
+
+@pytest.mark.parametrize(
+    "cleanup_every",
+    [None, 8, 4, 1],
+    ids=["never", "every-8", "every-4", "eager"],
+)
+def test_wilkins_cleanup_policy(benchmark, cleanup_every):
+    db = benchmark(run_wilkins, cleanup_every)
+    if cleanup_every == 1:
+        assert db.aux_count == 0
+    if cleanup_every is None:
+        assert db.aux_count == 2 * INSERTS
+
+
+def test_hegner_reference_workload(benchmark):
+    def run():
+        db = IncompleteDatabase.over(12)
+        for payload in payloads():
+            db.apply(language.insert(payload))
+            for _ in range(QUERIES_PER_INSERT):
+                db.is_certain(QUERY)
+        return db
+
+    db = benchmark(run)
+    assert db.is_consistent()
+
+
+def test_policies_agree_semantically(benchmark):
+    """Every cleanup policy leaves the same base-letter knowledge."""
+
+    def check():
+        results = []
+        for policy in (None, 4, 1):
+            db = run_wilkins(policy)
+            db.cleanup()
+            results.append(db.state)
+        return results[0] == results[1] == results[2]
+
+    assert benchmark.pedantic(check, rounds=1, iterations=1)

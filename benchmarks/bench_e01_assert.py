@@ -1,0 +1,19 @@
+"""E1 -- Theorem 2.3.4(b.i): BLU--C assert is Theta(Length1 + Length2)."""
+
+import pytest
+
+from benchmarks.conftest import clause_set_pair, run_report
+from repro.bench.experiments import e01_assert_linear
+from repro.blu.clausal_impl import ClausalImplementation
+
+
+@pytest.mark.parametrize("length", [2000, 8000, 32000])
+def test_assert_scaling(benchmark, rng, vocab64, length):
+    impl = ClausalImplementation(vocab64, simplify=False)
+    left, right = clause_set_pair(rng, vocab64, length // 2)
+    result = benchmark(impl.op_assert, left, right)
+    assert len(result) <= len(left) + len(right)
+
+
+def test_e01_shape(benchmark):
+    run_report(benchmark, e01_assert_linear)

@@ -1,0 +1,28 @@
+"""E2 -- Theorem 2.3.4(b.ii): BLU--C combine is Theta(Length1 x Length2)."""
+
+import pytest
+
+from benchmarks.conftest import clause_set_pair, run_report
+from repro.bench.experiments import e02_combine_quadratic
+from repro.blu.clausal_impl import clausal_combine
+
+
+@pytest.mark.parametrize("length", [150, 300, 600])
+def test_combine_scaling(benchmark, rng, vocab64, length):
+    left, right = clause_set_pair(rng, vocab64, length)
+    result = benchmark(clausal_combine, left, right, False)
+    # Output is (at most) the full pairwise product.
+    assert len(result) <= len(left) * len(right)
+
+
+@pytest.mark.parametrize("ratio", [1, 4])
+def test_combine_asymmetric_product(benchmark, rng, vocab64, ratio):
+    """Theta(L1 x L2), not Theta((L1 + L2)^2): growing one side scales
+    the work linearly in that side."""
+    left, _ = clause_set_pair(rng, vocab64, 200)
+    right, _ = clause_set_pair(rng, vocab64, 200 * ratio)
+    benchmark(clausal_combine, left, right, False)
+
+
+def test_e02_shape(benchmark):
+    run_report(benchmark, e02_combine_quadratic)

@@ -1,0 +1,45 @@
+"""E3 -- Theorem 2.3.4(b.iii): complement is Theta(eps^Length), eps = e^(1/e).
+
+The distribution procedure C yields prod(|clause|) output clauses; for a
+fixed total Length the product is maximised at clause width ~ e, which is
+why width-3 clause sets are the worst case.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_report
+from repro.bench.experiments import e03_complement_exponential
+from repro.blu.clausal_impl import clausal_complement
+from repro.logic.clauses import ClauseSet, clause_of, make_literal
+from repro.logic.propositions import Vocabulary
+
+
+def disjoint_instance(width: int, clause_count: int) -> ClauseSet:
+    vocabulary = Vocabulary.standard(width * clause_count)
+    return ClauseSet(
+        vocabulary,
+        (
+            clause_of(make_literal(width * i + j) for j in range(width))
+            for i in range(clause_count)
+        ),
+    )
+
+
+@pytest.mark.parametrize("clause_count", [4, 6, 8])
+def test_complement_growth_width3(benchmark, clause_count):
+    state = disjoint_instance(3, clause_count)
+    result = benchmark(clausal_complement, state, False)
+    assert len(result) == 3 ** clause_count
+
+
+@pytest.mark.parametrize("width", [2, 3, 4])
+def test_complement_width_comparison(benchmark, width):
+    """Same Length (12), different widths: width 3 produces the most
+    output clauses (3^4 = 81 > 2^6 = 64 > 4^3 = 64)."""
+    state = disjoint_instance(width, 12 // width)
+    result = benchmark(clausal_complement, state, False)
+    assert len(result) == width ** (12 // width)
+
+
+def test_e03_shape(benchmark):
+    run_report(benchmark, e03_complement_exponential)

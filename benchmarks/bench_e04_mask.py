@@ -1,0 +1,32 @@
+"""E4 -- Theorem 2.3.6(b): mask worst case O(Length^(2^|P|))."""
+
+import random
+
+import pytest
+
+from benchmarks.conftest import run_report
+from repro.bench.experiments import _star_instance, e04_mask_blowup
+from repro.blu.clausal_mask import clausal_mask
+from repro.logic.propositions import Vocabulary
+from repro.workloads.generators import random_clause_set
+
+
+@pytest.mark.parametrize("clause_count", [16, 32, 64])
+def test_star_single_letter_quadratic(benchmark, clause_count):
+    state = _star_instance(clause_count)
+    result = benchmark(clausal_mask, state, [0], False)
+    # Full positive x negative product of the hub letter.
+    assert len(result) == (clause_count // 2) ** 2
+
+
+@pytest.mark.parametrize("mask_size", [1, 2, 4])
+def test_dense_mask_growth_in_p(benchmark, mask_size):
+    rng = random.Random(99)
+    vocabulary = Vocabulary.standard(12)
+    state = random_clause_set(rng, vocabulary, 40, width=3)
+    result = benchmark(clausal_mask, state, list(range(mask_size)), True)
+    assert not (result.prop_indices & set(range(mask_size)))
+
+
+def test_e04_shape(benchmark):
+    run_report(benchmark, e04_mask_blowup)

@@ -1,0 +1,24 @@
+"""E6 -- Worked Example 3.1.5: insert {A1 | A2} at the clause level."""
+
+from benchmarks.conftest import run_report
+from repro.bench.experiments import PAPER_STATE_STRS, e06_example_315
+from repro.blu.clausal_impl import ClausalImplementation
+from repro.hlu.programs import HLU_INSERT
+from repro.logic.clauses import ClauseSet
+from repro.logic.propositions import Vocabulary
+
+VOCAB = Vocabulary.standard(5)
+
+
+def test_example_315_pipeline(benchmark, vocab5):
+    impl = ClausalImplementation(vocab5)
+    phi = ClauseSet.from_strs(vocab5, PAPER_STATE_STRS)
+    payload = ClauseSet.from_strs(vocab5, ["A1 | A2"])
+    result = benchmark(impl.run, HLU_INSERT, phi, payload)
+    assert result == ClauseSet.from_strs(
+        vocab5, ["A1 | A2", "A4 | A5", "A3 | A4"]
+    )
+
+
+def test_e06_shape(benchmark):
+    run_report(benchmark, e06_example_315)

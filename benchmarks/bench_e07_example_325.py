@@ -1,0 +1,31 @@
+"""E7 -- Worked Example 3.2.5: (where {A5} (insert {A1 | A2}))."""
+
+from benchmarks.conftest import run_report
+from repro.bench.experiments import PAPER_STATE_STRS, e07_example_325
+from repro.hlu import language
+from repro.hlu.session import IncompleteDatabase
+
+
+def make_db() -> IncompleteDatabase:
+    return IncompleteDatabase.over(5).assert_(*PAPER_STATE_STRS)
+
+
+def test_where_insert_update(benchmark):
+    update = language.where("A5", language.insert("A1 | A2"))
+
+    def run():
+        return make_db().apply(update)
+
+    db = benchmark(run)
+    assert db.is_certain("A5 -> (A1 | A2)")
+
+
+def test_macro_expansion_cost(benchmark):
+    update = language.where("A5", language.insert("A1 | A2"))
+    program, arguments = benchmark(update.compile)
+    assert program.parameters == ("s0", "s1", "s1.0")
+    assert len(arguments) == 2
+
+
+def test_e07_shape(benchmark):
+    run_report(benchmark, e07_example_325)

@@ -1,0 +1,33 @@
+"""E8 -- Example 1.4.6: the literal insertion set Inset."""
+
+import pytest
+
+from benchmarks.conftest import run_report
+from repro.bench.experiments import e08_inset_example
+from repro.db.literal_base import inset
+from repro.logic.propositions import Vocabulary
+
+
+@pytest.mark.parametrize(
+    "text,expected_size",
+    [("A1 | A2", 3), ("A1 | ~A1", 1), ("A1 & A2", 1)],
+    ids=["disjunction", "tautology", "conjunction"],
+)
+def test_inset_computation(benchmark, text, expected_size):
+    vocabulary = Vocabulary.standard(3)
+    result = benchmark(inset, vocabulary, [text])
+    assert len(result) == expected_size
+
+
+@pytest.mark.parametrize("letters", [4, 8, 12])
+def test_inset_scaling_with_dependency_width(benchmark, letters):
+    """Inset of an n-letter disjunction has 2^n - 1 members: the update
+    interpretation itself is exponential in the payload's width."""
+    vocabulary = Vocabulary.standard(letters)
+    text = " | ".join(vocabulary.names)
+    result = benchmark(inset, vocabulary, [text])
+    assert len(result) == 2 ** letters - 1
+
+
+def test_e08_shape(benchmark):
+    run_report(benchmark, e08_inset_example)

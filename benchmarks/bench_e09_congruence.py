@@ -1,0 +1,28 @@
+"""E9 -- Theorem 1.5.4: Congruence(insert[Phi]) = s--mask[Prop[Inset[Phi]]]."""
+
+import pytest
+
+from benchmarks.conftest import run_report
+from repro.bench.experiments import e09_congruence_theorem
+from repro.db.literal_base import insert_update, inset_prop_indices
+from repro.db.masks import SimpleMask, congruence_of, masks_equal
+from repro.logic.propositions import Vocabulary
+
+VOCAB = Vocabulary.standard(4)
+
+
+@pytest.mark.parametrize(
+    "text", ["A1 | A2", "A1 <-> A2", "(A1 | A2) & (A1 | ~A2)"]
+)
+def test_congruence_computation(benchmark, text):
+    update = insert_update(VOCAB, [text])
+
+    def check():
+        expected = SimpleMask(VOCAB, inset_prop_indices(VOCAB, [text]))
+        return masks_equal(congruence_of(update), expected)
+
+    assert benchmark(check)
+
+
+def test_e09_shape(benchmark):
+    run_report(benchmark, e09_congruence_theorem)

@@ -1,0 +1,38 @@
+"""E10 -- BLU--C emulates BLU--I (Theorems 2.3.4(a)/2.3.6(a)/2.3.9(a))."""
+
+import random
+
+import pytest
+
+from benchmarks.conftest import run_report
+from repro.bench.experiments import e10_emulation
+from repro.blu.clausal_impl import ClausalImplementation
+from repro.blu.emulation import canonical_emulation
+from repro.blu.instance_impl import InstanceImplementation
+from repro.logic.propositions import Vocabulary
+from repro.workloads.generators import random_clause_set
+
+VOCAB = Vocabulary.standard(4)
+CLAUSAL = ClausalImplementation(VOCAB)
+INSTANCE = InstanceImplementation(VOCAB)
+EMULATION = canonical_emulation(CLAUSAL, INSTANCE)
+
+
+@pytest.mark.parametrize("operator", ["assert", "combine", "complement", "mask", "genmask"])
+def test_operator_emulation_check_cost(benchmark, operator):
+    rng = random.Random(7)
+    left = random_clause_set(rng, VOCAB, 4, width=2)
+    right = random_clause_set(rng, VOCAB, 4, width=2)
+
+    def check():
+        if operator in ("assert", "combine"):
+            return EMULATION.check_operator(operator, left, right)
+        if operator == "mask":
+            return EMULATION.check_operator(operator, left, frozenset({0, 2}))
+        return EMULATION.check_operator(operator, left)
+
+    assert benchmark(check)
+
+
+def test_e10_shape(benchmark):
+    run_report(benchmark, e10_emulation)

@@ -1,0 +1,75 @@
+"""E11 -- Section 3.3.1: update-now vs query-later (Hegner vs Wilkins)."""
+
+import random
+
+import pytest
+
+from benchmarks.conftest import run_report
+from repro.baselines.wilkins import WilkinsDatabase
+from repro.bench.experiments import e11_wilkins_tradeoff
+from repro.hlu import language
+from repro.hlu.session import IncompleteDatabase
+from repro.logic.propositions import Vocabulary
+from repro.workloads.generators import update_stream
+
+VOCAB = Vocabulary.standard(12)
+
+
+def payloads(count):
+    rng = random.Random(5)
+    return list(update_stream(rng, VOCAB, count, width=2))
+
+
+@pytest.mark.parametrize("count", [8, 32])
+def test_hegner_update_stream(benchmark, count):
+    stream = payloads(count)
+
+    def run():
+        db = IncompleteDatabase.over(12)
+        for payload in stream:
+            db.apply(language.insert(payload))
+        return db
+
+    db = benchmark(run)
+    assert db.is_consistent()
+
+
+@pytest.mark.parametrize("count", [8, 32])
+def test_wilkins_update_stream(benchmark, count):
+    stream = payloads(count)
+
+    def run():
+        db = WilkinsDatabase(VOCAB)
+        for payload in stream:
+            db.insert(payload)
+        return db
+
+    db = benchmark(run)
+    assert db.aux_count == 2 * count
+
+
+@pytest.mark.parametrize("count", [8, 32])
+def test_wilkins_query_after_updates(benchmark, count):
+    db = WilkinsDatabase(VOCAB)
+    for payload in payloads(count):
+        db.insert(payload)
+    benchmark(db.is_certain, "A1 | A2 | A3")
+
+
+@pytest.mark.parametrize("count", [8, 32])
+def test_wilkins_cleanup_cost(benchmark, count):
+    stream = payloads(count)
+
+    def build_and_cleanup():
+        db = WilkinsDatabase(VOCAB)
+        for payload in stream:
+            db.insert(payload)
+        db.cleanup()
+        return db
+
+    db = benchmark(build_and_cleanup)
+    assert db.aux_count == 0
+
+
+def test_e11_shape(benchmark):
+    run_report(benchmark, e11_wilkins_tradeoff)

@@ -1,0 +1,34 @@
+"""E12 -- Theorem 3.1.4: HLU (via BLU) vs the Definition 1.4.5 semantics."""
+
+import pytest
+
+from benchmarks.conftest import run_report
+from repro.bench.experiments import e12_hlu_equivalence
+from repro.blu.instance_impl import InstanceImplementation
+from repro.db.instances import WorldSet
+from repro.db.literal_base import insert_update
+from repro.hlu import language
+from repro.hlu.interpreter import run_update
+from repro.logic.propositions import Vocabulary
+
+VOCAB = Vocabulary.standard(3)
+IMPL = InstanceImplementation(VOCAB)
+
+
+@pytest.mark.parametrize("text", ["A1 | A2", "A1 <-> A2"])
+def test_insert_equivalence_cost_blu_route(benchmark, text):
+    state = WorldSet(VOCAB, {0b000, 0b101})
+    result = benchmark(run_update, IMPL, state, language.insert(text))
+    assert result == insert_update(VOCAB, [text]).apply_world_set(state)
+
+
+@pytest.mark.parametrize("text", ["A1 | A2", "A1 <-> A2"])
+def test_insert_equivalence_cost_inset_route(benchmark, text):
+    state = WorldSet(VOCAB, {0b000, 0b101})
+    update = insert_update(VOCAB, [text])
+    result = benchmark(update.apply_world_set, state)
+    assert result == run_update(IMPL, state, language.insert(text))
+
+
+def test_e12_shape(benchmark):
+    run_report(benchmark, e12_hlu_equivalence)

@@ -1,0 +1,33 @@
+"""E14 -- Section 3.3.3: the Abiteboul-Grahne expressiveness gap."""
+
+import pytest
+
+from benchmarks.conftest import run_report
+from repro.baselines.tabular import (
+    hlu_insert_transformer,
+    search_for_transformer,
+    t_union,
+)
+from repro.bench.experiments import e14_tabular_gap
+from repro.logic.propositions import Vocabulary
+
+VOCAB = Vocabulary.standard(2)
+
+
+def test_search_finds_primitive(benchmark):
+    assert benchmark(search_for_transformer, VOCAB, t_union, 1)
+
+
+def test_search_rejects_genmask_insert(benchmark):
+    found = benchmark.pedantic(
+        search_for_transformer,
+        args=(VOCAB, hlu_insert_transformer),
+        kwargs={"max_rounds": 2, "max_functions": 5000},
+        rounds=1,
+        iterations=1,
+    )
+    assert not found
+
+
+def test_e14_shape(benchmark):
+    run_report(benchmark, e14_tabular_gap)

@@ -1,0 +1,41 @@
+"""E15 -- Section 3.3.2: minimal change vs mask-assert."""
+
+import pytest
+
+from benchmarks.conftest import run_report
+from repro.baselines.minimal_change import MinimalChangeDatabase
+from repro.bench.experiments import e15_minimal_change
+from repro.hlu.session import IncompleteDatabase
+from repro.logic.propositions import Vocabulary
+
+VOCAB = Vocabulary.standard(3)
+
+
+@pytest.mark.parametrize("sentences", [2, 6, 10])
+def test_minimal_change_insert_cost_grows_with_theory(benchmark, sentences):
+    """The flock approach enumerates subsets of the theory: insertion cost
+    is exponential in the theory size (vs Hegner's cost in the state
+    representation)."""
+    theory = [f"A1 | A{1 + (i % 2)}" for i in range(sentences)]
+
+    def run():
+        db = MinimalChangeDatabase(VOCAB, theory)
+        db.insert("~A1 & ~A2")
+        return db
+
+    db = benchmark(run)
+    assert db.is_certain("~A1")
+
+
+def test_hegner_insert_reference_cost(benchmark):
+    def run():
+        db = IncompleteDatabase.over(3)
+        db.assert_("A1 | A2").insert("~A1 & ~A2")
+        return db
+
+    db = benchmark(run)
+    assert db.is_certain("~A1")
+
+
+def test_e15_shape(benchmark):
+    run_report(benchmark, e15_minimal_change)

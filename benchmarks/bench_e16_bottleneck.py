@@ -1,0 +1,50 @@
+"""E16 -- Section 4: mask on the system state dominates the HLU pipeline."""
+
+import random
+
+import pytest
+
+from benchmarks.conftest import run_report
+from repro.bench.experiments import e16_hlu_bottleneck
+from repro.blu.clausal_impl import ClausalImplementation
+from repro.blu.clausal_mask import clausal_mask
+from repro.logic.clauses import ClauseSet
+from repro.logic.propositions import Vocabulary
+from repro.workloads.generators import clause_set_of_length
+
+VOCAB = Vocabulary.standard(24)
+IMPL = ClausalImplementation(VOCAB)
+PAYLOAD = ClauseSet.from_strs(VOCAB, ["A1 | A2"])
+
+
+def make_state(length):
+    rng = random.Random(41)
+    return clause_set_of_length(rng, VOCAB, length, width=3)
+
+
+@pytest.mark.parametrize("length", [300, 1200])
+def test_genmask_on_payload_is_state_independent(benchmark, length):
+    # genmask never sees the state: its cost is constant across state sizes.
+    make_state(length)  # built but irrelevant, by design
+    result = benchmark(IMPL.op_genmask, PAYLOAD)
+    assert result == frozenset({0, 1})
+
+
+@pytest.mark.parametrize("length", [300, 1200])
+def test_mask_on_state_scales_with_state(benchmark, length):
+    state = make_state(length)
+    result = benchmark(clausal_mask, state, [0, 1], True)
+    assert not (result.prop_indices & {0, 1})
+
+
+@pytest.mark.parametrize("length", [300, 1200])
+def test_full_insert_pipeline(benchmark, length):
+    from repro.hlu.programs import HLU_INSERT
+
+    state = make_state(length)
+    result = benchmark(IMPL.run, HLU_INSERT, state, PAYLOAD)
+    assert frozenset({1, 2}) in result.clauses or result.has_empty_clause is False
+
+
+def test_e16_shape(benchmark):
+    run_report(benchmark, e16_hlu_bottleneck)

@@ -1,0 +1,55 @@
+"""E17 -- Section 4: V-table (template model) coverage and update cost."""
+
+import pytest
+
+from benchmarks.conftest import run_report
+from repro.baselines.tables import TableVariable, VTable, representable_world_sets
+from repro.bench.experiments import e17_template_coverage
+from repro.relational.schema import RelationalSchema
+
+
+@pytest.fixture(scope="module")
+def tiny_schema():
+    return RelationalSchema.build(
+        constants={"thing": ["a", "b"]},
+        relations={"P": [("X", "thing")]},
+    )
+
+
+@pytest.fixture(scope="module")
+def phone_schema():
+    return RelationalSchema.build(
+        constants={"person": ["Jones"], "telno": [f"T{i}" for i in range(1, 9)]},
+        relations={"Phone": [("N", "person"), ("T", "telno")]},
+    )
+
+
+def test_table_update_is_constant_time(benchmark, phone_schema):
+    """Adding 'Jones has some phone' to a table is one appended row --
+    contrast with the grounded route of E13."""
+    x = TableVariable("x", phone_schema.algebra.named("telno"))
+
+    def build():
+        return VTable(phone_schema, [("Phone", ("Jones", x))])
+
+    table = benchmark(build)
+    assert len(table.rows) == 1
+
+
+def test_table_world_enumeration(benchmark, phone_schema):
+    x = TableVariable("x", phone_schema.algebra.named("telno"))
+    table = VTable(phone_schema, [("Phone", ("Jones", x))])
+    worlds = benchmark(table.world_set)
+    assert len(worlds) == 8
+
+
+@pytest.mark.parametrize("max_rows,max_variables", [(2, 1), (3, 2)])
+def test_representability_enumeration_cost(benchmark, tiny_schema, max_rows, max_variables):
+    reachable = benchmark(
+        representable_world_sets, tiny_schema, max_rows, max_variables
+    )
+    assert 0 < len(reachable) < 16
+
+
+def test_e17_shape(benchmark):
+    run_report(benchmark, e17_template_coverage)

@@ -1,0 +1,49 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark here regenerates one of the paper's formal claims (the
+paper has no empirical tables -- see DESIGN.md section 2 for the
+experiment index).  Micro-benchmarks time the underlying operation at
+several sizes so the pytest-benchmark table itself exhibits the scaling;
+``*_shape`` benchmarks run the corresponding E-report once and assert its
+verdict, attaching the observed summary as ``extra_info``.
+"""
+
+import random
+
+import pytest
+
+from repro.logic.propositions import Vocabulary
+from repro.workloads.generators import clause_set_of_length
+
+
+@pytest.fixture(scope="session")
+def vocab64():
+    return Vocabulary.standard(64)
+
+
+@pytest.fixture(scope="session")
+def vocab5():
+    return Vocabulary.standard(5)
+
+
+@pytest.fixture()
+def rng():
+    return random.Random(2026)
+
+
+def clause_set_pair(rng, vocabulary, length):
+    """Two independent random clause sets of the given Length each."""
+    return (
+        clause_set_of_length(rng, vocabulary, length),
+        clause_set_of_length(rng, vocabulary, length),
+    )
+
+
+def run_report(benchmark, experiment, **kwargs):
+    """Run an experiment function once under the benchmark fixture and
+    assert its shape verdict."""
+    report = benchmark.pedantic(experiment, kwargs=kwargs, rounds=1, iterations=1)
+    benchmark.extra_info["claim"] = report.claim
+    benchmark.extra_info["observed"] = report.observed
+    assert report.holds, f"{report.ident} diverged:\n{report.render()}"
+    return report

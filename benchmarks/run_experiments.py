@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Run the full E1--E17 experiment suite and print claim-vs-measured tables.
+
+This is the report generator behind EXPERIMENTS.md::
+
+    python benchmarks/run_experiments.py            # all experiments
+    python benchmarks/run_experiments.py E3 E11     # a selection
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.bench import experiments
+
+
+def main(argv: list[str]) -> int:
+    wanted = {name.upper() for name in argv[1:]}
+    runners = [
+        experiments.e01_assert_linear,
+        experiments.e02_combine_quadratic,
+        experiments.e03_complement_exponential,
+        experiments.e04_mask_blowup,
+        experiments.e05_genmask_exponential,
+        experiments.e06_example_315,
+        experiments.e07_example_325,
+        experiments.e08_inset_example,
+        experiments.e09_congruence_theorem,
+        experiments.e10_emulation,
+        experiments.e11_wilkins_tradeoff,
+        experiments.e12_hlu_equivalence,
+        experiments.e13_relational_grounding,
+        experiments.e14_tabular_gap,
+        experiments.e15_minimal_change,
+        experiments.e16_hlu_bottleneck,
+        experiments.e17_template_coverage,
+    ]
+    failures = 0
+    for runner in runners:
+        ident = runner.__name__.split("_")[0].upper().replace("E0", "E")
+        if wanted and ident not in wanted:
+            continue
+        start = time.perf_counter()
+        report = runner()
+        elapsed = time.perf_counter() - start
+        print(report.render())
+        print(f"(ran in {elapsed:.1f}s)\n")
+        if not report.holds:
+            failures += 1
+    if failures:
+        print(f"{failures} experiment(s) diverged from the paper's claims")
+        return 1
+    print("all selected experiments reproduce the paper's claimed shapes")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Incomplete-information updates in a diagnosis setting.
+
+A small network-operations knowledge base: three hosts, a switch, and a
+power feed.  What the operator knows is *incomplete* -- the database is a
+set of possible worlds -- and what arrives over time is a mix of monotone
+observations (``assert``), corrections that override old beliefs
+(``insert`` / ``delete``), sensor resets (``clear``), and conditional
+repairs (``where``).  Certain/possible queries drive the diagnosis.
+
+This is the kind of workload the paper's introduction motivates: updates
+to a database that *represents* many alternative states of the world.
+
+Run:  python examples/fault_diagnosis.py
+"""
+
+from repro.hlu import IncompleteDatabase, delete, insert, where
+
+
+LETTERS = [
+    "PowerOK",      # the power feed is healthy
+    "SwitchOK",     # the switch is healthy
+    "H1Up", "H2Up", "H3Up",   # hosts respond to ping
+    "AlertSent",    # paging system fired
+]
+
+RULES = [
+    # Domain knowledge as integrity-like assertions (kept in the state,
+    # not enforced as constraints: the operator may later learn they were
+    # wrong and insert over them).
+    "~PowerOK -> ~SwitchOK",           # no power, no switch
+    "~SwitchOK -> (~H1Up & ~H2Up & ~H3Up)",  # hosts hang off the switch
+]
+
+
+def show(db: IncompleteDatabase, label: str) -> None:
+    worlds = db.worlds()
+    print(f"\n--- {label} ---")
+    print(f"possible worlds: {len(worlds)}")
+    certain = sorted(
+        lit for lit in worlds.certain_literals()
+    )
+    print("certain:", ", ".join(certain) if certain else "(nothing)")
+
+
+def main() -> None:
+    db = IncompleteDatabase.over(LETTERS)
+    db.assert_(*RULES)
+    show(db, "initial knowledge (just the wiring rules)")
+
+    # Observation: host 1 is down, host 3 is up.
+    db.assert_("~H1Up", "H3Up")
+    show(db, "after observations ~H1Up, H3Up")
+
+    # H3 is up, so (contrapositively) the switch and power must be fine.
+    print("SwitchOK certain?", db.is_certain("SwitchOK"))
+    print("PowerOK certain?", db.is_certain("PowerOK"))
+    print("diagnosis: host-1-local fault certain?",
+          db.is_certain("SwitchOK & ~H1Up"))
+
+    # A field tech reboots host 1; whatever we believed about H1 is stale.
+    db.clear("H1Up")
+    show(db, "after clearing H1Up (reboot in progress)")
+    print("H1Up possible?", db.is_possible("H1Up"))
+
+    # Conditional policy: wherever H1 is still down, an alert must be sent.
+    db.where("~H1Up", insert("AlertSent"))
+    print("\n~H1Up -> AlertSent certain?", db.is_certain("~H1Up -> AlertSent"))
+    print("AlertSent certain outright?", db.is_certain("AlertSent"))
+
+    # Correction: the power feed was actually cut during maintenance.
+    # This *overrides* the earlier conclusion PowerOK -- an insert, not an
+    # assert (asserting ~PowerOK would leave no possible world at all).
+    db.insert("~PowerOK")
+    show(db, "after inserting ~PowerOK (maintenance cut)")
+    print("still consistent?", db.is_consistent())
+
+    # Note what insert forgot: the wiring rule "~PowerOK -> ~SwitchOK"
+    # mentioned PowerOK, so it was masked away with it.  Re-assert the
+    # rules after a corrective insert if they still apply:
+    db.assert_(*RULES)
+    print("with rules re-asserted, ~SwitchOK certain?",
+          db.is_certain("~SwitchOK"))
+    print("all hosts certainly down?",
+          db.is_certain("~H1Up & ~H2Up & ~H3Up"))
+
+    # Repair sequence: power restored, then a conditional where-else:
+    # where the switch recovered, hosts may come back (mask them);
+    # where it did not, declare hosts down.
+    db.insert("PowerOK")
+    db.where(
+        "SwitchOK",
+        delete("AlertSent"),          # recovered: stand the page down
+        insert("AlertSent"),          # still dark: page again
+    )
+    show(db, "after power restore and conditional paging")
+    print("AlertSent <-> ~SwitchOK certain?",
+          db.is_certain("AlertSent <-> ~SwitchOK"))
+
+    # The full update history is recorded on the session:
+    print("\nupdate history:")
+    for i, update in enumerate(db.history, 1):
+        print(f"  {i:2}. {update}")
+
+
+if __name__ == "__main__":
+    main()

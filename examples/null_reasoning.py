@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Reasoning with nulls: semantic resolution, the open-clause prover, and
+the template model (paper Sections 4 and 5.2).
+
+A small incident-response knowledge base over people and rooms, with
+*internal constants* (typed nulls) standing for the values nobody knows
+yet.  Shows:
+
+* semantic unification through the constant dictionary;
+* refutation proofs over open clauses (the :class:`OpenKB` prover);
+* narrowing a null's Boolean category expression as evidence arrives;
+* what the Imieliński-Lipski template model can and cannot say about the
+  same situation.
+
+Run:  python examples/null_reasoning.py
+"""
+
+from repro.baselines.tables import TableVariable, VTable, is_representable
+from repro.db.instances import WorldSet
+from repro.relational import (
+    CategoryExpr,
+    OpenAtom,
+    OpenClause,
+    OpenKB,
+    RelationalSchema,
+    SignedAtom,
+    semantic_resolvent,
+    semantic_unify,
+)
+
+
+def main() -> None:
+    schema = RelationalSchema.build(
+        constants={
+            "person": ["Ada", "Ben", "Cy"],
+            "room": ["Lab", "Office", "Vault"],
+        },
+        relations={
+            "In": [("N", "person"), ("W", "room")],
+            "Suspect": [("N", "person")],
+        },
+    )
+    rooms = schema.algebra.named("room")
+
+    # ------------------------------------------------------------------ #
+    # 1. Semantic unification: "the person in SOME room" vs a concrete    #
+    #    sighting.  The dictionary intersection is the unifier (§5.2).    #
+    # ------------------------------------------------------------------ #
+    kb = OpenKB(schema)
+    u = kb.new_null(rooms, ee=["Office"])        # Ada is NOT in the office
+    ada_somewhere = OpenAtom("In", ("Ada", u))
+    ada_in_vault = OpenAtom("In", ("Ada", "Vault"))
+    print("unify In(Ada,u) with In(Ada,Vault):",
+          semantic_unify(schema.dictionary, ada_somewhere, ada_in_vault))
+    ada_in_office = OpenAtom("In", ("Ada", "Office"))
+    print("unify In(Ada,u) with In(Ada,Office):",
+          semantic_unify(schema.dictionary, ada_somewhere, ada_in_office),
+          " (excluded by u's category expression)")
+
+    # A resolution step with a null: ~In(Ada,Vault) clashes with In(Ada,u)
+    # exactly when Vault is still a possible value of u.
+    positive = SignedAtom(ada_somewhere)
+    negative = SignedAtom(ada_in_vault, positive=False)
+    resolvent = semantic_resolvent(
+        schema.dictionary, OpenClause([positive]), OpenClause([negative]),
+        on=(positive, negative),
+    )
+    print("semantic resolvent:", resolvent, "(the empty clause: a clash)")
+
+    # ------------------------------------------------------------------ #
+    # 2. The prover: certain conclusions under every valuation of nulls.  #
+    # ------------------------------------------------------------------ #
+    kb.add_fact("In", "Ada", u)                  # Ada is somewhere (not Office)
+    kb.add_denial("In", "Ada", "Lab")            # the lab was empty
+    # Policy: anyone in the vault is a suspect.
+    kb.add_clause([(False, "In", ("Ada", "Vault")), (True, "Suspect", ("Ada",))])
+
+    print("\nknowledge base:", kb)
+    print("Ada in the Vault, certainly?", kb.entails_fact("In", "Ada", "Vault"))
+    print("Ada a suspect, certainly?", kb.entails_fact("Suspect", "Ada"))
+    # With Office excluded and Lab denied, only the Vault remains: both
+    # conclusions are forced even though no single sighting exists.
+
+    # Narrowing instead: had u merely been "some room", nothing follows.
+    fresh = OpenKB(schema)
+    v = fresh.new_null(rooms)
+    fresh.add_fact("In", "Ada", v)
+    fresh.add_clause([(False, "In", ("Ada", "Vault")), (True, "Suspect", ("Ada",))])
+    print("without the exclusions, suspect?",
+          fresh.entails_fact("Suspect", "Ada"))
+
+    # Evidence arrives: narrow v's category and ask again.
+    fresh.dictionary.narrow(v, CategoryExpr(rooms, ee=["Lab", "Office"]))
+    print("after narrowing v to the Vault, suspect?",
+          fresh.entails_fact("Suspect", "Ada"))
+
+    # ------------------------------------------------------------------ #
+    # 3. The template model's take on the same ignorance (§4).            #
+    # ------------------------------------------------------------------ #
+    loc_schema = RelationalSchema.build(
+        constants={"person": ["Ada"], "room": ["Lab", "Vault"]},
+        relations={"In": [("N", "person"), ("W", "room")]},
+    )
+    x = TableVariable("x", loc_schema.algebra.named("room"))
+    table = VTable(loc_schema, [("In", ("Ada", x))])
+    print("\nV-table", table, "denotes", len(table.world_set()), "worlds")
+
+    # "Ada is in both rooms or neither" is NOT a table:
+    vocab = table.grounding.vocabulary
+    lab_bit = 1 << vocab.index_of("In.Ada.Lab")
+    vault_bit = 1 << vocab.index_of("In.Ada.Vault")
+    both_or_neither = WorldSet(vocab, {0, lab_bit | vault_bit})
+    print("'both rooms or neither' representable as a table?",
+          is_representable(both_or_neither, loc_schema) is not None)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Quickstart: updating an incomplete-information database with HLU.
+
+Walks the library's main surface -- the :class:`IncompleteDatabase`
+session -- through the paper's own running example (Example 3.1.5) and
+the basic update vocabulary: assert, insert, delete, clear, modify, where.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.hlu import IncompleteDatabase, insert, language
+
+
+def main() -> None:
+    # ----------------------------------------------------------------- #
+    # 1. A database of total ignorance over five proposition letters.    #
+    # ----------------------------------------------------------------- #
+    db = IncompleteDatabase.over(5)  # clausal (scalable) backend
+    print("fresh state:", db.state)
+
+    # ----------------------------------------------------------------- #
+    # 2. assert: monotone knowledge gain.  This is the paper's state     #
+    #    Phi from Example 3.1.5.                                         #
+    # ----------------------------------------------------------------- #
+    db.assert_("~A1 | A3", "A1 | A4", "A4 | A5", "~A1 | ~A2 | ~A5")
+    print("\nafter assert:", db.state)
+    print("is A3 certain?", db.is_certain("A3"))
+    print("is A3 possible?", db.is_possible("A3"))
+
+    # ----------------------------------------------------------------- #
+    # 3. insert: non-monotone update.  The mask-assert paradigm first    #
+    #    *forgets* everything the new fact depends on (A1, A2), then     #
+    #    asserts it.  Example 3.1.5 computes the result by hand:         #
+    #    {A1 | A2, A4 | A5, A3 | A4}.                                    #
+    # ----------------------------------------------------------------- #
+    db.insert("A1 | A2")
+    print("\nafter insert A1 | A2:", db.state)
+    print("A1 | A2 certain?", db.is_certain("A1 | A2"))
+    print("old ~A1 | A3 still certain?", db.is_certain("~A1 | A3"),
+          " (forgotten: it involved A1)")
+
+    # ----------------------------------------------------------------- #
+    # 4. where: conditional update (Example 3.2.5).  On the worlds where #
+    #    A5 holds, insert A1 | A2; leave the rest untouched.             #
+    # ----------------------------------------------------------------- #
+    db2 = IncompleteDatabase.over(5)
+    db2.assert_("~A1 | A3", "A1 | A4", "A4 | A5", "~A1 | ~A2 | ~A5")
+    db2.where("A5", insert("A1 | A2"))
+    print("\nwhere-update result:", db2.state)
+    print("A5 -> (A1 | A2) certain?", db2.is_certain("A5 -> (A1 | A2)"))
+
+    # The compiled BLU program is the paper's Example 3.2.5 expansion:
+    program, _ = language.where("A5", insert("A1 | A2")).compile()
+    print("expanded BLU program:", program)
+
+    # ----------------------------------------------------------------- #
+    # 5. delete / clear / modify round out the update language.          #
+    # ----------------------------------------------------------------- #
+    db3 = IncompleteDatabase.over(3)
+    db3.assert_("A1", "A2")
+    db3.delete("A1")            # now certainly false
+    db3.clear("A2")             # now entirely unknown
+    print("\nafter delete A1, clear A2:")
+    print("  ~A1 certain?", db3.is_certain("~A1"))
+    print("  A2 certain?", db3.is_certain("A2"),
+          "| A2 possible?", db3.is_possible("A2"))
+    db3.modify("A3", "A1")      # nothing moves: A3 not certain anywhere...
+    print("  after modify A3 -> A1, A1 possible?", db3.is_possible("A1"))
+
+    # ----------------------------------------------------------------- #
+    # 6. Two interchangeable backends with the same semantics.           #
+    # ----------------------------------------------------------------- #
+    exact = db2.with_backend("instance")
+    print("\nclausal and instance backends agree:",
+          exact.worlds() == db2.worlds())
+    print("possible worlds:", len(db2.worlds()), "of", 2 ** 5)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""The paper's motivating relational scenario (Section 5.1.1):
+
+    "Jones has a new telephone number."
+
+Implicit in the request: the *new* number is not known.  This example runs
+the update both ways --
+
+* through the **grounded** propositional route, where the update formula
+  is the "enormous disjunction" over every telephone number, and
+* through the **compact** internal-constant (null value) representation,
+  where it is a single open atom ``R(Jones, D1, u)`` with ``u`` of type
+  tau_telno --
+
+and shows they agree on every query while differing wildly in size.
+
+Run:  python examples/telephone_directory.py
+"""
+
+from repro.relational import (
+    ANY,
+    CategoryExpr,
+    OpenAtom,
+    RelationalDatabase,
+    RelationalSchema,
+    exists,
+    var,
+)
+from repro.workloads.generators import directory_schema
+
+
+def main() -> None:
+    # ------------------------------------------------------------------ #
+    # Schema: R[N D T] with typed attributes and finite domains           #
+    # (domain closure makes grounding possible -- Section 1.2).           #
+    # ------------------------------------------------------------------ #
+    schema = RelationalSchema.build(
+        constants={
+            "person": ["Jones", "Smith"],
+            "dept": ["D1", "D2"],
+            "telno": ["T1", "T2", "T3", "T4"],
+        },
+        relations={"R": [("N", "person"), ("D", "dept"), ("T", "telno")]},
+    )
+    db = RelationalDatabase(schema)  # with a grounded clausal mirror
+    print("grounded vocabulary:", len(db.grounding.vocabulary), "letters")
+
+    db.tell(("R", "Jones", "D1", "T2"))
+    db.tell(("R", "Smith", "D2", "T4"))
+    print("Jones reachable at T2?", db.certain("R", "Jones", "D1", "T2"))
+
+    # ------------------------------------------------------------------ #
+    # The update, in the paper's extended-where form:                     #
+    #   (where ((Jones = x) (y in tau_u))                                 #
+    #     (insert ((exists w in tau_telno) (R x y w))))                   #
+    # Bindings for y come from the database, case by case.                #
+    # ------------------------------------------------------------------ #
+    telno = schema.algebra.named("telno")
+    bindings = db.where_update(
+        pattern=("R", "Jones", var("y"), ANY),
+        action=("R", "Jones", var("y"), exists(telno)),
+    )
+    print("\nbindings found (Jones' departments):", bindings)
+
+    print("T2 still certain?", db.certain("R", "Jones", "D1", "T2"))
+    print("T2 still possible?", db.possible("R", "Jones", "D1", "T2"))
+    print("possible new numbers:",
+          sorted(db.possible_values("R", ("Jones", "D1", None), 2)))
+    some_number = " | ".join(f"R.Jones.D1.{t}" for t in ("T1", "T2", "T3", "T4"))
+    print("*some* number certain?", db.grounded.is_certain(some_number))
+    print("Smith's record untouched?", db.certain("R", "Smith", "D2", "T4"))
+
+    # ------------------------------------------------------------------ #
+    # The two representations of the same possible worlds.                #
+    # ------------------------------------------------------------------ #
+    print("\ncompact store:", sorted(map(repr, db.store)))
+    print("compact size (symbols):", db.compact_size())
+    print("grounded state Length:", db.grounded_size())
+
+    # ------------------------------------------------------------------ #
+    # Why grounding alone is impractical (the paper's 5.1.1 point):       #
+    # sweep the domain size and watch the update formula grow while the   #
+    # open atom stays a single literal.                                   #
+    # ------------------------------------------------------------------ #
+    print("\nphones | grounded letters | update disjuncts | compact symbols")
+    for phone_count in (4, 16, 64, 256):
+        big_schema = directory_schema(phone_count)
+        big = RelationalDatabase(big_schema, grounded=False)  # compact only
+        u = big.unknown(big_schema.algebra.named("telno"))
+        atom = big.atom("R", "P1", "D1", u)
+        from repro.relational.grounding import Grounding
+
+        grounding = Grounding(big_schema)
+        disjuncts = len(grounding.atom_formula(atom).props())
+        print(f"{phone_count:6} | {len(grounding.vocabulary):16} | "
+              f"{disjuncts:16} | {len(atom.args) + 1:15}")
+
+    # ------------------------------------------------------------------ #
+    # Nulls can carry partial knowledge: category expressions.            #
+    # "Smith's new number is a telno, but not T4 (that one was retired)." #
+    # ------------------------------------------------------------------ #
+    u = db.dictionary.activate(CategoryExpr(telno, ee=["T4"]))
+    db.tell(OpenAtom("R", ("Smith", "D2", u)))
+    print("\nSmith's possible numbers (not T4):",
+          sorted(db.dictionary.denotation_of(u)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""repro -- a full reproduction of Hegner's PODS 1987 paper
+*Specification and Implementation of Programs for Updating Incomplete
+Information Databases*.
+
+The library implements, from scratch:
+
+* the propositional substrate (:mod:`repro.logic`);
+* propositional database systems, morphisms, updates, Inset, and masks
+  (:mod:`repro.db`);
+* the **BLU** language with its instance-level (``BLU--I``) and clausal
+  (``BLU--C``) implementations and the canonical emulation between them
+  (:mod:`repro.blu`);
+* the **HLU** user-level update language, defined entirely in terms of
+  BLU, with the where-macro expansion (:mod:`repro.hlu`);
+* the Section 5 first-order relational extension with typed nulls and
+  semantic resolution (:mod:`repro.relational`);
+* the Section 3.3 comparison baselines (:mod:`repro.baselines`);
+* workload generators and the E1--E17 experiment harness
+  (:mod:`repro.workloads`, :mod:`repro.bench`).
+
+Quick start::
+
+    from repro import IncompleteDatabase
+
+    db = IncompleteDatabase.over(5)
+    db.assert_("~A1 | A3", "A1 | A4", "A4 | A5", "~A1 | ~A2 | ~A5")
+    db.insert("A1 | A2")              # the paper's Example 3.1.5
+    assert db.is_certain("A1 | A2")
+"""
+
+from repro.db import DbSchema, WorldSet
+from repro.hlu import IncompleteDatabase
+from repro.logic import ClauseSet, Vocabulary, parse_formula
+from repro.relational import RelationalDatabase, RelationalSchema
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "__version__",
+    "Vocabulary",
+    "ClauseSet",
+    "parse_formula",
+    "DbSchema",
+    "WorldSet",
+    "IncompleteDatabase",
+    "RelationalSchema",
+    "RelationalDatabase",
+]

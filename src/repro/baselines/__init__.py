@@ -1,0 +1,55 @@
+"""Comparison baselines from Section 3.3 of the paper.
+
+* :mod:`repro.baselines.wilkins` -- auxiliary-letter (history) updates;
+* :mod:`repro.baselines.minimal_change` -- the FKUV "flock" approach;
+* :mod:`repro.baselines.tabular` -- Abiteboul-Grahne primitives and the
+  genmask expressiveness gap.
+"""
+
+from repro.baselines.minimal_change import (
+    MinimalChangeDatabase,
+    SemanticMinimalChangeDatabase,
+    Theory,
+    maximal_consistent_subsets,
+    semantic_minimal_insert,
+)
+from repro.baselines.tabular import (
+    TABULAR_PRIMITIVES,
+    hlu_insert_transformer,
+    search_for_transformer,
+    t_difference,
+    t_intersection,
+    t_pointwise_and,
+    t_pointwise_implies,
+    t_pointwise_or,
+    t_union,
+)
+from repro.baselines.tables import (
+    TableVariable,
+    VTable,
+    is_representable,
+    representable_world_sets,
+)
+from repro.baselines.wilkins import WilkinsDatabase
+
+__all__ = [
+    "WilkinsDatabase",
+    "MinimalChangeDatabase",
+    "SemanticMinimalChangeDatabase",
+    "semantic_minimal_insert",
+    "Theory",
+    "maximal_consistent_subsets",
+    "TABULAR_PRIMITIVES",
+    "t_union",
+    "t_intersection",
+    "t_difference",
+    "t_pointwise_and",
+    "t_pointwise_or",
+    "t_pointwise_implies",
+    "hlu_insert_transformer",
+    "search_for_transformer",
+    "VTable",
+    "TableVariable",
+    "is_representable",
+    "representable_world_sets",
+]

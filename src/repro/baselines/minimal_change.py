@@ -1,0 +1,257 @@
+"""The minimal-change ("flock") update strategy (Section 3.3.2; after
+Fagin, Kuper, Ullman and Vardi, "Updating Logical Databases").
+
+Instead of masking the inserted formula's dependency letters, minimal
+change "looks for minimal ways to alter the database so that the insertion
+will be consistent": inserting ``phi`` into a theory ``T`` keeps every
+*maximal* subset of ``T`` consistent with ``phi`` and adds ``phi`` to each.
+Because distinct maximal subsets are alternatives, the state is a *flock*
+-- a set of theories -- and the possible worlds are the union of each
+member's models.
+
+Hegner's §3.3.2 point, reproduced in experiment E15: this minimality is
+*syntactic* -- logically equivalent presentations of the same theory can
+update to different results -- and the result differs from mask-assert
+insertion in general.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.db.instances import WorldSet
+from repro.logic.cnf import formulas_to_clauses
+from repro.logic.formula import Formula, Not
+from repro.logic.parser import parse_formula
+from repro.logic.propositions import Vocabulary
+from repro.logic.sat import entails_clauses, is_satisfiable
+
+__all__ = [
+    "Theory",
+    "MinimalChangeDatabase",
+    "maximal_consistent_subsets",
+    "semantic_minimal_insert",
+    "SemanticMinimalChangeDatabase",
+]
+
+Theory = tuple[Formula, ...]
+"""A theory is an ordered tuple of sentences (syntax matters here!)."""
+
+
+def _satisfiable_with(
+    vocabulary: Vocabulary, sentences: Iterable[Formula], extra: Formula | None
+) -> bool:
+    formulas = list(sentences)
+    if extra is not None:
+        formulas.append(extra)
+    return is_satisfiable(formulas_to_clauses(formulas, vocabulary))
+
+
+def maximal_consistent_subsets(
+    vocabulary: Vocabulary, theory: Theory, formula: Formula
+) -> tuple[Theory, ...]:
+    """All maximal subsets of ``theory`` consistent with ``formula``.
+
+    Exhaustive over subsets (the flock approach is defined, not optimised,
+    this way); intended for the small theories of tests and benches.
+    Returns them as tuples preserving the theory's sentence order.
+    If ``formula`` itself is unsatisfiable, there are none.
+    """
+    if not _satisfiable_with(vocabulary, (), formula):
+        return ()
+    sentences = list(theory)
+    n = len(sentences)
+    consistent_masks: list[int] = []
+    for mask in range(1 << n):
+        subset = [sentences[i] for i in range(n) if mask >> i & 1]
+        if _satisfiable_with(vocabulary, subset, formula):
+            consistent_masks.append(mask)
+    maximal = [
+        mask
+        for mask in consistent_masks
+        if not any(
+            other != mask and other & mask == mask for other in consistent_masks
+        )
+    ]
+    return tuple(
+        tuple(sentences[i] for i in range(n) if mask >> i & 1)
+        for mask in sorted(maximal)
+    )
+
+
+class MinimalChangeDatabase:
+    """A flock of theories with minimal-change updates.
+
+    >>> db = MinimalChangeDatabase(Vocabulary.standard(2), ["~A1"])
+    >>> db.insert("A1")
+    >>> db.is_certain("A1")
+    True
+    """
+
+    def __init__(
+        self,
+        vocabulary: Vocabulary,
+        theory: Iterable[Formula | str] = (),
+    ):
+        self._vocabulary = vocabulary
+        initial: Theory = tuple(
+            parse_formula(f) if isinstance(f, str) else f for f in theory
+        )
+        self._flock: tuple[Theory, ...] = (initial,)
+
+    @property
+    def vocabulary(self) -> Vocabulary:
+        """The (fixed) vocabulary."""
+        return self._vocabulary
+
+    @property
+    def flock(self) -> tuple[Theory, ...]:
+        """The current alternatives (each a theory)."""
+        return self._flock
+
+    def insert(self, formula: Formula | str) -> None:
+        """Minimal-change insertion, applied to every flock member."""
+        formula = self._parse(formula)
+        new_flock: list[Theory] = []
+        for theory in self._flock:
+            for kept in maximal_consistent_subsets(
+                self._vocabulary, theory, formula
+            ):
+                candidate = kept + (formula,)
+                if candidate not in new_flock:
+                    new_flock.append(candidate)
+        self._flock = tuple(new_flock) if new_flock else ((),)
+        if not new_flock:
+            # Inserting an unsatisfiable sentence: the flock is empty; we
+            # represent that as a single inconsistent theory.
+            self._flock = ((formula,),) if not _satisfiable_with(
+                self._vocabulary, (), formula
+            ) else ((),)
+
+    def delete(self, formula: Formula | str) -> None:
+        """Minimal-change deletion: keep maximal subsets *not entailing*
+        the formula (no sentence is added)."""
+        formula = self._parse(formula)
+        query = formulas_to_clauses([formula], self._vocabulary)
+        new_flock: list[Theory] = []
+        for theory in self._flock:
+            sentences = list(theory)
+            n = len(sentences)
+            good_masks = []
+            for mask in range(1 << n):
+                subset = [sentences[i] for i in range(n) if mask >> i & 1]
+                subset_clauses = formulas_to_clauses(subset, self._vocabulary)
+                if not entails_clauses(subset_clauses, query):
+                    good_masks.append(mask)
+            maximal = [
+                mask
+                for mask in good_masks
+                if not any(o != mask and o & mask == mask for o in good_masks)
+            ]
+            for mask in sorted(maximal):
+                candidate = tuple(sentences[i] for i in range(n) if mask >> i & 1)
+                if candidate not in new_flock:
+                    new_flock.append(candidate)
+        self._flock = tuple(new_flock) if new_flock else ((),)
+
+    # --- semantics ------------------------------------------------------------------
+
+    def world_set(self) -> WorldSet:
+        """The possible worlds: union over the flock members' models."""
+        worlds = WorldSet.empty(self._vocabulary)
+        for theory in self._flock:
+            worlds = worlds.union(
+                WorldSet.from_formulas(self._vocabulary, theory)
+            )
+        return worlds
+
+    def is_certain(self, formula: Formula | str) -> bool:
+        """True in every possible world of every flock member?"""
+        return self.world_set().satisfies_everywhere(self._parse(formula))
+
+    def is_possible(self, formula: Formula | str) -> bool:
+        """True somewhere in the flock?"""
+        return self.world_set().satisfies_somewhere(self._parse(formula))
+
+    def _parse(self, formula: Formula | str) -> Formula:
+        return parse_formula(formula) if isinstance(formula, str) else formula
+
+    def __repr__(self) -> str:
+        return f"MinimalChangeDatabase({len(self._flock)} theory/ies)"
+
+
+# ---------------------------------------------------------------------------
+# The semantic variant Hegner alludes to
+# ---------------------------------------------------------------------------
+
+def _hamming(left: int, right: int) -> int:
+    return bin(left ^ right).count("1")
+
+
+def semantic_minimal_insert(state: WorldSet, formula: Formula) -> WorldSet:
+    """World-level minimal-change insertion.
+
+    Section 3.3.2 remarks that "it is possible to obtain a semantic
+    version of minimal change, at the expense of a greatly complicated
+    masking function" but omits it for space.  This is the standard
+    world-by-world construction (Dalal-style): each possible world moves
+    to its *nearest* ``formula``-worlds under Hamming distance on the
+    letters.  Unlike the flock it is representation-independent; unlike
+    mask-assert it changes as little as possible per world instead of
+    forgetting the formula's whole dependency set.
+    """
+    vocabulary = state.vocabulary
+    targets = WorldSet.from_formulas(vocabulary, [formula]).worlds
+    if not targets:
+        return WorldSet.empty(vocabulary)
+    if not state.worlds:
+        # Inserting into the impossible state: minimal repair from nothing
+        # is simply the formula's worlds.
+        return WorldSet(vocabulary, targets)
+    out: set[int] = set()
+    for world in state.worlds:
+        best = min(_hamming(world, target) for target in targets)
+        out.update(
+            target for target in targets if _hamming(world, target) == best
+        )
+    return WorldSet(vocabulary, out)
+
+
+class SemanticMinimalChangeDatabase:
+    """A session applying :func:`semantic_minimal_insert` (small
+    vocabularies: the state is an explicit world set)."""
+
+    def __init__(self, vocabulary: Vocabulary, theory: Iterable[Formula | str] = ()):
+        self._vocabulary = vocabulary
+        formulas = [
+            parse_formula(f) if isinstance(f, str) else f for f in theory
+        ]
+        self._state = WorldSet.from_formulas(vocabulary, formulas)
+
+    @property
+    def vocabulary(self) -> Vocabulary:
+        """The (fixed) vocabulary."""
+        return self._vocabulary
+
+    def world_set(self) -> WorldSet:
+        """The current possible worlds."""
+        return self._state
+
+    def insert(self, formula: Formula | str) -> None:
+        """Move every world minimally so the formula holds."""
+        formula = self._parse(formula)
+        self._state = semantic_minimal_insert(self._state, formula)
+
+    def is_certain(self, formula: Formula | str) -> bool:
+        """True in every possible world?"""
+        return self._state.satisfies_everywhere(self._parse(formula))
+
+    def is_possible(self, formula: Formula | str) -> bool:
+        """True in some possible world?"""
+        return self._state.satisfies_somewhere(self._parse(formula))
+
+    def _parse(self, formula: Formula | str) -> Formula:
+        return parse_formula(formula) if isinstance(formula, str) else formula
+
+    def __repr__(self) -> str:
+        return f"SemanticMinimalChangeDatabase({len(self._state)} world(s))"

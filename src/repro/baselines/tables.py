@@ -1,0 +1,211 @@
+"""V-tables: the Imieliński-Lipski template model (paper §4, [12]).
+
+Section 4's "second avenue": "we are looking at the template model, and
+particularly the work on updates for it.  Although this model is not able
+to represent all possible worlds, it can represent many important cases
+arising in practice."  This module makes that claim checkable.
+
+A **V-table** over a relational schema is a set of rows whose entries are
+external constants or *variables* (marked nulls); every variable carries
+a type.  Its possible worlds are obtained valuation-by-valuation under
+the closed world assumption: for each assignment of variables to
+constants of their types, the world contains exactly the instantiated
+rows' facts (repeated variables co-vary; Codd nulls are the one-use
+special case).
+
+:func:`representable_world_sets` enumerates every world set a bounded
+V-table can denote over a (tiny) schema, which yields machine-checked
+witnesses for both directions of the paper's claim:
+
+* many practically important states *are* tables (e.g. the result of the
+  Jones update restricted to Jones's relation);
+* some possible-world sets are *not* (e.g. "no phone at all, or both
+  phones" -- pinned in ``tests/baselines/test_tables.py``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable
+
+from repro.db.instances import WorldSet
+from repro.errors import SchemaError
+from repro.relational.grounding import Grounding
+from repro.relational.schema import RelationalSchema
+from repro.relational.types import TypeExpr
+
+__all__ = ["TableVariable", "VTable", "representable_world_sets", "is_representable"]
+
+
+class TableVariable:
+    """A typed marked null appearing in V-table rows.
+
+    Identity is nominal: two variables with the same type are distinct
+    (repeated *occurrences* of one variable co-vary; distinct variables
+    vary independently).
+    """
+
+    __slots__ = ("name", "type")
+
+    def __init__(self, name: str, type_expr: TypeExpr):
+        self.name = name
+        self.type = type_expr
+
+    def __eq__(self, other):
+        return isinstance(other, TableVariable) and other.name == self.name
+
+    def __hash__(self):
+        return hash(("TableVariable", self.name))
+
+    def __repr__(self):
+        return f"?{self.name}"
+
+
+Entry = str | TableVariable
+
+
+class VTable:
+    """A V-table: rows of constants and typed variables, CWA semantics.
+
+    >>> schema = RelationalSchema.build(
+    ...     constants={"person": ["Jones"], "telno": ["T1", "T2"]},
+    ...     relations={"Phone": [("N", "person"), ("T", "telno")]},
+    ... )
+    >>> x = TableVariable("x", schema.algebra.named("telno"))
+    >>> table = VTable(schema, [("Phone", ("Jones", x))])
+    >>> len(table.world_set())      # one world per value of x
+    2
+    """
+
+    def __init__(
+        self,
+        schema: RelationalSchema,
+        rows: Iterable[tuple[str, tuple[Entry, ...]]],
+    ):
+        self.schema = schema
+        self.grounding = Grounding(schema)
+        validated: list[tuple[str, tuple[Entry, ...]]] = []
+        for relation, entries in rows:
+            signature = schema.relation(relation)
+            entries = tuple(entries)
+            if len(entries) != signature.arity:
+                raise SchemaError(
+                    f"row for {relation} has {len(entries)} entries, "
+                    f"expected {signature.arity}"
+                )
+            for attribute, entry in zip(signature.attributes, entries):
+                if isinstance(entry, TableVariable):
+                    if not (entry.type.members & attribute.type.members):
+                        raise SchemaError(
+                            f"variable {entry.name} cannot fill a "
+                            f"{attribute.name} slot (disjoint types)"
+                        )
+                elif not attribute.admits(entry):
+                    raise SchemaError(
+                        f"constant {entry!r} violates typing at {relation}"
+                    )
+            validated.append((relation, entries))
+        self.rows = tuple(validated)
+
+    def variables(self) -> tuple[TableVariable, ...]:
+        """The distinct variables, in first-appearance order."""
+        seen: dict[str, TableVariable] = {}
+        for _, entries in self.rows:
+            for entry in entries:
+                if isinstance(entry, TableVariable):
+                    seen.setdefault(entry.name, entry)
+        return tuple(seen.values())
+
+    def world_of_valuation(self, valuation: dict[str, str]) -> int | None:
+        """The (bit-packed, grounded) world for one variable assignment,
+        or ``None`` when some instantiated row violates typing."""
+        world = 0
+        for relation, entries in self.rows:
+            concrete = tuple(
+                valuation[e.name] if isinstance(e, TableVariable) else e
+                for e in entries
+            )
+            if not self.schema.relation(relation).admits(concrete):
+                return None
+            index = self.grounding.vocabulary.index_of(
+                self.grounding.proposition_name(relation, concrete)
+            )
+            world |= 1 << index
+        return world
+
+    def world_set(self) -> WorldSet:
+        """All possible worlds (closed world per valuation)."""
+        variables = self.variables()
+        domains = [
+            sorted(
+                variable.type.members & self.schema.algebra.universe
+            )
+            for variable in variables
+        ]
+        worlds = set()
+        for values in itertools.product(*domains):
+            valuation = {v.name: value for v, value in zip(variables, values)}
+            world = self.world_of_valuation(valuation)
+            if world is not None:
+                worlds.add(world)
+        return WorldSet(self.grounding.vocabulary, worlds)
+
+    def __repr__(self):
+        rendered = ", ".join(
+            f"{relation}({', '.join(map(str, entries))})"
+            for relation, entries in self.rows
+        )
+        return f"VTable[{rendered}]"
+
+
+def _candidate_entries(schema: RelationalSchema, attribute_type, variables):
+    yield from sorted(attribute_type.members)
+    for variable in variables:
+        if variable.type.members & attribute_type.members:
+            yield variable
+
+
+def representable_world_sets(
+    schema: RelationalSchema,
+    max_rows: int,
+    max_variables: int,
+) -> dict[frozenset[int], VTable]:
+    """Every world set denotable by a V-table with at most ``max_rows``
+    rows and ``max_variables`` universal-type variables.
+
+    Exhaustive -- restrict to schemas with a handful of ground facts.
+    Returns a map from (frozen) world set to one witnessing table.
+    """
+    variables = [
+        TableVariable(f"x{i}", schema.algebra.universal)
+        for i in range(max_variables)
+    ]
+    all_rows: list[tuple[str, tuple[Entry, ...]]] = []
+    for relation_name in sorted(schema.relations):
+        signature = schema.relations[relation_name]
+        entry_choices = [
+            list(_candidate_entries(schema, attribute.type, variables))
+            for attribute in signature.attributes
+        ]
+        for entries in itertools.product(*entry_choices):
+            all_rows.append((relation_name, tuple(entries)))
+    found: dict[frozenset[int], VTable] = {}
+    for row_count in range(max_rows + 1):
+        for combo in itertools.combinations(all_rows, row_count):
+            table = VTable(schema, combo)
+            worlds = frozenset(table.world_set().worlds)
+            found.setdefault(worlds, table)
+    return found
+
+
+def is_representable(
+    world_set: WorldSet,
+    schema: RelationalSchema,
+    max_rows: int = 3,
+    max_variables: int = 2,
+) -> VTable | None:
+    """A witnessing V-table for ``world_set``, or ``None`` if no table
+    within the bounds denotes it."""
+    return representable_world_sets(schema, max_rows, max_variables).get(
+        frozenset(world_set.worlds)
+    )

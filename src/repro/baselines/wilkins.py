@@ -1,0 +1,188 @@
+"""The Wilkins update strategy (Section 3.3.1; Wilkins, STAN-CS-86-1096).
+
+Hegner characterises Wilkins' algorithms as follows: update semantics
+essentially identical to his own, *except* that the approach is syntactic
+(Remark 1.4.7 -- inserting the tautology ``A1 | ~A1`` masks ``A1``), and
+the implementation "introduces new auxiliary proposition letters at each
+update", deferring the mask computation "via the retention of historical
+information".  Updates are "linear in the sizes of the database and update
+formulas"; the price is paid at query time, because the query solver must
+reason over an ever-growing vocabulary, and "cleaning up" the knowledge
+base means masking the auxiliaries -- an inherently hard problem.
+
+The original report is unavailable; this reconstruction (documented in
+DESIGN.md) realises exactly those properties:
+
+* ``insert(phi)`` renames every *syntactic* letter of ``phi`` occurring in
+  the database to a fresh auxiliary (history) letter -- one pass over the
+  clause set -- and then adds ``phi``'s clauses.  The renamed letters are
+  implicitly existentially quantified history: projecting the models onto
+  the base letters gives mask-then-assert with the *syntactic* letter set.
+* ``is_certain(psi)`` refutes over the grown vocabulary (DPLL).
+* ``cleanup()`` eliminates all auxiliary letters by resolution
+  (Davis-Putnam, i.e. the ``BLU--C[mask]`` algorithm) -- the expensive
+  deferred mask.
+
+Experiment E11 measures the trade-off; tests verify the semantic agreement
+with Hegner's insert (when syntactic = semantic dependency) and the
+Remark 1.4.7 divergence on tautologies.
+"""
+
+from __future__ import annotations
+
+from repro.blu.clausal_mask import clausal_mask
+from repro.logic.clauses import Clause, ClauseSet, literal_index, make_literal
+from repro.logic.cnf import formula_to_clauses
+from repro.logic.formula import Formula
+from repro.logic.parser import parse_formula
+from repro.logic.propositions import Vocabulary
+from repro.logic.sat import entails_clauses, is_satisfiable
+
+__all__ = ["WilkinsDatabase"]
+
+
+class WilkinsDatabase:
+    """An incomplete-information database with Wilkins-style updates.
+
+    >>> db = WilkinsDatabase(Vocabulary.standard(3))
+    >>> db.insert("A1 | A2")
+    >>> db.aux_count
+    2
+    >>> db.is_certain("A1 | A2")
+    True
+    """
+
+    def __init__(self, base_vocabulary: Vocabulary, state: ClauseSet | None = None):
+        self._base = base_vocabulary
+        self._vocabulary = base_vocabulary
+        self._state = state if state is not None else ClauseSet.tautology(base_vocabulary)
+        if self._state.vocabulary != self._vocabulary:
+            from repro.errors import VocabularyMismatchError
+
+            raise VocabularyMismatchError("initial state must be over the base vocabulary")
+        self._aux_names: list[str] = []
+
+    # --- accessors ------------------------------------------------------------
+
+    @property
+    def base_vocabulary(self) -> Vocabulary:
+        """The user-visible letters."""
+        return self._base
+
+    @property
+    def vocabulary(self) -> Vocabulary:
+        """Base plus auxiliary (history) letters -- grows with updates."""
+        return self._vocabulary
+
+    @property
+    def state(self) -> ClauseSet:
+        """The clause set over the grown vocabulary."""
+        return self._state
+
+    @property
+    def aux_count(self) -> int:
+        """Number of auxiliary letters introduced so far."""
+        return len(self._aux_names)
+
+    # --- updates (linear time) ---------------------------------------------------
+
+    def assert_(self, formula: Formula | str) -> None:
+        """Monotone assertion: just add the clauses."""
+        formula = self._parse(formula)
+        addition = formula_to_clauses(formula, self._base)
+        self._state = self._state.union(self._lift(addition))
+
+    def insert(self, formula: Formula | str) -> None:
+        """Wilkins insert: rename the formula's *syntactic* letters in the
+        database to fresh history letters, then add the formula.
+
+        One linear pass; no genmask, no resolution.
+        """
+        formula = self._parse(formula)
+        letters = sorted(formula.props(), key=self._base.index_of)
+        fresh = self._vocabulary.fresh_names(len(letters), stem="H")
+        self._vocabulary = self._vocabulary.extended(fresh)
+        self._aux_names.extend(fresh)
+
+        renaming = {
+            self._base.index_of(old): self._vocabulary.index_of(new)
+            for old, new in zip(letters, fresh)
+        }
+        renamed: set[Clause] = set()
+        for clause in self._state.clauses:
+            renamed.add(
+                frozenset(self._rename_literal(lit, renaming) for lit in clause)
+            )
+        addition = self._lift(formula_to_clauses(formula, self._base))
+        self._state = ClauseSet(self._vocabulary, renamed).union(addition)
+
+    def delete(self, formula: Formula | str) -> None:
+        """Wilkins delete: insert the negation."""
+        from repro.logic.formula import Not
+
+        self.insert(Not(self._parse(formula)))
+
+    # --- queries (cost grows with the vocabulary) -----------------------------------
+
+    def is_certain(self, formula: Formula | str) -> bool:
+        """Certain truth of a base-letter formula, by refutation over the
+        full (grown) vocabulary."""
+        formula = self._parse(formula)
+        query = self._lift(formula_to_clauses(formula, self._base))
+        return entails_clauses(self._state, query)
+
+    def is_possible(self, formula: Formula | str) -> bool:
+        """Possible truth of a base-letter formula."""
+        formula = self._parse(formula)
+        query = self._lift(formula_to_clauses(formula, self._base))
+        return is_satisfiable(self._state.union(query))
+
+    def is_consistent(self) -> bool:
+        """Does some possible world remain?"""
+        return is_satisfiable(self._state)
+
+    # --- the deferred mask ----------------------------------------------------------
+
+    def cleanup(self) -> None:
+        """Eliminate every auxiliary letter by resolution (the deferred
+        mask) and shrink back to the base vocabulary.  Inherently hard --
+        this is exactly ``BLU--C[mask]`` on the history letters."""
+        aux_indices = [self._vocabulary.index_of(n) for n in self._aux_names]
+        masked = clausal_mask(self._state, aux_indices)
+        base_clauses = [
+            frozenset(
+                self._relocate_base_literal(lit) for lit in clause
+            )
+            for clause in masked.clauses
+        ]
+        self._vocabulary = self._base
+        self._aux_names = []
+        self._state = ClauseSet(self._base, base_clauses)
+
+    # --- internals ------------------------------------------------------------------
+
+    def _parse(self, formula: Formula | str) -> Formula:
+        return parse_formula(formula) if isinstance(formula, str) else formula
+
+    def _lift(self, clause_set: ClauseSet) -> ClauseSet:
+        """Re-home base-vocabulary clauses into the grown vocabulary.
+
+        Base letters occupy the same leading indices in every grown
+        vocabulary, so the literals carry over unchanged.
+        """
+        return ClauseSet(self._vocabulary, clause_set.clauses)
+
+    @staticmethod
+    def _rename_literal(literal: int, renaming: dict[int, int]) -> int:
+        index = literal_index(literal)
+        if index in renaming:
+            return make_literal(renaming[index], positive=literal > 0)
+        return literal
+
+    def _relocate_base_literal(self, literal: int) -> int:
+        index = literal_index(literal)
+        if index >= len(self._base):
+            raise AssertionError(
+                "cleanup left an auxiliary letter in the state"
+            )
+        return literal

@@ -1,0 +1,108 @@
+"""Measurement utilities for the experiment harness.
+
+The paper proves asymptotic *shapes*, not wall-clock numbers, so the
+harness is built around shape checks: minimum-of-repeats timing, log-log
+slope fitting (for polynomial claims), and log-linear fitting (for
+exponential claims), plus a plain-text table renderer used by every
+experiment report.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass, field
+
+__all__ = ["measure_seconds", "fit_loglog_slope", "fit_exponential_base", "Report"]
+
+
+def measure_seconds(fn: Callable[[], object], repeat: int = 3) -> float:
+    """Best-of-``repeat`` wall-clock seconds for ``fn()``."""
+    best = math.inf
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def _least_squares_slope(xs: Sequence[float], ys: Sequence[float]) -> float:
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    numerator = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    denominator = sum((x - mean_x) ** 2 for x in xs)
+    if denominator == 0:
+        return 0.0
+    return numerator / denominator
+
+
+def fit_loglog_slope(sizes: Sequence[float], values: Sequence[float]) -> float:
+    """Least-squares slope of log(value) against log(size).
+
+    ~1 for linear growth, ~2 for quadratic, etc.  Zero values are clamped
+    to a tiny epsilon so timer underflow cannot crash a report.
+    """
+    xs = [math.log(s) for s in sizes]
+    ys = [math.log(max(v, 1e-9)) for v in values]
+    return _least_squares_slope(xs, ys)
+
+
+def fit_exponential_base(sizes: Sequence[float], values: Sequence[float]) -> float:
+    """Fit ``value ~ c * b^size`` and return ``b``.
+
+    Least squares on log(value) against size; the claim of Theorem
+    2.3.4(b.iii) is ``b = e^(1/e) ~ 1.44`` in ``Length`` for complement.
+    """
+    ys = [math.log(max(v, 1e-12)) for v in values]
+    slope = _least_squares_slope(list(sizes), ys)
+    return math.exp(slope)
+
+
+@dataclass
+class Report:
+    """One experiment's claim-vs-measured report."""
+
+    ident: str
+    title: str
+    claim: str
+    columns: tuple[str, ...]
+    rows: list[tuple] = field(default_factory=list)
+    observed: str = ""
+    holds: bool | None = None
+
+    def add_row(self, *values) -> None:
+        """Append a data row (must match ``columns``)."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row width {len(values)} != column count {len(self.columns)}"
+            )
+        self.rows.append(tuple(values))
+
+    def render(self) -> str:
+        """The report as a plain-text table."""
+        header = [f"== {self.ident}: {self.title} =="]
+        header.append(f"claim    : {self.claim}")
+        if self.observed:
+            header.append(f"observed : {self.observed}")
+        if self.holds is not None:
+            header.append(f"verdict  : {'SHAPE HOLDS' if self.holds else 'DIVERGES'}")
+        cells = [tuple(str(v) for v in row) for row in self.rows]
+        widths = [
+            max(len(self.columns[i]), *(len(row[i]) for row in cells))
+            if cells
+            else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        line = "  ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        rule = "-" * len(line)
+        body = [line, rule]
+        for row in cells:
+            body.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+        return "\n".join(header + body) + "\n"
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,95 @@
+"""The clause-level ``genmask`` operator (Definition 2.3.7, Algorithm 2.3.8).
+
+``genmask(Phi)`` computes the set of letters the clause set *semantically*
+depends on -- the clause-level counterpart of ``s--mask[Dep[Mod[Phi]]]``.
+
+The paper's algorithm tests each letter ``A`` in ``Prop[Phi]`` by
+enumerating ``Ldiff[A, Phi]``: pairs of total assignments over ``Prop[Phi]``
+that differ only on ``A``, looking for a pair on which the truth value of
+``Phi`` differs.  Truth under a total assignment is read off via unit
+resolution (``unitres``): a clause reduces to the empty clause exactly when
+the assignment falsifies it, so ``Phi`` holds iff no empty clause appears.
+
+Implementation note (deviation, documented): Algorithm 2.3.8 as printed
+compares the two unit-resolution *residue sets* for inequality.  Taken
+literally that test is wrong -- any clause mentioning ``A`` leaves
+different satisfied-literal residues under the two assignments, so every
+letter of ``Prop[Phi]`` would be declared dependent (e.g. for the
+tautologous ``{A1 | ~A1}``... which the ClauseSet representation already
+normalises away, but ``{A1 | A2, A1 | ~A2}`` still witnesses the bug: A2
+is not dependent).  The evidently intended comparison -- and the one that
+makes Theorem 2.3.9(a) true -- is of the *truth values*, i.e. whether the
+residue contains the empty clause.  That is what is implemented; the
+enumeration structure and complexity (Theorem 2.3.9(b)) are unchanged.
+Cross-checked against brute-force ``Dep[Mod[Phi]]`` in the tests and in
+bench E5.
+
+Deciding dependence is NP-complete (Theorem 2.3.9(c)); no subexponential
+shortcut exists, which is why ``genmask`` only ever takes *user-supplied*
+update parameters in HLU (Section 4), never the large system state.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterator
+
+from repro.logic.clauses import ClauseSet, Literal, make_literal
+from repro.logic.resolution import unit_resolve
+
+__all__ = ["cls_assignments", "ldiff", "depends_on", "clausal_genmask"]
+
+
+def cls_assignments(clause_set: ClauseSet) -> Iterator[frozenset[Literal]]:
+    """``CLS[Phi]`` (Definition 2.3.7(a)): consistent total literal sets
+    over ``Prop[Phi]``."""
+    indices = sorted(clause_set.prop_indices)
+    for signs in itertools.product((False, True), repeat=len(indices)):
+        yield frozenset(
+            make_literal(index, positive=sign) for index, sign in zip(indices, signs)
+        )
+
+
+def ldiff(clause_set: ClauseSet, index: int) -> Iterator[tuple[frozenset[Literal], frozenset[Literal]]]:
+    """``Ldiff[A, Phi]`` (Definition 2.3.7(b)): pairs from ``CLS[Phi]``
+    differing only in the polarity of the letter at ``index``."""
+    other_indices = sorted(clause_set.prop_indices - {index})
+    positive = make_literal(index, positive=True)
+    negative = -positive
+    for signs in itertools.product((False, True), repeat=len(other_indices)):
+        shared = frozenset(
+            make_literal(i, positive=sign) for i, sign in zip(other_indices, signs)
+        )
+        yield shared | {positive}, shared | {negative}
+
+
+def _falsified(clause_set: ClauseSet, assignment: frozenset[Literal]) -> bool:
+    """Is ``Phi`` false under the total assignment?  (unitres leaves an
+    empty clause exactly for falsified clauses.)"""
+    return unit_resolve(clause_set, assignment).has_empty_clause
+
+
+def depends_on(clause_set: ClauseSet, index: int) -> bool:
+    """Does ``Phi`` semantically depend on the letter at ``index``?
+
+    The Ldiff enumeration of Algorithm 2.3.8 with early exit.
+    """
+    if index not in clause_set.prop_indices:
+        return False
+    for with_a, without_a in ldiff(clause_set, index):
+        if _falsified(clause_set, with_a) != _falsified(clause_set, without_a):
+            return True
+    return False
+
+
+def clausal_genmask(clause_set: ClauseSet) -> frozenset[int]:
+    """``BLU--C[genmask]``: the letters ``Phi`` depends on, as indices.
+
+    >>> from repro.logic import Vocabulary
+    >>> vocab = Vocabulary.standard(3)
+    >>> sorted(clausal_genmask(ClauseSet.from_strs(vocab, ["A1 | A2"])))
+    [0, 1]
+    """
+    return frozenset(
+        index for index in clause_set.prop_indices if depends_on(clause_set, index)
+    )

@@ -1,0 +1,50 @@
+"""The clause-level ``mask`` operator (Algorithm 2.3.5).
+
+``mask(Phi, P)`` computes, clause by clause, a representation of the state
+obtained by forgetting all information about the letters in ``P``.  The
+algorithm is letter-at-a-time:
+
+    for each A in P:  Phi <- drop({A}, rclosure(Phi, {A}))
+
+i.e. close under resolution on ``A``, then discard every clause mentioning
+``A`` -- the Davis-Putnam variable-elimination step.  The ``rclosure``
+step manufactures exactly the ``A``-free consequences needed so that
+dropping the ``A``-clauses loses nothing *about the other letters*
+(Theorem 2.3.6(a)); what is lost is precisely the information about ``A``.
+
+The paper notes (Theorem 2.3.6(b)) the worst case is
+``O(Length[Phi]^(2^|P|))`` -- masking is inherently hard (it embeds the
+implied-constraint problem for views).  Intermediate subsumption reduction
+(``simplify=True``, the default) is one of the "correctness-preserving
+optimizations" Section 4 anticipates; it does not change the worst case.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.logic.clauses import ClauseSet
+from repro.logic.resolution import drop, rclosure
+
+__all__ = ["clausal_mask"]
+
+
+def clausal_mask(
+    clause_set: ClauseSet, indices: Iterable[int], simplify: bool = True
+) -> ClauseSet:
+    """``BLU--C[mask]``: forget the letters at ``indices``.
+
+    >>> from repro.logic import Vocabulary
+    >>> vocab = Vocabulary.standard(5)
+    >>> phi = ClauseSet.from_strs(
+    ...     vocab, ["~A1 | A3", "A1 | A4", "A4 | A5", "~A1 | ~A2 | ~A5"])
+    >>> print(clausal_mask(phi, [0, 1]))
+    {A3 | A4, A4 | A5}
+    """
+    current = clause_set
+    for index in sorted(set(indices)):
+        closed = rclosure(current, (index,))
+        current = drop(closed, (index,))
+        if simplify:
+            current = current.reduce()
+    return current

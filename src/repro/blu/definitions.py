@@ -1,0 +1,121 @@
+"""Named BLU programs: the paper's ``define`` convention (Section 2.1.3).
+
+"We use the Scheme formalism ``define`` for the assignment of a program
+value to a variable."  A :class:`ProgramEnvironment` is such a namespace:
+it loads ``(define <name> (lambda ...))`` forms from text, so program
+definitions remain inspectable data -- including the five simple-HLU
+definitions of 3.1.2, shipped verbatim as :data:`SIMPLE_HLU_SOURCE`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.blu.parser import program_from_sexpr
+from repro.blu.sexpr import read_sexprs
+from repro.blu.syntax import BluProgram
+from repro.errors import ParseError
+
+__all__ = ["ProgramEnvironment", "SIMPLE_HLU_SOURCE", "default_environment"]
+
+
+SIMPLE_HLU_SOURCE = """
+; Definition 3.1.2 -- the BLU-based semantics for simple-HLU.
+; (HLU-clear's mask parameter is named m1 per the sort convention of
+; 2.1.1(b); HLU-modify is the balanced reconstruction -- see
+; repro/hlu/programs.py.)
+
+(define HLU-assert
+  (lambda (s0 s1) (assert s0 s1)))
+
+(define HLU-clear
+  (lambda (s0 m1) (mask s0 m1)))
+
+(define HLU-insert
+  (lambda (s0 s1)
+    (assert (mask s0 (genmask s1)) s1)))
+
+(define HLU-delete
+  (lambda (s0 s1)
+    (assert (mask s0 (genmask s1))
+            (complement s1))))
+
+(define HLU-modify
+  (lambda (s0 s1 s2)
+    (combine
+      (assert (mask (assert (mask (assert s0 s1) (genmask s1))
+                            (complement s1))
+                    (genmask s2))
+              s2)
+      (assert s0 (complement s1)))))
+
+(define I
+  (lambda (s0) s0))
+"""
+"""The paper's simple-HLU ``define`` forms, as loadable source text."""
+
+
+class ProgramEnvironment:
+    """A namespace of named BLU programs.
+
+    >>> env = default_environment()
+    >>> env["HLU-insert"].parameters
+    ('s0', 's1')
+    """
+
+    def __init__(self):
+        self._programs: dict[str, BluProgram] = {}
+
+    def define(self, name: str, program: BluProgram) -> None:
+        """Bind ``name`` to ``program`` (rebinding is an error: the paper
+        treats definitions as mathematical equations, not assignments)."""
+        if name in self._programs:
+            raise ParseError(f"program {name!r} is already defined")
+        self._programs[name] = program
+
+    def load(self, source: str) -> list[str]:
+        """Parse a sequence of ``(define name (lambda ...))`` forms.
+
+        Returns the names defined, in order.
+        """
+        defined: list[str] = []
+        for expr in read_sexprs(source):
+            if (
+                not isinstance(expr, list)
+                or len(expr) != 3
+                or expr[0] != "define"
+                or not isinstance(expr[1], str)
+            ):
+                raise ParseError(
+                    "expected (define <name> (lambda ...)) forms, got "
+                    f"{expr!r}"
+                )
+            self.define(expr[1], program_from_sexpr(expr[2]))
+            defined.append(expr[1])
+        return defined
+
+    def __getitem__(self, name: str) -> BluProgram:
+        try:
+            return self._programs[name]
+        except KeyError:
+            raise ParseError(f"no program named {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._programs
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._programs)
+
+    def __len__(self) -> int:
+        return len(self._programs)
+
+    def names(self) -> tuple[str, ...]:
+        """Defined names, in definition order."""
+        return tuple(self._programs)
+
+
+def default_environment() -> ProgramEnvironment:
+    """An environment preloaded with the Definition 3.1.2 programs."""
+    environment = ProgramEnvironment()
+    environment.load(SIMPLE_HLU_SOURCE)
+    return environment

@@ -1,0 +1,119 @@
+"""Emulations between BLU implementations (Definitions 2.3.1--2.3.2(b)).
+
+An emulation ``e`` of implementation **B** by implementation **A** is a
+pair of surjections ``e[S] : A[S] -> B[S]`` and ``e[M] : A[M] -> B[M]``
+respecting every operator, e.g.::
+
+    e[S]((A[mask] s m)) = (B[mask] e[S](s) e[M](m))
+
+The canonical emulation ``e_CI`` of ``BLU--I`` by ``BLU--C`` maps a clause
+set to its model set and a letter set to the corresponding simple mask.
+Theorems 2.3.4(a), 2.3.6(a) and 2.3.9(a) assert that the clause-level
+algorithms respect ``e_CI``; :meth:`Emulation.check_operator` and
+:meth:`Emulation.check_term` verify this mechanically (tests and bench E10).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+from typing import Any
+
+from repro.blu.clausal_impl import ClausalImplementation
+from repro.blu.implementation import Implementation, evaluate_term
+from repro.blu.instance_impl import InstanceImplementation
+from repro.blu.syntax import Sort, Term, variable_sort
+from repro.db.instances import WorldSet
+from repro.db.masks import SimpleMask
+
+__all__ = ["Emulation", "canonical_emulation"]
+
+
+class Emulation:
+    """A morphism of BLU algebras: ``low`` emulates ``high``.
+
+    ``state_map`` / ``mask_map`` are ``e[S]`` / ``e[M]``; surjectivity is a
+    mathematical side condition (witnessed for ``e_CI`` by
+    :meth:`WorldSet.to_clause_set`) and is not enforced here.
+    """
+
+    def __init__(
+        self,
+        low: Implementation,
+        high: Implementation,
+        state_map: Callable[[Any], Any],
+        mask_map: Callable[[Any], Any],
+    ):
+        self.low = low
+        self.high = high
+        self.state_map = state_map
+        self.mask_map = mask_map
+
+    def map_value(self, value: Any, sort: Sort) -> Any:
+        """Apply the right component of ``e`` for the sort."""
+        return self.state_map(value) if sort is Sort.S else self.mask_map(value)
+
+    def check_operator(self, operator: str, *low_arguments: Any) -> bool:
+        """Does ``e(op_low(args)) == op_high(e(args))`` for this instance?"""
+        from repro.blu.syntax import SIGNATURE
+
+        argument_sorts, result_sort = SIGNATURE[operator]
+        method = {
+            "assert": "op_assert",
+            "combine": "op_combine",
+            "complement": "op_complement",
+            "mask": "op_mask",
+            "genmask": "op_genmask",
+        }[operator]
+        low_result = getattr(self.low, method)(*low_arguments)
+        high_arguments = [
+            self.map_value(value, sort)
+            for value, sort in zip(low_arguments, argument_sorts)
+        ]
+        high_result = getattr(self.high, method)(*high_arguments)
+        return self._values_equal(
+            self.map_value(low_result, result_sort), high_result, result_sort
+        )
+
+    def check_term(self, term: Term, low_environment: Mapping[str, Any]) -> bool:
+        """Does evaluating ``term`` low then mapping equal mapping the
+        environment then evaluating high?  (Emulations compose over whole
+        terms because they respect each operator.)"""
+        low_result = evaluate_term(self.low, term, low_environment)
+        high_environment = {
+            name: self.map_value(value, variable_sort(name))
+            for name, value in low_environment.items()
+        }
+        high_result = evaluate_term(self.high, term, high_environment)
+        return self._values_equal(
+            self.map_value(low_result, term.sort), high_result, term.sort
+        )
+
+    @staticmethod
+    def _values_equal(left: Any, right: Any, sort: Sort) -> bool:
+        if sort is Sort.M:
+            # Masks may be distinct objects denoting the same relation.
+            from repro.db.masks import Mask, masks_equal
+
+            if isinstance(left, Mask) and isinstance(right, Mask):
+                return masks_equal(left, right)
+        return left == right
+
+
+def canonical_emulation(
+    clausal: ClausalImplementation, instance: InstanceImplementation
+) -> Emulation:
+    """``e_CI`` (Definition 2.3.2(b)): ``Phi |-> Mod[Phi]``,
+    ``P |-> s--mask[P]``."""
+    if clausal.vocabulary != instance.vocabulary:
+        from repro.errors import VocabularyMismatchError
+
+        raise VocabularyMismatchError(
+            "emulation requires both implementations over the same vocabulary"
+        )
+    vocabulary = clausal.vocabulary
+    return Emulation(
+        low=clausal,
+        high=instance,
+        state_map=WorldSet.from_clause_set,
+        mask_map=lambda indices: SimpleMask(vocabulary, indices),
+    )

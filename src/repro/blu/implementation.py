@@ -1,0 +1,125 @@
+"""Implementations (algebras) of the BLU signature, and the term evaluator.
+
+Definition 2.2.1: an implementation of BLU designates concrete domains for
+the sorts **S** and **M** and assigns a function of the right arity to each
+of the five operator symbols.  "Running a BLU program just amounts to
+binding concrete domain values to the argument list of the lambda
+expression and then evaluating the term."
+
+:class:`Implementation` is that notion as an abstract base class;
+:func:`evaluate_term` / :meth:`Implementation.run` are the (eager,
+environment-passing) evaluator.  The two concrete algebras are
+:class:`repro.blu.instance_impl.InstanceImplementation` (``BLU--I``) and
+:class:`repro.blu.clausal_impl.ClausalImplementation` (``BLU--C``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from typing import Any
+
+from repro.blu.syntax import Apply, BluProgram, Sort, Term, Variable
+from repro.errors import EvaluationError
+
+__all__ = ["Implementation", "evaluate_term"]
+
+
+class Implementation:
+    """An algebra for the BLU signature.
+
+    Subclasses implement the five operators plus the two domain-membership
+    predicates used to validate inputs eagerly (so a mis-sorted actual
+    argument fails at the call, not deep inside a term).
+    """
+
+    # --- concrete domains -----------------------------------------------------
+
+    def is_state(self, value: Any) -> bool:
+        """Does ``value`` belong to the concrete domain of sort S?"""
+        raise NotImplementedError
+
+    def is_mask(self, value: Any) -> bool:
+        """Does ``value`` belong to the concrete domain of sort M?"""
+        raise NotImplementedError
+
+    # --- the five operators -----------------------------------------------------
+
+    def op_assert(self, state: Any, other: Any) -> Any:
+        """``(assert s0 s1)``: increase information."""
+        raise NotImplementedError
+
+    def op_combine(self, state: Any, other: Any) -> Any:
+        """``(combine s0 s1)``: merge alternatives."""
+        raise NotImplementedError
+
+    def op_complement(self, state: Any) -> Any:
+        """``(complement s0)``."""
+        raise NotImplementedError
+
+    def op_mask(self, state: Any, mask: Any) -> Any:
+        """``(mask s0 m0)``: decrease information."""
+        raise NotImplementedError
+
+    def op_genmask(self, state: Any) -> Any:
+        """``(genmask s0)``: the mask of everything the state depends on."""
+        raise NotImplementedError
+
+    # --- running programs ---------------------------------------------------------
+
+    def check_sorted(self, value: Any, sort: Sort) -> None:
+        """Raise :class:`EvaluationError` unless ``value`` inhabits ``sort``."""
+        ok = self.is_state(value) if sort is Sort.S else self.is_mask(value)
+        if not ok:
+            raise EvaluationError(
+                f"value {value!r} is not in the concrete domain of sort {sort.value}"
+            )
+
+    def evaluate(self, term: Term, environment: Mapping[str, Any]) -> Any:
+        """Evaluate a term under a variable binding."""
+        return evaluate_term(self, term, environment)
+
+    def run(self, program: BluProgram, *arguments: Any) -> Any:
+        """Bind ``arguments`` to the program's parameters and evaluate.
+
+        The first argument is the system state bound to ``s0``
+        (convention of Definition 2.1.2).
+        """
+        if len(arguments) != len(program.parameters):
+            raise EvaluationError(
+                f"program expects {len(program.parameters)} argument(s) "
+                f"{program.parameters}, got {len(arguments)}"
+            )
+        environment = dict(zip(program.parameters, arguments))
+        for name, value in environment.items():
+            from repro.blu.syntax import variable_sort
+
+            self.check_sorted(value, variable_sort(name))
+        return evaluate_term(self, program.body, environment)
+
+
+_OPERATOR_DISPATCH = {
+    "assert": "op_assert",
+    "combine": "op_combine",
+    "complement": "op_complement",
+    "mask": "op_mask",
+    "genmask": "op_genmask",
+}
+
+
+def evaluate_term(
+    implementation: Implementation, term: Term, environment: Mapping[str, Any]
+) -> Any:
+    """Eagerly evaluate ``term`` in ``implementation`` under ``environment``."""
+    if isinstance(term, Variable):
+        try:
+            return environment[term.name]
+        except KeyError:
+            raise EvaluationError(f"unbound variable {term.name!r}") from None
+    if isinstance(term, Apply):
+        values = [
+            evaluate_term(implementation, argument, environment)
+            for argument in term.arguments
+        ]
+        method = getattr(implementation, _OPERATOR_DISPATCH[term.operator])
+        return method(*values)
+    raise EvaluationError(f"cannot evaluate {term!r}")

@@ -1,0 +1,121 @@
+"""Correctness-preserving optimisation of BLU terms (Section 4).
+
+The paper's prototype "is based substantially upon the BLU definition,
+although a number of correctness-preserving optimizations are employed".
+This module is that layer: a sound rewrite system on BLU terms applied
+before evaluation.  Every rule is justified by the Boolean-algebra /
+closure-operator laws of the instance semantics (Definition 2.2.2) and is
+therefore valid in *any* implementation that emulates it; the property
+tests in ``tests/blu/test_optimizer.py`` verify semantic equivalence of
+original and optimised terms on both implementations.
+
+Rules (x, y arbitrary S-terms; m an M-term):
+
+====  =======================================  ==========================
+ R1   ``(assert x x)`` -> ``x``                 idempotence of meet
+ R2   ``(combine x x)`` -> ``x``                idempotence of join
+ R3   ``(complement (complement x))`` -> ``x``  involution
+ R4   ``(assert x (complement x))``             annihilation: the empty
+      -> ``(assert x (complement x))`` kept     state has no term form, so
+                                                this one is *not* rewritten
+ R5   ``(mask (mask x m) m)`` -> ``(mask x m)`` masking is a closure
+                                                operator (idempotent)
+ R6   ``(assert (assert x y) y)``               absorption of repeated
+      -> ``(assert x y)``                       assertion
+ R7   ``(combine (combine x y) y)``             absorption of repeated
+      -> ``(combine x y)``                      combination
+ R8   ``(assert (mask (assert x y) m) y)``      re-asserting y after a
+      -> no rewrite                             mask is NOT redundant --
+                                                documented non-rule; see
+                                                the test suite
+====  =======================================  ==========================
+
+The non-rules matter as much as the rules: optimisation of update
+programs is treacherous precisely because ``mask`` destroys information
+(R8's pattern is the body of HLU-insert, where the final assert is
+essential).  ``optimize`` is deliberately conservative: only rewrites
+provable from lattice laws are applied.
+"""
+
+from __future__ import annotations
+
+from repro.blu.syntax import Apply, BluProgram, Term, Variable
+
+__all__ = ["optimize_term", "optimize_program", "term_size"]
+
+
+def term_size(term: Term) -> int:
+    """Number of nodes in the term (operators + variables)."""
+    if isinstance(term, Variable):
+        return 1
+    assert isinstance(term, Apply)
+    return 1 + sum(term_size(argument) for argument in term.arguments)
+
+
+def _rewrite(term: Term) -> Term:
+    """One bottom-up rewriting pass."""
+    if isinstance(term, Variable):
+        return term
+    assert isinstance(term, Apply)
+    arguments = tuple(_rewrite(argument) for argument in term.arguments)
+    operator = term.operator
+
+    # R3: (complement (complement x)) -> x
+    if operator == "complement":
+        inner = arguments[0]
+        if isinstance(inner, Apply) and inner.operator == "complement":
+            return inner.arguments[0]
+
+    if operator in ("assert", "combine"):
+        left, right = arguments
+        # R1 / R2: idempotence.
+        if left == right:
+            return left
+        # R6 / R7: (op (op x y) y) -> (op x y); also the symmetric
+        # (op y (op x y)) and left-arg variants.
+        if isinstance(left, Apply) and left.operator == operator and (
+            right in left.arguments
+        ):
+            return left
+        if isinstance(right, Apply) and right.operator == operator and (
+            left in right.arguments
+        ):
+            return right
+
+    if operator == "mask":
+        state, mask = arguments
+        # R5: (mask (mask x m) m) -> (mask x m)  -- closure idempotence.
+        if (
+            isinstance(state, Apply)
+            and state.operator == "mask"
+            and state.arguments[1] == mask
+        ):
+            return state
+
+    return Apply(operator, arguments)
+
+
+def optimize_term(term: Term) -> Term:
+    """Rewrite to a fixpoint (each pass shrinks or preserves the term,
+    so termination is by size)."""
+    current = term
+    while True:
+        rewritten = _rewrite(current)
+        if rewritten == current:
+            return current
+        current = rewritten
+
+
+def optimize_program(program: BluProgram) -> BluProgram:
+    """Optimise a program's body.
+
+    The parameter list is preserved *only if* every parameter still
+    occurs (Definition 2.1.2 requires the parameter list to be exactly
+    the body's variables); if a rewrite eliminated a parameter's last
+    occurrence the original program is returned unoptimised -- dropping a
+    parameter would change the program's calling convention.
+    """
+    body = optimize_term(program.body)
+    if set(body.variables()) != set(program.parameters):
+        return program
+    return BluProgram(program.parameters, body)

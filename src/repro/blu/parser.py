@@ -1,0 +1,54 @@
+"""Parsing s-expressions into sort-checked BLU terms and programs."""
+
+from __future__ import annotations
+
+from repro.blu.sexpr import SExpr, read_sexpr
+from repro.blu.syntax import Apply, BluProgram, Term, Variable
+from repro.errors import ParseError
+
+__all__ = ["term_from_sexpr", "parse_term", "program_from_sexpr", "parse_program"]
+
+
+def term_from_sexpr(expr: SExpr) -> Term:
+    """Build a sort-checked :class:`Term` from an s-expression."""
+    if isinstance(expr, str):
+        return Variable(expr)
+    if not expr:
+        raise ParseError("empty list is not a BLU term")
+    head = expr[0]
+    if not isinstance(head, str):
+        raise ParseError(f"operator position must be an atom, got {head!r}")
+    if head == "lambda":
+        raise ParseError("lambda form is a program, not a term; use parse_program")
+    arguments = tuple(term_from_sexpr(item) for item in expr[1:])
+    return Apply(head, arguments)
+
+
+def parse_term(text: str) -> Term:
+    """Parse a BLU term from text.
+
+    >>> parse_term("(assert (mask s0 (genmask s1)) s1)").sort.value
+    'S'
+    """
+    return term_from_sexpr(read_sexpr(text))
+
+
+def program_from_sexpr(expr: SExpr) -> BluProgram:
+    """Build a :class:`BluProgram` from a ``(lambda <varlist> <body>)`` list."""
+    if not isinstance(expr, list) or len(expr) != 3 or expr[0] != "lambda":
+        raise ParseError("a BLU program must be (lambda (<vars>) <S-term>)")
+    varlist = expr[1]
+    if not isinstance(varlist, list) or not all(isinstance(v, str) for v in varlist):
+        raise ParseError("the lambda parameter list must be a list of atoms")
+    body = term_from_sexpr(expr[2])
+    return BluProgram(tuple(varlist), body)
+
+
+def parse_program(text: str) -> BluProgram:
+    """Parse a BLU program from text.
+
+    >>> p = parse_program("(lambda (s0 s1) (assert s0 s1))")
+    >>> p.parameters
+    ('s0', 's1')
+    """
+    return program_from_sexpr(read_sexpr(text))

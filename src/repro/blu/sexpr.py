@@ -1,0 +1,110 @@
+"""S-expressions: the surface syntax of BLU and HLU (Section 2.1.1(c)).
+
+The paper writes BLU terms "in a Lisp-like list formalism"; the ``where``
+macros of Section 3.2 are *defined* by list surgery (quasiquote, ``cons``,
+``cdr``, ``atomappend``).  To replay those definitions literally we provide
+a minimal s-expression layer: atoms are Python strings, lists are Python
+lists, plus a reader and a printer.
+
+Only what the paper needs is implemented -- symbols and proper lists.
+Quoted data (the state / formula arguments fed to programs) is handled at
+the evaluation layer, not here.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+
+__all__ = ["SExpr", "read_sexpr", "read_sexprs", "write_sexpr", "sexpr_atoms"]
+
+SExpr = str | list
+"""An s-expression: an atom (``str``) or a list of s-expressions."""
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens: list[str] = []
+    i = 0
+    length = len(text)
+    while i < length:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == ";":  # comment to end of line
+            while i < length and text[i] != "\n":
+                i += 1
+            continue
+        if ch in "()":
+            tokens.append(ch)
+            i += 1
+            continue
+        start = i
+        while i < length and not text[i].isspace() and text[i] not in "();":
+            i += 1
+        tokens.append(text[start:i])
+    return tokens
+
+
+def _parse(tokens: list[str], position: int) -> tuple[SExpr, int]:
+    if position >= len(tokens):
+        raise ParseError("unexpected end of input in s-expression")
+    token = tokens[position]
+    if token == "(":
+        items: list[SExpr] = []
+        position += 1
+        while position < len(tokens) and tokens[position] != ")":
+            item, position = _parse(tokens, position)
+            items.append(item)
+        if position >= len(tokens):
+            raise ParseError("missing closing parenthesis")
+        return items, position + 1
+    if token == ")":
+        raise ParseError("unexpected closing parenthesis")
+    return token, position + 1
+
+
+def read_sexpr(text: str) -> SExpr:
+    """Parse exactly one s-expression from ``text``.
+
+    >>> read_sexpr("(assert s0 (complement s1))")
+    ['assert', 's0', ['complement', 's1']]
+    """
+    tokens = _tokenize(text)
+    if not tokens:
+        raise ParseError("empty s-expression", text)
+    expr, position = _parse(tokens, 0)
+    if position != len(tokens):
+        raise ParseError(f"trailing tokens after s-expression: {tokens[position:]}", text)
+    return expr
+
+
+def read_sexprs(text: str) -> list[SExpr]:
+    """Parse a sequence of s-expressions (e.g. a file of ``define`` forms)."""
+    tokens = _tokenize(text)
+    exprs: list[SExpr] = []
+    position = 0
+    while position < len(tokens):
+        expr, position = _parse(tokens, position)
+        exprs.append(expr)
+    return exprs
+
+
+def write_sexpr(expr: SExpr) -> str:
+    """Render an s-expression back to text.
+
+    >>> write_sexpr(['mask', 's0', ['genmask', 's1']])
+    '(mask s0 (genmask s1))'
+    """
+    if isinstance(expr, str):
+        return expr
+    return "(" + " ".join(write_sexpr(item) for item in expr) + ")"
+
+
+def sexpr_atoms(expr: SExpr) -> list[str]:
+    """All atoms in the expression, left to right (with repetitions)."""
+    if isinstance(expr, str):
+        return [expr]
+    out: list[str] = []
+    for item in expr:
+        out.extend(sexpr_atoms(item))
+    return out

@@ -1,0 +1,247 @@
+"""The algebraic signature and abstract syntax of BLU (Definitions 2.1.1--2.1.2).
+
+BLU has two sorts -- **S** (states) and **M** (masks) -- and five operator
+symbols::
+
+    assert     : S x S -> S
+    combine    : S x S -> S
+    complement : S -> S
+    mask       : S x M -> S
+    genmask    : S -> M
+
+Variables are sorted by their leading letter (``s...`` for S, ``m...`` for
+M), matching the paper's ``Var[S] = {s0, s1, ...}`` / ``Var[M] = {m0, ...}``
+convention.  Macro-generated names such as ``s1.0`` (Section 3.2) keep the
+convention, so sorting by first letter remains well defined.
+
+A :class:`BluProgram` is a lambda form ``(lambda (s0 ...) <S-term>)``
+(Definition 2.1.2): the parameter list starts with the system-state
+variable ``s0``, contains exactly the variables occurring in the body, and
+the body is an S-term mentioning ``s0``.
+
+Note on the ``mask`` argument order: Definition 3.1.2 consistently writes
+``(mask s0 (genmask s1))`` -- state first, mask second -- which is the
+order adopted here.  (The isolated term in Example 2.1.3 shows the
+opposite order; we follow the operative HLU definitions.)
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.errors import ArityError, SortError
+
+__all__ = ["Sort", "SIGNATURE", "Term", "Variable", "Apply", "BluProgram", "variable_sort"]
+
+
+class Sort(Enum):
+    """The two BLU sorts."""
+
+    S = "S"
+    M = "M"
+
+
+SIGNATURE: dict[str, tuple[tuple[Sort, ...], Sort]] = {
+    "assert": ((Sort.S, Sort.S), Sort.S),
+    "combine": ((Sort.S, Sort.S), Sort.S),
+    "complement": ((Sort.S,), Sort.S),
+    "mask": ((Sort.S, Sort.M), Sort.S),
+    "genmask": ((Sort.S,), Sort.M),
+}
+"""Operator name -> (argument sorts, result sort), per Definition 2.1.1."""
+
+
+def variable_sort(name: str) -> Sort:
+    """The sort of a variable, from its leading letter."""
+    if name.startswith("s"):
+        return Sort.S
+    if name.startswith("m"):
+        return Sort.M
+    raise SortError(
+        f"variable {name!r} has no sort: names must start with 's' (state) "
+        f"or 'm' (mask)"
+    )
+
+
+class Term:
+    """Abstract base for BLU terms.  Immutable; equality is structural."""
+
+    __slots__ = ()
+
+    @property
+    def sort(self) -> Sort:
+        """The sort of the term."""
+        raise NotImplementedError
+
+    def variables(self) -> tuple[str, ...]:
+        """Variable names occurring in the term, in first-appearance order."""
+        seen: dict[str, None] = {}
+        self._collect_variables(seen)
+        return tuple(seen)
+
+    def _collect_variables(self, seen: dict[str, None]) -> None:
+        raise NotImplementedError
+
+    def to_sexpr(self):
+        """The term as an s-expression."""
+        raise NotImplementedError
+
+    def __str__(self) -> str:
+        from repro.blu.sexpr import write_sexpr
+
+        return write_sexpr(self.to_sexpr())
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({str(self)!r})"
+
+
+class Variable(Term):
+    """A sorted variable occurrence."""
+
+    __slots__ = ("name", "_sort")
+
+    def __init__(self, name: str):
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "_sort", variable_sort(name))
+
+    def __setattr__(self, key, value):
+        raise AttributeError("Variable is immutable")
+
+    @property
+    def sort(self) -> Sort:
+        return self._sort
+
+    def _collect_variables(self, seen: dict[str, None]) -> None:
+        seen.setdefault(self.name, None)
+
+    def to_sexpr(self):
+        return self.name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Variable) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("Variable", self.name))
+
+
+class Apply(Term):
+    """An operator application, sort-checked on construction."""
+
+    __slots__ = ("operator", "arguments", "_sort")
+
+    def __init__(self, operator: str, arguments: tuple[Term, ...]):
+        if operator not in SIGNATURE:
+            raise SortError(f"unknown BLU operator {operator!r}")
+        expected, result = SIGNATURE[operator]
+        arguments = tuple(arguments)
+        if len(arguments) != len(expected):
+            raise ArityError(
+                f"{operator} expects {len(expected)} argument(s), got {len(arguments)}"
+            )
+        for position, (argument, want) in enumerate(zip(arguments, expected)):
+            if not isinstance(argument, Term):
+                raise SortError(f"argument {position} of {operator} is not a Term")
+            if argument.sort is not want:
+                raise SortError(
+                    f"argument {position} of {operator} must have sort "
+                    f"{want.value}, got {argument.sort.value}"
+                )
+        object.__setattr__(self, "operator", operator)
+        object.__setattr__(self, "arguments", arguments)
+        object.__setattr__(self, "_sort", result)
+
+    def __setattr__(self, key, value):
+        raise AttributeError("Apply is immutable")
+
+    @property
+    def sort(self) -> Sort:
+        return self._sort
+
+    def _collect_variables(self, seen: dict[str, None]) -> None:
+        for argument in self.arguments:
+            argument._collect_variables(seen)
+
+    def to_sexpr(self):
+        return [self.operator, *(a.to_sexpr() for a in self.arguments)]
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Apply)
+            and other.operator == self.operator
+            and other.arguments == self.arguments
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Apply", self.operator, self.arguments))
+
+
+class BluProgram:
+    """A BLU program ``(lambda <varlist> <S-term>)`` (Definition 2.1.2).
+
+    Invariants enforced:
+
+    * the parameter list starts with ``s0``;
+    * the parameters are distinct;
+    * the parameters are exactly the variables occurring in the body
+      (which therefore mentions ``s0``);
+    * the body is an S-term.
+    """
+
+    __slots__ = ("_parameters", "_body")
+
+    def __init__(self, parameters: tuple[str, ...], body: Term):
+        parameters = tuple(parameters)
+        if not parameters or parameters[0] != "s0":
+            raise SortError("a BLU program's parameter list must start with s0")
+        if len(set(parameters)) != len(parameters):
+            raise SortError("duplicate parameter names")
+        for name in parameters:
+            variable_sort(name)  # validates the name
+        if body.sort is not Sort.S:
+            raise SortError("a BLU program's body must be an S-term")
+        body_variables = set(body.variables())
+        parameter_set = set(parameters)
+        if body_variables != parameter_set:
+            missing = body_variables - parameter_set
+            unused = parameter_set - body_variables
+            problems = []
+            if missing:
+                problems.append(f"free variables {sorted(missing)}")
+            if unused:
+                problems.append(f"unused parameters {sorted(unused)}")
+            raise SortError(
+                "parameter list must contain exactly the body's variables: "
+                + "; ".join(problems)
+            )
+        self._parameters = parameters
+        self._body = body
+
+    @property
+    def parameters(self) -> tuple[str, ...]:
+        """The formal parameter names, ``s0`` first (the ``arglist``)."""
+        return self._parameters
+
+    @property
+    def body(self) -> Term:
+        """The S-term."""
+        return self._body
+
+    def to_sexpr(self):
+        """The full ``(lambda ...)`` s-expression."""
+        return ["lambda", list(self._parameters), self._body.to_sexpr()]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BluProgram):
+            return NotImplemented
+        return self._parameters == other._parameters and self._body == other._body
+
+    def __hash__(self) -> int:
+        return hash((self._parameters, self._body))
+
+    def __str__(self) -> str:
+        from repro.blu.sexpr import write_sexpr
+
+        return write_sexpr(self.to_sexpr())
+
+    def __repr__(self) -> str:
+        return f"BluProgram({str(self)})"

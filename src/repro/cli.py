@@ -1,0 +1,184 @@
+"""An interactive HLU shell over :class:`IncompleteDatabase`.
+
+Run ``python -m repro.cli --letters 5`` (or the ``repro-hlu`` console
+script) and type HLU programs in the paper's surface syntax::
+
+    hlu> (assert {~A1 | A3, A1 | A4, A4 | A5, ~A1 | ~A2 | ~A5})
+    hlu> (insert {A1 | A2})
+    hlu> ? A1 | A2
+    certain
+    hlu> :state
+
+Commands:
+
+=================  ==================================================
+``(...)``          apply an HLU program (assert/mask/insert/delete/
+                   modify/where)
+``? <formula>``    is the formula certain (true in every world)?
+``?? <formula>``   is the formula possible (true in some world)?
+``:state``         show the state in the backend representation
+``:canonical``     show the state as prime implicates (canonical form)
+``:worlds [n]``    list up to n possible worlds (default 8)
+``:literals``      the literals certain in every world
+``:history``       the updates applied so far
+``:backend <b>``   switch to ``clausal`` or ``instance``
+``:reset``         back to total ignorance
+``:save <file>``   write the session (state + history) to a file
+``:load <file>``   restore a session saved with :save
+``:help``          this text
+``:quit``          leave
+=================  ==================================================
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ReproError
+from repro.hlu.session import IncompleteDatabase
+
+__all__ = ["Shell", "main"]
+
+_HELP = __doc__.split("Commands:", 1)[1]
+
+
+class Shell:
+    """The REPL engine, decoupled from stdin/stdout for testability.
+
+    :meth:`execute` takes one input line and returns the text to print
+    (possibly empty); it never raises on user errors.
+    """
+
+    def __init__(self, letters: int | list[str] = 5, backend: str = "clausal"):
+        self._letters = letters
+        self._db = IncompleteDatabase.over(letters, backend=backend)
+        self.done = False
+
+    @property
+    def db(self) -> IncompleteDatabase:
+        """The live session."""
+        return self._db
+
+    def execute(self, line: str) -> str:
+        line = line.strip()
+        if not line or line.startswith(";"):
+            return ""
+        try:
+            return self._dispatch(line)
+        except ReproError as error:
+            return f"error: {error}"
+
+    def _dispatch(self, line: str) -> str:
+        if line.startswith("??"):
+            possible = self._db.is_possible(line[2:].strip())
+            return "possible" if possible else "impossible"
+        if line.startswith("?"):
+            certain = self._db.is_certain(line[1:].strip())
+            return "certain" if certain else "not certain"
+        if line.startswith(":"):
+            return self._command(line[1:])
+        if line.startswith("("):
+            self._db.run(line)
+            status = "ok" if self._db.is_consistent() else "ok (state is now inconsistent!)"
+            return status
+        return f"error: unrecognised input {line!r} (try :help)"
+
+    def _command(self, command: str) -> str:
+        parts = command.split()
+        name, args = parts[0], parts[1:]
+        if name == "state":
+            return str(self._db.state)
+        if name == "worlds":
+            limit = int(args[0]) if args else 8
+            return self._db.worlds().describe(limit=limit)
+        if name == "literals":
+            literals = sorted(self._db.certain_literals())
+            return ", ".join(literals) if literals else "(none)"
+        if name == "canonical":
+            return str(self._db.canonical_clauses())
+        if name == "history":
+            if not self._db.history:
+                return "(no updates yet)"
+            return "\n".join(
+                f"{i:3}. {update}" for i, update in enumerate(self._db.history, 1)
+            )
+        if name == "backend":
+            if not args:
+                return self._db.backend
+            self._db = self._db.with_backend(args[0])
+            return f"switched to {args[0]}"
+        if name == "reset":
+            self._db = IncompleteDatabase.over(self._letters, backend=self._db.backend)
+            return "reset to total ignorance"
+        if name == "save":
+            if not args:
+                return "error: :save needs a file path"
+            from repro.hlu.persistence import dump_session
+
+            with open(args[0], "w") as handle:
+                handle.write(dump_session(self._db))
+            return f"saved to {args[0]}"
+        if name == "load":
+            if not args:
+                return "error: :load needs a file path"
+            from repro.hlu.persistence import load_session
+
+            with open(args[0]) as handle:
+                self._db = load_session(handle.read())
+            return f"loaded {args[0]} ({len(self._db.history)} update(s) of history)"
+        if name == "help":
+            return _HELP.strip("\n")
+        if name in ("quit", "exit", "q"):
+            self.done = True
+            return ""
+        return f"error: unknown command :{name} (try :help)"
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Console entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro-hlu", description="Interactive HLU shell (Hegner, PODS 1987)"
+    )
+    parser.add_argument(
+        "--letters",
+        default="5",
+        help="vocabulary: a count (standard A1..An) or comma-separated names",
+    )
+    parser.add_argument(
+        "--backend", choices=("clausal", "instance"), default="clausal"
+    )
+    parser.add_argument(
+        "--script", help="run HLU programs from a file, then exit", default=None
+    )
+    options = parser.parse_args(argv)
+
+    letters: int | list[str]
+    if options.letters.isdigit():
+        letters = int(options.letters)
+    else:
+        letters = [name.strip() for name in options.letters.split(",")]
+    shell = Shell(letters, backend=options.backend)
+
+    if options.script:
+        with open(options.script) as handle:
+            for line in handle:
+                output = shell.execute(line)
+                if output:
+                    print(output)
+        return 0
+
+    print("HLU shell -- :help for commands, :quit to leave")
+    while not shell.done:
+        try:
+            line = input("hlu> ")
+        except EOFError:
+            break
+        output = shell.execute(line)
+        if output:
+            print(output)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

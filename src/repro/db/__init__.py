@@ -1,0 +1,76 @@
+"""Propositional database systems (Sections 1.2--1.5 of the paper).
+
+Schemas, complete and incomplete instances (world sets), deterministic and
+nondeterministic database morphisms, the update morphisms ``insert`` /
+``delete`` / ``modify``, literal bases / ``Inset``, and masks.
+"""
+
+from repro.db.instances import WorldSet
+from repro.db.literal_base import (
+    delete_update,
+    insert_update,
+    inset,
+    inset_prop_indices,
+    is_complete,
+    is_irrelevant,
+    is_minimal,
+    literal_base,
+    modify_update,
+)
+from repro.db.masks import (
+    KeyMask,
+    Mask,
+    SimpleMask,
+    as_simple_mask,
+    congruence_of,
+    mask_morphism,
+    masks_equal,
+)
+from repro.db.morphisms import Morphism
+from repro.db.nondeterministic import NondetMorphism
+from repro.db.queries import (
+    derived_letter,
+    projection,
+    renaming,
+    view_dependency_mask,
+)
+from repro.db.schema import DbSchema
+from repro.db.updates import (
+    delete_atom,
+    insert_atom,
+    insert_literals,
+    modify_atom,
+    modify_literals,
+)
+
+__all__ = [
+    "DbSchema",
+    "WorldSet",
+    "Morphism",
+    "NondetMorphism",
+    "insert_atom",
+    "delete_atom",
+    "modify_atom",
+    "insert_literals",
+    "modify_literals",
+    "literal_base",
+    "is_irrelevant",
+    "is_minimal",
+    "is_complete",
+    "inset",
+    "inset_prop_indices",
+    "insert_update",
+    "delete_update",
+    "modify_update",
+    "Mask",
+    "SimpleMask",
+    "KeyMask",
+    "congruence_of",
+    "mask_morphism",
+    "masks_equal",
+    "as_simple_mask",
+    "projection",
+    "renaming",
+    "derived_letter",
+    "view_dependency_mask",
+]

@@ -1,0 +1,257 @@
+"""Incomplete information databases as explicit world sets -- ``IDB[D]``.
+
+A :class:`WorldSet` is an element of ``IDB[D]`` (Definition 1.2.2): a set
+of possible worlds over a vocabulary.  It is the concrete domain of the
+**S** sort in the instance-level implementation ``BLU--I`` (Definition
+2.2.2), so it carries exactly the operations that implementation needs --
+the Boolean algebra (union / intersection / complement), saturation under
+a letter set (masking), and the dependency set (genmask) -- plus the
+``eta`` embeddings of complete databases (Definition 1.2.4).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping
+
+from repro.errors import VocabularyMismatchError
+from repro.logic.clauses import ClauseSet
+from repro.logic.cnf import formula_to_clauses, formulas_to_clauses
+from repro.logic.formula import Formula
+from repro.logic.parser import parse_formula
+from repro.logic.propositions import Vocabulary
+from repro.logic.semantics import (
+    dependency_indices,
+    dependency_names,
+    models_of_clauses,
+    sat_literals,
+)
+from repro.logic.structures import (
+    World,
+    all_worlds,
+    satisfies,
+    saturate_on,
+    world_count,
+    world_from_dict,
+    world_from_true_set,
+    world_str,
+    world_to_dict,
+)
+
+__all__ = ["WorldSet"]
+
+
+class WorldSet:
+    """An immutable set of possible worlds over a vocabulary.
+
+    >>> vocab = Vocabulary.standard(2)
+    >>> ws = WorldSet.from_texts(vocab, ["A1 | A2"])
+    >>> len(ws)
+    3
+    """
+
+    __slots__ = ("_vocabulary", "_worlds", "_hash")
+
+    def __init__(self, vocabulary: Vocabulary, worlds: Iterable[World]):
+        world_set = frozenset(worlds)
+        limit = world_count(vocabulary)
+        for world in world_set:
+            if not 0 <= world < limit:
+                raise ValueError(
+                    f"world {world} out of range for a {len(vocabulary)}-letter vocabulary"
+                )
+        self._vocabulary = vocabulary
+        self._worlds = world_set
+        self._hash = hash((vocabulary, world_set))
+
+    # --- constructors (including the eta embeddings of 1.2.4) ---------------
+
+    @classmethod
+    def empty(cls, vocabulary: Vocabulary) -> "WorldSet":
+        """The empty collection of possible worlds (inconsistent state)."""
+        return cls(vocabulary, ())
+
+    @classmethod
+    def total(cls, vocabulary: Vocabulary) -> "WorldSet":
+        """All of ``DB[D]`` -- the state of complete ignorance."""
+        return cls(vocabulary, all_worlds(vocabulary))
+
+    @classmethod
+    def singleton(cls, vocabulary: Vocabulary, world: World) -> "WorldSet":
+        """``eta``: embed a complete database as a one-world set."""
+        return cls(vocabulary, (world,))
+
+    @classmethod
+    def from_assignment(cls, vocabulary: Vocabulary, assignment: Mapping[str, bool]) -> "WorldSet":
+        """Singleton from an explicit truth assignment."""
+        return cls.singleton(vocabulary, world_from_dict(vocabulary, assignment))
+
+    @classmethod
+    def from_true_set(cls, vocabulary: Vocabulary, true_names: Iterable[str]) -> "WorldSet":
+        """Singleton in which exactly ``true_names`` hold (closed-world reading)."""
+        return cls.singleton(vocabulary, world_from_true_set(vocabulary, true_names))
+
+    @classmethod
+    def from_formulas(cls, vocabulary: Vocabulary, formulas: Iterable[Formula]) -> "WorldSet":
+        """``Mod[Phi]`` as a world set."""
+        clause_set = formulas_to_clauses(formulas, vocabulary)
+        return cls(vocabulary, models_of_clauses(clause_set))
+
+    @classmethod
+    def from_texts(cls, vocabulary: Vocabulary, texts: Iterable[str]) -> "WorldSet":
+        """``Mod`` of parsed formula strings."""
+        return cls.from_formulas(vocabulary, (parse_formula(t) for t in texts))
+
+    @classmethod
+    def from_clause_set(cls, clause_set: ClauseSet) -> "WorldSet":
+        """``Mod[Phi]`` -- the canonical emulation map ``e_CI[S]``."""
+        return cls(clause_set.vocabulary, models_of_clauses(clause_set))
+
+    # --- accessors -----------------------------------------------------------
+
+    @property
+    def vocabulary(self) -> Vocabulary:
+        """The vocabulary the worlds range over."""
+        return self._vocabulary
+
+    @property
+    def worlds(self) -> frozenset[World]:
+        """The underlying frozenset of bit-packed worlds."""
+        return self._worlds
+
+    def __len__(self) -> int:
+        return len(self._worlds)
+
+    def __iter__(self) -> Iterator[World]:
+        return iter(self._worlds)
+
+    def __contains__(self, world: object) -> bool:
+        return world in self._worlds
+
+    def __bool__(self) -> bool:
+        return bool(self._worlds)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, WorldSet):
+            return NotImplemented
+        return self._vocabulary == other._vocabulary and self._worlds == other._worlds
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __le__(self, other: "WorldSet") -> bool:
+        self._check(other)
+        return self._worlds <= other._worlds
+
+    def __repr__(self) -> str:
+        return f"WorldSet({len(self._worlds)} worlds over {len(self._vocabulary)} letters)"
+
+    def describe(self, limit: int = 8) -> str:
+        """Readable listing of (up to ``limit``) worlds."""
+        shown = sorted(self._worlds)[:limit]
+        lines = [world_str(self._vocabulary, w) for w in shown]
+        if len(self._worlds) > limit:
+            lines.append(f"... and {len(self._worlds) - limit} more")
+        return "\n".join(lines) if lines else "(no possible worlds)"
+
+    # --- Boolean algebra (combine / assert / complement of BLU--I) ----------
+
+    def union(self, other: "WorldSet") -> "WorldSet":
+        """``combine``: set union (Definition 2.2.2(b.i))."""
+        self._check(other)
+        return WorldSet(self._vocabulary, self._worlds | other._worlds)
+
+    def intersection(self, other: "WorldSet") -> "WorldSet":
+        """``assert``: set intersection (Definition 2.2.2(b.ii))."""
+        self._check(other)
+        return WorldSet(self._vocabulary, self._worlds & other._worlds)
+
+    def complement(self) -> "WorldSet":
+        """``complement``: relative to all of ``DB[D]`` (Definition 2.2.2(b.iii))."""
+        return WorldSet(
+            self._vocabulary,
+            frozenset(all_worlds(self._vocabulary)) - self._worlds,
+        )
+
+    def difference(self, other: "WorldSet") -> "WorldSet":
+        """``S \\ T`` (used by the ``where`` construct, Section 0)."""
+        self._check(other)
+        return WorldSet(self._vocabulary, self._worlds - other._worlds)
+
+    # --- masking and dependency (mask / genmask of BLU--I) -------------------
+
+    def saturate(self, indices: Iterable[int]) -> "WorldSet":
+        """Close under re-assignment of the given letters (simple-mask action)."""
+        return WorldSet(self._vocabulary, saturate_on(self._worlds, frozenset(indices)))
+
+    def saturate_names(self, names: Iterable[str]) -> "WorldSet":
+        """As :meth:`saturate`, addressing letters by name."""
+        return self.saturate(self._vocabulary.index_of(n) for n in names)
+
+    def dependency_indices(self) -> frozenset[int]:
+        """``Dep[S]`` as vocabulary indices."""
+        return dependency_indices(self._vocabulary, self._worlds)
+
+    def dependency_names(self) -> frozenset[str]:
+        """``Dep[S]`` as proposition names."""
+        return dependency_names(self._vocabulary, self._worlds)
+
+    # --- queries --------------------------------------------------------------
+
+    def satisfies_everywhere(self, formula: Formula) -> bool:
+        """Certain truth: does every possible world satisfy ``formula``?"""
+        return all(satisfies(self._vocabulary, w, formula) for w in self._worlds)
+
+    def satisfies_somewhere(self, formula: Formula) -> bool:
+        """Possible truth: does some possible world satisfy ``formula``?"""
+        return any(satisfies(self._vocabulary, w, formula) for w in self._worlds)
+
+    def certain_literals(self) -> frozenset[str]:
+        """Literals true in every possible world (readable ``Sat`` fragment)."""
+        return sat_literals(self._vocabulary, self._worlds)
+
+    def restricted_to(self, formula: Formula) -> "WorldSet":
+        """Worlds satisfying ``formula`` (``S`` intersect ``Mod[{formula}]``)."""
+        return WorldSet(
+            self._vocabulary,
+            (w for w in self._worlds if satisfies(self._vocabulary, w, formula)),
+        )
+
+    def legal(self, schema) -> "WorldSet":
+        """Filter to legal worlds of a :class:`repro.db.schema.DbSchema`.
+
+        This is the paper's post-update integrity enforcement: "update each
+        possible world individually, and then those which are not legal are
+        eliminated" (discussion after Definition 1.3.3).
+        """
+        if schema.vocabulary != self._vocabulary:
+            raise VocabularyMismatchError("schema vocabulary differs from world set")
+        return WorldSet(self._vocabulary, self._worlds & schema.legal_worlds())
+
+    def assignments(self) -> Iterator[dict[str, bool]]:
+        """Iterate the worlds as explicit truth assignments."""
+        for world in sorted(self._worlds):
+            yield world_to_dict(self._vocabulary, world)
+
+    def to_clause_set(self) -> ClauseSet:
+        """A clause set whose models are exactly these worlds.
+
+        Constructed by CNF-converting the DNF "one conjunct per world";
+        small vocabularies only.  (The canonical inverse of ``e_CI[S]`` is
+        not unique; this picks a subsumption-reduced representative.)
+        """
+        from repro.logic.formula import FALSE, conj, disj, var
+
+        if not self._worlds:
+            return ClauseSet.contradiction(self._vocabulary)
+        world_formulas = []
+        for world in sorted(self._worlds):
+            literals = [
+                var(name) if world >> i & 1 else ~var(name)
+                for i, name in enumerate(self._vocabulary.names)
+            ]
+            world_formulas.append(conj(literals))
+        return formula_to_clauses(disj(world_formulas), self._vocabulary).reduce()
+
+    def _check(self, other: "WorldSet") -> None:
+        if self._vocabulary != other._vocabulary:
+            raise VocabularyMismatchError("world sets are over different vocabularies")

@@ -1,0 +1,219 @@
+"""Literal bases and the literal insertion set ``Inset`` (Definition 1.4.4),
+plus the nondeterministically-specified updates built on it (Definition 1.4.5).
+
+``Inset[Phi]`` tells us how to interpret an incompletely specified update
+such as ``insert[{A1 | A2}]``: it is the set of *complete* literal bases of
+``Phi``, and the update acts as the nondeterministic morphism whose
+components deterministically insert each of them.  For ``{A1 | A2}`` that
+is exactly the three assignments of ``(A1, A2)`` making the disjunction
+true (Example 1.4.6).
+
+On "complete": the wording of 1.4.4(c) in the surviving text is garbled
+(taken literally, no set could be complete, since consistent supersets of
+an entailing set still entail).  We adopt the operational reading forced
+by Example 1.4.6, Remark 1.4.7 and Theorem 1.5.4:
+
+    ``Inset[Phi]`` = the total assignments, *over exactly the letters Phi
+    semantically depends on*, that entail ``Phi``.
+
+Consequences pinned by tests: ``Inset[{A1 | A2}]`` is the paper's three
+sets; a tautologous ``Phi`` yields ``{ {} }`` so insertion is the identity
+(Remark 1.4.7); ``Prop[Inset[Phi]] = Dep[Mod[Phi]]`` which makes Theorem
+1.5.4 hold.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable, Iterator
+
+from repro.db.nondeterministic import NondetMorphism
+from repro.db.updates import insert_literals, modify_literals
+from repro.logic.clauses import Literal, literals_consistent, make_literal
+from repro.logic.cnf import formulas_to_clauses
+from repro.logic.formula import Formula, Not, conj
+from repro.logic.parser import parse_formula
+from repro.logic.propositions import Vocabulary
+from repro.logic.semantics import dependency_indices, models_of_clauses
+
+__all__ = [
+    "literal_base",
+    "is_irrelevant",
+    "is_minimal",
+    "is_complete",
+    "inset",
+    "inset_prop_indices",
+    "insert_update",
+    "delete_update",
+    "modify_update",
+]
+
+
+def _as_formulas(formulas: Iterable[Formula | str]) -> tuple[Formula, ...]:
+    return tuple(
+        parse_formula(f) if isinstance(f, str) else f for f in formulas
+    )
+
+
+def _mod(vocabulary: Vocabulary, formulas: tuple[Formula, ...]) -> frozenset[int]:
+    return models_of_clauses(formulas_to_clauses(formulas, vocabulary))
+
+
+def _literal_set_entails(
+    vocabulary: Vocabulary, literals: frozenset[Literal], models: frozenset[int]
+) -> bool:
+    """Does the literal set semantically entail the formula set with the
+    given model set?  (Every world satisfying the literals is a model.)"""
+    from repro.logic.clauses import literals_to_world_constraint
+
+    care, value = literals_to_world_constraint(literals)
+    free_indices = [i for i in range(len(vocabulary)) if not care >> i & 1]
+    for bits in itertools.product((0, 1), repeat=len(free_indices)):
+        world = value
+        for bit, index in zip(bits, free_indices):
+            if bit:
+                world |= 1 << index
+        if world not in models:
+            return False
+    return True
+
+
+def literal_base(
+    vocabulary: Vocabulary, formulas: Iterable[Formula | str]
+) -> Iterator[frozenset[Literal]]:
+    """Enumerate ``LB[Phi]``: consistent literal sets entailing ``Phi``.
+
+    Exhaustive (3^n candidate sets) -- intended for tests and tiny
+    vocabularies, exactly like the paper's definitional level.
+    """
+    formula_tuple = _as_formulas(formulas)
+    models = _mod(vocabulary, formula_tuple)
+    n = len(vocabulary)
+    for signs in itertools.product((0, 1, None), repeat=n):
+        literals = frozenset(
+            make_literal(i, positive=bool(sign))
+            for i, sign in enumerate(signs)
+            if sign is not None
+        )
+        if _literal_set_entails(vocabulary, literals, models):
+            yield literals
+
+
+def is_irrelevant(
+    vocabulary: Vocabulary,
+    literal: Literal,
+    formulas: Iterable[Formula | str],
+) -> bool:
+    """Definition 1.4.4(b): ``l`` is irrelevant when removing it (or its
+    negation) from any literal base member leaves a literal base member."""
+    members = set(literal_base(vocabulary, formulas))
+    for member in members:
+        if literal in member:
+            if member - {literal} not in members:
+                return False
+            if member - {-literal} not in members:
+                return False
+    return True
+
+
+def is_minimal(
+    vocabulary: Vocabulary,
+    literals: frozenset[Literal],
+    formulas: Iterable[Formula | str],
+) -> bool:
+    """Definition 1.4.4(b): a member of ``LB`` with no irrelevant literal."""
+    members = set(literal_base(vocabulary, formulas))
+    if literals not in members:
+        return False
+    return not any(is_irrelevant(vocabulary, lit, formulas) for lit in literals)
+
+
+def inset_prop_indices(
+    vocabulary: Vocabulary, formulas: Iterable[Formula | str]
+) -> frozenset[int]:
+    """``Prop[Inset[Phi]]`` -- equal to ``Dep[Mod[Phi]]`` by construction."""
+    formula_tuple = _as_formulas(formulas)
+    return dependency_indices(vocabulary, _mod(vocabulary, formula_tuple))
+
+
+def inset(
+    vocabulary: Vocabulary, formulas: Iterable[Formula | str]
+) -> frozenset[frozenset[Literal]]:
+    """``Inset[Phi]``: total entailing assignments over the dependency letters.
+
+    >>> vocab = Vocabulary.standard(2)
+    >>> sorted(sorted(s) for s in inset(vocab, ["A1 | A2"]))
+    [[-2, 1], [-1, 2], [1, 2]]
+    """
+    formula_tuple = _as_formulas(formulas)
+    models = _mod(vocabulary, formula_tuple)
+    dep = sorted(dependency_indices(vocabulary, models))
+    result: set[frozenset[Literal]] = set()
+    for signs in itertools.product((False, True), repeat=len(dep)):
+        literals = frozenset(
+            make_literal(index, positive=sign) for index, sign in zip(dep, signs)
+        )
+        if _literal_set_entails(vocabulary, literals, models):
+            result.add(literals)
+    return frozenset(result)
+
+
+def is_complete(
+    vocabulary: Vocabulary,
+    literals: frozenset[Literal],
+    formulas: Iterable[Formula | str],
+) -> bool:
+    """Membership in ``Inset[Phi]`` (operational reading of 1.4.4(c))."""
+    if not literals_consistent(literals):
+        return False
+    return literals in inset(vocabulary, formulas)
+
+
+# ---------------------------------------------------------------------------
+# Nondeterministically specified updates (Definition 1.4.5)
+# ---------------------------------------------------------------------------
+
+def insert_update(
+    vocabulary: Vocabulary, formulas: Iterable[Formula | str]
+) -> NondetMorphism:
+    """``insert[Phi]``: one deterministic insertion per member of ``Inset``.
+
+    An unsatisfiable ``Phi`` has empty ``Inset``, giving the componentless
+    morphism (every state maps to the empty world set); a tautologous
+    ``Phi`` gives the identity (Remark 1.4.7).
+    """
+    components = [
+        insert_literals(vocabulary, literals)
+        for literals in sorted(inset(vocabulary, formulas), key=sorted)
+    ]
+    if not components:
+        return NondetMorphism.empty(vocabulary)
+    return NondetMorphism(components)
+
+
+def delete_update(
+    vocabulary: Vocabulary, formulas: Iterable[Formula | str]
+) -> NondetMorphism:
+    """``delete[Phi]`` (Definition 1.4.5(b)): insert the negated conjunction."""
+    formula_tuple = _as_formulas(formulas)
+    negated = Not(conj(formula_tuple))
+    return insert_update(vocabulary, [negated])
+
+
+def modify_update(
+    vocabulary: Vocabulary,
+    old_formulas: Iterable[Formula | str],
+    new_formulas: Iterable[Formula | str],
+) -> NondetMorphism:
+    """``modify[Phi1, Phi2]`` (Definition 1.4.5(c)): all pairings of
+    complete bases of the pre- and postconditions."""
+    old_sets = sorted(inset(vocabulary, old_formulas), key=sorted)
+    new_sets = sorted(inset(vocabulary, new_formulas), key=sorted)
+    components = [
+        modify_literals(vocabulary, old, new)
+        for old in old_sets
+        for new in new_sets
+    ]
+    if not components:
+        return NondetMorphism.empty(vocabulary)
+    return NondetMorphism(components)

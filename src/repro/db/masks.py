@@ -1,0 +1,221 @@
+"""Masks and mask congruences (Section 1.5).
+
+A *mask* is an equivalence relation on ``DB[D]`` describing which
+distinctions between states an operation forgets.  The two concrete kinds:
+
+* :class:`SimpleMask` -- "agreement off a letter set ``P``", induced by the
+  symbolwise morphism ``mask[P]`` of Definition 1.5.3.  Simple masks are
+  the concrete domain of the **M** sort in ``BLU--I``.
+* :func:`congruence_of` -- ``Congruence[F]`` of Definition 1.5.1: two
+  states are equivalent when every component of the nondeterministic
+  morphism ``F`` treats them identically.
+
+Theorem 1.5.4 (an insertion masks exactly the letters its formula depends
+on) is checked, not assumed: see ``tests/db/test_masks.py`` and bench E9.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Hashable, Iterable
+
+from repro.db.instances import WorldSet
+from repro.db.nondeterministic import NondetMorphism
+from repro.errors import VocabularyMismatchError
+from repro.logic.propositions import Vocabulary
+from repro.logic.structures import World, all_worlds, flip_bit
+
+__all__ = [
+    "Mask",
+    "SimpleMask",
+    "KeyMask",
+    "congruence_of",
+    "mask_morphism",
+    "masks_equal",
+    "as_simple_mask",
+]
+
+
+class Mask:
+    """An equivalence relation on the worlds of a vocabulary.
+
+    Subclasses provide :meth:`key`, a canonical-form function; two worlds
+    are equivalent iff their keys coincide.  All derived notions
+    (saturation, partition, comparison) come from the key.
+    """
+
+    __slots__ = ("_vocabulary",)
+
+    def __init__(self, vocabulary: Vocabulary):
+        self._vocabulary = vocabulary
+
+    @property
+    def vocabulary(self) -> Vocabulary:
+        """The vocabulary whose worlds are being related."""
+        return self._vocabulary
+
+    def key(self, world: World) -> Hashable:
+        """A canonical value equal for exactly the equivalent worlds."""
+        raise NotImplementedError
+
+    def equivalent(self, left: World, right: World) -> bool:
+        """Are the two worlds related?"""
+        return self.key(left) == self.key(right)
+
+    def saturate(self, worlds: WorldSet) -> WorldSet:
+        """``mask`` at the instance level (Definition 2.2.2(b.iv)):
+        ``{y | exists x in X with R(x, y)}`` -- the union of all
+        equivalence classes that meet ``worlds``."""
+        if worlds.vocabulary != self._vocabulary:
+            raise VocabularyMismatchError("world set vocabulary differs from mask")
+        hit_keys = {self.key(w) for w in worlds}
+        return WorldSet(
+            self._vocabulary,
+            (w for w in all_worlds(self._vocabulary) if self.key(w) in hit_keys),
+        )
+
+    def partition(self) -> frozenset[frozenset[World]]:
+        """The full partition of ``DB[D]`` (exponential; small vocabularies)."""
+        blocks: dict[Hashable, set[World]] = {}
+        for world in all_worlds(self._vocabulary):
+            blocks.setdefault(self.key(world), set()).add(world)
+        return frozenset(frozenset(block) for block in blocks.values())
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(over {len(self._vocabulary)} letters)"
+
+
+class SimpleMask(Mask):
+    """``s--mask[P]``: worlds are equivalent iff they agree outside ``P``.
+
+    >>> vocab = Vocabulary.standard(3)
+    >>> m = SimpleMask.of_names(vocab, ["A1"])
+    >>> m.equivalent(0b000, 0b001)
+    True
+    >>> m.equivalent(0b000, 0b010)
+    False
+    """
+
+    __slots__ = ("_indices", "_clear_mask")
+
+    def __init__(self, vocabulary: Vocabulary, indices: Iterable[int]):
+        super().__init__(vocabulary)
+        index_set = frozenset(indices)
+        for index in index_set:
+            vocabulary.name_of(index)  # validate
+        self._indices = index_set
+        clear = 0
+        for index in index_set:
+            clear |= 1 << index
+        self._clear_mask = clear
+
+    @classmethod
+    def of_names(cls, vocabulary: Vocabulary, names: Iterable[str]) -> "SimpleMask":
+        """Build from proposition names instead of indices."""
+        return cls(vocabulary, (vocabulary.index_of(n) for n in names))
+
+    @property
+    def indices(self) -> frozenset[int]:
+        """The masked letter positions ``P``."""
+        return self._indices
+
+    @property
+    def names(self) -> frozenset[str]:
+        """The masked letter names."""
+        return frozenset(self._vocabulary.name_of(i) for i in self._indices)
+
+    def key(self, world: World) -> Hashable:
+        return world & ~self._clear_mask
+
+    def saturate(self, worlds: WorldSet) -> WorldSet:
+        # Specialised fast path: bit-level saturation instead of a full scan.
+        if worlds.vocabulary != self._vocabulary:
+            raise VocabularyMismatchError("world set vocabulary differs from mask")
+        return worlds.saturate(self._indices)
+
+    def union(self, other: "SimpleMask") -> "SimpleMask":
+        """Join of simple masks (mask more letters = coarser relation)."""
+        if other._vocabulary != self._vocabulary:
+            raise VocabularyMismatchError("masks are over different vocabularies")
+        return SimpleMask(self._vocabulary, self._indices | other._indices)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SimpleMask):
+            return NotImplemented
+        return self._vocabulary == other._vocabulary and self._indices == other._indices
+
+    def __hash__(self) -> int:
+        return hash((self._vocabulary, self._indices))
+
+    def __repr__(self) -> str:
+        names = ", ".join(sorted(self.names)) or "-"
+        return f"SimpleMask({names})"
+
+
+class KeyMask(Mask):
+    """A mask given by an arbitrary key function (general congruences)."""
+
+    __slots__ = ("_key_function",)
+
+    def __init__(self, vocabulary: Vocabulary, key_function: Callable[[World], Hashable]):
+        super().__init__(vocabulary)
+        self._key_function = key_function
+
+    def key(self, world: World) -> Hashable:
+        return self._key_function(world)
+
+
+def congruence_of(morphism: NondetMorphism) -> Mask:
+    """``Congruence[F]`` (Definition 1.5.1): states are equivalent when every
+    component maps them to the same image."""
+    components = morphism.components
+
+    def key(world: World) -> Hashable:
+        return tuple(component.apply_world(world) for component in components)
+
+    return KeyMask(morphism.source, key)
+
+
+def mask_morphism(vocabulary: Vocabulary, indices: Iterable[int]) -> NondetMorphism:
+    """The symbolwise nondeterministic morphism ``mask[P]`` (Definition 1.5.3(a)).
+
+    Each component assigns an arbitrary constant to every masked letter and
+    the identity elsewhere -- ``2^|P|`` deterministic components.
+    """
+    import itertools
+
+    from repro.db.morphisms import Morphism
+    from repro.logic.formula import FALSE, TRUE
+
+    index_list = sorted(set(indices))
+    names = [vocabulary.name_of(i) for i in index_list]
+    components = []
+    for values in itertools.product((FALSE, TRUE), repeat=len(names)):
+        components.append(
+            Morphism(vocabulary, vocabulary, dict(zip(names, values)))
+        )
+    return NondetMorphism(components)
+
+
+def masks_equal(left: Mask, right: Mask) -> bool:
+    """Extensional equality of masks, by comparing induced partitions."""
+    if left.vocabulary != right.vocabulary:
+        return False
+    return left.partition() == right.partition()
+
+
+def as_simple_mask(mask: Mask) -> SimpleMask | None:
+    """Recognise a mask as simple, returning the witness or ``None``.
+
+    ``P`` must be ``{A | every world is equivalent to its A-flip}`` and the
+    induced simple mask must reproduce the partition exactly.
+    """
+    vocabulary = mask.vocabulary
+    candidate_indices = set()
+    worlds = list(all_worlds(vocabulary))
+    for index in range(len(vocabulary)):
+        if all(mask.equivalent(w, flip_bit(w, index)) for w in worlds):
+            candidate_indices.add(index)
+    candidate = SimpleMask(vocabulary, candidate_indices)
+    if masks_equal(candidate, mask):
+        return candidate
+    return None

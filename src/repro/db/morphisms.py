@@ -1,0 +1,174 @@
+"""Deterministic database morphisms (Definition 1.3.1).
+
+A morphism ``f : D1 -> D2`` is an assignment ``Prop[D2] -> WF[D1]`` --
+note the direction: it tells each *target* letter which *source* formula
+computes it.  The induced structure map ``f' : DB[D1] -> DB[D2]`` sends a
+source world ``s`` to the target world ``A |-> s-bar(f(A))``, and extends
+pointwise to incomplete information databases.
+
+Composition is substitution (Fact 1.3.2: ``(g o f)' = g' o f'`` -- tested,
+not assumed).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.errors import SchemaError, VocabularyMismatchError
+from repro.db.instances import WorldSet
+from repro.logic.formula import Formula, Var
+from repro.logic.propositions import Vocabulary
+from repro.logic.structures import World, satisfies
+
+__all__ = ["Morphism"]
+
+
+class Morphism:
+    """A deterministic morphism ``f : source -> target``.
+
+    ``assignment`` maps every *target* letter name to a formula over the
+    *source* vocabulary.  Letters omitted from the mapping default to
+    themselves (handy for the single-letter updates of Definition 1.3.3,
+    which leave almost everything unchanged) -- but only when the letter
+    also exists in the source vocabulary.
+    """
+
+    __slots__ = ("_source", "_target", "_assignment")
+
+    def __init__(
+        self,
+        source: Vocabulary,
+        target: Vocabulary,
+        assignment: Mapping[str, Formula],
+    ):
+        full: dict[str, Formula] = {}
+        for name in target.names:
+            if name in assignment:
+                image = assignment[name]
+                unknown = image.props() - set(source.names)
+                if unknown:
+                    raise SchemaError(
+                        f"image of {name!r} mentions letters {sorted(unknown)} "
+                        f"outside the source vocabulary"
+                    )
+                full[name] = image
+            else:
+                if name not in source:
+                    raise SchemaError(
+                        f"no image given for target letter {name!r}, which is "
+                        f"not a source letter either"
+                    )
+                full[name] = Var(name)
+        extra = set(assignment) - set(target.names)
+        if extra:
+            raise SchemaError(f"assignment mentions non-target letters {sorted(extra)}")
+        self._source = source
+        self._target = target
+        self._assignment = full
+
+    @classmethod
+    def identity(cls, vocabulary: Vocabulary) -> "Morphism":
+        """The identity morphism on a schema."""
+        return cls(vocabulary, vocabulary, {})
+
+    @property
+    def source(self) -> Vocabulary:
+        """``D1`` (worlds flow *from* here under ``f'``)."""
+        return self._source
+
+    @property
+    def target(self) -> Vocabulary:
+        """``D2``."""
+        return self._target
+
+    def image_of(self, target_name: str) -> Formula:
+        """``f(A)`` for a target letter ``A``."""
+        return self._assignment[target_name]
+
+    # --- the bar extension (formulas) and prime extension (structures) ------
+
+    def bar(self, formula: Formula) -> Formula:
+        """``f-bar : WF[D2] -> WF[D1]`` by substitution."""
+        unknown = formula.props() - set(self._target.names)
+        if unknown:
+            raise VocabularyMismatchError(
+                f"formula mentions letters {sorted(unknown)} outside the target"
+            )
+        return formula.substitute(self._assignment)
+
+    def apply_world(self, world: World) -> World:
+        """``f'(s)``: the target world ``A |-> s-bar(f(A))``."""
+        result = 0
+        for index, name in enumerate(self._target.names):
+            if satisfies(self._source, world, self._assignment[name]):
+                result |= 1 << index
+        return result
+
+    def apply_world_set(self, worlds: WorldSet) -> WorldSet:
+        """Pointwise extension to incomplete information databases."""
+        if worlds.vocabulary != self._source:
+            raise VocabularyMismatchError("world set is not over the source vocabulary")
+        return WorldSet(self._target, (self.apply_world(w) for w in worlds))
+
+    # --- composition ----------------------------------------------------------
+
+    def then(self, g: "Morphism") -> "Morphism":
+        """``g o f`` where ``self = f : D1 -> D2`` and ``g : D2 -> D3``.
+
+        The result maps each ``D3`` letter ``A`` to ``f-bar(g(A))``
+        (Definition 1.3.1); worlds flow ``D1 -> D2 -> D3``.
+        """
+        if g._source != self._target:
+            raise VocabularyMismatchError(
+                "cannot compose: g's source differs from f's target"
+            )
+        composed = {
+            name: self.bar(g._assignment[name]) for name in g._target.names
+        }
+        return Morphism(self._source, g._target, composed)
+
+    # --- correctness (Section 1.3) ---------------------------------------------
+
+    def is_correct(self, source_schema, target_schema) -> bool:
+        """Does ``f'`` map legal databases to legal databases?
+
+        The paper's notion of a *correct* morphism (discussion around
+        1.3.3): exhaustively checked over ``LDB[D1]``.
+        """
+        if source_schema.vocabulary != self._source:
+            raise VocabularyMismatchError("source schema vocabulary mismatch")
+        if target_schema.vocabulary != self._target:
+            raise VocabularyMismatchError("target schema vocabulary mismatch")
+        return all(
+            target_schema.is_legal(self.apply_world(world))
+            for world in source_schema.legal_worlds()
+        )
+
+    # --- identity / comparison --------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Morphism):
+            return NotImplemented
+        return (
+            self._source == other._source
+            and self._target == other._target
+            and self._assignment == other._assignment
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (
+                self._source,
+                self._target,
+                tuple((name, self._assignment[name]) for name in self._target.names),
+            )
+        )
+
+    def __repr__(self) -> str:
+        changed = {
+            name: image
+            for name, image in self._assignment.items()
+            if image != Var(name)
+        }
+        inner = ", ".join(f"{k} <- {v}" for k, v in sorted(changed.items()))
+        return f"Morphism({inner or 'identity'})"

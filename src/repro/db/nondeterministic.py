@@ -1,0 +1,142 @@
+"""Nondeterministic database morphisms (Section 1.4).
+
+A nondeterministic morphism ``F : D1 o-> D2`` is a *set* of deterministic
+morphisms (Definition 1.4.1).  Applied to a single world it yields the set
+of images under every component (``F'``); applied to an incomplete
+information database it yields the union over all worlds (``F-bar``).
+
+Composition is componentwise (Definition 1.4.1(b)); Fact 1.4.2
+(``(G o F)' = G' o F'``) is verified by the test suite rather than assumed.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.db.instances import WorldSet
+from repro.db.morphisms import Morphism
+from repro.errors import VocabularyMismatchError
+from repro.logic.propositions import Vocabulary
+from repro.logic.structures import World
+
+__all__ = ["NondetMorphism"]
+
+
+class NondetMorphism:
+    """A set of deterministic morphisms acting in parallel.
+
+    Components are stored deduplicated but in a deterministic order (the
+    order of first appearance), so congruence computations and repr output
+    are reproducible.
+    """
+
+    __slots__ = ("_source", "_target", "_components")
+
+    def __init__(self, components: Iterable[Morphism]):
+        seen: dict[Morphism, None] = {}
+        for component in components:
+            seen.setdefault(component, None)
+        component_tuple = tuple(seen)
+        if not component_tuple:
+            raise VocabularyMismatchError(
+                "a nondeterministic morphism needs at least one component "
+                "(use NondetMorphism.empty(vocabulary) for the empty update)"
+            )
+        source = component_tuple[0].source
+        target = component_tuple[0].target
+        for component in component_tuple[1:]:
+            if component.source != source or component.target != target:
+                raise VocabularyMismatchError(
+                    "all components must share source and target vocabularies"
+                )
+        self._source = source
+        self._target = target
+        self._components = component_tuple
+
+    # The paper allows Inset[Phi] to be empty (inserting an unsatisfiable
+    # formula); the induced update maps every state to the empty world set.
+    # That case cannot carry its vocabularies in components, so it gets a
+    # dedicated constructor.
+
+    @classmethod
+    def empty(cls, vocabulary: Vocabulary) -> "NondetMorphism":
+        """The componentless morphism ``D o-> D`` (maps everything to {})."""
+        instance = object.__new__(cls)
+        instance._source = vocabulary
+        instance._target = vocabulary
+        instance._components = ()
+        return instance
+
+    @classmethod
+    def of(cls, morphism: Morphism) -> "NondetMorphism":
+        """Embed a deterministic morphism (Definition 1.4.3)."""
+        return cls((morphism,))
+
+    @property
+    def source(self) -> Vocabulary:
+        """``D1``."""
+        return self._source
+
+    @property
+    def target(self) -> Vocabulary:
+        """``D2``."""
+        return self._target
+
+    @property
+    def components(self) -> tuple[Morphism, ...]:
+        """The deterministic components, in deterministic order."""
+        return self._components
+
+    def is_deterministic(self) -> bool:
+        """True iff there is exactly one component."""
+        return len(self._components) == 1
+
+    # --- action on worlds and world sets -------------------------------------
+
+    def apply_world(self, world: World) -> WorldSet:
+        """``F'(s)``: the set of images of ``s`` under every component."""
+        return WorldSet(
+            self._target, (component.apply_world(world) for component in self._components)
+        )
+
+    def apply_world_set(self, worlds: WorldSet) -> WorldSet:
+        """``F-bar(S)``: union of ``F'(s)`` over the possible worlds ``s``."""
+        if worlds.vocabulary != self._source:
+            raise VocabularyMismatchError("world set is not over the source vocabulary")
+        images: set[World] = set()
+        for world in worlds:
+            for component in self._components:
+                images.add(component.apply_world(world))
+        return WorldSet(self._target, images)
+
+    # --- composition -----------------------------------------------------------
+
+    def then(self, g: "NondetMorphism") -> "NondetMorphism":
+        """``G o F`` with ``self = F`` (Definition 1.4.1(b)): all pairings."""
+        if g._source != self._target:
+            raise VocabularyMismatchError(
+                "cannot compose: G's source differs from F's target"
+            )
+        if not self._components or not g._components:
+            return NondetMorphism.empty(self._source)
+        return NondetMorphism(
+            f.then(gg) for f in self._components for gg in g._components
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, NondetMorphism):
+            return NotImplemented
+        return (
+            self._source == other._source
+            and self._target == other._target
+            and frozenset(self._components) == frozenset(other._components)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._source, self._target, frozenset(self._components)))
+
+    def __len__(self) -> int:
+        return len(self._components)
+
+    def __repr__(self) -> str:
+        return f"NondetMorphism({len(self._components)} component(s))"

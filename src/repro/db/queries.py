@@ -1,0 +1,95 @@
+"""Queries as database morphisms (Definition 1.3.1's other reading).
+
+The paper notes that regarding database mappings as interpretations
+between theories "has been implicit in the definition of queries at least
+since the early work of Codd": a query over ``D1`` producing a ``D2``
+result *is* a morphism ``D1 -> D2``, and its extension to incomplete
+information databases answers the query under every possible world at
+once.  This module provides the standard constructors:
+
+* :func:`projection` -- keep a subset of the letters (a view);
+* :func:`renaming` -- a bijective re-lettering;
+* :func:`derived_letter` -- a view whose letters are *defined* formulas
+  (the general interpretation-between-theories case);
+* :func:`view_dependency_mask` -- the mask congruence a view induces,
+  connecting queries back to Section 1.5 ("if f is an update operation,
+  it is critical to identify the information which it masks" -- the same
+  machinery identifies what a *query* cannot see).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.db.masks import Mask, congruence_of
+from repro.db.morphisms import Morphism
+from repro.db.nondeterministic import NondetMorphism
+from repro.errors import SchemaError
+from repro.logic.formula import Formula, Var
+from repro.logic.propositions import Vocabulary
+
+__all__ = ["projection", "renaming", "derived_letter", "view_dependency_mask"]
+
+
+def projection(source: Vocabulary, kept_names) -> Morphism:
+    """The view keeping only ``kept_names`` (in source order).
+
+    ``f'`` drops the other letters from every world; on an incomplete
+    database it computes the possible answer set of the projection query.
+    """
+    kept = [name for name in source.names if name in set(kept_names)]
+    missing = set(kept_names) - set(kept)
+    if missing:
+        raise SchemaError(f"cannot project onto unknown letters {sorted(missing)}")
+    target = Vocabulary(kept)
+    return Morphism(source, target, {name: Var(name) for name in kept})
+
+
+def renaming(source: Vocabulary, mapping: Mapping[str, str]) -> Morphism:
+    """A bijective re-lettering: ``mapping`` sends source names to target
+    names (unmentioned letters keep their names)."""
+    values = list(mapping.values())
+    if len(set(values)) != len(values):
+        raise SchemaError("renaming must be injective")
+    target_names = [mapping.get(name, name) for name in source.names]
+    target = Vocabulary(target_names)
+    assignment = {
+        new: Var(old) for old, new in zip(source.names, target_names)
+    }
+    return Morphism(source, target, assignment)
+
+
+def derived_letter(
+    source: Vocabulary, definitions: Mapping[str, Formula | str]
+) -> Morphism:
+    """A view whose target letters are defined formulas over the source.
+
+    >>> from repro.logic import Vocabulary
+    >>> source = Vocabulary.standard(3)
+    >>> view = derived_letter(source, {"AnyAlarm": "A1 | A2 | A3"})
+    >>> view.apply_world(0b010)
+    1
+    """
+    from repro.logic.parser import parse_formula
+
+    target = Vocabulary(definitions.keys())
+    assignment = {
+        name: parse_formula(f) if isinstance(f, str) else f
+        for name, f in definitions.items()
+    }
+    return Morphism(source, target, assignment)
+
+
+def view_dependency_mask(view: Morphism) -> Mask:
+    """The mask congruence of a view: which source states the view
+    conflates (Definition 1.5.1 applied to a query).
+
+    Two databases are equivalent under this mask exactly when the view
+    cannot distinguish them -- for a :func:`projection` this is the
+    simple mask on the dropped letters (recognisable via
+    :func:`repro.db.masks.as_simple_mask`); for a general
+    :func:`derived_letter` view it is usually not simple, which is the
+    Jacobs "implied constraint problem" flavour the paper cites against
+    fast masking (discussion after Theorem 2.3.6).
+    """
+    return congruence_of(NondetMorphism.of(view))

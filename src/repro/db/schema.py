@@ -1,0 +1,110 @@
+"""Propositional database schemata (Definition 1.2.1).
+
+A schema ``D = (Prop[D], Con[D])`` couples a propositional vocabulary with
+a set of integrity constraints.  Databases are structures over the
+vocabulary; *legal* databases additionally satisfy every constraint.
+
+Per the paper (discussion after Definition 1.3.3), integrity constraints
+are not woven into the update morphisms themselves: updates are defined
+constraint-free and legality is enforced as a separate filtering step
+(:meth:`DbSchema.legal_worlds`, :meth:`repro.db.instances.WorldSet.legal`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.errors import SchemaError
+from repro.logic.clauses import ClauseSet
+from repro.logic.cnf import formulas_to_clauses
+from repro.logic.formula import Formula
+from repro.logic.parser import parse_formula
+from repro.logic.propositions import Vocabulary
+from repro.logic.semantics import models_of_formulas
+from repro.logic.structures import World, satisfies
+
+__all__ = ["DbSchema"]
+
+
+class DbSchema:
+    """A propositional database schema: vocabulary plus integrity constraints.
+
+    >>> schema = DbSchema.of(3, constraints=["A1 -> A2"])
+    >>> len(schema.legal_worlds())
+    6
+    """
+
+    __slots__ = ("_vocabulary", "_constraints", "_legal_cache")
+
+    def __init__(self, vocabulary: Vocabulary, constraints: Iterable[Formula] = ()):
+        constraint_tuple = tuple(constraints)
+        for constraint in constraint_tuple:
+            unknown = constraint.props() - set(vocabulary.names)
+            if unknown:
+                raise SchemaError(
+                    f"constraint {constraint} mentions unknown letters {sorted(unknown)}"
+                )
+        self._vocabulary = vocabulary
+        self._constraints = constraint_tuple
+        self._legal_cache: frozenset[World] | None = None
+
+    @classmethod
+    def of(
+        cls,
+        letters: int | Iterable[str],
+        constraints: Iterable[Formula | str] = (),
+    ) -> "DbSchema":
+        """Convenience constructor.
+
+        ``letters`` is either a count (standard names ``A1..An``) or an
+        iterable of names; string constraints are parsed.
+        """
+        if isinstance(letters, int):
+            vocabulary = Vocabulary.standard(letters)
+        else:
+            vocabulary = Vocabulary(letters)
+        parsed = tuple(
+            parse_formula(c) if isinstance(c, str) else c for c in constraints
+        )
+        return cls(vocabulary, parsed)
+
+    @property
+    def vocabulary(self) -> Vocabulary:
+        """``Prop[D]``."""
+        return self._vocabulary
+
+    @property
+    def constraints(self) -> tuple[Formula, ...]:
+        """``Con[D]``."""
+        return self._constraints
+
+    def is_legal(self, world: World) -> bool:
+        """Does ``world`` satisfy every integrity constraint?"""
+        return all(satisfies(self._vocabulary, world, c) for c in self._constraints)
+
+    def legal_worlds(self) -> frozenset[World]:
+        """``LDB[D]`` -- the legal databases (cached)."""
+        if self._legal_cache is None:
+            self._legal_cache = models_of_formulas(self._vocabulary, self._constraints)
+        return self._legal_cache
+
+    def constraint_clauses(self) -> ClauseSet:
+        """The constraints as a clause set (for clause-level filtering)."""
+        return formulas_to_clauses(self._constraints, self._vocabulary)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DbSchema):
+            return NotImplemented
+        return (
+            self._vocabulary == other._vocabulary
+            and self._constraints == other._constraints
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._vocabulary, self._constraints))
+
+    def __repr__(self) -> str:
+        return (
+            f"DbSchema({self._vocabulary!r}, "
+            f"{len(self._constraints)} constraint(s))"
+        )

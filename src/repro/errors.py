@@ -1,0 +1,93 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause while letting genuine programming errors (``TypeError``
+and friends) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ParseError",
+    "VocabularyError",
+    "VocabularyMismatchError",
+    "SortError",
+    "ArityError",
+    "SchemaError",
+    "IllegalUpdateError",
+    "InconsistentLiteralsError",
+    "UnknownConstantError",
+    "TypeAlgebraError",
+    "MacroExpansionError",
+    "EvaluationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class ParseError(ReproError):
+    """A textual formula, s-expression, or program failed to parse.
+
+    Carries the offending ``text`` and the ``position`` (character offset)
+    where the failure was detected, when known.
+    """
+
+    def __init__(self, message: str, text: str | None = None, position: int | None = None):
+        super().__init__(message)
+        self.text = text
+        self.position = position
+
+
+class VocabularyError(ReproError):
+    """A proposition name or index is not part of the vocabulary in use."""
+
+
+class VocabularyMismatchError(ReproError):
+    """Two objects built over different vocabularies were combined.
+
+    Every semantic object in this library (world sets, clause sets,
+    morphisms, masks) carries the vocabulary it is defined over; mixing
+    vocabularies silently would produce meaningless possible-world sets,
+    so it is always an error.
+    """
+
+
+class SortError(ReproError):
+    """A BLU/HLU term is not well-sorted (Definition 2.1.1 of the paper)."""
+
+
+class ArityError(SortError):
+    """An operator was applied to the wrong number of arguments."""
+
+
+class SchemaError(ReproError):
+    """A database or relational schema is internally inconsistent."""
+
+
+class IllegalUpdateError(ReproError):
+    """An update request cannot be interpreted (e.g. inconsistent formula)."""
+
+
+class InconsistentLiteralsError(IllegalUpdateError):
+    """A literal set containing both ``A`` and ``~A`` was used where a
+    consistent set is required (Definitions 1.3.4 and 1.4.4)."""
+
+
+class UnknownConstantError(SchemaError):
+    """A relational constant symbol is not registered in the dictionary."""
+
+
+class TypeAlgebraError(SchemaError):
+    """An operation on the Boolean algebra of types was ill-formed."""
+
+
+class MacroExpansionError(ReproError):
+    """``where1``/``where2`` macro expansion failed (Section 3.2)."""
+
+
+class EvaluationError(ReproError):
+    """A BLU/HLU term could not be evaluated in the chosen implementation."""

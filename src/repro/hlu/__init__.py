@@ -1,0 +1,79 @@
+"""HLU -- the High-level Language for Updates (Section 3 of the paper).
+
+The five simple-HLU operations are *defined* as BLU programs (3.1.2); the
+``where`` constructs are macros expanding to BLU programs (3.2).  The
+session class :class:`IncompleteDatabase` is the user-facing API.
+"""
+
+from repro.hlu.interpreter import convert_argument, run_update
+from repro.hlu.language import (
+    Assert,
+    Clear,
+    Delete,
+    Insert,
+    MaskArg,
+    Modify,
+    StateArg,
+    Update,
+    Where,
+    assert_,
+    clear,
+    delete,
+    insert,
+    modify,
+    where,
+)
+from repro.hlu.macros import arglist, atomappend, substitute_term, where1, where2
+from repro.hlu.programs import (
+    HLU_ASSERT,
+    HLU_CLEAR,
+    HLU_DELETE,
+    HLU_INSERT,
+    HLU_MODIFY,
+    IDENTITY,
+    SIMPLE_HLU_PROGRAMS,
+)
+from repro.hlu.persistence import dump_session, load_session
+from repro.hlu.session import IncompleteDatabase
+from repro.hlu.surface import parse_update, parse_updates
+from repro.hlu.signature import HLU_SIGNATURE, PROGRAM_SORT, SIMPLE_HLU_SIGNATURE
+
+__all__ = [
+    "SIMPLE_HLU_SIGNATURE",
+    "HLU_SIGNATURE",
+    "PROGRAM_SORT",
+    "HLU_ASSERT",
+    "HLU_CLEAR",
+    "HLU_INSERT",
+    "HLU_DELETE",
+    "HLU_MODIFY",
+    "IDENTITY",
+    "SIMPLE_HLU_PROGRAMS",
+    "atomappend",
+    "arglist",
+    "substitute_term",
+    "where1",
+    "where2",
+    "Update",
+    "Assert",
+    "Clear",
+    "Insert",
+    "Delete",
+    "Modify",
+    "Where",
+    "StateArg",
+    "MaskArg",
+    "assert_",
+    "clear",
+    "insert",
+    "delete",
+    "modify",
+    "where",
+    "convert_argument",
+    "run_update",
+    "IncompleteDatabase",
+    "parse_update",
+    "parse_updates",
+    "dump_session",
+    "load_session",
+]

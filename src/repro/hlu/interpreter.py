@@ -1,0 +1,53 @@
+"""Running HLU updates against a BLU implementation (Definition 3.1.3).
+
+``simple-HLU--I`` and ``simple-HLU--C`` are "the BLU--I and BLU--C based
+implementations of simple-HLU": compile the update to its defining BLU
+program, convert the user-supplied arguments into the implementation's
+concrete domains, and evaluate.  Nothing else -- "all of the work was done
+in the definitions of the implementations of BLU".
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.blu.implementation import Implementation
+from repro.errors import EvaluationError
+from repro.hlu.language import MaskArg, StateArg, Update
+
+__all__ = ["convert_argument", "run_update"]
+
+
+def convert_argument(implementation: Implementation, argument: StateArg | MaskArg) -> Any:
+    """Map a user-level argument into the implementation's concrete domain.
+
+    State arguments (formula sets) become clause sets / world sets; mask
+    arguments (letter-name sets) become index sets / simple masks.  The
+    implementation provides the conversions (``state_from_formulas`` /
+    ``mask_from_names``).
+    """
+    if isinstance(argument, StateArg):
+        converter = getattr(implementation, "state_from_formulas", None)
+        if converter is None:
+            raise EvaluationError(
+                f"{type(implementation).__name__} cannot convert formula arguments"
+            )
+        return converter(argument.formulas)
+    if isinstance(argument, MaskArg):
+        converter = getattr(implementation, "mask_from_names", None)
+        if converter is None:
+            raise EvaluationError(
+                f"{type(implementation).__name__} cannot convert mask arguments"
+            )
+        return converter(argument.names)
+    raise EvaluationError(f"unknown argument kind {argument!r}")
+
+
+def run_update(implementation: Implementation, state: Any, update: Update) -> Any:
+    """Apply one HLU update to a state, returning the new state.
+
+    ``state`` must already live in the implementation's S domain.
+    """
+    program, arguments = update.compile()
+    values = [convert_argument(implementation, argument) for argument in arguments]
+    return implementation.run(program, state, *values)

@@ -1,0 +1,283 @@
+"""The HLU surface language: update expressions and their compilation to BLU.
+
+An HLU program (Section 0's grammar) is one of::
+
+    (assert W)  (mask M)  (insert W)  (delete W)  (modify W V)
+    (where W P)  (where W P Q)
+
+with the system state implicit.  Here these are value objects built by the
+constructor functions :func:`assert_`, :func:`clear`, :func:`insert`,
+:func:`delete`, :func:`modify`, :func:`where`; formulas may be given as
+:class:`~repro.logic.formula.Formula` objects or as strings (parsed).
+
+:meth:`Update.compile` produces the *single* BLU program defining the
+update's semantics (Definition 3.1.2 for the simple forms, the macro
+expansion of Section 3.2 for ``where``) together with the user-argument
+descriptors to bind after ``s0``.  Whichever BLU implementation then runs
+the program determines the representation level -- that is the paper's
+whole architecture.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.blu.syntax import BluProgram
+from repro.hlu import macros
+from repro.hlu.programs import (
+    HLU_ASSERT,
+    HLU_CLEAR,
+    HLU_DELETE,
+    HLU_INSERT,
+    HLU_MODIFY,
+)
+from repro.logic.formula import Formula
+from repro.logic.parser import parse_formula
+
+__all__ = [
+    "StateArg",
+    "MaskArg",
+    "Update",
+    "Assert",
+    "Clear",
+    "Insert",
+    "Delete",
+    "Modify",
+    "Where",
+    "assert_",
+    "clear",
+    "insert",
+    "delete",
+    "modify",
+    "where",
+]
+
+FormulaLike = Formula | str
+
+
+def _as_formula_tuple(formulas: Iterable[FormulaLike] | FormulaLike) -> tuple[Formula, ...]:
+    if isinstance(formulas, (Formula, str)):
+        formulas = (formulas,)
+    return tuple(
+        parse_formula(f) if isinstance(f, str) else f for f in formulas
+    )
+
+
+class StateArg:
+    """A user-supplied possible-worlds argument ``W`` (a set of formulas)."""
+
+    __slots__ = ("formulas",)
+
+    def __init__(self, formulas: tuple[Formula, ...]):
+        self.formulas = formulas
+
+    def __eq__(self, other):
+        return isinstance(other, StateArg) and other.formulas == self.formulas
+
+    def __hash__(self):
+        return hash(("StateArg", self.formulas))
+
+    def __repr__(self):
+        return f"StateArg({', '.join(map(str, self.formulas))})"
+
+
+class MaskArg:
+    """A user-supplied mask argument ``M`` (a set of proposition names)."""
+
+    __slots__ = ("names",)
+
+    def __init__(self, names: frozenset[str]):
+        self.names = names
+
+    def __eq__(self, other):
+        return isinstance(other, MaskArg) and other.names == self.names
+
+    def __hash__(self):
+        return hash(("MaskArg", self.names))
+
+    def __repr__(self):
+        return f"MaskArg({{{', '.join(sorted(self.names))}}})"
+
+
+class Update:
+    """Abstract HLU update expression."""
+
+    __slots__ = ()
+
+    def compile(self) -> tuple[BluProgram, tuple[StateArg | MaskArg, ...]]:
+        """The defining BLU program and the arguments to bind after ``s0``."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return str(self)
+
+
+class _SimpleUpdate(Update):
+    """Shared shape for the five simple-HLU forms."""
+
+    __slots__ = ("arguments",)
+    _program: BluProgram
+    _name: str
+
+    def compile(self):
+        return self._program, self.arguments
+
+    def __eq__(self, other):
+        return type(other) is type(self) and other.arguments == self.arguments
+
+    def __hash__(self):
+        return hash((type(self).__name__, self.arguments))
+
+
+class Assert(_SimpleUpdate):
+    """``(assert W)``: restrict to the worlds satisfying ``W``."""
+
+    __slots__ = ()
+    _program = HLU_ASSERT
+    _name = "assert"
+
+    def __init__(self, formulas):
+        self.arguments = (StateArg(_as_formula_tuple(formulas)),)
+
+    def __str__(self):
+        return f"(assert {{{', '.join(map(str, self.arguments[0].formulas))}}})"
+
+
+class Clear(_SimpleUpdate):
+    """``(mask M)``: forget everything about the named letters."""
+
+    __slots__ = ()
+    _program = HLU_CLEAR
+    _name = "clear"
+
+    def __init__(self, names: Iterable[str]):
+        if isinstance(names, str):
+            names = (names,)
+        self.arguments = (MaskArg(frozenset(names)),)
+
+    def __str__(self):
+        return f"(mask {{{', '.join(sorted(self.arguments[0].names))}}})"
+
+
+class Insert(_SimpleUpdate):
+    """``(insert W)``: mask ``W``'s dependency letters, then assert ``W``."""
+
+    __slots__ = ()
+    _program = HLU_INSERT
+    _name = "insert"
+
+    def __init__(self, formulas):
+        self.arguments = (StateArg(_as_formula_tuple(formulas)),)
+
+    def __str__(self):
+        return f"(insert {{{', '.join(map(str, self.arguments[0].formulas))}}})"
+
+
+class Delete(_SimpleUpdate):
+    """``(delete W)``: mask ``W``'s dependency letters, then assert ``~W``."""
+
+    __slots__ = ()
+    _program = HLU_DELETE
+    _name = "delete"
+
+    def __init__(self, formulas):
+        self.arguments = (StateArg(_as_formula_tuple(formulas)),)
+
+    def __str__(self):
+        return f"(delete {{{', '.join(map(str, self.arguments[0].formulas))}}})"
+
+
+class Modify(_SimpleUpdate):
+    """``(modify W V)``: where ``W`` holds, delete ``W`` and insert ``V``."""
+
+    __slots__ = ()
+    _program = HLU_MODIFY
+    _name = "modify"
+
+    def __init__(self, old_formulas, new_formulas):
+        self.arguments = (
+            StateArg(_as_formula_tuple(old_formulas)),
+            StateArg(_as_formula_tuple(new_formulas)),
+        )
+
+    def __str__(self):
+        old = ", ".join(map(str, self.arguments[0].formulas))
+        new = ", ".join(map(str, self.arguments[1].formulas))
+        return f"(modify {{{old}}} {{{new}}})"
+
+
+class Where(Update):
+    """``(where W P)`` / ``(where W P Q)``: split on ``W``, run ``P`` on the
+    satisfying worlds and ``Q`` (default: identity) on the rest, recombine.
+
+    Compilation performs the macro expansion of Section 3.2 recursively,
+    yielding one flat BLU program whose parameters carry the ``".0"`` /
+    ``".1"`` renamings.
+    """
+
+    __slots__ = ("condition", "then", "otherwise")
+
+    def __init__(self, condition, then: Update, otherwise: Update | None = None):
+        self.condition = StateArg(_as_formula_tuple(condition))
+        self.then = then
+        self.otherwise = otherwise
+
+    def compile(self):
+        then_program, then_arguments = self.then.compile()
+        if self.otherwise is None:
+            expanded = macros.where1(then_program)
+            arguments = (self.condition, *then_arguments)
+        else:
+            otherwise_program, otherwise_arguments = self.otherwise.compile()
+            expanded = macros.where2(then_program, otherwise_program)
+            arguments = (self.condition, *then_arguments, *otherwise_arguments)
+        return expanded, arguments
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Where)
+            and other.condition == self.condition
+            and other.then == self.then
+            and other.otherwise == self.otherwise
+        )
+
+    def __hash__(self):
+        return hash(("Where", self.condition, self.then, self.otherwise))
+
+    def __str__(self):
+        condition = ", ".join(map(str, self.condition.formulas))
+        if self.otherwise is None:
+            return f"(where {{{condition}}} {self.then})"
+        return f"(where {{{condition}}} {self.then} {self.otherwise})"
+
+
+# --- constructor functions (the user-facing spelling) -----------------------
+
+def assert_(*formulas: FormulaLike) -> Assert:
+    """``(assert W)`` -- see :class:`Assert`."""
+    return Assert(formulas)
+
+
+def clear(*names: str) -> Clear:
+    """``(mask M)`` -- see :class:`Clear`."""
+    return Clear(names)
+
+
+def insert(*formulas: FormulaLike) -> Insert:
+    """``(insert W)`` -- see :class:`Insert`."""
+    return Insert(formulas)
+
+
+def delete(*formulas: FormulaLike) -> Delete:
+    """``(delete W)`` -- see :class:`Delete`."""
+    return Delete(formulas)
+
+
+def modify(old_formulas, new_formulas) -> Modify:
+    """``(modify W V)`` -- see :class:`Modify`."""
+    return Modify(old_formulas, new_formulas)
+
+
+def where(condition, then: Update, otherwise: Update | None = None) -> Where:
+    """``(where W P [Q])`` -- see :class:`Where`."""
+    return Where(condition, then, otherwise)

@@ -1,0 +1,106 @@
+"""The ``where`` macros of full HLU (Definitions 3.2.2--3.2.4).
+
+``(where2 W P Q)`` splits the system state ``S`` into ``S intersect pw(W)``
+and ``S \\ pw(W)``, runs ``P`` on the first part and ``Q`` on the second,
+and combines the results.  ``(where1 W P)`` is ``(where2 W P I)``.
+
+The paper defines these as Scheme macros whose expansion (i) substitutes
+``(assert s0 s1)`` -- respectively ``(assert s0 (complement s1))`` -- for
+the program's state parameter, and (ii) renames the program's remaining
+parameters with the suffixes ``".0"`` / ``".1"`` (``atomappend``) so the
+two inlined argument lists cannot collide with each other or with ``s0`` /
+``s1``.  We perform the expansion directly on sort-checked terms, with the
+beta-reduction the paper carries out by hand in Example 3.2.5 already
+applied.
+
+Reconstruction note: the ``where2`` listing in the surviving text gives
+*both* branches the ``(assert s0 s1)`` state, which contradicts the stated
+semantics ("splits S into S intersect pw(W) and S \\ pw(W)", Section 0)
+and the worked Example 3.2.5, where the second branch is
+``(assert s0 (complement s1))``.  We implement the semantics the example
+exhibits; ``tests/hlu/test_macros.py`` pins the Example 3.2.5 expansion.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.blu.syntax import Apply, BluProgram, Term, Variable
+from repro.errors import MacroExpansionError
+
+__all__ = ["atomappend", "arglist", "substitute_term", "where1", "where2"]
+
+
+def atomappend(suffix: str, atoms: Iterable[str]) -> tuple[str, ...]:
+    """Definition 3.2.2(a): append ``suffix`` to every atom name.
+
+    >>> atomappend(".0", ["s1", "s2"])
+    ('s1.0', 's2.0')
+    """
+    return tuple(atom + suffix for atom in atoms)
+
+
+def arglist(program: BluProgram) -> tuple[str, ...]:
+    """Definition 3.2.2(b): the formal argument list of a program."""
+    return program.parameters
+
+
+def substitute_term(term: Term, mapping: Mapping[str, Term]) -> Term:
+    """Simultaneously replace variables in a term (capture is impossible:
+    BLU terms have no binders)."""
+    if isinstance(term, Variable):
+        return mapping.get(term.name, term)
+    if isinstance(term, Apply):
+        return Apply(
+            term.operator,
+            tuple(substitute_term(argument, mapping) for argument in term.arguments),
+        )
+    raise MacroExpansionError(f"cannot substitute into {term!r}")
+
+
+def _inline(program: BluProgram, state_term: Term, suffix: str) -> tuple[Term, tuple[str, ...]]:
+    """Inline ``program`` with its state parameter bound to ``state_term``
+    and its remaining parameters renamed by ``suffix``.
+
+    Returns the beta-reduced body and the renamed parameter names (which
+    become parameters of the expansion).
+    """
+    renamed = atomappend(suffix, program.parameters[1:])
+    mapping: dict[str, Term] = {"s0": state_term}
+    for original, fresh in zip(program.parameters[1:], renamed):
+        mapping[original] = Variable(fresh)
+    return substitute_term(program.body, mapping), renamed
+
+
+def where2(p0: BluProgram, p1: BluProgram) -> BluProgram:
+    """Expand ``(where2 s1 p0 p1)`` into a single BLU program.
+
+    The result's parameters are ``(s0 s1 <p0's renamed args> <p1's renamed
+    args>)``; its body is::
+
+        (combine  <p0 body with s0 := (assert s0 s1),      args := *.0>
+                  <p1 body with s0 := (assert s0 (complement s1)), args := *.1>)
+
+    >>> from repro.hlu.programs import HLU_INSERT, IDENTITY
+    >>> str(where2(HLU_INSERT, IDENTITY))
+    '(lambda (s0 s1 s1.0) (combine (assert (mask (assert s0 s1) (genmask s1.0)) s1.0) (assert s0 (complement s1))))'
+    """
+    inside = Apply("assert", (Variable("s0"), Variable("s1")))
+    outside = Apply(
+        "assert", (Variable("s0"), Apply("complement", (Variable("s1"),)))
+    )
+    body0, params0 = _inline(p0, inside, ".0")
+    body1, params1 = _inline(p1, outside, ".1")
+    parameters = ("s0", "s1", *params0, *params1)
+    if len(set(parameters)) != len(parameters):
+        raise MacroExpansionError(
+            f"parameter collision after renaming: {parameters}"
+        )
+    return BluProgram(parameters, Apply("combine", (body0, body1)))
+
+
+def where1(p0: BluProgram) -> BluProgram:
+    """Expand ``(where1 s1 p0)`` -- equivalent to ``(where2 s1 p0 I)``."""
+    from repro.hlu.programs import IDENTITY
+
+    return where2(p0, IDENTITY)

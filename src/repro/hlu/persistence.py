@@ -1,0 +1,98 @@
+"""Saving and restoring sessions as plain text.
+
+A session file is line-oriented and human-editable::
+
+    #repro-session v1
+    vocabulary A1 A2 A3
+    backend clausal
+    constraint A1 -> A2
+    clause ~A1 | A2
+    clause A3
+    update (insert {A1})
+
+* ``clause`` lines are the state's clausal representation (the canonical
+  carrier across backends: an instance-backend session is converted on
+  save and back on load, which is exact);
+* ``update`` lines record the history in the HLU surface syntax -- they
+  are informational on load (the state line already reflects them) but
+  re-parseable, so a saved session doubles as a replayable script;
+* ``constraint`` lines restore the schema.
+
+Blank lines and ``;`` comments are ignored.
+"""
+
+from __future__ import annotations
+
+from repro.db.schema import DbSchema
+from repro.errors import ParseError
+from repro.hlu.session import IncompleteDatabase
+from repro.logic.clauses import ClauseSet, clause_to_str
+
+__all__ = ["dump_session", "load_session"]
+
+_HEADER = "#repro-session v1"
+
+
+def dump_session(db: IncompleteDatabase) -> str:
+    """Serialise a session to the text format above."""
+    lines = [_HEADER]
+    lines.append("vocabulary " + " ".join(db.vocabulary.names))
+    lines.append(f"backend {db.backend}")
+    for constraint in db.schema.constraints:
+        lines.append(f"constraint {constraint}")
+    clause_set = db.clauses()
+    for clause in sorted(
+        clause_set.clauses, key=lambda c: clause_to_str(db.vocabulary, c)
+    ):
+        lines.append("clause " + clause_to_str(db.vocabulary, clause))
+    for update in db.history:
+        lines.append(f"update {update}")
+    return "\n".join(lines) + "\n"
+
+
+def load_session(text: str) -> IncompleteDatabase:
+    """Rebuild a session from :func:`dump_session` output.
+
+    The restored session has the saved schema, backend, state, and
+    history; undo snapshots (representation-level) are not persisted.
+    """
+    names: list[str] | None = None
+    backend = "clausal"
+    constraints: list[str] = []
+    clause_texts: list[str] = []
+    update_texts: list[str] = []
+
+    lines = text.splitlines()
+    if not lines or lines[0].strip() != _HEADER:
+        raise ParseError(f"not a repro session file (missing {_HEADER!r})")
+    for raw in lines[1:]:
+        line = raw.strip()
+        if not line or line.startswith(";"):
+            continue
+        key, _, rest = line.partition(" ")
+        rest = rest.strip()
+        if key == "vocabulary":
+            names = rest.split()
+        elif key == "backend":
+            backend = rest
+        elif key == "constraint":
+            constraints.append(rest)
+        elif key == "clause":
+            clause_texts.append(rest)
+        elif key == "update":
+            update_texts.append(rest)
+        else:
+            raise ParseError(f"unknown session line {line!r}")
+    if names is None:
+        raise ParseError("session file has no vocabulary line")
+
+    schema = DbSchema.of(names, constraints=constraints)
+    state = ClauseSet.from_strs(schema.vocabulary, clause_texts)
+    session = IncompleteDatabase(schema, backend="clausal", initial=state)
+    if backend == "instance":
+        session = session.with_backend("instance")
+    if update_texts:
+        from repro.hlu.surface import parse_updates
+
+        session._history = list(parse_updates(" ".join(update_texts)))
+    return session

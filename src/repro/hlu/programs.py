@@ -1,0 +1,83 @@
+"""The BLU-based semantics of simple-HLU (Definition 3.1.2).
+
+Each simple-HLU operator is *defined* as a BLU program; HLU thereby
+inherits its semantics from whichever BLU implementation runs it.  The
+programs below are the paper's ``define`` forms, parsed from their
+s-expression sources so the definitions remain textual and inspectable.
+
+Two reconstructions from the surviving text, both pinned by tests:
+
+* ``HLU-clear``: the paper writes ``(lambda (s0 s1) (mask s0 s1))``; the
+  second parameter is a *mask*, so under the sorting convention of
+  Definition 2.1.1(b) it must be named ``m1``.
+* ``HLU-modify``: the parenthesisation printed in 3.1.2 is unbalanced; the
+  intended term -- "on the worlds where s1 holds, delete s1 then insert
+  s2; leave the other worlds alone" (the mask-assert paradigm applied
+  twice, combined with the untouched branch) -- is::
+
+      (combine
+        (assert (mask (assert (mask (assert s0 s1) (genmask s1))
+                              (complement s1))
+                      (genmask s2))
+                s2)
+        (assert s0 (complement s1)))
+
+  Theorem 3.1.4 (equivalence with Definition 1.4.5) is verified for this
+  reconstruction in ``tests/hlu/test_theorem_314.py``.
+"""
+
+from __future__ import annotations
+
+from repro.blu.parser import parse_program
+from repro.blu.syntax import BluProgram
+
+__all__ = [
+    "HLU_ASSERT",
+    "HLU_CLEAR",
+    "HLU_INSERT",
+    "HLU_DELETE",
+    "HLU_MODIFY",
+    "IDENTITY",
+    "SIMPLE_HLU_PROGRAMS",
+]
+
+HLU_ASSERT: BluProgram = parse_program("(lambda (s0 s1) (assert s0 s1))")
+"""``(assert W)``: intersect the state with the asserted worlds."""
+
+HLU_CLEAR: BluProgram = parse_program("(lambda (s0 m1) (mask s0 m1))")
+"""``(mask M)`` / clear: forget all information about the masked letters."""
+
+HLU_INSERT: BluProgram = parse_program(
+    "(lambda (s0 s1) (assert (mask s0 (genmask s1)) s1))"
+)
+"""``(insert W)``: mask the letters W depends on, then assert W."""
+
+HLU_DELETE: BluProgram = parse_program(
+    "(lambda (s0 s1) (assert (mask s0 (genmask s1)) (complement s1)))"
+)
+"""``(delete W)``: mask the letters W depends on, then assert not-W."""
+
+HLU_MODIFY: BluProgram = parse_program(
+    """
+    (lambda (s0 s1 s2)
+      (combine
+        (assert (mask (assert (mask (assert s0 s1) (genmask s1))
+                              (complement s1))
+                      (genmask s2))
+                s2)
+        (assert s0 (complement s1))))
+    """
+)
+"""``(modify W V)``: where W holds, delete W then insert V; elsewhere identity."""
+
+IDENTITY: BluProgram = parse_program("(lambda (s0) s0)")
+"""The identity program ``I``, used by ``(where W P) = (where W P I)``."""
+
+SIMPLE_HLU_PROGRAMS: dict[str, BluProgram] = {
+    "assert": HLU_ASSERT,
+    "clear": HLU_CLEAR,
+    "insert": HLU_INSERT,
+    "delete": HLU_DELETE,
+    "modify": HLU_MODIFY,
+}
+"""Operator name -> defining BLU program (Definition 3.1.2)."""

@@ -1,0 +1,322 @@
+"""``IncompleteDatabase``: the user-facing session API over HLU.
+
+This is the adoptable surface of the library: a mutable handle on an
+incomplete-information database state, updated through the HLU operations
+and queried for certain / possible truth.  Two interchangeable backends:
+
+* ``"clausal"`` -- the scalable resolution-based ``BLU--C`` (default);
+* ``"instance"`` -- exact possible-worlds ``BLU--I`` (small vocabularies;
+  the reference semantics).
+
+Integrity constraints (from a :class:`~repro.db.schema.DbSchema`) are, as
+in the paper, *not* part of update semantics; with
+``enforce_constraints=True`` the session applies the paper's suggested
+policy for the incomplete-information case -- "update each possible world
+individually, and then those which are not legal are eliminated" -- by
+asserting the constraint clauses after every update.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import Any
+
+from repro.blu.clausal_impl import ClausalImplementation
+from repro.blu.implementation import Implementation
+from repro.blu.syntax import Sort
+from repro.blu.instance_impl import InstanceImplementation
+from repro.db.instances import WorldSet
+from repro.db.schema import DbSchema
+from repro.errors import EvaluationError
+from repro.hlu import language
+from repro.hlu.interpreter import run_update
+from repro.logic.clauses import ClauseSet
+from repro.logic.cnf import formula_to_clauses
+from repro.logic.formula import Formula
+from repro.logic.parser import parse_formula
+from repro.logic.propositions import Vocabulary
+from repro.logic.sat import entails_clauses, is_satisfiable
+
+__all__ = ["IncompleteDatabase"]
+
+_BACKENDS = ("clausal", "instance")
+
+
+class IncompleteDatabase:
+    """A session over an incomplete-information database.
+
+    >>> db = IncompleteDatabase.over(5)
+    >>> _ = db.assert_("~A1 | A3", "A1 | A4", "A4 | A5", "~A1 | ~A2 | ~A5")
+    >>> _ = db.insert("A1 | A2")             # Example 3.1.5
+    >>> db.is_certain("A1 | A2")
+    True
+    >>> print(db.state)
+    {A1 | A2, A3 | A4, A4 | A5}
+    """
+
+    def __init__(
+        self,
+        schema: DbSchema,
+        backend: str = "clausal",
+        initial: Any | None = None,
+        enforce_constraints: bool = False,
+    ):
+        if backend not in _BACKENDS:
+            raise EvaluationError(f"backend must be one of {_BACKENDS}, got {backend!r}")
+        self._schema = schema
+        self._backend_name = backend
+        if backend == "clausal":
+            self._implementation: Implementation = ClausalImplementation(
+                schema.vocabulary
+            )
+        else:
+            self._implementation = InstanceImplementation(schema.vocabulary)
+        if initial is None:
+            initial = self._total_state()
+        self._implementation.check_sorted(initial, Sort.S)
+        self._state = initial
+        self._enforce_constraints = enforce_constraints
+        self._history: list[language.Update] = []
+        self._snapshots: list[Any] = []
+        if enforce_constraints:
+            self._state = self._apply_constraints(self._state)
+
+    # --- constructors ------------------------------------------------------------
+
+    @classmethod
+    def over(
+        cls,
+        letters: int | Iterable[str],
+        constraints: Iterable[Formula | str] = (),
+        backend: str = "clausal",
+        enforce_constraints: bool = False,
+    ) -> "IncompleteDatabase":
+        """Start from total ignorance over a fresh schema."""
+        return cls(
+            DbSchema.of(letters, constraints),
+            backend=backend,
+            enforce_constraints=enforce_constraints,
+        )
+
+    # --- accessors -----------------------------------------------------------------
+
+    @property
+    def schema(self) -> DbSchema:
+        """The database schema."""
+        return self._schema
+
+    @property
+    def vocabulary(self) -> Vocabulary:
+        """``Prop[D]``."""
+        return self._schema.vocabulary
+
+    @property
+    def backend(self) -> str:
+        """``"clausal"`` or ``"instance"``."""
+        return self._backend_name
+
+    @property
+    def implementation(self) -> Implementation:
+        """The underlying BLU implementation."""
+        return self._implementation
+
+    @property
+    def state(self) -> Any:
+        """The current backend state (a ClauseSet or WorldSet)."""
+        return self._state
+
+    @property
+    def history(self) -> tuple[language.Update, ...]:
+        """Every update applied so far, in order."""
+        return tuple(self._history)
+
+    # --- the HLU operations -----------------------------------------------------------
+
+    def apply(self, update: language.Update) -> "IncompleteDatabase":
+        """Apply any :class:`~repro.hlu.language.Update`; returns self."""
+        new_state = run_update(self._implementation, self._state, update)
+        if self._enforce_constraints:
+            new_state = self._apply_constraints(new_state)
+        self._snapshots.append(self._state)
+        self._state = new_state
+        self._history.append(update)
+        return self
+
+    def undo(self) -> "IncompleteDatabase":
+        """Revert the most recent update (states are immutable values, so
+        snapshots are free).  Raises if there is nothing to undo.
+
+        Updates are *not* invertible operations -- insert genuinely
+        destroys information -- so undo is only possible through
+        snapshots; this is the session-level counterpart of Section 1.5's
+        observation that a morphism's preimage is an equivalence class,
+        not a point.
+        """
+        if not self._snapshots:
+            raise EvaluationError("nothing to undo")
+        self._state = self._snapshots.pop()
+        self._history.pop()
+        return self
+
+    def assert_(self, *formulas: Formula | str) -> "IncompleteDatabase":
+        """``(assert W)``: monotonically add the information ``W``."""
+        return self.apply(language.assert_(*formulas))
+
+    def clear(self, *names: str) -> "IncompleteDatabase":
+        """``(mask M)``: forget everything about the named letters."""
+        return self.apply(language.clear(*names))
+
+    def insert(self, *formulas: Formula | str) -> "IncompleteDatabase":
+        """``(insert W)``: make ``W`` true, forgetting what it overrides."""
+        return self.apply(language.insert(*formulas))
+
+    def delete(self, *formulas: Formula | str) -> "IncompleteDatabase":
+        """``(delete W)``: make ``W`` false, forgetting what it overrides."""
+        return self.apply(language.delete(*formulas))
+
+    def modify(self, old_formulas, new_formulas) -> "IncompleteDatabase":
+        """``(modify W V)``: where ``W`` holds, replace it by ``V``."""
+        return self.apply(language.modify(old_formulas, new_formulas))
+
+    def where(
+        self,
+        condition,
+        then: language.Update,
+        otherwise: language.Update | None = None,
+    ) -> "IncompleteDatabase":
+        """``(where W P [Q])``: conditional update via macro expansion."""
+        return self.apply(language.where(condition, then, otherwise))
+
+    def run(self, text: str) -> "IncompleteDatabase":
+        """Apply HLU programs written in the paper's surface syntax.
+
+        >>> db = IncompleteDatabase.over(5)
+        >>> _ = db.run("(assert {A4 | A5}) (where {A5} (insert {A1 | A2}))")
+        >>> db.is_certain("A5 -> (A1 | A2)")
+        True
+        """
+        from repro.hlu.surface import parse_updates
+
+        for update in parse_updates(text):
+            self.apply(update)
+        return self
+
+    # --- queries ------------------------------------------------------------------------
+
+    def is_certain(self, formula: Formula | str) -> bool:
+        """Does the formula hold in *every* possible world?"""
+        formula = self._parse(formula)
+        if isinstance(self._state, WorldSet):
+            return self._state.satisfies_everywhere(formula)
+        query = formula_to_clauses(formula, self.vocabulary)
+        return entails_clauses(self._state, query)
+
+    def is_possible(self, formula: Formula | str) -> bool:
+        """Does the formula hold in *some* possible world?"""
+        formula = self._parse(formula)
+        if isinstance(self._state, WorldSet):
+            return self._state.satisfies_somewhere(formula)
+        query = formula_to_clauses(formula, self.vocabulary)
+        return is_satisfiable(self._state.union(query))
+
+    def is_consistent(self) -> bool:
+        """Is there at least one possible world?"""
+        if isinstance(self._state, WorldSet):
+            return bool(self._state)
+        return is_satisfiable(self._state)
+
+    def world_count(self) -> int:
+        """How many possible worlds the state has.
+
+        Exact #SAT on the clausal backend (no enumeration), a plain
+        ``len`` on the instance backend.
+        """
+        if isinstance(self._state, ClauseSet):
+            from repro.logic.sat import count_models_exact
+
+            return count_models_exact(self._state)
+        return len(self._state)
+
+    def certain_literals(self) -> frozenset[str]:
+        """The literals holding in every possible world.
+
+        On the clausal backend this is the SAT backbone -- no world
+        enumeration, so it works at any vocabulary size.
+        """
+        if isinstance(self._state, ClauseSet):
+            from repro.logic.clauses import literal_to_str
+            from repro.logic.sat import backbone_literals
+
+            return frozenset(
+                literal_to_str(self.vocabulary, literal)
+                for literal in backbone_literals(self._state)
+            )
+        return self.worlds().certain_literals()
+
+    # --- representation changes ------------------------------------------------------------
+
+    def worlds(self) -> WorldSet:
+        """The state as an explicit world set (small vocabularies only)."""
+        if isinstance(self._state, WorldSet):
+            return self._state
+        return WorldSet.from_clause_set(self._state)
+
+    def clauses(self) -> ClauseSet:
+        """The state as a clause set."""
+        if isinstance(self._state, ClauseSet):
+            return self._state
+        return self._state.to_clause_set()
+
+    def canonical_clauses(self, max_clauses: int = 100_000) -> ClauseSet:
+        """The state's prime implicates: a presentation-independent
+        canonical clausal form (two sessions hold the same information iff
+        this is equal).  Exponential in the worst case -- display and
+        comparison only."""
+        from repro.logic.implicates import prime_implicates
+
+        return prime_implicates(self.clauses(), max_clauses=max_clauses)
+
+    def with_backend(self, backend: str) -> "IncompleteDatabase":
+        """A copy of this session running on the other backend.
+
+        The update history carries over; undo snapshots do not (they are
+        representation-level values of the original backend).
+        """
+        if backend == self._backend_name:
+            initial = self._state
+        elif backend == "instance":
+            initial = self.worlds()
+        else:
+            initial = self.clauses()
+        clone = IncompleteDatabase(
+            self._schema,
+            backend=backend,
+            initial=initial,
+            enforce_constraints=self._enforce_constraints,
+        )
+        clone._history = list(self._history)
+        return clone
+
+    # --- internals -------------------------------------------------------------------------
+
+    def _total_state(self) -> Any:
+        if self._backend_name == "clausal":
+            return ClauseSet.tautology(self.vocabulary)
+        return WorldSet.total(self.vocabulary)
+
+    def _apply_constraints(self, state: Any) -> Any:
+        if not self._schema.constraints:
+            return state
+        if isinstance(state, WorldSet):
+            return state.legal(self._schema)
+        return state.union(self._schema.constraint_clauses()).reduce()
+
+    def _parse(self, formula: Formula | str) -> Formula:
+        return parse_formula(formula) if isinstance(formula, str) else formula
+
+    def __repr__(self) -> str:
+        return (
+            f"IncompleteDatabase(backend={self._backend_name!r}, "
+            f"{len(self.vocabulary)} letters, {len(self._history)} update(s))"
+        )
+

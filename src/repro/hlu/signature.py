@@ -1,0 +1,47 @@
+"""The algebraic signatures of simple-HLU and full HLU (Definitions 3.1.1, 3.2.1).
+
+simple-HLU shares BLU's sorts **S** and **M** and has five operators; in
+the "user's syntax" the system state is hidden, so each operator's first
+(S) argument below is implicit at the surface::
+
+    assert : S x S -> S
+    clear  : S x M -> S
+    insert : S x S -> S
+    delete : S x S -> S
+    modify : S x S x S -> S     (state, precondition, postcondition)
+
+Full HLU adds the sort **P** of BLU programs and the two ``where``
+constructs, handled by macro expansion (:mod:`repro.hlu.macros`)::
+
+    where1 : S x P -> S
+    where2 : S x P x P -> S
+
+(Definition 3.1.1 prints ``modify : S x S -> S``, but its defining program
+in 3.1.2 takes ``(s0 s1 s2)`` -- the printed arity omits the hidden state;
+we record the full arity.)
+"""
+
+from __future__ import annotations
+
+from repro.blu.syntax import Sort
+
+__all__ = ["SIMPLE_HLU_SIGNATURE", "HLU_SIGNATURE", "PROGRAM_SORT"]
+
+PROGRAM_SORT = "P"
+"""The extra sort of full HLU: BLU programs as first-class values."""
+
+SIMPLE_HLU_SIGNATURE: dict[str, tuple[tuple[Sort, ...], Sort]] = {
+    "assert": ((Sort.S, Sort.S), Sort.S),
+    "clear": ((Sort.S, Sort.M), Sort.S),
+    "insert": ((Sort.S, Sort.S), Sort.S),
+    "delete": ((Sort.S, Sort.S), Sort.S),
+    "modify": ((Sort.S, Sort.S, Sort.S), Sort.S),
+}
+"""simple-HLU operators with their full (state-explicit) arities."""
+
+HLU_SIGNATURE: dict[str, tuple[tuple[object, ...], Sort]] = {
+    **SIMPLE_HLU_SIGNATURE,
+    "where1": ((Sort.S, PROGRAM_SORT), Sort.S),
+    "where2": ((Sort.S, PROGRAM_SORT, PROGRAM_SORT), Sort.S),
+}
+"""Full HLU: simple-HLU plus the two where constructs."""

@@ -1,0 +1,119 @@
+"""Propositional-logic substrate (Section 1.1 of the paper).
+
+Everything else in the library -- database schemata, BLU, HLU, the
+relational extension, and the baselines -- is built on the notions defined
+here: vocabularies, formulas, structures (worlds), clauses, model sets,
+dependency sets, and resolution.
+"""
+
+from repro.logic.clauses import (
+    Clause,
+    ClauseSet,
+    EMPTY_CLAUSE,
+    Literal,
+    clause_of,
+    clause_to_str,
+    literal_from_str,
+    literal_to_str,
+    literals_consistent,
+    make_literal,
+    negate_literal,
+)
+from repro.logic.cnf import clauses_to_formula, formula_to_clauses, formulas_to_clauses
+from repro.logic.implicates import (
+    is_implicate,
+    is_prime_implicate,
+    mask_via_implicates,
+    prime_implicates,
+)
+from repro.logic.formula import (
+    FALSE,
+    TRUE,
+    And,
+    Const,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Var,
+    conj,
+    disj,
+    props_of,
+    var,
+)
+from repro.logic.parser import parse_formula, parse_formulas
+from repro.logic.propositions import Vocabulary
+from repro.logic.resolution import (
+    drop,
+    eliminate_letter,
+    rclosure,
+    resolution_closure,
+    resolvent,
+    unit_resolve,
+)
+from repro.logic.sat import (
+    backbone_literals,
+    count_models_exact,
+    entails_clause,
+    entails_clauses,
+    is_satisfiable,
+    solve,
+)
+from repro.logic.semantics import (
+    clause_set_dependency_indices,
+    clause_sets_equivalent,
+    dependency_indices,
+    dependency_names,
+    formulas_entail,
+    models_of_clauses,
+    models_of_formulas,
+    sat_literals,
+    theory_contains,
+)
+from repro.logic.structures import (
+    World,
+    all_worlds,
+    flip_bit,
+    flip_bits,
+    satisfies,
+    saturate_on,
+    world_count,
+    world_from_dict,
+    world_from_true_set,
+    world_str,
+    world_to_dict,
+    world_to_true_set,
+)
+
+__all__ = [
+    # propositions
+    "Vocabulary",
+    # formulas
+    "Formula", "Const", "Var", "Not", "And", "Or", "Implies", "Iff",
+    "TRUE", "FALSE", "var", "conj", "disj", "props_of",
+    "parse_formula", "parse_formulas",
+    # structures
+    "World", "all_worlds", "world_count", "world_from_dict",
+    "world_from_true_set", "world_to_dict", "world_to_true_set",
+    "flip_bit", "flip_bits", "satisfies", "world_str", "saturate_on",
+    # clauses
+    "Literal", "Clause", "EMPTY_CLAUSE", "ClauseSet", "make_literal",
+    "negate_literal", "literal_from_str", "literal_to_str", "clause_of",
+    "clause_to_str", "literals_consistent",
+    # cnf
+    "formula_to_clauses", "formulas_to_clauses", "clauses_to_formula",
+    # semantics
+    "models_of_formulas", "models_of_clauses", "sat_literals",
+    "theory_contains", "formulas_entail", "clause_sets_equivalent",
+    "dependency_indices", "dependency_names", "clause_set_dependency_indices",
+    # resolution
+    "resolvent", "rclosure", "drop", "eliminate_letter", "unit_resolve",
+    "resolution_closure",
+    # implicates
+    "prime_implicates", "is_implicate", "is_prime_implicate",
+    "mask_via_implicates",
+    # sat
+    "is_satisfiable", "solve", "entails_clause", "entails_clauses",
+    "backbone_literals", "count_models_exact",
+]

@@ -1,0 +1,372 @@
+"""Literals, clauses, and clause sets -- ``Lit[L]`` and ``CF[D]``.
+
+Representation choices (performance-critical: the clausal implementation
+``BLU--C`` manipulates nothing else):
+
+* a **literal** is a non-zero ``int``: ``+(i+1)`` for the letter at
+  vocabulary index ``i``, ``-(i+1)`` for its negation (DIMACS style);
+* a **clause** is a ``frozenset`` of literals (the paper's clauses are sets
+  of *distinct* literals -- length counts distinct literals);
+* a **clause set** (:class:`ClauseSet`) pairs a vocabulary with a frozenset
+  of clauses.
+
+Distinguished elements (Section 1.1): the empty clause (``frozenset()``) is
+the always-false 0 / box; a *tautologous* clause (containing ``l`` and
+``-l``) is the always-true 1.  :class:`ClauseSet` normalises tautologous
+clauses away on construction, so the always-true clause set is the empty
+set of clauses and an always-false one contains the empty clause.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.errors import InconsistentLiteralsError, ParseError, VocabularyError
+from repro.logic.formula import Formula, Not, Var
+from repro.logic.propositions import Vocabulary
+
+__all__ = [
+    "Literal",
+    "Clause",
+    "EMPTY_CLAUSE",
+    "make_literal",
+    "literal_index",
+    "literal_is_positive",
+    "negate_literal",
+    "literal_from_str",
+    "literal_to_str",
+    "literal_to_formula",
+    "clause_of",
+    "clause_props",
+    "clause_is_tautologous",
+    "clause_to_str",
+    "clause_to_formula",
+    "clause_satisfied_by",
+    "literals_consistent",
+    "literals_to_world_constraint",
+    "ClauseSet",
+]
+
+Literal = int
+"""Type alias: a literal is a non-zero ``int`` (sign = polarity)."""
+
+Clause = frozenset[int]
+"""Type alias: a clause is a frozenset of literals."""
+
+EMPTY_CLAUSE: Clause = frozenset()
+"""The empty clause (the paper's box / 0): satisfied by no world."""
+
+
+# --------------------------------------------------------------------------
+# literals
+# --------------------------------------------------------------------------
+
+def make_literal(index: int, positive: bool = True) -> Literal:
+    """Literal for the letter at 0-based vocabulary ``index``."""
+    if index < 0:
+        raise VocabularyError(f"negative proposition index {index}")
+    return index + 1 if positive else -(index + 1)
+
+
+def literal_index(literal: Literal) -> int:
+    """0-based vocabulary index of the literal's letter."""
+    return abs(literal) - 1
+
+
+def literal_is_positive(literal: Literal) -> bool:
+    """True for ``A``, false for ``~A``."""
+    return literal > 0
+
+
+def negate_literal(literal: Literal) -> Literal:
+    """``A`` <-> ``~A``."""
+    return -literal
+
+
+def literal_from_str(vocabulary: Vocabulary, text: str) -> Literal:
+    """Parse ``"A3"`` or ``"~A3"`` (also ``"!A3"``) into a literal."""
+    stripped = text.strip()
+    positive = True
+    while stripped[:1] in ("~", "!"):
+        positive = not positive
+        stripped = stripped[1:].strip()
+    if not stripped:
+        raise ParseError(f"no proposition name in literal {text!r}", text)
+    return make_literal(vocabulary.index_of(stripped), positive)
+
+
+def literal_to_str(vocabulary: Vocabulary, literal: Literal) -> str:
+    """Render a literal with its proposition name."""
+    name = vocabulary.name_of(literal_index(literal))
+    return name if literal > 0 else f"~{name}"
+
+
+def literal_to_formula(vocabulary: Vocabulary, literal: Literal) -> Formula:
+    """The literal as a :class:`Formula` (``Var`` or ``Not(Var)``)."""
+    variable = Var(vocabulary.name_of(literal_index(literal)))
+    return variable if literal > 0 else Not(variable)
+
+
+def literals_consistent(literals: Iterable[Literal]) -> bool:
+    """A literal set is consistent iff it never contains both ``l`` and ``-l``."""
+    seen = set(literals)
+    return all(-literal not in seen for literal in seen)
+
+
+def literals_to_world_constraint(literals: Iterable[Literal]) -> tuple[int, int]:
+    """Compile a consistent literal set to ``(care_mask, value_mask)`` bits.
+
+    A world ``w`` satisfies the set iff ``w & care_mask == value_mask``.
+    Raises :class:`InconsistentLiteralsError` on ``{A, ~A}``.
+    """
+    care = 0
+    value = 0
+    for literal in literals:
+        bit = 1 << literal_index(literal)
+        if care & bit:
+            expected = bool(value & bit)
+            if expected != (literal > 0):
+                raise InconsistentLiteralsError(
+                    "literal set contains a complementary pair"
+                )
+            continue
+        care |= bit
+        if literal > 0:
+            value |= bit
+    return care, value
+
+
+# --------------------------------------------------------------------------
+# clauses
+# --------------------------------------------------------------------------
+
+def clause_of(literals: Iterable[Literal]) -> Clause:
+    """Build a clause from literals (a plain frozenset)."""
+    return frozenset(literals)
+
+
+def clause_props(clause: Clause) -> frozenset[int]:
+    """Vocabulary indices of the letters occurring in the clause."""
+    return frozenset(literal_index(literal) for literal in clause)
+
+
+def clause_is_tautologous(clause: Clause) -> bool:
+    """True iff the clause contains a complementary literal pair (the 1)."""
+    return any(-literal in clause for literal in clause)
+
+
+def clause_to_str(vocabulary: Vocabulary, clause: Clause) -> str:
+    """Render a clause, e.g. ``"A1 | ~A2"``; the empty clause prints as 0."""
+    if not clause:
+        return "0"
+    ordered = sorted(clause, key=lambda lit: (literal_index(lit), lit < 0))
+    return " | ".join(literal_to_str(vocabulary, lit) for lit in ordered)
+
+
+def clause_to_formula(vocabulary: Vocabulary, clause: Clause) -> Formula:
+    """The clause as a disjunction :class:`Formula`."""
+    from repro.logic.formula import disj
+
+    ordered = sorted(clause, key=lambda lit: (literal_index(lit), lit < 0))
+    return disj(literal_to_formula(vocabulary, lit) for lit in ordered)
+
+
+def clause_satisfied_by(clause: Clause, world: int) -> bool:
+    """Does the bit-packed ``world`` satisfy the clause?"""
+    for literal in clause:
+        bit = world >> (abs(literal) - 1) & 1
+        if (literal > 0) == bool(bit):
+            return True
+    return False
+
+
+# --------------------------------------------------------------------------
+# clause sets
+# --------------------------------------------------------------------------
+
+class ClauseSet:
+    """A finite set of clauses over a vocabulary -- an element of ``CF[D]``.
+
+    Immutable and hashable.  Tautologous clauses are removed on
+    construction (they denote 1 and are redundant in a conjunction), which
+    keeps the distinguished representations canonical:
+
+    * the always-true clause set is ``ClauseSet.tautology(vocab)`` (no
+      clauses);
+    * any clause set containing the empty clause is unsatisfiable.
+
+    >>> vocab = Vocabulary.standard(3)
+    >>> cs = ClauseSet.from_strs(vocab, ["A1 | ~A2", "A3"])
+    >>> cs.length
+    3
+    """
+
+    __slots__ = ("_vocabulary", "_clauses", "_hash")
+
+    def __init__(self, vocabulary: Vocabulary, clauses: Iterable[Clause]):
+        max_index = len(vocabulary) - 1
+        kept: set[Clause] = set()
+        for clause in clauses:
+            clause = frozenset(clause)
+            for literal in clause:
+                if literal == 0:
+                    raise VocabularyError("0 is not a valid literal")
+                if literal_index(literal) > max_index:
+                    raise VocabularyError(
+                        f"literal {literal} exceeds vocabulary size {len(vocabulary)}"
+                    )
+            if not clause_is_tautologous(clause):
+                kept.add(clause)
+        self._vocabulary = vocabulary
+        self._clauses = frozenset(kept)
+        self._hash = hash((vocabulary, self._clauses))
+
+    # --- constructors -------------------------------------------------------
+
+    @classmethod
+    def tautology(cls, vocabulary: Vocabulary) -> "ClauseSet":
+        """The empty clause set: true in every world."""
+        return cls(vocabulary, ())
+
+    @classmethod
+    def contradiction(cls, vocabulary: Vocabulary) -> "ClauseSet":
+        """``{box}``: true in no world."""
+        return cls(vocabulary, (EMPTY_CLAUSE,))
+
+    @classmethod
+    def from_strs(cls, vocabulary: Vocabulary, clause_texts: Iterable[str]) -> "ClauseSet":
+        """Parse clause strings such as ``"A1 | ~A2"`` (literals joined by |).
+
+        Each string must be a flat disjunction of literals; for arbitrary
+        formulas use :func:`repro.logic.cnf.formula_to_clauses`.
+        """
+        clauses: list[Clause] = []
+        for text in clause_texts:
+            stripped = text.strip()
+            if stripped in ("0", "[]"):
+                clauses.append(EMPTY_CLAUSE)
+                continue
+            parts = [p for p in stripped.replace("\\/", "|").split("|")]
+            clauses.append(
+                frozenset(literal_from_str(vocabulary, part) for part in parts)
+            )
+        return cls(vocabulary, clauses)
+
+    @classmethod
+    def from_literal_set(cls, vocabulary: Vocabulary, literals: Iterable[Literal]) -> "ClauseSet":
+        """The clause set ``{{l} : l in literals}`` (a conjunction of units)."""
+        return cls(vocabulary, (frozenset((lit,)) for lit in literals))
+
+    # --- accessors ----------------------------------------------------------
+
+    @property
+    def vocabulary(self) -> Vocabulary:
+        """The vocabulary the clause set is defined over."""
+        return self._vocabulary
+
+    @property
+    def clauses(self) -> frozenset[Clause]:
+        """The underlying frozenset of clauses."""
+        return self._clauses
+
+    @property
+    def length(self) -> int:
+        """``Length[Phi]``: total number of distinct literals over all clauses."""
+        return sum(len(clause) for clause in self._clauses)
+
+    @property
+    def prop_indices(self) -> frozenset[int]:
+        """Vocabulary indices of all letters occurring in some clause."""
+        out: set[int] = set()
+        for clause in self._clauses:
+            for literal in clause:
+                out.add(literal_index(literal))
+        return frozenset(out)
+
+    @property
+    def prop_names(self) -> frozenset[str]:
+        """``Prop[Phi]``: names of all letters occurring in some clause."""
+        return frozenset(self._vocabulary.name_of(i) for i in self.prop_indices)
+
+    @property
+    def has_empty_clause(self) -> bool:
+        """True iff the set contains the (unsatisfiable) empty clause."""
+        return EMPTY_CLAUSE in self._clauses
+
+    def __len__(self) -> int:
+        return len(self._clauses)
+
+    def __iter__(self) -> Iterator[Clause]:
+        return iter(self._clauses)
+
+    def __contains__(self, clause: object) -> bool:
+        return clause in self._clauses
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ClauseSet):
+            return NotImplemented
+        return self._vocabulary == other._vocabulary and self._clauses == other._clauses
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"ClauseSet({self})"
+
+    def __str__(self) -> str:
+        if not self._clauses:
+            return "{1}"
+        rendered = sorted(clause_to_str(self._vocabulary, c) for c in self._clauses)
+        return "{" + ", ".join(rendered) + "}"
+
+    # --- operations ---------------------------------------------------------
+
+    def union(self, other: "ClauseSet") -> "ClauseSet":
+        """Set union of the clauses (conjunction of the theories)."""
+        self._check_vocabulary(other)
+        return ClauseSet(self._vocabulary, self._clauses | other._clauses)
+
+    def with_clause(self, clause: Clause) -> "ClauseSet":
+        """This clause set plus one extra clause."""
+        return ClauseSet(self._vocabulary, self._clauses | {frozenset(clause)})
+
+    def without_letters(self, indices: Iterable[int]) -> "ClauseSet":
+        """Clauses that do not mention any of the given letters (``drop``)."""
+        forbidden = frozenset(indices)
+        return ClauseSet(
+            self._vocabulary,
+            (c for c in self._clauses if not (clause_props(c) & forbidden)),
+        )
+
+    def satisfied_by(self, world: int) -> bool:
+        """Does ``world`` (bit-packed) satisfy every clause?"""
+        return all(clause_satisfied_by(clause, world) for clause in self._clauses)
+
+    def reduce(self) -> "ClauseSet":
+        """Remove subsumed clauses (keep only subset-minimal ones).
+
+        The paper's algorithms are stated modulo logical equivalence; this
+        is the standard tidy-up that keeps intermediate results small.
+        """
+        by_size = sorted(self._clauses, key=len)
+        kept: list[Clause] = []
+        for clause in by_size:
+            if not any(kept_clause <= clause for kept_clause in kept):
+                kept.append(clause)
+        return ClauseSet(self._vocabulary, kept)
+
+    def to_formulas(self) -> tuple[Formula, ...]:
+        """Each clause as a disjunction formula, in a deterministic order."""
+        ordered = sorted(
+            self._clauses,
+            key=lambda c: sorted((literal_index(l), l < 0) for l in c),
+        )
+        return tuple(clause_to_formula(self._vocabulary, c) for c in ordered)
+
+    def _check_vocabulary(self, other: "ClauseSet") -> None:
+        if self._vocabulary != other._vocabulary:
+            from repro.errors import VocabularyMismatchError
+
+            raise VocabularyMismatchError(
+                "clause sets are over different vocabularies"
+            )

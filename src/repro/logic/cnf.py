@@ -1,0 +1,145 @@
+"""Exact conversion of formulas to clause sets (conjunctive normal form).
+
+The conversion must preserve the *model set over the same vocabulary* --
+the possible-worlds semantics of Section 1 leaves no room for Tseitin-style
+auxiliary variables (those change the vocabulary and hence the world set).
+We therefore use the classical transformation: push negations to literals
+(negation normal form), then distribute disjunction over conjunction.
+This is worst-case exponential, which is fine: the paper itself proves the
+associated operations inherently exponential (Theorem 2.3.4).
+
+Tautologous clauses are dropped and subsumed clauses removed, so simple
+formulas produce the small clause sets one writes by hand.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.errors import VocabularyError
+from repro.logic.clauses import Clause, ClauseSet, clause_is_tautologous, make_literal
+from repro.logic.formula import (
+    And,
+    Const,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Var,
+)
+from repro.logic.propositions import Vocabulary
+
+__all__ = ["formula_to_clauses", "formulas_to_clauses", "clauses_to_formula"]
+
+
+def _to_nnf(formula: Formula, negated: bool) -> Formula:
+    """Negation normal form: negations appear only on variables/constants."""
+    if isinstance(formula, Const):
+        return Const(formula.value != negated)
+    if isinstance(formula, Var):
+        return Not(formula) if negated else formula
+    if isinstance(formula, Not):
+        return _to_nnf(formula.operand, not negated)
+    if isinstance(formula, And):
+        parts = tuple(_to_nnf(op, negated) for op in formula.operands)
+        return Or(parts) if negated else And(parts)
+    if isinstance(formula, Or):
+        parts = tuple(_to_nnf(op, negated) for op in formula.operands)
+        return And(parts) if negated else Or(parts)
+    if isinstance(formula, Implies):
+        # p -> q  ==  ~p | q ;   ~(p -> q)  ==  p & ~q
+        if negated:
+            return And((_to_nnf(formula.left, False), _to_nnf(formula.right, True)))
+        return Or((_to_nnf(formula.left, True), _to_nnf(formula.right, False)))
+    if isinstance(formula, Iff):
+        # p <-> q  ==  (p & q) | (~p & ~q) ;  negation swaps one side
+        left, right = formula.left, formula.right
+        if negated:
+            return Or((
+                And((_to_nnf(left, False), _to_nnf(right, True))),
+                And((_to_nnf(left, True), _to_nnf(right, False))),
+            ))
+        return Or((
+            And((_to_nnf(left, False), _to_nnf(right, False))),
+            And((_to_nnf(left, True), _to_nnf(right, True))),
+        ))
+    raise TypeError(f"unknown formula node {type(formula).__name__}")
+
+
+def _cross(left: frozenset[Clause], right: frozenset[Clause]) -> frozenset[Clause]:
+    """Distribute: CNF of (L | R) from CNFs of L and R, dropping tautologies."""
+    out: set[Clause] = set()
+    for lc in left:
+        for rc in right:
+            merged = lc | rc
+            if not clause_is_tautologous(merged):
+                out.add(merged)
+    return frozenset(out)
+
+
+_TRUE_CNF: frozenset[Clause] = frozenset()
+_FALSE_CNF: frozenset[Clause] = frozenset({frozenset()})
+
+
+def _nnf_to_clauses(formula: Formula, vocabulary: Vocabulary) -> frozenset[Clause]:
+    """CNF of an NNF formula as a raw frozenset of clauses."""
+    if isinstance(formula, Const):
+        return _TRUE_CNF if formula.value else _FALSE_CNF
+    if isinstance(formula, Var):
+        return frozenset({frozenset({make_literal(vocabulary.index_of(formula.name))})})
+    if isinstance(formula, Not):
+        operand = formula.operand
+        if not isinstance(operand, Var):
+            raise AssertionError("formula was not in NNF")
+        return frozenset(
+            {frozenset({make_literal(vocabulary.index_of(operand.name), positive=False)})}
+        )
+    if isinstance(formula, And):
+        out: frozenset[Clause] = frozenset()
+        for op in formula.operands:
+            out = out | _nnf_to_clauses(op, vocabulary)
+        return out
+    if isinstance(formula, Or):
+        if not formula.operands:
+            return _FALSE_CNF
+        parts = [_nnf_to_clauses(op, vocabulary) for op in formula.operands]
+        # An always-true disjunct makes the whole disjunction a tautology.
+        acc = parts[0]
+        for part in parts[1:]:
+            if not acc or not part:
+                acc = _TRUE_CNF
+                continue
+            acc = _cross(acc, part)
+        return acc
+    raise AssertionError(f"unexpected NNF node {type(formula).__name__}")
+
+
+def formula_to_clauses(formula: Formula, vocabulary: Vocabulary) -> ClauseSet:
+    """Convert one formula to an equivalent :class:`ClauseSet`.
+
+    >>> from repro.logic.parser import parse_formula
+    >>> vocab = Vocabulary.standard(3)
+    >>> str(formula_to_clauses(parse_formula("A1 -> (A2 & A3)"), vocab))
+    '{~A1 | A2, ~A1 | A3}'
+    """
+    unknown = formula.props() - set(vocabulary.names)
+    if unknown:
+        raise VocabularyError(f"formula mentions unknown letters {sorted(unknown)}")
+    nnf = _to_nnf(formula, negated=False)
+    return ClauseSet(vocabulary, _nnf_to_clauses(nnf, vocabulary)).reduce()
+
+
+def formulas_to_clauses(formulas: Iterable[Formula], vocabulary: Vocabulary) -> ClauseSet:
+    """Convert a set of formulas (an implicit conjunction) to clauses."""
+    acc = ClauseSet.tautology(vocabulary)
+    for formula in formulas:
+        acc = acc.union(formula_to_clauses(formula, vocabulary))
+    return acc.reduce()
+
+
+def clauses_to_formula(clause_set: ClauseSet) -> Formula:
+    """The clause set as one conjunction formula (inverse presentation)."""
+    from repro.logic.formula import conj
+
+    return conj(clause_set.to_formulas())

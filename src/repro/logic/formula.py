@@ -1,0 +1,363 @@
+"""Well-formed propositional formulas -- ``WF[L]`` of Section 1.1.
+
+The AST mirrors the paper's connective set ``{and, or, not, =>, <=>}`` plus
+the constants 0 and 1.  Formulas are immutable and hashable; they are pure
+syntax and carry no vocabulary -- a formula is interpreted *over* a
+vocabulary when evaluated or converted to clauses.
+
+Substitution (:meth:`Formula.substitute`) is the engine behind database
+morphisms (Definition 1.3.1): a morphism assigns a formula to each
+proposition letter, and its extension to ``WF`` substitutes throughout.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Mapping
+
+__all__ = [
+    "Formula",
+    "Const",
+    "Var",
+    "Not",
+    "And",
+    "Or",
+    "Implies",
+    "Iff",
+    "TRUE",
+    "FALSE",
+    "var",
+    "conj",
+    "disj",
+    "props_of",
+]
+
+
+class Formula:
+    """Abstract base for all formula nodes.
+
+    Subclasses are value objects: equality and hashing are structural.
+    Operator overloads build formulas conveniently::
+
+        >>> f = var("A1") & ~var("A2")
+        >>> str(f)
+        '(A1 & ~A2)'
+    """
+
+    __slots__ = ()
+
+    # --- construction sugar -------------------------------------------------
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return And((self, other))
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or((self, other))
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+    def implies(self, other: "Formula") -> "Formula":
+        """The formula ``self => other``."""
+        return Implies(self, other)
+
+    def iff(self, other: "Formula") -> "Formula":
+        """The formula ``self <=> other``."""
+        return Iff(self, other)
+
+    # --- core interface -----------------------------------------------------
+
+    def props(self) -> frozenset[str]:
+        """``Prop[{self}]``: the proposition names occurring in the formula."""
+        out: set[str] = set()
+        self._collect_props(out)
+        return frozenset(out)
+
+    def _collect_props(self, out: set[str]) -> None:
+        raise NotImplementedError
+
+    def evaluate(self, assignment: Callable[[str], bool] | Mapping[str, bool]) -> bool:
+        """Truth value under ``assignment`` (the paper's ``s-bar``).
+
+        ``assignment`` maps proposition names to booleans; it may be a
+        mapping or a callable.  Unmentioned letters are never consulted.
+        """
+        if isinstance(assignment, Mapping):
+            mapping = assignment
+            return self._eval(lambda name: bool(mapping[name]))
+        return self._eval(lambda name: bool(assignment(name)))
+
+    def _eval(self, lookup: Callable[[str], bool]) -> bool:
+        raise NotImplementedError
+
+    def substitute(self, mapping: Mapping[str, "Formula"]) -> "Formula":
+        """Replace each variable named in ``mapping`` by its image formula.
+
+        This is the natural extension ``f-bar : WF[D2] -> WF[D1]`` of a
+        morphism ``f`` (Definition 1.3.1).  Variables absent from the
+        mapping are left untouched.
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({str(self)!r})"
+
+
+class Const(Formula):
+    """The constant formulas 1 (true) and 0 (false)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: bool):
+        object.__setattr__(self, "value", bool(value))
+
+    def __setattr__(self, name, value):  # immutability guard
+        raise AttributeError("Const is immutable")
+
+    def _collect_props(self, out: set[str]) -> None:
+        pass
+
+    def _eval(self, lookup) -> bool:
+        return self.value
+
+    def substitute(self, mapping) -> Formula:
+        return self
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Const) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash(("Const", self.value))
+
+    def __str__(self) -> str:
+        return "1" if self.value else "0"
+
+
+TRUE = Const(True)
+FALSE = Const(False)
+
+
+class Var(Formula):
+    """A proposition letter used as a formula."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        object.__setattr__(self, "name", name)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Var is immutable")
+
+    def _collect_props(self, out: set[str]) -> None:
+        out.add(self.name)
+
+    def _eval(self, lookup) -> bool:
+        return lookup(self.name)
+
+    def substitute(self, mapping) -> Formula:
+        return mapping.get(self.name, self)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Var) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("Var", self.name))
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class Not(Formula):
+    """Negation."""
+
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: Formula):
+        object.__setattr__(self, "operand", operand)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Not is immutable")
+
+    def _collect_props(self, out: set[str]) -> None:
+        self.operand._collect_props(out)
+
+    def _eval(self, lookup) -> bool:
+        return not self.operand._eval(lookup)
+
+    def substitute(self, mapping) -> Formula:
+        return Not(self.operand.substitute(mapping))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Not) and other.operand == self.operand
+
+    def __hash__(self) -> int:
+        return hash(("Not", self.operand))
+
+    def __str__(self) -> str:
+        return f"~{self.operand._wrapped()}"
+
+
+class _Nary(Formula):
+    """Shared machinery for the flat n-ary connectives And / Or."""
+
+    __slots__ = ("operands",)
+    _symbol = "?"
+    _empty_value: bool = True
+
+    def __init__(self, operands: Iterable[Formula]):
+        ops = tuple(operands)
+        for op in ops:
+            if not isinstance(op, Formula):
+                raise TypeError(f"operand {op!r} is not a Formula")
+        object.__setattr__(self, "operands", ops)
+
+    def __setattr__(self, name, value):
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def _collect_props(self, out: set[str]) -> None:
+        for op in self.operands:
+            op._collect_props(out)
+
+    def substitute(self, mapping) -> Formula:
+        return type(self)(op.substitute(mapping) for op in self.operands)
+
+    def __eq__(self, other: object) -> bool:
+        return type(other) is type(self) and other.operands == self.operands
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.operands))
+
+    def __str__(self) -> str:
+        if not self.operands:
+            return "1" if self._empty_value else "0"
+        if len(self.operands) == 1:
+            return str(self.operands[0])
+        inner = f" {self._symbol} ".join(op._wrapped() for op in self.operands)
+        return f"({inner})"
+
+
+class And(_Nary):
+    """Conjunction over zero or more operands (empty = 1)."""
+
+    __slots__ = ()
+    _symbol = "&"
+    _empty_value = True
+
+    def _eval(self, lookup) -> bool:
+        return all(op._eval(lookup) for op in self.operands)
+
+
+class Or(_Nary):
+    """Disjunction over zero or more operands (empty = 0)."""
+
+    __slots__ = ()
+    _symbol = "|"
+    _empty_value = False
+
+    def _eval(self, lookup) -> bool:
+        return any(op._eval(lookup) for op in self.operands)
+
+
+class Implies(Formula):
+    """Material implication ``left => right``."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Formula, right: Formula):
+        object.__setattr__(self, "left", left)
+        object.__setattr__(self, "right", right)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Implies is immutable")
+
+    def _collect_props(self, out: set[str]) -> None:
+        self.left._collect_props(out)
+        self.right._collect_props(out)
+
+    def _eval(self, lookup) -> bool:
+        return (not self.left._eval(lookup)) or self.right._eval(lookup)
+
+    def substitute(self, mapping) -> Formula:
+        return Implies(self.left.substitute(mapping), self.right.substitute(mapping))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Implies) and (other.left, other.right) == (self.left, self.right)
+
+    def __hash__(self) -> int:
+        return hash(("Implies", self.left, self.right))
+
+    def __str__(self) -> str:
+        return f"({self.left._wrapped()} -> {self.right._wrapped()})"
+
+
+class Iff(Formula):
+    """Biconditional ``left <=> right``."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Formula, right: Formula):
+        object.__setattr__(self, "left", left)
+        object.__setattr__(self, "right", right)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Iff is immutable")
+
+    def _collect_props(self, out: set[str]) -> None:
+        self.left._collect_props(out)
+        self.right._collect_props(out)
+
+    def _eval(self, lookup) -> bool:
+        return self.left._eval(lookup) == self.right._eval(lookup)
+
+    def substitute(self, mapping) -> Formula:
+        return Iff(self.left.substitute(mapping), self.right.substitute(mapping))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Iff) and (other.left, other.right) == (self.left, self.right)
+
+    def __hash__(self) -> int:
+        return hash(("Iff", self.left, self.right))
+
+    def __str__(self) -> str:
+        return f"({self.left._wrapped()} <-> {self.right._wrapped()})"
+
+
+def _wrapped(self: Formula) -> str:
+    """Render a formula for embedding inside a larger one.
+
+    Atomic-looking forms (variables, constants, negations, and anything that
+    already prints with outer parentheses) need no extra wrapping.
+    """
+    text = str(self)
+    return text
+
+
+Formula._wrapped = _wrapped  # type: ignore[attr-defined]
+
+
+def var(name: str) -> Var:
+    """Shorthand constructor: ``var("A1")``."""
+    return Var(name)
+
+
+def conj(formulas: Iterable[Formula]) -> Formula:
+    """Conjunction of a collection, flattened; empty collection gives 1."""
+    ops = tuple(formulas)
+    if len(ops) == 1:
+        return ops[0]
+    return And(ops)
+
+
+def disj(formulas: Iterable[Formula]) -> Formula:
+    """Disjunction of a collection, flattened; empty collection gives 0."""
+    ops = tuple(formulas)
+    if len(ops) == 1:
+        return ops[0]
+    return Or(ops)
+
+
+def props_of(formulas: Iterable[Formula]) -> frozenset[str]:
+    """``Prop[Phi]`` for a collection of formulas (Section 1.1)."""
+    out: set[str] = set()
+    for formula in formulas:
+        formula._collect_props(out)
+    return frozenset(out)

@@ -1,0 +1,152 @@
+"""Resolution machinery (Chang & Lee [2] in the paper's references).
+
+Provides the primitives the clausal implementation ``BLU--C`` is built on:
+
+* :func:`resolvent` -- ``Resolvent(phi1, phi2, A)`` of Section 1.1;
+* :func:`rclosure` -- closure under resolution on a set of letters
+  (Algorithm 2.3.5);
+* :func:`drop` -- discard clauses mentioning given letters (Algorithm 2.3.5);
+* :func:`eliminate_letter` -- one Davis-Putnam variable-elimination step,
+  i.e. ``drop({A}, rclosure(Phi, {A}))``, the body of ``BLU--C[mask]``;
+* :func:`unit_resolve` -- the paper's ``unitres`` (Algorithm 2.3.8);
+* :func:`resolution_closure` -- full saturation (used in tests to check
+  refutation completeness on small instances).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.logic.clauses import (
+    Clause,
+    ClauseSet,
+    Literal,
+    clause_is_tautologous,
+    clause_props,
+    make_literal,
+)
+
+__all__ = [
+    "resolvent",
+    "rclosure",
+    "drop",
+    "eliminate_letter",
+    "unit_resolve",
+    "resolution_closure",
+]
+
+
+def resolvent(clause_pos: Clause, clause_neg: Clause, index: int) -> Clause | None:
+    """The resolvent of two clauses on the letter at vocabulary ``index``.
+
+    ``clause_pos`` must contain the positive literal and ``clause_neg`` the
+    negative one; returns ``None`` when the resolvent does not exist or is
+    tautologous (a tautologous resolvent carries no information and every
+    classical treatment discards it).
+    """
+    positive = make_literal(index, positive=True)
+    negative = -positive
+    if positive not in clause_pos or negative not in clause_neg:
+        return None
+    merged = (clause_pos - {positive}) | (clause_neg - {negative})
+    if clause_is_tautologous(merged):
+        return None
+    return merged
+
+
+def rclosure(clause_set: ClauseSet, indices: Iterable[int]) -> ClauseSet:
+    """Close ``clause_set`` under resolution on the given letters.
+
+    Faithful to Algorithm 2.3.5's ``rclosure``: for each letter ``A`` in
+    turn, add every (non-tautologous) resolvent of an ``A``-positive and an
+    ``A``-negative clause.  Later letters see resolvents produced by earlier
+    ones, and the loop re-runs until a fixpoint is reached so that the
+    result is genuinely closed under resolution on *all* listed letters.
+    """
+    index_list = sorted(set(indices))
+    current: set[Clause] = set(clause_set.clauses)
+    changed = True
+    while changed:
+        changed = False
+        for index in index_list:
+            positive_literal = make_literal(index, positive=True)
+            negative_literal = -positive_literal
+            with_pos = [c for c in current if positive_literal in c]
+            with_neg = [c for c in current if negative_literal in c]
+            for clause_pos in with_pos:
+                for clause_neg in with_neg:
+                    res = resolvent(clause_pos, clause_neg, index)
+                    if res is not None and res not in current:
+                        current.add(res)
+                        changed = True
+    return ClauseSet(clause_set.vocabulary, current)
+
+
+def drop(clause_set: ClauseSet, indices: Iterable[int]) -> ClauseSet:
+    """Algorithm 2.3.5's ``drop``: discard clauses mentioning any listed letter."""
+    return clause_set.without_letters(indices)
+
+
+def eliminate_letter(clause_set: ClauseSet, index: int) -> ClauseSet:
+    """One variable-elimination step: resolve on the letter, then drop it.
+
+    This computes the clausal representation of ``exists A . Phi`` -- the
+    logically strongest consequence of ``Phi`` not mentioning ``A`` -- and
+    is the per-letter body of ``BLU--C[mask]`` (Algorithm 2.3.5).  The
+    result is subsumption-reduced, a correctness-preserving optimisation
+    the paper anticipates in Section 4.
+    """
+    closed = rclosure(clause_set, (index,))
+    return drop(closed, (index,)).reduce()
+
+
+def unit_resolve(clause_set: ClauseSet, literals: Iterable[Literal]) -> ClauseSet:
+    """The paper's ``unitres`` (Algorithm 2.3.8), literally.
+
+    For each literal ``l`` in ``literals``, every occurrence of ``~l`` is
+    struck from every clause.  Note this does *not* delete satisfied
+    clauses; with a total assignment, a clause reduces to the empty clause
+    exactly when the assignment falsifies it.
+    """
+    literal_list = list(literals)
+    clauses: set[Clause] = set(clause_set.clauses)
+    for literal in literal_list:
+        negated = -literal
+        updated: set[Clause] = set()
+        for clause in clauses:
+            if negated in clause:
+                updated.add(clause - {negated})
+            else:
+                updated.add(clause)
+        clauses = updated
+    return ClauseSet(clause_set.vocabulary, clauses)
+
+
+def resolution_closure(clause_set: ClauseSet, max_clauses: int = 100_000) -> ClauseSet:
+    """Saturate under resolution on *every* letter (total resolution).
+
+    Used only for testing (e.g. refutation-completeness checks); guarded by
+    ``max_clauses`` since saturation is exponential.
+    """
+    indices = sorted(clause_set.prop_indices)
+    current: set[Clause] = set(clause_set.clauses)
+    changed = True
+    while changed:
+        changed = False
+        snapshot = list(current)
+        for index in indices:
+            positive_literal = make_literal(index, positive=True)
+            with_pos = [c for c in snapshot if positive_literal in c]
+            with_neg = [c for c in snapshot if -positive_literal in c]
+            for clause_pos in with_pos:
+                for clause_neg in with_neg:
+                    res = resolvent(clause_pos, clause_neg, index)
+                    if res is not None and res not in current:
+                        current.add(res)
+                        changed = True
+                        if len(current) > max_clauses:
+                            raise MemoryError(
+                                f"resolution closure exceeded {max_clauses} clauses"
+                            )
+        snapshot = list(current)
+    return ClauseSet(clause_set.vocabulary, current)

@@ -1,0 +1,228 @@
+"""A small DPLL satisfiability solver over :class:`ClauseSet`.
+
+The instance-level semantics enumerates worlds and cannot scale past ~20
+letters; the Wilkins baseline (Section 3.3.1) deliberately *grows* the
+vocabulary with every update, so measuring its query-time degradation
+(experiment E11) needs a solver that handles a few hundred letters.  This
+is a classic DPLL with unit propagation, pure-literal elimination, and a
+most-frequent-literal branching heuristic -- entirely adequate for the
+workloads in this repository.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.logic.clauses import Clause, ClauseSet, Literal
+
+__all__ = [
+    "is_satisfiable",
+    "solve",
+    "entails_clause",
+    "entails_clauses",
+    "count_models",
+    "count_models_exact",
+    "backbone_literals",
+]
+
+
+def _propagate(
+    clauses: list[Clause], assignment: dict[int, bool]
+) -> list[Clause] | None:
+    """Unit propagation; returns simplified clauses or ``None`` on conflict."""
+    work = list(clauses)
+    while True:
+        unit: Literal | None = None
+        simplified: list[Clause] = []
+        for clause in work:
+            # Evaluate the clause under the current partial assignment.
+            remaining: list[Literal] = []
+            satisfied = False
+            for literal in clause:
+                index = abs(literal) - 1
+                if index in assignment:
+                    if assignment[index] == (literal > 0):
+                        satisfied = True
+                        break
+                else:
+                    remaining.append(literal)
+            if satisfied:
+                continue
+            if not remaining:
+                return None  # falsified clause
+            if len(remaining) == 1 and unit is None:
+                unit = remaining[0]
+            simplified.append(frozenset(remaining))
+        if unit is None:
+            return simplified
+        assignment[abs(unit) - 1] = unit > 0
+        work = simplified
+
+
+def _dpll(clauses: list[Clause], assignment: dict[int, bool]) -> dict[int, bool] | None:
+    simplified = _propagate(clauses, assignment)
+    if simplified is None:
+        return None
+    if not simplified:
+        return assignment
+    # Pure literal elimination.
+    polarity: dict[int, int] = {}
+    for clause in simplified:
+        for literal in clause:
+            index = abs(literal) - 1
+            sign = 1 if literal > 0 else -1
+            polarity[index] = polarity.get(index, sign) if polarity.get(index, sign) == sign else 0
+            if index not in polarity:
+                polarity[index] = sign
+    pure = {index: sign for index, sign in polarity.items() if sign != 0}
+    if pure:
+        for index, sign in pure.items():
+            if index not in assignment:
+                assignment[index] = sign > 0
+        remaining = [
+            clause
+            for clause in simplified
+            if not any(
+                (abs(l) - 1) in pure and (pure[abs(l) - 1] > 0) == (l > 0)
+                for l in clause
+            )
+        ]
+        if len(remaining) != len(simplified):
+            return _dpll(remaining, assignment)
+    # Branch on the most frequent literal.
+    counts: Counter[Literal] = Counter()
+    for clause in simplified:
+        counts.update(clause)
+    literal, _ = counts.most_common(1)[0]
+    for value in ((literal > 0), not (literal > 0)):
+        trial = dict(assignment)
+        trial[abs(literal) - 1] = value
+        result = _dpll(simplified, trial)
+        if result is not None:
+            return result
+    return None
+
+
+def solve(clause_set: ClauseSet, assumptions: tuple[Literal, ...] = ()) -> dict[int, bool] | None:
+    """A satisfying (partial) assignment, or ``None`` if unsatisfiable.
+
+    The returned dict maps vocabulary indices to booleans; letters that
+    never mattered may be absent (any value works for them).
+    """
+    assignment: dict[int, bool] = {}
+    for literal in assumptions:
+        index = abs(literal) - 1
+        value = literal > 0
+        if assignment.get(index, value) != value:
+            return None
+        assignment[index] = value
+    return _dpll(list(clause_set.clauses), assignment)
+
+
+def is_satisfiable(clause_set: ClauseSet, assumptions: tuple[Literal, ...] = ()) -> bool:
+    """Satisfiability of the clause set (under optional assumptions)."""
+    return solve(clause_set, assumptions) is not None
+
+
+def entails_clause(clause_set: ClauseSet, clause: Clause) -> bool:
+    """``Phi |= clause`` by refutation: ``Phi`` plus the negated clause is UNSAT."""
+    negated = tuple(-literal for literal in clause)
+    return not is_satisfiable(clause_set, negated)
+
+
+def entails_clauses(clause_set: ClauseSet, other: ClauseSet) -> bool:
+    """``Phi |= Psi``: every clause of ``Psi`` is entailed."""
+    return all(entails_clause(clause_set, clause) for clause in other.clauses)
+
+
+def count_models_exact(clause_set: ClauseSet) -> int:
+    """Exact model count (#SAT) by counting DPLL.
+
+    Unlike :func:`count_models` this never enumerates worlds: unit
+    propagation plus branching, with each fully-satisfied residue
+    contributing ``2^(free letters)``.  Pure-literal elimination is
+    deliberately absent -- it is satisfiability-preserving but not
+    count-preserving.  Worst case exponential (#SAT is #P-complete), but
+    comfortable far beyond the 24-letter enumeration limit on the states
+    this library produces.
+
+    Used by :meth:`repro.hlu.session.IncompleteDatabase.world_count`.
+    """
+    total_letters = len(clause_set.vocabulary)
+
+    def count(clauses: list[Clause], assignment: dict[int, bool]) -> int:
+        simplified = _propagate(clauses, assignment)
+        if simplified is None:
+            return 0
+        if not simplified:
+            return 1 << (total_letters - len(assignment))
+        shortest = min(simplified, key=len)
+        literal = next(iter(shortest))
+        index = abs(literal) - 1
+        subtotal = 0
+        for value in (True, False):
+            trial = dict(assignment)
+            trial[index] = value
+            subtotal += count(simplified, trial)
+        return subtotal
+
+    return count(list(clause_set.clauses), {})
+
+
+def backbone_literals(clause_set: ClauseSet) -> frozenset[Literal]:
+    """The backbone: literals true in *every* model of the clause set.
+
+    This is the clause-level route to a state's certain literals (the
+    readable ``Sat`` fragment) without enumerating worlds, so it scales
+    to vocabularies the instance semantics cannot touch.  Classic
+    SAT-probing with model reuse: a literal is in the backbone iff the
+    set is satisfiable and forcing its negation is not; any model found
+    along the way rules out half the remaining candidates.
+
+    An unsatisfiable set vacuously forces every literal; all of
+    ``{A, ~A : A in vocabulary}`` is returned in that case, matching
+    :func:`repro.logic.semantics.sat_literals` on the empty world set.
+    """
+    n = len(clause_set.vocabulary)
+    first_model = solve(clause_set)
+    if first_model is None:
+        return frozenset(
+            literal for index in range(n) for literal in (index + 1, -(index + 1))
+        )
+    # Candidates: one polarity per letter, as witnessed by the model
+    # (letters it leaves unassigned are unconstrained, hence not backbone).
+    candidates: set[Literal] = set()
+    for index in range(n):
+        if index in first_model:
+            candidates.add(index + 1 if first_model[index] else -(index + 1))
+    confirmed: set[Literal] = set()
+    while candidates:
+        literal = candidates.pop()
+        model = solve(clause_set, assumptions=(-literal,))
+        if model is None:
+            confirmed.add(literal)
+            continue
+        # The counter-model eliminates every candidate it falsifies.
+        candidates = {
+            c
+            for c in candidates
+            if (abs(c) - 1) in model and model[abs(c) - 1] == (c > 0)
+        }
+    return frozenset(confirmed)
+
+
+def count_models(clause_set: ClauseSet, over_indices: frozenset[int] | None = None) -> int:
+    """Count models projected to ``over_indices`` (default: full vocabulary).
+
+    Exhaustive enumeration -- only for small vocabularies; used by tests
+    and by the expressiveness experiment E14.
+    """
+    from repro.logic.semantics import models_of_clauses
+
+    models = models_of_clauses(clause_set)
+    if over_indices is None:
+        return len(models)
+    mask = 0
+    for index in over_indices:
+        mask |= 1 << index
+    return len({world & mask for world in models})

@@ -1,0 +1,144 @@
+"""Model-theoretic notions of Section 1.1: ``Mod``, ``Sat``, ``Th``, ``Dep``.
+
+These are the exact, enumerative definitions over a finite vocabulary --
+the ground truth everything else is checked against.  They enumerate up to
+``2^n`` worlds and are therefore restricted to small vocabularies; scalable
+(clause-level) counterparts live in :mod:`repro.logic.sat` and
+:mod:`repro.logic.resolution`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.logic.clauses import ClauseSet
+from repro.logic.formula import Formula
+from repro.logic.propositions import Vocabulary
+from repro.logic.structures import World, all_worlds, flip_bit, satisfies
+
+__all__ = [
+    "models_of_formulas",
+    "models_of_clauses",
+    "sat_literals",
+    "theory_contains",
+    "formulas_entail",
+    "clause_sets_equivalent",
+    "dependency_indices",
+    "dependency_names",
+    "clause_set_dependency_indices",
+]
+
+
+def models_of_formulas(
+    vocabulary: Vocabulary, formulas: Iterable[Formula]
+) -> frozenset[World]:
+    """``Mod[Phi]``: all structures satisfying every formula in ``Phi``."""
+    formula_tuple = tuple(formulas)
+    return frozenset(
+        world
+        for world in all_worlds(vocabulary)
+        if all(satisfies(vocabulary, world, f) for f in formula_tuple)
+    )
+
+
+def models_of_clauses(clause_set: ClauseSet) -> frozenset[World]:
+    """``Mod[Phi]`` for a clause set (the canonical emulation map
+    ``e_CI[S]`` of Definition 2.3.2(b))."""
+    return frozenset(
+        world
+        for world in all_worlds(clause_set.vocabulary)
+        if clause_set.satisfied_by(world)
+    )
+
+
+def sat_literals(vocabulary: Vocabulary, worlds: Iterable[World]) -> frozenset[str]:
+    """A readable fragment of ``Sat[S]``: the *literals* true in every world.
+
+    (``Sat[S]`` itself is infinite; its literal fragment is what callers
+    actually inspect.)  Returns strings like ``"A1"`` / ``"~A2"``.
+    """
+    world_list = list(worlds)
+    out: set[str] = set()
+    if not world_list:
+        # Every formula holds vacuously; report all literals.
+        for name in vocabulary.names:
+            out.add(name)
+            out.add(f"~{name}")
+        return frozenset(out)
+    for index, name in enumerate(vocabulary.names):
+        values = {world >> index & 1 for world in world_list}
+        if values == {1}:
+            out.add(name)
+        elif values == {0}:
+            out.add(f"~{name}")
+    return frozenset(out)
+
+
+def theory_contains(
+    vocabulary: Vocabulary, axioms: Iterable[Formula], candidate: Formula
+) -> bool:
+    """Is ``candidate`` in ``Th[axioms]`` (i.e. ``axioms |= candidate``)?"""
+    candidate_formula = candidate
+    axiom_tuple = tuple(axioms)
+    for world in all_worlds(vocabulary):
+        if all(satisfies(vocabulary, world, f) for f in axiom_tuple):
+            if not satisfies(vocabulary, world, candidate_formula):
+                return False
+    return True
+
+
+def formulas_entail(
+    vocabulary: Vocabulary, premises: Iterable[Formula], conclusions: Iterable[Formula]
+) -> bool:
+    """``premises |= conclusions`` by exhaustive model check."""
+    premise_tuple = tuple(premises)
+    conclusion_tuple = tuple(conclusions)
+    for world in all_worlds(vocabulary):
+        if all(satisfies(vocabulary, world, f) for f in premise_tuple):
+            if not all(satisfies(vocabulary, world, f) for f in conclusion_tuple):
+                return False
+    return True
+
+
+def clause_sets_equivalent(left: ClauseSet, right: ClauseSet) -> bool:
+    """Logical equivalence of clause sets, by model comparison."""
+    return models_of_clauses(left) == models_of_clauses(right)
+
+
+def dependency_indices(
+    vocabulary: Vocabulary, worlds: frozenset[World] | set[World]
+) -> frozenset[int]:
+    """``Dep[S]`` as vocabulary indices (Section 1.1, semantic reading).
+
+    A letter ``A`` belongs to the dependency set of a world set ``S`` iff
+    ``S`` is *not* closed under flipping ``A``: some world is in ``S``
+    while its ``A``-flipped twin is not.  Equivalently, every axiomatisation
+    of ``S`` must mention ``A``.
+    """
+    world_set = frozenset(worlds)
+    dependent: set[int] = set()
+    for index in range(len(vocabulary)):
+        for world in world_set:
+            if flip_bit(world, index) not in world_set:
+                dependent.add(index)
+                break
+    return frozenset(dependent)
+
+
+def dependency_names(
+    vocabulary: Vocabulary, worlds: frozenset[World] | set[World]
+) -> frozenset[str]:
+    """``Dep[S]`` as proposition names."""
+    return frozenset(
+        vocabulary.name_of(i) for i in dependency_indices(vocabulary, worlds)
+    )
+
+
+def clause_set_dependency_indices(clause_set: ClauseSet) -> frozenset[int]:
+    """Brute-force ``Dep[Mod[Phi]]`` for a clause set.
+
+    Exponential reference implementation used to validate the paper's
+    ``genmask`` algorithm (2.3.8); the deciding problem is NP-complete
+    (Theorem 2.3.9(c)), so no cheap version exists.
+    """
+    return dependency_indices(clause_set.vocabulary, models_of_clauses(clause_set))

@@ -1,0 +1,60 @@
+"""The first-order relational extension (Section 5 of the paper).
+
+Typed relations over external constants, internal constants (nulls) with
+Boolean category expressions, grounding to the propositional framework,
+semantic resolution, and the extended ``where`` update language.
+"""
+
+from repro.relational.atoms import OpenAtom, atom_valuations
+from repro.relational.constants import (
+    CategoryExpr,
+    ConstantDictionary,
+    InternalConstant,
+)
+from repro.relational.grounding import Grounding
+from repro.relational.language import (
+    ANY,
+    AtomTemplate,
+    Binding,
+    Exists,
+    Wildcard,
+    exists,
+    var,
+)
+from repro.relational.prover import OpenKB
+from repro.relational.schema import Attribute, RelationalSchema, RelationSignature
+from repro.relational.semantic_resolution import (
+    OpenClause,
+    SignedAtom,
+    semantic_resolvent,
+    semantic_unify,
+)
+from repro.relational.session import RelationalDatabase
+from repro.relational.types import TypeAlgebra, TypeExpr
+
+__all__ = [
+    "TypeAlgebra",
+    "TypeExpr",
+    "CategoryExpr",
+    "InternalConstant",
+    "ConstantDictionary",
+    "Attribute",
+    "RelationSignature",
+    "RelationalSchema",
+    "OpenAtom",
+    "atom_valuations",
+    "Grounding",
+    "AtomTemplate",
+    "Binding",
+    "Exists",
+    "Wildcard",
+    "ANY",
+    "var",
+    "exists",
+    "SignedAtom",
+    "OpenClause",
+    "semantic_unify",
+    "semantic_resolvent",
+    "RelationalDatabase",
+    "OpenKB",
+]

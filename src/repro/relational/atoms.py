@@ -1,0 +1,132 @@
+"""Open atoms: ground facts that may contain internal constants (nulls).
+
+``R(Jones, JD, u)`` with ``u`` an internal constant of type ``tau_telno``
+is the paper's compact representation of "Jones has *some* telephone
+number" -- one literal instead of the "enormous disjunction" over all
+numbers (Section 5.1.1 / 5.2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable
+
+from repro.errors import SchemaError
+from repro.relational.constants import ConstantDictionary, InternalConstant
+from repro.relational.schema import RelationalSchema
+
+__all__ = ["OpenAtom", "Valuation", "atom_valuations"]
+
+ArgumentSymbol = str | InternalConstant
+
+Valuation = dict[str, str]
+"""An assignment of internal-constant idents to external constants."""
+
+
+class OpenAtom:
+    """A relation applied to external and/or internal constants."""
+
+    __slots__ = ("relation", "args")
+
+    def __init__(self, relation: str, args: Iterable[ArgumentSymbol]):
+        self.relation = relation
+        self.args = tuple(args)
+
+    def internals(self) -> tuple[InternalConstant, ...]:
+        """The internal constants occurring, in position order (dedup)."""
+        seen: dict[str, InternalConstant] = {}
+        for arg in self.args:
+            if isinstance(arg, InternalConstant):
+                seen.setdefault(arg.ident, arg)
+        return tuple(seen.values())
+
+    def is_ground(self) -> bool:
+        """No internal constants?"""
+        return not any(isinstance(a, InternalConstant) for a in self.args)
+
+    def instantiate(self, valuation: Valuation) -> "OpenAtom":
+        """Replace internal constants by their values under ``valuation``."""
+        return OpenAtom(
+            self.relation,
+            tuple(
+                valuation[a.ident] if isinstance(a, InternalConstant) else a
+                for a in self.args
+            ),
+        )
+
+    def ground_args(self) -> tuple[str, ...]:
+        """The arguments, asserting groundness."""
+        if not self.is_ground():
+            raise SchemaError(f"atom {self} is not ground")
+        return self.args  # type: ignore[return-value]
+
+    def validate(self, schema: RelationalSchema, dictionary: ConstantDictionary) -> None:
+        """Check arity, typing of externals, and non-empty possible values
+        of internals against their positions."""
+        signature = schema.relation(self.relation)
+        if len(self.args) != signature.arity:
+            raise SchemaError(
+                f"{self.relation} expects {signature.arity} argument(s), "
+                f"got {len(self.args)}"
+            )
+        for position, (attribute, arg) in enumerate(
+            zip(signature.attributes, self.args)
+        ):
+            if isinstance(arg, InternalConstant):
+                possible = dictionary.denotation_of(arg) & attribute.type.members
+                if not possible:
+                    raise SchemaError(
+                        f"internal constant {arg.ident} cannot fill position "
+                        f"{position} of {self.relation} (empty intersection "
+                        f"with attribute type)"
+                    )
+            else:
+                if not attribute.admits(arg):
+                    raise SchemaError(
+                        f"constant {arg!r} violates the typing constraint at "
+                        f"position {position} of {self.relation}"
+                    )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, OpenAtom):
+            return NotImplemented
+        return self.relation == other.relation and self.args == other.args
+
+    def __hash__(self) -> int:
+        return hash((self.relation, self.args))
+
+    def __repr__(self) -> str:
+        rendered = ", ".join(
+            a.ident if isinstance(a, InternalConstant) else a for a in self.args
+        )
+        return f"{self.relation}({rendered})"
+
+
+def atom_valuations(
+    atoms: Iterable[OpenAtom],
+    dictionary: ConstantDictionary,
+    schema: RelationalSchema | None = None,
+) -> Iterable[Valuation]:
+    """Enumerate joint valuations of all internal constants in ``atoms``.
+
+    A shared internal constant co-varies across atoms (it denotes *one*
+    unknown external constant -- the modified closed world assumption).
+    When ``schema`` is given, valuations violating a typing constraint at
+    the position of occurrence are skipped.
+    """
+    atom_list = list(atoms)
+    internals: dict[str, InternalConstant] = {}
+    for atom in atom_list:
+        for symbol in atom.internals():
+            internals.setdefault(symbol.ident, symbol)
+    idents = sorted(internals)
+    domains = [sorted(dictionary.denotation_of(internals[i])) for i in idents]
+    for values in itertools.product(*domains):
+        valuation = dict(zip(idents, values))
+        if schema is not None:
+            grounded = [atom.instantiate(valuation) for atom in atom_list]
+            if not all(
+                schema.relation(g.relation).admits(g.ground_args()) for g in grounded
+            ):
+                continue
+        yield valuation

@@ -1,0 +1,102 @@
+"""Query answering directly on the compact (internal-constant) store.
+
+Section 5.2's whole point is that the compact representation "admits much
+more efficient manipulation" -- including query answering -- than the
+grounded one.  The compact store is a conjunction of certain open atoms;
+under the modified closed world assumption each atom with internal
+constants denotes the disjunction, over the joint valuations of its
+nulls, of its ground instances (shared nulls co-vary across atoms).
+
+For this positive-unit fragment, certain-truth of a ground disjunction
+has an exact finite characterisation::
+
+    store |= q1 v ... v qk   iff   for every joint valuation v of the
+    store's internal constants, some instantiated store fact equals some qi.
+
+:func:`certain_disjunction` implements precisely that, giving compact-mode
+answers that provably agree with the grounded mirror (tested in
+``tests/relational/test_compact_query.py``) at a cost that depends on the
+*null count*, not the domain size.  Negative knowledge is outside the
+fragment: the compact store denies nothing, so every well-typed fact is
+possible (:func:`possible_fact` is constantly true, matching the grounded
+semantics of a store that only ever asserts positives).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable
+
+from repro.relational.atoms import OpenAtom, atom_valuations
+from repro.relational.constants import ConstantDictionary
+from repro.relational.schema import RelationalSchema
+
+__all__ = ["certain_disjunction", "certain_fact", "possible_fact", "certain_values"]
+
+
+def certain_disjunction(
+    store: Iterable[OpenAtom],
+    dictionary: ConstantDictionary,
+    schema: RelationalSchema,
+    query: Iterable[tuple[str, tuple[str, ...]]],
+) -> bool:
+    """Is the ground disjunction certain, given the compact store?
+
+    ``query`` is a collection of ``(relation, args)`` ground facts read
+    disjunctively.  Exact for the positive-unit store fragment (see
+    module docstring); the enumeration is over the store's internal
+    constants only.
+    """
+    query_set = {(relation, tuple(args)) for relation, args in query}
+    if not query_set:
+        return False
+    atom_list = list(store)
+    if not atom_list:
+        return False
+    for valuation in atom_valuations(atom_list, dictionary, schema):
+        grounded = {
+            (atom.relation, atom.instantiate(valuation).ground_args())
+            for atom in atom_list
+        }
+        if not (grounded & query_set):
+            return False
+    return True
+
+
+def certain_fact(
+    store: Iterable[OpenAtom],
+    dictionary: ConstantDictionary,
+    schema: RelationalSchema,
+    relation: str,
+    args: tuple[str, ...],
+) -> bool:
+    """Is one ground fact certain?  (A one-disjunct query.)"""
+    return certain_disjunction(store, dictionary, schema, [(relation, args)])
+
+
+def possible_fact(
+    schema: RelationalSchema, relation: str, args: tuple[str, ...]
+) -> bool:
+    """Is a ground fact possible?  The compact store carries no negative
+    information, so exactly the well-typed facts are possible."""
+    return schema.relation(relation).admits(tuple(args))
+
+
+def certain_values(
+    store: Iterable[OpenAtom],
+    dictionary: ConstantDictionary,
+    schema: RelationalSchema,
+    relation: str,
+    args: tuple,
+    position: int,
+) -> frozenset[str]:
+    """The attribute values ``t`` for which the fact with ``t`` at
+    ``position`` is *certain* (usually a singleton or empty)."""
+    signature = schema.relation(relation)
+    out = set()
+    for candidate in sorted(signature.attributes[position].type.members):
+        concrete = list(args)
+        concrete[position] = candidate
+        if certain_fact(store, dictionary, schema, relation, tuple(concrete)):
+            out.add(candidate)
+    return frozenset(out)

@@ -1,0 +1,203 @@
+"""External and internal constant symbols, and the constant dictionary
+(Section 5.2).
+
+*External* constants obey unique naming and are visible to the user.
+*Internal* constants are null values: countably many, only finitely many
+active, each equal to *some* external constant (the modified closed world
+assumption).  The dictionary classifies every symbol: an external entry
+records its smallest named type; an internal entry holds a McSkimin-Minker
+*Boolean category expression* ``(ty, ie, ee)`` -- the value is of type
+``ty`` or among the inclusion exceptions ``ie``, and not among the
+exclusion exceptions ``ee``.
+
+Intersection of category denotations is the dictionary's "semantic
+unification" service used by semantic resolution.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.errors import TypeAlgebraError, UnknownConstantError
+from repro.relational.types import TypeAlgebra, TypeExpr
+
+__all__ = ["CategoryExpr", "InternalConstant", "ConstantDictionary"]
+
+
+class CategoryExpr:
+    """A Boolean category expression ``(ty, ie, ee)``.
+
+    Denotation: ``(members(ty) | ie) - ee`` -- the external constants the
+    classified symbol could equal.
+    """
+
+    __slots__ = ("ty", "ie", "ee")
+
+    def __init__(
+        self,
+        ty: TypeExpr,
+        ie: Iterable[str] = (),
+        ee: Iterable[str] = (),
+    ):
+        self.ty = ty
+        self.ie = frozenset(ie)
+        self.ee = frozenset(ee)
+        unknown = (self.ie | self.ee) - ty.algebra.universe
+        if unknown:
+            raise TypeAlgebraError(
+                f"category expression mentions unknown constants {sorted(unknown)}"
+            )
+
+    def denotation(self) -> frozenset[str]:
+        """The possible external values."""
+        return (self.ty.members | self.ie) - self.ee
+
+    def excluding(self, constants: Iterable[str]) -> "CategoryExpr":
+        """A narrowed expression with more exclusion exceptions."""
+        return CategoryExpr(self.ty, self.ie, self.ee | frozenset(constants))
+
+    def restricted_to(self, allowed: frozenset[str]) -> "CategoryExpr":
+        """A narrowed expression whose denotation is intersected with
+        ``allowed`` (used by semantic unification)."""
+        denotation = self.denotation() & allowed
+        return CategoryExpr(self.ty.algebra.empty, ie=denotation)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CategoryExpr):
+            return NotImplemented
+        return (self.ty, self.ie, self.ee) == (other.ty, other.ie, other.ee)
+
+    def __hash__(self) -> int:
+        return hash((self.ty, self.ie, self.ee))
+
+    def __repr__(self) -> str:
+        parts = [repr(self.ty)]
+        if self.ie:
+            parts.append(f"ie={sorted(self.ie)}")
+        if self.ee:
+            parts.append(f"ee={sorted(self.ee)}")
+        return f"CategoryExpr({', '.join(parts)})"
+
+
+class InternalConstant:
+    """An active internal constant (null value).  Identity is nominal --
+    two internal constants with equal categories are still distinct
+    symbols (no unique naming)."""
+
+    __slots__ = ("ident",)
+
+    def __init__(self, ident: str):
+        self.ident = ident
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, InternalConstant) and other.ident == self.ident
+
+    def __hash__(self) -> int:
+        return hash(("InternalConstant", self.ident))
+
+    def __repr__(self) -> str:
+        return f"InternalConstant({self.ident})"
+
+
+class ConstantDictionary:
+    """The constant dictionary: one entry per external and active internal
+    symbol (Section 5.2).
+
+    >>> algebra = TypeAlgebra(["Jones", "T1", "T2"])
+    >>> telno = algebra.define("telno", ["T1", "T2"])
+    >>> person = algebra.define("person", ["Jones"])
+    >>> d = ConstantDictionary(algebra)
+    >>> d.register_external("Jones", person)
+    >>> u = d.activate(CategoryExpr(telno))
+    >>> sorted(d.denotation_of(u))
+    ['T1', 'T2']
+    """
+
+    def __init__(self, algebra: TypeAlgebra):
+        self._algebra = algebra
+        self._external: dict[str, TypeExpr] = {}
+        self._internal: dict[str, CategoryExpr] = {}
+        self._counter = 0
+
+    @property
+    def algebra(self) -> TypeAlgebra:
+        """The underlying type algebra."""
+        return self._algebra
+
+    # --- external symbols -------------------------------------------------------
+
+    def register_external(self, name: str, smallest_type: TypeExpr) -> None:
+        """Record an external constant with its smallest type."""
+        if name not in self._algebra.universe:
+            raise UnknownConstantError(f"{name!r} is not in the universe")
+        if name not in smallest_type:
+            raise TypeAlgebraError(
+                f"{name!r} is not a member of its declared type"
+            )
+        self._external[name] = smallest_type
+
+    def external_type(self, name: str) -> TypeExpr:
+        """The smallest type of an external constant."""
+        try:
+            return self._external[name]
+        except KeyError:
+            raise UnknownConstantError(f"external constant {name!r} not registered") from None
+
+    def externals(self) -> tuple[str, ...]:
+        """Registered external constants, sorted."""
+        return tuple(sorted(self._external))
+
+    # --- internal symbols -----------------------------------------------------------
+
+    def activate(self, category: CategoryExpr) -> InternalConstant:
+        """Activate a fresh internal constant with the given category."""
+        self._counter += 1
+        symbol = InternalConstant(f"u{self._counter}")
+        self._internal[symbol.ident] = category
+        return symbol
+
+    def category_of(self, symbol: InternalConstant) -> CategoryExpr:
+        """The category expression of an active internal constant."""
+        try:
+            return self._internal[symbol.ident]
+        except KeyError:
+            raise UnknownConstantError(
+                f"internal constant {symbol.ident!r} is not active"
+            ) from None
+
+    def narrow(self, symbol: InternalConstant, category: CategoryExpr) -> None:
+        """Replace an internal constant's category (information gain)."""
+        if symbol.ident not in self._internal:
+            raise UnknownConstantError(f"{symbol.ident!r} is not active")
+        self._internal[symbol.ident] = category
+
+    def active_internals(self) -> tuple[InternalConstant, ...]:
+        """All active internal constants."""
+        return tuple(InternalConstant(i) for i in sorted(self._internal))
+
+    # --- denotations and unification ----------------------------------------------------
+
+    def denotation_of(self, symbol: str | InternalConstant) -> frozenset[str]:
+        """Possible external values of any symbol (singleton if external)."""
+        if isinstance(symbol, InternalConstant):
+            return self.category_of(symbol).denotation()
+        if symbol in self._external:
+            return frozenset({symbol})
+        raise UnknownConstantError(f"unknown symbol {symbol!r}")
+
+    def intersect(
+        self, left: str | InternalConstant, right: str | InternalConstant
+    ) -> frozenset[str]:
+        """Semantic unification: the common possible values of two symbols.
+
+        Resolving ``R(a, ...)`` against ``R(b, ...)`` consults this
+        intersection -- "this intersection is effectively the unification"
+        (Section 5.2).  Empty means the arguments cannot co-refer.
+        """
+        return self.denotation_of(left) & self.denotation_of(right)
+
+    def __repr__(self) -> str:
+        return (
+            f"ConstantDictionary({len(self._external)} external, "
+            f"{len(self._internal)} internal)"
+        )

@@ -1,0 +1,110 @@
+"""Grounding a relational schema to a propositional one (Sections 1.2, 5.2).
+
+Each well-typed ground fact ``R(a1, ..., ak)`` becomes one proposition
+letter named ``R.a1.....ak``; the grounded vocabulary is finite by domain
+closure.  Open atoms (with internal constants) compile to formulas: a
+*set* of atoms sharing internal constants compiles to the disjunction,
+over the joint valuations of those constants, of the conjunction of the
+ground facts -- the "enormous disjunction" of Section 5.1.1, produced
+mechanically.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.errors import SchemaError
+from repro.logic.formula import Formula, Var, conj, disj
+from repro.logic.propositions import Vocabulary
+from repro.relational.atoms import OpenAtom, atom_valuations
+from repro.relational.constants import ConstantDictionary
+from repro.relational.schema import RelationalSchema
+
+__all__ = ["Grounding"]
+
+_SEPARATOR = "."
+
+
+class Grounding:
+    """The grounded propositional schema ``D`` of a relational schema ``E``.
+
+    >>> schema = RelationalSchema.build(
+    ...     constants={"person": ["Jones"], "telno": ["T1", "T2"]},
+    ...     relations={"Phone": [("N", "person"), ("T", "telno")]},
+    ... )
+    >>> grounding = Grounding(schema)
+    >>> grounding.vocabulary.names
+    ('Phone.Jones.T1', 'Phone.Jones.T2')
+    """
+
+    def __init__(self, schema: RelationalSchema):
+        self.schema = schema
+        self._facts = tuple(schema.ground_facts())
+        names = [self.proposition_name(rel, args) for rel, args in self._facts]
+        self.vocabulary = Vocabulary(names)
+        self._by_name = {
+            name: fact for name, fact in zip(names, self._facts)
+        }
+
+    @staticmethod
+    def proposition_name(relation: str, args: tuple[str, ...]) -> str:
+        """The proposition letter for a ground fact."""
+        return _SEPARATOR.join((relation, *args))
+
+    def fact_of(self, proposition: str) -> tuple[str, tuple[str, ...]]:
+        """Inverse of :meth:`proposition_name`."""
+        try:
+            return self._by_name[proposition]
+        except KeyError:
+            raise SchemaError(f"{proposition!r} is not a grounded fact") from None
+
+    def fact_variable(self, relation: str, args: tuple[str, ...]) -> Var:
+        """The ground fact as a propositional variable."""
+        name = self.proposition_name(relation, args)
+        if name not in self.vocabulary:
+            raise SchemaError(
+                f"{relation}{args} is not a well-typed ground fact"
+            )
+        return Var(name)
+
+    def atom_formula(self, atom: OpenAtom) -> Formula:
+        """One open atom as a formula (disjunction over its valuations)."""
+        return self.atoms_formula([atom])
+
+    def atoms_formula(self, atoms: Iterable[OpenAtom]) -> Formula:
+        """A set of open atoms as one formula.
+
+        Shared internal constants co-vary: the result is
+        ``disj over valuations of conj of ground facts``.  For all-ground
+        atoms this degenerates to a plain conjunction.
+        """
+        atom_list = list(atoms)
+        for atom in atom_list:
+            atom.validate(self.schema, self.schema.dictionary)
+        disjuncts: list[Formula] = []
+        for valuation in atom_valuations(
+            atom_list, self.schema.dictionary, self.schema
+        ):
+            grounded = [atom.instantiate(valuation) for atom in atom_list]
+            disjuncts.append(
+                conj(
+                    self.fact_variable(g.relation, g.ground_args())
+                    for g in grounded
+                )
+            )
+        if not disjuncts:
+            raise SchemaError(
+                "no valuation satisfies the typing constraints; the atom set "
+                "is unsatisfiable under domain closure"
+            )
+        return disj(disjuncts)
+
+    def facts_of_relation(self, relation: str) -> tuple[str, ...]:
+        """All proposition letters belonging to one relation."""
+        prefix = relation + _SEPARATOR
+        return tuple(
+            name for name in self.vocabulary.names if name.startswith(prefix)
+        )
+
+    def __repr__(self) -> str:
+        return f"Grounding({len(self.vocabulary)} ground facts)"

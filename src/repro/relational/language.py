@@ -1,0 +1,169 @@
+"""The extended update language of Section 5.2: variables in ``where``,
+typed existentials in ``insert``.
+
+The paper's motivating update -- "Jones has a new telephone number" -- is
+written::
+
+    (where ((Jones = x) (y in tau_u))
+      (insert ((exists w in tau_telno) (R x y w))))
+
+Here that surface is modelled by three small value kinds usable in atom
+templates:
+
+* a plain string -- an external constant;
+* :class:`Binding` ``var("y")`` -- a where-bound variable;
+* :class:`Exists` ``exists(tau_telno)`` -- an existentially quantified
+  value, realised as a freshly activated internal constant at execution.
+
+Templates are matched against the database's certain atoms to enumerate
+the variable bindings "on a case-by-case basis" (Section 5.2); the action
+is then performed once per binding.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.errors import SchemaError
+from repro.relational.atoms import OpenAtom
+from repro.relational.constants import InternalConstant
+from repro.relational.types import TypeExpr
+
+__all__ = ["Binding", "Exists", "Wildcard", "ANY", "var", "exists", "AtomTemplate"]
+
+
+class Binding:
+    """A variable occurrence in an atom template."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __eq__(self, other):
+        return isinstance(other, Binding) and other.name == self.name
+
+    def __hash__(self):
+        return hash(("Binding", self.name))
+
+    def __repr__(self):
+        return f"?{self.name}"
+
+
+class Exists:
+    """An existentially quantified argument of a given type."""
+
+    __slots__ = ("type",)
+
+    def __init__(self, type_expr: TypeExpr):
+        self.type = type_expr
+
+    def __repr__(self):
+        return f"Exists({self.type!r})"
+
+
+class Wildcard:
+    """Matches anything in a pattern (never usable in an insertion)."""
+
+    __slots__ = ()
+
+    def __repr__(self):
+        return "ANY"
+
+
+ANY = Wildcard()
+
+TemplateArg = str | Binding | Exists | Wildcard | InternalConstant
+
+
+def var(name: str) -> Binding:
+    """A where-bound variable for use in templates."""
+    return Binding(name)
+
+
+def exists(type_expr: TypeExpr) -> Exists:
+    """An existential argument: ``(exists w in tau) ...``."""
+    return Exists(type_expr)
+
+
+class AtomTemplate:
+    """A relation applied to template arguments."""
+
+    __slots__ = ("relation", "args")
+
+    def __init__(self, relation: str, args: Iterable[TemplateArg]):
+        self.relation = relation
+        self.args = tuple(args)
+
+    def variables(self) -> tuple[str, ...]:
+        """Variable names, in position order (dedup)."""
+        seen: dict[str, None] = {}
+        for arg in self.args:
+            if isinstance(arg, Binding):
+                seen.setdefault(arg.name, None)
+        return tuple(seen)
+
+    def match(
+        self, atom: OpenAtom, environment: Mapping[str, str]
+    ) -> dict[str, str] | None:
+        """Match the template against a certain atom under partial bindings.
+
+        External-constant args must coincide; variables must be consistent
+        with ``environment`` and with repeated occurrences; wildcards match
+        anything.  Internal constants in the *atom* match a variable only
+        if the variable's value is its unique possible value -- matching
+        binds variables to external constants, so genuinely unknown values
+        do not produce bindings.  Returns the extended bindings or ``None``.
+        """
+        if atom.relation != self.relation or len(atom.args) != len(self.args):
+            return None
+        bound = dict(environment)
+        for template_arg, atom_arg in zip(self.args, atom.args):
+            if isinstance(template_arg, Wildcard):
+                continue
+            if isinstance(template_arg, Exists):
+                return None  # existentials never appear in patterns
+            if isinstance(template_arg, InternalConstant):
+                if template_arg != atom_arg:
+                    return None
+                continue
+            if isinstance(template_arg, Binding):
+                if isinstance(atom_arg, InternalConstant):
+                    return None
+                existing = bound.get(template_arg.name)
+                if existing is None:
+                    bound[template_arg.name] = atom_arg
+                elif existing != atom_arg:
+                    return None
+                continue
+            # plain external constant
+            if template_arg != atom_arg:
+                return None
+        return bound
+
+    def instantiate(
+        self,
+        environment: Mapping[str, str],
+        activate_exists,
+    ) -> OpenAtom:
+        """Build a concrete (possibly open) atom: variables looked up in
+        ``environment``; ``Exists`` args realised through
+        ``activate_exists(type_expr) -> InternalConstant``."""
+        concrete = []
+        for arg in self.args:
+            if isinstance(arg, Wildcard):
+                raise SchemaError("a wildcard cannot be inserted")
+            if isinstance(arg, Binding):
+                try:
+                    concrete.append(environment[arg.name])
+                except KeyError:
+                    raise SchemaError(f"unbound variable {arg.name!r}") from None
+            elif isinstance(arg, Exists):
+                concrete.append(activate_exists(arg.type))
+            else:
+                concrete.append(arg)
+        return OpenAtom(self.relation, concrete)
+
+    def __repr__(self):
+        rendered = ", ".join(repr(a) if not isinstance(a, str) else a for a in self.args)
+        return f"{self.relation}({rendered})"

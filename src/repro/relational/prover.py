@@ -1,0 +1,250 @@
+"""Reasoning over open-clause knowledge bases (Section 5.2).
+
+The paper's relational extension stores *clauses* over atoms that may
+contain internal constants (nulls).  Under the modified closed world
+assumption each null rigidly denotes some external constant, so the
+possible worlds of a knowledge base ``KB`` are the pairs ``(v, w)`` of a
+*valuation* ``v`` of the active nulls and a ground world ``w`` satisfying
+``KB`` instantiated by ``v``.  Consequently:
+
+* ``KB`` is satisfiable  iff  some valuation's instantiation is;
+* ``KB |= Q`` (ground)    iff  every valuation's instantiation entails Q.
+
+:class:`OpenKB` implements exactly that semantics by splitting on the
+nulls that actually occur (cost: the product of *their* denotations, not
+the domain size) and deciding each ground instance with the propositional
+machinery over the grounded vocabulary -- the precise sense in which
+"since resolution has a direct extension, so too do our algorithms".
+The per-pair unification service of
+:mod:`repro.relational.semantic_resolution` is used as a sound pruning
+step: a negative unit that semantically unifies with no positive
+occurrence can never participate in a refutation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable
+
+from repro.logic.clauses import Clause, ClauseSet, make_literal
+from repro.logic.sat import entails_clauses, is_satisfiable
+from repro.relational.atoms import OpenAtom, Valuation
+from repro.relational.grounding import Grounding
+from repro.relational.schema import RelationalSchema
+from repro.relational.semantic_resolution import OpenClause, SignedAtom
+
+__all__ = ["OpenKB"]
+
+
+class OpenKB:
+    """A knowledge base of open clauses over a relational schema.
+
+    >>> schema = RelationalSchema.build(
+    ...     constants={"person": ["Jones"], "telno": ["T1", "T2"]},
+    ...     relations={"Phone": [("N", "person"), ("T", "telno")]},
+    ... )
+    >>> kb = OpenKB(schema)
+    >>> u = kb.new_null(schema.algebra.named("telno"))
+    >>> kb.add_fact("Phone", "Jones", u)
+    >>> kb.entails_fact("Phone", "Jones", "T1")
+    False
+    >>> kb.entails_clause([(True, "Phone", ("Jones", "T1")),
+    ...                    (True, "Phone", ("Jones", "T2"))])
+    True
+    """
+
+    def __init__(self, schema: RelationalSchema):
+        self.schema = schema
+        self.dictionary = schema.dictionary
+        self.grounding = Grounding(schema)
+        self._clauses: list[OpenClause] = []
+
+    # --- construction -----------------------------------------------------------
+
+    @property
+    def clauses(self) -> tuple[OpenClause, ...]:
+        """The stored open clauses, in insertion order."""
+        return tuple(self._clauses)
+
+    def new_null(self, type_expr, ie=(), ee=()) -> "InternalConstant":
+        """Activate a fresh internal constant of the given type."""
+        from repro.relational.constants import CategoryExpr
+
+        return self.dictionary.activate(CategoryExpr(type_expr, ie, ee))
+
+    def add_clause(self, literals: Iterable[tuple[bool, str, tuple]]) -> None:
+        """Add a clause given as ``(positive, relation, args)`` triples."""
+        signed = []
+        for positive, relation, args in literals:
+            atom = OpenAtom(relation, args)
+            atom.validate(self.schema, self.dictionary)
+            signed.append(SignedAtom(atom, positive))
+        self._clauses.append(OpenClause(signed))
+
+    def add_fact(self, relation: str, *args) -> None:
+        """Add a positive unit clause."""
+        self.add_clause([(True, relation, tuple(args))])
+
+    def add_universal_clause(
+        self,
+        variables: dict[str, "TypeExpr"],
+        literals: Iterable[tuple[bool, str, tuple]],
+    ) -> int:
+        """Add a universally quantified clause schema, by expansion.
+
+        ``variables`` maps variable names to their types; each literal's
+        args may use those names.  The schema is expanded into one ground
+        (or null-carrying) clause per assignment of the variables to
+        constants of their types -- the finite-domain shortcut that the
+        full Pi-sigma machinery of McSkimin-Minker would avoid, which the
+        paper notes "will add substantially to the complexity" (Section
+        5.2).  Returns the number of clauses added.
+
+        >>> schema = RelationalSchema.build(
+        ...     constants={"person": ["Jones", "Smith"], "telno": ["T1"]},
+        ...     relations={"Phone": [("N", "person"), ("T", "telno")],
+        ...                "Reachable": [("N", "person")]},
+        ... )
+        >>> kb = OpenKB(schema)
+        >>> kb.add_universal_clause(
+        ...     {"p": schema.algebra.named("person")},
+        ...     [(False, "Phone", ("p", "T1")), (True, "Reachable", ("p",))],
+        ... )
+        2
+        """
+        import itertools as _itertools
+
+        names = sorted(variables)
+        colliding = set(names) & self.schema.algebra.universe
+        if colliding:
+            from repro.errors import SchemaError
+
+            raise SchemaError(
+                f"variable names {sorted(colliding)} collide with constant "
+                f"symbols; rename the variables"
+            )
+        domains = [sorted(variables[name].members) for name in names]
+        literal_list = [
+            (positive, relation, tuple(args)) for positive, relation, args in literals
+        ]
+        added = 0
+        for values in _itertools.product(*domains):
+            binding = dict(zip(names, values))
+            instantiated = [
+                (
+                    positive,
+                    relation,
+                    tuple(binding.get(a, a) if isinstance(a, str) else a for a in args),
+                )
+                for positive, relation, args in literal_list
+            ]
+            self.add_clause(instantiated)
+            added += 1
+        return added
+
+    def add_denial(self, relation: str, *args) -> None:
+        """Add a negative unit clause (the fact is certainly false)."""
+        self.add_clause([(False, relation, tuple(args))])
+
+    # --- the null case split -------------------------------------------------------
+
+    def _nulls(self, extra: Iterable[OpenClause] = ()) -> list:
+        seen: dict[str, object] = {}
+        for clause in itertools.chain(self._clauses, extra):
+            for literal in clause:
+                for symbol in literal.atom.internals():
+                    seen.setdefault(symbol.ident, symbol)
+        return [seen[ident] for ident in sorted(seen)]
+
+    def _valuations(self, extra: Iterable[OpenClause] = ()):
+        nulls = self._nulls(extra)
+        domains = [sorted(self.dictionary.denotation_of(n)) for n in nulls]
+        for values in itertools.product(*domains):
+            yield {null.ident: value for null, value in zip(nulls, values)}
+
+    def _instantiate(
+        self, clauses: Iterable[OpenClause], valuation: Valuation
+    ) -> ClauseSet | None:
+        """Ground the clauses under one valuation, as a propositional
+        clause set over the grounded vocabulary.  Returns ``None`` when
+        the valuation violates a typing constraint (no such world)."""
+        propositional: list[Clause] = []
+        for clause in clauses:
+            literals = []
+            for signed in clause:
+                ground = signed.atom.instantiate(valuation)
+                args = ground.ground_args()
+                if not self.schema.relation(ground.relation).admits(args):
+                    return None
+                index = self.grounding.vocabulary.index_of(
+                    self.grounding.proposition_name(ground.relation, args)
+                )
+                literals.append(make_literal(index, positive=signed.positive))
+            propositional.append(frozenset(literals))
+        return ClauseSet(self.grounding.vocabulary, propositional)
+
+    # --- decision procedures ----------------------------------------------------------
+
+    def is_satisfiable(self) -> bool:
+        """Does some (valuation, world) pair satisfy every clause?"""
+        for valuation in self._valuations():
+            instantiated = self._instantiate(self._clauses, valuation)
+            if instantiated is not None and is_satisfiable(instantiated):
+                return True
+        return False
+
+    def entails_clause(
+        self, literals: Iterable[tuple[bool, str, tuple]]
+    ) -> bool:
+        """``KB |= disjunction`` of ground literals, by refutation under
+        every null valuation."""
+        query_literals = [
+            (positive, relation, tuple(args)) for positive, relation, args in literals
+        ]
+        if not query_literals:
+            return not self.is_satisfiable()
+        # Sound pruning (semantic unification): a purely-positive ground
+        # query whose atoms unify with no positive KB occurrence cannot be
+        # entailed by a satisfiable KB -- skip the full split.
+        if self.is_satisfiable() and self._prunable(query_literals):
+            return False
+        for valuation in self._valuations():
+            instantiated = self._instantiate(self._clauses, valuation)
+            if instantiated is None:
+                continue  # no worlds under this valuation: vacuous
+            query_clause = frozenset(
+                make_literal(
+                    self.grounding.vocabulary.index_of(
+                        self.grounding.proposition_name(relation, args)
+                    ),
+                    positive=positive,
+                )
+                for positive, relation, args in query_literals
+            )
+            if not entails_clauses(
+                instantiated, ClauseSet(self.grounding.vocabulary, [query_clause])
+            ):
+                return False
+        return True
+
+    def entails_fact(self, relation: str, *args) -> bool:
+        """``KB |= fact`` for one ground fact."""
+        return self.entails_clause([(True, relation, tuple(args))])
+
+    def _prunable(self, query_literals) -> bool:
+        from repro.relational.semantic_resolution import semantic_unify
+
+        if not all(positive for positive, *_ in query_literals):
+            return False
+        for positive, relation, args in query_literals:
+            query_atom = OpenAtom(relation, args)
+            for clause in self._clauses:
+                for signed in clause:
+                    if signed.positive and semantic_unify(
+                        self.dictionary, signed.atom, query_atom
+                    ) is not None:
+                        return False  # some support exists: cannot prune
+        return True
+
+    def __repr__(self) -> str:
+        return f"OpenKB({len(self._clauses)} clause(s))"

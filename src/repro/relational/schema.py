@@ -1,0 +1,159 @@
+"""Relational schemata with typed attributes and domain closure (Sections
+1.2 and 5.1).
+
+A relational schema pairs relation signatures with a constant dictionary.
+Typing constraints say which constants may fill which positions; domain
+closure says the registered constants are all there are.  Together they
+make the set of ground facts finite, which is what grounding (Section 1.2)
+exploits.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.errors import SchemaError
+from repro.relational.constants import ConstantDictionary, InternalConstant
+from repro.relational.types import TypeAlgebra, TypeExpr
+
+__all__ = ["Attribute", "RelationSignature", "RelationalSchema"]
+
+
+class Attribute:
+    """A typed attribute position of a relation."""
+
+    __slots__ = ("name", "type")
+
+    def __init__(self, name: str, type_expr: TypeExpr):
+        self.name = name
+        self.type = type_expr
+
+    def admits(self, constant: str) -> bool:
+        """May ``constant`` fill this position? (typing constraint)"""
+        return constant in self.type
+
+    def __repr__(self) -> str:
+        return f"Attribute({self.name}: {self.type!r})"
+
+
+class RelationSignature:
+    """A relation name with its typed attribute list, e.g. ``R[N D T]``."""
+
+    __slots__ = ("name", "attributes")
+
+    def __init__(self, name: str, attributes: Iterable[Attribute]):
+        self.name = name
+        self.attributes = tuple(attributes)
+        if not self.attributes:
+            raise SchemaError(f"relation {name!r} needs at least one attribute")
+
+    @property
+    def arity(self) -> int:
+        """Number of attribute positions."""
+        return len(self.attributes)
+
+    def admits(self, args: tuple[str, ...]) -> bool:
+        """Do the external constants satisfy the typing constraints?"""
+        if len(args) != self.arity:
+            return False
+        return all(attr.admits(arg) for attr, arg in zip(self.attributes, args))
+
+    def __repr__(self) -> str:
+        inner = " ".join(a.name for a in self.attributes)
+        return f"RelationSignature({self.name}[{inner}])"
+
+
+class RelationalSchema:
+    """Relations + type algebra + constant dictionary (the schema ``E``).
+
+    >>> schema = RelationalSchema.build(
+    ...     constants={"person": ["Jones"], "dept": ["D1"], "telno": ["T1", "T2"]},
+    ...     relations={"R": [("N", "person"), ("D", "dept"), ("T", "telno")]},
+    ... )
+    >>> schema.ground_fact_count()
+    2
+    """
+
+    def __init__(
+        self,
+        algebra: TypeAlgebra,
+        dictionary: ConstantDictionary,
+        relations: Iterable[RelationSignature],
+    ):
+        self.algebra = algebra
+        self.dictionary = dictionary
+        self.relations = {r.name: r for r in relations}
+        if len(self.relations) == 0:
+            raise SchemaError("a relational schema needs at least one relation")
+
+    @classmethod
+    def build(
+        cls,
+        constants: dict[str, Iterable[str]],
+        relations: dict[str, Iterable[tuple[str, str]]],
+    ) -> "RelationalSchema":
+        """Declarative constructor.
+
+        ``constants`` maps type name -> member constants (types may share
+        members); ``relations`` maps relation name -> [(attribute name,
+        type name), ...].
+        """
+        universe = {c for members in constants.values() for c in members}
+        algebra = TypeAlgebra(universe)
+        named = {name: algebra.define(name, members) for name, members in constants.items()}
+        dictionary = ConstantDictionary(algebra)
+        for type_name, members in constants.items():
+            for constant in members:
+                # smallest registered type wins; later registrations refine.
+                try:
+                    existing = dictionary.external_type(constant)
+                except Exception:
+                    existing = None
+                candidate = named[type_name]
+                if existing is None or len(candidate) < len(existing):
+                    dictionary.register_external(constant, candidate)
+        signatures = [
+            RelationSignature(
+                rel_name,
+                (Attribute(attr, named[type_name]) for attr, type_name in columns),
+            )
+            for rel_name, columns in relations.items()
+        ]
+        return cls(algebra, dictionary, signatures)
+
+    def relation(self, name: str) -> RelationSignature:
+        """Look up a relation signature."""
+        try:
+            return self.relations[name]
+        except KeyError:
+            raise SchemaError(f"unknown relation {name!r}") from None
+
+    def ground_facts(self):
+        """Iterate every well-typed ground fact as ``(relation, args)``.
+
+        Finite by domain closure; this is the atom set of the grounded
+        propositional schema ``D`` (Section 1.2).
+        """
+        import itertools
+
+        for name in sorted(self.relations):
+            signature = self.relations[name]
+            domains = [sorted(attr.type.members) for attr in signature.attributes]
+            for args in itertools.product(*domains):
+                yield name, tuple(args)
+
+    def ground_fact_count(self) -> int:
+        """Number of well-typed ground facts."""
+        count = 0
+        for name, signature in self.relations.items():
+            product = 1
+            for attr in signature.attributes:
+                product *= len(attr.type)
+            count += product
+        return count
+
+    def __repr__(self) -> str:
+        return (
+            f"RelationalSchema({len(self.relations)} relation(s), "
+            f"{len(self.algebra.universe)} constant(s))"
+        )

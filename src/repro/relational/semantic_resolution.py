@@ -1,0 +1,133 @@
+"""Semantic resolution over open atoms (Section 5.2, after McSkimin-Minker).
+
+Clauses here are sets of signed open atoms.  Resolving ``R(a, ...)``
+against ``~R(b, ...)`` consults the constant dictionary: each argument
+pair must have a non-empty *intersection* of possible values -- "this
+intersection is effectively the unification".  When an argument pair
+involves an internal constant, the resolvent is guarded by the narrowed
+categories: the resolution step is sound for precisely the valuations in
+the intersection.
+
+This module implements the special case the paper sketches (ground atoms
+with internal constants; no universally quantified variables -- the full
+Pi-sigma framework is noted as possible but "adds substantially to the
+complexity").
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.relational.atoms import OpenAtom
+from repro.relational.constants import ConstantDictionary, InternalConstant
+
+__all__ = ["SignedAtom", "OpenClause", "semantic_unify", "semantic_resolvent"]
+
+
+class SignedAtom:
+    """An open atom or its negation."""
+
+    __slots__ = ("positive", "atom")
+
+    def __init__(self, atom: OpenAtom, positive: bool = True):
+        self.atom = atom
+        self.positive = positive
+
+    def negated(self) -> "SignedAtom":
+        """The complementary literal."""
+        return SignedAtom(self.atom, not self.positive)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SignedAtom):
+            return NotImplemented
+        return self.positive == other.positive and self.atom == other.atom
+
+    def __hash__(self) -> int:
+        return hash((self.positive, self.atom))
+
+    def __repr__(self) -> str:
+        return ("" if self.positive else "~") + repr(self.atom)
+
+
+class OpenClause:
+    """A disjunction of signed open atoms."""
+
+    __slots__ = ("literals",)
+
+    def __init__(self, literals: Iterable[SignedAtom]):
+        self.literals = frozenset(literals)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, OpenClause):
+            return NotImplemented
+        return self.literals == other.literals
+
+    def __hash__(self) -> int:
+        return hash(self.literals)
+
+    def __len__(self) -> int:
+        return len(self.literals)
+
+    def __iter__(self):
+        return iter(self.literals)
+
+    def __repr__(self) -> str:
+        if not self.literals:
+            return "OpenClause(0)"
+        return " | ".join(sorted(repr(l) for l in self.literals))
+
+
+def semantic_unify(
+    dictionary: ConstantDictionary, left: OpenAtom, right: OpenAtom
+) -> dict[str, frozenset[str]] | None:
+    """Argumentwise semantic unification of two atoms of the same relation.
+
+    Returns, for each argument position's symbols, the narrowing required:
+    a map ``ident -> allowed external values`` for every internal constant
+    involved, or ``None`` when some position's intersection is empty
+    (the atoms cannot denote the same fact).
+    """
+    if left.relation != right.relation or len(left.args) != len(right.args):
+        return None
+    narrowing: dict[str, frozenset[str]] = {}
+    for left_arg, right_arg in zip(left.args, right.args):
+        common = dictionary.intersect(left_arg, right_arg)
+        if not common:
+            return None
+        for arg in (left_arg, right_arg):
+            if isinstance(arg, InternalConstant):
+                previous = narrowing.get(arg.ident, dictionary.denotation_of(arg))
+                narrowed = previous & common
+                if not narrowed:
+                    return None
+                narrowing[arg.ident] = narrowed
+    return narrowing
+
+
+def semantic_resolvent(
+    dictionary: ConstantDictionary,
+    left: OpenClause,
+    right: OpenClause,
+    on: tuple[SignedAtom, SignedAtom],
+) -> OpenClause | None:
+    """Resolve two open clauses on a complementary, semantically unifiable
+    pair of literals.
+
+    ``on = (p, n)`` with ``p`` positive from ``left`` and ``n`` negative
+    from ``right``.  Returns the resolvent clause, or ``None`` when the
+    pair does not unify.  (Narrowed internal-constant categories are
+    returned to the caller through the dictionary only on demand -- the
+    resolvent here keeps the original symbols, which is sound: it is a
+    logical consequence for every valuation in the intersection, and
+    weaker elsewhere.)
+    """
+    positive, negative = on
+    if not positive.positive or negative.positive:
+        return None
+    if positive not in left.literals or negative not in right.literals:
+        return None
+    if semantic_unify(dictionary, positive.atom, negative.atom) is None:
+        return None
+    return OpenClause(
+        (left.literals - {positive}) | (right.literals - {negative})
+    )

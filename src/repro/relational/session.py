@@ -1,0 +1,306 @@
+"""``RelationalDatabase``: the Section 5 extension, end to end.
+
+Maintains *two* synchronised representations of the same set of possible
+worlds, exactly as Section 5.2 prescribes ("maintain the same set of
+possible worlds as the purely propositional case, but employ
+representation techniques which admit much more efficient manipulation"):
+
+* the **compact store** -- certain open atoms over external and internal
+  constants (nulls with Boolean category expressions), plus the constant
+  dictionary; and
+* the **grounded mirror** -- an :class:`~repro.hlu.session.IncompleteDatabase`
+  over the grounded propositional schema, updated through HLU.
+
+The grounded mirror is the semantic ground truth (and is what queries are
+answered against); the compact store is the paper's efficiency argument,
+measured in experiment E13.  For large domains the mirror can be disabled
+(``grounded=False``), leaving the compact representation alone -- which is
+precisely the practical motivation of Section 5.1.1.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.errors import SchemaError
+from repro.hlu.session import IncompleteDatabase
+from repro.db.schema import DbSchema
+from repro.relational.atoms import OpenAtom
+from repro.relational.constants import CategoryExpr, InternalConstant
+from repro.relational.grounding import Grounding
+from repro.relational.language import AtomTemplate, Binding, Exists, TemplateArg, Wildcard
+from repro.relational.schema import RelationalSchema
+from repro.relational.types import TypeExpr
+
+__all__ = ["RelationalDatabase"]
+
+
+class RelationalDatabase:
+    """A database with typed relations, nulls, and HLU update semantics.
+
+    >>> schema = RelationalSchema.build(
+    ...     constants={"person": ["Jones"], "dept": ["D1"],
+    ...                "telno": ["T1", "T2", "T3"]},
+    ...     relations={"R": [("N", "person"), ("D", "dept"), ("T", "telno")]},
+    ... )
+    >>> db = RelationalDatabase(schema)
+    >>> _ = db.tell(("R", "Jones", "D1", "T2"))
+    >>> db.certain("R", "Jones", "D1", "T2")
+    True
+    """
+
+    def __init__(
+        self,
+        schema: RelationalSchema,
+        backend: str = "clausal",
+        grounded: bool = True,
+    ):
+        self.schema = schema
+        self.dictionary = schema.dictionary
+        self.grounding = Grounding(schema)
+        self._store: set[OpenAtom] = set()
+        self._grounded: IncompleteDatabase | None = None
+        if grounded:
+            self._grounded = IncompleteDatabase(
+                DbSchema(self.grounding.vocabulary), backend=backend
+            )
+
+    # --- representation access ---------------------------------------------------
+
+    @property
+    def store(self) -> frozenset[OpenAtom]:
+        """The compact certain-atom store."""
+        return frozenset(self._store)
+
+    @property
+    def grounded(self) -> IncompleteDatabase | None:
+        """The grounded propositional mirror (None when disabled)."""
+        return self._grounded
+
+    def compact_size(self) -> int:
+        """Number of argument symbols in the compact store (atoms' length)."""
+        return sum(len(atom.args) + 1 for atom in self._store)
+
+    def grounded_size(self) -> int:
+        """Length of the grounded clause-set state (0 if mirror disabled
+        or running on the instance backend)."""
+        if self._grounded is None:
+            return 0
+        state = self._grounded.state
+        return getattr(state, "length", 0)
+
+    # --- helpers -----------------------------------------------------------------------
+
+    def atom(self, relation: str, *args) -> OpenAtom:
+        """Build and validate an open atom."""
+        built = OpenAtom(relation, args)
+        built.validate(self.schema, self.dictionary)
+        return built
+
+    def unknown(
+        self,
+        type_expr: TypeExpr,
+        ie: Iterable[str] = (),
+        ee: Iterable[str] = (),
+    ) -> InternalConstant:
+        """Activate a fresh internal constant (null) of the given type."""
+        return self.dictionary.activate(CategoryExpr(type_expr, ie, ee))
+
+    def _as_atom(self, fact) -> OpenAtom:
+        if isinstance(fact, OpenAtom):
+            fact.validate(self.schema, self.dictionary)
+            return fact
+        relation, *args = fact
+        return self.atom(relation, *args)
+
+    # --- updates ----------------------------------------------------------------------
+
+    def tell(self, *facts) -> "RelationalDatabase":
+        """Insert facts (tuples or OpenAtoms; may share internal constants).
+
+        Facts sharing an internal constant are compiled jointly so the null
+        co-varies; the grounded mirror receives one HLU ``insert`` of the
+        resulting formula.
+        """
+        atoms = [self._as_atom(f) for f in facts]
+        self._store.update(atoms)
+        if self._grounded is not None:
+            formula = self.grounding.atoms_formula(atoms)
+            self._grounded.insert(formula)
+        return self
+
+    def retract(self, relation: str, *args) -> "RelationalDatabase":
+        """Delete a fact (HLU ``delete`` of its formula); the compact store
+        drops every atom that could denote it."""
+        atom = self.atom(relation, *args)
+        removable = {
+            stored
+            for stored in self._store
+            if stored.relation == atom.relation
+            and all(
+                self.dictionary.intersect(sa, aa)
+                for sa, aa in zip(stored.args, atom.args)
+            )
+        }
+        self._store -= removable
+        if self._grounded is not None:
+            self._grounded.delete(self.grounding.atoms_formula([atom]))
+        return self
+
+    def forget(self, relation: str, *args) -> "RelationalDatabase":
+        """Mask (HLU ``clear``) every ground letter the open fact could
+        denote -- total loss of information about it."""
+        atom = self.atom(relation, *args)
+        letters: set[str] = set()
+        from repro.relational.atoms import atom_valuations
+
+        for valuation in atom_valuations([atom], self.dictionary, self.schema):
+            ground = atom.instantiate(valuation)
+            letters.add(
+                self.grounding.proposition_name(ground.relation, ground.ground_args())
+            )
+        removable = {
+            stored
+            for stored in self._store
+            if stored.relation == atom.relation
+            and all(
+                self.dictionary.intersect(sa, aa)
+                for sa, aa in zip(stored.args, atom.args)
+            )
+        }
+        self._store -= removable
+        if self._grounded is not None and letters:
+            self._grounded.clear(*sorted(letters))
+        return self
+
+    # --- the extended where (Section 5.2) ------------------------------------------------
+
+    def bindings(
+        self,
+        pattern: AtomTemplate | tuple,
+        environment: Mapping[str, str] | None = None,
+    ) -> list[dict[str, str]]:
+        """Enumerate variable bindings by matching ``pattern`` against the
+        certain atoms of the compact store ("an instance-by-instance
+        environment for the action of the where")."""
+        template = self._as_template(pattern)
+        found: list[dict[str, str]] = []
+        for atom in sorted(self._store, key=repr):
+            match = template.match(atom, environment or {})
+            if match is not None and match not in found:
+                found.append(match)
+        return found
+
+    def where_update(
+        self,
+        pattern: AtomTemplate | tuple,
+        action: AtomTemplate | tuple,
+        environment: Mapping[str, str] | None = None,
+    ) -> list[dict[str, str]]:
+        """The paper's extended ``where``: for every binding of the pattern
+        variables, perform the insertion given by ``action``.
+
+        ``action`` may contain :class:`Exists` arguments; each performed
+        insertion activates fresh internal constants for them and replaces
+        the matched knowledge (HLU insert semantics: mask what the new
+        formula depends on, then assert it).  Returns the bindings used.
+        """
+        pattern_template = self._as_template(pattern)
+        action_template = self._as_template(action)
+        bindings = self.bindings(pattern_template, environment)
+        for binding in bindings:
+            new_atom = action_template.instantiate(
+                binding, activate_exists=self._activate_for_insert
+            )
+            new_atom.validate(self.schema, self.dictionary)
+            # Compact store: the matched atoms for this binding are
+            # superseded by the new (possibly open) atom.
+            superseded = {
+                stored
+                for stored in self._store
+                if pattern_template.match(stored, binding) is not None
+            }
+            self._store -= superseded
+            self._store.add(new_atom)
+            if self._grounded is not None:
+                formula = self.grounding.atoms_formula([new_atom])
+                self._grounded.insert(formula)
+        return bindings
+
+    def _activate_for_insert(self, type_expr: TypeExpr) -> InternalConstant:
+        return self.dictionary.activate(CategoryExpr(type_expr))
+
+    @staticmethod
+    def _as_template(pattern) -> AtomTemplate:
+        if isinstance(pattern, AtomTemplate):
+            return pattern
+        relation, *args = pattern
+        return AtomTemplate(relation, args)
+
+    # --- queries -------------------------------------------------------------------------
+
+    def certain(self, relation: str, *args: str) -> bool:
+        """Is the ground fact true in every possible world?"""
+        variable = self.grounding.fact_variable(relation, tuple(args))
+        if self._grounded is not None:
+            return self._grounded.is_certain(variable)
+        from repro.relational.compact_query import certain_fact
+
+        return certain_fact(
+            self._store, self.dictionary, self.schema, relation, tuple(args)
+        )
+
+    def certain_disjunction(
+        self, facts: Iterable[tuple[str, tuple[str, ...]]]
+    ) -> bool:
+        """Is the disjunction of the given ground facts certain?
+
+        Answered on the grounded mirror when available, otherwise exactly
+        on the compact store (:mod:`repro.relational.compact_query`) --
+        e.g. "Jones has *some* phone number" after the Section 5.1.1
+        update.
+        """
+        fact_list = [(rel, tuple(args)) for rel, args in facts]
+        if self._grounded is not None:
+            from repro.logic.formula import disj
+
+            formula = disj(
+                self.grounding.fact_variable(rel, args) for rel, args in fact_list
+            )
+            return self._grounded.is_certain(formula)
+        from repro.relational.compact_query import certain_disjunction
+
+        return certain_disjunction(
+            self._store, self.dictionary, self.schema, fact_list
+        )
+
+    def possible(self, relation: str, *args: str) -> bool:
+        """Is the ground fact true in some possible world?"""
+        variable = self.grounding.fact_variable(relation, tuple(args))
+        if self._grounded is not None:
+            return self._grounded.is_possible(variable)
+        from repro.relational.compact_query import possible_fact
+
+        return possible_fact(self.schema, relation, tuple(args))
+
+    def possible_values(
+        self, relation: str, args: tuple[TemplateArg, ...], position: int
+    ) -> frozenset[str]:
+        """External constants ``t`` such that the fact with ``t`` at
+        ``position`` is possible (null-value query)."""
+        signature = self.schema.relation(relation)
+        candidates = signature.attributes[position].type.members
+        out = set()
+        for candidate in sorted(candidates):
+            concrete = list(args)
+            concrete[position] = candidate
+            if self.possible(relation, *concrete):
+                out.add(candidate)
+        return frozenset(out)
+
+    def __repr__(self) -> str:
+        mirror = "on" if self._grounded is not None else "off"
+        return (
+            f"RelationalDatabase({len(self._store)} stored atom(s), "
+            f"grounded mirror {mirror})"
+        )

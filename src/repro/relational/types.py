@@ -1,0 +1,165 @@
+"""The Boolean algebra of types (Section 5.2).
+
+"Also present in the extension is a Boolean algebra of types.  These
+correspond to the Boolean categories of McSkimin and Minker."  Over a
+finite universe of external constant symbols, types are simply sets of
+constants closed under the Boolean operations; named types are registered
+in a :class:`TypeAlgebra` and combined with ``|``, ``&``, ``-`` and ``~``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.errors import TypeAlgebraError
+
+__all__ = ["TypeAlgebra", "TypeExpr"]
+
+
+class TypeExpr:
+    """An element of the Boolean algebra of types: a set of external
+    constants, tied to its algebra (universe)."""
+
+    __slots__ = ("_algebra", "_members", "_label")
+
+    def __init__(self, algebra: "TypeAlgebra", members: frozenset[str], label: str | None = None):
+        self._algebra = algebra
+        self._members = members
+        self._label = label
+
+    @property
+    def algebra(self) -> "TypeAlgebra":
+        """The owning type algebra."""
+        return self._algebra
+
+    @property
+    def members(self) -> frozenset[str]:
+        """The external constants of this type."""
+        return self._members
+
+    @property
+    def label(self) -> str | None:
+        """The registered name, if this is a named type."""
+        return self._label
+
+    def __contains__(self, constant: str) -> bool:
+        return constant in self._members
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __iter__(self):
+        return iter(sorted(self._members))
+
+    def is_empty(self) -> bool:
+        """The bottom of the algebra?"""
+        return not self._members
+
+    # --- Boolean operations --------------------------------------------------
+
+    def _check(self, other: "TypeExpr") -> None:
+        if other._algebra is not self._algebra:
+            raise TypeAlgebraError("type expressions belong to different algebras")
+
+    def __or__(self, other: "TypeExpr") -> "TypeExpr":
+        self._check(other)
+        return TypeExpr(self._algebra, self._members | other._members)
+
+    def __and__(self, other: "TypeExpr") -> "TypeExpr":
+        self._check(other)
+        return TypeExpr(self._algebra, self._members & other._members)
+
+    def __sub__(self, other: "TypeExpr") -> "TypeExpr":
+        self._check(other)
+        return TypeExpr(self._algebra, self._members - other._members)
+
+    def __invert__(self) -> "TypeExpr":
+        return TypeExpr(self._algebra, self._algebra.universe - self._members)
+
+    def __le__(self, other: "TypeExpr") -> bool:
+        self._check(other)
+        return self._members <= other._members
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TypeExpr):
+            return NotImplemented
+        return self._algebra is other._algebra and self._members == other._members
+
+    def __hash__(self) -> int:
+        return hash((id(self._algebra), self._members))
+
+    def __repr__(self) -> str:
+        if self._label:
+            return f"TypeExpr({self._label})"
+        if len(self._members) <= 5:
+            return f"TypeExpr({{{', '.join(sorted(self._members))}}})"
+        return f"TypeExpr({len(self._members)} constants)"
+
+
+class TypeAlgebra:
+    """The Boolean algebra of types over a universe of external constants.
+
+    >>> algebra = TypeAlgebra(["Jones", "Smith", "D1", "T1", "T2"])
+    >>> people = algebra.define("person", ["Jones", "Smith"])
+    >>> phones = algebra.define("telno", ["T1", "T2"])
+    >>> (people & phones).is_empty()
+    True
+    """
+
+    def __init__(self, universe: Iterable[str]):
+        self._universe = frozenset(universe)
+        if not self._universe:
+            raise TypeAlgebraError("a type algebra needs a non-empty universe")
+        self._named: dict[str, TypeExpr] = {}
+
+    @property
+    def universe(self) -> frozenset[str]:
+        """All external constants (the top type's members)."""
+        return self._universe
+
+    @property
+    def universal(self) -> TypeExpr:
+        """The universal type ``tau_u`` of Section 5.2."""
+        return TypeExpr(self, self._universe, label="tau_u")
+
+    @property
+    def empty(self) -> TypeExpr:
+        """The bottom of the algebra."""
+        return TypeExpr(self, frozenset())
+
+    def define(self, name: str, members: Iterable[str]) -> TypeExpr:
+        """Register a named type; members must be known constants."""
+        member_set = frozenset(members)
+        unknown = member_set - self._universe
+        if unknown:
+            raise TypeAlgebraError(
+                f"type {name!r} mentions unknown constants {sorted(unknown)}"
+            )
+        if name in self._named:
+            raise TypeAlgebraError(f"type {name!r} already defined")
+        expr = TypeExpr(self, member_set, label=name)
+        self._named[name] = expr
+        return expr
+
+    def named(self, name: str) -> TypeExpr:
+        """Look up a registered type by name."""
+        try:
+            return self._named[name]
+        except KeyError:
+            raise TypeAlgebraError(f"unknown type {name!r}") from None
+
+    def singleton(self, constant: str) -> TypeExpr:
+        """The smallest type containing one constant."""
+        if constant not in self._universe:
+            raise TypeAlgebraError(f"unknown constant {constant!r}")
+        return TypeExpr(self, frozenset({constant}))
+
+    def names(self) -> tuple[str, ...]:
+        """The registered type names, sorted."""
+        return tuple(sorted(self._named))
+
+    def __repr__(self) -> str:
+        return (
+            f"TypeAlgebra({len(self._universe)} constants, "
+            f"{len(self._named)} named type(s))"
+        )

@@ -1,0 +1,19 @@
+"""Seeded workload generators."""
+
+from repro.workloads.generators import (
+    clause_set_of_length,
+    directory_schema,
+    random_clause,
+    random_clause_set,
+    random_formula,
+    update_stream,
+)
+
+__all__ = [
+    "random_clause",
+    "random_clause_set",
+    "clause_set_of_length",
+    "random_formula",
+    "update_stream",
+    "directory_schema",
+]

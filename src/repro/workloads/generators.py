@@ -1,0 +1,127 @@
+"""Seeded workload generators for tests, examples, and benchmarks.
+
+Everything is driven by an explicit :class:`random.Random` seed so every
+bench table is reproducible run to run.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterator
+
+from repro.logic.clauses import Clause, ClauseSet, clause_of, make_literal
+from repro.logic.formula import And, Formula, Iff, Implies, Not, Or, Var
+from repro.logic.propositions import Vocabulary
+
+__all__ = [
+    "random_clause",
+    "random_clause_set",
+    "clause_set_of_length",
+    "random_formula",
+    "update_stream",
+    "directory_schema",
+]
+
+
+def random_clause(
+    rng: random.Random, letter_count: int, width: int
+) -> Clause:
+    """A random non-tautologous clause of exactly ``width`` distinct letters."""
+    letters = rng.sample(range(letter_count), width)
+    return clause_of(make_literal(i, rng.random() < 0.5) for i in letters)
+
+
+def random_clause_set(
+    rng: random.Random,
+    vocabulary: Vocabulary,
+    clause_count: int,
+    width: int = 3,
+) -> ClauseSet:
+    """``clause_count`` random clauses of width ``width`` (deduplicated by
+    the clause-set constructor, so the result may be slightly smaller)."""
+    width = min(width, len(vocabulary))
+    return ClauseSet(
+        vocabulary,
+        (random_clause(rng, len(vocabulary), width) for _ in range(clause_count)),
+    )
+
+
+def clause_set_of_length(
+    rng: random.Random,
+    vocabulary: Vocabulary,
+    target_length: int,
+    width: int = 3,
+) -> ClauseSet:
+    """A clause set whose ``Length`` is (very nearly) ``target_length``.
+
+    Used by the complexity benchmarks, which are stated in terms of
+    ``Length[Phi]`` (Theorem 2.3.4).  Distinct clauses are accumulated
+    until the target is reached.
+    """
+    width = min(width, len(vocabulary))
+    clauses: set[Clause] = set()
+    length = 0
+    attempts = 0
+    while length + width <= target_length:
+        clause = random_clause(rng, len(vocabulary), width)
+        attempts += 1
+        if clause not in clauses:
+            clauses.add(clause)
+            length += len(clause)
+        if attempts > 100 * (target_length + 1):
+            raise ValueError(
+                f"cannot reach Length {target_length} with width {width} over "
+                f"{len(vocabulary)} letters"
+            )
+    return ClauseSet(vocabulary, clauses)
+
+
+def random_formula(
+    rng: random.Random, vocabulary: Vocabulary, depth: int = 3
+) -> Formula:
+    """A random formula over the vocabulary, of bounded connective depth."""
+    if depth <= 0 or rng.random() < 0.3:
+        return Var(rng.choice(vocabulary.names))
+    kind = rng.randrange(5)
+    if kind == 0:
+        return Not(random_formula(rng, vocabulary, depth - 1))
+    left = random_formula(rng, vocabulary, depth - 1)
+    right = random_formula(rng, vocabulary, depth - 1)
+    if kind == 1:
+        return And((left, right))
+    if kind == 2:
+        return Or((left, right))
+    if kind == 3:
+        return Implies(left, right)
+    return Iff(left, right)
+
+
+def update_stream(
+    rng: random.Random,
+    vocabulary: Vocabulary,
+    count: int,
+    width: int = 2,
+) -> Iterator[Formula]:
+    """A stream of insert payloads: random clauses (as formulas) of the
+    given width -- the typical small user-supplied update parameters of
+    Section 4."""
+    from repro.logic.clauses import clause_to_formula
+
+    for _ in range(count):
+        yield clause_to_formula(
+            vocabulary, random_clause(rng, len(vocabulary), width)
+        )
+
+
+def directory_schema(phone_count: int, person_count: int = 2, dept_count: int = 2):
+    """The Section 5.1.1 telephone-directory schema, parameterised by the
+    domain sizes (experiment E13 sweeps ``phone_count``)."""
+    from repro.relational.schema import RelationalSchema
+
+    people = [f"P{i}" for i in range(1, person_count + 1)]
+    depts = [f"D{i}" for i in range(1, dept_count + 1)]
+    phones = [f"T{i}" for i in range(1, phone_count + 1)]
+    return RelationalSchema.build(
+        constants={"person": people, "dept": depts, "telno": phones},
+        relations={"R": [("N", "person"), ("D", "dept"), ("T", "telno")]},
+    )

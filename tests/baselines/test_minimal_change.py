@@ -1,0 +1,182 @@
+"""Tests for the minimal-change / flock baseline (Section 3.3.2, E15)."""
+
+from repro.baselines.minimal_change import (
+    MinimalChangeDatabase,
+    maximal_consistent_subsets,
+)
+from repro.hlu.session import IncompleteDatabase
+from repro.logic.parser import parse_formula
+from repro.logic.propositions import Vocabulary
+
+VOCAB = Vocabulary.standard(3)
+
+
+class TestMaximalConsistentSubsets:
+    def test_consistent_insertion_keeps_everything(self):
+        theory = (parse_formula("A1"), parse_formula("A2"))
+        got = maximal_consistent_subsets(VOCAB, theory, parse_formula("A3"))
+        assert got == (theory,)
+
+    def test_conflict_drops_minimal_culprits(self):
+        theory = (parse_formula("A1"), parse_formula("A1 -> A2"))
+        got = maximal_consistent_subsets(VOCAB, theory, parse_formula("~A2"))
+        # Either keep A1 (drop the implication) or keep the implication
+        # (drop A1): two maximal alternatives.
+        assert len(got) == 2
+        assert all(len(subset) == 1 for subset in got)
+
+    def test_unsatisfiable_insertion_gives_no_subsets(self):
+        theory = (parse_formula("A1"),)
+        got = maximal_consistent_subsets(VOCAB, theory, parse_formula("A2 & ~A2"))
+        assert got == ()
+
+    def test_empty_theory(self):
+        got = maximal_consistent_subsets(VOCAB, (), parse_formula("A1"))
+        assert got == ((),)
+
+
+class TestFlockUpdates:
+    def test_insert_into_conflicting_theory_forks_the_flock(self):
+        db = MinimalChangeDatabase(VOCAB, ["A1", "A1 -> A2"])
+        db.insert("~A2")
+        assert len(db.flock) == 2
+        assert db.is_certain("~A2")
+
+    def test_insert_consistent_formula_no_fork(self):
+        db = MinimalChangeDatabase(VOCAB, ["A1"])
+        db.insert("A2")
+        assert len(db.flock) == 1
+        assert db.is_certain("A1 & A2")
+
+    def test_delete_removes_entailment(self):
+        db = MinimalChangeDatabase(VOCAB, ["A1", "A2"])
+        db.delete("A1 & A2")
+        assert not db.is_certain("A1 & A2")
+        # But each alternative keeps one conjunct.
+        assert db.is_certain("A1 | A2")
+
+    def test_world_set_is_union_over_flock(self):
+        db = MinimalChangeDatabase(VOCAB, ["A1", "A1 -> A2"])
+        db.insert("~A2")
+        worlds = db.world_set()
+        # Alternative 1: {A1, ~A2}; alternative 2: {A1 -> A2, ~A2} = {~A1, ~A2}.
+        assert worlds.satisfies_everywhere(parse_formula("~A2"))
+        assert worlds.satisfies_somewhere(parse_formula("A1"))
+        assert worlds.satisfies_somewhere(parse_formula("~A1"))
+
+
+class TestSyntacticSensitivity:
+    """Hegner's §3.3.2 critique: 'this definition of minimality is a
+    purely syntactic one' -- logically equivalent theories can update
+    differently."""
+
+    def test_equivalent_presentations_update_differently(self):
+        # T1 = {A1 & A2}; T2 = {A1, A2}: same models, different updates.
+        packaged = MinimalChangeDatabase(VOCAB, ["A1 & A2"])
+        separated = MinimalChangeDatabase(VOCAB, ["A1", "A2"])
+        packaged.insert("~A1")
+        separated.insert("~A1")
+        # Separated retains A2 (only A1 is dropped); packaged loses both.
+        assert separated.is_certain("A2")
+        assert not packaged.is_certain("A2")
+        assert packaged.world_set() != separated.world_set()
+
+
+class TestDifferenceFromMaskAssert:
+    """E15: minimal change is not mask-assert insertion."""
+
+    def test_minimal_change_retains_more_than_hegner(self):
+        # State: A1 <-> A2.  Insert ~A1.
+        flock = MinimalChangeDatabase(VOCAB, ["A1 <-> A2"])
+        flock.insert("~A1")
+        hegner = IncompleteDatabase.over(3, backend="instance")
+        hegner.assert_("A1 <-> A2")
+        hegner.insert("~A1")
+        # Minimal change keeps the biconditional (it is consistent with
+        # ~A1), so A2 is certainly false.
+        assert flock.is_certain("~A2")
+        # Hegner's insert masks A1 -- the biconditional's A1-link makes A2
+        # unknown afterwards.
+        assert not hegner.is_certain("~A2")
+        assert flock.world_set() != hegner.worlds()
+
+    def test_agreement_on_independent_insertions(self):
+        flock = MinimalChangeDatabase(VOCAB, ["A2"])
+        flock.insert("A1")
+        hegner = IncompleteDatabase.over(3, backend="instance")
+        hegner.assert_("A2")
+        hegner.insert("A1")
+        assert flock.world_set() == hegner.worlds()
+
+
+class TestSemanticMinimalChange:
+    """The §3.3.2 'semantic version of minimal change', reconstructed."""
+
+    def test_representation_independence(self):
+        from repro.baselines.minimal_change import SemanticMinimalChangeDatabase
+
+        # The flock's defect (syntax-sensitivity) disappears: equivalent
+        # presentations give identical results.
+        packaged = SemanticMinimalChangeDatabase(VOCAB, ["A1 & A2"])
+        separated = SemanticMinimalChangeDatabase(VOCAB, ["A1", "A2"])
+        packaged.insert("~A1")
+        separated.insert("~A1")
+        assert packaged.world_set() == separated.world_set()
+
+    def test_minimal_repair_keeps_unrelated_letters(self):
+        from repro.baselines.minimal_change import SemanticMinimalChangeDatabase
+
+        db = SemanticMinimalChangeDatabase(VOCAB, ["A1", "A2", "A3"])
+        db.insert("~A1")
+        # Only A1 flips; A2, A3 survive.
+        assert db.is_certain("~A1 & A2 & A3")
+
+    def test_differs_from_mask_assert(self):
+        from repro.baselines.minimal_change import SemanticMinimalChangeDatabase
+
+        # State A1 & A2; insert ~A1 | ~A2.  Minimal change flips exactly
+        # one letter per world ({~A1,A2} or {A1,~A2}); mask-assert masks
+        # BOTH dependency letters, so the distance-2 world {~A1,~A2}
+        # reappears as well.
+        semantic = SemanticMinimalChangeDatabase(VOCAB, ["A1 & A2"])
+        semantic.insert("~A1 | ~A2")
+        hegner = IncompleteDatabase.over(3, backend="instance")
+        hegner.assert_("A1 & A2").insert("~A1 | ~A2")
+        assert not semantic.is_possible("~A1 & ~A2")
+        assert hegner.is_possible("~A1 & ~A2")
+        assert semantic.world_set() != hegner.worlds()
+        assert semantic.world_set() <= hegner.worlds()
+
+    def test_insert_makes_formula_certain(self):
+        from repro.baselines.minimal_change import SemanticMinimalChangeDatabase
+
+        db = SemanticMinimalChangeDatabase(VOCAB, ["A1 | A3"])
+        db.insert("A2 & ~A3")
+        assert db.is_certain("A2 & ~A3")
+
+    def test_unsatisfiable_insert_empties(self):
+        from repro.baselines.minimal_change import SemanticMinimalChangeDatabase
+
+        db = SemanticMinimalChangeDatabase(VOCAB, ["A1"])
+        db.insert("A2 & ~A2")
+        assert not db.world_set()
+
+    def test_each_world_moves_to_its_nearest_targets(self):
+        from repro.baselines.minimal_change import semantic_minimal_insert
+        from repro.db.instances import WorldSet
+        from repro.logic.parser import parse_formula
+
+        state = WorldSet(VOCAB, {0b000})
+        moved = semantic_minimal_insert(state, parse_formula("A1 | A2"))
+        # Nearest (A1|A2)-worlds to 000 at distance 1: 001 and 010 (not 011).
+        assert moved == WorldSet(VOCAB, {0b001, 0b010})
+
+    def test_insert_into_empty_state_recovers_formula_worlds(self):
+        from repro.baselines.minimal_change import semantic_minimal_insert
+        from repro.db.instances import WorldSet
+        from repro.logic.parser import parse_formula
+
+        moved = semantic_minimal_insert(
+            WorldSet.empty(VOCAB), parse_formula("A1")
+        )
+        assert moved == WorldSet.from_formulas(VOCAB, [parse_formula("A1")])

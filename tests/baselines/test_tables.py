@@ -1,0 +1,136 @@
+"""Tests for V-tables, the template model (repro.baselines.tables; paper §4)."""
+
+import pytest
+
+from repro.baselines.tables import (
+    TableVariable,
+    VTable,
+    is_representable,
+    representable_world_sets,
+)
+from repro.db.instances import WorldSet
+from repro.errors import SchemaError
+from repro.relational.schema import RelationalSchema
+
+
+@pytest.fixture()
+def schema():
+    return RelationalSchema.build(
+        constants={"person": ["Jones"], "telno": ["T1", "T2"]},
+        relations={"Phone": [("N", "person"), ("T", "telno")]},
+    )
+
+
+@pytest.fixture()
+def tiny_schema():
+    # Two ground facts: P(a), P(b) -- 4 worlds total.
+    return RelationalSchema.build(
+        constants={"thing": ["a", "b"]},
+        relations={"P": [("X", "thing")]},
+    )
+
+
+class TestSemantics:
+    def test_ground_table_denotes_one_world(self, schema):
+        table = VTable(schema, [("Phone", ("Jones", "T1"))])
+        worlds = table.world_set()
+        assert len(worlds) == 1
+        # Closed world: the *other* phone fact is false in that world.
+        (world,) = worlds.worlds
+        assert world == 1 << table.grounding.vocabulary.index_of("Phone.Jones.T1")
+
+    def test_empty_table_denotes_the_empty_world(self, schema):
+        table = VTable(schema, [])
+        assert table.world_set().worlds == frozenset({0})
+
+    def test_variable_row_denotes_one_world_per_value(self, schema):
+        x = TableVariable("x", schema.algebra.named("telno"))
+        table = VTable(schema, [("Phone", ("Jones", x))])
+        worlds = table.world_set()
+        assert len(worlds) == 2
+        # Each world has exactly one phone fact (CWA!).
+        assert all(bin(w).count("1") == 1 for w in worlds)
+
+    def test_repeated_variable_covaries(self, tiny_schema):
+        x = TableVariable("x", tiny_schema.algebra.universal)
+        table = VTable(tiny_schema, [("P", (x,)), ("P", (x,))])
+        # Both rows instantiate to the same fact: singleton worlds.
+        assert all(bin(w).count("1") == 1 for w in table.world_set())
+
+    def test_distinct_variables_vary_independently(self, tiny_schema):
+        x = TableVariable("x", tiny_schema.algebra.universal)
+        y = TableVariable("y", tiny_schema.algebra.universal)
+        table = VTable(tiny_schema, [("P", (x,)), ("P", (y,))])
+        worlds = table.world_set()
+        # x=y gives singletons; x!=y gives the two-fact world.
+        assert len(worlds) == 3
+
+    def test_typing_violating_valuations_skipped(self, schema):
+        x = TableVariable("x", schema.algebra.universal)  # person or telno
+        table = VTable(schema, [("Phone", ("Jones", x))])
+        # Only telno values produce worlds.
+        assert len(table.world_set()) == 2
+
+
+class TestValidation:
+    def test_arity_checked(self, schema):
+        with pytest.raises(SchemaError, match="entries"):
+            VTable(schema, [("Phone", ("Jones",))])
+
+    def test_constant_typing_checked(self, schema):
+        with pytest.raises(SchemaError, match="typing"):
+            VTable(schema, [("Phone", ("T1", "T1"))])
+
+    def test_disjoint_variable_type_rejected(self, schema):
+        x = TableVariable("x", schema.algebra.named("person"))
+        with pytest.raises(SchemaError, match="disjoint"):
+            VTable(schema, [("Phone", ("Jones", x))])
+
+
+class TestRepresentability:
+    """The §4 claim, both directions, machine-checked."""
+
+    def test_jones_update_result_is_a_table(self, schema):
+        # "Jones has some phone (exactly one, nothing else known to
+        # exist)" is V-table representable.
+        x = TableVariable("x", schema.algebra.named("telno"))
+        target = VTable(schema, [("Phone", ("Jones", x))]).world_set()
+        witness = is_representable(target, schema, max_rows=2, max_variables=1)
+        assert witness is not None
+
+    def test_nothing_or_both_is_not_representable(self, tiny_schema):
+        """{{}, {P(a), P(b)}} -- 'no facts, or both facts' -- is not the
+        world set of any small V-table: tables cannot correlate the
+        *presence* of two rows."""
+        grounding_vocab = VTable(tiny_schema, []).grounding.vocabulary
+        target = WorldSet(grounding_vocab, {0b00, 0b11})
+        assert is_representable(target, tiny_schema, max_rows=3, max_variables=2) is None
+
+    def test_open_world_insert_result_is_a_table_via_row_collapse(self, tiny_schema):
+        """Hegner's insert P(a) from total ignorance leaves P(b) open:
+        {{P(a)}, {P(a), P(b)}}.  Perhaps surprisingly, this IS a V-table:
+        {P(a), P(x)} -- the variable row *collapses onto* the constant row
+        when x = a, acting as an optional fact.  ("It can represent many
+        important cases arising in practice", §4.)"""
+        grounding_vocab = VTable(tiny_schema, []).grounding.vocabulary
+        index_a = grounding_vocab.index_of("P.a")
+        index_b = grounding_vocab.index_of("P.b")
+        target = WorldSet(
+            grounding_vocab, {1 << index_a, (1 << index_a) | (1 << index_b)}
+        )
+        witness = is_representable(target, tiny_schema, max_rows=2, max_variables=1)
+        assert witness is not None
+        assert frozenset(witness.world_set().worlds) == target.worlds
+
+    def test_representable_enumeration_is_sound(self, tiny_schema):
+        for worlds, table in representable_world_sets(
+            tiny_schema, max_rows=2, max_variables=1
+        ).items():
+            assert frozenset(table.world_set().worlds) == worlds
+
+    def test_coverage_fraction_is_partial(self, tiny_schema):
+        """Over 2 ground facts there are 2^4 = 16 possible world sets;
+        small tables reach only some of them -- the measured shape of
+        'not able to represent all possible worlds'."""
+        reachable = representable_world_sets(tiny_schema, max_rows=3, max_variables=2)
+        assert 0 < len(reachable) < 16

@@ -1,0 +1,119 @@
+"""Tests for the Abiteboul-Grahne tabular primitives (Section 3.3.3, E14)."""
+
+from repro.baselines.tabular import (
+    TABULAR_PRIMITIVES,
+    hlu_insert_transformer,
+    search_for_transformer,
+    t_difference,
+    t_intersection,
+    t_pointwise_and,
+    t_pointwise_implies,
+    t_pointwise_or,
+    t_union,
+)
+from repro.db.instances import WorldSet
+from repro.logic.propositions import Vocabulary
+
+V2 = Vocabulary.standard(2)
+V3 = Vocabulary.standard(3)
+
+
+def ws(vocab, *worlds):
+    return WorldSet(vocab, worlds)
+
+
+class TestSetPrimitives:
+    def test_union_intersection_difference(self):
+        left = ws(V3, 0b001, 0b010)
+        right = ws(V3, 0b010, 0b100)
+        assert t_union(left, right) == ws(V3, 0b001, 0b010, 0b100)
+        assert t_intersection(left, right) == ws(V3, 0b010)
+        assert t_difference(left, right) == ws(V3, 0b001)
+
+    def test_match_blu_combine_assert(self):
+        # §3.3.3: "two of their basic update operators are precisely union
+        # and intersection, which ... are precisely our combine and assert."
+        from repro.blu.instance_impl import InstanceImplementation
+
+        impl = InstanceImplementation(V3)
+        left = ws(V3, 0b001, 0b111)
+        right = ws(V3, 0b111, 0b100)
+        assert t_union(left, right) == impl.op_combine(left, right)
+        assert t_intersection(left, right) == impl.op_assert(left, right)
+
+    def test_difference_via_complement(self):
+        from repro.blu.instance_impl import InstanceImplementation
+
+        impl = InstanceImplementation(V3)
+        left = ws(V3, 0b001, 0b010)
+        right = ws(V3, 0b010)
+        assert t_difference(left, right) == impl.op_assert(
+            left, impl.op_complement(right)
+        )
+
+
+class TestPointwisePrimitives:
+    def test_pointwise_and(self):
+        assert t_pointwise_and(ws(V2, 0b11), ws(V2, 0b01)) == ws(V2, 0b01)
+        assert t_pointwise_and(ws(V2, 0b10, 0b01), ws(V2, 0b11)) == ws(
+            V2, 0b10, 0b01
+        )
+
+    def test_pointwise_or(self):
+        assert t_pointwise_or(ws(V2, 0b10), ws(V2, 0b01)) == ws(V2, 0b11)
+
+    def test_pointwise_implies_truncated_to_vocabulary(self):
+        # ~0b10 | 0b00 must stay within the two vocabulary bits.
+        out = t_pointwise_implies(ws(V2, 0b10), ws(V2, 0b00))
+        assert out == ws(V2, 0b01)
+
+    def test_pointwise_ops_are_products(self):
+        left = ws(V2, 0b00, 0b11)
+        right = ws(V2, 0b01, 0b10)
+        assert t_pointwise_or(left, right) == ws(V2, 0b01, 0b10, 0b11)
+
+    def test_registry(self):
+        assert set(TABULAR_PRIMITIVES) == {
+            "union",
+            "intersection",
+            "difference",
+            "and",
+            "or",
+            "implies",
+        }
+
+
+class TestExpressivenessGap:
+    def test_target_transformer_is_hlu_insert(self):
+        from repro.blu.instance_impl import InstanceImplementation
+        from repro.hlu.programs import HLU_INSERT
+
+        impl = InstanceImplementation(V2)
+        state = ws(V2, 0b00)
+        payload = WorldSet.from_texts(V2, ["A1 | A2"])
+        assert hlu_insert_transformer(state, payload) == impl.run(
+            HLU_INSERT, state, payload
+        )
+
+    def test_expressible_function_is_found(self):
+        # Sanity: the search does find functions the primitives express.
+        assert search_for_transformer(V2, t_union, max_rounds=1)
+        assert search_for_transformer(
+            V2, lambda x, y: t_intersection(t_union(x, y), x), max_rounds=2
+        )
+
+    def test_genmask_based_insert_not_found(self):
+        """E14: the mask-by-genmask transformer is not reached -- the
+        expressiveness gap Hegner conjectures."""
+        assert not search_for_transformer(
+            V2, hlu_insert_transformer, max_rounds=2, max_functions=5000
+        )
+
+    def test_unary_forget_dependency_not_found(self):
+        # The unary X -> saturate(X, Dep(X)) (ignore second argument).
+        def forget_dependency(x, _):
+            return x.saturate(x.dependency_indices())
+
+        assert not search_for_transformer(
+            V2, forget_dependency, max_rounds=2, max_functions=5000
+        )

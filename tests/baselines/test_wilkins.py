@@ -1,0 +1,142 @@
+"""Tests for the Wilkins baseline (Section 3.3.1, Remark 1.4.7)."""
+
+import pytest
+
+from repro.baselines.wilkins import WilkinsDatabase
+from repro.hlu.session import IncompleteDatabase
+from repro.logic.clauses import ClauseSet
+from repro.logic.propositions import Vocabulary
+from repro.logic.semantics import models_of_clauses
+
+VOCAB = Vocabulary.standard(4)
+
+
+def project_to_base(db: WilkinsDatabase) -> frozenset[int]:
+    """Models of the Wilkins state, projected onto the base letters."""
+    base_bits = (1 << len(db.base_vocabulary)) - 1
+    return frozenset(w & base_bits for w in models_of_clauses(db.state))
+
+
+class TestUpdateMechanics:
+    def test_insert_introduces_auxiliaries_per_syntactic_letter(self):
+        db = WilkinsDatabase(VOCAB)
+        db.insert("A1 | A2")
+        assert db.aux_count == 2
+        db.insert("A3")
+        assert db.aux_count == 3
+
+    def test_vocabulary_grows_monotonically(self):
+        db = WilkinsDatabase(VOCAB)
+        sizes = [len(db.vocabulary)]
+        for _ in range(3):
+            db.insert("A1")
+            sizes.append(len(db.vocabulary))
+        assert sizes == [4, 5, 6, 7]
+
+    def test_assert_adds_no_auxiliaries(self):
+        db = WilkinsDatabase(VOCAB)
+        db.assert_("A1 & A2")
+        assert db.aux_count == 0
+
+    def test_update_is_rename_plus_add(self):
+        db = WilkinsDatabase(VOCAB)
+        db.assert_("A1 -> A2")
+        before = len(db.state)
+        db.insert("A1")
+        # Same clause count plus the inserted unit clause.
+        assert len(db.state) == before + 1
+
+
+class TestSemanticAgreementWithHegner:
+    SCRIPTS = [
+        [("assert_", "A1 & A2"), ("insert", "~A1")],
+        [("assert_", "A1 -> A2"), ("insert", "A1"), ("insert", "~A2")],
+        [("insert", "A1 | A2"), ("delete", "A1")],
+        [("assert_", "A1 & A3"), ("insert", "A2 | A3")],
+    ]
+
+    @pytest.mark.parametrize("script", SCRIPTS, ids=[str(s) for s in SCRIPTS])
+    def test_projection_matches_hegner_when_syntactic_is_semantic(self, script):
+        """For formulas whose syntactic letters are all semantically
+        relevant, Wilkins and Hegner agree (Section 3.3.1: 'the semantics
+        of her update algorithms are identical to ours')."""
+        wilkins = WilkinsDatabase(VOCAB)
+        hegner = IncompleteDatabase.over(4, backend="instance")
+        for method, argument in script:
+            getattr(wilkins, method)(argument)
+            if method == "assert_":
+                hegner.assert_(argument)
+            elif method == "insert":
+                hegner.insert(argument)
+            else:
+                hegner.delete(argument)
+        assert project_to_base(wilkins) == hegner.worlds().worlds
+
+    def test_remark_147_divergence_on_tautology(self):
+        """insert(A1 | ~A1): identity for Hegner, masks A1 for Wilkins."""
+        wilkins = WilkinsDatabase(VOCAB)
+        wilkins.assert_("A1")
+        wilkins.insert("A1 | ~A1")
+        assert not wilkins.is_certain("A1")
+
+        hegner = IncompleteDatabase.over(4).assert_("A1").insert("A1 | ~A1")
+        assert hegner.is_certain("A1")
+
+    def test_syntactic_vs_semantic_dependency(self):
+        """insert((A1 | A2) & (A1 | ~A2)) masks A2 for Wilkins (syntactic)
+        but not for Hegner (semantic: the formula is equivalent to A1)."""
+        wilkins = WilkinsDatabase(VOCAB)
+        wilkins.assert_("A2")
+        wilkins.insert("(A1 | A2) & (A1 | ~A2)")
+        assert not wilkins.is_certain("A2")
+
+        hegner = IncompleteDatabase.over(4).assert_("A2")
+        hegner.insert("(A1 | A2) & (A1 | ~A2)")
+        assert hegner.is_certain("A2")
+
+
+class TestQueries:
+    def test_certain_and_possible(self):
+        db = WilkinsDatabase(VOCAB)
+        db.insert("A1 | A2")
+        assert db.is_certain("A1 | A2")
+        assert not db.is_certain("A1")
+        assert db.is_possible("A1")
+        assert not db.is_possible("~A1 & ~A2")
+
+    def test_consistency(self):
+        db = WilkinsDatabase(VOCAB)
+        db.assert_("A1")
+        db.assert_("~A1")
+        assert not db.is_consistent()
+        # insert, by contrast, repairs:
+        db2 = WilkinsDatabase(VOCAB)
+        db2.assert_("A1")
+        db2.insert("~A1")
+        assert db2.is_consistent()
+
+
+class TestCleanup:
+    def test_cleanup_removes_auxiliaries_and_preserves_base_knowledge(self):
+        db = WilkinsDatabase(VOCAB)
+        db.assert_("A1 & A2")
+        db.insert("~A1")
+        db.insert("A3")
+        before = project_to_base(db)
+        db.cleanup()
+        assert db.aux_count == 0
+        assert db.vocabulary == VOCAB
+        assert models_of_clauses(db.state) == before
+
+    def test_cleanup_idempotent(self):
+        db = WilkinsDatabase(VOCAB)
+        db.insert("A1 | A2")
+        db.cleanup()
+        state = db.state
+        db.cleanup()
+        assert db.state == state
+
+    def test_initial_state_roundtrip(self):
+        initial = ClauseSet.from_strs(VOCAB, ["A1 | A4"])
+        db = WilkinsDatabase(VOCAB, state=initial)
+        assert db.is_certain("A1 | A4")

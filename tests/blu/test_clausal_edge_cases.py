@@ -1,0 +1,119 @@
+"""Edge cases for BLU--C: the distinguished elements 0 (box) and 1
+(the empty clause set) through every operator, plus empty-vocabulary and
+degenerate-mask corners."""
+
+import pytest
+
+from repro.blu.clausal_genmask import clausal_genmask
+from repro.blu.clausal_impl import (
+    ClausalImplementation,
+    clausal_combine,
+    clausal_complement,
+)
+from repro.blu.clausal_mask import clausal_mask
+from repro.logic.clauses import ClauseSet
+from repro.logic.propositions import Vocabulary
+
+VOCAB = Vocabulary.standard(3)
+IMPL = ClausalImplementation(VOCAB)
+TOP = ClauseSet.tautology(VOCAB)          # no clauses: every world
+BOTTOM = ClauseSet.contradiction(VOCAB)   # {box}: no world
+SOME = ClauseSet.from_strs(VOCAB, ["A1 | A2"])
+
+
+class TestAssertEdges:
+    def test_top_is_neutral(self):
+        assert IMPL.op_assert(SOME, TOP) == SOME
+        assert IMPL.op_assert(TOP, SOME) == SOME
+
+    def test_bottom_annihilates(self):
+        assert IMPL.op_assert(SOME, BOTTOM) == BOTTOM
+
+    def test_top_with_top(self):
+        assert IMPL.op_assert(TOP, TOP) == TOP
+
+
+class TestCombineEdges:
+    def test_bottom_is_neutral(self):
+        assert IMPL.op_combine(SOME, BOTTOM) == SOME
+        assert IMPL.op_combine(BOTTOM, SOME) == SOME
+
+    def test_top_annihilates(self):
+        assert IMPL.op_combine(SOME, TOP) == TOP
+
+    def test_bottom_with_bottom(self):
+        assert IMPL.op_combine(BOTTOM, BOTTOM) == BOTTOM
+
+
+class TestComplementEdges:
+    def test_complement_swaps_top_and_bottom(self):
+        assert clausal_complement(TOP) == BOTTOM
+        assert clausal_complement(BOTTOM) == TOP
+
+    def test_complement_of_unit(self):
+        unit = ClauseSet.from_strs(VOCAB, ["A1"])
+        assert clausal_complement(unit) == ClauseSet.from_strs(VOCAB, ["~A1"])
+
+
+class TestMaskEdges:
+    def test_masking_top_is_top(self):
+        assert clausal_mask(TOP, [0, 1, 2]) == TOP
+
+    def test_masking_bottom_is_bottom(self):
+        # No worlds to saturate: still no worlds.
+        assert clausal_mask(BOTTOM, [0, 1, 2]) == BOTTOM
+
+    def test_mask_with_empty_letter_set(self):
+        assert clausal_mask(SOME, []) == SOME
+
+    def test_mask_letters_not_in_state(self):
+        assert clausal_mask(SOME, [2]) == SOME
+
+    def test_unsatisfiable_without_explicit_box(self):
+        # {A1, ~A1} has no models but no empty clause; masking A1 must
+        # *derive* box, not silently produce the tautology.
+        hidden = ClauseSet.from_strs(VOCAB, ["A1", "~A1"])
+        assert clausal_mask(hidden, [0]).has_empty_clause
+
+
+class TestGenmaskEdges:
+    def test_top_depends_on_nothing(self):
+        assert clausal_genmask(TOP) == frozenset()
+
+    def test_bottom_depends_on_nothing(self):
+        # Mod = {} is closed under every flip.
+        assert clausal_genmask(BOTTOM) == frozenset()
+
+    def test_hidden_contradiction_depends_on_nothing(self):
+        hidden = ClauseSet.from_strs(VOCAB, ["A1", "~A1"])
+        assert clausal_genmask(hidden) == frozenset()
+
+
+class TestSingleLetterVocabulary:
+    V1 = Vocabulary.standard(1)
+
+    def test_full_cycle(self):
+        impl = ClausalImplementation(self.V1)
+        a = ClauseSet.from_strs(self.V1, ["A1"])
+        not_a = impl.op_complement(a)
+        assert not_a == ClauseSet.from_strs(self.V1, ["~A1"])
+        assert impl.op_combine(a, not_a) == ClauseSet.tautology(self.V1)
+        assert impl.op_assert(a, not_a).has_empty_clause or not (
+            impl.op_assert(a, not_a).satisfied_by(0)
+            or impl.op_assert(a, not_a).satisfied_by(1)
+        )
+        assert impl.op_genmask(a) == frozenset({0})
+        assert impl.op_mask(a, frozenset({0})) == ClauseSet.tautology(self.V1)
+
+
+class TestEmptyVocabulary:
+    V0 = Vocabulary([])
+
+    def test_only_two_states_exist(self):
+        impl = ClausalImplementation(self.V0)
+        top = ClauseSet.tautology(self.V0)
+        bottom = ClauseSet.contradiction(self.V0)
+        assert impl.op_complement(top) == bottom
+        assert impl.op_complement(bottom) == top
+        assert impl.op_genmask(top) == frozenset()
+        assert impl.op_mask(top, frozenset()) == top

@@ -1,0 +1,87 @@
+"""Tests for named-program environments (repro.blu.definitions)."""
+
+import pytest
+
+from repro.blu.definitions import (
+    SIMPLE_HLU_SOURCE,
+    ProgramEnvironment,
+    default_environment,
+)
+from repro.blu.parser import parse_program
+from repro.errors import ParseError
+from repro.hlu.programs import (
+    HLU_ASSERT,
+    HLU_CLEAR,
+    HLU_DELETE,
+    HLU_INSERT,
+    HLU_MODIFY,
+    IDENTITY,
+)
+
+
+class TestEnvironment:
+    def test_define_and_lookup(self):
+        env = ProgramEnvironment()
+        program = parse_program("(lambda (s0) (complement s0))")
+        env.define("negate", program)
+        assert env["negate"] == program
+        assert "negate" in env and len(env) == 1
+
+    def test_rebinding_rejected(self):
+        env = ProgramEnvironment()
+        program = parse_program("(lambda (s0) s0)")
+        env.define("id", program)
+        with pytest.raises(ParseError, match="already defined"):
+            env.define("id", program)
+
+    def test_missing_name(self):
+        with pytest.raises(ParseError, match="no program"):
+            ProgramEnvironment()["nope"]
+
+    def test_load_returns_names_in_order(self):
+        env = ProgramEnvironment()
+        names = env.load(
+            "(define a (lambda (s0) s0)) (define b (lambda (s0) (complement s0)))"
+        )
+        assert names == ["a", "b"]
+        assert env.names() == ("a", "b")
+
+    def test_load_rejects_non_define_forms(self):
+        with pytest.raises(ParseError, match="define"):
+            ProgramEnvironment().load("(lambda (s0) s0)")
+        with pytest.raises(ParseError):
+            ProgramEnvironment().load("(define 3 (lambda (s0) s0))".replace("3", "(x)"))
+
+
+class TestPaperDefinitions:
+    """The shipped 3.1.2 source must parse to exactly the programs the
+    library uses -- the definitions are data, not duplicated code."""
+
+    def test_default_environment_names(self):
+        env = default_environment()
+        assert env.names() == (
+            "HLU-assert",
+            "HLU-clear",
+            "HLU-insert",
+            "HLU-delete",
+            "HLU-modify",
+            "I",
+        )
+
+    @pytest.mark.parametrize(
+        "name,constant",
+        [
+            ("HLU-assert", HLU_ASSERT),
+            ("HLU-clear", HLU_CLEAR),
+            ("HLU-insert", HLU_INSERT),
+            ("HLU-delete", HLU_DELETE),
+            ("HLU-modify", HLU_MODIFY),
+            ("I", IDENTITY),
+        ],
+    )
+    def test_source_matches_constants(self, name, constant):
+        assert default_environment()[name] == constant
+
+    def test_source_contains_comments(self):
+        # Comments in the source must be tolerated by the reader.
+        assert ";" in SIMPLE_HLU_SOURCE

@@ -1,0 +1,149 @@
+"""Tests that BLU--C emulates BLU--I (Theorems 2.3.4(a), 2.3.6(a), 2.3.9(a)).
+
+This is experiment E10's verification core: the canonical emulation
+``e_CI`` must commute with every operator and hence with arbitrary terms.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.blu.clausal_impl import ClausalImplementation
+from repro.blu.emulation import canonical_emulation
+from repro.blu.instance_impl import InstanceImplementation
+from repro.blu.parser import parse_term
+from repro.blu.syntax import Apply, Sort, Term, Variable
+from repro.logic.clauses import ClauseSet, clause_of, make_literal
+from repro.logic.propositions import Vocabulary
+
+VOCAB = Vocabulary.standard(4)
+N = len(VOCAB)
+CLAUSAL = ClausalImplementation(VOCAB)
+INSTANCE = InstanceImplementation(VOCAB)
+EMU = canonical_emulation(CLAUSAL, INSTANCE)
+
+
+def random_clause_set(rng: random.Random) -> ClauseSet:
+    clauses = []
+    for _ in range(rng.randint(0, 4)):
+        size = rng.randint(1, 3)
+        letters = rng.sample(range(N), size)
+        clauses.append(clause_of(make_literal(i, rng.random() < 0.5) for i in letters))
+    return ClauseSet(VOCAB, clauses)
+
+
+class TestOperatorEmulation:
+    def test_assert(self):
+        rng = random.Random(1)
+        for _ in range(30):
+            assert EMU.check_operator(
+                "assert", random_clause_set(rng), random_clause_set(rng)
+            )
+
+    def test_combine(self):
+        rng = random.Random(2)
+        for _ in range(30):
+            assert EMU.check_operator(
+                "combine", random_clause_set(rng), random_clause_set(rng)
+            )
+
+    def test_complement(self):
+        rng = random.Random(3)
+        for _ in range(30):
+            assert EMU.check_operator("complement", random_clause_set(rng))
+
+    def test_mask(self):
+        rng = random.Random(4)
+        for _ in range(30):
+            indices = frozenset(rng.sample(range(N), rng.randint(0, N)))
+            assert EMU.check_operator("mask", random_clause_set(rng), indices)
+
+    def test_genmask(self):
+        rng = random.Random(5)
+        for _ in range(30):
+            assert EMU.check_operator("genmask", random_clause_set(rng))
+
+    def test_without_simplification_too(self):
+        raw = ClausalImplementation(VOCAB, simplify=False)
+        emu = canonical_emulation(raw, INSTANCE)
+        rng = random.Random(6)
+        for _ in range(15):
+            assert emu.check_operator(
+                "combine", random_clause_set(rng), random_clause_set(rng)
+            )
+            assert emu.check_operator("complement", random_clause_set(rng))
+
+
+class TestTermEmulation:
+    TERMS = [
+        "(assert (mask s0 (genmask s1)) s1)",                       # HLU-insert
+        "(assert (mask s0 (genmask s1)) (complement s1))",          # HLU-delete
+        "(combine (assert s0 s1) (assert s0 (complement s1)))",     # where-split
+        "(mask (complement (combine s0 s1)) (genmask s1))",
+        "(assert (complement (complement s0)) s0)",
+    ]
+
+    @pytest.mark.parametrize("text", TERMS)
+    def test_fixed_terms(self, text):
+        rng = random.Random(hash(text) & 0xFFFF)
+        term = parse_term(text)
+        for _ in range(10):
+            env = {name: random_clause_set(rng) for name in term.variables()}
+            assert EMU.check_term(term, env)
+
+    def test_surjectivity_witness(self):
+        # e_CI[S] is surjective: every world set has a clause-set preimage.
+        from repro.db.instances import WorldSet
+
+        rng = random.Random(7)
+        for _ in range(10):
+            worlds = frozenset(
+                rng.sample(range(1 << N), rng.randint(0, 1 << N))
+            )
+            ws = WorldSet(VOCAB, worlds)
+            assert WorldSet.from_clause_set(ws.to_clause_set()) == ws
+
+
+# --- hypothesis: random terms ------------------------------------------------
+
+state_variables = st.sampled_from(["s0", "s1", "s2"])
+
+
+def term_strategy():
+    base = state_variables.map(Variable)
+    return st.recursive(
+        base,
+        lambda children: st.one_of(
+            st.tuples(children, children).map(lambda p: Apply("assert", p)),
+            st.tuples(children, children).map(lambda p: Apply("combine", p)),
+            children.map(lambda t: Apply("complement", (t,))),
+            st.tuples(children, children).map(
+                lambda p: Apply("mask", (p[0], Apply("genmask", (p[1],))))
+            ),
+        ),
+        max_leaves=5,
+    )
+
+
+clause_set_strategy = st.frozensets(
+    st.frozensets(
+        st.integers(min_value=1, max_value=N).flatmap(
+            lambda i: st.sampled_from([i, -i])
+        ),
+        min_size=1,
+        max_size=3,
+    ),
+    max_size=3,
+).map(lambda cs: ClauseSet(VOCAB, cs))
+
+
+@given(term_strategy(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_random_terms_emulate(term: Term, data):
+    if term.sort is not Sort.S:
+        return
+    env = {
+        name: data.draw(clause_set_strategy, label=name) for name in term.variables()
+    }
+    assert EMU.check_term(term, env)

@@ -1,0 +1,108 @@
+"""Tests for the Implementation ABC and evaluator (repro.blu.implementation).
+
+Includes a third *toy* implementation of BLU -- a counting algebra that
+tracks only how many possible worlds a state has an upper bound for --
+to demonstrate that Definition 2.2.1 really is an open interface: any
+algebra with the right signature runs unmodified BLU programs.
+"""
+
+import pytest
+
+from repro.blu.implementation import Implementation, evaluate_term
+from repro.blu.parser import parse_program, parse_term
+from repro.errors import EvaluationError
+
+
+class BoundAlgebra(Implementation):
+    """States are integers (upper bounds on world counts) over a fixed
+    total; masks are floats in (0, 1] (coarseness factors).  Not a
+    faithful semantics -- deliberately -- just a distinct, law-abiding
+    algebra for exercising the evaluator."""
+
+    TOTAL = 1024
+
+    def is_state(self, value):
+        return isinstance(value, int) and 0 <= value <= self.TOTAL
+
+    def is_mask(self, value):
+        return isinstance(value, float) and 0 < value <= 1
+
+    def op_assert(self, state, other):
+        return min(state, other)
+
+    def op_combine(self, state, other):
+        return min(self.TOTAL, state + other)
+
+    def op_complement(self, state):
+        return self.TOTAL - state
+
+    def op_mask(self, state, mask):
+        return min(self.TOTAL, int(state / mask))
+
+    def op_genmask(self, state):
+        return 1.0 if state == 0 else max(state / self.TOTAL, 1e-6)
+
+
+IMPL = BoundAlgebra()
+
+
+class TestEvaluator:
+    def test_variables_resolve_from_environment(self):
+        term = parse_term("(assert s0 s1)")
+        assert evaluate_term(IMPL, term, {"s0": 10, "s1": 3}) == 3
+
+    def test_nested_evaluation_order(self):
+        term = parse_term("(combine (assert s0 s1) (complement s0))")
+        got = evaluate_term(IMPL, term, {"s0": 100, "s1": 40})
+        assert got == min(1024, 40 + (1024 - 100))
+
+    def test_mask_and_genmask_dispatch(self):
+        term = parse_term("(mask s0 (genmask s1))")
+        got = evaluate_term(IMPL, term, {"s0": 100, "s1": 512})
+        assert got == int(100 / 0.5)
+
+    def test_unbound_variable_raises(self):
+        with pytest.raises(EvaluationError, match="unbound"):
+            evaluate_term(IMPL, parse_term("(complement s9)"), {})
+
+
+class TestRun:
+    def test_program_runs_in_toy_algebra(self):
+        program = parse_program(
+            "(lambda (s0 s1) (assert (mask s0 (genmask s1)) s1))"
+        )
+        assert IMPL.run(program, 100, 512) == min(int(100 / 0.5), 512)
+
+    def test_arity_mismatch(self):
+        program = parse_program("(lambda (s0 s1) (assert s0 s1))")
+        with pytest.raises(EvaluationError, match="expects 2"):
+            IMPL.run(program, 1, 2, 3)
+
+    def test_argument_sort_validation(self):
+        program = parse_program("(lambda (s0 m0) (mask s0 m0))")
+        with pytest.raises(EvaluationError, match="sort"):
+            IMPL.run(program, 10, 20)  # int where a float mask is required
+        assert IMPL.run(program, 10, 0.5) == 20
+
+    def test_check_sorted_direct(self):
+        from repro.blu.syntax import Sort
+
+        IMPL.check_sorted(5, Sort.S)
+        with pytest.raises(EvaluationError):
+            IMPL.check_sorted(5, Sort.M)
+
+
+class TestAbstractBase:
+    def test_base_class_operators_are_abstract(self):
+        base = Implementation()
+        for method, args in [
+            ("op_assert", (1, 2)),
+            ("op_combine", (1, 2)),
+            ("op_complement", (1,)),
+            ("op_mask", (1, 2)),
+            ("op_genmask", (1,)),
+            ("is_state", (1,)),
+            ("is_mask", (1,)),
+        ]:
+            with pytest.raises(NotImplementedError):
+                getattr(base, method)(*args)

@@ -1,0 +1,122 @@
+"""Tests for BLU--I, the instance-level implementation (repro.blu.instance_impl)."""
+
+import pytest
+
+from repro.blu.instance_impl import InstanceImplementation
+from repro.blu.parser import parse_program, parse_term
+from repro.db.instances import WorldSet
+from repro.db.masks import KeyMask, SimpleMask
+from repro.errors import EvaluationError, VocabularyMismatchError
+from repro.logic.propositions import Vocabulary
+
+VOCAB = Vocabulary.standard(3)
+IMPL = InstanceImplementation(VOCAB)
+
+
+def ws(*texts: str) -> WorldSet:
+    return WorldSet.from_texts(VOCAB, texts)
+
+
+class TestDomains:
+    def test_state_membership(self):
+        assert IMPL.is_state(WorldSet.total(VOCAB))
+        assert not IMPL.is_state(WorldSet.total(Vocabulary.standard(2)))
+        assert not IMPL.is_state("not a state")
+
+    def test_mask_membership(self):
+        assert IMPL.is_mask(SimpleMask(VOCAB, [0]))
+        assert IMPL.is_mask(KeyMask(VOCAB, lambda w: w))
+        assert not IMPL.is_mask(SimpleMask(Vocabulary.standard(2), [0]))
+        assert not IMPL.is_mask(frozenset({0}))
+
+
+class TestOperators:
+    def test_assert_is_intersection(self):
+        assert IMPL.op_assert(ws("A1"), ws("A2")) == ws("A1 & A2")
+
+    def test_combine_is_union(self):
+        assert IMPL.op_combine(ws("A1"), ws("A2")) == ws("A1 | A2")
+
+    def test_complement(self):
+        assert IMPL.op_complement(ws("A1")) == ws("~A1")
+
+    def test_mask_saturates(self):
+        state = ws("A1 & A2")
+        assert IMPL.op_mask(state, SimpleMask(VOCAB, [0])) == ws("A2")
+
+    def test_mask_accepts_general_masks(self):
+        parity = KeyMask(VOCAB, lambda w: bin(w).count("1") % 2)
+        out = IMPL.op_mask(WorldSet(VOCAB, {0b000}), parity)
+        assert out == WorldSet(VOCAB, {0b000, 0b011, 0b101, 0b110})
+
+    def test_genmask_is_dependency_mask(self):
+        assert IMPL.op_genmask(ws("A1 | A2")) == SimpleMask(VOCAB, [0, 1])
+
+    def test_genmask_of_tautology_is_empty_mask(self):
+        assert IMPL.op_genmask(WorldSet.total(VOCAB)) == SimpleMask(VOCAB, [])
+
+    def test_vocabulary_mismatch_raises(self):
+        foreign = WorldSet.total(Vocabulary.standard(2))
+        with pytest.raises(VocabularyMismatchError):
+            IMPL.op_assert(ws("A1"), foreign)
+        with pytest.raises(VocabularyMismatchError):
+            IMPL.op_mask(ws("A1"), SimpleMask(Vocabulary.standard(2), [0]))
+
+
+class TestBooleanAlgebraLaws:
+    """Observation after 2.2.2: combine/assert/complement make IDB[D] a
+    Boolean algebra."""
+
+    STATES = [
+        WorldSet.empty(VOCAB),
+        WorldSet.total(VOCAB),
+        WorldSet.from_texts(VOCAB, ["A1"]),
+        WorldSet.from_texts(VOCAB, ["A1 | A2"]),
+        WorldSet.from_texts(VOCAB, ["A2 & A3"]),
+    ]
+
+    def test_de_morgan(self):
+        for x in self.STATES:
+            for y in self.STATES:
+                lhs = IMPL.op_complement(IMPL.op_combine(x, y))
+                rhs = IMPL.op_assert(IMPL.op_complement(x), IMPL.op_complement(y))
+                assert lhs == rhs
+
+    def test_absorption(self):
+        for x in self.STATES:
+            for y in self.STATES:
+                assert IMPL.op_combine(x, IMPL.op_assert(x, y)) == x
+
+    def test_complement_laws(self):
+        for x in self.STATES:
+            assert IMPL.op_assert(x, IMPL.op_complement(x)) == WorldSet.empty(VOCAB)
+            assert IMPL.op_combine(x, IMPL.op_complement(x)) == WorldSet.total(VOCAB)
+
+
+class TestProgramExecution:
+    def test_insert_program(self):
+        insert = parse_program("(lambda (s0 s1) (assert (mask s0 (genmask s1)) s1))")
+        state = ws("A1 & A2 & A3")
+        out = IMPL.run(insert, state, ws("~A1"))
+        # A1 was known true; inserting ~A1 masks A1 then asserts ~A1.
+        assert out == ws("~A1 & A2 & A3")
+
+    def test_run_arity_check(self):
+        program = parse_program("(lambda (s0 s1) (assert s0 s1))")
+        with pytest.raises(EvaluationError, match="expects 2"):
+            IMPL.run(program, ws("A1"))
+
+    def test_run_sort_check_on_arguments(self):
+        program = parse_program("(lambda (s0 m0) (mask s0 m0))")
+        with pytest.raises(EvaluationError, match="sort"):
+            IMPL.run(program, ws("A1"), ws("A2"))  # state where mask expected
+
+    def test_unbound_variable(self):
+        term = parse_term("(complement s7)")
+        with pytest.raises(EvaluationError, match="unbound"):
+            IMPL.evaluate(term, {})
+
+    def test_evaluation_of_nested_term(self):
+        term = parse_term("(combine (assert s1 s0) (assert (complement s1) s0))")
+        out = IMPL.evaluate(term, {"s0": ws("A2"), "s1": ws("A1")})
+        assert out == ws("A2")  # split on A1 and recombine

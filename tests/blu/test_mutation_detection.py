@@ -1,0 +1,127 @@
+"""Failure injection: the emulation harness must *catch* broken algorithms.
+
+A verification suite is only trustworthy if it fails when the code is
+wrong.  Each mutant below re-implements one BLU--C operator with a
+classic plausible bug -- precisely the mistakes the paper's algorithms
+are designed to avoid -- and the canonical-emulation check is required
+to flag every one of them:
+
+* ``combine`` as clause-set union (confusing it with ``assert``);
+* ``mask`` as bare ``drop`` without the resolution closure (losing the
+  cross-letter consequences ``rclosure`` exists to preserve);
+* ``genmask`` as *syntactic* letter occurrence (the Wilkins-flavoured
+  shortcut Remark 1.4.7 rejects);
+* ``complement`` negating clause-by-clause instead of distributing.
+"""
+
+import random
+
+import pytest
+
+from repro.blu.clausal_impl import ClausalImplementation
+from repro.blu.emulation import canonical_emulation
+from repro.blu.instance_impl import InstanceImplementation
+from repro.logic.clauses import Clause, ClauseSet
+from repro.logic.propositions import Vocabulary
+from repro.logic.resolution import drop
+from repro.workloads.generators import random_clause_set
+
+VOCAB = Vocabulary.standard(4)
+INSTANCE = InstanceImplementation(VOCAB)
+
+
+class CombineAsUnion(ClausalImplementation):
+    """Mutant: combine returns the clause union (that's assert!)."""
+
+    def op_combine(self, state, other):
+        return state.union(other)
+
+
+class MaskWithoutRclosure(ClausalImplementation):
+    """Mutant: mask just drops clauses, skipping the resolution step."""
+
+    def op_mask(self, state, mask):
+        return drop(state, mask)
+
+
+class SyntacticGenmask(ClausalImplementation):
+    """Mutant: genmask returns the letters *occurring*, not depended on."""
+
+    def op_genmask(self, state):
+        return frozenset(state.prop_indices)
+
+
+class ClausewiseComplement(ClausalImplementation):
+    """Mutant: complement negates each clause's literals in place."""
+
+    def op_complement(self, state):
+        flipped: set[Clause] = {
+            frozenset(-l for l in clause) for clause in state.clauses
+        }
+        return ClauseSet(state.vocabulary, flipped)
+
+
+def hunts_down(mutant: ClausalImplementation, operator: str, trials: int = 200) -> bool:
+    """Does the emulation check expose the mutant within ``trials`` random
+    instances?"""
+    emulation = canonical_emulation(mutant, INSTANCE)
+    rng = random.Random(101)
+    for _ in range(trials):
+        left = random_clause_set(rng, VOCAB, rng.randint(0, 4), width=2)
+        right = random_clause_set(rng, VOCAB, rng.randint(0, 4), width=2)
+        if operator in ("assert", "combine"):
+            ok = emulation.check_operator(operator, left, right)
+        elif operator == "mask":
+            indices = frozenset(rng.sample(range(4), rng.randint(1, 3)))
+            ok = emulation.check_operator(operator, left, indices)
+        else:
+            ok = emulation.check_operator(operator, left)
+        if not ok:
+            return True
+    return False
+
+
+class TestMutantsAreCaught:
+    def test_combine_as_union_detected(self):
+        assert hunts_down(CombineAsUnion(VOCAB), "combine")
+
+    def test_mask_without_rclosure_detected(self):
+        # This is *the* reason rclosure exists (Algorithm 2.3.5): dropping
+        # the A-clauses without resolving first loses consequences.
+        assert hunts_down(MaskWithoutRclosure(VOCAB), "mask")
+
+    def test_syntactic_genmask_detected(self):
+        assert hunts_down(SyntacticGenmask(VOCAB), "genmask")
+
+    def test_clausewise_complement_detected(self):
+        assert hunts_down(ClausewiseComplement(VOCAB), "complement")
+
+    def test_correct_implementation_survives_the_same_hunt(self):
+        correct = ClausalImplementation(VOCAB)
+        for operator in ("assert", "combine", "complement", "mask", "genmask"):
+            assert not hunts_down(correct, operator, trials=60), operator
+
+
+class TestMutantsBreakPaperExamples:
+    """The worked examples alone already expose two of the mutants."""
+
+    # The Example 3.1.5 pattern whose mask *requires* the resolvent
+    # A3 | A4 to be manufactured before the A1-clauses are dropped.
+    PAPER_STATE = ("~A1 | A3", "A1 | A4")
+
+    def test_mask_mutant_fails_example_315_style_mask(self):
+        state = ClauseSet.from_strs(VOCAB, self.PAPER_STATE)
+        good = ClausalImplementation(VOCAB)
+        bad = MaskWithoutRclosure(VOCAB)
+        from repro.logic.semantics import models_of_clauses
+
+        assert models_of_clauses(
+            good.op_mask(state, frozenset({0}))
+        ) != models_of_clauses(bad.op_mask(state, frozenset({0})))
+
+    def test_syntactic_genmask_differs_on_semantic_payload(self):
+        payload = ClauseSet.from_strs(VOCAB, ["A1 | A2", "A1 | ~A2"])
+        good = ClausalImplementation(VOCAB)
+        bad = SyntacticGenmask(VOCAB)
+        assert good.op_genmask(payload) == frozenset({0})
+        assert bad.op_genmask(payload) == frozenset({0, 1})

@@ -1,0 +1,143 @@
+"""Tests for the BLU term optimizer (repro.blu.optimizer)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.blu.instance_impl import InstanceImplementation
+from repro.blu.optimizer import optimize_program, optimize_term, term_size
+from repro.blu.parser import parse_program, parse_term
+from repro.blu.syntax import Apply, Sort, Variable
+from repro.db.instances import WorldSet
+from repro.db.masks import SimpleMask
+from repro.logic.propositions import Vocabulary
+
+VOCAB = Vocabulary.standard(3)
+IMPL = InstanceImplementation(VOCAB)
+
+
+class TestRules:
+    @pytest.mark.parametrize(
+        "before,after",
+        [
+            ("(assert s0 s0)", "s0"),                              # R1
+            ("(combine s0 s0)", "s0"),                             # R2
+            ("(complement (complement s0))", "s0"),                # R3
+            ("(mask (mask s0 m0) m0)", "(mask s0 m0)"),            # R5
+            ("(assert (assert s0 s1) s1)", "(assert s0 s1)"),      # R6
+            ("(combine (combine s0 s1) s1)", "(combine s0 s1)"),   # R7
+            # symmetric absorption variants
+            ("(assert s1 (assert s0 s1))", "(assert s0 s1)"),
+            ("(combine s0 (combine s0 s1))", "(combine s0 s1)"),
+            # nesting: rewrites apply bottom-up and cascade
+            (
+                "(complement (complement (assert s0 s0)))",
+                "s0",
+            ),
+            (
+                "(assert (complement (complement s0)) s0)",
+                "s0",
+            ),
+        ],
+    )
+    def test_rewrites(self, before, after):
+        assert optimize_term(parse_term(before)) == parse_term(after)
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "(assert s0 s1)",
+            "(assert s0 (complement s0))",                       # R4 kept
+            "(mask (mask s0 m0) m1)",                            # masks differ
+            "(assert (mask (assert s0 s1) (genmask s1)) s1)",    # R8: HLU-insert
+            "(combine (assert s0 s1) (assert s0 (complement s1)))",
+        ],
+    )
+    def test_non_rewrites(self, text):
+        assert optimize_term(parse_term(text)) == parse_term(text)
+
+    def test_masking_then_asserting_is_not_simplified_away(self):
+        """R8, semantically: in HLU-insert the final (assert . s1) is NOT
+        redundant after the mask -- dropping it changes the result."""
+        full = parse_term("(assert (mask s0 (genmask s1)) s1)")
+        dropped = parse_term("(mask s0 (genmask s1))")
+        state = WorldSet.from_texts(VOCAB, ["~A1"])
+        payload = WorldSet.from_texts(VOCAB, ["A1"])
+        env = {"s0": state, "s1": payload}
+        assert IMPL.evaluate(full, env) != IMPL.evaluate(dropped, env)
+
+
+class TestPrograms:
+    def test_program_body_optimised(self):
+        program = parse_program("(lambda (s0 s1) (assert (assert s0 s1) s1))")
+        assert str(optimize_program(program)) == "(lambda (s0 s1) (assert s0 s1))"
+
+    def test_parameter_eliminating_rewrite_is_refused(self):
+        # (combine s1 s1) -> s1 would drop no parameter here, but
+        # (assert s0 (assert s1 s1)) -> (assert s0 s1) keeps both; build a
+        # case where a parameter would vanish:
+        program = parse_program(
+            "(lambda (s0 s1) (assert s0 (complement (complement (assert s1 s1)))))"
+        )
+        optimised = optimize_program(program)
+        # s1 survives (the rewrite keeps it), so optimisation applies:
+        assert str(optimised) == "(lambda (s0 s1) (assert s0 s1))"
+
+    def test_hlu_programs_are_already_minimal(self):
+        from repro.hlu.programs import SIMPLE_HLU_PROGRAMS
+
+        for name, program in SIMPLE_HLU_PROGRAMS.items():
+            assert optimize_program(program) == program, name
+
+    def test_size_never_grows(self):
+        program = parse_program(
+            "(lambda (s0 s1) (combine (combine (assert s0 s0) s1) s1))"
+        )
+        assert term_size(optimize_program(program).body) <= term_size(program.body)
+
+
+# --- semantic equivalence, property-based ----------------------------------
+
+state_variables = st.sampled_from(["s0", "s1"])
+mask_variables = st.sampled_from(["m0", "m1"])
+
+
+def term_strategy():
+    base = state_variables.map(Variable)
+    masks = st.one_of(
+        mask_variables.map(Variable),
+        base.map(lambda t: Apply("genmask", (t,))),
+    )
+    return st.recursive(
+        base,
+        lambda children: st.one_of(
+            st.tuples(children, children).map(lambda p: Apply("assert", p)),
+            st.tuples(children, children).map(lambda p: Apply("combine", p)),
+            children.map(lambda t: Apply("complement", (t,))),
+            st.tuples(children, masks).map(lambda p: Apply("mask", p)),
+        ),
+        max_leaves=7,
+    )
+
+
+world_sets = st.frozensets(
+    st.integers(min_value=0, max_value=7), max_size=8
+).map(lambda ws: WorldSet(VOCAB, ws))
+simple_masks = st.frozensets(st.integers(min_value=0, max_value=2), max_size=3).map(
+    lambda indices: SimpleMask(VOCAB, indices)
+)
+
+
+@given(term_strategy(), st.data())
+@settings(max_examples=150, deadline=None)
+def test_optimizer_preserves_semantics(term, data):
+    if term.sort is not Sort.S:
+        return
+    environment = {}
+    for name in term.variables():
+        if name.startswith("s"):
+            environment[name] = data.draw(world_sets, label=name)
+        else:
+            environment[name] = data.draw(simple_masks, label=name)
+    optimised = optimize_term(term)
+    assert term_size(optimised) <= term_size(term)
+    assert IMPL.evaluate(optimised, environment) == IMPL.evaluate(term, environment)

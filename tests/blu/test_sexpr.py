@@ -1,0 +1,85 @@
+"""Tests for the s-expression layer (repro.blu.sexpr)."""
+
+import pytest
+
+from repro.blu.sexpr import read_sexpr, read_sexprs, sexpr_atoms, write_sexpr
+from repro.errors import ParseError
+
+
+class TestReader:
+    def test_atom(self):
+        assert read_sexpr("s0") == "s0"
+
+    def test_flat_list(self):
+        assert read_sexpr("(assert s0 s1)") == ["assert", "s0", "s1"]
+
+    def test_nested(self):
+        assert read_sexpr("(mask s0 (genmask s1))") == [
+            "mask",
+            "s0",
+            ["genmask", "s1"],
+        ]
+
+    def test_empty_list(self):
+        assert read_sexpr("()") == []
+
+    def test_whitespace_insensitive(self):
+        text = """(combine
+                     (assert s1 s0)
+                     (assert (complement s2) s0))"""
+        assert read_sexpr(text) == [
+            "combine",
+            ["assert", "s1", "s0"],
+            ["assert", ["complement", "s2"], "s0"],
+        ]
+
+    def test_comments_stripped(self):
+        assert read_sexpr("(assert s0 s1) ; the identity-ish\n") == [
+            "assert",
+            "s0",
+            "s1",
+        ]
+
+    def test_dotted_atoms(self):
+        # Macro-renamed variables like s1.0 must survive (Section 3.2).
+        assert read_sexpr("(assert s0 s1.0)") == ["assert", "s0", "s1.0"]
+
+    @pytest.mark.parametrize("text", ["", "(", ")", "(a (b)", "a b"])
+    def test_malformed(self, text):
+        with pytest.raises(ParseError):
+            read_sexpr(text)
+
+
+class TestReadMany:
+    def test_sequence_of_defines(self):
+        text = "(define f (lambda (s0) s0)) (define g (lambda (s0) s0))"
+        exprs = read_sexprs(text)
+        assert len(exprs) == 2
+        assert exprs[0][0] == "define"
+
+    def test_empty_input_gives_empty_list(self):
+        assert read_sexprs("  ; only a comment\n") == []
+
+
+class TestWriter:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "s0",
+            "(assert s0 s1)",
+            "(mask s0 (genmask s1))",
+            "(lambda (s0 s1 s2) (combine (assert s1 s0) (assert (complement s2) s0)))",
+        ],
+    )
+    def test_roundtrip(self, text):
+        expr = read_sexpr(text)
+        assert read_sexpr(write_sexpr(expr)) == expr
+
+    def test_canonical_spacing(self):
+        assert write_sexpr(["a", ["b", "c"]]) == "(a (b c))"
+
+
+class TestAtoms:
+    def test_collects_in_order_with_repeats(self):
+        expr = read_sexpr("(assert s0 (mask s0 m1))")
+        assert sexpr_atoms(expr) == ["assert", "s0", "mask", "s0", "m1"]

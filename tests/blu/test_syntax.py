@@ -1,0 +1,130 @@
+"""Tests for BLU abstract syntax and sort checking (repro.blu.syntax)."""
+
+import pytest
+
+from repro.blu.parser import parse_program, parse_term
+from repro.blu.syntax import (
+    SIGNATURE,
+    Apply,
+    BluProgram,
+    Sort,
+    Variable,
+    variable_sort,
+)
+from repro.errors import ArityError, ParseError, SortError
+
+
+class TestVariables:
+    def test_sort_from_leading_letter(self):
+        assert variable_sort("s0") is Sort.S
+        assert variable_sort("m3") is Sort.M
+        assert variable_sort("s1.0") is Sort.S  # macro-renamed
+
+    def test_unsortable_name_rejected(self):
+        with pytest.raises(SortError):
+            variable_sort("x1")
+
+    def test_variable_term(self):
+        v = Variable("m2")
+        assert v.sort is Sort.M
+        assert v.variables() == ("m2",)
+
+
+class TestSignature:
+    def test_paper_signature(self):
+        assert SIGNATURE["assert"] == ((Sort.S, Sort.S), Sort.S)
+        assert SIGNATURE["combine"] == ((Sort.S, Sort.S), Sort.S)
+        assert SIGNATURE["complement"] == ((Sort.S,), Sort.S)
+        assert SIGNATURE["mask"] == ((Sort.S, Sort.M), Sort.S)
+        assert SIGNATURE["genmask"] == ((Sort.S,), Sort.M)
+
+
+class TestApply:
+    def test_well_sorted_term(self):
+        term = Apply("mask", (Variable("s0"), Variable("m0")))
+        assert term.sort is Sort.S
+
+    def test_genmask_produces_mask_sort(self):
+        term = Apply("genmask", (Variable("s1"),))
+        assert term.sort is Sort.M
+
+    def test_unknown_operator(self):
+        with pytest.raises(SortError, match="unknown"):
+            Apply("frobnicate", (Variable("s0"),))
+
+    def test_wrong_arity(self):
+        with pytest.raises(ArityError):
+            Apply("assert", (Variable("s0"),))
+
+    def test_wrong_argument_sort(self):
+        with pytest.raises(SortError, match="sort"):
+            Apply("assert", (Variable("s0"), Variable("m0")))
+        with pytest.raises(SortError):
+            Apply("mask", (Variable("s0"), Variable("s1")))
+
+    def test_mask_of_genmask_composes(self):
+        term = parse_term("(mask s0 (genmask s1))")
+        assert term.sort is Sort.S
+
+    def test_variables_in_first_appearance_order(self):
+        term = parse_term("(combine (assert s1 s0) (assert (complement s2) s0))")
+        assert term.variables() == ("s1", "s0", "s2")
+
+    def test_structural_equality_and_hash(self):
+        t1 = parse_term("(assert s0 s1)")
+        t2 = parse_term("(assert s0 s1)")
+        assert t1 == t2 and hash(t1) == hash(t2)
+        assert t1 != parse_term("(assert s1 s0)")
+
+    def test_str_roundtrips(self):
+        text = "(combine (assert s1 (mask (assert s2 s0) (genmask s1))) (assert (complement s2) s0))"
+        assert str(parse_term(text)) == text
+
+
+class TestProgram:
+    def test_example_213(self):
+        # The paper's example program (2.1.3), with the mask argument order
+        # normalised to the Definition 3.1.2 convention.
+        program = parse_program(
+            """
+            (lambda (s0 s1 s2)
+              (combine
+                (assert s1 (mask (assert s2 s0) (genmask s1)))
+                (assert (complement s2) s0)))
+            """
+        )
+        assert program.parameters == ("s0", "s1", "s2")
+        assert program.body.sort is Sort.S
+
+    def test_must_start_with_s0(self):
+        with pytest.raises(SortError, match="s0"):
+            parse_program("(lambda (s1 s0) (assert s0 s1))")
+
+    def test_body_must_mention_all_parameters(self):
+        with pytest.raises(SortError, match="unused"):
+            parse_program("(lambda (s0 s1) (complement s0))")
+
+    def test_body_must_not_have_free_variables(self):
+        with pytest.raises(SortError, match="free"):
+            parse_program("(lambda (s0) (assert s0 s1))")
+
+    def test_body_must_be_s_term(self):
+        with pytest.raises(SortError, match="S-term"):
+            BluProgram(("s0",), Apply("genmask", (Variable("s0"),)))
+
+    def test_duplicate_parameters_rejected(self):
+        with pytest.raises(SortError, match="duplicate"):
+            BluProgram(("s0", "s0"), parse_term("(assert s0 s0)"))
+
+    def test_mask_parameters_allowed(self):
+        program = parse_program("(lambda (s0 m0) (mask s0 m0))")
+        assert program.parameters == ("s0", "m0")
+
+    def test_non_lambda_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("(assert s0 s1)")
+
+    def test_to_sexpr_roundtrip(self):
+        text = "(lambda (s0 s1) (assert (mask s0 (genmask s1)) s1))"
+        program = parse_program(text)
+        assert str(program) == text

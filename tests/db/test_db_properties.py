@@ -1,0 +1,121 @@
+"""Property-based tests for the database layer.
+
+Invariants checked:
+* insert/delete/modify interact correctly with world sets (monotonicity,
+  idempotence where the paper implies it);
+* Facts 1.3.2 / 1.4.2 (composition commutes with the structure maps);
+* Theorem 1.5.4 on random formulas;
+* the mask-assert decomposition of insertion (the core of Theorem 3.1.4):
+  inserting Phi equals saturating on Dep[Phi] then intersecting with Mod[Phi].
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.db.instances import WorldSet
+from repro.db.literal_base import insert_update, inset_prop_indices
+from repro.db.masks import SimpleMask, congruence_of, masks_equal
+from repro.db.morphisms import Morphism
+from repro.db.nondeterministic import NondetMorphism
+from repro.logic.formula import And, Iff, Implies, Not, Or, Var
+from repro.logic.propositions import Vocabulary
+
+VOCAB = Vocabulary.standard(3)
+N = len(VOCAB)
+
+variables = st.sampled_from([Var(name) for name in VOCAB.names])
+formulas = st.recursive(
+    variables,
+    lambda children: st.one_of(
+        children.map(Not),
+        st.tuples(children, children).map(And),
+        st.tuples(children, children).map(Or),
+        st.tuples(children, children).map(lambda p: Implies(*p)),
+        st.tuples(children, children).map(lambda p: Iff(*p)),
+    ),
+    max_leaves=6,
+)
+
+worlds = st.integers(min_value=0, max_value=(1 << N) - 1)
+world_sets = st.frozensets(worlds, max_size=8).map(lambda ws: WorldSet(VOCAB, ws))
+
+simple_morphisms = st.fixed_dictionaries(
+    {},
+    optional={name: formulas for name in VOCAB.names},
+).map(lambda assignment: Morphism(VOCAB, VOCAB, assignment))
+
+
+@given(formulas, world_sets)
+@settings(max_examples=100, deadline=None)
+def test_insert_is_mask_then_assert(formula, state):
+    """The mask-assert paradigm at the instance level (Theorem 3.1.4 core)."""
+    update = insert_update(VOCAB, [formula])
+    direct = update.apply_world_set(state)
+    dep = inset_prop_indices(VOCAB, [formula])
+    mod = WorldSet.from_formulas(VOCAB, [formula])
+    via_mask_assert = state.saturate(dep).intersection(mod)
+    assert direct == via_mask_assert
+
+
+@given(formulas)
+@settings(max_examples=80, deadline=None)
+def test_theorem_154_random_formulas(formula):
+    update = insert_update(VOCAB, [formula])
+    if len(update) == 0:
+        return  # unsatisfiable formula: congruence undefined in the paper
+    expected = SimpleMask(VOCAB, inset_prop_indices(VOCAB, [formula]))
+    assert masks_equal(congruence_of(update), expected)
+
+
+@given(formulas, world_sets)
+@settings(max_examples=80, deadline=None)
+def test_insert_result_satisfies_formula(formula, state):
+    update = insert_update(VOCAB, [formula])
+    result = update.apply_world_set(state)
+    assert result.satisfies_everywhere(formula)
+
+
+@given(formulas, world_sets)
+@settings(max_examples=80, deadline=None)
+def test_insert_is_idempotent_on_world_sets(formula, state):
+    update = insert_update(VOCAB, [formula])
+    once = update.apply_world_set(state)
+    twice = update.apply_world_set(once)
+    assert twice == once
+
+
+@given(formulas, world_sets, world_sets)
+@settings(max_examples=60, deadline=None)
+def test_insert_distributes_over_union(formula, left, right):
+    """F-bar is defined pointwise, hence a complete join morphism."""
+    update = insert_update(VOCAB, [formula])
+    assert update.apply_world_set(left.union(right)) == update.apply_world_set(
+        left
+    ).union(update.apply_world_set(right))
+
+
+@given(simple_morphisms, simple_morphisms, worlds)
+@settings(max_examples=100, deadline=None)
+def test_fact_132_composition(f, g, world):
+    assert f.then(g).apply_world(world) == g.apply_world(f.apply_world(world))
+
+
+@given(
+    st.lists(simple_morphisms, min_size=1, max_size=3),
+    st.lists(simple_morphisms, min_size=1, max_size=3),
+    world_sets,
+)
+@settings(max_examples=60, deadline=None)
+def test_fact_142_composition(fs, gs, state):
+    F = NondetMorphism(fs)
+    G = NondetMorphism(gs)
+    assert F.then(G).apply_world_set(state) == G.apply_world_set(
+        F.apply_world_set(state)
+    )
+
+
+@given(world_sets, st.frozensets(st.integers(min_value=0, max_value=N - 1)))
+@settings(max_examples=80, deadline=None)
+def test_saturation_absorbs_dependency(state, indices):
+    """After masking P, the state no longer depends on P."""
+    masked = state.saturate(indices)
+    assert not (masked.dependency_indices() & frozenset(indices))

@@ -1,0 +1,141 @@
+"""Tests for world sets / IDB[D] (repro.db.instances)."""
+
+import pytest
+
+from repro.db.instances import WorldSet
+from repro.db.schema import DbSchema
+from repro.errors import VocabularyMismatchError
+from repro.logic.clauses import ClauseSet
+from repro.logic.parser import parse_formula
+from repro.logic.propositions import Vocabulary
+from repro.logic.semantics import models_of_clauses
+
+VOCAB = Vocabulary.standard(3)
+
+
+class TestConstructors:
+    def test_empty_and_total(self):
+        assert len(WorldSet.empty(VOCAB)) == 0
+        assert len(WorldSet.total(VOCAB)) == 8
+
+    def test_singleton_eta_embedding(self):
+        ws = WorldSet.singleton(VOCAB, 0b101)
+        assert ws.worlds == frozenset({0b101})
+
+    def test_from_assignment(self):
+        ws = WorldSet.from_assignment(VOCAB, {"A1": True, "A2": False, "A3": True})
+        assert ws.worlds == frozenset({0b101})
+
+    def test_from_true_set(self):
+        ws = WorldSet.from_true_set(VOCAB, ["A2"])
+        assert ws.worlds == frozenset({0b010})
+
+    def test_from_texts_is_mod(self):
+        ws = WorldSet.from_texts(VOCAB, ["A1 | A2"])
+        assert len(ws) == 6  # 3 assignments of (A1,A2) x 2 of A3
+
+    def test_from_clause_set_matches_models(self):
+        cs = ClauseSet.from_strs(VOCAB, ["A1", "~A2 | A3"])
+        assert WorldSet.from_clause_set(cs).worlds == models_of_clauses(cs)
+
+    def test_out_of_range_world_rejected(self):
+        with pytest.raises(ValueError):
+            WorldSet(VOCAB, [8])
+
+
+class TestBooleanAlgebra:
+    LEFT = WorldSet.from_texts(VOCAB, ["A1"])
+    RIGHT = WorldSet.from_texts(VOCAB, ["A2"])
+
+    def test_union_is_combine(self):
+        assert self.LEFT.union(self.RIGHT) == WorldSet.from_texts(VOCAB, ["A1 | A2"])
+
+    def test_intersection_is_assert(self):
+        assert self.LEFT.intersection(self.RIGHT) == WorldSet.from_texts(
+            VOCAB, ["A1 & A2"]
+        )
+
+    def test_complement(self):
+        assert self.LEFT.complement() == WorldSet.from_texts(VOCAB, ["~A1"])
+
+    def test_complement_involution(self):
+        assert self.LEFT.complement().complement() == self.LEFT
+
+    def test_difference_for_where_split(self):
+        split_in = self.LEFT.intersection(self.RIGHT)
+        split_out = self.LEFT.difference(self.RIGHT)
+        assert split_in.union(split_out) == self.LEFT
+        assert split_in.intersection(split_out) == WorldSet.empty(VOCAB)
+
+    def test_vocabulary_mismatch_rejected(self):
+        other = WorldSet.total(Vocabulary.standard(2))
+        with pytest.raises(VocabularyMismatchError):
+            self.LEFT.union(other)
+
+    def test_subset_comparison(self):
+        assert self.LEFT.intersection(self.RIGHT) <= self.LEFT
+
+
+class TestMaskingAndDependency:
+    def test_saturate_names_forgets_letter(self):
+        ws = WorldSet.from_texts(VOCAB, ["A1 & A2"])
+        masked = ws.saturate_names(["A1"])
+        assert masked == WorldSet.from_texts(VOCAB, ["A2"])
+
+    def test_dependency_of_mod(self):
+        ws = WorldSet.from_texts(VOCAB, ["A1 | A2"])
+        assert ws.dependency_names() == frozenset({"A1", "A2"})
+
+    def test_dependency_after_mask_is_disjoint(self):
+        ws = WorldSet.from_texts(VOCAB, ["A1 & (A2 | A3)"])
+        masked = ws.saturate_names(["A2"])
+        assert "A2" not in masked.dependency_names()
+
+    def test_saturate_empty_set_stays_empty(self):
+        assert WorldSet.empty(VOCAB).saturate([0, 1]) == WorldSet.empty(VOCAB)
+
+
+class TestQueries:
+    STATE = WorldSet.from_texts(VOCAB, ["A1 | A2", "A3"])
+
+    def test_certain_and_possible_truth(self):
+        assert self.STATE.satisfies_everywhere(parse_formula("A3"))
+        assert not self.STATE.satisfies_everywhere(parse_formula("A1"))
+        assert self.STATE.satisfies_somewhere(parse_formula("A1 & ~A2"))
+        assert not self.STATE.satisfies_somewhere(parse_formula("~A3"))
+
+    def test_certain_literals(self):
+        assert "A3" in self.STATE.certain_literals()
+        assert "A1" not in self.STATE.certain_literals()
+
+    def test_restricted_to(self):
+        restricted = self.STATE.restricted_to(parse_formula("A1"))
+        assert restricted == self.STATE.intersection(WorldSet.from_texts(VOCAB, ["A1"]))
+
+    def test_legal_filters_by_schema(self):
+        schema = DbSchema.of(3, constraints=["~A1 | ~A2"])
+        legal = self.STATE.legal(schema)
+        assert all(not (w & 0b11 == 0b11) for w in legal)
+
+    def test_legal_vocabulary_mismatch(self):
+        with pytest.raises(VocabularyMismatchError):
+            self.STATE.legal(DbSchema.of(2))
+
+
+class TestRoundTrips:
+    def test_to_clause_set_roundtrip(self):
+        for texts in (["A1 | A2"], ["A1 & ~A3"], ["A1 <-> A2", "A3"]):
+            ws = WorldSet.from_texts(VOCAB, texts)
+            assert WorldSet.from_clause_set(ws.to_clause_set()) == ws
+
+    def test_to_clause_set_of_empty_is_contradiction(self):
+        assert WorldSet.empty(VOCAB).to_clause_set().has_empty_clause
+
+    def test_assignments_iteration(self):
+        ws = WorldSet.from_texts(VOCAB, ["A1 & A2 & A3"])
+        assert list(ws.assignments()) == [{"A1": True, "A2": True, "A3": True}]
+
+    def test_describe_truncates(self):
+        text = WorldSet.total(VOCAB).describe(limit=2)
+        assert "and 6 more" in text
+        assert WorldSet.empty(VOCAB).describe() == "(no possible worlds)"

@@ -1,0 +1,173 @@
+"""Tests for literal bases and Inset (repro.db.literal_base).
+
+Pins the paper's concrete values: Example 1.4.6 and Remark 1.4.7.
+"""
+
+from repro.db.instances import WorldSet
+from repro.db.literal_base import (
+    delete_update,
+    insert_update,
+    inset,
+    inset_prop_indices,
+    is_complete,
+    is_irrelevant,
+    is_minimal,
+    literal_base,
+    modify_update,
+)
+from repro.logic.clauses import make_literal
+from repro.logic.propositions import Vocabulary
+
+V3 = Vocabulary.standard(3)
+V2 = Vocabulary.standard(2)
+
+L = make_literal  # L(index, positive)
+
+
+class TestLiteralBase:
+    def test_members_entail_formula(self):
+        members = set(literal_base(V2, ["A1 | A2"]))
+        assert frozenset({L(0)}) in members            # {A1}
+        assert frozenset({L(0), L(1, False)}) in members  # {A1, ~A2}
+        assert frozenset() not in members
+        assert frozenset({L(1, False)}) not in members    # {~A2} does not entail
+
+    def test_example_146_superset_with_irrelevant_literal(self):
+        # {A1, ~A2, A3} is in LB[{A1 | A2}] but A3 is irrelevant.
+        members = set(literal_base(V3, ["A1 | A2"]))
+        candidate = frozenset({L(0), L(1, False), L(2)})
+        assert candidate in members
+
+    def test_tautology_base_contains_empty_set(self):
+        members = set(literal_base(V2, ["A1 | ~A1"]))
+        assert frozenset() in members
+
+    def test_contradiction_base_is_empty(self):
+        assert set(literal_base(V2, ["A1 & ~A1"])) == set()
+
+
+class TestIrrelevanceAndMinimality:
+    def test_example_146_a3_is_irrelevant(self):
+        assert is_irrelevant(V3, L(2), ["A1 | A2"])
+        assert is_irrelevant(V3, L(2, False), ["A1 | A2"])
+
+    def test_relevant_literal_detected(self):
+        assert not is_irrelevant(V3, L(0), ["A1 | A2"])
+
+    def test_minimal_rejects_superset_with_irrelevant(self):
+        assert not is_minimal(V3, frozenset({L(0), L(1, False), L(2)}), ["A1 | A2"])
+
+    def test_minimal_accepts_lean_base(self):
+        assert is_minimal(V3, frozenset({L(0)}), ["A1 | A2"])
+
+    def test_minimal_requires_membership(self):
+        assert not is_minimal(V3, frozenset({L(2)}), ["A1 | A2"])
+
+
+class TestInset:
+    def test_example_146_exact_value(self):
+        # Inset[{A1 | A2}] = {{A1,A2}, {A1,~A2}, {~A1,A2}}.
+        expected = frozenset(
+            {
+                frozenset({L(0), L(1)}),
+                frozenset({L(0), L(1, False)}),
+                frozenset({L(0, False), L(1)}),
+            }
+        )
+        assert inset(V3, ["A1 | A2"]) == expected
+
+    def test_remark_147_tautology_gives_empty_assignment(self):
+        assert inset(V3, ["A1 | ~A1"]) == frozenset({frozenset()})
+
+    def test_contradiction_gives_empty_inset(self):
+        assert inset(V3, ["A1 & ~A1"]) == frozenset()
+
+    def test_single_literal(self):
+        assert inset(V3, ["A1"]) == frozenset({frozenset({L(0)})})
+
+    def test_semantic_dependence_only(self):
+        # (A1 | A2) & (A1 | ~A2) == A1 -- A2 must not appear.
+        assert inset(V3, ["(A1 | A2) & (A1 | ~A2)"]) == frozenset(
+            {frozenset({L(0)})}
+        )
+
+    def test_inset_props_equal_dependency(self):
+        for texts in (["A1 | A2"], ["A1 & A3"], ["A1 <-> A2"], ["A1 | ~A1"]):
+            indices = inset_prop_indices(V3, texts)
+            props = frozenset(
+                abs(l) - 1 for s in inset(V3, texts) for l in s
+            )
+            assert props == indices
+
+    def test_is_complete_matches_inset(self):
+        assert is_complete(V3, frozenset({L(0), L(1)}), ["A1 | A2"])
+        assert not is_complete(V3, frozenset({L(0)}), ["A1 | A2"])
+        assert not is_complete(V3, frozenset({L(0), L(0, False)}), ["A1 | A2"])
+
+
+class TestInsertUpdate:
+    def test_example_146_three_way_split(self):
+        update = insert_update(V3, ["A1 | A2"])
+        assert len(update) == 3
+        out = update.apply_world(0b000)
+        assert out == WorldSet(V3, {0b001, 0b010, 0b011})
+
+    def test_insert_preserves_untouched_letters(self):
+        update = insert_update(V3, ["A1 | A2"])
+        out = update.apply_world(0b100)
+        assert all(w & 0b100 for w in out)
+
+    def test_tautology_insert_is_identity(self):
+        update = insert_update(V3, ["A1 | ~A1"])
+        S = WorldSet(V3, {0b101, 0b010})
+        assert update.apply_world_set(S) == S
+
+    def test_contradiction_insert_empties_state(self):
+        update = insert_update(V3, ["A1 & ~A1"])
+        assert update.apply_world_set(WorldSet.total(V3)) == WorldSet.empty(V3)
+
+    def test_result_always_satisfies_inserted_formula(self):
+        from repro.logic.parser import parse_formula
+
+        for text in ("A1 | A2", "A1 & A3", "A1 <-> A2"):
+            update = insert_update(V3, [text])
+            out = update.apply_world_set(WorldSet.total(V3))
+            assert out.satisfies_everywhere(parse_formula(text))
+
+
+class TestDeleteUpdate:
+    def test_delete_atom_formula(self):
+        update = delete_update(V3, ["A1"])
+        out = update.apply_world_set(WorldSet.total(V3))
+        assert all(not w & 0b001 for w in out)
+
+    def test_delete_disjunction_forces_negation(self):
+        from repro.logic.parser import parse_formula
+
+        update = delete_update(V3, ["A1 | A2"])
+        out = update.apply_world_set(WorldSet.total(V3))
+        assert out.satisfies_everywhere(parse_formula("~A1 & ~A2"))
+
+    def test_delete_of_contradiction_is_identity(self):
+        # ~(A1 & ~A1) is a tautology: nothing to do.
+        update = delete_update(V3, ["A1 & ~A1"])
+        S = WorldSet(V3, {0b011})
+        assert update.apply_world_set(S) == S
+
+
+class TestModifyUpdate:
+    def test_atomic_modify_matches_deterministic(self):
+        from repro.db.updates import modify_literals
+
+        update = modify_update(V3, ["A1"], ["A2"])
+        det = modify_literals(V3, [L(0)], [L(1)])
+        assert update.components == (det,)
+
+    def test_modify_with_disjunctive_postcondition_splits(self):
+        update = modify_update(V3, ["A1"], ["A2 | A3"])
+        assert len(update) == 3
+
+    def test_modify_leaves_nonmatching_worlds(self):
+        update = modify_update(V3, ["A1"], ["A2"])
+        S = WorldSet(V3, {0b000})
+        assert update.apply_world_set(S) == S

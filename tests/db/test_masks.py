@@ -1,0 +1,141 @@
+"""Tests for masks and congruences (repro.db.masks), incl. Theorem 1.5.4."""
+
+import pytest
+
+from repro.db.instances import WorldSet
+from repro.db.literal_base import insert_update, inset_prop_indices
+from repro.db.masks import (
+    KeyMask,
+    SimpleMask,
+    as_simple_mask,
+    congruence_of,
+    mask_morphism,
+    masks_equal,
+)
+from repro.db.morphisms import Morphism
+from repro.db.nondeterministic import NondetMorphism
+from repro.errors import VocabularyError, VocabularyMismatchError
+from repro.logic.formula import TRUE
+from repro.logic.parser import parse_formula
+from repro.logic.propositions import Vocabulary
+
+V3 = Vocabulary.standard(3)
+
+
+class TestSimpleMask:
+    def test_equivalence_is_agreement_off_p(self):
+        m = SimpleMask.of_names(V3, ["A1"])
+        assert m.equivalent(0b000, 0b001)
+        assert not m.equivalent(0b000, 0b010)
+
+    def test_empty_mask_is_identity_relation(self):
+        m = SimpleMask(V3, [])
+        assert all(
+            m.equivalent(w, v) == (w == v) for w in range(8) for v in range(8)
+        )
+
+    def test_full_mask_relates_everything(self):
+        m = SimpleMask(V3, [0, 1, 2])
+        assert m.equivalent(0b000, 0b111)
+
+    def test_saturate_matches_world_saturation(self):
+        m = SimpleMask(V3, [1])
+        ws = WorldSet(V3, {0b000, 0b101})
+        assert m.saturate(ws) == ws.saturate([1])
+
+    def test_partition_block_sizes(self):
+        m = SimpleMask(V3, [0, 2])
+        blocks = m.partition()
+        assert len(blocks) == 2
+        assert all(len(b) == 4 for b in blocks)
+
+    def test_union_of_masks(self):
+        m = SimpleMask(V3, [0]).union(SimpleMask(V3, [2]))
+        assert m.indices == frozenset({0, 2})
+
+    def test_invalid_index_rejected(self):
+        with pytest.raises(VocabularyError):
+            SimpleMask(V3, [5])
+
+    def test_vocabulary_mismatch_on_saturate(self):
+        m = SimpleMask(V3, [0])
+        with pytest.raises(VocabularyMismatchError):
+            m.saturate(WorldSet.total(Vocabulary.standard(2)))
+
+    def test_names_accessor(self):
+        assert SimpleMask.of_names(V3, ["A2", "A3"]).names == frozenset({"A2", "A3"})
+
+
+class TestMaskMorphism:
+    def test_component_count(self):
+        assert len(mask_morphism(V3, [0, 1])) == 4
+
+    def test_action_saturates(self):
+        F = mask_morphism(V3, [0])
+        S = WorldSet(V3, {0b010})
+        assert F.apply_world_set(S) == S.saturate([0])
+
+    def test_congruence_is_the_simple_mask(self):
+        # Definition 1.5.3(b): the congruence of mask[P] is s--mask[P].
+        for indices in ([], [0], [1, 2], [0, 1, 2]):
+            F = mask_morphism(V3, indices)
+            assert masks_equal(congruence_of(F), SimpleMask(V3, indices))
+
+
+class TestCongruence:
+    def test_identity_morphism_has_discrete_congruence(self):
+        F = NondetMorphism.of(Morphism.identity(V3))
+        assert masks_equal(congruence_of(F), SimpleMask(V3, []))
+
+    def test_constant_morphism_has_total_congruence(self):
+        F = NondetMorphism.of(
+            Morphism(V3, V3, {"A1": TRUE, "A2": TRUE, "A3": TRUE})
+        )
+        assert masks_equal(congruence_of(F), SimpleMask(V3, [0, 1, 2]))
+
+    def test_congruence_of_non_simple_morphism(self):
+        # A1 <- A1 & A2 merges (A1=1,A2=0) with (A1=0,A2=0) but is not a
+        # simple mask: the merge depends on A2's value.
+        F = NondetMorphism.of(
+            Morphism(V3, V3, {"A1": parse_formula("A1 & A2")})
+        )
+        assert as_simple_mask(congruence_of(F)) is None
+
+
+class TestTheorem154:
+    """Congruence(insert[Phi]) = s--mask[Prop[Inset[Phi]]]."""
+
+    CASES = [
+        ["A1 | A2"],
+        ["A1"],
+        ["A1 & A2"],
+        ["A1 <-> A2"],
+        ["A1 | ~A1"],          # tautology: identity congruence, empty mask
+        ["(A1 | A2) & (A1 | ~A2)"],  # semantically just A1
+        ["A1 -> A3"],
+        ["A1 | A2 | A3"],
+    ]
+
+    @pytest.mark.parametrize("texts", CASES, ids=[c[0] for c in CASES])
+    def test_insert_congruence_is_simple_mask_on_inset_props(self, texts):
+        update = insert_update(V3, texts)
+        expected = SimpleMask(V3, inset_prop_indices(V3, texts))
+        assert masks_equal(congruence_of(update), expected)
+
+    @pytest.mark.parametrize("texts", CASES, ids=[c[0] for c in CASES])
+    def test_recognised_as_simple(self, texts):
+        update = insert_update(V3, texts)
+        recognised = as_simple_mask(congruence_of(update))
+        assert recognised == SimpleMask(V3, inset_prop_indices(V3, texts))
+
+
+class TestKeyMask:
+    def test_arbitrary_key_function(self):
+        m = KeyMask(V3, lambda w: bin(w).count("1"))
+        assert m.equivalent(0b011, 0b101)
+        assert not m.equivalent(0b011, 0b111)
+
+    def test_saturate_unions_touched_classes(self):
+        m = KeyMask(V3, lambda w: bin(w).count("1"))
+        out = m.saturate(WorldSet(V3, {0b001}))
+        assert out == WorldSet(V3, {0b001, 0b010, 0b100})

@@ -1,0 +1,146 @@
+"""Tests for deterministic morphisms (repro.db.morphisms)."""
+
+import pytest
+
+from repro.db.instances import WorldSet
+from repro.db.morphisms import Morphism
+from repro.db.schema import DbSchema
+from repro.errors import SchemaError, VocabularyMismatchError
+from repro.logic.formula import FALSE, TRUE, Var, var
+from repro.logic.parser import parse_formula
+from repro.logic.propositions import Vocabulary
+from repro.logic.structures import all_worlds, satisfies
+
+V3 = Vocabulary.standard(3)
+V2 = Vocabulary.standard(2)
+
+
+class TestConstruction:
+    def test_identity_defaults(self):
+        ident = Morphism.identity(V3)
+        for name in V3.names:
+            assert ident.image_of(name) == Var(name)
+
+    def test_partial_assignment_defaults_to_identity(self):
+        f = Morphism(V3, V3, {"A1": TRUE})
+        assert f.image_of("A2") == Var("A2")
+
+    def test_cross_schema_requires_full_assignment(self):
+        # Target letter B1 has no source counterpart: must be mapped.
+        target = Vocabulary(["B1"])
+        with pytest.raises(SchemaError, match="no image"):
+            Morphism(V3, target, {})
+        f = Morphism(V3, target, {"B1": parse_formula("A1 & A2")})
+        assert f.image_of("B1") == parse_formula("A1 & A2")
+
+    def test_image_outside_source_rejected(self):
+        with pytest.raises(SchemaError, match="outside the source"):
+            Morphism(V2, V2, {"A1": parse_formula("A3")})
+
+    def test_non_target_letters_rejected(self):
+        with pytest.raises(SchemaError, match="non-target"):
+            Morphism(V2, V2, {"A9": TRUE})
+
+
+class TestStructureMap:
+    def test_apply_world_evaluates_images(self):
+        f = Morphism(V3, V3, {"A1": parse_formula("A2 & A3")})
+        # world A2=1, A3=1, A1=0 -> A1 becomes 1.
+        assert f.apply_world(0b110) == 0b111
+        assert f.apply_world(0b010) == 0b010
+
+    def test_apply_world_set_is_pointwise(self):
+        f = Morphism(V3, V3, {"A1": TRUE})
+        ws = WorldSet(V3, {0b000, 0b010})
+        assert f.apply_world_set(ws) == WorldSet(V3, {0b001, 0b011})
+
+    def test_apply_world_set_vocabulary_check(self):
+        f = Morphism(V3, V3, {})
+        with pytest.raises(VocabularyMismatchError):
+            f.apply_world_set(WorldSet.total(V2))
+
+    def test_bar_substitutes(self):
+        f = Morphism(V3, V3, {"A1": parse_formula("~A2")})
+        assert f.bar(parse_formula("A1 | A3")) == parse_formula("~A2 | A3")
+
+    def test_bar_rejects_non_target_formula(self):
+        f = Morphism(V2, V2, {})
+        with pytest.raises(VocabularyMismatchError):
+            f.bar(parse_formula("A3"))
+
+    def test_bar_and_prime_are_adjoint(self):
+        # s-bar(f-bar(phi)) == f'(s)-bar(phi): the defining property.
+        f = Morphism(V3, V3, {"A1": parse_formula("A2 | A3"), "A2": FALSE})
+        phi = parse_formula("A1 -> (A2 | ~A3)")
+        for world in all_worlds(V3):
+            assert satisfies(V3, world, f.bar(phi)) == satisfies(
+                V3, f.apply_world(world), phi
+            )
+
+
+class TestComposition:
+    def test_fact_132_composition_commutes_with_prime(self):
+        f = Morphism(V3, V3, {"A1": parse_formula("A2")})
+        g = Morphism(V3, V3, {"A2": parse_formula("~A1"), "A3": TRUE})
+        composed = f.then(g)
+        for world in all_worlds(V3):
+            assert composed.apply_world(world) == g.apply_world(f.apply_world(world))
+
+    def test_composition_across_vocabularies(self):
+        target = Vocabulary(["B1"])
+        f = Morphism(V3, V2, {"A1": parse_formula("A1 & A2"), "A2": parse_formula("A3")})
+        g = Morphism(V2, target, {"B1": parse_formula("A1 | A2")})
+        composed = f.then(g)
+        assert composed.source == V3 and composed.target == target
+        for world in all_worlds(V3):
+            assert composed.apply_world(world) == g.apply_world(f.apply_world(world))
+
+    def test_composition_type_mismatch(self):
+        f = Morphism(V3, V3, {})
+        g = Morphism(V2, V2, {})
+        with pytest.raises(VocabularyMismatchError):
+            f.then(g)
+
+    def test_identity_is_neutral(self):
+        f = Morphism(V3, V3, {"A1": parse_formula("A2 & A3")})
+        ident = Morphism.identity(V3)
+        assert ident.then(f) == f
+        assert f.then(ident) == f
+
+
+class TestCorrectness:
+    def test_correct_morphism(self):
+        schema = DbSchema.of(2, constraints=["A1 -> A2"])
+        # Forcing A2 true preserves the constraint.
+        f = Morphism(V2, V2, {"A2": TRUE})
+        assert f.is_correct(schema, schema)
+
+    def test_incorrect_morphism(self):
+        schema = DbSchema.of(2, constraints=["A1 -> A2"])
+        # Forcing A2 false breaks legality of worlds with A1 true.
+        f = Morphism(V2, V2, {"A2": FALSE})
+        assert not f.is_correct(schema, schema)
+
+    def test_composition_of_correct_is_correct(self):
+        schema = DbSchema.of(2, constraints=["A1 -> A2"])
+        f = Morphism(V2, V2, {"A2": TRUE})
+        g = Morphism(V2, V2, {"A1": var("A1") & var("A2")})
+        assert g.is_correct(schema, schema)
+        assert f.then(g).is_correct(schema, schema)
+
+    def test_correctness_schema_vocabulary_check(self):
+        f = Morphism(V2, V2, {})
+        with pytest.raises(VocabularyMismatchError):
+            f.is_correct(DbSchema.of(3), DbSchema.of(2))
+
+
+class TestIdentityAndRepr:
+    def test_equality_and_hash(self):
+        f1 = Morphism(V2, V2, {"A1": TRUE})
+        f2 = Morphism(V2, V2, {"A1": TRUE})
+        assert f1 == f2 and hash(f1) == hash(f2)
+        assert f1 != Morphism(V2, V2, {"A1": FALSE})
+
+    def test_repr_shows_changes_only(self):
+        assert "A1 <- 1" in repr(Morphism(V2, V2, {"A1": TRUE}))
+        assert repr(Morphism.identity(V2)) == "Morphism(identity)"

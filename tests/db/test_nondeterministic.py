@@ -1,0 +1,112 @@
+"""Tests for nondeterministic morphisms (repro.db.nondeterministic)."""
+
+import pytest
+
+from repro.db.instances import WorldSet
+from repro.db.morphisms import Morphism
+from repro.db.nondeterministic import NondetMorphism
+from repro.db.updates import insert_atom, insert_literals
+from repro.errors import VocabularyMismatchError
+from repro.logic.formula import FALSE, TRUE
+from repro.logic.propositions import Vocabulary
+from repro.logic.structures import all_worlds
+
+VOCAB = Vocabulary.standard(3)
+
+
+def force_a1(value):
+    return Morphism(VOCAB, VOCAB, {"A1": TRUE if value else FALSE})
+
+
+class TestConstruction:
+    def test_components_deduplicated(self):
+        F = NondetMorphism([force_a1(True), force_a1(True), force_a1(False)])
+        assert len(F) == 2
+
+    def test_empty_iterable_rejected(self):
+        with pytest.raises(VocabularyMismatchError):
+            NondetMorphism([])
+
+    def test_empty_constructor(self):
+        F = NondetMorphism.empty(VOCAB)
+        assert len(F) == 0
+        assert F.apply_world_set(WorldSet.total(VOCAB)) == WorldSet.empty(VOCAB)
+
+    def test_mixed_vocabularies_rejected(self):
+        other = Morphism.identity(Vocabulary.standard(2))
+        with pytest.raises(VocabularyMismatchError):
+            NondetMorphism([force_a1(True), other])
+
+    def test_deterministic_embedding(self):
+        F = NondetMorphism.of(insert_atom(VOCAB, "A1"))
+        assert F.is_deterministic()
+
+
+class TestAction:
+    def test_apply_world_collects_all_images(self):
+        F = NondetMorphism([force_a1(True), force_a1(False)])
+        assert F.apply_world(0b000) == WorldSet(VOCAB, {0b000, 0b001})
+
+    def test_apply_world_set_is_union_over_worlds(self):
+        F = NondetMorphism([force_a1(True), force_a1(False)])
+        S = WorldSet(VOCAB, {0b010, 0b100})
+        expected = WorldSet(VOCAB, {0b010, 0b011, 0b100, 0b101})
+        assert F.apply_world_set(S) == expected
+
+    def test_embedding_preserves_deterministic_action(self):
+        # Definition 1.4.3: {f} acts exactly like f.
+        f = insert_literals(VOCAB, [1, -2])
+        F = NondetMorphism.of(f)
+        for world in all_worlds(VOCAB):
+            assert F.apply_world(world) == WorldSet.singleton(
+                VOCAB, f.apply_world(world)
+            )
+
+    def test_apply_world_set_vocabulary_check(self):
+        F = NondetMorphism.of(Morphism.identity(VOCAB))
+        with pytest.raises(VocabularyMismatchError):
+            F.apply_world_set(WorldSet.total(Vocabulary.standard(2)))
+
+
+class TestComposition:
+    def test_fact_142_composition_commutes_with_extension(self):
+        F = NondetMorphism([force_a1(True), force_a1(False)])
+        G = NondetMorphism(
+            [
+                Morphism(VOCAB, VOCAB, {"A2": TRUE}),
+                Morphism(VOCAB, VOCAB, {"A3": TRUE}),
+            ]
+        )
+        composed = F.then(G)
+        for world in all_worlds(VOCAB):
+            stepwise = G.apply_world_set(F.apply_world(world))
+            assert composed.apply_world(world) == stepwise
+
+    def test_composition_component_count(self):
+        F = NondetMorphism([force_a1(True), force_a1(False)])
+        G = NondetMorphism([Morphism.identity(VOCAB)])
+        assert len(F.then(G)) <= len(F) * len(G)
+
+    def test_composition_with_empty_is_empty(self):
+        F = NondetMorphism.of(Morphism.identity(VOCAB))
+        E = NondetMorphism.empty(VOCAB)
+        assert len(F.then(E)) == 0
+        assert len(E.then(F)) == 0
+
+    def test_composition_vocabulary_mismatch(self):
+        F = NondetMorphism.of(Morphism.identity(VOCAB))
+        G = NondetMorphism.of(Morphism.identity(Vocabulary.standard(2)))
+        with pytest.raises(VocabularyMismatchError):
+            F.then(G)
+
+
+class TestIdentitySemantics:
+    def test_equality_ignores_component_order(self):
+        F1 = NondetMorphism([force_a1(True), force_a1(False)])
+        F2 = NondetMorphism([force_a1(False), force_a1(True)])
+        assert F1 == F2 and hash(F1) == hash(F2)
+
+    def test_repr(self):
+        assert "2 component(s)" in repr(
+            NondetMorphism([force_a1(True), force_a1(False)])
+        )

@@ -1,0 +1,101 @@
+"""Tests for queries-as-morphisms (repro.db.queries)."""
+
+import pytest
+
+from repro.db.instances import WorldSet
+from repro.db.masks import SimpleMask, as_simple_mask, masks_equal
+from repro.db.queries import (
+    derived_letter,
+    projection,
+    renaming,
+    view_dependency_mask,
+)
+from repro.errors import SchemaError
+from repro.logic.propositions import Vocabulary
+
+V3 = Vocabulary.standard(3)
+
+
+class TestProjection:
+    def test_keeps_letters_in_source_order(self):
+        view = projection(V3, ["A3", "A1"])
+        assert view.target.names == ("A1", "A3")
+
+    def test_world_action_drops_bits(self):
+        view = projection(V3, ["A1", "A3"])
+        # (A1=1, A2=1, A3=0) -> (A1=1, A3=0)
+        assert view.apply_world(0b011) == 0b01
+        assert view.apply_world(0b110) == 0b10
+
+    def test_query_on_incomplete_database(self):
+        view = projection(V3, ["A1"])
+        state = WorldSet.from_texts(V3, ["A1 <-> A2"])
+        answers = view.apply_world_set(state)
+        # Both answers possible: the projection is fully open.
+        assert answers == WorldSet.total(view.target)
+
+    def test_certain_answer_survives_projection(self):
+        view = projection(V3, ["A1"])
+        state = WorldSet.from_texts(V3, ["A1", "A2 | A3"])
+        answers = view.apply_world_set(state)
+        assert answers == WorldSet.from_texts(view.target, ["A1"])
+
+    def test_unknown_letters_rejected(self):
+        with pytest.raises(SchemaError):
+            projection(V3, ["A9"])
+
+    def test_projection_mask_is_simple_on_dropped_letters(self):
+        view = projection(V3, ["A1"])
+        mask = view_dependency_mask(view)
+        assert masks_equal(mask, SimpleMask(V3, [1, 2]))
+        assert as_simple_mask(mask) == SimpleMask(V3, [1, 2])
+
+
+class TestRenaming:
+    def test_bijective_relabel(self):
+        view = renaming(V3, {"A1": "X", "A2": "Y"})
+        assert view.target.names == ("X", "Y", "A3")
+        assert view.apply_world(0b101) == 0b101  # bits unchanged
+
+    def test_composes_with_projection(self):
+        relabel = renaming(V3, {"A1": "X"})
+        keep_x = projection(relabel.target, ["X"])
+        composed = relabel.then(keep_x)
+        assert composed.target.names == ("X",)
+        assert composed.apply_world(0b001) == 0b1
+
+    def test_non_injective_rejected(self):
+        with pytest.raises(SchemaError, match="injective"):
+            renaming(V3, {"A1": "X", "A2": "X"})
+
+    def test_renaming_masks_nothing(self):
+        view = renaming(V3, {"A1": "X"})
+        assert masks_equal(view_dependency_mask(view), SimpleMask(V3, []))
+
+
+class TestDerivedLetter:
+    def test_definition_evaluated_per_world(self):
+        view = derived_letter(V3, {"AnyAlarm": "A1 | A2 | A3"})
+        assert view.apply_world(0b000) == 0b0
+        assert view.apply_world(0b010) == 0b1
+
+    def test_multiple_definitions(self):
+        view = derived_letter(
+            V3, {"Both": "A1 & A2", "Either": "A1 | A2"}
+        )
+        assert view.target.names == ("Both", "Either")
+        assert view.apply_world(0b011) == 0b11
+        assert view.apply_world(0b001) == 0b10
+
+    def test_general_view_mask_need_not_be_simple(self):
+        # The view A1 & A2 conflates worlds in a value-dependent way.
+        view = derived_letter(V3, {"Both": "A1 & A2"})
+        mask = view_dependency_mask(view)
+        assert as_simple_mask(mask) is None
+
+    def test_incomplete_query_answers(self):
+        view = derived_letter(V3, {"AnyAlarm": "A1 | A2 | A3"})
+        state = WorldSet.from_texts(V3, ["A2"])
+        answers = view.apply_world_set(state)
+        # A2 certain -> the alarm is certainly on.
+        assert answers == WorldSet.from_texts(view.target, ["AnyAlarm"])

@@ -1,0 +1,70 @@
+"""Tests for database schemata (repro.db.schema)."""
+
+import pytest
+
+from repro.db.schema import DbSchema
+from repro.errors import SchemaError
+from repro.logic.parser import parse_formula
+from repro.logic.propositions import Vocabulary
+from repro.logic.semantics import models_of_clauses
+
+
+class TestConstruction:
+    def test_of_with_count(self):
+        schema = DbSchema.of(3)
+        assert schema.vocabulary == Vocabulary.standard(3)
+        assert schema.constraints == ()
+
+    def test_of_with_names(self):
+        schema = DbSchema.of(["P", "Q"])
+        assert schema.vocabulary.names == ("P", "Q")
+
+    def test_of_parses_string_constraints(self):
+        schema = DbSchema.of(2, constraints=["A1 -> A2"])
+        assert schema.constraints == (parse_formula("A1 -> A2"),)
+
+    def test_of_accepts_formula_constraints(self):
+        formula = parse_formula("A1 | A2")
+        schema = DbSchema.of(2, constraints=[formula])
+        assert schema.constraints == (formula,)
+
+    def test_constraint_outside_vocabulary_rejected(self):
+        with pytest.raises(SchemaError, match="unknown letters"):
+            DbSchema.of(2, constraints=["A3"])
+
+
+class TestLegality:
+    def test_unconstrained_schema_all_legal(self):
+        schema = DbSchema.of(3)
+        assert len(schema.legal_worlds()) == 8
+
+    def test_constraint_filters_worlds(self):
+        schema = DbSchema.of(2, constraints=["A1 -> A2"])
+        # Illegal world: A1 true, A2 false (= 0b01).
+        assert not schema.is_legal(0b01)
+        assert schema.is_legal(0b11)
+        assert len(schema.legal_worlds()) == 3
+
+    def test_legal_worlds_cached_and_consistent(self):
+        schema = DbSchema.of(2, constraints=["A1"])
+        assert schema.legal_worlds() is schema.legal_worlds()
+
+    def test_unsatisfiable_constraints_leave_no_legal_world(self):
+        schema = DbSchema.of(2, constraints=["A1", "~A1"])
+        assert schema.legal_worlds() == frozenset()
+
+    def test_constraint_clauses_match_legal_worlds(self):
+        schema = DbSchema.of(3, constraints=["A1 -> A2", "A2 -> A3"])
+        assert models_of_clauses(schema.constraint_clauses()) == schema.legal_worlds()
+
+
+class TestIdentity:
+    def test_equality(self):
+        assert DbSchema.of(2, constraints=["A1"]) == DbSchema.of(2, constraints=["A1"])
+        assert DbSchema.of(2) != DbSchema.of(2, constraints=["A1"])
+
+    def test_hashable(self):
+        assert {DbSchema.of(2): 1}[DbSchema.of(2)] == 1
+
+    def test_repr_mentions_constraint_count(self):
+        assert "2 constraint(s)" in repr(DbSchema.of(2, constraints=["A1", "A2"]))

@@ -1,0 +1,100 @@
+"""Property-based tests for HLU: the clausal and instance backends must
+agree on arbitrary update scripts (the emulation theorem, end to end)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.hlu import language
+from repro.hlu.session import IncompleteDatabase
+from repro.logic.formula import And, Iff, Implies, Not, Or, Var
+
+LETTERS = ("A1", "A2", "A3")
+
+variables = st.sampled_from([Var(n) for n in LETTERS])
+formulas = st.recursive(
+    variables,
+    lambda children: st.one_of(
+        children.map(Not),
+        st.tuples(children, children).map(And),
+        st.tuples(children, children).map(Or),
+        st.tuples(children, children).map(lambda p: Implies(*p)),
+        st.tuples(children, children).map(lambda p: Iff(*p)),
+    ),
+    max_leaves=4,
+)
+
+simple_updates = st.one_of(
+    formulas.map(lambda f: language.assert_(f)),
+    formulas.map(lambda f: language.insert(f)),
+    formulas.map(lambda f: language.delete(f)),
+    st.sets(st.sampled_from(LETTERS), min_size=1, max_size=2).map(
+        lambda names: language.clear(*sorted(names))
+    ),
+    st.tuples(formulas, formulas).map(lambda p: language.modify(p[0], p[1])),
+)
+
+updates = st.one_of(
+    simple_updates,
+    st.tuples(formulas, simple_updates).map(
+        lambda p: language.where(p[0], p[1])
+    ),
+    st.tuples(formulas, simple_updates, simple_updates).map(
+        lambda p: language.where(p[0], p[1], p[2])
+    ),
+)
+
+
+@given(st.lists(updates, min_size=1, max_size=4))
+@settings(max_examples=60, deadline=None)
+def test_backends_agree_on_random_scripts(script):
+    clausal = IncompleteDatabase.over(len(LETTERS), backend="clausal")
+    instance = IncompleteDatabase.over(len(LETTERS), backend="instance")
+    for update in script:
+        clausal.apply(update)
+        instance.apply(update)
+    assert clausal.worlds() == instance.worlds()
+
+
+@given(formulas, st.lists(updates, max_size=3))
+@settings(max_examples=60, deadline=None)
+def test_queries_agree_between_backends(query, script):
+    clausal = IncompleteDatabase.over(len(LETTERS), backend="clausal")
+    instance = IncompleteDatabase.over(len(LETTERS), backend="instance")
+    for update in script:
+        clausal.apply(update)
+        instance.apply(update)
+    assert clausal.is_certain(query) == instance.is_certain(query)
+    assert clausal.is_possible(query) == instance.is_possible(query)
+
+
+@given(formulas)
+@settings(max_examples=40, deadline=None)
+def test_insert_then_delete_leaves_formula_false(formula):
+    db = IncompleteDatabase.over(len(LETTERS), backend="instance")
+    db.insert(formula)
+    db.delete(formula)
+    if db.is_consistent():
+        assert db.is_certain(Not(formula))
+
+
+@given(formulas)
+@settings(max_examples=40, deadline=None)
+def test_insert_makes_certain(formula):
+    db = IncompleteDatabase.over(len(LETTERS), backend="instance")
+    db.insert(formula)
+    if db.is_consistent():
+        assert db.is_certain(formula)
+
+
+@given(formulas, formulas, simple_updates)
+@settings(max_examples=60, deadline=None)
+def test_where_keeps_complement_branch_worlds(initial, condition, update):
+    """(where W P) carries the S \\ pw(W) worlds through unchanged: every
+    pre-update world falsifying W is still possible afterwards.  (P's
+    branch may *add* further ~W worlds, so this is containment, not
+    equality.)"""
+    db = IncompleteDatabase.over(len(LETTERS), backend="instance")
+    db.assert_(initial)
+    before = db.worlds()
+    db.where(condition, update)
+    outside_before = before.restricted_to(Not(condition))
+    assert outside_before <= db.worlds()

@@ -1,0 +1,117 @@
+"""Tests for the where macros (Section 3.2)."""
+
+import pytest
+
+from repro.blu.parser import parse_program, parse_term
+from repro.errors import MacroExpansionError
+from repro.hlu.macros import arglist, atomappend, substitute_term, where1, where2
+from repro.hlu.programs import HLU_DELETE, HLU_INSERT, HLU_MODIFY, IDENTITY
+
+
+class TestSupportFunctions:
+    def test_atomappend(self):
+        # Definition 3.2.2(a).
+        assert atomappend(".0", ["s1", "s2"]) == ("s1.0", "s2.0")
+        assert atomappend(".1", []) == ()
+
+    def test_arglist(self):
+        # Definition 3.2.2(b).
+        assert arglist(HLU_INSERT) == ("s0", "s1")
+        assert arglist(HLU_MODIFY) == ("s0", "s1", "s2")
+
+    def test_substitute_term(self):
+        term = parse_term("(assert s0 s1)")
+        out = substitute_term(term, {"s0": parse_term("(complement s2)")})
+        assert str(out) == "(assert (complement s2) s1)"
+
+    def test_substitute_is_simultaneous(self):
+        term = parse_term("(assert s0 s1)")
+        out = substitute_term(
+            term,
+            {"s0": parse_term("s1"), "s1": parse_term("s0")},
+        )
+        assert str(out) == "(assert s1 s0)"
+
+
+class TestWhere1:
+    def test_example_325_expansion(self):
+        """The paper's reduced expansion of (where s1 (insert s1.0))."""
+        expanded = where1(HLU_INSERT)
+        assert expanded.parameters == ("s0", "s1", "s1.0")
+        assert str(expanded) == (
+            "(lambda (s0 s1 s1.0) "
+            "(combine "
+            "(assert (mask (assert s0 s1) (genmask s1.0)) s1.0) "
+            "(assert s0 (complement s1))))"
+        )
+
+    def test_identity_branch_preserves_outside_worlds(self):
+        # where1's second branch must be (assert s0 (complement s1)).
+        expanded = where1(HLU_DELETE)
+        text = str(expanded)
+        assert "(assert s0 (complement s1))" in text
+
+    def test_where1_of_identity_is_split_and_recombine(self):
+        expanded = where1(IDENTITY)
+        assert str(expanded) == (
+            "(lambda (s0 s1) "
+            "(combine (assert s0 s1) (assert s0 (complement s1))))"
+        )
+
+
+class TestWhere2:
+    def test_renaming_avoids_collisions(self):
+        expanded = where2(HLU_INSERT, HLU_DELETE)
+        assert expanded.parameters == ("s0", "s1", "s1.0", "s1.1")
+
+    def test_branch_states(self):
+        expanded = where2(HLU_INSERT, HLU_DELETE)
+        text = str(expanded)
+        # Then-branch runs on (assert s0 s1), else-branch on the complement.
+        assert "(mask (assert s0 s1) (genmask s1.0))" in text
+        assert "(mask (assert s0 (complement s1)) (genmask s1.1))" in text
+
+    def test_modify_inside_where(self):
+        expanded = where2(HLU_MODIFY, IDENTITY)
+        assert expanded.parameters == ("s0", "s1", "s1.0", "s2.0")
+
+    def test_nested_where_expansion(self):
+        inner = where1(HLU_INSERT)  # params (s0 s1 s1.0)
+        outer = where2(inner, IDENTITY)
+        assert outer.parameters == ("s0", "s1", "s1.0", "s1.0.0")
+
+    def test_result_is_valid_program(self):
+        # Round-trips through the parser (well-sorted, closed).
+        expanded = where2(HLU_INSERT, HLU_DELETE)
+        assert parse_program(str(expanded)) == expanded
+
+    def test_renaming_is_collision_free_even_for_dotted_names(self):
+        # Programs whose parameters already carry macro suffixes (from a
+        # previous expansion) must still rename apart.
+        p0 = parse_program("(lambda (s0 s1.1) (assert s0 s1.1))")
+        p1 = parse_program("(lambda (s0 s1) (assert s0 s1))")
+        out = where2(p0, p1)
+        assert out.parameters == ("s0", "s1", "s1.1.0", "s1.1")
+        assert len(set(out.parameters)) == len(out.parameters)
+
+
+class TestSemanticsOfExpansion:
+    """The expanded program must equal split-update-recombine."""
+
+    def test_where_equals_manual_split(self):
+        from repro.blu.instance_impl import InstanceImplementation
+        from repro.db.instances import WorldSet
+        from repro.logic.propositions import Vocabulary
+
+        vocab = Vocabulary.standard(3)
+        impl = InstanceImplementation(vocab)
+        state = WorldSet.from_texts(vocab, ["A1 | A3"])
+        condition = WorldSet.from_texts(vocab, ["A3"])
+        payload = WorldSet.from_texts(vocab, ["A2"])
+
+        expanded = where1(HLU_INSERT)
+        via_macro = impl.run(expanded, state, condition, payload)
+
+        inside = impl.run(HLU_INSERT, state.intersection(condition), payload)
+        outside = state.intersection(condition.complement())
+        assert via_macro == inside.union(outside)

@@ -1,0 +1,149 @@
+"""End-to-end reproduction of the paper's worked examples (E6, E7, E8).
+
+* Example 3.1.5: insert {A1 | A2} into Phi at the clause level.
+* Example 3.2.5: (where {A5} (insert {A1 | A2})) -- expansion and result.
+* Example 1.4.6 / Remark 1.4.7 surface behaviour through HLU.
+"""
+
+import pytest
+
+from repro.blu.clausal_impl import ClausalImplementation, clausal_combine
+from repro.blu.instance_impl import InstanceImplementation
+from repro.db.instances import WorldSet
+from repro.hlu import language
+from repro.hlu.interpreter import run_update
+from repro.hlu.session import IncompleteDatabase
+from repro.logic.clauses import ClauseSet
+from repro.logic.propositions import Vocabulary
+from repro.logic.semantics import models_of_clauses
+
+VOCAB = Vocabulary.standard(5)
+
+PAPER_STATE = ["~A1 | A3", "A1 | A4", "A4 | A5", "~A1 | ~A2 | ~A5"]
+
+
+def fresh_db(backend="clausal") -> IncompleteDatabase:
+    db = IncompleteDatabase.over(5, backend=backend)
+    db.assert_(*PAPER_STATE)
+    return db
+
+
+class TestExample315:
+    """insert {A1 | A2}: genmask = {A1, A2}; mask(Phi) = {A4|A5, A3|A4};
+    final state = {A1|A2, A4|A5, A3|A4}."""
+
+    def test_genmask_step(self):
+        impl = ClausalImplementation(VOCAB)
+        w = ClauseSet.from_strs(VOCAB, ["A1 | A2"])
+        assert impl.op_genmask(w) == frozenset({0, 1})
+
+    def test_mask_step(self):
+        impl = ClausalImplementation(VOCAB)
+        phi = ClauseSet.from_strs(VOCAB, PAPER_STATE)
+        assert impl.op_mask(phi, frozenset({0, 1})) == ClauseSet.from_strs(
+            VOCAB, ["A4 | A5", "A3 | A4"]
+        )
+
+    def test_final_state(self):
+        db = fresh_db()
+        db.insert("A1 | A2")
+        assert db.state == ClauseSet.from_strs(
+            VOCAB, ["A1 | A2", "A4 | A5", "A3 | A4"]
+        )
+
+    def test_instance_backend_agrees(self):
+        clausal = fresh_db("clausal").insert("A1 | A2")
+        instance = fresh_db("instance").insert("A1 | A2")
+        assert clausal.worlds() == instance.worlds()
+
+
+class TestExample325:
+    """(where {A5} (insert {A1 | A2}))."""
+
+    def test_macro_expansion_matches_paper(self):
+        program, arguments = language.where("A5", language.insert("A1 | A2")).compile()
+        assert str(program) == (
+            "(lambda (s0 s1 s1.0) "
+            "(combine "
+            "(assert (mask (assert s0 s1) (genmask s1.0)) s1.0) "
+            "(assert s0 (complement s1))))"
+        )
+        assert len(arguments) == 2  # condition {A5} and payload {A1 | A2}
+
+    def test_inside_branch_intermediate(self):
+        # (mask (Phi u {A5}) {A1, A2}) = {A4|A5, A3|A4, A5}; asserting
+        # {A1|A2} gives the paper's four-clause branch.
+        impl = ClausalImplementation(VOCAB)
+        phi = ClauseSet.from_strs(VOCAB, PAPER_STATE)
+        with_a5 = impl.op_assert(phi, ClauseSet.from_strs(VOCAB, ["A5"]))
+        masked = impl.op_mask(with_a5, frozenset({0, 1}))
+        assert masked == ClauseSet.from_strs(VOCAB, ["A4 | A5", "A3 | A4", "A5"]).reduce()
+        inside = impl.op_assert(masked, ClauseSet.from_strs(VOCAB, ["A1 | A2"]))
+        # Note: {A4 | A5} is subsumed-out once A5 is certain.
+        assert models_of_clauses(inside) == models_of_clauses(
+            ClauseSet.from_strs(VOCAB, ["A4 | A5", "A3 | A4", "A5", "A1 | A2"])
+        )
+
+    def test_outside_branch(self):
+        impl = ClausalImplementation(VOCAB)
+        phi = ClauseSet.from_strs(VOCAB, PAPER_STATE)
+        w = ClauseSet.from_strs(VOCAB, ["A5"])
+        outside = impl.op_assert(phi, impl.op_complement(w))
+        assert outside == phi.with_clause(frozenset({-5})).reduce()
+
+    def test_combine_of_branches_16_products(self):
+        # The paper leaves "the 16 clauses yielded by Algorithm 2.3.3" to
+        # the reader: 4 inside-branch clauses x 4 state clauses.
+        left = ClauseSet.from_strs(VOCAB, ["A4 | A5", "A3 | A4", "A5", "A1 | A2"])
+        right = ClauseSet.from_strs(VOCAB, PAPER_STATE)
+        raw = clausal_combine(left, right, simplify=False)
+        assert len(raw) <= 16  # distinct, non-tautologous products
+        assert models_of_clauses(raw) == (
+            models_of_clauses(left) | models_of_clauses(right)
+        )
+
+    def test_full_update_backends_agree(self):
+        update = language.where("A5", language.insert("A1 | A2"))
+        clausal = fresh_db("clausal").apply(update)
+        instance = fresh_db("instance").apply(update)
+        assert clausal.worlds() == instance.worlds()
+
+    def test_semantic_content_of_result(self):
+        db = fresh_db().where("A5", language.insert("A1 | A2"))
+        # Where A5 held, A1 | A2 is now certain.
+        assert db.is_certain("A5 -> (A1 | A2)")
+        # Where A5 failed, the old state survives, e.g. ~A1|A3 under ~A5.
+        assert db.is_certain("~A5 -> (~A1 | A3)")
+        # A5 itself is untouched as a split criterion: still open.
+        assert db.is_possible("A5") and db.is_possible("~A5")
+
+
+class TestRemark147:
+    def test_inserting_tautology_is_identity_not_masking(self):
+        db = fresh_db()
+        before = db.state
+        db.insert("A1 | ~A1")
+        assert db.state == before
+
+    def test_wilkins_contrast_masking_explicitly(self):
+        # Masking A1 *is* expressible, just not by inserting a tautology.
+        db = fresh_db()
+        db.clear("A1")
+        assert "A1" not in db.state.prop_names
+
+
+class TestInsertSplitsWorlds:
+    """Example 1.4.6 through the session: a complete DB becomes three
+    possible worlds under insert {A1 | A2}."""
+
+    def test_three_way_split(self):
+        from repro.db.schema import DbSchema
+
+        vocab = Vocabulary.standard(2)
+        db = IncompleteDatabase(
+            schema=DbSchema.of(2),
+            backend="instance",
+            initial=WorldSet.singleton(vocab, 0b00),
+        )
+        db.insert("A1 | A2")
+        assert db.worlds() == WorldSet(vocab, {0b01, 0b10, 0b11})

@@ -1,0 +1,96 @@
+"""Tests for session persistence (repro.hlu.persistence)."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.hlu import language
+from repro.hlu.persistence import dump_session, load_session
+from repro.hlu.session import IncompleteDatabase
+
+
+def sample_session() -> IncompleteDatabase:
+    db = IncompleteDatabase.over(4, constraints=["A1 -> A2"])
+    db.assert_("A1 | A3")
+    db.insert("A4")
+    db.where("A3", language.delete("A4"))
+    return db
+
+
+class TestDump:
+    def test_header_and_sections(self):
+        text = dump_session(sample_session())
+        assert text.startswith("#repro-session v1\n")
+        assert "vocabulary A1 A2 A3 A4" in text
+        assert "backend clausal" in text
+        assert "constraint (A1 -> A2)" in text
+        assert "clause " in text
+        assert "update (where {A3} (delete {A4}))" in text
+
+    def test_dump_is_deterministic(self):
+        assert dump_session(sample_session()) == dump_session(sample_session())
+
+
+class TestRoundTrip:
+    def test_state_preserved(self):
+        original = sample_session()
+        restored = load_session(dump_session(original))
+        assert restored.worlds() == original.worlds()
+        assert restored.vocabulary == original.vocabulary
+        assert restored.schema.constraints == original.schema.constraints
+
+    def test_history_preserved(self):
+        original = sample_session()
+        restored = load_session(dump_session(original))
+        assert restored.history == original.history
+
+    def test_queries_agree_after_restore(self):
+        original = sample_session()
+        restored = load_session(dump_session(original))
+        for query in ("A4", "A3 -> ~A4", "A1 | A3", "A2"):
+            assert restored.is_certain(query) == original.is_certain(query)
+            assert restored.is_possible(query) == original.is_possible(query)
+
+    def test_instance_backend_round_trips_via_clauses(self):
+        original = sample_session().with_backend("instance")
+        restored = load_session(dump_session(original))
+        assert restored.backend == "instance"
+        assert restored.worlds() == original.worlds()
+
+    def test_restored_session_is_live(self):
+        restored = load_session(dump_session(sample_session()))
+        restored.insert("~A1")
+        assert restored.is_certain("~A1")
+
+    def test_saved_session_is_a_replayable_script(self):
+        # The update lines re-run from scratch give the same state.
+        original = sample_session()
+        updates = [u for u in original.history]
+        replayed = IncompleteDatabase.over(4, constraints=["A1 -> A2"])
+        for update in updates:
+            replayed.apply(update)
+        assert replayed.worlds() == original.worlds()
+
+
+class TestErrors:
+    def test_missing_header(self):
+        with pytest.raises(ParseError, match="session file"):
+            load_session("vocabulary A1\n")
+
+    def test_missing_vocabulary(self):
+        with pytest.raises(ParseError, match="vocabulary"):
+            load_session("#repro-session v1\nbackend clausal\n")
+
+    def test_unknown_line_kind(self):
+        with pytest.raises(ParseError, match="unknown session line"):
+            load_session("#repro-session v1\nvocabulary A1\nfrobnicate x\n")
+
+    def test_comments_and_blank_lines_tolerated(self):
+        text = (
+            "#repro-session v1\n"
+            "; a comment\n"
+            "\n"
+            "vocabulary A1 A2\n"
+            "clause A1\n"
+        )
+        db = load_session(text)
+        assert db.is_certain("A1")

@@ -1,0 +1,87 @@
+"""Tests for the simple-HLU defining programs (Definition 3.1.2)."""
+
+from repro.blu.syntax import Sort
+from repro.hlu.programs import (
+    HLU_ASSERT,
+    HLU_CLEAR,
+    HLU_DELETE,
+    HLU_INSERT,
+    HLU_MODIFY,
+    IDENTITY,
+    SIMPLE_HLU_PROGRAMS,
+)
+
+
+class TestShapes:
+    def test_all_programs_well_formed(self):
+        for name, program in SIMPLE_HLU_PROGRAMS.items():
+            assert program.parameters[0] == "s0", name
+            assert program.body.sort is Sort.S, name
+
+    def test_assert_source(self):
+        assert str(HLU_ASSERT) == "(lambda (s0 s1) (assert s0 s1))"
+
+    def test_clear_takes_mask_parameter(self):
+        assert HLU_CLEAR.parameters == ("s0", "m1")
+        assert str(HLU_CLEAR) == "(lambda (s0 m1) (mask s0 m1))"
+
+    def test_insert_is_mask_then_assert(self):
+        assert str(HLU_INSERT) == (
+            "(lambda (s0 s1) (assert (mask s0 (genmask s1)) s1))"
+        )
+
+    def test_delete_is_mask_then_assert_complement(self):
+        assert str(HLU_DELETE) == (
+            "(lambda (s0 s1) (assert (mask s0 (genmask s1)) (complement s1)))"
+        )
+
+    def test_modify_arity_and_structure(self):
+        assert HLU_MODIFY.parameters == ("s0", "s1", "s2")
+        text = str(HLU_MODIFY)
+        # The reconstruction: combine of (insert s2 of (delete s1 of the
+        # s1-worlds)) with the untouched ~s1-worlds.
+        assert text.startswith("(lambda (s0 s1 s2) (combine (assert (mask (assert (mask (assert s0 s1)")
+        assert text.endswith("(assert s0 (complement s1))))")
+
+    def test_identity_program(self):
+        assert str(IDENTITY) == "(lambda (s0) s0)"
+
+    def test_registry_is_complete(self):
+        assert set(SIMPLE_HLU_PROGRAMS) == {
+            "assert",
+            "clear",
+            "insert",
+            "delete",
+            "modify",
+        }
+
+
+class TestMaskAssertParadigm:
+    """Every non-trivial update is a mask followed by an assert (Section 0)."""
+
+    def test_insert_delete_modify_use_mask_and_assert(self):
+        from repro.blu.sexpr import sexpr_atoms
+
+        for name in ("insert", "delete", "modify"):
+            atoms = sexpr_atoms(SIMPLE_HLU_PROGRAMS[name].body.to_sexpr())
+            assert "mask" in atoms, name
+            assert "assert" in atoms, name
+            assert "genmask" in atoms, name
+
+    def test_genmask_only_applied_to_user_parameters(self):
+        """Section 4: genmask (and complement) take only user-supplied
+        parameters, never the system state s0 -- the inherently hard
+        operations stay on small arguments."""
+        from repro.blu.syntax import Apply, Variable
+
+        def check(term):
+            if isinstance(term, Apply):
+                if term.operator in ("genmask", "complement"):
+                    argument = term.arguments[0]
+                    assert isinstance(argument, Variable)
+                    assert argument.name != "s0"
+                for sub in term.arguments:
+                    check(sub)
+
+        for program in SIMPLE_HLU_PROGRAMS.values():
+            check(program.body)

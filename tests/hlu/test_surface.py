@@ -1,0 +1,103 @@
+"""Tests for the textual HLU surface syntax (repro.hlu.surface)."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.hlu import language
+from repro.hlu.session import IncompleteDatabase
+from repro.hlu.surface import parse_update, parse_updates
+from repro.logic.parser import parse_formula
+
+
+class TestSimpleForms:
+    def test_assert(self):
+        update = parse_update("(assert {A1 | A2, ~A3})")
+        assert isinstance(update, language.Assert)
+        assert update.arguments[0].formulas == (
+            parse_formula("A1 | A2"),
+            parse_formula("~A3"),
+        )
+
+    def test_mask_is_clear(self):
+        update = parse_update("(mask {A1, A2})")
+        assert isinstance(update, language.Clear)
+        assert update.arguments[0].names == frozenset({"A1", "A2"})
+
+    def test_insert_and_delete(self):
+        assert isinstance(parse_update("(insert {A1})"), language.Insert)
+        assert isinstance(parse_update("(delete {A1 & A2})"), language.Delete)
+
+    def test_modify(self):
+        update = parse_update("(modify {A1} {A2 | A3})")
+        assert isinstance(update, language.Modify)
+        assert update.arguments[0].formulas == (parse_formula("A1"),)
+        assert update.arguments[1].formulas == (parse_formula("A2 | A3"),)
+
+    def test_parenthesised_formulas_with_commas_in_scope(self):
+        update = parse_update("(assert {(A1 -> A2) & A3, A4})")
+        assert len(update.arguments[0].formulas) == 2
+
+
+class TestWhereForms:
+    def test_where_one_branch(self):
+        update = parse_update("(where {A5} (insert {A1 | A2}))")
+        assert isinstance(update, language.Where)
+        assert update.otherwise is None
+        assert isinstance(update.then, language.Insert)
+
+    def test_where_two_branches(self):
+        update = parse_update("(where {A5} (insert {A1}) (delete {A2}))")
+        assert isinstance(update.otherwise, language.Delete)
+
+    def test_nested_where(self):
+        update = parse_update("(where {A1} (where {A2} (insert {A3})))")
+        assert isinstance(update.then, language.Where)
+
+    def test_parsed_program_equals_constructed(self):
+        parsed = parse_update("(where {A5} (insert {A1 | A2}))")
+        built = language.where("A5", language.insert("A1 | A2"))
+        assert parsed.compile()[0] == built.compile()[0]
+
+
+class TestScripts:
+    def test_parse_updates_sequence(self):
+        script = """
+        ; set up the paper's state, then run Example 3.2.5
+        (assert {~A1 | A3, A1 | A4, A4 | A5, ~A1 | ~A2 | ~A5})
+        (where {A5} (insert {A1 | A2}))
+        """
+        updates = parse_updates(script)
+        assert [type(u).__name__ for u in updates] == ["Assert", "Where"]
+
+    def test_session_run_executes_script(self):
+        db = IncompleteDatabase.over(5)
+        db.run(
+            "(assert {~A1 | A3, A1 | A4, A4 | A5, ~A1 | ~A2 | ~A5})"
+            "(insert {A1 | A2})"
+        )
+        assert db.is_certain("A1 | A2")
+        assert len(db.history) == 2
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "(insert)",
+            "(insert A1)",            # missing braces
+            "(frobnicate {A1})",
+            "(insert {A1)",           # unterminated brace
+            "(insert {A1}",           # unterminated paren
+            "(insert {A1}) trailing",
+            "(mask {A1 | A2})",       # masks take names, not formulas
+            "(where {A1})",           # missing branch
+        ],
+    )
+    def test_malformed_programs_raise(self, text):
+        with pytest.raises(ParseError):
+            parse_update(text)
+
+    def test_stray_close_brace(self):
+        with pytest.raises(ParseError, match="'}'"):
+            parse_update("(insert }A1{)")

@@ -1,0 +1,66 @@
+"""Property test: Update.__str__ round-trips through the surface parser.
+
+Every update value prints in the paper's surface syntax; re-parsing the
+printed form must yield a semantically identical update (same compiled
+program and same argument values).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.hlu import language
+from repro.hlu.surface import parse_update
+from repro.logic.formula import And, Iff, Implies, Not, Or, Var
+
+LETTERS = ("A1", "A2", "A3")
+
+variables = st.sampled_from([Var(n) for n in LETTERS])
+formulas = st.recursive(
+    variables,
+    lambda children: st.one_of(
+        children.map(Not),
+        st.tuples(children, children).map(And),
+        st.tuples(children, children).map(Or),
+        st.tuples(children, children).map(lambda p: Implies(*p)),
+        st.tuples(children, children).map(lambda p: Iff(*p)),
+    ),
+    max_leaves=4,
+)
+formula_sets = st.lists(formulas, min_size=1, max_size=3)
+
+simple_updates = st.one_of(
+    formula_sets.map(language.Assert),
+    formula_sets.map(language.Insert),
+    formula_sets.map(language.Delete),
+    st.sets(st.sampled_from(LETTERS), min_size=1, max_size=2).map(language.Clear),
+    st.tuples(formula_sets, formula_sets).map(lambda p: language.Modify(*p)),
+)
+
+updates = st.one_of(
+    simple_updates,
+    st.tuples(formula_sets, simple_updates).map(
+        lambda p: language.Where(p[0], p[1])
+    ),
+    st.tuples(formula_sets, simple_updates, simple_updates).map(
+        lambda p: language.Where(p[0], p[1], p[2])
+    ),
+    # one level of nesting
+    st.tuples(formula_sets, st.tuples(formula_sets, simple_updates)).map(
+        lambda p: language.Where(p[0], language.Where(p[1][0], p[1][1]))
+    ),
+)
+
+
+@given(updates)
+@settings(max_examples=200, deadline=None)
+def test_str_reparses_to_equal_update(update):
+    reparsed = parse_update(str(update))
+    assert reparsed == update
+
+
+@given(updates)
+@settings(max_examples=100, deadline=None)
+def test_str_reparses_to_same_compiled_program(update):
+    original_program, original_args = update.compile()
+    reparsed_program, reparsed_args = parse_update(str(update)).compile()
+    assert reparsed_program == original_program
+    assert reparsed_args == original_args

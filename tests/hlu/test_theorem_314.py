@@ -1,0 +1,138 @@
+"""Theorem 3.1.4: the BLU-defined HLU updates vs Definition 1.4.5.
+
+The theorem claims HLU-insert, HLU-delete, and HLU-modify (as BLU
+programs, run in BLU--I) are logically equivalent to the
+nondeterministic-morphism updates of Definition 1.4.5.
+
+Reproduction verdict (recorded in EXPERIMENTS.md, experiment E12):
+
+* **insert** and **delete**: equivalence holds, verified exhaustively on
+  small schemas and on random formulas.
+* **modify**: equivalence holds when the precondition is a single literal
+  (in particular for the motivating complete-information case of
+  Definition 1.3.3(c)).  For multi-literal or disjunctive preconditions
+  the two definitions genuinely differ: the 1.4.5 reading applies each
+  deterministic ``modify[Psi1, Psi2]`` component world-by-world (worlds
+  failing a component's precondition survive unchanged under *that*
+  component, and deleted-but-not-reinserted letters are forced false),
+  whereas the BLU program rewrites *every* precondition world and leaves
+  such letters unknown.  Both counterexample classes are pinned below.
+"""
+
+import itertools
+
+import pytest
+
+from repro.blu.instance_impl import InstanceImplementation
+from repro.db.instances import WorldSet
+from repro.db.literal_base import delete_update, insert_update, modify_update
+from repro.hlu import language
+from repro.hlu.interpreter import run_update
+from repro.logic.propositions import Vocabulary
+
+VOCAB = Vocabulary.standard(3)
+IMPL = InstanceImplementation(VOCAB)
+
+FORMULAS = [
+    "A1",
+    "~A2",
+    "A1 | A2",
+    "A1 & A3",
+    "A1 <-> A2",
+    "A1 | ~A1",
+    "(A1 | A2) & (A1 | ~A2)",
+]
+
+# Every subset of worlds over a 3-letter schema, sampled coarsely for the
+# exhaustive checks (full 256-subset sweep for insert only).
+SOME_STATES = [
+    WorldSet(VOCAB, frozenset(ws))
+    for ws in [
+        (),
+        (0,),
+        (0b111,),
+        (0, 1, 2),
+        (3, 5, 6),
+        (0, 7),
+        tuple(range(8)),
+        (1, 2, 4),
+    ]
+]
+
+
+class TestInsertEquivalence:
+    @pytest.mark.parametrize("text", FORMULAS)
+    def test_on_sampled_states(self, text):
+        reference = insert_update(VOCAB, [text])
+        for state in SOME_STATES:
+            assert run_update(IMPL, state, language.insert(text)) == (
+                reference.apply_world_set(state)
+            )
+
+    def test_exhaustive_single_formula(self):
+        reference = insert_update(VOCAB, ["A1 | A2"])
+        for bits in range(256):
+            state = WorldSet(VOCAB, (w for w in range(8) if bits >> w & 1))
+            assert run_update(IMPL, state, language.insert("A1 | A2")) == (
+                reference.apply_world_set(state)
+            )
+
+
+class TestDeleteEquivalence:
+    @pytest.mark.parametrize("text", FORMULAS)
+    def test_on_sampled_states(self, text):
+        reference = delete_update(VOCAB, [text])
+        for state in SOME_STATES:
+            assert run_update(IMPL, state, language.delete(text)) == (
+                reference.apply_world_set(state)
+            )
+
+
+class TestModifyEquivalence:
+    LITERAL_PRECONDITIONS = ["A1", "~A2", "A3"]
+    POSTCONDITIONS = ["A1", "A2 | A3", "A2 <-> A3", "~A2", "A2 & A3"]
+
+    @pytest.mark.parametrize(
+        "pre,post",
+        list(itertools.product(LITERAL_PRECONDITIONS, POSTCONDITIONS)),
+    )
+    def test_literal_precondition_equivalence(self, pre, post):
+        reference = modify_update(VOCAB, [pre], [post])
+        for state in SOME_STATES:
+            assert run_update(IMPL, state, language.modify(pre, post)) == (
+                reference.apply_world_set(state)
+            )
+
+    def test_known_divergence_conjunctive_precondition(self):
+        """modify[A1 & A3, A1]: 1.4.5 forces A3 false afterwards; the BLU
+        program leaves A3 unknown.  Pin both behaviours."""
+        state = WorldSet(VOCAB, {0b101})  # A1, A3 true; A2 false
+        reference = modify_update(VOCAB, ["A1 & A3"], ["A1"]).apply_world_set(state)
+        via_blu = run_update(IMPL, state, language.modify("A1 & A3", "A1"))
+        assert reference == WorldSet(VOCAB, {0b001})           # A1, ~A2, ~A3
+        assert via_blu == WorldSet(VOCAB, {0b001, 0b101})      # A3 unknown
+        assert reference != via_blu
+
+    def test_known_divergence_disjunctive_precondition(self):
+        """modify[A1 | A2, A1]: under 1.4.5, a world can survive unchanged
+        through a component whose specific base it fails; the BLU program
+        rewrites every (A1 | A2)-world."""
+        state = WorldSet(VOCAB, {0b010})  # A2 true only
+        reference = modify_update(VOCAB, ["A1 | A2"], ["A1"]).apply_world_set(state)
+        via_blu = run_update(IMPL, state, language.modify("A1 | A2", "A1"))
+        # The identity components of 1.4.5 keep the original world.
+        assert 0b010 in reference
+        assert 0b010 not in via_blu
+
+    def test_divergent_results_agree_on_postcondition(self):
+        """Even where they differ, both make the postcondition certain on
+        the rewritten worlds and preserve the untouched branch."""
+        from repro.logic.parser import parse_formula
+
+        state = WorldSet(VOCAB, {0b101, 0b000})
+        via_blu = run_update(IMPL, state, language.modify("A1 & A3", "A1"))
+        # The ~precondition world 000 survives untouched.
+        assert 0b000 in via_blu
+        # All other worlds satisfy the postcondition.
+        rewritten = WorldSet(VOCAB, via_blu.worlds - {0b000})
+        assert rewritten.satisfies_everywhere(parse_formula("A1"))

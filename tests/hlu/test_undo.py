@@ -1,0 +1,67 @@
+"""Tests for session snapshots / undo (repro.hlu.session)."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.hlu.session import IncompleteDatabase
+
+
+class TestUndo:
+    def test_undo_reverts_one_update(self):
+        db = IncompleteDatabase.over(3)
+        db.assert_("A1")
+        before = db.state
+        db.insert("~A1")
+        db.undo()
+        assert db.state == before
+        assert len(db.history) == 1
+
+    def test_undo_reverts_destructive_insert(self):
+        # insert destroys information; undo must still restore it exactly.
+        db = IncompleteDatabase.over(3)
+        db.assert_("A1 & A2")
+        db.insert("~A1")
+        assert not db.is_certain("A1")
+        db.undo()
+        assert db.is_certain("A1")
+
+    def test_undo_chain_to_initial_state(self):
+        db = IncompleteDatabase.over(3)
+        initial = db.state
+        db.assert_("A1").insert("A2").clear("A1")
+        db.undo()
+        db.undo()
+        db.undo()
+        assert db.state == initial
+        assert db.history == ()
+
+    def test_undo_past_beginning_raises(self):
+        db = IncompleteDatabase.over(3)
+        with pytest.raises(EvaluationError, match="nothing to undo"):
+            db.undo()
+
+    def test_redo_by_reapplying_history_pattern(self):
+        db = IncompleteDatabase.over(3)
+        db.insert("A1")
+        update = db.history[-1]
+        db.undo()
+        db.apply(update)
+        assert db.is_certain("A1")
+
+    def test_undo_on_instance_backend(self):
+        db = IncompleteDatabase.over(3, backend="instance")
+        db.insert("A1 | A2")
+        before = db.worlds()
+        db.delete("A1")
+        db.undo()
+        assert db.worlds() == before
+
+    def test_backend_switch_clears_snapshots(self):
+        db = IncompleteDatabase.over(3)
+        db.insert("A1")
+        moved = db.with_backend("instance")
+        with pytest.raises(EvaluationError):
+            moved.undo()
+        # The original still undoes fine.
+        db.undo()
+        assert not db.is_certain("A1")

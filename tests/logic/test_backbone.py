@@ -1,0 +1,104 @@
+"""Tests for backbone computation (repro.logic.sat.backbone_literals)."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.logic.clauses import ClauseSet, clause_of, literal_to_str, make_literal
+from repro.logic.propositions import Vocabulary
+from repro.logic.sat import backbone_literals
+from repro.logic.semantics import models_of_clauses, sat_literals
+
+VOCAB = Vocabulary.standard(5)
+
+
+def cs(*texts):
+    return ClauseSet.from_strs(VOCAB, texts)
+
+
+def backbone_names(clause_set):
+    return frozenset(
+        literal_to_str(clause_set.vocabulary, l)
+        for l in backbone_literals(clause_set)
+    )
+
+
+class TestBackbone:
+    def test_unit_clauses_are_backbone(self):
+        assert backbone_names(cs("A1", "~A3")) == frozenset({"A1", "~A3"})
+
+    def test_propagated_literals_found(self):
+        assert backbone_names(cs("A1", "~A1 | A2")) == frozenset({"A1", "A2"})
+
+    def test_disjunction_forces_nothing(self):
+        assert backbone_names(cs("A1 | A2")) == frozenset()
+
+    def test_hidden_forced_literal(self):
+        # (A1 | A2) & (A1 | ~A2): A1 forced without appearing as a unit.
+        assert backbone_names(cs("A1 | A2", "A1 | ~A2")) == frozenset({"A1"})
+
+    def test_tautology_has_empty_backbone(self):
+        assert backbone_literals(ClauseSet.tautology(VOCAB)) == frozenset()
+
+    def test_unsatisfiable_forces_everything(self):
+        got = backbone_names(cs("A1", "~A1"))
+        assert "A3" in got and "~A3" in got
+
+    def test_agrees_with_world_enumeration(self):
+        rng = random.Random(55)
+        for _ in range(25):
+            clauses = [
+                clause_of(
+                    make_literal(i, rng.random() < 0.5)
+                    for i in rng.sample(range(5), rng.randint(1, 3))
+                )
+                for _ in range(rng.randint(0, 6))
+            ]
+            state = ClauseSet(VOCAB, clauses)
+            expected = sat_literals(VOCAB, models_of_clauses(state))
+            assert backbone_names(state) == expected
+
+    def test_scales_past_enumeration_limit(self):
+        # 40 letters: 2^40 worlds, trivially handled by SAT probing.
+        big = Vocabulary.standard(40)
+        chain = ClauseSet.from_strs(
+            big,
+            ["A1"] + [f"~A{i} | A{i + 1}" for i in range(1, 40)],
+        )
+        backbone = backbone_literals(chain)
+        assert backbone == frozenset(range(1, 41))
+
+
+big_vocab_clauses = st.frozensets(
+    st.frozensets(
+        st.integers(min_value=1, max_value=4).flatmap(
+            lambda i: st.sampled_from([i, -i])
+        ),
+        min_size=1,
+        max_size=3,
+    ),
+    max_size=5,
+)
+
+
+@given(big_vocab_clauses)
+@settings(max_examples=100, deadline=None)
+def test_backbone_matches_enumeration_property(clauses):
+    vocab = Vocabulary.standard(4)
+    state = ClauseSet(vocab, clauses)
+    expected = sat_literals(vocab, models_of_clauses(state))
+    got = frozenset(
+        literal_to_str(vocab, l) for l in backbone_literals(state)
+    )
+    assert got == expected
+
+
+class TestSessionIntegration:
+    def test_clausal_certain_literals_on_large_vocabulary(self):
+        from repro.hlu.session import IncompleteDatabase
+
+        db = IncompleteDatabase.over(40)  # far beyond world enumeration
+        db.assert_("A1", "~A1 | A2", "A39 | A40")
+        literals = db.certain_literals()
+        assert "A1" in literals and "A2" in literals
+        assert "A39" not in literals

@@ -1,0 +1,110 @@
+"""Tests for formula -> clause conversion (repro.logic.cnf)."""
+
+import pytest
+
+from repro.errors import VocabularyError
+from repro.logic.clauses import ClauseSet
+from repro.logic.cnf import clauses_to_formula, formula_to_clauses, formulas_to_clauses
+from repro.logic.parser import parse_formula, parse_formulas
+from repro.logic.propositions import Vocabulary
+from repro.logic.semantics import models_of_clauses, models_of_formulas
+
+VOCAB = Vocabulary.standard(4)
+
+
+def cnf(text: str) -> ClauseSet:
+    return formula_to_clauses(parse_formula(text), VOCAB)
+
+
+class TestBasicForms:
+    def test_literal(self):
+        assert cnf("A1") == ClauseSet.from_strs(VOCAB, ["A1"])
+        assert cnf("~A1") == ClauseSet.from_strs(VOCAB, ["~A1"])
+
+    def test_clause_passthrough(self):
+        assert cnf("A1 | ~A2 | A3") == ClauseSet.from_strs(VOCAB, ["A1 | ~A2 | A3"])
+
+    def test_conjunction_splits(self):
+        assert cnf("A1 & (A2 | A3)") == ClauseSet.from_strs(VOCAB, ["A1", "A2 | A3"])
+
+    def test_constants(self):
+        assert cnf("1") == ClauseSet.tautology(VOCAB)
+        assert cnf("0") == ClauseSet.contradiction(VOCAB)
+
+    def test_implication(self):
+        assert cnf("A1 -> (A2 & A3)") == ClauseSet.from_strs(
+            VOCAB, ["~A1 | A2", "~A1 | A3"]
+        )
+
+    def test_biconditional(self):
+        assert cnf("A1 <-> A2") == ClauseSet.from_strs(VOCAB, ["~A1 | A2", "A1 | ~A2"])
+
+    def test_double_negation(self):
+        assert cnf("~~A1") == cnf("A1")
+
+    def test_de_morgan(self):
+        assert cnf("~(A1 & A2)") == ClauseSet.from_strs(VOCAB, ["~A1 | ~A2"])
+        assert cnf("~(A1 | A2)") == ClauseSet.from_strs(VOCAB, ["~A1", "~A2"])
+
+
+class TestSimplification:
+    def test_tautologous_clause_dropped(self):
+        assert cnf("A1 | ~A1") == ClauseSet.tautology(VOCAB)
+
+    def test_tautologous_disjunct_absorbs(self):
+        assert cnf("(A1 | ~A1) | A2") == ClauseSet.tautology(VOCAB)
+
+    def test_subsumption_applied(self):
+        # (A1) & (A1 | A2) distributes to subsumable clauses.
+        assert cnf("A1 & (A1 | A2)") == ClauseSet.from_strs(VOCAB, ["A1"])
+
+    def test_contradictory_formula(self):
+        assert cnf("A1 & ~A1") == ClauseSet.from_strs(VOCAB, ["A1", "~A1"])
+        # That set has no models even though the empty clause is not present.
+        assert models_of_clauses(cnf("A1 & ~A1")) == frozenset()
+
+
+class TestSemanticPreservation:
+    """The conversion must preserve Mod over the same vocabulary exactly."""
+
+    SAMPLES = [
+        "A1",
+        "~(A1 -> A2)",
+        "(A1 | A2) & (~A1 | A3)",
+        "A1 <-> (A2 <-> A3)",
+        "(A1 & A2) | (A3 & A4)",
+        "~((A1 | ~A2) & (A3 -> A4))",
+        "(A1 -> A2) -> (A3 -> A4)",
+        "1 & A1",
+        "0 | A2",
+        "~(A1 <-> A1)",
+    ]
+
+    @pytest.mark.parametrize("text", SAMPLES)
+    def test_models_preserved(self, text):
+        formula = parse_formula(text)
+        expected = models_of_formulas(VOCAB, [formula])
+        got = models_of_clauses(formula_to_clauses(formula, VOCAB))
+        assert got == expected
+
+    @pytest.mark.parametrize("text", SAMPLES)
+    def test_roundtrip_through_formula(self, text):
+        clause_set = cnf(text)
+        back = formula_to_clauses(clauses_to_formula(clause_set), VOCAB)
+        assert models_of_clauses(back) == models_of_clauses(clause_set)
+
+
+class TestBatchConversion:
+    def test_formulas_to_clauses_is_conjunction(self):
+        fs = parse_formulas(["A1 | A2", "~A1 | A3"])
+        combined = formulas_to_clauses(fs, VOCAB)
+        assert combined == ClauseSet.from_strs(VOCAB, ["A1 | A2", "~A1 | A3"])
+
+    def test_empty_collection_is_tautology(self):
+        assert formulas_to_clauses([], VOCAB) == ClauseSet.tautology(VOCAB)
+
+
+class TestErrors:
+    def test_unknown_letter_rejected(self):
+        with pytest.raises(VocabularyError):
+            formula_to_clauses(parse_formula("B9"), VOCAB)

@@ -1,0 +1,150 @@
+"""Tests for the formula AST (repro.logic.formula)."""
+
+import pytest
+
+from repro.logic.formula import (
+    FALSE,
+    TRUE,
+    And,
+    Const,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Var,
+    conj,
+    disj,
+    props_of,
+    var,
+)
+
+
+class TestConstruction:
+    def test_operator_sugar(self):
+        f = var("A") & ~var("B") | var("C")
+        assert f == Or((And((Var("A"), Not(Var("B")))), Var("C")))
+
+    def test_implies_and_iff_builders(self):
+        assert var("A").implies(var("B")) == Implies(Var("A"), Var("B"))
+        assert var("A").iff(var("B")) == Iff(Var("A"), Var("B"))
+
+    def test_conj_disj_flatten_helpers(self):
+        assert conj([var("A")]) == var("A")
+        assert disj([var("A")]) == var("A")
+        assert conj([]) == And(())
+        assert disj([]) == Or(())
+
+    def test_nary_rejects_non_formula(self):
+        with pytest.raises(TypeError):
+            And((var("A"), "B"))  # type: ignore[arg-type]
+
+    def test_immutability(self):
+        with pytest.raises(AttributeError):
+            var("A").name = "B"  # type: ignore[misc]
+        with pytest.raises(AttributeError):
+            TRUE.value = False  # type: ignore[misc]
+
+
+class TestEquality:
+    def test_structural_equality(self):
+        assert var("A") & var("B") == var("A") & var("B")
+        assert var("A") & var("B") != var("B") & var("A")  # order matters syntactically
+
+    def test_and_or_not_conflated(self):
+        assert And((var("A"),)) != Or((var("A"),))
+
+    def test_hash_consistency(self):
+        assert hash(var("A") | var("B")) == hash(var("A") | var("B"))
+
+    def test_constants_distinct(self):
+        assert TRUE != FALSE
+        assert Const(True) == TRUE
+
+
+class TestEvaluation:
+    def test_all_connectives(self):
+        env = {"A": True, "B": False}
+        assert (var("A") & var("B")).evaluate(env) is False
+        assert (var("A") | var("B")).evaluate(env) is True
+        assert (~var("B")).evaluate(env) is True
+        assert var("A").implies(var("B")).evaluate(env) is False
+        assert var("B").implies(var("A")).evaluate(env) is True
+        assert var("A").iff(var("B")).evaluate(env) is False
+        assert var("A").iff(var("A")).evaluate(env) is True
+
+    def test_constants_ignore_environment(self):
+        assert TRUE.evaluate({}) is True
+        assert FALSE.evaluate({}) is False
+
+    def test_empty_nary_identities(self):
+        assert And(()).evaluate({}) is True
+        assert Or(()).evaluate({}) is False
+
+    def test_callable_assignment(self):
+        f = var("A") & ~var("B")
+        assert f.evaluate(lambda name: name == "A") is True
+
+    def test_truth_table_implies(self):
+        for a in (False, True):
+            for b in (False, True):
+                expected = (not a) or b
+                got = var("A").implies(var("B")).evaluate({"A": a, "B": b})
+                assert got == expected
+
+
+class TestProps:
+    def test_props_collects_all_letters(self):
+        f = (var("A") & ~var("B")).implies(var("C").iff(var("A")))
+        assert f.props() == frozenset({"A", "B", "C"})
+
+    def test_props_of_collection(self):
+        assert props_of([var("A"), ~var("B")]) == frozenset({"A", "B"})
+
+    def test_constants_have_no_props(self):
+        assert TRUE.props() == frozenset()
+
+
+class TestSubstitution:
+    def test_simple_replacement(self):
+        f = var("A") | var("B")
+        assert f.substitute({"A": TRUE}) == Or((TRUE, Var("B")))
+
+    def test_unmapped_variables_untouched(self):
+        f = var("A") & var("B")
+        assert f.substitute({}) == f
+
+    def test_substitution_is_simultaneous_not_iterated(self):
+        # A -> B while B -> A must swap, not collapse.
+        f = var("A") & var("B")
+        swapped = f.substitute({"A": var("B"), "B": var("A")})
+        assert swapped == var("B") & var("A")
+
+    def test_substitute_into_all_node_types(self):
+        f = Iff(Implies(var("A"), ~var("A")), var("A"))
+        g = f.substitute({"A": var("X")})
+        assert g.props() == frozenset({"X"})
+
+    def test_morphism_composition_via_substitution(self):
+        # (g o f)(A) = f-bar(g(A)): substitution composes as Definition 1.3.1.
+        g_of_a = var("B") & var("C")
+        f_map = {"B": ~var("A"), "C": var("A")}
+        composed = g_of_a.substitute(f_map)
+        assert composed == ~var("A") & var("A")
+
+
+class TestRendering:
+    def test_str_round_trippable_through_parser(self):
+        from repro.logic.parser import parse_formula
+
+        samples = [
+            var("A1") & ~var("A2"),
+            (var("A1") | var("A2")).implies(var("A3")),
+            var("A1").iff(~(var("A2") & var("A3"))),
+            TRUE,
+            FALSE,
+        ]
+        for f in samples:
+            assert parse_formula(str(f)) == f
+
+    def test_repr_contains_str(self):
+        assert "A1" in repr(var("A1"))

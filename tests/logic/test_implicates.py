@@ -1,0 +1,96 @@
+"""Tests for prime implicates (repro.logic.implicates)."""
+
+import pytest
+
+from repro.logic.clauses import ClauseSet, clause_of, make_literal
+from repro.logic.implicates import (
+    is_implicate,
+    is_prime_implicate,
+    mask_via_implicates,
+    prime_implicates,
+)
+from repro.logic.propositions import Vocabulary
+from repro.logic.semantics import models_of_clauses
+
+VOCAB = Vocabulary.standard(4)
+
+
+def cs(*texts):
+    return ClauseSet.from_strs(VOCAB, texts)
+
+
+class TestPrimeImplicates:
+    def test_textbook_example(self):
+        # {A1 | A2, ~A1 | A3} has the resolvent A2 | A3 as a third prime.
+        assert prime_implicates(cs("A1 | A2", "~A1 | A3")) == cs(
+            "A1 | A2", "~A1 | A3", "A2 | A3"
+        )
+
+    def test_subsumed_inputs_removed(self):
+        assert prime_implicates(cs("A1", "A1 | A2")) == cs("A1")
+
+    def test_tautology_has_no_implicates(self):
+        assert prime_implicates(ClauseSet.tautology(VOCAB)) == ClauseSet.tautology(
+            VOCAB
+        )
+
+    def test_contradiction_has_only_the_empty_clause(self):
+        assert prime_implicates(cs("A1", "~A1")) == ClauseSet.contradiction(VOCAB)
+
+    def test_canonical_form_identifies_equivalent_sets(self):
+        left = cs("~A1 | A2")
+        right = cs("~A1 | A2", "~A1 | A2 | A3")
+        assert prime_implicates(left) == prime_implicates(right)
+
+    def test_models_preserved(self):
+        for state in (cs("A1 | A2", "~A2 | A3"), cs("A1", "A2 | ~A3")):
+            assert models_of_clauses(prime_implicates(state)) == models_of_clauses(
+                state
+            )
+
+    def test_hidden_unit_is_exposed(self):
+        # (A1 | A2) & (A1 | ~A2) has prime implicate A1.
+        assert prime_implicates(cs("A1 | A2", "A1 | ~A2")) == cs("A1")
+
+
+class TestImplicateChecks:
+    def test_is_implicate(self):
+        state = cs("A1 | A2", "~A1 | A3")
+        assert is_implicate(state, clause_of([make_literal(1), make_literal(2)]))
+        assert not is_implicate(state, clause_of([make_literal(0)]))
+
+    def test_tautologous_clause_is_trivially_implicate(self):
+        assert is_implicate(cs("A1"), clause_of([2, -2]))
+
+    def test_is_prime_implicate(self):
+        state = cs("A1 | A2", "~A1 | A3")
+        assert is_prime_implicate(state, clause_of([2, 3]))     # A2 | A3
+        assert not is_prime_implicate(state, clause_of([2, 3, 4]))  # widened
+        assert not is_prime_implicate(state, clause_of([4]))
+
+    def test_every_prime_implicates_member_is_prime(self):
+        state = cs("A1 | A2", "~A2 | A3", "~A3 | A4")
+        for clause in prime_implicates(state):
+            assert is_prime_implicate(state, clause)
+
+
+class TestMaskViaImplicates:
+    def test_agrees_with_resolve_then_drop(self):
+        from repro.blu.clausal_mask import clausal_mask
+
+        samples = [
+            cs("~A1 | A3", "A1 | A4", "A3 | A4"),
+            cs("A1 | A2", "~A2 | A3"),
+            cs("A1", "~A1 | A2"),
+        ]
+        for state in samples:
+            for indices in ([0], [1], [0, 1]):
+                via_implicates = mask_via_implicates(state, indices)
+                via_elimination = clausal_mask(state, indices)
+                assert models_of_clauses(via_implicates) == models_of_clauses(
+                    via_elimination
+                )
+
+    def test_masked_letters_absent(self):
+        out = mask_via_implicates(cs("A1 | A2", "~A1 | A3"), [0])
+        assert 0 not in out.prop_indices

@@ -1,0 +1,93 @@
+"""Tests for exact model counting (repro.logic.sat.count_models_exact)."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.logic.clauses import ClauseSet, clause_of, make_literal
+from repro.logic.propositions import Vocabulary
+from repro.logic.sat import count_models_exact
+from repro.logic.semantics import models_of_clauses
+
+VOCAB = Vocabulary.standard(5)
+
+
+def cs(*texts):
+    return ClauseSet.from_strs(VOCAB, texts)
+
+
+class TestCountModelsExact:
+    def test_tautology_counts_all_worlds(self):
+        assert count_models_exact(ClauseSet.tautology(VOCAB)) == 32
+
+    def test_contradiction_counts_zero(self):
+        assert count_models_exact(ClauseSet.contradiction(VOCAB)) == 0
+        assert count_models_exact(cs("A1", "~A1")) == 0
+
+    def test_single_unit(self):
+        assert count_models_exact(cs("A1")) == 16
+
+    def test_disjunction(self):
+        assert count_models_exact(cs("A1 | A2")) == 3 * 8
+
+    def test_implication_chain(self):
+        # A1, A1->A2, A2->A3: forces three letters, frees two.
+        assert count_models_exact(cs("A1", "~A1 | A2", "~A2 | A3")) == 4
+
+    def test_agrees_with_enumeration_randomly(self):
+        rng = random.Random(77)
+        for _ in range(30):
+            clauses = [
+                clause_of(
+                    make_literal(i, rng.random() < 0.5)
+                    for i in rng.sample(range(5), rng.randint(1, 3))
+                )
+                for _ in range(rng.randint(0, 7))
+            ]
+            state = ClauseSet(VOCAB, clauses)
+            assert count_models_exact(state) == len(models_of_clauses(state))
+
+    def test_scales_past_enumeration_limit(self):
+        big = Vocabulary.standard(60)
+        chain = ClauseSet.from_strs(
+            big, [f"~A{i} | A{i + 1}" for i in range(1, 60)]
+        )
+        # Models of an implication chain over n letters: n+1 (the cut point).
+        assert count_models_exact(chain) == 61
+
+
+clauses_strategy = st.frozensets(
+    st.frozensets(
+        st.integers(min_value=1, max_value=5).flatmap(
+            lambda i: st.sampled_from([i, -i])
+        ),
+        min_size=1,
+        max_size=3,
+    ),
+    max_size=6,
+)
+
+
+@given(clauses_strategy)
+@settings(max_examples=120, deadline=None)
+def test_count_matches_enumeration_property(clauses):
+    state = ClauseSet(VOCAB, clauses)
+    assert count_models_exact(state) == len(models_of_clauses(state))
+
+
+class TestSessionWorldCount:
+    def test_counts_agree_across_backends(self):
+        from repro.hlu.session import IncompleteDatabase
+
+        clausal = IncompleteDatabase.over(4).assert_("A1 | A2").insert("A3")
+        instance = clausal.with_backend("instance")
+        assert clausal.world_count() == instance.world_count() == len(
+            instance.worlds()
+        )
+
+    def test_count_on_large_vocabulary(self):
+        from repro.hlu.session import IncompleteDatabase
+
+        db = IncompleteDatabase.over(40)
+        db.assert_("A1")
+        assert db.world_count() == 1 << 39

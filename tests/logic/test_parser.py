@@ -1,0 +1,112 @@
+"""Tests for the formula parser (repro.logic.parser)."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.logic.formula import FALSE, TRUE, And, Iff, Implies, Not, Or, Var, var
+from repro.logic.parser import parse_formula, parse_formulas
+
+
+class TestAtoms:
+    def test_variable(self):
+        assert parse_formula("A1") == Var("A1")
+
+    def test_constants(self):
+        assert parse_formula("1") == TRUE
+        assert parse_formula("0") == FALSE
+        assert parse_formula("true") == TRUE
+        assert parse_formula("false") == FALSE
+
+    def test_dotted_and_primed_names(self):
+        assert parse_formula("R.Jones.T1") == Var("R.Jones.T1")
+        assert parse_formula("s1.0'") == Var("s1.0'")
+
+
+class TestOperators:
+    def test_negation(self):
+        assert parse_formula("~A") == Not(Var("A"))
+        assert parse_formula("!A") == Not(Var("A"))
+        assert parse_formula("~~A") == Not(Not(Var("A")))
+
+    def test_conjunction_flattens(self):
+        assert parse_formula("A & B & C") == And((Var("A"), Var("B"), Var("C")))
+
+    def test_disjunction_flattens(self):
+        assert parse_formula("A | B | C") == Or((Var("A"), Var("B"), Var("C")))
+
+    def test_alternative_spellings(self):
+        assert parse_formula(r"A /\ B") == parse_formula("A & B")
+        assert parse_formula(r"A \/ B") == parse_formula("A | B")
+        assert parse_formula("A => B") == parse_formula("A -> B")
+        assert parse_formula("A <=> B") == parse_formula("A <-> B")
+
+
+class TestPrecedence:
+    def test_not_binds_tighter_than_and(self):
+        assert parse_formula("~A & B") == And((Not(Var("A")), Var("B")))
+
+    def test_and_binds_tighter_than_or(self):
+        assert parse_formula("A | B & C") == Or((Var("A"), And((Var("B"), Var("C")))))
+
+    def test_or_binds_tighter_than_implies(self):
+        f = parse_formula("A | B -> C")
+        assert f == Implies(Or((Var("A"), Var("B"))), Var("C"))
+
+    def test_implies_binds_tighter_than_iff(self):
+        f = parse_formula("A -> B <-> C")
+        assert f == Iff(Implies(Var("A"), Var("B")), Var("C"))
+
+    def test_implies_right_associative(self):
+        f = parse_formula("A -> B -> C")
+        assert f == Implies(Var("A"), Implies(Var("B"), Var("C")))
+
+    def test_iff_left_associative(self):
+        f = parse_formula("A <-> B <-> C")
+        assert f == Iff(Iff(Var("A"), Var("B")), Var("C"))
+
+    def test_parentheses_override(self):
+        f = parse_formula("(A | B) & C")
+        assert f == And((Or((Var("A"), Var("B"))), Var("C")))
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        ["", "   ", "A &", "& A", "(A", "A)", "A B", "A ~ B", "->", "A -> -> B"],
+    )
+    def test_malformed_inputs_raise(self, text):
+        with pytest.raises(ParseError):
+            parse_formula(text)
+
+    def test_unknown_character_reports_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_formula("A1 $ A2")
+        assert excinfo.value.position == 3
+
+    def test_trailing_input_rejected(self):
+        with pytest.raises(ParseError, match="trailing"):
+            parse_formula("A1 A2")
+
+
+class TestBatch:
+    def test_parse_formulas_preserves_order(self):
+        fs = parse_formulas(["A", "~B", "A -> B"])
+        assert fs == (var("A"), ~var("B"), var("A").implies(var("B")))
+
+
+class TestSemanticSanity:
+    """Parsing then evaluating must agree with hand truth tables."""
+
+    @pytest.mark.parametrize(
+        "text,env,expected",
+        [
+            ("~A1 | A2 -> A3", {"A1": True, "A2": False, "A3": False}, True),
+            ("~A1 | A2 -> A3", {"A1": False, "A2": False, "A3": False}, False),
+            ("A <-> ~A", {"A": True}, False),
+            ("(A -> B) & (B -> A)", {"A": True, "B": True}, True),
+            ("1 -> A", {"A": False}, False),
+            ("0 -> A", {"A": False}, True),
+        ],
+    )
+    def test_eval_after_parse(self, text, env, expected):
+        assert parse_formula(text).evaluate(env) is expected

@@ -1,0 +1,135 @@
+"""Property-based tests (hypothesis) for the logic substrate.
+
+Strategies generate random formulas and clause sets over a fixed small
+vocabulary; properties assert the semantic invariants everything downstream
+relies on: CNF preserves models, resolution steps are entailed, variable
+elimination computes exactly the existential projection, dependency sets
+are semantic.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.logic.clauses import ClauseSet, clause_is_tautologous, make_literal
+from repro.logic.cnf import clauses_to_formula, formula_to_clauses
+from repro.logic.formula import And, Iff, Implies, Not, Or, Var
+from repro.logic.propositions import Vocabulary
+from repro.logic.resolution import eliminate_letter, rclosure, resolvent
+from repro.logic.sat import entails_clause, is_satisfiable
+from repro.logic.semantics import (
+    clause_set_dependency_indices,
+    models_of_clauses,
+    models_of_formulas,
+)
+from repro.logic.structures import flip_bit, saturate_on
+
+VOCAB = Vocabulary.standard(4)
+N = len(VOCAB)
+
+# --- strategies -----------------------------------------------------------
+
+variables = st.sampled_from([Var(name) for name in VOCAB.names])
+
+
+def formulas(depth: int = 3):
+    return st.recursive(
+        variables,
+        lambda children: st.one_of(
+            children.map(Not),
+            st.tuples(children, children).map(lambda p: And(p)),
+            st.tuples(children, children).map(lambda p: Or(p)),
+            st.tuples(children, children).map(lambda p: Implies(*p)),
+            st.tuples(children, children).map(lambda p: Iff(*p)),
+        ),
+        max_leaves=8,
+    )
+
+
+literals = st.integers(min_value=1, max_value=N).flatmap(
+    lambda i: st.sampled_from([i, -i])
+)
+clauses = st.frozensets(literals, min_size=1, max_size=3)
+clause_sets = st.frozensets(clauses, max_size=5).map(lambda cs: ClauseSet(VOCAB, cs))
+
+
+# --- properties -----------------------------------------------------------
+
+@given(formulas())
+@settings(max_examples=120, deadline=None)
+def test_cnf_preserves_models(formula):
+    expected = models_of_formulas(VOCAB, [formula])
+    assert models_of_clauses(formula_to_clauses(formula, VOCAB)) == expected
+
+
+@given(clause_sets)
+@settings(max_examples=120, deadline=None)
+def test_clause_formula_roundtrip(clause_set):
+    back = formula_to_clauses(clauses_to_formula(clause_set), VOCAB)
+    assert models_of_clauses(back) == models_of_clauses(clause_set)
+
+
+@given(clause_sets)
+@settings(max_examples=120, deadline=None)
+def test_dpll_agrees_with_enumeration(clause_set):
+    assert is_satisfiable(clause_set) == bool(models_of_clauses(clause_set))
+
+
+@given(clause_sets, clauses)
+@settings(max_examples=120, deadline=None)
+def test_entailment_agrees_with_enumeration(clause_set, clause):
+    if clause_is_tautologous(clause):
+        return
+    models = models_of_clauses(clause_set)
+    expected = all(
+        any(
+            ((world >> (abs(l) - 1)) & 1) == (1 if l > 0 else 0)
+            for l in clause
+        )
+        for world in models
+    )
+    assert entails_clause(clause_set, clause) == expected
+
+
+@given(clause_sets, st.integers(min_value=0, max_value=N - 1))
+@settings(max_examples=120, deadline=None)
+def test_eliminate_letter_is_existential_projection(clause_set, index):
+    projected = eliminate_letter(clause_set, index)
+    assert models_of_clauses(projected) == saturate_on(
+        models_of_clauses(clause_set), {index}
+    )
+    assert index not in projected.prop_indices
+
+
+@given(clause_sets, st.sets(st.integers(min_value=0, max_value=N - 1), max_size=3))
+@settings(max_examples=80, deadline=None)
+def test_rclosure_preserves_models(clause_set, indices):
+    assert models_of_clauses(rclosure(clause_set, indices)) == models_of_clauses(
+        clause_set
+    )
+
+
+@given(clauses, clauses, st.integers(min_value=0, max_value=N - 1))
+@settings(max_examples=150, deadline=None)
+def test_resolvent_is_entailed(left, right, index):
+    positive = make_literal(index)
+    if clause_is_tautologous(left) or clause_is_tautologous(right):
+        return
+    if positive not in left or -positive not in right:
+        return
+    res = resolvent(left, right, index)
+    if res is None:
+        return
+    premises = ClauseSet(VOCAB, [left, right])
+    assert entails_clause(premises, res)
+
+
+@given(clause_sets)
+@settings(max_examples=100, deadline=None)
+def test_dependency_set_is_exact(clause_set):
+    models = models_of_clauses(clause_set)
+    dep = clause_set_dependency_indices(clause_set)
+    # Closed under flipping every non-dependent letter...
+    for index in set(range(N)) - dep:
+        assert all(flip_bit(world, index) in models for world in models)
+    # ...and witnesses exist for every dependent letter.
+    for index in dep:
+        assert any(flip_bit(world, index) not in models for world in models)

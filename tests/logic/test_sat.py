@@ -1,0 +1,103 @@
+"""Tests for the DPLL solver (repro.logic.sat)."""
+
+import random
+
+from repro.logic.clauses import ClauseSet, clause_of, make_literal
+from repro.logic.propositions import Vocabulary
+from repro.logic.sat import (
+    count_models,
+    entails_clause,
+    entails_clauses,
+    is_satisfiable,
+    solve,
+)
+from repro.logic.semantics import models_of_clauses
+
+VOCAB = Vocabulary.standard(6)
+
+
+class TestSolve:
+    def test_satisfiable_returns_model(self):
+        cs = ClauseSet.from_strs(VOCAB, ["A1 | A2", "~A1 | A3"])
+        model = solve(cs)
+        assert model is not None
+        # Complete the partial model arbitrarily and check it.
+        world = 0
+        for index, value in model.items():
+            if value:
+                world |= 1 << index
+        assert cs.satisfied_by(world)
+
+    def test_unsatisfiable_returns_none(self):
+        cs = ClauseSet.from_strs(VOCAB, ["A1", "~A1"])
+        assert solve(cs) is None
+
+    def test_empty_clause_set_trivially_sat(self):
+        assert solve(ClauseSet.tautology(VOCAB)) == {}
+
+    def test_empty_clause_unsat(self):
+        assert solve(ClauseSet.contradiction(VOCAB)) is None
+
+    def test_assumptions_respected(self):
+        cs = ClauseSet.from_strs(VOCAB, ["A1 | A2"])
+        model = solve(cs, assumptions=(make_literal(0, False),))
+        assert model is not None and model[0] is False and model[1] is True
+
+    def test_conflicting_assumptions(self):
+        cs = ClauseSet.tautology(VOCAB)
+        assert solve(cs, assumptions=(1, -1)) is None
+
+
+class TestAgreementWithEnumeration:
+    def test_random_3cnf_agrees_with_model_enumeration(self):
+        rng = random.Random(42)
+        for _ in range(40):
+            clauses = []
+            for _ in range(rng.randint(1, 10)):
+                letters = rng.sample(range(6), 3)
+                clauses.append(
+                    clause_of(
+                        make_literal(i, rng.random() < 0.5) for i in letters
+                    )
+                )
+            cs = ClauseSet(VOCAB, clauses)
+            assert is_satisfiable(cs) == bool(models_of_clauses(cs))
+
+
+class TestEntailment:
+    def test_unit_propagation_chain(self):
+        cs = ClauseSet.from_strs(VOCAB, ["A1", "~A1 | A2", "~A2 | A3"])
+        assert entails_clause(cs, clause_of([make_literal(2)]))
+
+    def test_resolution_entailment(self):
+        cs = ClauseSet.from_strs(VOCAB, ["A1 | A2", "~A1 | A3"])
+        assert entails_clause(cs, clause_of([make_literal(1), make_literal(2)]))
+
+    def test_non_entailment(self):
+        cs = ClauseSet.from_strs(VOCAB, ["A1 | A2"])
+        assert not entails_clause(cs, clause_of([make_literal(0)]))
+
+    def test_entails_clauses_all_or_nothing(self):
+        cs = ClauseSet.from_strs(VOCAB, ["A1", "A2"])
+        good = ClauseSet.from_strs(VOCAB, ["A1 | A3", "A2"])
+        bad = ClauseSet.from_strs(VOCAB, ["A3"])
+        assert entails_clauses(cs, good)
+        assert not entails_clauses(cs, bad)
+
+    def test_inconsistent_theory_entails_everything(self):
+        cs = ClauseSet.contradiction(VOCAB)
+        assert entails_clause(cs, clause_of([make_literal(4)]))
+
+
+class TestCountModels:
+    def test_full_count(self):
+        cs = ClauseSet.from_strs(VOCAB, ["A1"])
+        assert count_models(cs) == 2 ** 5
+
+    def test_projected_count(self):
+        cs = ClauseSet.from_strs(VOCAB, ["A1 | A2"])
+        assert count_models(cs, over_indices=frozenset({0, 1})) == 3
+
+    def test_scales_past_enumeration_limit_not_required(self):
+        # count_models is documented as enumerative; just check tautology.
+        assert count_models(ClauseSet.tautology(VOCAB)) == 64

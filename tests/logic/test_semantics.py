@@ -1,0 +1,121 @@
+"""Tests for model-theoretic notions (repro.logic.semantics)."""
+
+from repro.logic.clauses import ClauseSet
+from repro.logic.cnf import formula_to_clauses
+from repro.logic.parser import parse_formula, parse_formulas
+from repro.logic.propositions import Vocabulary
+from repro.logic.semantics import (
+    clause_set_dependency_indices,
+    clause_sets_equivalent,
+    dependency_indices,
+    dependency_names,
+    formulas_entail,
+    models_of_clauses,
+    models_of_formulas,
+    sat_literals,
+    theory_contains,
+)
+from repro.logic.structures import all_worlds
+
+VOCAB = Vocabulary.standard(4)
+
+
+class TestMod:
+    def test_tautology_has_all_models(self):
+        assert models_of_formulas(VOCAB, [parse_formula("A1 | ~A1")]) == frozenset(
+            all_worlds(VOCAB)
+        )
+
+    def test_contradiction_has_no_models(self):
+        assert models_of_formulas(VOCAB, [parse_formula("A1 & ~A1")]) == frozenset()
+
+    def test_empty_premise_set_has_all_models(self):
+        assert len(models_of_formulas(VOCAB, [])) == 16
+
+    def test_mod_of_conjunction_is_intersection(self):
+        f1, f2 = parse_formulas(["A1 | A2", "~A2 | A3"])
+        both = models_of_formulas(VOCAB, [f1, f2])
+        assert both == models_of_formulas(VOCAB, [f1]) & models_of_formulas(VOCAB, [f2])
+
+    def test_mod_agrees_between_formula_and_clause_routes(self):
+        f = parse_formula("(A1 -> A2) & (A3 | A4)")
+        assert models_of_formulas(VOCAB, [f]) == models_of_clauses(
+            formula_to_clauses(f, VOCAB)
+        )
+
+
+class TestSatLiterals:
+    def test_forced_literals_reported(self):
+        cs = ClauseSet.from_strs(VOCAB, ["A1", "~A2"])
+        lits = sat_literals(VOCAB, models_of_clauses(cs))
+        assert "A1" in lits and "~A2" in lits
+        assert "A3" not in lits and "~A3" not in lits
+
+    def test_empty_world_set_reports_everything(self):
+        lits = sat_literals(VOCAB, frozenset())
+        assert "A1" in lits and "~A1" in lits
+
+
+class TestEntailment:
+    def test_modus_ponens(self):
+        premises = parse_formulas(["A1", "A1 -> A2"])
+        assert formulas_entail(VOCAB, premises, [parse_formula("A2")])
+
+    def test_non_entailment(self):
+        assert not formulas_entail(
+            VOCAB, [parse_formula("A1 | A2")], [parse_formula("A1")]
+        )
+
+    def test_theory_contains_matches_entailment(self):
+        axioms = parse_formulas(["A1 -> A2", "A2 -> A3"])
+        assert theory_contains(VOCAB, axioms, parse_formula("A1 -> A3"))
+        assert not theory_contains(VOCAB, axioms, parse_formula("A3 -> A1"))
+
+    def test_inconsistent_premises_entail_anything(self):
+        premises = parse_formulas(["A1", "~A1"])
+        assert formulas_entail(VOCAB, premises, [parse_formula("A4")])
+
+
+class TestEquivalence:
+    def test_syntactically_different_equivalent_sets(self):
+        left = formula_to_clauses(parse_formula("A1 -> A2"), VOCAB)
+        right = formula_to_clauses(parse_formula("~A2 -> ~A1"), VOCAB)
+        assert clause_sets_equivalent(left, right)
+
+    def test_inequivalence_detected(self):
+        left = ClauseSet.from_strs(VOCAB, ["A1"])
+        right = ClauseSet.from_strs(VOCAB, ["A2"])
+        assert not clause_sets_equivalent(left, right)
+
+
+class TestDependency:
+    """Dep[S] -- the semantic heart of genmask (Definitions 1.1, 2.2.2(v))."""
+
+    def test_paper_example_dependency(self):
+        # Example 3.1.5: genmask {A1 | A2} = {A1, A2}.
+        vocab = Vocabulary.standard(5)
+        cs = ClauseSet.from_strs(vocab, ["A1 | A2"])
+        assert dependency_names(vocab, models_of_clauses(cs)) == frozenset({"A1", "A2"})
+
+    def test_tautology_depends_on_nothing(self):
+        assert dependency_indices(VOCAB, frozenset(all_worlds(VOCAB))) == frozenset()
+
+    def test_empty_set_depends_on_nothing(self):
+        assert dependency_indices(VOCAB, frozenset()) == frozenset()
+
+    def test_single_world_depends_on_everything(self):
+        assert dependency_indices(VOCAB, frozenset({0b0101})) == frozenset({0, 1, 2, 3})
+
+    def test_semantic_not_syntactic(self):
+        # (A1 | A2) & (A1 | ~A2) mentions A2 but depends only on A1.
+        cs = formula_to_clauses(parse_formula("(A1 | A2) & (A1 | ~A2)"), VOCAB)
+        assert clause_set_dependency_indices(cs) == frozenset({0})
+
+    def test_dependency_invariant_under_equivalence(self):
+        left = formula_to_clauses(parse_formula("A1 -> A2"), VOCAB)
+        right = formula_to_clauses(parse_formula("~A2 -> ~A1"), VOCAB)
+        assert clause_set_dependency_indices(left) == clause_set_dependency_indices(right)
+
+    def test_xor_depends_on_both(self):
+        cs = formula_to_clauses(parse_formula("~(A1 <-> A2)"), VOCAB)
+        assert clause_set_dependency_indices(cs) == frozenset({0, 1})

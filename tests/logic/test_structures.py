@@ -1,0 +1,129 @@
+"""Tests for bit-packed structures/worlds (repro.logic.structures)."""
+
+import pytest
+
+from repro.errors import VocabularyError
+from repro.logic.parser import parse_formula
+from repro.logic.propositions import Vocabulary
+from repro.logic.structures import (
+    all_worlds,
+    flip_bit,
+    flip_bits,
+    get_bit,
+    satisfies,
+    saturate_on,
+    set_bit,
+    world_count,
+    world_from_dict,
+    world_from_true_set,
+    world_str,
+    world_to_dict,
+    world_to_true_set,
+)
+
+VOCAB = Vocabulary.standard(4)
+
+
+class TestEnumeration:
+    def test_world_count(self):
+        assert world_count(VOCAB) == 16
+        assert world_count(Vocabulary([])) == 1
+
+    def test_all_worlds_complete_and_distinct(self):
+        worlds = list(all_worlds(VOCAB))
+        assert len(worlds) == 16
+        assert len(set(worlds)) == 16
+
+    def test_enumeration_guard(self):
+        with pytest.raises(VocabularyError, match="refusing"):
+            list(all_worlds(Vocabulary.standard(30)))
+
+
+class TestConversion:
+    def test_dict_roundtrip(self):
+        assignment = {"A1": True, "A2": False, "A3": True, "A4": False}
+        world = world_from_dict(VOCAB, assignment)
+        assert world_to_dict(VOCAB, world) == assignment
+
+    def test_true_set_roundtrip(self):
+        world = world_from_true_set(VOCAB, ["A2", "A4"])
+        assert world_to_true_set(VOCAB, world) == frozenset({"A2", "A4"})
+
+    def test_missing_letter_rejected(self):
+        with pytest.raises(VocabularyError, match="missing"):
+            world_from_dict(VOCAB, {"A1": True})
+
+    def test_unknown_letter_rejected(self):
+        with pytest.raises(VocabularyError):
+            world_from_true_set(VOCAB, ["A9"])
+
+    def test_world_str(self):
+        world = world_from_true_set(VOCAB, ["A1", "A3"])
+        assert world_str(VOCAB, world) == "{A1, ~A2, A3, ~A4}"
+
+
+class TestBitOps:
+    def test_get_set_flip(self):
+        world = 0
+        world = set_bit(world, 2, True)
+        assert get_bit(world, 2) is True
+        assert get_bit(world, 0) is False
+        assert flip_bit(world, 2) == 0
+        assert flip_bits(world, [0, 2]) == 1
+
+    def test_set_bit_idempotent(self):
+        world = set_bit(0, 1, True)
+        assert set_bit(world, 1, True) == world
+        assert set_bit(world, 1, False) == 0
+
+
+class TestSatisfies:
+    def test_against_truth_table(self):
+        formula = parse_formula("A1 & ~A2 | A3")
+        for world in all_worlds(VOCAB):
+            env = world_to_dict(VOCAB, world)
+            assert satisfies(VOCAB, world, formula) == formula.evaluate(env)
+
+    def test_constant_formulas(self):
+        assert satisfies(VOCAB, 0, parse_formula("1"))
+        assert not satisfies(VOCAB, 0, parse_formula("0"))
+
+
+class TestSaturateOn:
+    """saturate_on is the instance-level simple mask (Definition 1.5.3)."""
+
+    def test_empty_index_set_is_identity(self):
+        worlds = frozenset({0b0101, 0b0011})
+        assert saturate_on(worlds, frozenset()) == worlds
+
+    def test_single_letter_saturation(self):
+        # Masking A1 (bit 0) pairs each world with its bit-0 twin.
+        worlds = frozenset({0b0000})
+        assert saturate_on(worlds, {0}) == frozenset({0b0000, 0b0001})
+
+    def test_saturation_is_idempotent(self):
+        worlds = frozenset({0b1010, 0b0001})
+        once = saturate_on(worlds, {1, 3})
+        assert saturate_on(once, {1, 3}) == once
+
+    def test_saturation_is_monotone_in_worlds(self):
+        small = frozenset({0b0001})
+        large = frozenset({0b0001, 0b1000})
+        assert saturate_on(small, {2}) <= saturate_on(large, {2})
+
+    def test_full_saturation_yields_all_worlds(self):
+        worlds = frozenset({0b0110})
+        got = saturate_on(worlds, {0, 1, 2, 3})
+        assert got == frozenset(range(16))
+
+    def test_result_agrees_with_naive_definition(self):
+        # Naive: y in result iff exists x in worlds with x, y equal off P.
+        worlds = frozenset({0b0101, 0b1110})
+        indices = {0, 2}
+        clear = 0b0101  # bits 0 and 2
+        naive = frozenset(
+            y
+            for y in range(16)
+            if any((y & ~clear) == (x & ~clear) for x in worlds)
+        )
+        assert saturate_on(worlds, indices) == naive

@@ -1,0 +1,156 @@
+"""Tests for compact-store query answering (repro.relational.compact_query).
+
+The headline property: compact answers agree with the grounded mirror on
+identical scenarios, at a cost independent of the domain size.
+"""
+
+import pytest
+
+from repro.relational.atoms import OpenAtom
+from repro.relational.compact_query import (
+    certain_disjunction,
+    certain_fact,
+    certain_values,
+    possible_fact,
+)
+from repro.relational.constants import CategoryExpr
+from repro.relational.language import exists, var, ANY
+from repro.relational.schema import RelationalSchema
+from repro.relational.session import RelationalDatabase
+
+
+@pytest.fixture()
+def schema():
+    return RelationalSchema.build(
+        constants={
+            "person": ["Jones", "Smith"],
+            "dept": ["D1", "D2"],
+            "telno": ["T1", "T2", "T3"],
+        },
+        relations={"R": [("N", "person"), ("D", "dept"), ("T", "telno")]},
+    )
+
+
+class TestCertainFact:
+    def test_ground_atom_is_certain(self, schema):
+        store = [OpenAtom("R", ("Jones", "D1", "T2"))]
+        assert certain_fact(store, schema.dictionary, schema, "R", ("Jones", "D1", "T2"))
+        assert not certain_fact(store, schema.dictionary, schema, "R", ("Jones", "D1", "T1"))
+
+    def test_open_atom_forces_nothing_specific(self, schema):
+        u = schema.dictionary.activate(CategoryExpr(schema.algebra.named("telno")))
+        store = [OpenAtom("R", ("Jones", "D1", u))]
+        for t in ("T1", "T2", "T3"):
+            assert not certain_fact(store, schema.dictionary, schema, "R", ("Jones", "D1", t))
+
+    def test_singleton_narrowed_null_forces_its_value(self, schema):
+        u = schema.dictionary.activate(
+            CategoryExpr(schema.algebra.named("telno"), ee=["T1", "T3"])
+        )
+        store = [OpenAtom("R", ("Jones", "D1", u))]
+        assert certain_fact(store, schema.dictionary, schema, "R", ("Jones", "D1", "T2"))
+
+    def test_empty_store_forces_nothing(self, schema):
+        assert not certain_fact([], schema.dictionary, schema, "R", ("Jones", "D1", "T1"))
+
+
+class TestCertainDisjunction:
+    def test_null_atom_makes_its_disjunction_certain(self, schema):
+        u = schema.dictionary.activate(CategoryExpr(schema.algebra.named("telno")))
+        store = [OpenAtom("R", ("Jones", "D1", u))]
+        query = [("R", ("Jones", "D1", t)) for t in ("T1", "T2", "T3")]
+        assert certain_disjunction(store, schema.dictionary, schema, query)
+
+    def test_partial_disjunction_not_certain(self, schema):
+        u = schema.dictionary.activate(CategoryExpr(schema.algebra.named("telno")))
+        store = [OpenAtom("R", ("Jones", "D1", u))]
+        query = [("R", ("Jones", "D1", t)) for t in ("T1", "T2")]  # missing T3
+        assert not certain_disjunction(store, schema.dictionary, schema, query)
+
+    def test_narrowed_null_narrows_the_needed_disjunction(self, schema):
+        u = schema.dictionary.activate(
+            CategoryExpr(schema.algebra.named("telno"), ee=["T3"])
+        )
+        store = [OpenAtom("R", ("Jones", "D1", u))]
+        query = [("R", ("Jones", "D1", t)) for t in ("T1", "T2")]
+        assert certain_disjunction(store, schema.dictionary, schema, query)
+
+    def test_empty_query_never_certain(self, schema):
+        store = [OpenAtom("R", ("Jones", "D1", "T1"))]
+        assert not certain_disjunction(store, schema.dictionary, schema, [])
+
+    def test_cross_relation_disjunction(self):
+        schema = RelationalSchema.build(
+            constants={"person": ["Jones"], "room": ["R1", "R2"]},
+            relations={
+                "In": [("N", "person"), ("W", "room")],
+                "Out": [("N", "person"), ("W", "room")],
+            },
+        )
+        u = schema.dictionary.activate(CategoryExpr(schema.algebra.named("room")))
+        store = [OpenAtom("In", ("Jones", u))]
+        query = [("In", ("Jones", "R1")), ("In", ("Jones", "R2"))]
+        assert certain_disjunction(store, schema.dictionary, schema, query)
+        mixed = [("In", ("Jones", "R1")), ("Out", ("Jones", "R2"))]
+        assert not certain_disjunction(store, schema.dictionary, schema, mixed)
+
+
+class TestHelpers:
+    def test_possible_fact_is_typing(self, schema):
+        assert possible_fact(schema, "R", ("Jones", "D1", "T1"))
+        assert not possible_fact(schema, "R", ("T1", "D1", "T1"))
+
+    def test_certain_values(self, schema):
+        store = [OpenAtom("R", ("Jones", "D1", "T2"))]
+        got = certain_values(
+            store, schema.dictionary, schema, "R", ("Jones", "D1", None), 2
+        )
+        assert got == frozenset({"T2"})
+
+
+class TestAgreementWithGroundedMirror:
+    """The compact answers must equal the grounded mirror's on the same
+    update scripts (the Section 5.2 'same possible worlds' promise)."""
+
+    def run_jones_script(self, schema, grounded: bool) -> RelationalDatabase:
+        db = RelationalDatabase(schema, grounded=grounded)
+        db.tell(("R", "Jones", "D1", "T2"))
+        db.tell(("R", "Smith", "D2", "T3"))
+        db.where_update(
+            pattern=("R", "Jones", var("y"), ANY),
+            action=("R", "Jones", var("y"), exists(schema.algebra.named("telno"))),
+        )
+        return db
+
+    def test_certain_facts_agree(self, schema):
+        with_mirror = self.run_jones_script(schema, grounded=True)
+        compact_only = self.run_jones_script(schema, grounded=False)
+        for person, dept in (("Jones", "D1"), ("Smith", "D2")):
+            for t in ("T1", "T2", "T3"):
+                assert with_mirror.certain("R", person, dept, t) == (
+                    compact_only.certain("R", person, dept, t)
+                ), (person, dept, t)
+
+    def test_certain_disjunction_agrees(self, schema):
+        with_mirror = self.run_jones_script(schema, grounded=True)
+        compact_only = self.run_jones_script(schema, grounded=False)
+        some_phone = [("R", ("Jones", "D1", t)) for t in ("T1", "T2", "T3")]
+        assert with_mirror.certain_disjunction(some_phone)
+        assert compact_only.certain_disjunction(some_phone)
+        partial = some_phone[:2]
+        assert with_mirror.certain_disjunction(partial) == (
+            compact_only.certain_disjunction(partial)
+        )
+
+    def test_domain_size_independence(self):
+        """Compact answering works where grounding is impractical."""
+        from repro.workloads.generators import directory_schema
+
+        schema = directory_schema(512)  # 4096 ground letters
+        db = RelationalDatabase(schema, grounded=False)
+        telno = schema.algebra.named("telno")
+        u = db.unknown(telno)
+        db.tell(db.atom("R", "P1", "D1", u))
+        query = [("R", ("P1", "D1", f"T{i}")) for i in range(1, 513)]
+        assert db.certain_disjunction(query)
+        assert not db.certain("R", "P1", "D1", "T1")

@@ -1,0 +1,112 @@
+"""Tests for constants and the dictionary (repro.relational.constants)."""
+
+import pytest
+
+from repro.errors import TypeAlgebraError, UnknownConstantError
+from repro.relational.constants import (
+    CategoryExpr,
+    ConstantDictionary,
+    InternalConstant,
+)
+from repro.relational.types import TypeAlgebra
+
+
+@pytest.fixture()
+def setup():
+    algebra = TypeAlgebra(["Jones", "T1", "T2", "T3"])
+    telno = algebra.define("telno", ["T1", "T2", "T3"])
+    person = algebra.define("person", ["Jones"])
+    dictionary = ConstantDictionary(algebra)
+    dictionary.register_external("Jones", person)
+    for t in ("T1", "T2", "T3"):
+        dictionary.register_external(t, telno)
+    return algebra, telno, person, dictionary
+
+
+class TestCategoryExpr:
+    def test_denotation_with_exceptions(self, setup):
+        algebra, telno, person, _ = setup
+        category = CategoryExpr(telno, ie=["Jones"], ee=["T2"])
+        assert category.denotation() == frozenset({"T1", "T3", "Jones"})
+
+    def test_unknown_exception_constant_rejected(self, setup):
+        algebra, telno, _, _ = setup
+        with pytest.raises(TypeAlgebraError):
+            CategoryExpr(telno, ie=["Nobody"])
+
+    def test_excluding_narrows(self, setup):
+        _, telno, _, _ = setup
+        category = CategoryExpr(telno).excluding(["T1"])
+        assert category.denotation() == frozenset({"T2", "T3"})
+
+    def test_restricted_to(self, setup):
+        _, telno, _, _ = setup
+        category = CategoryExpr(telno).restricted_to(frozenset({"T2", "Jones"}))
+        assert category.denotation() == frozenset({"T2"})
+
+    def test_equality(self, setup):
+        _, telno, _, _ = setup
+        assert CategoryExpr(telno, ee=["T1"]) == CategoryExpr(telno, ee=["T1"])
+        assert CategoryExpr(telno) != CategoryExpr(telno, ee=["T1"])
+
+
+class TestDictionary:
+    def test_external_registration_and_lookup(self, setup):
+        _, _, person, dictionary = setup
+        assert dictionary.external_type("Jones") == person
+        assert dictionary.denotation_of("Jones") == frozenset({"Jones"})
+
+    def test_external_must_belong_to_declared_type(self, setup):
+        algebra, telno, _, dictionary = setup
+        with pytest.raises(TypeAlgebraError):
+            dictionary.register_external("Jones", telno)
+
+    def test_unknown_external(self, setup):
+        *_, dictionary = setup
+        with pytest.raises(UnknownConstantError):
+            dictionary.external_type("Nobody")
+        with pytest.raises(UnknownConstantError):
+            dictionary.denotation_of("Nobody")
+
+    def test_activate_fresh_internals(self, setup):
+        _, telno, _, dictionary = setup
+        u1 = dictionary.activate(CategoryExpr(telno))
+        u2 = dictionary.activate(CategoryExpr(telno))
+        assert u1 != u2  # no unique naming: distinct symbols, same category
+        assert dictionary.category_of(u1) == dictionary.category_of(u2)
+
+    def test_inactive_internal_rejected(self, setup):
+        *_, dictionary = setup
+        with pytest.raises(UnknownConstantError):
+            dictionary.category_of(InternalConstant("u99"))
+
+    def test_narrow_updates_category(self, setup):
+        _, telno, _, dictionary = setup
+        u = dictionary.activate(CategoryExpr(telno))
+        dictionary.narrow(u, CategoryExpr(telno, ee=["T1"]))
+        assert dictionary.denotation_of(u) == frozenset({"T2", "T3"})
+
+    def test_active_internals_listing(self, setup):
+        _, telno, _, dictionary = setup
+        u1 = dictionary.activate(CategoryExpr(telno))
+        assert u1 in dictionary.active_internals()
+
+
+class TestSemanticUnificationService:
+    def test_external_external(self, setup):
+        *_, dictionary = setup
+        assert dictionary.intersect("T1", "T1") == frozenset({"T1"})
+        assert dictionary.intersect("T1", "T2") == frozenset()
+
+    def test_internal_external(self, setup):
+        _, telno, _, dictionary = setup
+        u = dictionary.activate(CategoryExpr(telno, ee=["T3"]))
+        assert dictionary.intersect(u, "T1") == frozenset({"T1"})
+        assert dictionary.intersect(u, "T3") == frozenset()
+        assert dictionary.intersect(u, "Jones") == frozenset()
+
+    def test_internal_internal(self, setup):
+        _, telno, _, dictionary = setup
+        u1 = dictionary.activate(CategoryExpr(telno, ee=["T1"]))
+        u2 = dictionary.activate(CategoryExpr(telno, ee=["T2"]))
+        assert dictionary.intersect(u1, u2) == frozenset({"T3"})

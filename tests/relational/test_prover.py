@@ -1,0 +1,204 @@
+"""Tests for the open-clause prover (repro.relational.prover)."""
+
+import itertools
+
+import pytest
+
+from repro.relational.prover import OpenKB
+from repro.relational.schema import RelationalSchema
+
+
+@pytest.fixture()
+def schema():
+    return RelationalSchema.build(
+        constants={
+            "person": ["Jones", "Smith"],
+            "telno": ["T1", "T2", "T3"],
+        },
+        relations={
+            "Phone": [("N", "person"), ("T", "telno")],
+            "Busy": [("N", "person")],
+        },
+    )
+
+
+class TestSatisfiability:
+    def test_empty_kb_satisfiable(self, schema):
+        assert OpenKB(schema).is_satisfiable()
+
+    def test_ground_contradiction(self, schema):
+        kb = OpenKB(schema)
+        kb.add_fact("Busy", "Jones")
+        kb.add_denial("Busy", "Jones")
+        assert not kb.is_satisfiable()
+
+    def test_null_escapes_single_denial(self, schema):
+        # Phone(Jones, u) & ~Phone(Jones, T2): satisfiable with u != T2.
+        kb = OpenKB(schema)
+        u = kb.new_null(schema.algebra.named("telno"))
+        kb.add_fact("Phone", "Jones", u)
+        kb.add_denial("Phone", "Jones", "T2")
+        assert kb.is_satisfiable()
+
+    def test_null_cornered_by_denials(self, schema):
+        # Denying every possible value of u is unsatisfiable.
+        kb = OpenKB(schema)
+        u = kb.new_null(schema.algebra.named("telno"))
+        kb.add_fact("Phone", "Jones", u)
+        for t in ("T1", "T2", "T3"):
+            kb.add_denial("Phone", "Jones", t)
+        assert not kb.is_satisfiable()
+
+    def test_narrowed_null_cornered_faster(self, schema):
+        kb = OpenKB(schema)
+        u = kb.new_null(schema.algebra.named("telno"), ee=["T2", "T3"])
+        kb.add_fact("Phone", "Jones", u)
+        kb.add_denial("Phone", "Jones", "T1")
+        assert not kb.is_satisfiable()
+
+
+class TestEntailment:
+    def test_unit_fact_entailed(self, schema):
+        kb = OpenKB(schema)
+        kb.add_fact("Phone", "Jones", "T1")
+        assert kb.entails_fact("Phone", "Jones", "T1")
+        assert not kb.entails_fact("Phone", "Jones", "T2")
+
+    def test_null_entails_disjunction_not_members(self, schema):
+        kb = OpenKB(schema)
+        u = kb.new_null(schema.algebra.named("telno"))
+        kb.add_fact("Phone", "Jones", u)
+        disjunction = [
+            (True, "Phone", ("Jones", t)) for t in ("T1", "T2", "T3")
+        ]
+        assert kb.entails_clause(disjunction)
+        assert not kb.entails_clause(disjunction[:2])
+        assert not kb.entails_fact("Phone", "Jones", "T1")
+
+    def test_rules_with_nulls_propagate(self, schema):
+        # ~Phone(Jones, x) | Busy(Jones) for every x, plus Phone(Jones, u):
+        # Busy(Jones) follows whatever u is.
+        kb = OpenKB(schema)
+        u = kb.new_null(schema.algebra.named("telno"))
+        kb.add_fact("Phone", "Jones", u)
+        for t in ("T1", "T2", "T3"):
+            kb.add_clause(
+                [(False, "Phone", ("Jones", t)), (True, "Busy", ("Jones",))]
+            )
+        assert kb.entails_fact("Busy", "Jones")
+
+    def test_rule_with_null_in_rule_clause(self, schema):
+        # A clause may itself carry a null: ~Phone(Jones, u) | Busy(Jones)
+        # with the SAME u as the fact -- entailment goes through because
+        # u co-varies.
+        kb = OpenKB(schema)
+        u = kb.new_null(schema.algebra.named("telno"))
+        kb.add_fact("Phone", "Jones", u)
+        kb.add_clause([(False, "Phone", ("Jones", u)), (True, "Busy", ("Jones",))])
+        assert kb.entails_fact("Busy", "Jones")
+
+    def test_unsatisfiable_kb_entails_everything(self, schema):
+        kb = OpenKB(schema)
+        kb.add_fact("Busy", "Jones")
+        kb.add_denial("Busy", "Jones")
+        assert kb.entails_fact("Phone", "Smith", "T3")
+        assert kb.entails_clause([])
+
+    def test_empty_disjunction_only_from_unsat(self, schema):
+        kb = OpenKB(schema)
+        kb.add_fact("Busy", "Jones")
+        assert not kb.entails_clause([])
+
+    def test_pruning_no_positive_support(self, schema):
+        # Busy(Smith) appears nowhere positively: cannot be entailed.
+        kb = OpenKB(schema)
+        u = kb.new_null(schema.algebra.named("telno"))
+        kb.add_fact("Phone", "Jones", u)
+        kb.add_denial("Busy", "Jones")
+        assert not kb.entails_fact("Busy", "Smith")
+
+
+class TestAgainstExhaustiveSemantics:
+    """Cross-check the prover against brute-force (valuation, world)
+    enumeration on a small schema."""
+
+    def brute_force_entails(self, kb: OpenKB, relation, args) -> bool:
+        from repro.logic.semantics import models_of_clauses
+
+        target = kb.grounding.vocabulary.index_of(
+            kb.grounding.proposition_name(relation, tuple(args))
+        )
+        any_world = False
+        for valuation in kb._valuations():
+            instantiated = kb._instantiate(kb.clauses, valuation)
+            if instantiated is None:
+                continue
+            for world in models_of_clauses(instantiated):
+                any_world = True
+                if not world >> target & 1:
+                    return False
+        return True  # vacuously if no worlds
+
+    def test_agreement_on_random_kbs(self, schema):
+        import random
+
+        rng = random.Random(13)
+        people = ["Jones", "Smith"]
+        phones = ["T1", "T2", "T3"]
+        for trial in range(8):
+            kb = OpenKB(schema)
+            u = kb.new_null(schema.algebra.named("telno"))
+            for _ in range(rng.randint(1, 3)):
+                kb.add_fact("Phone", rng.choice(people), rng.choice(phones + [u]))
+            if rng.random() < 0.5:
+                kb.add_denial("Phone", rng.choice(people), rng.choice(phones))
+            for person, phone in itertools.product(people, phones):
+                expected = self.brute_force_entails(kb, "Phone", (person, phone))
+                assert kb.entails_fact("Phone", person, phone) == expected, (
+                    trial,
+                    person,
+                    phone,
+                )
+
+
+class TestUniversalClauses:
+    def test_expansion_count(self, schema):
+        kb = OpenKB(schema)
+        added = kb.add_universal_clause(
+            {"p": schema.algebra.named("person")},
+            [(False, "Busy", ("p",)), (True, "Busy", ("p",))],
+        )
+        assert added == 2  # Jones and Smith
+
+    def test_universal_rule_fires_for_every_instance(self, schema):
+        # forall p: ~Phone(p, T1) | Busy(p).
+        kb = OpenKB(schema)
+        kb.add_universal_clause(
+            {"p": schema.algebra.named("person")},
+            [(False, "Phone", ("p", "T1")), (True, "Busy", ("p",))],
+        )
+        kb.add_fact("Phone", "Jones", "T1")
+        kb.add_fact("Phone", "Smith", "T1")
+        assert kb.entails_fact("Busy", "Jones")
+        assert kb.entails_fact("Busy", "Smith")
+
+    def test_universal_rule_interacts_with_nulls(self, schema):
+        # forall t: ~Phone(Jones, t) | Busy(Jones), plus Phone(Jones, u):
+        # Busy(Jones) follows whatever u denotes.
+        kb = OpenKB(schema)
+        u = kb.new_null(schema.algebra.named("telno"))
+        kb.add_fact("Phone", "Jones", u)
+        kb.add_universal_clause(
+            {"t": schema.algebra.named("telno")},
+            [(False, "Phone", ("Jones", "t")), (True, "Busy", ("Jones",))],
+        )
+        assert kb.entails_fact("Busy", "Jones")
+
+    def test_two_variables_expand_as_product(self, schema):
+        kb = OpenKB(schema)
+        added = kb.add_universal_clause(
+            {"p": schema.algebra.named("person"),
+             "t": schema.algebra.named("telno")},
+            [(True, "Phone", ("p", "t"))],
+        )
+        assert added == 2 * 3

@@ -1,0 +1,93 @@
+"""Property-based tests for the relational layer."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.relational.atoms import OpenAtom, atom_valuations
+from repro.relational.constants import CategoryExpr
+from repro.relational.grounding import Grounding
+from repro.relational.schema import RelationalSchema
+
+
+def make_schema():
+    return RelationalSchema.build(
+        constants={
+            "person": ["Jones", "Smith"],
+            "dept": ["D1", "D2"],
+            "telno": ["T1", "T2", "T3"],
+        },
+        relations={"R": [("N", "person"), ("D", "dept"), ("T", "telno")]},
+    )
+
+
+SCHEMA = make_schema()
+GROUNDING = Grounding(SCHEMA)
+
+people = st.sampled_from(["Jones", "Smith"])
+depts = st.sampled_from(["D1", "D2"])
+phones = st.sampled_from(["T1", "T2", "T3"])
+ground_facts = st.tuples(people, depts, phones)
+
+
+@given(ground_facts)
+@settings(max_examples=60, deadline=None)
+def test_proposition_name_roundtrip(args):
+    name = GROUNDING.proposition_name("R", args)
+    assert GROUNDING.fact_of(name) == ("R", args)
+    assert name in GROUNDING.vocabulary
+
+
+@given(ground_facts)
+@settings(max_examples=60, deadline=None)
+def test_ground_atom_formula_is_its_variable(args):
+    formula = GROUNDING.atom_formula(OpenAtom("R", args))
+    assert str(formula) == GROUNDING.proposition_name("R", args)
+
+
+@given(people, depts, st.sets(phones, max_size=2))
+@settings(max_examples=60, deadline=None)
+def test_open_atom_disjunction_size_equals_denotation(person, dept, excluded):
+    schema = make_schema()
+    grounding = Grounding(schema)
+    telno = schema.algebra.named("telno")
+    denotation_size = 3 - len(excluded)
+    if denotation_size == 0:
+        return
+    u = schema.dictionary.activate(CategoryExpr(telno, ee=excluded))
+    formula = grounding.atom_formula(OpenAtom("R", (person, dept, u)))
+    assert len(formula.props()) == denotation_size
+
+
+@given(st.sets(phones, min_size=1, max_size=3), st.sets(phones, min_size=1, max_size=3))
+@settings(max_examples=60, deadline=None)
+def test_dictionary_intersection_is_set_intersection(left_allowed, right_allowed):
+    schema = make_schema()
+    telno = schema.algebra.named("telno")
+    u1 = schema.dictionary.activate(
+        CategoryExpr(schema.algebra.empty, ie=left_allowed)
+    )
+    u2 = schema.dictionary.activate(
+        CategoryExpr(schema.algebra.empty, ie=right_allowed)
+    )
+    assert schema.dictionary.intersect(u1, u2) == frozenset(left_allowed) & frozenset(
+        right_allowed
+    )
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=30, deadline=None)
+def test_shared_null_valuations_covary(seed):
+    rng = random.Random(seed)
+    schema = make_schema()
+    telno = schema.algebra.named("telno")
+    u = schema.dictionary.activate(CategoryExpr(telno))
+    person = rng.choice(["Jones", "Smith"])
+    atoms = [
+        OpenAtom("R", (person, "D1", u)),
+        OpenAtom("R", (person, "D2", u)),
+    ]
+    for valuation in atom_valuations(atoms, schema.dictionary, schema):
+        grounded = [a.instantiate(valuation) for a in atoms]
+        # The same null takes the same value in both atoms.
+        assert grounded[0].args[2] == grounded[1].args[2]

@@ -1,0 +1,141 @@
+"""Tests for relational schemata and grounding (schema.py, grounding.py, atoms.py)."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.atoms import OpenAtom, atom_valuations
+from repro.relational.constants import CategoryExpr
+from repro.relational.grounding import Grounding
+from repro.relational.schema import RelationalSchema
+
+
+@pytest.fixture()
+def schema():
+    return RelationalSchema.build(
+        constants={
+            "person": ["Jones", "Smith"],
+            "dept": ["D1", "D2"],
+            "telno": ["T1", "T2", "T3"],
+        },
+        relations={
+            "R": [("N", "person"), ("D", "dept"), ("T", "telno")],
+            "Head": [("D", "dept"), ("N", "person")],
+        },
+    )
+
+
+class TestSchema:
+    def test_ground_fact_count(self, schema):
+        # R: 2*2*3 = 12, Head: 2*2 = 4.
+        assert schema.ground_fact_count() == 16
+        assert len(list(schema.ground_facts())) == 16
+
+    def test_typing_constraints(self, schema):
+        r = schema.relation("R")
+        assert r.admits(("Jones", "D1", "T2"))
+        assert not r.admits(("T1", "D1", "T2"))    # person slot needs a person
+        assert not r.admits(("Jones", "D1"))        # arity
+
+    def test_unknown_relation(self, schema):
+        with pytest.raises(SchemaError):
+            schema.relation("Nope")
+
+    def test_smallest_type_registration(self, schema):
+        assert schema.dictionary.external_type("Jones").label == "person"
+
+
+class TestGrounding:
+    def test_vocabulary_names(self, schema):
+        grounding = Grounding(schema)
+        assert "R.Jones.D1.T2" in grounding.vocabulary
+        assert "Head.D1.Jones" in grounding.vocabulary
+        assert len(grounding.vocabulary) == 16
+
+    def test_fact_roundtrip(self, schema):
+        grounding = Grounding(schema)
+        name = grounding.proposition_name("R", ("Jones", "D1", "T2"))
+        assert grounding.fact_of(name) == ("R", ("Jones", "D1", "T2"))
+
+    def test_fact_variable_validates(self, schema):
+        grounding = Grounding(schema)
+        with pytest.raises(SchemaError):
+            grounding.fact_variable("R", ("T1", "D1", "T2"))
+
+    def test_facts_of_relation(self, schema):
+        grounding = Grounding(schema)
+        assert len(grounding.facts_of_relation("Head")) == 4
+
+    def test_ground_atom_formula_is_variable(self, schema):
+        grounding = Grounding(schema)
+        atom = OpenAtom("R", ("Jones", "D1", "T2"))
+        assert str(grounding.atom_formula(atom)) == "R.Jones.D1.T2"
+
+    def test_open_atom_formula_is_enormous_disjunction(self, schema):
+        # Section 5.1.1: the update formula is the disjunction over telnos.
+        grounding = Grounding(schema)
+        u = schema.dictionary.activate(
+            CategoryExpr(schema.algebra.named("telno"))
+        )
+        formula = grounding.atom_formula(OpenAtom("R", ("Jones", "D1", u)))
+        assert formula.props() == {
+            "R.Jones.D1.T1",
+            "R.Jones.D1.T2",
+            "R.Jones.D1.T3",
+        }
+
+    def test_shared_internal_constant_covaries(self, schema):
+        # Head(D1, u) & R(u-person, ...): same u must take one value in
+        # both conjuncts of each disjunct.
+        grounding = Grounding(schema)
+        u = schema.dictionary.activate(
+            CategoryExpr(schema.algebra.named("person"))
+        )
+        formula = grounding.atoms_formula(
+            [OpenAtom("Head", ("D1", u)), OpenAtom("R", (u, "D1", "T1"))]
+        )
+        text = str(formula)
+        # Two disjuncts: u = Jones and u = Smith, each a conjunction.
+        assert "Head.D1.Jones & R.Jones.D1.T1" in text.replace("(", "").replace(")", "")
+        assert "Head.D1.Smith & R.Smith.D1.T1" in text.replace("(", "").replace(")", "")
+
+    def test_empty_valuation_set_rejected(self, schema):
+        grounding = Grounding(schema)
+        u = schema.dictionary.activate(
+            CategoryExpr(schema.algebra.named("telno"), ee=["T1", "T2", "T3"])
+        )
+        with pytest.raises(SchemaError):
+            OpenAtom("R", ("Jones", "D1", u)).validate(schema, schema.dictionary)
+
+
+class TestOpenAtoms:
+    def test_internals_deduplicated(self, schema):
+        u = schema.dictionary.activate(CategoryExpr(schema.algebra.named("dept")))
+        atom = OpenAtom("Head", (u, "Jones"))
+        assert atom.internals() == (u,)
+        assert not atom.is_ground()
+
+    def test_instantiate(self, schema):
+        u = schema.dictionary.activate(CategoryExpr(schema.algebra.named("dept")))
+        atom = OpenAtom("Head", (u, "Jones"))
+        grounded = atom.instantiate({u.ident: "D2"})
+        assert grounded == OpenAtom("Head", ("D2", "Jones"))
+        assert grounded.is_ground()
+
+    def test_validate_rejects_bad_arity_and_typing(self, schema):
+        with pytest.raises(SchemaError):
+            OpenAtom("R", ("Jones", "D1")).validate(schema, schema.dictionary)
+        with pytest.raises(SchemaError):
+            OpenAtom("R", ("D1", "D1", "T1")).validate(schema, schema.dictionary)
+
+    def test_valuations_respect_typing(self, schema):
+        # An internal constant of the universal type filling a dept slot
+        # only enumerates departments.
+        u = schema.dictionary.activate(CategoryExpr(schema.algebra.universal))
+        atom = OpenAtom("Head", (u, "Jones"))
+        values = {v[u.ident] for v in atom_valuations([atom], schema.dictionary, schema)}
+        assert values == {"D1", "D2"}
+
+    def test_ground_args_guard(self, schema):
+        u = schema.dictionary.activate(CategoryExpr(schema.algebra.named("dept")))
+        with pytest.raises(SchemaError):
+            OpenAtom("Head", (u, "Jones")).ground_args()

@@ -1,0 +1,127 @@
+"""Tests for semantic resolution over open atoms (Section 5.2)."""
+
+import pytest
+
+from repro.relational.atoms import OpenAtom
+from repro.relational.constants import CategoryExpr, ConstantDictionary
+from repro.relational.semantic_resolution import (
+    OpenClause,
+    SignedAtom,
+    semantic_resolvent,
+    semantic_unify,
+)
+from repro.relational.types import TypeAlgebra
+
+
+@pytest.fixture()
+def setup():
+    algebra = TypeAlgebra(["Jones", "Smith", "T1", "T2", "T3"])
+    person = algebra.define("person", ["Jones", "Smith"])
+    telno = algebra.define("telno", ["T1", "T2", "T3"])
+    dictionary = ConstantDictionary(algebra)
+    for name, t in [("Jones", person), ("Smith", person)] + [
+        (x, telno) for x in ("T1", "T2", "T3")
+    ]:
+        dictionary.register_external(name, t)
+    return algebra, person, telno, dictionary
+
+
+class TestSemanticUnify:
+    def test_identical_ground_atoms(self, setup):
+        *_, dictionary = setup
+        a = OpenAtom("Phone", ("Jones", "T1"))
+        assert semantic_unify(dictionary, a, a) == {}
+
+    def test_different_constants_fail(self, setup):
+        *_, dictionary = setup
+        left = OpenAtom("Phone", ("Jones", "T1"))
+        right = OpenAtom("Phone", ("Jones", "T2"))
+        assert semantic_unify(dictionary, left, right) is None
+
+    def test_different_relations_fail(self, setup):
+        *_, dictionary = setup
+        left = OpenAtom("Phone", ("Jones", "T1"))
+        right = OpenAtom("Fax", ("Jones", "T1"))
+        assert semantic_unify(dictionary, left, right) is None
+
+    def test_internal_vs_external_narrows(self, setup):
+        _, _, telno, dictionary = setup
+        u = dictionary.activate(CategoryExpr(telno))
+        left = OpenAtom("Phone", ("Jones", u))
+        right = OpenAtom("Phone", ("Jones", "T2"))
+        assert semantic_unify(dictionary, left, right) == {
+            u.ident: frozenset({"T2"})
+        }
+
+    def test_internal_vs_external_outside_category_fails(self, setup):
+        _, _, telno, dictionary = setup
+        u = dictionary.activate(CategoryExpr(telno, ee=["T2"]))
+        left = OpenAtom("Phone", ("Jones", u))
+        right = OpenAtom("Phone", ("Jones", "T2"))
+        assert semantic_unify(dictionary, left, right) is None
+
+    def test_internal_vs_internal(self, setup):
+        _, _, telno, dictionary = setup
+        u1 = dictionary.activate(CategoryExpr(telno, ee=["T1"]))
+        u2 = dictionary.activate(CategoryExpr(telno, ee=["T3"]))
+        got = semantic_unify(
+            dictionary,
+            OpenAtom("Phone", ("Jones", u1)),
+            OpenAtom("Phone", ("Jones", u2)),
+        )
+        assert got == {u1.ident: frozenset({"T2"}), u2.ident: frozenset({"T2"})}
+
+    def test_repeated_internal_constant_consistency(self, setup):
+        # Pair(u, u) against Pair(T1, T2): positionwise intersections are
+        # nonempty but the shared u cannot be both T1 and T2.
+        _, _, telno, dictionary = setup
+        u = dictionary.activate(CategoryExpr(telno))
+        left = OpenAtom("Pair", (u, u))
+        right = OpenAtom("Pair", ("T1", "T2"))
+        assert semantic_unify(dictionary, left, right) is None
+
+
+class TestSemanticResolvent:
+    def test_basic_resolution(self, setup):
+        *_, dictionary = setup
+        p = SignedAtom(OpenAtom("Phone", ("Jones", "T1")))
+        n = p.negated()
+        q = SignedAtom(OpenAtom("Phone", ("Smith", "T2")))
+        left = OpenClause([p, q])
+        right = OpenClause([n])
+        resolvent = semantic_resolvent(dictionary, left, right, on=(p, n))
+        assert resolvent == OpenClause([q])
+
+    def test_resolution_with_null(self, setup):
+        _, _, telno, dictionary = setup
+        u = dictionary.activate(CategoryExpr(telno))
+        p = SignedAtom(OpenAtom("Phone", ("Jones", u)))
+        n = SignedAtom(OpenAtom("Phone", ("Jones", "T2")), positive=False)
+        resolvent = semantic_resolvent(
+            dictionary, OpenClause([p]), OpenClause([n]), on=(p, n)
+        )
+        assert resolvent == OpenClause([])  # empty clause: contradiction found
+
+    def test_non_unifiable_pair_returns_none(self, setup):
+        *_, dictionary = setup
+        p = SignedAtom(OpenAtom("Phone", ("Jones", "T1")))
+        n = SignedAtom(OpenAtom("Phone", ("Jones", "T2")), positive=False)
+        assert semantic_resolvent(
+            dictionary, OpenClause([p]), OpenClause([n]), on=(p, n)
+        ) is None
+
+    def test_polarity_checked(self, setup):
+        *_, dictionary = setup
+        p = SignedAtom(OpenAtom("Phone", ("Jones", "T1")))
+        assert semantic_resolvent(
+            dictionary, OpenClause([p]), OpenClause([p]), on=(p, p)
+        ) is None
+
+    def test_literals_must_belong_to_clauses(self, setup):
+        *_, dictionary = setup
+        p = SignedAtom(OpenAtom("Phone", ("Jones", "T1")))
+        n = p.negated()
+        other = SignedAtom(OpenAtom("Phone", ("Smith", "T1")))
+        assert semantic_resolvent(
+            dictionary, OpenClause([other]), OpenClause([n]), on=(p, n)
+        ) is None

@@ -1,0 +1,171 @@
+"""Tests for RelationalDatabase, including the Jones motivating example
+(Sections 5.1.1 and 5.2)."""
+
+import pytest
+
+from repro.relational.language import ANY, exists, var
+from repro.relational.schema import RelationalSchema
+from repro.relational.session import RelationalDatabase
+
+
+@pytest.fixture()
+def schema():
+    return RelationalSchema.build(
+        constants={
+            "person": ["Jones", "Smith"],
+            "dept": ["D1", "D2"],
+            "telno": ["T1", "T2", "T3", "T4"],
+        },
+        relations={"R": [("N", "person"), ("D", "dept"), ("T", "telno")]},
+    )
+
+
+@pytest.fixture()
+def db(schema):
+    database = RelationalDatabase(schema)
+    database.tell(("R", "Jones", "D1", "T2"))
+    database.tell(("R", "Smith", "D2", "T4"))
+    return database
+
+
+class TestTellAndQuery:
+    def test_told_facts_are_certain(self, db):
+        assert db.certain("R", "Jones", "D1", "T2")
+        assert db.certain("R", "Smith", "D2", "T4")
+
+    def test_untold_facts_are_open(self, db):
+        assert not db.certain("R", "Jones", "D2", "T1")
+        assert db.possible("R", "Jones", "D2", "T1")
+
+    def test_tell_with_null_gives_disjunctive_knowledge(self, db, schema):
+        telno = schema.algebra.named("telno")
+        u = db.unknown(telno, ee=["T4"])
+        db.tell(db.atom("R", "Smith", "D1", u))
+        # Some phone among T1..T3 is certain, no single one is.
+        assert db.grounded.is_certain(
+            "R.Smith.D1.T1 | R.Smith.D1.T2 | R.Smith.D1.T3"
+        )
+        assert not any(
+            db.certain("R", "Smith", "D1", t) for t in ("T1", "T2", "T3")
+        )
+        assert db.possible_values("R", ("Smith", "D1", None), 2) >= frozenset(
+            {"T1", "T2", "T3"}
+        )
+
+    def test_retract(self, db):
+        db.retract("R", "Jones", "D1", "T2")
+        assert not db.certain("R", "Jones", "D1", "T2")
+        assert not db.possible("R", "Jones", "D1", "T2")
+        assert ("R", ("Jones", "D1", "T2")) not in [
+            (a.relation, a.args) for a in db.store
+        ]
+
+    def test_forget(self, db):
+        db.forget("R", "Jones", "D1", "T2")
+        assert not db.certain("R", "Jones", "D1", "T2")
+        assert db.possible("R", "Jones", "D1", "T2")  # masked, not denied
+
+
+class TestBindings:
+    def test_pattern_matching_against_store(self, db):
+        bindings = db.bindings(("R", var("x"), var("y"), ANY))
+        assert {tuple(sorted(b.items())) for b in bindings} == {
+            (("x", "Jones"), ("y", "D1")),
+            (("x", "Smith"), ("y", "D2")),
+        }
+
+    def test_environment_restricts(self, db):
+        bindings = db.bindings(("R", var("x"), var("y"), ANY), {"x": "Jones"})
+        assert bindings == [{"x": "Jones", "y": "D1"}]
+
+    def test_repeated_variable_must_corefer(self, db, schema):
+        db.tell(("R", "Jones", "D2", "T1"))
+        # No atom has N == T slot value, trivially; use a same-typed pair:
+        bindings = db.bindings(("R", var("x"), "D1", ANY))
+        assert bindings == [{"x": "Jones"}]
+
+    def test_null_valued_position_does_not_bind(self, db, schema):
+        telno = schema.algebra.named("telno")
+        u = db.unknown(telno)
+        db.tell(db.atom("R", "Smith", "D1", u))
+        bindings = db.bindings(("R", "Smith", "D1", var("t")))
+        assert bindings == []  # the value is unknown; no external binding
+
+
+class TestJonesExample:
+    """Section 5.1.1: 'Jones has a new telephone number.'"""
+
+    def test_full_flow(self, db, schema):
+        telno = schema.algebra.named("telno")
+        bindings = db.where_update(
+            pattern=("R", "Jones", var("y"), ANY),
+            action=("R", "Jones", var("y"), exists(telno)),
+        )
+        # Unique department -> exactly one binding.
+        assert bindings == [{"y": "D1"}]
+        # The old number is no longer certain -- but remains possible.
+        assert not db.certain("R", "Jones", "D1", "T2")
+        assert db.possible("R", "Jones", "D1", "T2")
+        # *Some* number is certain.
+        assert db.grounded.is_certain(
+            " | ".join(f"R.Jones.D1.T{i}" for i in range(1, 5))
+        )
+        # Every number is possible.
+        assert db.possible_values("R", ("Jones", "D1", None), 2) == frozenset(
+            {"T1", "T2", "T3", "T4"}
+        )
+        # Smith's record is untouched (the mask covered only Jones/D1 letters).
+        assert db.certain("R", "Smith", "D2", "T4")
+
+    def test_compact_store_replaced_by_open_atom(self, db, schema):
+        telno = schema.algebra.named("telno")
+        db.where_update(
+            pattern=("R", "Jones", var("y"), ANY),
+            action=("R", "Jones", var("y"), exists(telno)),
+        )
+        jones_atoms = [a for a in db.store if a.args[0] == "Jones"]
+        assert len(jones_atoms) == 1
+        assert not jones_atoms[0].is_ground()
+
+    def test_two_departments_two_bindings(self, db, schema):
+        telno = schema.algebra.named("telno")
+        db.tell(("R", "Jones", "D2", "T1"))
+        bindings = db.where_update(
+            pattern=("R", "Jones", var("y"), ANY),
+            action=("R", "Jones", var("y"), exists(telno)),
+        )
+        assert sorted(b["y"] for b in bindings) == ["D1", "D2"]
+
+    def test_representation_sizes(self, db, schema):
+        """The efficiency claim: the compact store stays O(1) per fact
+        while the grounded state's vocabulary scales with the domain."""
+        telno = schema.algebra.named("telno")
+        before = db.compact_size()
+        db.where_update(
+            pattern=("R", "Jones", var("y"), ANY),
+            action=("R", "Jones", var("y"), exists(telno)),
+        )
+        after = db.compact_size()
+        assert after == before  # one atom replaced by one atom
+        assert len(db.grounding.vocabulary) == 16  # 2*2*4 grounded letters
+
+
+class TestGroundedMirrorOptional:
+    def test_compact_only_mode(self, schema):
+        db = RelationalDatabase(schema, grounded=False)
+        db.tell(("R", "Jones", "D1", "T2"))
+        assert db.grounded is None
+        assert db.certain("R", "Jones", "D1", "T2")
+        assert db.grounded_size() == 0
+
+    def test_compact_only_certainty_requires_unique_denotation(self, schema):
+        telno = schema.algebra.named("telno")
+        db = RelationalDatabase(schema, grounded=False)
+        u = db.unknown(telno)
+        db.tell(db.atom("R", "Jones", "D1", u))
+        assert not db.certain("R", "Jones", "D1", "T2")
+
+    def test_instance_backend_mirror(self, schema):
+        db = RelationalDatabase(schema, backend="instance")
+        db.tell(("R", "Jones", "D1", "T2"))
+        assert db.certain("R", "Jones", "D1", "T2")

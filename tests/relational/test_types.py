@@ -1,0 +1,78 @@
+"""Tests for the Boolean algebra of types (repro.relational.types)."""
+
+import pytest
+
+from repro.errors import TypeAlgebraError
+from repro.relational.types import TypeAlgebra
+
+
+@pytest.fixture()
+def algebra():
+    return TypeAlgebra(["Jones", "Smith", "D1", "D2", "T1", "T2"])
+
+
+class TestAlgebraConstruction:
+    def test_empty_universe_rejected(self):
+        with pytest.raises(TypeAlgebraError):
+            TypeAlgebra([])
+
+    def test_define_and_lookup(self, algebra):
+        people = algebra.define("person", ["Jones", "Smith"])
+        assert algebra.named("person") == people
+        assert "Jones" in people
+
+    def test_unknown_member_rejected(self, algebra):
+        with pytest.raises(TypeAlgebraError, match="unknown constants"):
+            algebra.define("bad", ["Nobody"])
+
+    def test_duplicate_name_rejected(self, algebra):
+        algebra.define("t", ["T1"])
+        with pytest.raises(TypeAlgebraError, match="already"):
+            algebra.define("t", ["T2"])
+
+    def test_unknown_type_lookup(self, algebra):
+        with pytest.raises(TypeAlgebraError, match="unknown type"):
+            algebra.named("nope")
+
+    def test_universal_and_empty(self, algebra):
+        assert algebra.universal.members == algebra.universe
+        assert algebra.empty.is_empty()
+
+    def test_singleton(self, algebra):
+        assert algebra.singleton("D1").members == frozenset({"D1"})
+        with pytest.raises(TypeAlgebraError):
+            algebra.singleton("Nobody")
+
+    def test_names_sorted(self, algebra):
+        algebra.define("b", ["T1"])
+        algebra.define("a", ["T2"])
+        assert algebra.names() == ("a", "b")
+
+
+class TestBooleanOperations:
+    def test_boolean_laws(self, algebra):
+        people = algebra.define("person", ["Jones", "Smith"])
+        depts = algebra.define("dept", ["D1", "D2"])
+        assert (people & depts).is_empty()
+        assert (people | depts).members == frozenset({"Jones", "Smith", "D1", "D2"})
+        assert (~people).members == algebra.universe - people.members
+        assert (people - algebra.singleton("Jones")).members == frozenset({"Smith"})
+
+    def test_de_morgan(self, algebra):
+        a = algebra.define("a", ["Jones", "D1"])
+        b = algebra.define("b", ["D1", "T1"])
+        assert ~(a | b) == (~a) & (~b)
+
+    def test_order(self, algebra):
+        people = algebra.define("person", ["Jones", "Smith"])
+        assert algebra.singleton("Jones") <= people
+        assert people <= algebra.universal
+
+    def test_cross_algebra_operations_rejected(self, algebra):
+        other = TypeAlgebra(["X"])
+        with pytest.raises(TypeAlgebraError):
+            algebra.universal & other.universal
+
+    def test_iteration_sorted(self, algebra):
+        t = algebra.define("person", ["Smith", "Jones"])
+        assert list(t) == ["Jones", "Smith"]

@@ -1,0 +1,113 @@
+"""Tests for the measurement harness (repro.bench.harness)."""
+
+import math
+
+import pytest
+
+from repro.bench.harness import (
+    Report,
+    fit_exponential_base,
+    fit_loglog_slope,
+    measure_seconds,
+)
+
+
+class TestFitting:
+    def test_linear_data_has_slope_one(self):
+        sizes = [100, 200, 400, 800]
+        values = [3 * s for s in sizes]
+        assert abs(fit_loglog_slope(sizes, values) - 1.0) < 1e-9
+
+    def test_quadratic_data_has_slope_two(self):
+        sizes = [10, 20, 40, 80]
+        values = [0.5 * s * s for s in sizes]
+        assert abs(fit_loglog_slope(sizes, values) - 2.0) < 1e-9
+
+    def test_constant_data_has_slope_zero(self):
+        assert abs(fit_loglog_slope([1, 2, 4], [5, 5, 5])) < 1e-9
+
+    def test_zero_values_clamped_not_crashing(self):
+        slope = fit_loglog_slope([1, 2, 4], [0.0, 0.0, 0.0])
+        assert math.isfinite(slope)
+
+    def test_exponential_base_recovered(self):
+        sizes = [4, 6, 8, 10]
+        values = [7 * (1.5 ** s) for s in sizes]
+        assert abs(fit_exponential_base(sizes, values) - 1.5) < 1e-9
+
+    def test_exponential_base_of_flat_data_is_one(self):
+        assert abs(fit_exponential_base([1, 2, 3], [4, 4, 4]) - 1.0) < 1e-9
+
+    def test_degenerate_single_point(self):
+        # Zero variance in x: slope defined as 0.
+        assert fit_loglog_slope([5, 5], [1, 2]) == 0.0
+
+
+class TestMeasureSeconds:
+    def test_returns_positive_minimum(self):
+        seconds = measure_seconds(lambda: sum(range(1000)), repeat=3)
+        assert seconds > 0
+
+    def test_minimum_of_repeats(self):
+        calls = []
+
+        def variable_cost():
+            calls.append(None)
+            # Later calls do less work.
+            limit = 100_000 // len(calls)
+            return sum(range(limit))
+
+        best = measure_seconds(variable_cost, repeat=3)
+        single = measure_seconds(lambda: sum(range(100_000)), repeat=1)
+        assert best <= single * 2  # the fast repeat dominates
+
+
+class TestReport:
+    def make_report(self) -> Report:
+        report = Report(
+            ident="EX",
+            title="demo",
+            claim="things scale",
+            columns=("size", "value"),
+        )
+        report.add_row(10, 1.5)
+        report.add_row(200, 30.25)
+        report.observed = "slope about 1"
+        report.holds = True
+        return report
+
+    def test_render_contains_everything(self):
+        text = self.make_report().render()
+        assert "EX: demo" in text
+        assert "things scale" in text
+        assert "slope about 1" in text
+        assert "SHAPE HOLDS" in text
+        assert "200" in text and "30.25" in text
+
+    def test_diverging_verdict_rendered(self):
+        report = self.make_report()
+        report.holds = False
+        assert "DIVERGES" in report.render()
+
+    def test_no_verdict_line_when_unset(self):
+        report = Report(ident="E0", title="t", claim="c", columns=("a",))
+        assert "verdict" not in report.render()
+
+    def test_row_width_checked(self):
+        report = self.make_report()
+        with pytest.raises(ValueError, match="row width"):
+            report.add_row(1, 2, 3)
+
+    def test_columns_align(self):
+        lines = self.make_report().render().splitlines()
+        data_lines = [l for l in lines if l and l[0].isdigit()]
+        header_line = next(l for l in lines if l.startswith("size"))
+        assert all(len(l) <= len(header_line) + 10 for l in data_lines)
+
+    def test_str_is_render(self):
+        report = self.make_report()
+        assert str(report) == report.render()
+
+    def test_empty_report_renders(self):
+        report = Report(ident="E0", title="t", claim="c", columns=("only",))
+        assert "only" in report.render()

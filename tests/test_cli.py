@@ -1,0 +1,127 @@
+"""Tests for the interactive HLU shell (repro.cli)."""
+
+import pytest
+
+from repro.cli import Shell, main
+
+
+@pytest.fixture()
+def shell():
+    return Shell(5)
+
+
+class TestUpdates:
+    def test_apply_program(self, shell):
+        assert shell.execute("(insert {A1 | A2})") == "ok"
+        assert shell.execute("? A1 | A2") == "certain"
+
+    def test_script_of_programs_on_one_line(self, shell):
+        shell.execute("(assert {A1}) (insert {~A1})")
+        assert shell.execute("? ~A1") == "certain"
+
+    def test_inconsistency_reported(self, shell):
+        shell.execute("(assert {A1})")
+        out = shell.execute("(assert {~A1})")
+        assert "inconsistent" in out
+
+    def test_blank_and_comment_lines_ignored(self, shell):
+        assert shell.execute("") == ""
+        assert shell.execute("   ; a comment") == ""
+
+
+class TestQueries:
+    def test_certain_and_possible(self, shell):
+        shell.execute("(assert {A1 | A2})")
+        assert shell.execute("? A1") == "not certain"
+        assert shell.execute("?? A1") == "possible"
+        assert shell.execute("?? ~A1 & ~A2") == "impossible"
+
+    def test_query_parse_error_is_friendly(self, shell):
+        assert shell.execute("? A1 &").startswith("error:")
+
+    def test_unknown_letter_is_friendly(self, shell):
+        assert shell.execute("? A9").startswith("error:")
+
+
+class TestCommands:
+    def test_state(self, shell):
+        shell.execute("(assert {A1})")
+        assert "A1" in shell.execute(":state")
+
+    def test_worlds_and_literals(self, shell):
+        shell.execute("(assert {A1, ~A2})")
+        worlds = shell.execute(":worlds 2")
+        assert "A1" in worlds
+        literals = shell.execute(":literals")
+        assert "A1" in literals and "~A2" in literals
+
+    def test_history(self, shell):
+        assert shell.execute(":history") == "(no updates yet)"
+        shell.execute("(insert {A1})")
+        assert "(insert" in shell.execute(":history")
+
+    def test_backend_switch_preserves_semantics(self, shell):
+        shell.execute("(insert {A1 | A2})")
+        assert shell.execute(":backend") == "clausal"
+        assert shell.execute(":backend instance") == "switched to instance"
+        assert shell.execute("? A1 | A2") == "certain"
+
+    def test_reset(self, shell):
+        shell.execute("(assert {A1})")
+        shell.execute(":reset")
+        assert shell.execute("? A1") == "not certain"
+
+    def test_help_and_quit(self, shell):
+        assert ":state" in shell.execute(":help")
+        shell.execute(":quit")
+        assert shell.done
+
+    def test_unknown_command(self, shell):
+        assert shell.execute(":frobnicate").startswith("error:")
+
+    def test_unrecognised_input(self, shell):
+        assert shell.execute("hello").startswith("error:")
+
+
+class TestMain:
+    def test_script_mode(self, tmp_path, capsys):
+        script = tmp_path / "session.hlu"
+        script.write_text(
+            "(assert {A1 | A2})\n"
+            "? A1 | A2\n"
+            ":literals\n"
+        )
+        code = main(["--letters", "3", "--script", str(script)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "certain" in captured.out
+
+    def test_named_letters(self, tmp_path, capsys):
+        script = tmp_path / "s.hlu"
+        script.write_text("(insert {Rain})\n? Rain\n")
+        code = main(["--letters", "Rain,Wet", "--script", str(script)])
+        assert code == 0
+        assert "certain" in capsys.readouterr().out
+
+
+class TestPersistenceCommands:
+    def test_save_and_load_round_trip(self, shell, tmp_path):
+        shell.execute("(assert {A1 | A2}) (insert {A3})")
+        path = tmp_path / "session.txt"
+        assert shell.execute(f":save {path}") == f"saved to {path}"
+        shell.execute(":reset")
+        assert shell.execute("? A3") == "not certain"
+        out = shell.execute(f":load {path}")
+        assert "2 update(s)" in out
+        assert shell.execute("? A3") == "certain"
+        assert shell.execute("? A1 | A2") == "certain"
+
+    def test_save_without_path(self, shell):
+        assert shell.execute(":save").startswith("error:")
+
+    def test_load_without_path(self, shell):
+        assert shell.execute(":load").startswith("error:")
+
+    def test_canonical_command(self, shell):
+        shell.execute("(assert {~A1 | A2 | A3, ~A1 | A2 | ~A3})")
+        assert shell.execute(":canonical") == "{~A1 | A2}"

@@ -1,0 +1,59 @@
+"""Tests for the exception hierarchy (repro.errors)."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    ALL_ERRORS = [
+        errors.ParseError,
+        errors.VocabularyError,
+        errors.VocabularyMismatchError,
+        errors.SortError,
+        errors.ArityError,
+        errors.SchemaError,
+        errors.IllegalUpdateError,
+        errors.InconsistentLiteralsError,
+        errors.UnknownConstantError,
+        errors.TypeAlgebraError,
+        errors.MacroExpansionError,
+        errors.EvaluationError,
+    ]
+
+    def test_everything_derives_from_repro_error(self):
+        for error_type in self.ALL_ERRORS:
+            assert issubclass(error_type, errors.ReproError), error_type
+
+    def test_specialisation_edges(self):
+        assert issubclass(errors.ArityError, errors.SortError)
+        assert issubclass(errors.InconsistentLiteralsError, errors.IllegalUpdateError)
+        assert issubclass(errors.UnknownConstantError, errors.SchemaError)
+        assert issubclass(errors.TypeAlgebraError, errors.SchemaError)
+
+    def test_all_exports_are_accurate(self):
+        for name in errors.__all__:
+            assert hasattr(errors, name), name
+
+    def test_parse_error_carries_context(self):
+        error = errors.ParseError("bad", text="A |", position=2)
+        assert error.text == "A |"
+        assert error.position == 2
+
+    def test_single_except_clause_catches_library_failures(self):
+        from repro.hlu.session import IncompleteDatabase
+        from repro.logic.parser import parse_formula
+        from repro.logic.propositions import Vocabulary
+
+        failures = 0
+        for action in (
+            lambda: parse_formula("A &"),
+            lambda: Vocabulary(["A", "A"]),
+            lambda: IncompleteDatabase.over(2).assert_("A9"),
+            lambda: IncompleteDatabase.over(2, backend="prolog"),
+        ):
+            try:
+                action()
+            except errors.ReproError:
+                failures += 1
+        assert failures == 4

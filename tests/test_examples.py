@@ -1,0 +1,59 @@
+"""Smoke tests: every example script runs to completion and prints the
+key facts it narrates.  Keeps `examples/` from drifting as the API moves.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+EXPECTED_FRAGMENTS = {
+    "quickstart.py": [
+        "{A1 | A2, A3 | A4, A4 | A5}",            # Example 3.1.5 result
+        "clausal and instance backends agree: True",
+    ],
+    "telephone_directory.py": [
+        "bindings found (Jones' departments): [{'y': 'D1'}]",
+        "*some* number certain? True",
+        "Smith's record untouched? True",
+    ],
+    "fault_diagnosis.py": [
+        "diagnosis: host-1-local fault certain? True",
+        "still consistent? True",
+    ],
+    "update_strategies.py": [
+        "scenario 2",
+        "Remark 1.4.7",
+    ],
+    "blu_playground.py": [
+        "emulation holds on this run: True",
+        "rejected: (lambda (s0) (mask s0 s0))",
+    ],
+    "null_reasoning.py": [
+        "Ada a suspect, certainly? True",
+        "'both rooms or neither' representable as a table? False",
+    ],
+}
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED_FRAGMENTS), ids=str)
+def test_example_runs_and_prints_expected_output(script):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"missing example {script}"
+    completed = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    for fragment in EXPECTED_FRAGMENTS[script]:
+        assert fragment in completed.stdout, (script, fragment)
+
+
+def test_every_example_file_is_covered():
+    scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(EXPECTED_FRAGMENTS)

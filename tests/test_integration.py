@@ -1,0 +1,158 @@
+"""Cross-module integration scenarios.
+
+Each test exercises a realistic end-to-end flow spanning several
+subsystems -- the kind of composition a downstream user would write --
+and cross-checks representations against each other throughout.
+"""
+
+import random
+
+from repro import (
+    ClauseSet,
+    DbSchema,
+    IncompleteDatabase,
+    RelationalDatabase,
+    RelationalSchema,
+    Vocabulary,
+    WorldSet,
+)
+from repro.baselines import WilkinsDatabase
+from repro.blu import ClausalImplementation, InstanceImplementation, canonical_emulation
+from repro.hlu import insert, language, parse_update, where
+from repro.relational import ANY, exists, var
+
+
+class TestPaperWalkthrough:
+    """The whole paper, front to back, as one executable narrative."""
+
+    def test_sections_1_through_3(self):
+        # §1: schema, worlds, Inset.
+        from repro.db import inset
+
+        vocab = Vocabulary.standard(5)
+        assert len(inset(vocab, ["A1 | A2"])) == 3
+
+        # §2: BLU at both levels, with the emulation.
+        clausal = ClausalImplementation(vocab)
+        instance = InstanceImplementation(vocab)
+        emulation = canonical_emulation(clausal, instance)
+        phi = ClauseSet.from_strs(
+            vocab, ["~A1 | A3", "A1 | A4", "A4 | A5", "~A1 | ~A2 | ~A5"]
+        )
+        payload = ClauseSet.from_strs(vocab, ["A1 | A2"])
+        from repro.hlu import HLU_INSERT
+
+        assert emulation.check_term(
+            HLU_INSERT.body, {"s0": phi, "s1": payload}
+        )
+
+        # §3: HLU through the session, textual surface, both backends.
+        db = IncompleteDatabase.over(5)
+        db.run(
+            "(assert {~A1 | A3, A1 | A4, A4 | A5, ~A1 | ~A2 | ~A5})"
+            "(where {A5} (insert {A1 | A2}))"
+        )
+        mirror = db.with_backend("instance")
+        assert db.worlds() == mirror.worlds()
+        assert db.is_certain("A5 -> (A1 | A2)")
+
+    def test_section_5_relational_flow(self):
+        schema = RelationalSchema.build(
+            constants={
+                "person": ["Jones", "Smith"],
+                "dept": ["D1", "D2"],
+                "telno": ["T1", "T2", "T3"],
+            },
+            relations={"R": [("N", "person"), ("D", "dept"), ("T", "telno")]},
+        )
+        db = RelationalDatabase(schema)
+        db.tell(("R", "Jones", "D1", "T2"))
+        db.where_update(
+            pattern=("R", "Jones", var("y"), ANY),
+            action=("R", "Jones", var("y"), exists(schema.algebra.named("telno"))),
+        )
+        # Grounded mirror and compact store agree fact by fact.
+        compact = RelationalDatabase(schema, grounded=False)
+        compact.tell(("R", "Jones", "D1", "T2"))
+        compact.where_update(
+            pattern=("R", "Jones", var("y"), ANY),
+            action=("R", "Jones", var("y"), exists(schema.algebra.named("telno"))),
+        )
+        for t in ("T1", "T2", "T3"):
+            assert db.certain("R", "Jones", "D1", t) == compact.certain(
+                "R", "Jones", "D1", t
+            )
+        some = [("R", ("Jones", "D1", t)) for t in ("T1", "T2", "T3")]
+        assert db.certain_disjunction(some) and compact.certain_disjunction(some)
+
+
+class TestThreeWayAgreement:
+    """Hegner's two backends and Wilkins' system (modulo its syntactic
+    masking) on a random regression script."""
+
+    def test_random_script_regression(self):
+        rng = random.Random(2027)
+        vocab = Vocabulary.standard(4)
+        clausal = IncompleteDatabase.over(4, backend="clausal")
+        instance = IncompleteDatabase.over(4, backend="instance")
+        wilkins = WilkinsDatabase(vocab)
+
+        from repro.logic.clauses import clause_to_formula
+        from repro.workloads.generators import random_clause
+
+        for _ in range(10):
+            payload = clause_to_formula(vocab, random_clause(rng, 4, 2))
+            clausal.insert(payload)
+            instance.insert(payload)
+            wilkins.insert(payload)
+            assert clausal.worlds() == instance.worlds()
+            # Width-2 random clauses are never tautologous, so syntactic
+            # and semantic dependency coincide and Wilkins agrees too.
+            base_bits = (1 << 4) - 1
+            from repro.logic.semantics import models_of_clauses
+
+            wilkins_worlds = frozenset(
+                w & base_bits for w in models_of_clauses(wilkins.state)
+            )
+            assert wilkins_worlds == instance.worlds().worlds
+
+
+class TestConstraintsAcrossLayers:
+    def test_schema_constraints_with_surface_syntax(self):
+        db = IncompleteDatabase(
+            DbSchema.of(3, constraints=["A1 -> A2"]),
+            enforce_constraints=True,
+        )
+        db.run("(insert {A1})")
+        assert db.is_certain("A2")
+        db.undo()
+        assert not db.is_certain("A2")
+
+
+class TestParsedVersusConstructedUpdates:
+    def test_equivalence_on_random_states(self):
+        rng = random.Random(11)
+        pairs = [
+            ("(insert {A1 | A2})", insert("A1 | A2")),
+            (
+                "(where {A3} (insert {A1}) (delete {A2}))",
+                where("A3", insert("A1"), language.delete("A2")),
+            ),
+            ("(modify {A1} {A2})", language.modify("A1", "A2")),
+        ]
+        for text, built in pairs:
+            for _ in range(5):
+                worlds = frozenset(rng.sample(range(8), rng.randint(1, 6)))
+                left = IncompleteDatabase(
+                    DbSchema.of(3),
+                    backend="instance",
+                    initial=WorldSet(Vocabulary.standard(3), worlds),
+                )
+                right = IncompleteDatabase(
+                    DbSchema.of(3),
+                    backend="instance",
+                    initial=WorldSet(Vocabulary.standard(3), worlds),
+                )
+                left.apply(parse_update(text))
+                right.apply(built)
+                assert left.worlds() == right.worlds(), text

@@ -1,0 +1,94 @@
+"""Tests for the workload generators (repro.workloads.generators)."""
+
+import random
+
+import pytest
+
+from repro.logic.clauses import clause_is_tautologous
+from repro.logic.propositions import Vocabulary
+from repro.workloads.generators import (
+    clause_set_of_length,
+    directory_schema,
+    random_clause,
+    random_clause_set,
+    random_formula,
+    update_stream,
+)
+
+VOCAB = Vocabulary.standard(10)
+
+
+class TestRandomClause:
+    def test_width_respected(self):
+        rng = random.Random(0)
+        for width in (1, 2, 3):
+            clause = random_clause(rng, 10, width)
+            assert len(clause) == width
+
+    def test_never_tautologous(self):
+        rng = random.Random(1)
+        for _ in range(100):
+            assert not clause_is_tautologous(random_clause(rng, 5, 3))
+
+    def test_deterministic_under_seed(self):
+        assert [random_clause(random.Random(7), 10, 3) for _ in range(5)] == [
+            random_clause(random.Random(7), 10, 3) for _ in range(5)
+        ]
+
+
+class TestRandomClauseSet:
+    def test_size_bounded_by_request(self):
+        rng = random.Random(2)
+        cs = random_clause_set(rng, VOCAB, 20, width=3)
+        assert len(cs) <= 20  # dedup may shrink
+
+    def test_width_clamped_to_vocabulary(self):
+        rng = random.Random(3)
+        small = Vocabulary.standard(2)
+        cs = random_clause_set(rng, small, 5, width=6)
+        assert all(len(c) <= 2 for c in cs)
+
+
+class TestClauseSetOfLength:
+    @pytest.mark.parametrize("target", [30, 99, 300])
+    def test_length_is_nearly_exact(self, target):
+        rng = random.Random(4)
+        cs = clause_set_of_length(rng, VOCAB, target, width=3)
+        assert target - 3 < cs.length <= target
+
+    def test_impossible_target_raises(self):
+        rng = random.Random(5)
+        tiny = Vocabulary.standard(3)
+        # Only C(3,3) * 2^3 = 8 distinct width-3 clauses exist: Length 24 max.
+        with pytest.raises(ValueError, match="cannot reach"):
+            clause_set_of_length(rng, tiny, 1000, width=3)
+
+
+class TestRandomFormula:
+    def test_letters_within_vocabulary(self):
+        rng = random.Random(6)
+        for _ in range(30):
+            formula = random_formula(rng, VOCAB, depth=3)
+            assert formula.props() <= set(VOCAB.names)
+
+    def test_depth_zero_gives_variables(self):
+        rng = random.Random(7)
+        from repro.logic.formula import Var
+
+        assert isinstance(random_formula(rng, VOCAB, depth=0), Var)
+
+
+class TestUpdateStream:
+    def test_stream_length_and_width(self):
+        rng = random.Random(8)
+        payloads = list(update_stream(rng, VOCAB, 7, width=2))
+        assert len(payloads) == 7
+        assert all(len(p.props()) == 2 for p in payloads)
+
+
+class TestDirectorySchema:
+    def test_domain_sizes(self):
+        schema = directory_schema(5, person_count=3, dept_count=2)
+        assert len(schema.algebra.named("telno")) == 5
+        assert len(schema.algebra.named("person")) == 3
+        assert schema.ground_fact_count() == 3 * 2 * 5
