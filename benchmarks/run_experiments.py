@@ -3,20 +3,44 @@
 
 This is the report generator behind EXPERIMENTS.md::
 
-    python benchmarks/run_experiments.py            # all experiments
-    python benchmarks/run_experiments.py E3 E11     # a selection
+    python benchmarks/run_experiments.py                 # all experiments
+    python benchmarks/run_experiments.py E3 E11          # a selection
+    python benchmarks/run_experiments.py E1 --trace-out trace.jsonl
+
+``--trace-out FILE`` enables the ``repro.obs`` instrumentation for the
+whole run and writes every recorded span and counter as JSON-lines
+(schema-checked by ``tests/test_trace_smoke.py``).
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 import time
 
+from repro import obs
 from repro.bench import experiments
 
 
-def main(argv: list[str]) -> int:
-    wanted = {name.upper() for name in argv[1:]}
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="run_experiments",
+        description="Regenerate the paper's claims (experiments E1--E17).",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help="experiment idents to run (e.g. E3 E11); default: all",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        default=None,
+        help="enable repro.obs and write spans + counters as JSON-lines",
+    )
+    options = parser.parse_args(argv)
+    wanted = {name.upper() for name in options.experiments}
     runners = [
         experiments.e01_assert_linear,
         experiments.e02_combine_quadratic,
@@ -36,18 +60,46 @@ def main(argv: list[str]) -> int:
         experiments.e16_hlu_bottleneck,
         experiments.e17_template_coverage,
     ]
+    known = {
+        runner.__name__.split("_")[0].upper().replace("E0", "E") for runner in runners
+    }
+    unknown = sorted(wanted - known)
+    if unknown:
+        parser.error(f"unknown experiment(s): {', '.join(unknown)} (known: E1..E17)")
+    tracing = options.trace_out is not None
+    trace_handle = None
+    if tracing:
+        try:
+            trace_handle = open(options.trace_out, "w")
+        except OSError as exc:
+            parser.error(f"cannot write --trace-out file: {exc}")
+        obs.reset()
+        obs.enable()
     failures = 0
-    for runner in runners:
-        ident = runner.__name__.split("_")[0].upper().replace("E0", "E")
-        if wanted and ident not in wanted:
-            continue
-        start = time.perf_counter()
-        report = runner()
-        elapsed = time.perf_counter() - start
-        print(report.render())
-        print(f"(ran in {elapsed:.1f}s)\n")
-        if not report.holds:
-            failures += 1
+    try:
+        for runner in runners:
+            ident = runner.__name__.split("_")[0].upper().replace("E0", "E")
+            if wanted and ident not in wanted:
+                continue
+            start = time.perf_counter()
+            if tracing:
+                with obs.span(f"experiment.{ident}"):
+                    report = runner()
+            else:
+                report = runner()
+            elapsed = time.perf_counter() - start
+            print(report.render())
+            print(f"(ran in {elapsed:.1f}s)\n")
+            if not report.holds:
+                failures += 1
+    finally:
+        if tracing:
+            obs.disable()
+            from repro.obs.export import export_jsonl
+
+            with trace_handle:
+                trace_handle.write(export_jsonl(obs.tracer(), obs.counters()))
+            print(f"trace written to {options.trace_out}")
     if failures:
         print(f"{failures} experiment(s) diverged from the paper's claims")
         return 1
@@ -56,4 +108,4 @@ def main(argv: list[str]) -> int:
 
 
 if __name__ == "__main__":
-    raise SystemExit(main(sys.argv))
+    raise SystemExit(main(sys.argv[1:]))

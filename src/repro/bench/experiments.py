@@ -14,13 +14,14 @@ from __future__ import annotations
 
 import math
 import random
-import time
 
+from repro.obs import core as obs
 from repro.bench.harness import (
     Report,
     fit_exponential_base,
     fit_loglog_slope,
     measure_seconds,
+    measure_with_counters,
 )
 from repro.blu.clausal_genmask import clausal_genmask, depends_on
 from repro.blu.clausal_impl import (
@@ -67,7 +68,7 @@ def e01_assert_linear(seed: int = 11) -> Report:
         ident="E1",
         title="BLU--C assert scaling",
         claim="Theta(Length[Phi1] + Length[Phi2])  (Theorem 2.3.4(b.i))",
-        columns=("Length", "seconds"),
+        columns=("Length", "clauses out (obs)", "seconds"),
     )
     rng = random.Random(seed)
     vocabulary = Vocabulary.standard(64)
@@ -77,9 +78,14 @@ def e01_assert_linear(seed: int = 11) -> Report:
     for length in lengths:
         left = clause_set_of_length(rng, vocabulary, length // 2)
         right = clause_set_of_length(rng, vocabulary, length // 2)
-        seconds = measure_seconds(lambda: impl.op_assert(left, right))
+        measured = measure_with_counters(lambda: impl.op_assert(left, right))
+        seconds = measured.seconds
         times.append(seconds)
-        report.add_row(length, f"{seconds:.6f}")
+        report.add_row(
+            length,
+            measured.counters.get("blu.c.assert.clauses_out", 0),
+            f"{seconds:.6f}",
+        )
     slope = fit_loglog_slope(lengths, times)
     report.observed = f"log-log slope {slope:.2f} (linear ~ 1)"
     report.holds = 0.4 <= slope <= 1.6
@@ -721,9 +727,10 @@ def e13_relational_grounding() -> Report:
         if phone_count <= 8:
             db = RelationalDatabase(schema, backend="clausal")
             db.tell(("R", "P1", "D1", "T1"))
-            start = time.perf_counter()
-            db.tell(atom)
-            grounded_seconds = f"{time.perf_counter() - start:.4f}"
+            with obs.enabled():
+                with obs.span("relational.tell.grounded", phones=phone_count) as span:
+                    db.tell(atom)
+            grounded_seconds = f"{span.elapsed:.4f}"
         else:
             grounded_seconds = "skipped (impractical -- the paper's point)"
         report.add_row(
@@ -856,6 +863,7 @@ def e16_hlu_bottleneck(seed: int = 26) -> Report:
             "state Length",
             "genmask(payload) s",
             "mask(state) s",
+            "mask resolvents (obs)",
             "assert s",
             "mask share",
         ),
@@ -869,8 +877,12 @@ def e16_hlu_bottleneck(seed: int = 26) -> Report:
         state = clause_set_of_length(rng, vocabulary, state_length, width=3)
         genmask_seconds = measure_seconds(lambda: impl.op_genmask(payload))
         mask_value = impl.op_genmask(payload)
-        mask_seconds = measure_seconds(
+        mask_measured = measure_with_counters(
             lambda: impl.op_mask(state, mask_value), repeat=2
+        )
+        mask_seconds = mask_measured.seconds
+        resolvents = mask_measured.counters.get(
+            "logic.resolution.resolvents_formed", 0
         )
         masked = impl.op_mask(state, mask_value)
         assert_seconds = measure_seconds(lambda: impl.op_assert(masked, payload))
@@ -881,6 +893,7 @@ def e16_hlu_bottleneck(seed: int = 26) -> Report:
             state_length,
             f"{genmask_seconds:.6f}",
             f"{mask_seconds:.6f}",
+            resolvents,
             f"{assert_seconds:.6f}",
             f"{share:.0%}",
         )

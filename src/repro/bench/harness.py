@@ -14,11 +14,26 @@ import time
 from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, field
 
-__all__ = ["measure_seconds", "fit_loglog_slope", "fit_exponential_base", "Report"]
+from repro.obs import core as obs
+
+__all__ = [
+    "measure_seconds",
+    "measure_with_counters",
+    "Measurement",
+    "fit_loglog_slope",
+    "fit_exponential_base",
+    "Report",
+]
+
+# Shared log-clamping epsilon: zero values (timer underflow, empty outputs)
+# are clamped here before taking logs so a report can never crash.
+_EPS = 1e-12
 
 
 def measure_seconds(fn: Callable[[], object], repeat: int = 3) -> float:
     """Best-of-``repeat`` wall-clock seconds for ``fn()``."""
+    if repeat < 1:
+        raise ValueError(f"repeat must be >= 1, got {repeat}")
     best = math.inf
     for _ in range(repeat):
         start = time.perf_counter()
@@ -27,6 +42,31 @@ def measure_seconds(fn: Callable[[], object], repeat: int = 3) -> float:
         if elapsed < best:
             best = elapsed
     return best
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """A timing plus the kernel-counter increments of one run."""
+
+    seconds: float
+    counters: dict[str, int]
+
+
+def measure_with_counters(fn: Callable[[], object], repeat: int = 3) -> Measurement:
+    """Best-of-``repeat`` seconds plus the ``repro.obs`` counter delta.
+
+    Timing repeats run with instrumentation in whatever state the caller
+    left it (normally off, so timings stay undistorted); one extra run
+    then executes under :func:`repro.obs.core.enabled` to capture the
+    counter increments, so experiment reports can print "resolvents"
+    next to "seconds".
+    """
+    seconds = measure_seconds(fn, repeat=repeat)
+    with obs.enabled():
+        before = obs.counters().snapshot()
+        fn()
+        delta = obs.counters().delta(before)
+    return Measurement(seconds=seconds, counters=delta)
 
 
 def _least_squares_slope(xs: Sequence[float], ys: Sequence[float]) -> float:
@@ -47,7 +87,7 @@ def fit_loglog_slope(sizes: Sequence[float], values: Sequence[float]) -> float:
     to a tiny epsilon so timer underflow cannot crash a report.
     """
     xs = [math.log(s) for s in sizes]
-    ys = [math.log(max(v, 1e-9)) for v in values]
+    ys = [math.log(max(v, _EPS)) for v in values]
     return _least_squares_slope(xs, ys)
 
 
@@ -57,7 +97,7 @@ def fit_exponential_base(sizes: Sequence[float], values: Sequence[float]) -> flo
     Least squares on log(value) against size; the claim of Theorem
     2.3.4(b.iii) is ``b = e^(1/e) ~ 1.44`` in ``Length`` for complement.
     """
-    ys = [math.log(max(v, 1e-12)) for v in values]
+    ys = [math.log(max(v, _EPS)) for v in values]
     slope = _least_squares_slope(list(sizes), ys)
     return math.exp(slope)
 

@@ -34,6 +34,7 @@ from __future__ import annotations
 import itertools
 from collections.abc import Iterator
 
+from repro.obs import core as obs
 from repro.logic.clauses import ClauseSet, Literal, make_literal
 from repro.logic.resolution import unit_resolve
 
@@ -76,9 +77,16 @@ def depends_on(clause_set: ClauseSet, index: int) -> bool:
     """
     if index not in clause_set.prop_indices:
         return False
+    obs.inc("blu.c.genmask.letters_tested")
+    pairs = 0
     for with_a, without_a in ldiff(clause_set, index):
+        pairs += 1
         if _falsified(clause_set, with_a) != _falsified(clause_set, without_a):
+            obs.inc("blu.c.genmask.pairs_tested", pairs)
+            obs.inc("blu.c.genmask.dependent_letters")
             return True
+    if pairs:
+        obs.inc("blu.c.genmask.pairs_tested", pairs)
     return False
 
 

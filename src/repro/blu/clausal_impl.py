@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.obs import core as obs
 from repro.blu.clausal_genmask import clausal_genmask
 from repro.blu.clausal_mask import clausal_mask
 from repro.blu.implementation import Implementation
@@ -45,14 +46,24 @@ def clausal_combine(left: ClauseSet, right: ClauseSet, simplify: bool = True) ->
     The CNF of ``conj(left) | conj(right)``; tautologous products are
     dropped (they denote 1 inside a conjunction).
     """
-    product: set[Clause] = set()
-    for clause_left in left.clauses:
-        for clause_right in right.clauses:
-            merged = clause_left | clause_right
-            if not clause_is_tautologous(merged):
-                product.add(merged)
-    result = ClauseSet(left.vocabulary, product)
-    return result.reduce() if simplify else result
+    with obs.span("blu.c.combine", left=len(left), right=len(right)):
+        product: set[Clause] = set()
+        dropped = 0
+        for clause_left in left.clauses:
+            for clause_right in right.clauses:
+                merged = clause_left | clause_right
+                if clause_is_tautologous(merged):
+                    dropped += 1
+                else:
+                    product.add(merged)
+        result = ClauseSet(left.vocabulary, product)
+        if simplify:
+            result = result.reduce()
+        obs.inc("blu.c.combine.calls")
+        obs.inc("blu.c.combine.products", len(left) * len(right))
+        obs.inc("blu.c.combine.tautologies_dropped", dropped)
+        obs.observe("blu.c.combine.clauses_out", len(result))
+        return result
 
 
 def clausal_complement(clause_set: ClauseSet, simplify: bool = True) -> ClauseSet:
@@ -64,17 +75,25 @@ def clausal_complement(clause_set: ClauseSet, simplify: bool = True) -> ClauseSe
     the clause lengths -- maximised, for fixed total Length, at clause
     length ``e``, giving the ``eps = e^(1/e)`` base of Theorem 2.3.4(b.iii).
     """
-    accumulator: set[Clause] = {frozenset()}
-    for gamma in clause_set.clauses:
-        next_accumulator: set[Clause] = set()
-        for delta in accumulator:
-            for literal in gamma:
-                widened = delta | {-literal}
-                if not clause_is_tautologous(widened):
-                    next_accumulator.add(widened)
-        accumulator = next_accumulator
-    result = ClauseSet(clause_set.vocabulary, accumulator)
-    return result.reduce() if simplify else result
+    with obs.span("blu.c.complement", clauses_in=len(clause_set)):
+        accumulator: set[Clause] = {frozenset()}
+        widenings = 0
+        for gamma in clause_set.clauses:
+            next_accumulator: set[Clause] = set()
+            for delta in accumulator:
+                for literal in gamma:
+                    widened = delta | {-literal}
+                    if not clause_is_tautologous(widened):
+                        next_accumulator.add(widened)
+                    widenings += 1
+            accumulator = next_accumulator
+        result = ClauseSet(clause_set.vocabulary, accumulator)
+        if simplify:
+            result = result.reduce()
+        obs.inc("blu.c.complement.calls")
+        obs.inc("blu.c.complement.widenings", widenings)
+        obs.observe("blu.c.complement.clauses_out", len(result))
+        return result
 
 
 class ClausalImplementation(Implementation):
@@ -130,8 +149,14 @@ class ClausalImplementation(Implementation):
         """Clause-set union: ``Theta(Length1 + Length2)``."""
         self._check_state(state)
         self._check_state(other)
-        result = state.union(other)
-        return result.reduce() if self._simplify else result
+        with obs.span("blu.c.assert", left=len(state), right=len(other)):
+            result = state.union(other)
+            if self._simplify:
+                result = result.reduce()
+            obs.inc("blu.c.assert.calls")
+            obs.inc("blu.c.assert.clauses_out", len(result))
+            obs.observe("blu.c.state_clauses", len(result))
+            return result
 
     def op_combine(self, state: ClauseSet, other: ClauseSet) -> ClauseSet:
         self._check_state(state)
@@ -148,11 +173,17 @@ class ClausalImplementation(Implementation):
             raise VocabularyMismatchError(
                 "clause-level masks are frozensets of vocabulary indices"
             )
-        return clausal_mask(state, mask, simplify=self._simplify)
+        with obs.span("blu.c.mask", letters=len(mask), clauses_in=len(state)):
+            result = clausal_mask(state, mask, simplify=self._simplify)
+            obs.inc("blu.c.mask.calls")
+            obs.observe("blu.c.state_clauses", len(result))
+            return result
 
     def op_genmask(self, state: ClauseSet) -> frozenset[int]:
         self._check_state(state)
-        return clausal_genmask(state)
+        with obs.span("blu.c.genmask", clauses_in=len(state)):
+            obs.inc("blu.c.genmask.calls")
+            return clausal_genmask(state)
 
     # --- conversions from user-level update parameters ---------------------------
 

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 
+from repro.obs import core as obs
 from repro.logic.clauses import ClauseSet
 from repro.logic.resolution import drop, rclosure
 
@@ -43,8 +44,11 @@ def clausal_mask(
     """
     current = clause_set
     for index in sorted(set(indices)):
-        closed = rclosure(current, (index,))
-        current = drop(closed, (index,))
-        if simplify:
-            current = current.reduce()
+        with obs.span("blu.c.mask.eliminate", letter=index, clauses_in=len(current)):
+            closed = rclosure(current, (index,))
+            current = drop(closed, (index,))
+            if simplify:
+                current = current.reduce()
+            obs.inc("blu.c.mask.letters_eliminated")
+            obs.inc("blu.c.mask.clauses_retained", len(current))
     return current

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.obs import core as obs
 from repro.blu.implementation import Implementation
 from repro.db.instances import WorldSet
 from repro.db.masks import Mask, SimpleMask
@@ -72,30 +73,49 @@ class InstanceImplementation(Implementation):
         """Intersection: keep the worlds common to both."""
         self._check_state(state)
         self._check_state(other)
-        return state.intersection(other)
+        with obs.span("blu.i.assert", left=len(state), right=len(other)):
+            result = state.intersection(other)
+            obs.inc("blu.i.assert.calls")
+            obs.observe("blu.i.state_worlds", len(result))
+            return result
 
     def op_combine(self, state: WorldSet, other: WorldSet) -> WorldSet:
         """Union: either alternative is possible."""
         self._check_state(state)
         self._check_state(other)
-        return state.union(other)
+        with obs.span("blu.i.combine", left=len(state), right=len(other)):
+            result = state.union(other)
+            obs.inc("blu.i.combine.calls")
+            obs.observe("blu.i.state_worlds", len(result))
+            return result
 
     def op_complement(self, state: WorldSet) -> WorldSet:
         """All worlds not in the state."""
         self._check_state(state)
-        return state.complement()
+        with obs.span("blu.i.complement", worlds_in=len(state)):
+            result = state.complement()
+            obs.inc("blu.i.complement.calls")
+            obs.observe("blu.i.state_worlds", len(result))
+            return result
 
     def op_mask(self, state: WorldSet, mask: Mask) -> WorldSet:
         """Saturation under the mask's equivalence relation."""
         self._check_state(state)
         if not self.is_mask(mask):
             raise VocabularyMismatchError("mask is not over this vocabulary")
-        return mask.saturate(state)
+        with obs.span("blu.i.mask", worlds_in=len(state)):
+            result = mask.saturate(state)
+            obs.inc("blu.i.mask.calls")
+            obs.inc("blu.i.mask.worlds_added", len(result) - len(state))
+            obs.observe("blu.i.state_worlds", len(result))
+            return result
 
     def op_genmask(self, state: WorldSet) -> SimpleMask:
         """``s--mask[Dep[X]]``: the simple mask on the dependency letters."""
         self._check_state(state)
-        return SimpleMask(self._vocabulary, state.dependency_indices())
+        with obs.span("blu.i.genmask", worlds_in=len(state)):
+            obs.inc("blu.i.genmask.calls")
+            return SimpleMask(self._vocabulary, state.dependency_indices())
 
     # --- conversions from user-level update parameters ---------------------------
 

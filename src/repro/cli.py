@@ -25,6 +25,10 @@ Commands:
 ``:reset``         back to total ignorance
 ``:save <file>``   write the session (state + history) to a file
 ``:load <file>``   restore a session saved with :save
+``:trace <c>``     ``on`` / ``off`` instrumentation; ``show`` the span
+                   tree recorded so far; ``clear`` it
+``:stats``         kernel counter deltas since the last ``:stats reset``
+                   (needs ``:trace on``)
 ``:help``          this text
 ``:quit``          leave
 =================  ==================================================
@@ -33,14 +37,33 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import difflib
 import sys
 
+from repro import obs
 from repro.errors import ReproError
 from repro.hlu.session import IncompleteDatabase
 
 __all__ = ["Shell", "main"]
 
 _HELP = __doc__.split("Commands:", 1)[1]
+
+_COMMANDS = (
+    "state",
+    "worlds",
+    "literals",
+    "canonical",
+    "history",
+    "backend",
+    "reset",
+    "save",
+    "load",
+    "trace",
+    "stats",
+    "help",
+    "quit",
+    "exit",
+)
 
 
 class Shell:
@@ -53,6 +76,7 @@ class Shell:
     def __init__(self, letters: int | list[str] = 5, backend: str = "clausal"):
         self._letters = letters
         self._db = IncompleteDatabase.over(letters, backend=backend)
+        self._stats_baseline: dict[str, int] = obs.counters().snapshot()
         self.done = False
 
     @property
@@ -127,12 +151,54 @@ class Shell:
             with open(args[0]) as handle:
                 self._db = load_session(handle.read())
             return f"loaded {args[0]} ({len(self._db.history)} update(s) of history)"
+        if name == "trace":
+            return self._trace_command(args)
+        if name == "stats":
+            return self._stats_command(args)
         if name == "help":
             return _HELP.strip("\n")
         if name in ("quit", "exit", "q"):
             self.done = True
             return ""
-        return f"error: unknown command :{name} (try :help)"
+        close = difflib.get_close_matches(name, _COMMANDS, n=1)
+        hint = f" -- did you mean :{close[0]}?" if close else ""
+        return f"error: unknown command :{name}{hint} (try :help)"
+
+    def _trace_command(self, args: list[str]) -> str:
+        mode = args[0] if args else "show"
+        if mode == "on":
+            obs.enable()
+            return "tracing on"
+        if mode == "off":
+            obs.disable()
+            return "tracing off"
+        if mode == "show":
+            from repro.obs.export import render_span_tree
+
+            return render_span_tree(obs.tracer())
+        if mode == "clear":
+            obs.tracer().clear()
+            return "trace cleared"
+        return "error: :trace takes on, off, show, or clear"
+
+    def _stats_command(self, args: list[str]) -> str:
+        if args and args[0] == "reset":
+            self._stats_baseline = obs.counters().snapshot()
+            return "counters reset"
+        delta = obs.counters().delta(self._stats_baseline)
+        if not delta:
+            if not obs.is_enabled():
+                return "(no counter activity -- instrumentation is off; try :trace on)"
+            return "(no counter activity since the last reset)"
+        from repro.obs.export import counter_report
+
+        report = counter_report(
+            delta,
+            ident="STATS",
+            title="kernel counters",
+            claim="counter deltas since the last :stats reset",
+        )
+        return report.render().rstrip("\n")
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -21,6 +21,7 @@ from __future__ import annotations
 from collections.abc import Iterable
 from typing import Any
 
+from repro.obs import core as obs
 from repro.blu.clausal_impl import ClausalImplementation
 from repro.blu.implementation import Implementation
 from repro.blu.syntax import Sort
@@ -134,9 +135,15 @@ class IncompleteDatabase:
 
     def apply(self, update: language.Update) -> "IncompleteDatabase":
         """Apply any :class:`~repro.hlu.language.Update`; returns self."""
-        new_state = run_update(self._implementation, self._state, update)
-        if self._enforce_constraints:
-            new_state = self._apply_constraints(new_state)
+        with obs.span(
+            "hlu.apply",
+            update=type(update).__name__.lower(),
+            backend=self._backend_name,
+        ):
+            obs.inc("hlu.updates")
+            new_state = run_update(self._implementation, self._state, update)
+            if self._enforce_constraints:
+                new_state = self._apply_constraints(new_state)
         self._snapshots.append(self._state)
         self._state = new_state
         self._history.append(update)
@@ -206,18 +213,22 @@ class IncompleteDatabase:
     def is_certain(self, formula: Formula | str) -> bool:
         """Does the formula hold in *every* possible world?"""
         formula = self._parse(formula)
-        if isinstance(self._state, WorldSet):
-            return self._state.satisfies_everywhere(formula)
-        query = formula_to_clauses(formula, self.vocabulary)
-        return entails_clauses(self._state, query)
+        with obs.span("hlu.is_certain", backend=self._backend_name):
+            obs.inc("hlu.queries")
+            if isinstance(self._state, WorldSet):
+                return self._state.satisfies_everywhere(formula)
+            query = formula_to_clauses(formula, self.vocabulary)
+            return entails_clauses(self._state, query)
 
     def is_possible(self, formula: Formula | str) -> bool:
         """Does the formula hold in *some* possible world?"""
         formula = self._parse(formula)
-        if isinstance(self._state, WorldSet):
-            return self._state.satisfies_somewhere(formula)
-        query = formula_to_clauses(formula, self.vocabulary)
-        return is_satisfiable(self._state.union(query))
+        with obs.span("hlu.is_possible", backend=self._backend_name):
+            obs.inc("hlu.queries")
+            if isinstance(self._state, WorldSet):
+                return self._state.satisfies_somewhere(formula)
+            query = formula_to_clauses(formula, self.vocabulary)
+            return is_satisfiable(self._state.union(query))
 
     def is_consistent(self) -> bool:
         """Is there at least one possible world?"""

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 
+from repro.obs import core as obs
 from repro.logic.clauses import Clause, ClauseSet
 from repro.logic.resolution import resolution_closure
 
@@ -42,8 +43,12 @@ def prime_implicates(clause_set: ClauseSet, max_clauses: int = 100_000) -> Claus
     An unsatisfiable set has the single prime implicate 0 (the empty
     clause); a tautologous set has none.
     """
-    closed = resolution_closure(clause_set, max_clauses=max_clauses)
-    return closed.reduce()
+    with obs.span("logic.prime_implicates", clauses_in=len(clause_set)):
+        closed = resolution_closure(clause_set, max_clauses=max_clauses)
+        reduced = closed.reduce()
+        obs.inc("logic.implicates.candidates", len(closed))
+        obs.inc("logic.implicates.survivors", len(reduced))
+        return reduced
 
 
 def is_implicate(clause_set: ClauseSet, clause: Clause) -> bool:

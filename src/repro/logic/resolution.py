@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 
+from repro.obs import core as obs
 from repro.logic.clauses import (
     Clause,
     ClauseSet,
@@ -50,6 +51,7 @@ def resolvent(clause_pos: Clause, clause_neg: Clause, index: int) -> Clause | No
         return None
     merged = (clause_pos - {positive}) | (clause_neg - {negative})
     if clause_is_tautologous(merged):
+        obs.inc("logic.resolution.tautologies_discarded")
         return None
     return merged
 
@@ -65,6 +67,7 @@ def rclosure(clause_set: ClauseSet, indices: Iterable[int]) -> ClauseSet:
     """
     index_list = sorted(set(indices))
     current: set[Clause] = set(clause_set.clauses)
+    formed = 0
     changed = True
     while changed:
         changed = False
@@ -78,7 +81,10 @@ def rclosure(clause_set: ClauseSet, indices: Iterable[int]) -> ClauseSet:
                     res = resolvent(clause_pos, clause_neg, index)
                     if res is not None and res not in current:
                         current.add(res)
+                        formed += 1
                         changed = True
+    if formed:
+        obs.inc("logic.resolution.resolvents_formed", formed)
     return ClauseSet(clause_set.vocabulary, current)
 
 
@@ -96,8 +102,13 @@ def eliminate_letter(clause_set: ClauseSet, index: int) -> ClauseSet:
     result is subsumption-reduced, a correctness-preserving optimisation
     the paper anticipates in Section 4.
     """
-    closed = rclosure(clause_set, (index,))
-    return drop(closed, (index,)).reduce()
+    with obs.span("logic.eliminate_letter", letter=index, clauses_in=len(clause_set)):
+        closed = rclosure(clause_set, (index,))
+        result = drop(closed, (index,)).reduce()
+        obs.inc("logic.resolution.letters_eliminated")
+        obs.inc("logic.resolution.clauses_retained", len(result))
+        obs.observe("logic.resolution.retained_per_eliminate", len(result))
+        return result
 
 
 def unit_resolve(clause_set: ClauseSet, literals: Iterable[Literal]) -> ClauseSet:
@@ -110,15 +121,19 @@ def unit_resolve(clause_set: ClauseSet, literals: Iterable[Literal]) -> ClauseSe
     """
     literal_list = list(literals)
     clauses: set[Clause] = set(clause_set.clauses)
+    struck = 0
     for literal in literal_list:
         negated = -literal
         updated: set[Clause] = set()
         for clause in clauses:
             if negated in clause:
                 updated.add(clause - {negated})
+                struck += 1
             else:
                 updated.add(clause)
         clauses = updated
+    if struck:
+        obs.inc("logic.resolution.literals_struck", struck)
     return ClauseSet(clause_set.vocabulary, clauses)
 
 
@@ -130,6 +145,7 @@ def resolution_closure(clause_set: ClauseSet, max_clauses: int = 100_000) -> Cla
     """
     indices = sorted(clause_set.prop_indices)
     current: set[Clause] = set(clause_set.clauses)
+    formed = 0
     changed = True
     while changed:
         changed = False
@@ -143,10 +159,13 @@ def resolution_closure(clause_set: ClauseSet, max_clauses: int = 100_000) -> Cla
                     res = resolvent(clause_pos, clause_neg, index)
                     if res is not None and res not in current:
                         current.add(res)
+                        formed += 1
                         changed = True
                         if len(current) > max_clauses:
                             raise MemoryError(
                                 f"resolution closure exceeded {max_clauses} clauses"
                             )
         snapshot = list(current)
+    if formed:
+        obs.inc("logic.resolution.resolvents_formed", formed)
     return ClauseSet(clause_set.vocabulary, current)

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from collections import Counter
 
+from repro.obs import core as obs
 from repro.logic.clauses import Clause, ClauseSet, Literal
 
 __all__ = [
@@ -31,6 +32,7 @@ def _propagate(
 ) -> list[Clause] | None:
     """Unit propagation; returns simplified clauses or ``None`` on conflict."""
     work = list(clauses)
+    propagations = 0
     while True:
         unit: Literal | None = None
         simplified: list[Clause] = []
@@ -49,13 +51,19 @@ def _propagate(
             if satisfied:
                 continue
             if not remaining:
+                if propagations:
+                    obs.inc("logic.sat.unit_propagations", propagations)
+                obs.inc("logic.sat.conflicts")
                 return None  # falsified clause
             if len(remaining) == 1 and unit is None:
                 unit = remaining[0]
             simplified.append(frozenset(remaining))
         if unit is None:
+            if propagations:
+                obs.inc("logic.sat.unit_propagations", propagations)
             return simplified
         assignment[abs(unit) - 1] = unit > 0
+        propagations += 1
         work = simplified
 
 
@@ -94,7 +102,11 @@ def _dpll(clauses: list[Clause], assignment: dict[int, bool]) -> dict[int, bool]
     for clause in simplified:
         counts.update(clause)
     literal, _ = counts.most_common(1)[0]
-    for value in ((literal > 0), not (literal > 0)):
+    first = literal > 0
+    for value in (first, not first):
+        if value is not first:
+            obs.inc("logic.sat.backtracks")
+        obs.inc("logic.sat.decisions")
         trial = dict(assignment)
         trial[abs(literal) - 1] = value
         result = _dpll(simplified, trial)
@@ -116,7 +128,11 @@ def solve(clause_set: ClauseSet, assumptions: tuple[Literal, ...] = ()) -> dict[
         if assignment.get(index, value) != value:
             return None
         assignment[index] = value
-    return _dpll(list(clause_set.clauses), assignment)
+    with obs.span(
+        "logic.sat.solve", clauses=len(clause_set), assumptions=len(assumptions)
+    ):
+        obs.inc("logic.sat.solve_calls")
+        return _dpll(list(clause_set.clauses), assignment)
 
 
 def is_satisfiable(clause_set: ClauseSet, assumptions: tuple[Literal, ...] = ()) -> bool:
@@ -159,6 +175,7 @@ def count_models_exact(clause_set: ClauseSet) -> int:
         shortest = min(simplified, key=len)
         literal = next(iter(shortest))
         index = abs(literal) - 1
+        obs.inc("logic.sat.decisions")
         subtotal = 0
         for value in (True, False):
             trial = dict(assignment)

@@ -1,0 +1,66 @@
+"""``repro.obs``: zero-dependency tracing spans and kernel counters.
+
+The observability layer for the whole stack.  Kernels call the
+module-level helpers (:func:`span`, :func:`inc`, :func:`observe`), which
+are near-no-ops until :func:`enable` is called; exporters render the
+recorded telemetry as a span tree, JSON-lines, or a counter table.  See
+DESIGN.md section "Observability".
+
+Typical use::
+
+    from repro import obs
+    from repro.obs.export import render_span_tree, counter_report
+
+    obs.enable()
+    db.insert("A1 | A2")
+    print(render_span_tree(obs.tracer()))
+    print(counter_report(obs.counters()).render())
+"""
+
+from repro.obs.core import (
+    Counters,
+    Histogram,
+    Span,
+    Tracer,
+    counters,
+    disable,
+    enable,
+    enabled,
+    inc,
+    is_enabled,
+    observe,
+    reset,
+    span,
+    tracer,
+)
+from repro.obs.export import (
+    counter_report,
+    counters_from_jsonl,
+    export_jsonl,
+    render_span_tree,
+    spans_from_jsonl,
+    validate_jsonl,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "Histogram",
+    "Counters",
+    "enable",
+    "disable",
+    "is_enabled",
+    "enabled",
+    "tracer",
+    "counters",
+    "span",
+    "inc",
+    "observe",
+    "reset",
+    "render_span_tree",
+    "export_jsonl",
+    "spans_from_jsonl",
+    "counters_from_jsonl",
+    "validate_jsonl",
+    "counter_report",
+]

@@ -1,0 +1,313 @@
+"""Tracing spans and kernel counters for the BLU/HLU stack.
+
+The paper's complexity theorems (2.3.4, 2.3.6, 2.3.9) are claims about
+*work done* -- resolvents generated, clauses retained, letters
+eliminated -- not about wall-clock seconds.  This module is the
+measurement substrate that lets the rest of the library report that work:
+
+* a context-local :class:`Tracer` holding a span stack -- ``with
+  span("blu.c.mask", letters=3):`` records wall time, nesting, and
+  attributes as a tree of :class:`Span` values;
+* a context-local :class:`Counters` registry of monotonic counters
+  (:func:`inc`) and value histograms (:func:`observe`).
+
+Everything sits behind a single module-level enable flag.  Instrumented
+kernels call the module-level :func:`span` / :func:`inc` /
+:func:`observe` helpers, which check the flag first, so the disabled
+path costs one global load per call site -- a near-no-op, guarded by an
+overhead test in ``tests/obs/test_core.py``.
+
+State is held in a :class:`contextvars.ContextVar`, so threads and
+``contextvars`` contexts each see their own tracer and counters while
+sharing the one process-wide enable flag.  Zero dependencies.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterator, Mapping
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "Histogram",
+    "Counters",
+    "enable",
+    "disable",
+    "is_enabled",
+    "enabled",
+    "tracer",
+    "counters",
+    "span",
+    "inc",
+    "observe",
+    "reset",
+]
+
+# The process-wide switch.  A plain module global (not a ContextVar) so
+# the disabled check in span()/inc()/observe() is a single global load.
+_ENABLED = False
+
+
+def enable() -> None:
+    """Turn instrumentation on (process-wide)."""
+    global _ENABLED
+    _ENABLED = True
+
+
+def disable() -> None:
+    """Turn instrumentation off (process-wide)."""
+    global _ENABLED
+    _ENABLED = False
+
+
+def is_enabled() -> bool:
+    """Whether spans and counters are currently being recorded."""
+    return _ENABLED
+
+
+@contextmanager
+def enabled() -> Iterator[None]:
+    """Enable instrumentation for the dynamic extent of a with-block,
+    restoring the previous flag on exit."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = True
+    try:
+        yield
+    finally:
+        _ENABLED = previous
+
+
+# ---------------------------------------------------------------------------
+# Spans
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Span:
+    """One timed, attributed region of work; spans nest into a tree."""
+
+    name: str
+    attributes: dict[str, object] = field(default_factory=dict)
+    start: float = 0.0
+    elapsed: float = 0.0
+    children: list["Span"] = field(default_factory=list)
+
+    def set(self, **attributes: object) -> "Span":
+        """Attach attributes discovered mid-span (e.g. output sizes)."""
+        self.attributes.update(attributes)
+        return self
+
+    def walk(self, depth: int = 0) -> Iterator[tuple[int, "Span"]]:
+        """Depth-first ``(depth, span)`` over this span and its subtree."""
+        yield depth, self
+        for child in self.children:
+            yield from child.walk(depth + 1)
+
+
+class _NullSpan:
+    """The shared do-nothing span handed out while instrumentation is off."""
+
+    __slots__ = ()
+    name = ""
+    attributes: dict[str, object] = {}
+    elapsed = 0.0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+    def set(self, **attributes: object) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """A span stack recording a forest of completed spans.
+
+    Use through the module-level :func:`span` helper; the tracer itself
+    never checks the enable flag.
+    """
+
+    def __init__(self) -> None:
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+
+    @property
+    def depth(self) -> int:
+        """How many spans are currently open."""
+        return len(self._stack)
+
+    @contextmanager
+    def span(self, name: str, **attributes: object) -> Iterator[Span]:
+        record = Span(name, dict(attributes))
+        parent = self._stack[-1] if self._stack else None
+        (parent.children if parent is not None else self.roots).append(record)
+        self._stack.append(record)
+        record.start = time.perf_counter()
+        try:
+            yield record
+        finally:
+            record.elapsed = time.perf_counter() - record.start
+            self._stack.pop()
+
+    def walk(self) -> Iterator[tuple[int, Span]]:
+        """Depth-first ``(depth, span)`` over every recorded root."""
+        for root in self.roots:
+            yield from root.walk()
+
+    def clear(self) -> None:
+        """Drop all recorded spans (open spans keep recording)."""
+        self.roots = []
+
+
+# ---------------------------------------------------------------------------
+# Counters
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Histogram:
+    """Streaming summary of an observed value: count / total / min / max."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = float("inf")
+    maximum: float = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class Counters:
+    """Named monotonic counters plus value histograms."""
+
+    def __init__(self) -> None:
+        self._counts: dict[str, int] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        self._counts[name] = self._counts.get(name, 0) + amount
+
+    def observe(self, name: str, value: float) -> None:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram()
+        histogram.observe(value)
+
+    def get(self, name: str) -> int:
+        """The current value of a counter (0 if never incremented)."""
+        return self._counts.get(name, 0)
+
+    def histogram(self, name: str) -> Histogram | None:
+        return self._histograms.get(name)
+
+    @property
+    def counts(self) -> dict[str, int]:
+        return dict(self._counts)
+
+    @property
+    def histograms(self) -> dict[str, Histogram]:
+        return dict(self._histograms)
+
+    def snapshot(self) -> dict[str, int]:
+        """A frozen copy of the counter values (histograms excluded)."""
+        return dict(self._counts)
+
+    def delta(self, since: Mapping[str, int]) -> dict[str, int]:
+        """Counter increments since a :meth:`snapshot`, zeros dropped."""
+        out: dict[str, int] = {}
+        for name, value in self._counts.items():
+            change = value - since.get(name, 0)
+            if change:
+                out[name] = change
+        return out
+
+    def reset(self) -> None:
+        """Zero every counter and drop every histogram."""
+        self._counts.clear()
+        self._histograms.clear()
+
+
+# ---------------------------------------------------------------------------
+# Context-local state and the module-level helpers the kernels call
+# ---------------------------------------------------------------------------
+
+
+class _ObsState:
+    __slots__ = ("tracer", "counters")
+
+    def __init__(self) -> None:
+        self.tracer = Tracer()
+        self.counters = Counters()
+
+
+_STATE: ContextVar[_ObsState | None] = ContextVar("repro_obs_state", default=None)
+
+
+def _state() -> _ObsState:
+    state = _STATE.get()
+    if state is None:
+        state = _ObsState()
+        _STATE.set(state)
+    return state
+
+
+def tracer() -> Tracer:
+    """The current context's tracer."""
+    return _state().tracer
+
+
+def counters() -> Counters:
+    """The current context's counter registry."""
+    return _state().counters
+
+
+def span(name: str, **attributes: object):
+    """Open a span under the current context's tracer.
+
+    Returns the shared null span while instrumentation is disabled, so
+    ``with span(...):`` at a call site costs one flag check.  Note the
+    keyword arguments are evaluated by the caller either way -- keep
+    span attributes cheap (sizes and names, not rendered states).
+    """
+    if not _ENABLED:
+        return _NULL_SPAN
+    return _state().tracer.span(name, **attributes)
+
+
+def inc(name: str, amount: int = 1) -> None:
+    """Add to a monotonic counter (no-op while disabled)."""
+    if _ENABLED:
+        _state().counters.inc(name, amount)
+
+
+def observe(name: str, value: float) -> None:
+    """Record one histogram observation (no-op while disabled)."""
+    if _ENABLED:
+        _state().counters.observe(name, value)
+
+
+def reset() -> None:
+    """Clear the current context's recorded spans and counters."""
+    state = _STATE.get()
+    if state is not None:
+        state.tracer.clear()
+        state.counters.reset()

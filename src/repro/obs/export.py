@@ -1,0 +1,266 @@
+"""Exporters for recorded spans and counters.
+
+Three views of the same telemetry:
+
+* :func:`render_span_tree` -- human-readable indented tree (the REPL's
+  ``:trace show``);
+* :func:`export_jsonl` / :func:`spans_from_jsonl` -- flat JSON-lines for
+  tooling (``run_experiments.py --trace-out``), with enough structure
+  (``id`` / ``parent``) to round-trip the span tree;
+* :func:`counter_report` -- a counter summary table reusing the
+  :class:`~repro.bench.harness.Report` renderer, so counter tables look
+  like every other table the harness prints.
+
+:func:`validate_jsonl` is the small schema check the CI smoke job runs
+against emitted trace files, so exporter drift fails CI instead of
+silently corrupting bench artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Mapping, Sequence
+
+from repro.obs.core import Counters, Histogram, Span, Tracer
+
+__all__ = [
+    "render_span_tree",
+    "export_jsonl",
+    "spans_from_jsonl",
+    "counters_from_jsonl",
+    "validate_jsonl",
+    "counter_report",
+]
+
+
+def _format_attributes(attributes: Mapping[str, object]) -> str:
+    if not attributes:
+        return ""
+    inner = ", ".join(f"{k}={v}" for k, v in attributes.items())
+    return f"  [{inner}]"
+
+
+def render_span_tree(spans: Iterable[Span] | Tracer) -> str:
+    """The span forest as indented plain text, one line per span."""
+    roots = spans.roots if isinstance(spans, Tracer) else list(spans)
+    lines: list[str] = []
+    for root in roots:
+        for depth, node in root.walk():
+            lines.append(
+                f"{'  ' * depth}{node.name}  {node.elapsed * 1000:.3f}ms"
+                f"{_format_attributes(node.attributes)}"
+            )
+    return "\n".join(lines) if lines else "(no spans recorded)"
+
+
+# ---------------------------------------------------------------------------
+# JSON-lines
+# ---------------------------------------------------------------------------
+
+# One JSON object per line.  Record types:
+#   {"type": "span", "id": int, "parent": int|null, "name": str,
+#    "start": float, "elapsed": float, "attributes": {...}}
+#   {"type": "counter", "name": str, "value": int}
+#   {"type": "histogram", "name": str, "count": int, "total": float,
+#    "min": float, "max": float}
+
+_SPAN_KEYS = {"type", "id", "parent", "name", "start", "elapsed", "attributes"}
+_COUNTER_KEYS = {"type", "name", "value"}
+_HISTOGRAM_KEYS = {"type", "name", "count", "total", "min", "max"}
+
+
+def export_jsonl(
+    spans: Iterable[Span] | Tracer, counters: Counters | None = None
+) -> str:
+    """Spans (and optionally counters) as JSON-lines text."""
+    roots = spans.roots if isinstance(spans, Tracer) else list(spans)
+    lines: list[str] = []
+    next_id = 0
+
+    def emit(node: Span, parent_id: int | None) -> None:
+        nonlocal next_id
+        span_id = next_id
+        next_id += 1
+        lines.append(
+            json.dumps(
+                {
+                    "type": "span",
+                    "id": span_id,
+                    "parent": parent_id,
+                    "name": node.name,
+                    "start": node.start,
+                    "elapsed": node.elapsed,
+                    "attributes": {str(k): v for k, v in node.attributes.items()},
+                },
+                default=str,
+                sort_keys=True,
+            )
+        )
+        for child in node.children:
+            emit(child, span_id)
+
+    for root in roots:
+        emit(root, None)
+    if counters is not None:
+        for name in sorted(counters.counts):
+            lines.append(
+                json.dumps(
+                    {"type": "counter", "name": name, "value": counters.get(name)},
+                    sort_keys=True,
+                )
+            )
+        for name, histogram in sorted(counters.histograms.items()):
+            lines.append(
+                json.dumps(
+                    {
+                        "type": "histogram",
+                        "name": name,
+                        "count": histogram.count,
+                        "total": histogram.total,
+                        "min": histogram.minimum,
+                        "max": histogram.maximum,
+                    },
+                    sort_keys=True,
+                )
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def spans_from_jsonl(text: str) -> list[Span]:
+    """Rebuild the span forest from :func:`export_jsonl` output."""
+    by_id: dict[int, Span] = {}
+    roots: list[Span] = []
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        record = json.loads(line)
+        if record.get("type") != "span":
+            continue
+        node = Span(
+            name=record["name"],
+            attributes=dict(record["attributes"]),
+            start=record["start"],
+            elapsed=record["elapsed"],
+        )
+        by_id[record["id"]] = node
+        parent = record["parent"]
+        if parent is None:
+            roots.append(node)
+        else:
+            by_id[parent].children.append(node)
+    return roots
+
+
+def counters_from_jsonl(text: str) -> Counters:
+    """Rebuild a counter registry from :func:`export_jsonl` output."""
+    counters = Counters()
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        record = json.loads(line)
+        if record.get("type") == "counter":
+            counters.inc(record["name"], record["value"])
+        elif record.get("type") == "histogram":
+            histogram = Histogram(
+                count=record["count"],
+                total=record["total"],
+                minimum=record["min"],
+                maximum=record["max"],
+            )
+            counters._histograms[record["name"]] = histogram
+    return counters
+
+
+def validate_jsonl(text: str) -> list[str]:
+    """Schema-check JSON-lines trace output; returns error strings.
+
+    An empty list means the text is valid.  Checks every line parses,
+    record types and keys are known, span parents reference earlier
+    spans, and value types are sane.
+    """
+    errors: list[str] = []
+    seen_span_ids: set[int] = set()
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            errors.append(f"line {lineno}: not valid JSON ({exc})")
+            continue
+        if not isinstance(record, dict):
+            errors.append(f"line {lineno}: record is not an object")
+            continue
+        kind = record.get("type")
+        if kind == "span":
+            if set(record) != _SPAN_KEYS:
+                errors.append(f"line {lineno}: span keys {sorted(record)} != expected")
+                continue
+            if not isinstance(record["id"], int):
+                errors.append(f"line {lineno}: span id must be an int")
+                continue
+            if not isinstance(record["name"], str) or not record["name"]:
+                errors.append(f"line {lineno}: span name must be a non-empty string")
+            if not isinstance(record["attributes"], dict):
+                errors.append(f"line {lineno}: span attributes must be an object")
+            for key in ("start", "elapsed"):
+                if not isinstance(record[key], (int, float)):
+                    errors.append(f"line {lineno}: span {key} must be a number")
+            parent = record["parent"]
+            if parent is not None and parent not in seen_span_ids:
+                errors.append(
+                    f"line {lineno}: span parent {parent} not seen before child"
+                )
+            seen_span_ids.add(record["id"])
+        elif kind == "counter":
+            if set(record) != _COUNTER_KEYS:
+                errors.append(f"line {lineno}: counter keys {sorted(record)} != expected")
+            elif not isinstance(record["name"], str) or not isinstance(
+                record["value"], int
+            ):
+                errors.append(f"line {lineno}: counter needs str name and int value")
+        elif kind == "histogram":
+            if set(record) != _HISTOGRAM_KEYS:
+                errors.append(
+                    f"line {lineno}: histogram keys {sorted(record)} != expected"
+                )
+        else:
+            errors.append(f"line {lineno}: unknown record type {kind!r}")
+    return errors
+
+
+# ---------------------------------------------------------------------------
+# Counter tables
+# ---------------------------------------------------------------------------
+
+
+def counter_report(
+    counters: Counters | Mapping[str, int],
+    ident: str = "OBS",
+    title: str = "kernel counters",
+    claim: str = "work done by the instrumented BLU/HLU kernels",
+):
+    """Counter values as a :class:`~repro.bench.harness.Report` table.
+
+    Accepts either a :class:`Counters` registry (histograms included as
+    ``n/mean/min/max`` summary rows) or a plain name-to-value mapping
+    (e.g. a :meth:`Counters.delta`).
+    """
+    from repro.bench.harness import Report  # local import: harness imports obs.core
+
+    report = Report(ident=ident, title=title, claim=claim, columns=("counter", "value"))
+    if isinstance(counters, Counters):
+        counts: Mapping[str, int] = counters.counts
+        histograms = counters.histograms
+    else:
+        counts = counters
+        histograms = {}
+    for name in sorted(counts):
+        report.add_row(name, counts[name])
+    for name, histogram in sorted(histograms.items()):
+        report.add_row(
+            name,
+            f"n={histogram.count} mean={histogram.mean:.1f} "
+            f"min={histogram.minimum:g} max={histogram.maximum:g}",
+        )
+    return report

@@ -1,0 +1,15 @@
+"""Fixtures for the observability tests: every test starts and ends with
+instrumentation off and a clean context-local state."""
+
+import pytest
+
+from repro.obs import core
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    core.disable()
+    core.reset()
+    yield
+    core.disable()
+    core.reset()

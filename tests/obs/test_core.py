@@ -1,0 +1,224 @@
+"""Tests for repro.obs.core: spans, counters, isolation, and overhead."""
+
+import contextvars
+import threading
+import timeit
+
+import pytest
+
+from repro.obs import core
+
+
+class TestEnableFlag:
+    def test_disabled_by_default(self):
+        assert not core.is_enabled()
+
+    def test_enable_disable(self):
+        core.enable()
+        assert core.is_enabled()
+        core.disable()
+        assert not core.is_enabled()
+
+    def test_enabled_context_manager_restores(self):
+        assert not core.is_enabled()
+        with core.enabled():
+            assert core.is_enabled()
+        assert not core.is_enabled()
+
+    def test_enabled_context_manager_preserves_on(self):
+        core.enable()
+        with core.enabled():
+            pass
+        assert core.is_enabled()
+
+
+class TestSpans:
+    def test_nesting_recorded_as_tree(self):
+        core.enable()
+        with core.span("outer"):
+            with core.span("middle"):
+                with core.span("leaf"):
+                    pass
+            with core.span("sibling"):
+                pass
+        roots = core.tracer().roots
+        assert [r.name for r in roots] == ["outer"]
+        assert [c.name for c in roots[0].children] == ["middle", "sibling"]
+        assert [g.name for g in roots[0].children[0].children] == ["leaf"]
+
+    def test_attributes_and_set(self):
+        core.enable()
+        with core.span("work", letters=3) as span:
+            span.set(clauses_out=7)
+        recorded = core.tracer().roots[0]
+        assert recorded.attributes == {"letters": 3, "clauses_out": 7}
+
+    def test_elapsed_is_recorded(self):
+        core.enable()
+        with core.span("timed"):
+            sum(range(1000))
+        assert core.tracer().roots[0].elapsed > 0
+
+    def test_stack_empties_after_exit(self):
+        core.enable()
+        with core.span("a"):
+            assert core.tracer().depth == 1
+        assert core.tracer().depth == 0
+
+    def test_stack_unwinds_on_exception(self):
+        core.enable()
+        with pytest.raises(RuntimeError):
+            with core.span("a"):
+                raise RuntimeError("boom")
+        assert core.tracer().depth == 0
+        assert core.tracer().roots[0].elapsed >= 0
+
+    def test_walk_yields_depths(self):
+        core.enable()
+        with core.span("outer"):
+            with core.span("inner"):
+                pass
+        walked = [(depth, span.name) for depth, span in core.tracer().walk()]
+        assert walked == [(0, "outer"), (1, "inner")]
+
+    def test_disabled_span_is_null(self):
+        with core.span("ignored", big=1) as span:
+            pass
+        assert span is core._NULL_SPAN
+        assert core.tracer().roots == []
+
+
+class TestCounters:
+    def test_inc_and_get(self):
+        core.enable()
+        core.inc("x")
+        core.inc("x", 4)
+        assert core.counters().get("x") == 5
+
+    def test_get_missing_is_zero(self):
+        assert core.counters().get("never") == 0
+
+    def test_disabled_inc_records_nothing(self):
+        core.inc("x", 100)
+        assert core.counters().get("x") == 0
+
+    def test_histogram_observations(self):
+        core.enable()
+        for value in (2.0, 8.0, 5.0):
+            core.observe("sizes", value)
+        histogram = core.counters().histogram("sizes")
+        assert histogram.count == 3
+        assert histogram.minimum == 2.0
+        assert histogram.maximum == 8.0
+        assert histogram.mean == 5.0
+
+    def test_snapshot_and_delta(self):
+        core.enable()
+        core.inc("a", 2)
+        before = core.counters().snapshot()
+        core.inc("a", 3)
+        core.inc("b")
+        assert core.counters().delta(before) == {"a": 3, "b": 1}
+
+    def test_delta_drops_unchanged(self):
+        core.enable()
+        core.inc("steady", 5)
+        before = core.counters().snapshot()
+        assert core.counters().delta(before) == {}
+
+    def test_reset_clears_counts_and_histograms(self):
+        core.enable()
+        core.inc("a")
+        core.observe("h", 1.0)
+        core.counters().reset()
+        assert core.counters().counts == {}
+        assert core.counters().histogram("h") is None
+
+    def test_module_reset_clears_spans_too(self):
+        core.enable()
+        with core.span("s"):
+            core.inc("c")
+        core.reset()
+        assert core.tracer().roots == []
+        assert core.counters().counts == {}
+
+
+class TestIsolation:
+    def test_thread_gets_its_own_state(self):
+        core.enable()
+        core.inc("main_only")
+        seen_in_thread = {}
+
+        def worker():
+            core.inc("thread_only", 7)
+            seen_in_thread["main_only"] = core.counters().get("main_only")
+            seen_in_thread["thread_only"] = core.counters().get("thread_only")
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        assert seen_in_thread == {"main_only": 0, "thread_only": 7}
+        assert core.counters().get("thread_only") == 0
+        assert core.counters().get("main_only") == 1
+
+    def test_fresh_contextvars_context_is_isolated(self):
+        core.enable()
+        core.inc("outer")
+
+        def in_context():
+            core.inc("inner", 3)
+            with core.span("inner_span"):
+                pass
+            return (
+                core.counters().get("outer"),
+                core.counters().get("inner"),
+                [s.name for s in core.tracer().roots],
+            )
+
+        result = contextvars.Context().run(in_context)
+        assert result == (0, 3, ["inner_span"])
+        assert core.counters().get("inner") == 0
+        assert core.tracer().roots == []
+
+    def test_enable_flag_is_process_wide(self):
+        core.enable()
+        flag_in_thread = []
+        thread = threading.Thread(target=lambda: flag_in_thread.append(core.is_enabled()))
+        thread.start()
+        thread.join()
+        assert flag_in_thread == [True]
+
+
+def _bare(name):
+    pass
+
+
+class TestOverhead:
+    def test_disabled_counter_path_is_near_noop(self):
+        """The disabled instrumentation path must cost < 2x a bare call loop.
+
+        One call per loop iteration on each side (same argument shape), so
+        the measured difference is exactly the flag check inside inc().
+        Best-of-several to shrug off scheduler noise.
+        """
+        assert not core.is_enabled()
+        number = 50_000
+        bare = min(
+            timeit.repeat(
+                "fn('overhead.probe')", globals={"fn": _bare}, number=number, repeat=9
+            )
+        )
+        probed = min(
+            timeit.repeat(
+                "fn('overhead.probe')", globals={"fn": core.inc}, number=number, repeat=9
+            )
+        )
+        ratio = probed / bare
+        assert ratio < 2.0, f"disabled inc() cost {ratio:.2f}x a bare call"
+
+    def test_disabled_span_records_nothing_and_is_cheap(self):
+        assert not core.is_enabled()
+        for _ in range(1000):
+            with core.span("hot"):
+                pass
+        assert core.tracer().roots == []

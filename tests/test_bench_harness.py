@@ -5,11 +5,15 @@ import math
 import pytest
 
 from repro.bench.harness import (
+    _EPS,
+    Measurement,
     Report,
     fit_exponential_base,
     fit_loglog_slope,
     measure_seconds,
+    measure_with_counters,
 )
+from repro.obs import core as obs_core
 
 
 class TestFitting:
@@ -29,6 +33,16 @@ class TestFitting:
     def test_zero_values_clamped_not_crashing(self):
         slope = fit_loglog_slope([1, 2, 4], [0.0, 0.0, 0.0])
         assert math.isfinite(slope)
+
+    def test_both_fits_share_one_clamping_epsilon(self):
+        # Zero values clamp to the same _EPS in both fitters, so the two
+        # are consistent on degenerate data.
+        assert math.isfinite(fit_exponential_base([1, 2, 3], [0.0, 0.0, 0.0]))
+        assert abs(fit_loglog_slope([1, 2, 4], [_EPS, _EPS, _EPS])) < 1e-9
+        assert abs(fit_exponential_base([1, 2, 3], [_EPS, _EPS, _EPS]) - 1.0) < 1e-9
+        assert fit_loglog_slope([1, 2, 4], [0.0, 0.0, 0.0]) == fit_loglog_slope(
+            [1, 2, 4], [_EPS, _EPS, _EPS]
+        )
 
     def test_exponential_base_recovered(self):
         sizes = [4, 6, 8, 10]
@@ -60,6 +74,35 @@ class TestMeasureSeconds:
         best = measure_seconds(variable_cost, repeat=3)
         single = measure_seconds(lambda: sum(range(100_000)), repeat=1)
         assert best <= single * 2  # the fast repeat dominates
+
+    @pytest.mark.parametrize("repeat", [0, -1])
+    def test_nonpositive_repeat_rejected(self, repeat):
+        with pytest.raises(ValueError, match="repeat"):
+            measure_seconds(lambda: None, repeat=repeat)
+
+
+class TestMeasureWithCounters:
+    def test_captures_counters_alongside_timing(self):
+        def workload():
+            obs_core.inc("harness.test.widgets", 2)
+
+        measurement = measure_with_counters(workload, repeat=2)
+        assert isinstance(measurement, Measurement)
+        assert measurement.seconds >= 0
+        assert measurement.counters == {"harness.test.widgets": 2}
+
+    def test_counter_capture_restores_disabled_flag(self):
+        assert not obs_core.is_enabled()
+        measure_with_counters(lambda: None, repeat=1)
+        assert not obs_core.is_enabled()
+
+    def test_empty_delta_when_workload_counts_nothing(self):
+        measurement = measure_with_counters(lambda: sum(range(10)), repeat=1)
+        assert measurement.counters == {}
+
+    def test_repeat_guard_applies(self):
+        with pytest.raises(ValueError, match="repeat"):
+            measure_with_counters(lambda: None, repeat=0)
 
 
 class TestReport:

@@ -3,11 +3,23 @@
 import pytest
 
 from repro.cli import Shell, main
+from repro.obs import core as obs_core
 
 
 @pytest.fixture()
 def shell():
     return Shell(5)
+
+
+@pytest.fixture()
+def traced_shell():
+    """A shell with instrumentation on; flag and state restored afterwards."""
+    obs_core.reset()
+    shell = Shell(5)
+    shell.execute(":trace on")
+    yield shell
+    obs_core.disable()
+    obs_core.reset()
 
 
 class TestUpdates:
@@ -79,8 +91,59 @@ class TestCommands:
     def test_unknown_command(self, shell):
         assert shell.execute(":frobnicate").startswith("error:")
 
+    def test_unknown_command_suggests_nearest(self, shell):
+        out = shell.execute(":stat")
+        assert out.startswith("error:")
+        assert "did you mean :stats?" in out
+        assert "did you mean :trace?" in shell.execute(":tracer")
+
     def test_unrecognised_input(self, shell):
         assert shell.execute("hello").startswith("error:")
+
+
+class TestObservabilityCommands:
+    def test_trace_on_off(self, traced_shell):
+        assert obs_core.is_enabled()
+        assert traced_shell.execute(":trace off") == "tracing off"
+        assert not obs_core.is_enabled()
+
+    def test_trace_show_has_span_tree(self, traced_shell):
+        traced_shell.execute("(insert {A1 | A2})")
+        tree = traced_shell.execute(":trace show")
+        assert "hlu.apply" in tree
+        assert "blu.c.mask" in tree
+
+    def test_trace_clear(self, traced_shell):
+        traced_shell.execute("(insert {A1})")
+        assert traced_shell.execute(":trace clear") == "trace cleared"
+        assert traced_shell.execute(":trace show") == "(no spans recorded)"
+
+    def test_trace_bad_mode(self, traced_shell):
+        assert traced_shell.execute(":trace sideways").startswith("error:")
+
+    def test_stats_counts_kernel_work(self, traced_shell):
+        traced_shell.execute("(insert {A1 | A2})")
+        stats = traced_shell.execute(":stats")
+        assert "hlu.updates" in stats
+        assert "blu.c.mask.calls" in stats
+
+    def test_stats_reset_zeroes_deltas(self, traced_shell):
+        traced_shell.execute("(insert {A1})")
+        assert traced_shell.execute(":stats reset") == "counters reset"
+        assert traced_shell.execute(":stats") == (
+            "(no counter activity since the last reset)"
+        )
+        traced_shell.execute("? A1")
+        assert "hlu.queries" in traced_shell.execute(":stats")
+
+    def test_stats_hints_when_tracing_off(self, shell):
+        out = shell.execute(":stats")
+        assert "try :trace on" in out
+
+    def test_help_mentions_stats_and_trace(self, shell):
+        help_text = shell.execute(":help")
+        assert ":stats" in help_text
+        assert ":trace" in help_text
 
 
 class TestMain:

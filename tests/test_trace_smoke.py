@@ -1,0 +1,51 @@
+"""CI smoke job: one real experiment run with ``--trace-out`` must emit
+JSON-lines that pass the schema check, so exporter drift fails CI rather
+than silently corrupting bench artifacts.
+
+Kept fast by running only E1 (sub-second); marked ``smoke`` so it can be
+selected alone with ``pytest -m smoke``.
+"""
+
+import pytest
+
+from benchmarks.run_experiments import main
+from repro.obs import core
+from repro.obs.export import counters_from_jsonl, spans_from_jsonl, validate_jsonl
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    yield
+    core.disable()
+    core.reset()
+
+
+@pytest.mark.smoke
+def test_e01_trace_out_round_trips_and_validates(tmp_path, capsys):
+    trace_path = tmp_path / "trace.jsonl"
+    code = main(["E1", "--trace-out", str(trace_path)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "E1" in out
+    assert f"trace written to {trace_path}" in out
+
+    text = trace_path.read_text()
+    errors = validate_jsonl(text)
+    assert errors == [], "\n".join(errors)
+
+    roots = spans_from_jsonl(text)
+    assert any(root.name == "experiment.E1" for root in roots)
+    span_names = {span.name for root in roots for _, span in root.walk()}
+    assert "blu.c.assert" in span_names
+
+    counters = counters_from_jsonl(text)
+    assert counters.get("blu.c.assert.calls") > 0
+    assert counters.get("blu.c.assert.clauses_out") > 0
+
+
+@pytest.mark.smoke
+def test_runner_without_tracing_leaves_obs_disabled(tmp_path, capsys):
+    code = main(["E6"])
+    capsys.readouterr()
+    assert code == 0
+    assert not core.is_enabled()
