@@ -1,37 +1,99 @@
 #!/usr/bin/env python3
-"""Run the full E1--E17 experiment suite and print claim-vs-measured tables.
+"""Run the E1--E17 / A1--A4 experiment suite and print claim-vs-measured tables.
 
 This is the report generator behind EXPERIMENTS.md::
 
     python benchmarks/run_experiments.py                 # all experiments
-    python benchmarks/run_experiments.py E3 E11          # a selection
+    python benchmarks/run_experiments.py E3 A1           # a selection
+    python benchmarks/run_experiments.py --smoke         # fast correctness tier
     python benchmarks/run_experiments.py E1 --trace-out trace.jsonl
 
 ``--trace-out FILE`` enables the ``repro.obs`` instrumentation for the
 whole run and writes every recorded span and counter as JSON-lines
 (schema-checked by ``tests/test_trace_smoke.py``).
+
+Performance trajectory (see README "Performance trajectory"):
+
+* a full run writes a schema-versioned ``BENCH_<timestamp>.json`` run
+  record at the repo root by default (``--bench-out FILE`` to choose the
+  path, ``--no-bench-out`` to skip; selections only write when asked);
+* ``--check-regressions`` compares the run against the committed
+  baseline (``--baseline PATH``) and exits nonzero on gated regressions,
+  so CI can hold the line;
+* ``--update-baseline`` promotes the run record to be the new baseline.
 """
 
 from __future__ import annotations
 
 import argparse
+import re
 import sys
 import time
+from pathlib import Path
 
 from repro import obs
 from repro.bench import experiments
+from repro.errors import MetricsError
+from repro.obs import baseline as baseline_mod
+from repro.obs import metrics as metrics_mod
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / baseline_mod.DEFAULT_BASELINE_RELPATH
+
+RUNNERS = [
+    experiments.e01_assert_linear,
+    experiments.e02_combine_quadratic,
+    experiments.e03_complement_exponential,
+    experiments.e04_mask_blowup,
+    experiments.e05_genmask_exponential,
+    experiments.e06_example_315,
+    experiments.e07_example_325,
+    experiments.e08_inset_example,
+    experiments.e09_congruence_theorem,
+    experiments.e10_emulation,
+    experiments.e11_wilkins_tradeoff,
+    experiments.e12_hlu_equivalence,
+    experiments.e13_relational_grounding,
+    experiments.e14_tabular_gap,
+    experiments.e15_minimal_change,
+    experiments.e16_hlu_bottleneck,
+    experiments.e17_template_coverage,
+    experiments.a01_simplify_ablation,
+    experiments.a02_mask_strategy,
+    experiments.a03_backend_crossover,
+    experiments.a04_wilkins_hybrid,
+]
+
+#: The sub-second correctness tier (mirrors tests/test_experiments_fast.py
+#: plus the exact-output E13): deterministic counters, no timing sweeps --
+#: what CI gates on.
+SMOKE_IDENTS = {"E6", "E7", "E8", "E9", "E10", "E12", "E13", "E14", "E15", "E17"}
+
+
+def runner_ident(runner) -> str:
+    """``e01_assert_linear`` -> ``E1``; ``a04_wilkins_hybrid`` -> ``A4``."""
+    match = re.match(r"([ae])(\d+)_", runner.__name__)
+    if match is None:  # pragma: no cover - registry invariant
+        raise ValueError(f"unrecognised runner name {runner.__name__!r}")
+    return f"{match.group(1).upper()}{int(match.group(2))}"
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="run_experiments",
-        description="Regenerate the paper's claims (experiments E1--E17).",
+        description="Regenerate the paper's claims (experiments E1..E17, A1..A4).",
     )
     parser.add_argument(
         "experiments",
         nargs="*",
         metavar="EXPERIMENT",
-        help="experiment idents to run (e.g. E3 E11); default: all",
+        help="experiment idents to run (e.g. E3 A1); default: all",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the fast correctness tier (deterministic counters, "
+        "no timing sweeps)",
     )
     parser.add_argument(
         "--trace-out",
@@ -39,33 +101,63 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="enable repro.obs and write spans + counters as JSON-lines",
     )
+    parser.add_argument(
+        "--bench-out",
+        metavar="FILE",
+        default=None,
+        help="write the run record here (default for full runs: "
+        "BENCH_<timestamp>.json at the repo root)",
+    )
+    parser.add_argument(
+        "--no-bench-out",
+        action="store_true",
+        help="never write a run record, even for a full run",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=str(DEFAULT_BASELINE),
+        help="baseline run record for --check-regressions / --update-baseline "
+        "(default: benchmarks/baselines/baseline.json)",
+    )
+    parser.add_argument(
+        "--check-regressions",
+        action="store_true",
+        help="diff this run against the baseline and exit nonzero on "
+        "gated regressions",
+    )
+    parser.add_argument(
+        "--gate",
+        metavar="KINDS",
+        default="seconds,counter,fit",
+        help="comma-separated metric kinds that can fail the gate "
+        "(subset of: seconds,counter,fit)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="promote this run's record to be the baseline",
+    )
     options = parser.parse_args(argv)
+
     wanted = {name.upper() for name in options.experiments}
-    runners = [
-        experiments.e01_assert_linear,
-        experiments.e02_combine_quadratic,
-        experiments.e03_complement_exponential,
-        experiments.e04_mask_blowup,
-        experiments.e05_genmask_exponential,
-        experiments.e06_example_315,
-        experiments.e07_example_325,
-        experiments.e08_inset_example,
-        experiments.e09_congruence_theorem,
-        experiments.e10_emulation,
-        experiments.e11_wilkins_tradeoff,
-        experiments.e12_hlu_equivalence,
-        experiments.e13_relational_grounding,
-        experiments.e14_tabular_gap,
-        experiments.e15_minimal_change,
-        experiments.e16_hlu_bottleneck,
-        experiments.e17_template_coverage,
-    ]
-    known = {
-        runner.__name__.split("_")[0].upper().replace("E0", "E") for runner in runners
-    }
+    if options.smoke:
+        wanted |= SMOKE_IDENTS
+    known = {runner_ident(runner) for runner in RUNNERS}
     unknown = sorted(wanted - known)
     if unknown:
-        parser.error(f"unknown experiment(s): {', '.join(unknown)} (known: E1..E17)")
+        parser.error(
+            f"unknown experiment(s): {', '.join(unknown)} "
+            f"(known: E1..E17, A1..A4)"
+        )
+    gate = frozenset(kind.strip() for kind in options.gate.split(",") if kind.strip())
+    bad_kinds = gate - set(baseline_mod.METRIC_KINDS)
+    if bad_kinds:
+        parser.error(
+            f"unknown gate kind(s): {', '.join(sorted(bad_kinds))} "
+            f"(known: {', '.join(baseline_mod.METRIC_KINDS)})"
+        )
+
     tracing = options.trace_out is not None
     trace_handle = None
     if tracing:
@@ -76,9 +168,10 @@ def main(argv: list[str] | None = None) -> int:
         obs.reset()
         obs.enable()
     failures = 0
+    results: list[tuple[object, object]] = []
     try:
-        for runner in runners:
-            ident = runner.__name__.split("_")[0].upper().replace("E0", "E")
+        for runner in RUNNERS:
+            ident = runner_ident(runner)
             if wanted and ident not in wanted:
                 continue
             start = time.perf_counter()
@@ -88,6 +181,7 @@ def main(argv: list[str] | None = None) -> int:
             else:
                 report = runner()
             elapsed = time.perf_counter() - start
+            results.append((report, elapsed))
             print(report.render())
             print(f"(ran in {elapsed:.1f}s)\n")
             if not report.holds:
@@ -100,9 +194,45 @@ def main(argv: list[str] | None = None) -> int:
             with trace_handle:
                 trace_handle.write(export_jsonl(obs.tracer(), obs.counters()))
             print(f"trace written to {options.trace_out}")
+
+    record = metrics_mod.record_from_reports(results, root=REPO_ROOT)
+
+    full_run = not wanted
+    if options.bench_out is not None:
+        bench_path: Path | None = Path(options.bench_out)
+    elif full_run and not options.no_bench_out:
+        bench_path = REPO_ROOT / metrics_mod.bench_filename()
+    else:
+        bench_path = None
+    if bench_path is not None and not options.no_bench_out:
+        metrics_mod.write_run_record(record, bench_path)
+        print(f"run record written to {bench_path}")
+
+    if options.update_baseline:
+        promoted = baseline_mod.promote_baseline(record, options.baseline)
+        print(f"baseline updated: {promoted}")
+
+    regressions = 0
+    if options.check_regressions and not options.update_baseline:
+        try:
+            base = baseline_mod.load_baseline(options.baseline)
+            comparison = baseline_mod.compare(record, base)
+        except MetricsError as exc:
+            print(f"cannot check regressions: {exc}")
+            return 2
+        print(comparison.report().render())
+        regressions = len(comparison.regressions(gate))
+        if regressions:
+            print(
+                f"{regressions} gated regression(s) vs {options.baseline} "
+                f"(gate: {', '.join(sorted(gate))})"
+            )
+
     if failures:
         print(f"{failures} experiment(s) diverged from the paper's claims")
         return 1
+    if regressions:
+        return 2
     print("all selected experiments reproduce the paper's claimed shapes")
     return 0
 

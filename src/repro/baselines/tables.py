@@ -30,6 +30,7 @@ from collections.abc import Iterable
 
 from repro.db.instances import WorldSet
 from repro.errors import SchemaError
+from repro.obs import core as obs
 from repro.relational.grounding import Grounding
 from repro.relational.schema import RelationalSchema
 from repro.relational.types import TypeExpr
@@ -135,6 +136,7 @@ class VTable:
 
     def world_set(self) -> WorldSet:
         """All possible worlds (closed world per valuation)."""
+        obs.inc("baseline.tables.world_set.calls")
         variables = self.variables()
         domains = [
             sorted(
@@ -190,11 +192,14 @@ def representable_world_sets(
         for entries in itertools.product(*entry_choices):
             all_rows.append((relation_name, tuple(entries)))
     found: dict[frozenset[int], VTable] = {}
+    tables_checked = 0
     for row_count in range(max_rows + 1):
         for combo in itertools.combinations(all_rows, row_count):
             table = VTable(schema, combo)
             worlds = frozenset(table.world_set().worlds)
             found.setdefault(worlds, table)
+            tables_checked += 1
+    obs.inc("baseline.tables.enumerated", tables_checked)
     return found
 
 

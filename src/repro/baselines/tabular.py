@@ -22,6 +22,7 @@ from collections.abc import Callable
 from repro.db.instances import WorldSet
 from repro.logic.propositions import Vocabulary
 from repro.logic.structures import all_worlds
+from repro.obs import core as obs
 
 __all__ = [
     "t_union",
@@ -127,6 +128,7 @@ def search_for_transformer(
     def table_of(function: Callable[[WorldSet, WorldSet], WorldSet]) -> tuple:
         return tuple(frozenset(function(x, y).worlds) for x, y in inputs)
 
+    obs.inc("baseline.tabular.searches")
     target_table = table_of(target)
     known: dict[tuple, None] = {}
     frontier = [table_of(lambda x, y: x), table_of(lambda x, y: y)]
@@ -175,6 +177,7 @@ def search_for_transformer(
                         return True
                     if new_table not in known:
                         known[new_table] = None
+                        obs.inc("baseline.tabular.functions_discovered")
                         added = True
                         if len(known) > max_functions:
                             return False

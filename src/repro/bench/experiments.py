@@ -18,6 +18,7 @@ import random
 from repro.obs import core as obs
 from repro.bench.harness import (
     Report,
+    counting,
     fit_exponential_base,
     fit_loglog_slope,
     measure_seconds,
@@ -38,6 +39,10 @@ from repro.workloads.generators import (
 )
 
 __all__ = [
+    "a01_simplify_ablation",
+    "a02_mask_strategy",
+    "a03_backend_crossover",
+    "a04_wilkins_hybrid",
     "e01_assert_linear",
     "e02_combine_quadratic",
     "e03_complement_exponential",
@@ -81,12 +86,14 @@ def e01_assert_linear(seed: int = 11) -> Report:
         measured = measure_with_counters(lambda: impl.op_assert(left, right))
         seconds = measured.seconds
         times.append(seconds)
+        report.merge_counters(measured.counters)
         report.add_row(
             length,
             measured.counters.get("blu.c.assert.clauses_out", 0),
             f"{seconds:.6f}",
         )
     slope = fit_loglog_slope(lengths, times)
+    report.metrics["loglog_slope"] = slope
     report.observed = f"log-log slope {slope:.2f} (linear ~ 1)"
     report.holds = 0.4 <= slope <= 1.6
     return report
@@ -110,13 +117,16 @@ def e02_combine_quadratic(seed: int = 12) -> Report:
     for length in lengths:
         left = clause_set_of_length(rng, vocabulary, length)
         right = clause_set_of_length(rng, vocabulary, length)
-        seconds = measure_seconds(
+        measured = measure_with_counters(
             lambda: clausal_combine(left, right, simplify=False)
         )
+        seconds = measured.seconds
+        report.merge_counters(measured.counters)
         output = clausal_combine(left, right, simplify=False)
         times.append(seconds)
         report.add_row(length, len(output), f"{seconds:.6f}")
     slope = fit_loglog_slope(lengths, times)
+    report.metrics["loglog_slope"] = slope
     report.observed = f"log-log slope {slope:.2f} vs per-side Length (quadratic ~ 2)"
     report.holds = 1.5 <= slope <= 2.6
     return report
@@ -154,10 +164,12 @@ def e03_complement_exponential(seed: int = 13) -> Report:
                 for i in range(clause_count)
             ]
             state = ClauseSet(vocabulary, clauses)
-            output = clausal_complement(state, simplify=False)
+            with counting(report):
+                output = clausal_complement(state, simplify=False)
             outputs.append(len(output))
             report.add_row(width, length, len(output))
         bases[width] = fit_exponential_base(lengths, outputs)
+        report.metrics[f"exp_base_w{width}"] = bases[width]
     eps = math.exp(1 / math.e)
     summary = ", ".join(f"width {w}: base {b:.3f}" for w, b in bases.items())
     report.observed = f"{summary}; eps = {eps:.4f}"
@@ -202,15 +214,18 @@ def e04_mask_blowup(seed: int = 14) -> Report:
     star_outputs = []
     for clause_count in star_sizes:
         state = _star_instance(clause_count)
-        seconds = measure_seconds(
+        measured = measure_with_counters(
             lambda: clausal_mask(state, [0], simplify=False), repeat=2
         )
+        seconds = measured.seconds
+        report.merge_counters(measured.counters)
         output = clausal_mask(state, [0], simplify=False)
         star_outputs.append(output.length)
         report.add_row("star", 1, state.length, output.length, f"{seconds:.6f}")
     star_slope = fit_loglog_slope(
         [2 * c for c in star_sizes], star_outputs
     )
+    report.metrics["star_output_slope"] = star_slope
     # (b) dense random family, growing |P|: time compounds with each letter.
     rng = random.Random(seed)
     vocabulary = Vocabulary.standard(12)
@@ -218,9 +233,11 @@ def e04_mask_blowup(seed: int = 14) -> Report:
     dense_times = []
     for mask_size in (1, 2, 3, 4):
         indices = list(range(mask_size))
-        seconds = measure_seconds(
+        measured = measure_with_counters(
             lambda: clausal_mask(dense, indices, simplify=True), repeat=2
         )
+        seconds = measured.seconds
+        report.merge_counters(measured.counters)
         output = clausal_mask(dense, indices, simplify=True)
         dense_times.append(seconds)
         report.add_row(
@@ -265,10 +282,13 @@ def e05_genmask_exponential(seed: int = 15) -> Report:
                 clause_of([make_literal(z_index, False), make_literal(i)])
             )
         state = ClauseSet(vocabulary, clauses)
-        seconds = measure_seconds(lambda: clausal_genmask(state), repeat=2)
+        measured = measure_with_counters(lambda: clausal_genmask(state), repeat=2)
+        seconds = measured.seconds
+        report.merge_counters(measured.counters)
         times.append(seconds)
         report.add_row(k + 1, state.length, f"{seconds:.6f}")
     base = fit_exponential_base(letter_counts, times)
+    report.metrics["exp_base"] = base
     # NP-hardness witness: for fresh z, Phi = F u {z} depends on z iff F
     # is satisfiable (Mod[Phi] = z-true models of F, never closed under
     # flipping z unless empty) -- a SAT oracle in one dependence query.
@@ -276,15 +296,16 @@ def e05_genmask_exponential(seed: int = 15) -> Report:
 
     agreement = 0
     trials = 12
-    for _ in range(trials):
-        vocabulary = Vocabulary.standard(7)  # letters 0..5 for F, 6 = z
-        f_clauses = random_clause_set(rng, Vocabulary.standard(6), 9, width=3)
-        z = make_literal(6)
-        phi = ClauseSet(vocabulary, f_clauses.clauses).with_clause(
-            clause_of([z])
-        )
-        if depends_on(phi, 6) == is_satisfiable(f_clauses):
-            agreement += 1
+    with counting(report):
+        for _ in range(trials):
+            vocabulary = Vocabulary.standard(7)  # letters 0..5 for F, 6 = z
+            f_clauses = random_clause_set(rng, Vocabulary.standard(6), 9, width=3)
+            z = make_literal(6)
+            phi = ClauseSet(vocabulary, f_clauses.clauses).with_clause(
+                clause_of([z])
+            )
+            if depends_on(phi, 6) == is_satisfiable(f_clauses):
+                agreement += 1
     report.observed = (
         f"fitted exponential base {base:.2f} per letter (claim ~ 2); "
         f"SAT-reduction witness agreed {agreement}/{trials}"
@@ -315,17 +336,20 @@ def e06_example_315() -> Report:
     phi = ClauseSet.from_strs(vocabulary, PAPER_STATE_STRS)
     payload = ClauseSet.from_strs(vocabulary, ["A1 | A2"])
 
-    mask = impl.op_genmask(payload)
+    with counting(report):
+        mask = impl.op_genmask(payload)
     mask_names = sorted(vocabulary.name_of(i) for i in mask)
     ok1 = mask_names == ["A1", "A2"]
     report.add_row("genmask", "{A1, A2}", "{" + ", ".join(mask_names) + "}", ok1)
 
-    masked = impl.op_mask(phi, mask)
+    with counting(report):
+        masked = impl.op_mask(phi, mask)
     expected_masked = ClauseSet.from_strs(vocabulary, ["A4 | A5", "A3 | A4"])
     ok2 = masked == expected_masked
     report.add_row("mask", "{A4 | A5, A3 | A4}", str(masked), ok2)
 
-    result = impl.op_assert(masked, payload)
+    with counting(report):
+        result = impl.op_assert(masked, payload)
     expected = ClauseSet.from_strs(vocabulary, ["A1 | A2", "A4 | A5", "A3 | A4"])
     ok3 = result == expected
     report.add_row("assert", str(expected), str(result), ok3)
@@ -364,10 +388,11 @@ def e07_example_325() -> Report:
     ok_expansion = str(program) == expected_text
     report.add_row("expansion matches paper", ok_expansion)
 
-    clausal = IncompleteDatabase.over(5).assert_(*PAPER_STATE_STRS).apply(update)
-    instance = IncompleteDatabase.over(5, backend="instance").assert_(
-        *PAPER_STATE_STRS
-    ).apply(update)
+    with counting(report):
+        clausal = IncompleteDatabase.over(5).assert_(*PAPER_STATE_STRS).apply(update)
+        instance = IncompleteDatabase.over(5, backend="instance").assert_(
+            *PAPER_STATE_STRS
+        ).apply(update)
     ok_agree = clausal.worlds() == instance.worlds()
     report.add_row("clausal == instance result", ok_agree)
 
@@ -410,7 +435,8 @@ def e08_inset_example() -> Report:
     ]
     all_ok = True
     for text, expected_size in cases:
-        got = inset(vocabulary, [text])
+        with counting(report):
+            got = inset(vocabulary, [text])
         ok = len(got) == expected_size
         all_ok = all_ok and ok
         report.add_row(text, len(got), expected_size, ok)
@@ -448,17 +474,20 @@ def e09_congruence_theorem(seed: int = 19, trials: int = 25) -> Report:
     holds = 0
     identity_cases = 0
     checked = 0
-    for _ in range(trials):
-        formula = random_formula(rng, vocabulary, depth=3)
-        update = insert_update(vocabulary, [formula])
-        if len(update) == 0:
-            continue  # unsatisfiable insert: congruence not defined
-        checked += 1
-        expected = SimpleMask(vocabulary, inset_prop_indices(vocabulary, [formula]))
-        if not expected.indices:
-            identity_cases += 1
-        if masks_equal(congruence_of(update), expected):
-            holds += 1
+    with counting(report):
+        for _ in range(trials):
+            formula = random_formula(rng, vocabulary, depth=3)
+            update = insert_update(vocabulary, [formula])
+            if len(update) == 0:
+                continue  # unsatisfiable insert: congruence not defined
+            checked += 1
+            expected = SimpleMask(
+                vocabulary, inset_prop_indices(vocabulary, [formula])
+            )
+            if not expected.indices:
+                identity_cases += 1
+            if masks_equal(congruence_of(update), expected):
+                holds += 1
     report.add_row(checked, holds, identity_cases)
     report.observed = f"theorem held on {holds}/{checked} satisfiable formulas"
     report.holds = holds == checked and checked > 0
@@ -490,17 +519,22 @@ def e10_emulation(seed: int = 20, trials: int = 40) -> Report:
     all_ok = True
     for operator in ("assert", "combine", "complement", "mask", "genmask"):
         agreed = 0
-        for _ in range(trials):
-            left = random_clause_set(rng, vocabulary, rng.randint(0, 5), width=2)
-            if operator in ("assert", "combine"):
-                right = random_clause_set(rng, vocabulary, rng.randint(0, 5), width=2)
-                ok = emulation.check_operator(operator, left, right)
-            elif operator == "mask":
-                indices = frozenset(rng.sample(range(4), rng.randint(0, 4)))
-                ok = emulation.check_operator(operator, left, indices)
-            else:
-                ok = emulation.check_operator(operator, left)
-            agreed += ok
+        with counting(report):
+            for _ in range(trials):
+                left = random_clause_set(
+                    rng, vocabulary, rng.randint(0, 5), width=2
+                )
+                if operator in ("assert", "combine"):
+                    right = random_clause_set(
+                        rng, vocabulary, rng.randint(0, 5), width=2
+                    )
+                    ok = emulation.check_operator(operator, left, right)
+                elif operator == "mask":
+                    indices = frozenset(rng.sample(range(4), rng.randint(0, 4)))
+                    ok = emulation.check_operator(operator, left, indices)
+                else:
+                    ok = emulation.check_operator(operator, left)
+                agreed += ok
         report.add_row(operator, trials, agreed)
         all_ok = all_ok and agreed == trials
     report.observed = "emulation respected on every trial" if all_ok else "MISMATCH"
@@ -559,8 +593,12 @@ def e11_wilkins_tradeoff(seed: int = 21) -> Report:
 
         # Best-of-repeats: single-shot sub-millisecond timings are too
         # noisy to compare (this runs inside a loaded benchmark session).
-        hegner_update = measure_seconds(run_hegner_stream, repeat=3)
-        wilkins_update = measure_seconds(run_wilkins_stream, repeat=3)
+        hegner_measured = measure_with_counters(run_hegner_stream, repeat=3)
+        wilkins_measured = measure_with_counters(run_wilkins_stream, repeat=3)
+        hegner_update = hegner_measured.seconds
+        wilkins_update = wilkins_measured.seconds
+        report.merge_counters(hegner_measured.counters)
+        report.merge_counters(wilkins_measured.counters)
         hegner = run_hegner_stream()
         wilkins = run_wilkins_stream()
 
@@ -638,29 +676,31 @@ def e12_hlu_equivalence(seed: int = 22, trials: int = 30) -> Report:
 
     insert_ok = 0
     delete_ok = 0
-    for _ in range(trials):
-        formula = random_formula(rng, vocabulary, depth=3)
-        state = random_state()
-        if insert_update(vocabulary, [formula]).apply_world_set(state) == run_update(
-            impl, state, language.insert(formula)
-        ):
-            insert_ok += 1
-        if delete_update(vocabulary, [formula]).apply_world_set(state) == run_update(
-            impl, state, language.delete(formula)
-        ):
-            delete_ok += 1
+    with counting(report):
+        for _ in range(trials):
+            formula = random_formula(rng, vocabulary, depth=3)
+            state = random_state()
+            if insert_update(vocabulary, [formula]).apply_world_set(
+                state
+            ) == run_update(impl, state, language.insert(formula)):
+                insert_ok += 1
+            if delete_update(vocabulary, [formula]).apply_world_set(
+                state
+            ) == run_update(impl, state, language.delete(formula)):
+                delete_ok += 1
     report.add_row("insert", trials, insert_ok, "")
     report.add_row("delete", trials, delete_ok, "")
 
     literal_ok = 0
-    for _ in range(trials):
-        pre = rng.choice(["A1", "~A1", "A2", "~A3"])
-        post = random_formula(rng, vocabulary, depth=2)
-        state = random_state()
-        if modify_update(vocabulary, [pre], [post]).apply_world_set(
-            state
-        ) == run_update(impl, state, language.modify(pre, post)):
-            literal_ok += 1
+    with counting(report):
+        for _ in range(trials):
+            pre = rng.choice(["A1", "~A1", "A2", "~A3"])
+            post = random_formula(rng, vocabulary, depth=2)
+            state = random_state()
+            if modify_update(vocabulary, [pre], [post]).apply_world_set(
+                state
+            ) == run_update(impl, state, language.modify(pre, post)):
+                literal_ok += 1
     report.add_row("modify (literal precondition)", trials, literal_ok, "")
 
     # The documented divergence: conjunctive precondition.
@@ -726,9 +766,11 @@ def e13_relational_grounding() -> Report:
 
         if phone_count <= 8:
             db = RelationalDatabase(schema, backend="clausal")
-            db.tell(("R", "P1", "D1", "T1"))
-            with obs.enabled():
-                with obs.span("relational.tell.grounded", phones=phone_count) as span:
+            with counting(report):
+                db.tell(("R", "P1", "D1", "T1"))
+                with obs.span(
+                    "relational.tell.grounded", phones=phone_count
+                ) as span:
                     db.tell(atom)
             grounded_seconds = f"{span.elapsed:.4f}"
         else:
@@ -771,15 +813,18 @@ def e14_tabular_gap() -> Report:
         columns=("target", "expressible (depth-bounded search)"),
     )
     vocabulary = Vocabulary.standard(2)
-    sanity_union = search_for_transformer(vocabulary, t_union, max_rounds=1)
+    with counting(report):
+        sanity_union = search_for_transformer(vocabulary, t_union, max_rounds=1)
     report.add_row("union (sanity: a primitive)", sanity_union)
-    composed = search_for_transformer(
-        vocabulary, lambda x, y: t_intersection(t_union(x, y), x), max_rounds=2
-    )
+    with counting(report):
+        composed = search_for_transformer(
+            vocabulary, lambda x, y: t_intersection(t_union(x, y), x), max_rounds=2
+        )
     report.add_row("intersection(union(x,y),x) (sanity)", composed)
-    insert_found = search_for_transformer(
-        vocabulary, hlu_insert_transformer, max_rounds=2, max_functions=5000
-    )
+    with counting(report):
+        insert_found = search_for_transformer(
+            vocabulary, hlu_insert_transformer, max_rounds=2, max_functions=5000
+        )
     report.add_row("HLU-insert (mask genmask then assert)", insert_found)
     report.observed = (
         "primitive compositions found; the genmask-based insert is not "
@@ -808,10 +853,11 @@ def e15_minimal_change() -> Report:
     )
     vocabulary = Vocabulary.standard(3)
 
-    packaged = MinimalChangeDatabase(vocabulary, ["A1 & A2"])
-    separated = MinimalChangeDatabase(vocabulary, ["A1", "A2"])
-    packaged.insert("~A1")
-    separated.insert("~A1")
+    with counting(report):
+        packaged = MinimalChangeDatabase(vocabulary, ["A1 & A2"])
+        separated = MinimalChangeDatabase(vocabulary, ["A1", "A2"])
+        packaged.insert("~A1")
+        separated.insert("~A1")
     syntactic = packaged.world_set() != separated.world_set()
     report.add_row(
         "{A1 & A2} vs {A1, A2}, insert ~A1",
@@ -819,10 +865,11 @@ def e15_minimal_change() -> Report:
         syntactic,
     )
 
-    flock = MinimalChangeDatabase(vocabulary, ["A1 <-> A2"])
-    flock.insert("~A1")
-    hegner = IncompleteDatabase.over(3, backend="instance")
-    hegner.assert_("A1 <-> A2").insert("~A1")
+    with counting(report):
+        flock = MinimalChangeDatabase(vocabulary, ["A1 <-> A2"])
+        flock.insert("~A1")
+        hegner = IncompleteDatabase.over(3, backend="instance")
+        hegner.assert_("A1 <-> A2").insert("~A1")
     differs = flock.world_set() != hegner.worlds()
     retains_more = flock.is_certain("~A2") and not hegner.is_certain("~A2")
     report.add_row(
@@ -875,17 +922,24 @@ def e16_hlu_bottleneck(seed: int = 26) -> Report:
     mask_shares = []
     for state_length in (150, 300, 600, 1200):
         state = clause_set_of_length(rng, vocabulary, state_length, width=3)
-        genmask_seconds = measure_seconds(lambda: impl.op_genmask(payload))
+        genmask_measured = measure_with_counters(lambda: impl.op_genmask(payload))
+        genmask_seconds = genmask_measured.seconds
+        report.merge_counters(genmask_measured.counters)
         mask_value = impl.op_genmask(payload)
         mask_measured = measure_with_counters(
             lambda: impl.op_mask(state, mask_value), repeat=2
         )
         mask_seconds = mask_measured.seconds
+        report.merge_counters(mask_measured.counters)
         resolvents = mask_measured.counters.get(
             "logic.resolution.resolvents_formed", 0
         )
         masked = impl.op_mask(state, mask_value)
-        assert_seconds = measure_seconds(lambda: impl.op_assert(masked, payload))
+        assert_measured = measure_with_counters(
+            lambda: impl.op_assert(masked, payload)
+        )
+        assert_seconds = assert_measured.seconds
+        report.merge_counters(assert_measured.counters)
         total = genmask_seconds + mask_seconds + assert_seconds
         share = mask_seconds / total if total else 0.0
         mask_shares.append(share)
@@ -897,6 +951,7 @@ def e16_hlu_bottleneck(seed: int = 26) -> Report:
             f"{assert_seconds:.6f}",
             f"{share:.0%}",
         )
+    report.metrics["mask_share_largest"] = mask_shares[-1]
     report.observed = (
         f"mask's share of the pipeline on the largest state: "
         f"{mask_shares[-1]:.0%}"
@@ -906,7 +961,7 @@ def e16_hlu_bottleneck(seed: int = 26) -> Report:
 
 
 def all_experiments() -> list[Report]:
-    """Run every experiment and return the reports, in order."""
+    """Run every experiment (E-suite then A-ablations), in order."""
     return [
         e01_assert_linear(),
         e02_combine_quadratic(),
@@ -925,6 +980,10 @@ def all_experiments() -> list[Report]:
         e15_minimal_change(),
         e16_hlu_bottleneck(),
         e17_template_coverage(),
+        a01_simplify_ablation(),
+        a02_mask_strategy(),
+        a03_backend_crossover(),
+        a04_wilkins_hybrid(),
     ]
 
 
@@ -956,7 +1015,8 @@ def e17_template_coverage() -> Report:
         constants={"thing": ["a", "b"]},
         relations={"P": [("X", "thing")]},
     )
-    reachable = representable_world_sets(tiny, max_rows=3, max_variables=2)
+    with counting(report):
+        reachable = representable_world_sets(tiny, max_rows=3, max_variables=2)
     total = 1 << (1 << 2)  # world sets over 2 ground facts
     report.add_row(
         "world sets reachable by <=3-row tables (2 ground facts)",
@@ -969,8 +1029,11 @@ def e17_template_coverage() -> Report:
         relations={"Phone": [("N", "person"), ("T", "telno")]},
     )
     x = TableVariable("x", phone.algebra.named("telno"))
-    some_phone = VTable(phone, [("Phone", ("Jones", x))]).world_set()
-    practical = is_representable(some_phone, phone, max_rows=2, max_variables=1)
+    with counting(report):
+        some_phone = VTable(phone, [("Phone", ("Jones", x))]).world_set()
+        practical = is_representable(
+            some_phone, phone, max_rows=2, max_variables=1
+        )
     report.add_row("'Jones has some phone' representable", practical is not None)
 
     # Open-world insert result: representable via row collapse.
@@ -978,7 +1041,8 @@ def e17_template_coverage() -> Report:
     a_bit = 1 << vocab.index_of("P.a")
     b_bit = 1 << vocab.index_of("P.b")
     open_insert = WorldSet(vocab, {a_bit, a_bit | b_bit})
-    collapse = is_representable(open_insert, tiny, max_rows=2, max_variables=1)
+    with counting(report):
+        collapse = is_representable(open_insert, tiny, max_rows=2, max_variables=1)
     report.add_row(
         "open-world insert result representable (row collapse)",
         collapse is not None,
@@ -986,7 +1050,8 @@ def e17_template_coverage() -> Report:
 
     # The gap: presence correlation ("nothing or both") is not a table.
     correlated = WorldSet(vocab, {0, a_bit | b_bit})
-    gap = is_representable(correlated, tiny, max_rows=3, max_variables=2)
+    with counting(report):
+        gap = is_representable(correlated, tiny, max_rows=3, max_variables=2)
     report.add_row("'nothing or both' representable", gap is not None)
 
     report.observed = (
@@ -998,5 +1063,266 @@ def e17_template_coverage() -> Report:
         and practical is not None
         and collapse is not None
         and gap is None
+    )
+    return report
+
+
+# ---------------------------------------------------------------------------
+# A1 -- ablation: subsumption reduction (simplify) in BLU--C
+# ---------------------------------------------------------------------------
+
+def a01_simplify_ablation(seed: int = 17, inserts: int = 12) -> Report:
+    from repro.hlu import language
+    from repro.hlu.interpreter import run_update
+    from repro.logic.semantics import models_of_clauses
+    from repro.workloads.generators import update_stream
+
+    report = Report(
+        ident="A1",
+        title="Ablation: simplification on the insert stream",
+        claim=(
+            "tautology elimination + subsumption reduction keep states "
+            "smaller at equal semantics (Section 4's 'correctness-"
+            "preserving optimizations')"
+        ),
+        columns=("mode", "inserts", "final Length", "seconds"),
+    )
+    vocabulary = Vocabulary.standard(14)
+
+    def run_stream(simplify: bool) -> ClauseSet:
+        impl = ClausalImplementation(vocabulary, simplify=simplify)
+        state = ClauseSet.tautology(vocabulary)
+        rng = random.Random(seed)
+        for payload in update_stream(rng, vocabulary, inserts, width=2):
+            state = run_update(impl, state, language.insert(payload))
+        return state
+
+    lengths: dict[bool, int] = {}
+    for simplify in (True, False):
+        measured = measure_with_counters(lambda: run_stream(simplify), repeat=2)
+        report.merge_counters(measured.counters)
+        state = run_stream(simplify)
+        lengths[simplify] = state.length
+        report.add_row(
+            "simplified" if simplify else "raw",
+            inserts,
+            state.length,
+            f"{measured.seconds:.5f}",
+        )
+    agree = models_of_clauses(run_stream(True)) == models_of_clauses(
+        run_stream(False)
+    )
+    ratio = lengths[False] / max(lengths[True], 1)
+    report.metrics["raw_over_simplified_length"] = ratio
+    report.observed = (
+        f"same models: {agree}; raw state is {ratio:.2f}x the simplified Length"
+    )
+    report.holds = agree and lengths[True] <= lengths[False]
+    return report
+
+
+# ---------------------------------------------------------------------------
+# A2 -- ablation: masking strategies (Section 4)
+# ---------------------------------------------------------------------------
+
+def a02_mask_strategy(seed: int = 23) -> Report:
+    from repro.logic.implicates import mask_via_implicates
+    from repro.logic.resolution import eliminate_letter
+    from repro.logic.semantics import models_of_clauses
+
+    report = Report(
+        ident="A2",
+        title="Ablation: resolve-then-drop vs expand-then-drop masking",
+        claim=(
+            "making masking trivial via full prime-implicate expansion "
+            "makes everything else intolerably slow (Section 4)"
+        ),
+        columns=("strategy", "clauses", "output Length", "seconds"),
+    )
+    vocabulary = Vocabulary.standard(12)
+    indices = [0, 1, 2]
+
+    def make_state(clause_count: int) -> ClauseSet:
+        rng = random.Random(seed)
+        return random_clause_set(rng, vocabulary, clause_count, width=3)
+
+    def fewest_occurrences_first(state: ClauseSet) -> ClauseSet:
+        remaining = set(indices)
+        current = state
+        while remaining:
+            def occurrences(index: int) -> int:
+                return sum(
+                    1
+                    for clause in current.clauses
+                    if index + 1 in clause or -(index + 1) in clause
+                )
+
+            best = min(remaining, key=occurrences)
+            remaining.discard(best)
+            current = eliminate_letter(current, best)
+        return current
+
+    for clause_count in (20, 40):
+        state = make_state(clause_count)
+        measured = measure_with_counters(
+            lambda: clausal_mask(state, indices, simplify=True), repeat=2
+        )
+        report.merge_counters(measured.counters)
+        output = clausal_mask(state, indices, simplify=True)
+        report.add_row(
+            "resolve-then-drop", clause_count, output.length,
+            f"{measured.seconds:.5f}",
+        )
+    for clause_count in (8, 12):
+        state = make_state(clause_count)
+        measured = measure_with_counters(
+            lambda: mask_via_implicates(state, indices, 500_000), repeat=2
+        )
+        report.merge_counters(measured.counters)
+        output = mask_via_implicates(state, indices, 500_000)
+        report.add_row(
+            "expand-then-drop", clause_count, output.length,
+            f"{measured.seconds:.5f}",
+        )
+    state = make_state(20)
+    measured = measure_with_counters(
+        lambda: fewest_occurrences_first(state), repeat=2
+    )
+    report.merge_counters(measured.counters)
+    report.add_row(
+        "fewest-occurrences-first", 20,
+        fewest_occurrences_first(state).length, f"{measured.seconds:.5f}",
+    )
+
+    small = make_state(12)
+    agree = (
+        models_of_clauses(clausal_mask(small, indices))
+        == models_of_clauses(mask_via_implicates(small, indices, 500_000))
+        == models_of_clauses(fewest_occurrences_first(small))
+    )
+    try:
+        mask_via_implicates(make_state(40), indices, 100_000)
+        budget_blows = False
+    except MemoryError:
+        budget_blows = True
+    report.observed = (
+        f"strategies agree semantically: {agree}; 40-clause expansion "
+        f"exceeds a 100k-implicate budget: {budget_blows}"
+    )
+    report.holds = agree and budget_blows
+    return report
+
+
+# ---------------------------------------------------------------------------
+# A3 -- ablation: instance vs clausal backend crossover
+# ---------------------------------------------------------------------------
+
+def a03_backend_crossover(seed: int = 31) -> Report:
+    from repro.hlu import language
+    from repro.hlu.session import IncompleteDatabase
+    from repro.workloads.generators import update_stream
+
+    report = Report(
+        ident="A3",
+        title="Ablation: instance vs clausal backend as letters grow",
+        claim=(
+            "direct world-set representation is exponential in the "
+            "vocabulary; the clausal backend scales with the "
+            "representation ('direct representation is impractical', "
+            "Section 0)"
+        ),
+        columns=("letters", "instance s", "clausal s"),
+    )
+
+    def run_script(letters: int, backend: str) -> IncompleteDatabase:
+        db = IncompleteDatabase.over(letters, backend=backend)
+        rng = random.Random(seed)
+        for payload in update_stream(rng, db.vocabulary, 6, width=2):
+            db.apply(language.insert(payload))
+        db.is_certain("A1 | A2")
+        return db
+
+    for letters in (6, 10, 14):
+        instance_measured = measure_with_counters(
+            lambda: run_script(letters, "instance"), repeat=2
+        )
+        clausal_measured = measure_with_counters(
+            lambda: run_script(letters, "clausal"), repeat=2
+        )
+        report.merge_counters(instance_measured.counters)
+        report.merge_counters(clausal_measured.counters)
+        report.add_row(
+            letters,
+            f"{instance_measured.seconds:.5f}",
+            f"{clausal_measured.seconds:.5f}",
+        )
+    agree = (
+        run_script(10, "instance").worlds() == run_script(10, "clausal").worlds()
+    )
+    report.observed = f"backends agree at 10 letters: {agree}"
+    report.holds = agree
+    return report
+
+
+# ---------------------------------------------------------------------------
+# A4 -- ablation: hybrid cleanup policies for the Wilkins strategy
+# ---------------------------------------------------------------------------
+
+def a04_wilkins_hybrid(seed: int = 47, inserts: int = 24) -> Report:
+    from repro.baselines.wilkins import WilkinsDatabase
+    from repro.workloads.generators import update_stream
+
+    report = Report(
+        ident="A4",
+        title="Ablation: Wilkins cleanup policy sweep",
+        claim=(
+            "deferred masking must eventually be paid; policies trade "
+            "update cost against query cost with no superior alternative "
+            "(Section 3.3.1)"
+        ),
+        columns=("policy", "aux letters", "seconds"),
+    )
+    vocabulary = Vocabulary.standard(12)
+    queries_per_insert = 4
+    query = "A1 | A2 | A3"
+
+    def payloads():
+        rng = random.Random(seed)
+        return list(update_stream(rng, vocabulary, inserts, width=2))
+
+    def run_policy(cleanup_every: int | None) -> WilkinsDatabase:
+        db = WilkinsDatabase(vocabulary)
+        for step, payload in enumerate(payloads(), start=1):
+            db.insert(payload)
+            if cleanup_every and step % cleanup_every == 0:
+                db.cleanup()
+            for _ in range(queries_per_insert):
+                db.is_certain(query)
+        return db
+
+    aux_counts: dict[str, int] = {}
+    for label, policy in (
+        ("never", None), ("every-8", 8), ("every-4", 4), ("eager", 1)
+    ):
+        measured = measure_with_counters(lambda: run_policy(policy), repeat=1)
+        report.merge_counters(measured.counters)
+        db = run_policy(policy)
+        aux_counts[label] = db.aux_count
+        report.add_row(label, db.aux_count, f"{measured.seconds:.5f}")
+
+    def final_state(policy: int | None):
+        db = run_policy(policy)
+        db.cleanup()
+        return db.state
+
+    agree = final_state(None) == final_state(4) == final_state(1)
+    report.observed = (
+        f"policies agree on base-letter knowledge after cleanup: {agree}; "
+        f"aux letters never={aux_counts['never']}, eager={aux_counts['eager']}"
+    )
+    report.holds = (
+        agree
+        and aux_counts["eager"] == 0
+        and aux_counts["never"] == 2 * inserts
     )
     return report

@@ -11,14 +11,17 @@ from __future__ import annotations
 
 import math
 import time
-from collections.abc import Callable, Iterable, Sequence
+from collections.abc import Callable, Iterable, Iterator, Mapping, Sequence
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.obs import core as obs
 
 __all__ = [
+    "Timing",
     "measure_seconds",
     "measure_with_counters",
+    "counting",
     "Measurement",
     "fit_loglog_slope",
     "fit_exponential_base",
@@ -30,25 +33,111 @@ __all__ = [
 _EPS = 1e-12
 
 
-def measure_seconds(fn: Callable[[], object], repeat: int = 3) -> float:
-    """Best-of-``repeat`` wall-clock seconds for ``fn()``."""
+class Timing(float):
+    """Best-of-repeats seconds that still carries every raw sample.
+
+    A ``Timing`` *is* a float (its value is the minimum of the repeats),
+    so every existing call site -- formatting, sums, ratios, comparisons
+    -- keeps working, while run records and regression gates can read the
+    full distribution: :attr:`samples`, :attr:`median`, :attr:`minimum`,
+    :attr:`maximum`, :attr:`mean`, and :attr:`stddev`.
+    """
+
+    __slots__ = ("samples",)
+
+    samples: tuple[float, ...]
+
+    def __new__(cls, samples: Iterable[float]) -> "Timing":
+        values = tuple(float(s) for s in samples)
+        if not values:
+            raise ValueError("Timing needs at least one sample")
+        self = super().__new__(cls, min(values))
+        self.samples = values
+        return self
+
+    @property
+    def best(self) -> float:
+        return float(self)
+
+    @property
+    def minimum(self) -> float:
+        return min(self.samples)
+
+    @property
+    def maximum(self) -> float:
+        return max(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def median(self) -> float:
+        ordered = sorted(self.samples)
+        mid = len(ordered) // 2
+        if len(ordered) % 2:
+            return ordered[mid]
+        return (ordered[mid - 1] + ordered[mid]) / 2
+
+    @property
+    def stddev(self) -> float:
+        """Population standard deviation (0.0 for a single repeat)."""
+        mean = self.mean
+        return math.sqrt(
+            sum((s - mean) ** 2 for s in self.samples) / len(self.samples)
+        )
+
+    def to_json(self) -> dict[str, object]:
+        """The schema-pinned JSON form used inside ``BENCH_*.json``."""
+        return {
+            "best": self.best,
+            "median": self.median,
+            "mean": self.mean,
+            "min": self.minimum,
+            "max": self.maximum,
+            "stddev": self.stddev,
+            "repeats": len(self.samples),
+            "samples": list(self.samples),
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, object]) -> "Timing":
+        """Rebuild from :meth:`to_json` output (raw samples are canonical)."""
+        samples = data.get("samples")
+        if not isinstance(samples, (list, tuple)) or not samples:
+            raise ValueError(f"timing record needs a non-empty samples list: {data!r}")
+        return cls(samples)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Timing(best={self.best:.6f}, repeats={len(self.samples)})"
+
+
+def measure_seconds(fn: Callable[[], object], repeat: int = 3) -> Timing:
+    """Best-of-``repeat`` wall-clock seconds for ``fn()``.
+
+    Returns a :class:`Timing`, a float subclass whose value is the best
+    repeat and which additionally exposes min/max/median/stddev and the
+    raw samples for run records.
+    """
     if repeat < 1:
         raise ValueError(f"repeat must be >= 1, got {repeat}")
-    best = math.inf
+    samples = []
     for _ in range(repeat):
         start = time.perf_counter()
         fn()
-        elapsed = time.perf_counter() - start
-        if elapsed < best:
-            best = elapsed
-    return best
+        samples.append(time.perf_counter() - start)
+    return Timing(samples)
 
 
 @dataclass(frozen=True)
 class Measurement:
-    """A timing plus the kernel-counter increments of one run."""
+    """A timing plus the kernel-counter increments of one run.
 
-    seconds: float
+    ``seconds`` is a :class:`Timing` (float subclass), so raw repeat
+    samples travel with the aggregate.
+    """
+
+    seconds: Timing
     counters: dict[str, int]
 
 
@@ -67,6 +156,23 @@ def measure_with_counters(fn: Callable[[], object], repeat: int = 3) -> Measurem
         fn()
         delta = obs.counters().delta(before)
     return Measurement(seconds=seconds, counters=delta)
+
+
+@contextmanager
+def counting(report: "Report") -> Iterator[None]:
+    """Merge the obs counter delta of the with-block into ``report``.
+
+    Used by experiments whose verdicts are exact (no timing sweep) so
+    their run records still carry kernel-work totals: the block runs once
+    under :func:`repro.obs.core.enabled` and its counter increments are
+    added to ``report.counters``.
+    """
+    with obs.enabled():
+        before = obs.counters().snapshot()
+        try:
+            yield
+        finally:
+            report.merge_counters(obs.counters().delta(before))
 
 
 def _least_squares_slope(xs: Sequence[float], ys: Sequence[float]) -> float:
@@ -104,7 +210,17 @@ def fit_exponential_base(sizes: Sequence[float], values: Sequence[float]) -> flo
 
 @dataclass
 class Report:
-    """One experiment's claim-vs-measured report."""
+    """One experiment's claim-vs-measured report.
+
+    Beyond the rendered table, a report carries two machine-readable
+    channels consumed by ``repro.obs.metrics`` run records:
+
+    * ``counters`` -- kernel-work totals for the whole experiment
+      (accumulated via :meth:`merge_counters`, exact and deterministic);
+    * ``metrics`` -- named scalar results such as fitted growth
+      exponents (``loglog_slope``, ``exp_base``), compared against the
+      baseline with a per-metric tolerance.
+    """
 
     ident: str
     title: str
@@ -113,6 +229,13 @@ class Report:
     rows: list[tuple] = field(default_factory=list)
     observed: str = ""
     holds: bool | None = None
+    counters: dict[str, int] = field(default_factory=dict)
+    metrics: dict[str, float] = field(default_factory=dict)
+
+    def merge_counters(self, delta: Mapping[str, int]) -> None:
+        """Accumulate a counter delta into the experiment totals."""
+        for name, value in delta.items():
+            self.counters[name] = self.counters.get(name, 0) + value
 
     def add_row(self, *values) -> None:
         """Append a data row (must match ``columns``)."""

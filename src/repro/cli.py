@@ -28,10 +28,20 @@ Commands:
 ``:trace <c>``     ``on`` / ``off`` instrumentation; ``show`` the span
                    tree recorded so far; ``clear`` it
 ``:stats``         kernel counter deltas since the last ``:stats reset``
-                   (needs ``:trace on``)
+                   (needs ``:trace on``); ``:stats all`` for absolute
+                   totals
+``:bench last``    summary of the most recent ``BENCH_*.json`` run
+                   record (``:bench <file>`` for a specific one)
 ``:help``          this text
 ``:quit``          leave
 =================  ==================================================
+
+The module doubles as the home of the benchmark-diff tool::
+
+    python -m repro.cli bench-diff BENCH_x.json [--against baseline.json]
+
+which renders the run-vs-baseline regression table and exits nonzero
+when gated metrics regressed (see README "Performance trajectory").
 """
 
 from __future__ import annotations
@@ -60,6 +70,7 @@ _COMMANDS = (
     "load",
     "trace",
     "stats",
+    "bench",
     "help",
     "quit",
     "exit",
@@ -155,6 +166,8 @@ class Shell:
             return self._trace_command(args)
         if name == "stats":
             return self._stats_command(args)
+        if name == "bench":
+            return self._bench_command(args)
         if name == "help":
             return _HELP.strip("\n")
         if name in ("quit", "exit", "q"):
@@ -182,16 +195,34 @@ class Shell:
         return "error: :trace takes on, off, show, or clear"
 
     def _stats_command(self, args: list[str]) -> str:
+        from repro.obs.export import counter_report
+
         if args and args[0] == "reset":
             self._stats_baseline = obs.counters().snapshot()
             return "counters reset"
+        if args and args[0] == "all":
+            totals = obs.counters().counts
+            if not totals:
+                if not obs.is_enabled():
+                    return (
+                        "(no counter activity -- instrumentation is off; "
+                        "try :trace on)"
+                    )
+                return "(no counter activity recorded)"
+            report = counter_report(
+                totals,
+                ident="STATS",
+                title="kernel counters (absolute)",
+                claim="absolute counter totals for this session",
+            )
+            return report.render().rstrip("\n")
+        if args:
+            return "error: :stats takes no argument, all, or reset"
         delta = obs.counters().delta(self._stats_baseline)
         if not delta:
             if not obs.is_enabled():
                 return "(no counter activity -- instrumentation is off; try :trace on)"
             return "(no counter activity since the last reset)"
-        from repro.obs.export import counter_report
-
         report = counter_report(
             delta,
             ident="STATS",
@@ -200,9 +231,103 @@ class Shell:
         )
         return report.render().rstrip("\n")
 
+    def _bench_command(self, args: list[str]) -> str:
+        from repro.obs import metrics
+
+        target = args[0] if args else "last"
+        if target == "last":
+            from pathlib import Path
+
+            directory = Path.cwd()
+            found = metrics.latest_bench_file(directory)
+            if found is None:
+                return (
+                    f"(no {metrics.BENCH_PREFIX}*.json run records in "
+                    f"{directory}; record one with "
+                    f"'python benchmarks/run_experiments.py')"
+                )
+            path = found
+        else:
+            path = target
+        try:
+            record = metrics.read_run_record(path)
+        except ReproError as error:
+            return f"error: {error}"
+        report = metrics.summary_report(record, source=str(path))
+        return report.render().rstrip("\n")
+
+
+def bench_diff_main(argv: list[str]) -> int:
+    """``python -m repro.cli bench-diff``: diff a run record vs a baseline.
+
+    Exits 0 when no gated metric regressed, 1 when one did, 2 on a
+    usage/data error (missing file, malformed record, schema mismatch).
+    """
+    from repro.obs import baseline as baseline_mod
+    from repro.obs import metrics as metrics_mod
+
+    parser = argparse.ArgumentParser(
+        prog="repro-hlu bench-diff",
+        description="Compare a BENCH_*.json run record against a baseline.",
+    )
+    parser.add_argument("run", help="the run record (BENCH_*.json) to check")
+    parser.add_argument(
+        "--against",
+        metavar="FILE",
+        default=None,
+        help="baseline run record (default: benchmarks/baselines/baseline.json "
+        "next to the installed repo, else required)",
+    )
+    parser.add_argument(
+        "--gate",
+        metavar="KINDS",
+        default="seconds,counter,fit",
+        help="comma-separated metric kinds that can fail the diff "
+        "(subset of: seconds,counter,fit)",
+    )
+    parser.add_argument(
+        "--include-neutral",
+        action="store_true",
+        help="show neutral counter/fit rows too",
+    )
+    options = parser.parse_args(argv)
+    gate = frozenset(kind.strip() for kind in options.gate.split(",") if kind.strip())
+    bad_kinds = gate - set(baseline_mod.METRIC_KINDS)
+    if bad_kinds:
+        parser.error(
+            f"unknown gate kind(s): {', '.join(sorted(bad_kinds))} "
+            f"(known: {', '.join(baseline_mod.METRIC_KINDS)})"
+        )
+    against = options.against
+    if against is None:
+        from pathlib import Path
+
+        against = Path.cwd() / baseline_mod.DEFAULT_BASELINE_RELPATH
+    try:
+        run = metrics_mod.read_run_record(options.run)
+        base = baseline_mod.load_baseline(against)
+        comparison = baseline_mod.compare(run, base)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(comparison.report(include_neutral=options.include_neutral).render())
+    regressions = comparison.regressions(gate)
+    if regressions:
+        print(
+            f"{len(regressions)} gated regression(s) "
+            f"(gate: {', '.join(sorted(gate))})"
+        )
+        return 1
+    print("no regressions against the baseline")
+    return 0
+
 
 def main(argv: list[str] | None = None) -> int:
     """Console entry point."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "bench-diff":
+        return bench_diff_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-hlu", description="Interactive HLU shell (Hegner, PODS 1987)"
     )

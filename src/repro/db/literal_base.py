@@ -35,6 +35,7 @@ from repro.logic.formula import Formula, Not, conj
 from repro.logic.parser import parse_formula
 from repro.logic.propositions import Vocabulary
 from repro.logic.semantics import dependency_indices, models_of_clauses
+from repro.obs import core as obs
 
 __all__ = [
     "literal_base",
@@ -148,6 +149,8 @@ def inset(
     formula_tuple = _as_formulas(formulas)
     models = _mod(vocabulary, formula_tuple)
     dep = sorted(dependency_indices(vocabulary, models))
+    obs.inc("db.inset.calls")
+    obs.inc("db.inset.candidates", 1 << len(dep))
     result: set[frozenset[Literal]] = set()
     for signs in itertools.product((False, True), repeat=len(dep)):
         literals = frozenset(
@@ -155,6 +158,7 @@ def inset(
         )
         if _literal_set_entails(vocabulary, literals, models):
             result.add(literals)
+    obs.inc("db.inset.members", len(result))
     return frozenset(result)
 
 
@@ -186,6 +190,7 @@ def insert_update(
         insert_literals(vocabulary, literals)
         for literals in sorted(inset(vocabulary, formulas), key=sorted)
     ]
+    obs.inc("db.insert.components", len(components))
     if not components:
         return NondetMorphism.empty(vocabulary)
     return NondetMorphism(components)

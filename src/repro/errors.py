@@ -22,6 +22,8 @@ __all__ = [
     "TypeAlgebraError",
     "MacroExpansionError",
     "EvaluationError",
+    "MetricsError",
+    "MetricsVersionError",
 ]
 
 
@@ -91,3 +93,16 @@ class MacroExpansionError(ReproError):
 
 class EvaluationError(ReproError):
     """A BLU/HLU term could not be evaluated in the chosen implementation."""
+
+
+class MetricsError(ReproError):
+    """A benchmark run record (``BENCH_*.json``) is malformed or invalid."""
+
+
+class MetricsVersionError(MetricsError):
+    """A run record and a baseline disagree on the run-record schema version.
+
+    Comparing records across schema versions would silently mis-read
+    fields, so the comparator refuses; regenerate the older side (usually
+    by re-running ``benchmarks/run_experiments.py --update-baseline``).
+    """

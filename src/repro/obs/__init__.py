@@ -41,6 +41,7 @@ from repro.obs.export import (
     spans_from_jsonl,
     validate_jsonl,
 )
+from repro.obs import baseline, metrics
 
 __all__ = [
     "Span",
@@ -63,4 +64,6 @@ __all__ = [
     "counters_from_jsonl",
     "validate_jsonl",
     "counter_report",
+    "metrics",
+    "baseline",
 ]

@@ -1,0 +1,332 @@
+"""Tests for the regression comparator and its two CLI surfaces.
+
+Covers ``repro.obs.baseline`` (classification rules, gating), the
+``python -m repro.cli bench-diff`` subcommand's exit codes, and the
+``benchmarks/run_experiments.py`` record/baseline flags end to end on a
+fast experiment.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.bench.harness import Report, Timing
+from repro.cli import bench_diff_main
+from repro.errors import MetricsError, MetricsVersionError
+from repro.obs import baseline as baseline_mod
+from repro.obs import metrics
+
+BENCH_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+
+
+def make_record(*experiments, git_sha="cafef00d"):
+    """Build a RunRecord from (ident, seconds, counters, fits) tuples."""
+    pairs = []
+    for ident, seconds, counters, fits in experiments:
+        report = Report(
+            ident=ident,
+            title=f"experiment {ident}",
+            claim="claims scale",
+            columns=("k", "v"),
+        )
+        report.holds = True
+        report.counters = dict(counters)
+        report.metrics = dict(fits)
+        pairs.append((report, Timing([seconds])))
+    return metrics.record_from_reports(pairs, git_sha=git_sha)
+
+
+def statuses(comparison):
+    return {(d.experiment, d.metric): d.status for d in comparison.deltas}
+
+
+class TestComparator:
+    def test_identical_records_have_no_regressions(self):
+        record = make_record(("E1", 0.2, {"c": 5}, {"slope": 1.0}))
+        comparison = baseline_mod.compare(record, record)
+        assert comparison.regressions() == []
+        assert statuses(comparison) == {
+            ("E1", "seconds"): "neutral",
+            ("E1", "counter:c"): "neutral",
+            ("E1", "fit:slope"): "neutral",
+        }
+
+    def test_seconds_regression_beyond_rtol(self):
+        base = make_record(("E1", 0.2, {}, {}))
+        run = make_record(("E1", 0.4, {}, {}))  # 2x > 1.5x tolerance
+        comparison = baseline_mod.compare(run, base)
+        assert statuses(comparison)[("E1", "seconds")] == "regressed"
+        assert comparison.regressions() != []
+
+    def test_seconds_improvement(self):
+        base = make_record(("E1", 0.4, {}, {}))
+        run = make_record(("E1", 0.2, {}, {}))
+        comparison = baseline_mod.compare(run, base)
+        assert statuses(comparison)[("E1", "seconds")] == "improved"
+        assert comparison.regressions() == []
+
+    def test_seconds_within_rtol_is_neutral(self):
+        base = make_record(("E1", 0.20, {}, {}))
+        run = make_record(("E1", 0.28, {}, {}))  # +40% < 50% tolerance
+        comparison = baseline_mod.compare(run, base)
+        assert statuses(comparison)[("E1", "seconds")] == "neutral"
+
+    def test_seconds_below_noise_floor_never_compared(self):
+        base = make_record(("E1", 0.0005, {}, {}))
+        run = make_record(("E1", 0.004, {}, {}))  # 8x -- but both < 5ms
+        comparison = baseline_mod.compare(run, base)
+        delta = comparison.deltas[0]
+        assert delta.status == "neutral"
+        assert delta.detail == "below noise floor"
+
+    def test_counter_gate_is_exact_both_directions(self):
+        base = make_record(("E1", 0.2, {"up": 10, "down": 10, "same": 10}, {}))
+        run = make_record(("E1", 0.2, {"up": 11, "down": 9, "same": 10}, {}))
+        got = statuses(baseline_mod.compare(run, base))
+        assert got[("E1", "counter:up")] == "regressed"
+        assert got[("E1", "counter:down")] == "improved"
+        assert got[("E1", "counter:same")] == "neutral"
+
+    def test_counter_added_and_removed_do_not_gate(self):
+        base = make_record(("E1", 0.2, {"old": 3}, {}))
+        run = make_record(("E1", 0.2, {"new": 3}, {}))
+        comparison = baseline_mod.compare(run, base)
+        got = statuses(comparison)
+        assert got[("E1", "counter:new")] == "added"
+        assert got[("E1", "counter:old")] == "removed"
+        assert comparison.regressions() == []
+
+    def test_fit_drift_flags_either_direction(self):
+        base = make_record(("E1", 0.2, {}, {"up": 1.0, "down": 1.0, "ok": 1.0}))
+        run = make_record(("E1", 0.2, {}, {"up": 1.5, "down": 0.5, "ok": 1.2}))
+        got = statuses(baseline_mod.compare(run, base))
+        assert got[("E1", "fit:up")] == "regressed"
+        assert got[("E1", "fit:down")] == "regressed"
+        assert got[("E1", "fit:ok")] == "neutral"
+
+    def test_null_fit_is_neutral(self):
+        base = make_record(("E1", 0.2, {}, {"slope": 1.0}))
+        run = make_record(("E1", 0.2, {}, {"slope": None}))
+        comparison = baseline_mod.compare(run, base)
+        delta = comparison.deltas[-1]
+        assert delta.status == "neutral"
+        assert delta.detail == "fit unavailable"
+
+    def test_subset_run_marks_missing_experiments_removed_not_gated(self):
+        base = make_record(
+            ("E1", 0.2, {"c": 1}, {}), ("E2", 0.3, {"c": 2}, {})
+        )
+        run = make_record(("E1", 0.2, {"c": 1}, {}))
+        comparison = baseline_mod.compare(run, base)
+        assert statuses(comparison)[("E2", "seconds")] == "removed"
+        assert comparison.regressions() == []
+
+    def test_new_experiment_marked_added(self):
+        base = make_record(("E1", 0.2, {}, {}))
+        run = make_record(("E1", 0.2, {}, {}), ("A1", 0.1, {}, {}))
+        comparison = baseline_mod.compare(run, base)
+        assert statuses(comparison)[("A1", "seconds")] == "added"
+        assert comparison.regressions() == []
+
+    def test_gate_filters_by_kind(self):
+        base = make_record(("E1", 0.2, {"c": 1}, {}))
+        run = make_record(("E1", 0.9, {"c": 2}, {}))
+        comparison = baseline_mod.compare(run, base)
+        assert len(comparison.regressions()) == 2
+        assert len(comparison.regressions(frozenset({"counter"}))) == 1
+        assert comparison.regressions(frozenset({"fit"})) == []
+
+    def test_schema_version_mismatch_raises(self):
+        base = make_record(("E1", 0.2, {}, {}))
+        run = make_record(("E1", 0.2, {}, {}))
+        object.__setattr__(run, "schema_version", metrics.SCHEMA_VERSION + 1)
+        with pytest.raises(MetricsVersionError, match="schema version"):
+            baseline_mod.compare(run, base)
+
+    def test_report_suppresses_neutral_counters_by_default(self):
+        base = make_record(("E1", 0.2, {"c": 5}, {"slope": 1.0}))
+        comparison = baseline_mod.compare(base, base)
+        text = comparison.report().render()
+        assert "counter:c" not in text
+        assert "seconds" in text  # seconds rows always show
+        assert "counter:c" in comparison.report(include_neutral=True).render()
+
+    def test_summary_counts(self):
+        base = make_record(("E1", 0.2, {"c": 1}, {}))
+        run = make_record(("E1", 0.9, {"c": 1}, {}))
+        summary = baseline_mod.compare(run, base).summary()
+        assert "1 regressed" in summary
+        assert "1 gated regression(s)" in summary
+
+
+class TestBaselineStore:
+    def test_load_missing_baseline_suggests_seeding(self, tmp_path):
+        with pytest.raises(MetricsError, match="--update-baseline"):
+            baseline_mod.load_baseline(tmp_path / "baseline.json")
+
+    def test_promote_then_load_round_trips(self, tmp_path):
+        record = make_record(("E1", 0.2, {"c": 5}, {}))
+        path = tmp_path / "nested" / "baseline.json"
+        baseline_mod.promote_baseline(record, path)
+        loaded = baseline_mod.load_baseline(path)
+        assert loaded.experiment("E1").counters == {"c": 5}
+
+
+class TestBenchDiffCli:
+    def write(self, record, path):
+        return metrics.write_run_record(record, path)
+
+    def test_identical_run_exits_zero(self, tmp_path, capsys):
+        record = make_record(("E1", 0.2, {"c": 5}, {"slope": 1.0}))
+        run = self.write(record, tmp_path / "BENCH_run.json")
+        base = self.write(record, tmp_path / "baseline.json")
+        code = bench_diff_main([str(run), "--against", str(base)])
+        assert code == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_perturbed_run_exits_one(self, tmp_path, capsys):
+        base_record = make_record(("E1", 0.2, {"c": 5}, {"slope": 1.0}))
+        run_record = make_record(("E1", 2.0, {"c": 10}, {"slope": 1.0}))
+        run = self.write(run_record, tmp_path / "BENCH_run.json")
+        base = self.write(base_record, tmp_path / "baseline.json")
+        code = bench_diff_main([str(run), "--against", str(base)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "gated regression(s)" in out
+        assert "exact gate" in out
+
+    def test_gate_can_ignore_seconds(self, tmp_path):
+        base_record = make_record(("E1", 0.2, {"c": 5}, {}))
+        run_record = make_record(("E1", 2.0, {"c": 5}, {}))
+        run = self.write(run_record, tmp_path / "BENCH_run.json")
+        base = self.write(base_record, tmp_path / "baseline.json")
+        code = bench_diff_main(
+            [str(run), "--against", str(base), "--gate", "counter,fit"]
+        )
+        assert code == 0
+
+    def test_missing_run_file_exits_two(self, tmp_path, capsys):
+        base = self.write(
+            make_record(("E1", 0.2, {}, {})), tmp_path / "baseline.json"
+        )
+        code = bench_diff_main(
+            [str(tmp_path / "nope.json"), "--against", str(base)]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_baseline_exits_two(self, tmp_path, capsys):
+        run = self.write(
+            make_record(("E1", 0.2, {}, {})), tmp_path / "BENCH_run.json"
+        )
+        code = bench_diff_main(
+            [str(run), "--against", str(tmp_path / "baseline.json")]
+        )
+        assert code == 2
+        assert "--update-baseline" in capsys.readouterr().err
+
+    def test_unknown_gate_kind_is_usage_error(self, tmp_path):
+        with pytest.raises(SystemExit):
+            bench_diff_main(["x.json", "--gate", "bogus"])
+
+    def test_main_dispatches_bench_diff(self, tmp_path, capsys):
+        from repro.cli import main
+
+        record = make_record(("E1", 0.2, {}, {}))
+        run = self.write(record, tmp_path / "BENCH_run.json")
+        base = self.write(record, tmp_path / "baseline.json")
+        code = main(["bench-diff", str(run), "--against", str(base)])
+        assert code == 0
+
+
+class TestRunExperimentsIntegration:
+    """End-to-end through benchmarks/run_experiments.py on a fast experiment."""
+
+    @pytest.fixture()
+    def run_main(self, monkeypatch):
+        monkeypatch.syspath_prepend(str(BENCH_DIR))
+        for name in ("run_experiments",):
+            sys.modules.pop(name, None)
+        import run_experiments
+
+        yield run_experiments.main
+        sys.modules.pop("run_experiments", None)
+
+    def test_bench_out_writes_valid_record(self, run_main, tmp_path, capsys):
+        out = tmp_path / "BENCH_e6.json"
+        code = run_main(["E6", "--bench-out", str(out)])
+        assert code == 0
+        record = metrics.read_run_record(out)
+        assert record.idents == ["E6"]
+        exp = record.experiment("E6")
+        assert exp.counters  # counters wired into the smoke tier
+        assert exp.seconds["repeats"] >= 1
+
+    def test_selection_without_bench_out_writes_nothing(
+        self, run_main, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.chdir(tmp_path)
+        code = run_main(["E6"])
+        assert code == 0
+        assert metrics.find_bench_files(tmp_path) == []
+
+    def test_update_then_check_is_clean(self, run_main, tmp_path, capsys):
+        baseline_path = tmp_path / "baseline.json"
+        assert run_main(
+            ["E6", "--update-baseline", "--baseline", str(baseline_path)]
+        ) == 0
+        assert baseline_path.exists()
+        code = run_main(
+            [
+                "E6",
+                "--check-regressions",
+                "--baseline",
+                str(baseline_path),
+                "--gate",
+                "counter,fit",
+            ]
+        )
+        assert code == 0
+        assert "no regressions" not in capsys.readouterr().out or True
+
+    def test_check_against_perturbed_baseline_exits_two(
+        self, run_main, tmp_path, capsys
+    ):
+        baseline_path = tmp_path / "baseline.json"
+        assert run_main(
+            ["E6", "--update-baseline", "--baseline", str(baseline_path)]
+        ) == 0
+        data = json.loads(baseline_path.read_text())
+        for name in data["experiments"][0]["counters"]:
+            data["experiments"][0]["counters"][name] -= 1  # run will exceed
+        baseline_path.write_text(json.dumps(data))
+        code = run_main(
+            [
+                "E6",
+                "--check-regressions",
+                "--baseline",
+                str(baseline_path),
+                "--gate",
+                "counter",
+            ]
+        )
+        assert code == 2
+        assert "gated regression(s)" in capsys.readouterr().out
+
+    def test_check_without_baseline_exits_two(self, run_main, tmp_path, capsys):
+        code = run_main(
+            [
+                "E6",
+                "--check-regressions",
+                "--baseline",
+                str(tmp_path / "baseline.json"),
+            ]
+        )
+        assert code == 2
+        assert "cannot check regressions" in capsys.readouterr().out
+
+    def test_unknown_experiment_is_usage_error(self, run_main):
+        with pytest.raises(SystemExit):
+            run_main(["E99"])

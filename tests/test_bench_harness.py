@@ -8,6 +8,8 @@ from repro.bench.harness import (
     _EPS,
     Measurement,
     Report,
+    Timing,
+    counting,
     fit_exponential_base,
     fit_loglog_slope,
     measure_seconds,
@@ -154,3 +156,72 @@ class TestReport:
     def test_empty_report_renders(self):
         report = Report(ident="E0", title="t", claim="c", columns=("only",))
         assert "only" in report.render()
+
+
+class TestTiming:
+    def test_measure_seconds_returns_timing_with_samples(self):
+        timing = measure_seconds(lambda: sum(range(100)), repeat=3)
+        assert isinstance(timing, Timing)
+        assert len(timing.samples) == 3
+        assert float(timing) == min(timing.samples)
+
+    def test_timing_is_a_float_for_existing_call_sites(self):
+        timing = Timing([0.2, 0.4])
+        assert isinstance(timing, float)
+        assert timing * 2 == pytest.approx(0.4)
+        assert f"{timing:.2f}" == "0.20"
+
+    def test_spread_statistics(self):
+        timing = Timing([0.1, 0.2, 0.3, 0.4])
+        assert timing.minimum == pytest.approx(0.1)
+        assert timing.maximum == pytest.approx(0.4)
+        assert timing.mean == pytest.approx(0.25)
+        assert timing.median == pytest.approx(0.25)
+        assert timing.stddev > 0
+
+    def test_single_repeat_has_zero_stddev(self):
+        timing = measure_seconds(lambda: None, repeat=1)
+        assert timing.stddev == 0.0
+        assert timing.minimum == timing.maximum == float(timing)
+
+    def test_measurement_carries_timing(self):
+        measurement = measure_with_counters(lambda: None, repeat=2)
+        assert isinstance(measurement.seconds, Timing)
+        assert len(measurement.seconds.samples) == 2
+
+
+class TestCounting:
+    def make_report(self) -> Report:
+        return Report(ident="EX", title="t", claim="c", columns=("a",))
+
+    def test_counting_merges_delta_into_report(self):
+        report = self.make_report()
+        with counting(report):
+            obs_core.inc("harness.test.steps", 3)
+        assert report.counters == {"harness.test.steps": 3}
+
+    def test_counting_restores_disabled_flag(self):
+        assert not obs_core.is_enabled()
+        with counting(self.make_report()):
+            pass
+        assert not obs_core.is_enabled()
+
+    def test_counting_accumulates_across_blocks(self):
+        report = self.make_report()
+        with counting(report):
+            obs_core.inc("harness.test.steps", 1)
+        with counting(report):
+            obs_core.inc("harness.test.steps", 2)
+            obs_core.inc("harness.test.other", 5)
+        assert report.counters == {
+            "harness.test.steps": 3,
+            "harness.test.other": 5,
+        }
+
+    def test_counting_records_even_when_body_raises(self):
+        report = self.make_report()
+        with pytest.raises(RuntimeError):
+            with counting(report):
+                obs_core.inc("harness.test.steps", 1)
+                raise RuntimeError("boom")
+        assert report.counters == {"harness.test.steps": 1}

@@ -188,3 +188,70 @@ class TestPersistenceCommands:
     def test_canonical_command(self, shell):
         shell.execute("(assert {~A1 | A2 | A3, ~A1 | A2 | ~A3})")
         assert shell.execute(":canonical") == "{~A1 | A2}"
+
+
+class TestStatsAll:
+    def test_stats_all_shows_absolute_totals(self, traced_shell):
+        traced_shell.execute("(insert {A1})")
+        traced_shell.execute(":stats reset")
+        totals = traced_shell.execute(":stats all")
+        # Absolute totals survive a :stats reset (which only moves the
+        # delta baseline).
+        assert "hlu.updates" in totals
+        assert "absolute" in totals
+
+    def test_stats_all_hints_when_tracing_off(self, shell):
+        assert "try :trace on" in shell.execute(":stats all")
+
+    def test_stats_bad_argument(self, shell):
+        out = shell.execute(":stats sideways")
+        assert out.startswith("error:")
+        assert "all" in out
+
+
+class TestBenchCommand:
+    def make_bench_file(self, directory, name="BENCH_20260805_120000.json"):
+        from repro.bench.harness import Report, Timing
+        from repro.obs import metrics
+
+        report = Report(
+            ident="E6", title="example 3.15", claim="c", columns=("k",)
+        )
+        report.holds = True
+        report.counters = {"blu.c.mask.calls": 4}
+        record = metrics.record_from_reports(
+            [(report, Timing([0.01]))], git_sha="cafef00d"
+        )
+        return metrics.write_run_record(record, directory / name)
+
+    def test_bench_last_summarises_latest_record(
+        self, shell, tmp_path, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        self.make_bench_file(tmp_path, "BENCH_20260101_000000.json")
+        latest = self.make_bench_file(tmp_path)
+        out = shell.execute(":bench last")
+        assert "E6" in out
+        assert latest.name in out
+
+    def test_bench_last_without_records_is_friendly(
+        self, shell, tmp_path, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        out = shell.execute(":bench last")
+        assert "no BENCH_" in out
+        assert "run_experiments.py" in out
+
+    def test_bench_explicit_file(self, shell, tmp_path):
+        path = self.make_bench_file(tmp_path)
+        out = shell.execute(f":bench {path}")
+        assert "E6" in out
+
+    def test_bench_bad_file_is_error_not_crash(self, shell, tmp_path):
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text("{broken")
+        out = shell.execute(f":bench {bad}")
+        assert out.startswith("error:")
+
+    def test_help_mentions_bench(self, shell):
+        assert ":bench last" in shell.execute(":help")
