@@ -66,7 +66,12 @@ def ldiff(clause_set: ClauseSet, index: int) -> Iterator[tuple[frozenset[Literal
 
 def _falsified(clause_set: ClauseSet, assignment: frozenset[Literal]) -> bool:
     """Is ``Phi`` false under the total assignment?  (unitres leaves an
-    empty clause exactly for falsified clauses.)"""
+    empty clause exactly for falsified clauses.)
+
+    ``unitres`` is occurrence-indexed, so each of the ``2^|Prop[Phi]|``
+    probes strikes only the clauses actually containing a negated literal
+    instead of rescanning the whole set once per literal.
+    """
     return unit_resolve(clause_set, assignment).has_empty_clause
 
 

@@ -56,7 +56,12 @@ def clausal_combine(left: ClauseSet, right: ClauseSet, simplify: bool = True) ->
                     dropped += 1
                 else:
                     product.add(merged)
-        result = ClauseSet(left.vocabulary, product)
+        if left.vocabulary == right.vocabulary:
+            # Every product is a union of already-validated literals with
+            # tautologies filtered above: skip the re-validating constructor.
+            result = ClauseSet._trusted(left.vocabulary, frozenset(product))
+        else:
+            result = ClauseSet(left.vocabulary, product)
         if simplify:
             result = result.reduce()
         obs.inc("blu.c.combine.calls")
@@ -87,7 +92,10 @@ def clausal_complement(clause_set: ClauseSet, simplify: bool = True) -> ClauseSe
                         next_accumulator.add(widened)
                     widenings += 1
             accumulator = next_accumulator
-        result = ClauseSet(clause_set.vocabulary, accumulator)
+        # Accumulator clauses are built from negations of validated literals
+        # and tautology-checked on the way in: the trusted constructor skips
+        # the per-literal re-validation.
+        result = ClauseSet._trusted(clause_set.vocabulary, frozenset(accumulator))
         if simplify:
             result = result.reduce()
         obs.inc("blu.c.complement.calls")

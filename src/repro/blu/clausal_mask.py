@@ -17,6 +17,13 @@ The paper notes (Theorem 2.3.6(b)) the worst case is
 implied-constraint problem for views).  Intermediate subsumption reduction
 (``simplify=True``, the default) is one of the "correctness-preserving
 optimizations" Section 4 anticipates; it does not change the worst case.
+
+The per-letter ``rclosure``/``drop``/``reduce`` steps are now backed by
+the occurrence index and signature-filtered subsumption of
+:mod:`repro.logic.resolution` / :mod:`repro.logic.clauses` -- same
+outputs, but each elimination touches only the clauses mentioning the
+pivot letter (counters ``logic.resolution.index_hits`` /
+``logic.resolution.index_skips`` quantify the avoided scans).
 """
 
 from __future__ import annotations

@@ -12,6 +12,7 @@ from repro.logic.clauses import (
     EMPTY_CLAUSE,
     Literal,
     clause_of,
+    clause_signature,
     clause_to_str,
     literal_from_str,
     literal_to_str,
@@ -42,6 +43,7 @@ from repro.logic.formula import (
     props_of,
     var,
 )
+from repro.logic.occurrence import OccurrenceIndex
 from repro.logic.parser import parse_formula, parse_formulas
 from repro.logic.propositions import Vocabulary
 from repro.logic.resolution import (
@@ -100,7 +102,8 @@ __all__ = [
     # clauses
     "Literal", "Clause", "EMPTY_CLAUSE", "ClauseSet", "make_literal",
     "negate_literal", "literal_from_str", "literal_to_str", "clause_of",
-    "clause_to_str", "literals_consistent",
+    "clause_to_str", "clause_signature", "literals_consistent",
+    "OccurrenceIndex",
     # cnf
     "formula_to_clauses", "formulas_to_clauses", "clauses_to_formula",
     # semantics

@@ -24,6 +24,7 @@ from collections.abc import Iterable, Iterator
 from repro.errors import InconsistentLiteralsError, ParseError, VocabularyError
 from repro.logic.formula import Formula, Not, Var
 from repro.logic.propositions import Vocabulary
+from repro.obs import core as obs
 
 __all__ = [
     "Literal",
@@ -38,6 +39,7 @@ __all__ = [
     "literal_to_formula",
     "clause_of",
     "clause_props",
+    "clause_signature",
     "clause_is_tautologous",
     "clause_to_str",
     "clause_to_formula",
@@ -150,6 +152,20 @@ def clause_props(clause: Clause) -> frozenset[int]:
     return frozenset(literal_index(literal) for literal in clause)
 
 
+def clause_signature(clause: Clause) -> int:
+    """Letter bitmask of the clause: bit ``i`` set iff letter ``i`` occurs.
+
+    A cheap necessary condition for subsumption: ``c1 <= c2`` implies
+    ``clause_signature(c1) & clause_signature(c2) == clause_signature(c1)``,
+    so the (frozenset) subset test only needs to run on signature-compatible
+    pairs.  Ignores polarity -- it is a filter, not a decision procedure.
+    """
+    signature = 0
+    for literal in clause:
+        signature |= 1 << (abs(literal) - 1)
+    return signature
+
+
 def clause_is_tautologous(clause: Clause) -> bool:
     """True iff the clause contains a complementary literal pair (the 1)."""
     return any(-literal in clause for literal in clause)
@@ -184,6 +200,16 @@ def clause_satisfied_by(clause: Clause, world: int) -> bool:
 # clause sets
 # --------------------------------------------------------------------------
 
+def _check_clause_literals(clause: Clause, max_index: int, vocab_size: int) -> None:
+    for literal in clause:
+        if literal == 0:
+            raise VocabularyError("0 is not a valid literal")
+        if literal_index(literal) > max_index:
+            raise VocabularyError(
+                f"literal {literal} exceeds vocabulary size {vocab_size}"
+            )
+
+
 class ClauseSet:
     """A finite set of clauses over a vocabulary -- an element of ``CF[D]``.
 
@@ -201,27 +227,41 @@ class ClauseSet:
     3
     """
 
-    __slots__ = ("_vocabulary", "_clauses", "_hash")
+    __slots__ = ("_vocabulary", "_clauses", "_hash", "_sigs")
 
     def __init__(self, vocabulary: Vocabulary, clauses: Iterable[Clause]):
         max_index = len(vocabulary) - 1
         kept: set[Clause] = set()
         for clause in clauses:
             clause = frozenset(clause)
-            for literal in clause:
-                if literal == 0:
-                    raise VocabularyError("0 is not a valid literal")
-                if literal_index(literal) > max_index:
-                    raise VocabularyError(
-                        f"literal {literal} exceeds vocabulary size {len(vocabulary)}"
-                    )
+            _check_clause_literals(clause, max_index, len(vocabulary))
             if not clause_is_tautologous(clause):
                 kept.add(clause)
         self._vocabulary = vocabulary
         self._clauses = frozenset(kept)
         self._hash = hash((vocabulary, self._clauses))
+        self._sigs = None
 
     # --- constructors -------------------------------------------------------
+
+    @classmethod
+    def _trusted(cls, vocabulary: Vocabulary, clauses: frozenset[Clause]) -> "ClauseSet":
+        """Build a ClauseSet from already-validated clauses, skipping checks.
+
+        Private fast path for operations whose outputs are made purely of
+        (subsets/unions of) clauses drawn from existing ClauseSets:
+        ``reduce``, ``union``, ``without_letters`` and the resolution
+        kernels.  Callers must guarantee every clause is a frozenset of
+        in-vocabulary literals with no complementary pair -- the public
+        constructor re-validates everything and was a measurable cost on
+        every intermediate clause set of the fixpoint kernels.
+        """
+        self = object.__new__(cls)
+        self._vocabulary = vocabulary
+        self._clauses = clauses
+        self._hash = hash((vocabulary, clauses))
+        self._sigs = None
+        return self
 
     @classmethod
     def tautology(cls, vocabulary: Vocabulary) -> "ClauseSet":
@@ -321,21 +361,35 @@ class ClauseSet:
 
     # --- operations ---------------------------------------------------------
 
+    @property
+    def signatures(self) -> dict[Clause, int]:
+        """Per-clause letter-bitmask signatures (lazily computed, cached)."""
+        if self._sigs is None:
+            self._sigs = {c: clause_signature(c) for c in self._clauses}
+        return self._sigs
+
     def union(self, other: "ClauseSet") -> "ClauseSet":
         """Set union of the clauses (conjunction of the theories)."""
         self._check_vocabulary(other)
-        return ClauseSet(self._vocabulary, self._clauses | other._clauses)
+        return ClauseSet._trusted(self._vocabulary, self._clauses | other._clauses)
 
     def with_clause(self, clause: Clause) -> "ClauseSet":
         """This clause set plus one extra clause."""
-        return ClauseSet(self._vocabulary, self._clauses | {frozenset(clause)})
+        clause = frozenset(clause)
+        _check_clause_literals(clause, len(self._vocabulary) - 1, len(self._vocabulary))
+        if clause_is_tautologous(clause) or clause in self._clauses:
+            return self
+        return ClauseSet._trusted(self._vocabulary, self._clauses | {clause})
 
     def without_letters(self, indices: Iterable[int]) -> "ClauseSet":
         """Clauses that do not mention any of the given letters (``drop``)."""
-        forbidden = frozenset(indices)
-        return ClauseSet(
+        forbidden_mask = 0
+        for index in indices:
+            forbidden_mask |= 1 << index
+        sigs = self.signatures
+        return ClauseSet._trusted(
             self._vocabulary,
-            (c for c in self._clauses if not (clause_props(c) & forbidden)),
+            frozenset(c for c in self._clauses if not (sigs[c] & forbidden_mask)),
         )
 
     def satisfied_by(self, world: int) -> bool:
@@ -347,13 +401,38 @@ class ClauseSet:
 
         The paper's algorithms are stated modulo logical equivalence; this
         is the standard tidy-up that keeps intermediate results small.
+        The subset test ``kept <= clause`` is only attempted on pairs whose
+        letter-bitmask signatures are compatible (``sig(kept)`` a submask
+        of ``sig(clause)``), which prunes the quadratic pair scan to the
+        few genuinely comparable clauses.
         """
+        sigs = self.signatures
         by_size = sorted(self._clauses, key=len)
         kept: list[Clause] = []
+        kept_sigs: list[int] = []
+        subset_tests = 0
+        sig_skips = 0
         for clause in by_size:
-            if not any(kept_clause <= clause for kept_clause in kept):
+            signature = sigs[clause]
+            subsumed = False
+            for kept_clause, kept_sig in zip(kept, kept_sigs):
+                if kept_sig & signature != kept_sig:
+                    sig_skips += 1
+                    continue
+                subset_tests += 1
+                if kept_clause <= clause:
+                    subsumed = True
+                    break
+            if not subsumed:
                 kept.append(clause)
-        return ClauseSet(self._vocabulary, kept)
+                kept_sigs.append(signature)
+        if subset_tests:
+            obs.inc("logic.reduce.subset_tests", subset_tests)
+        if sig_skips:
+            obs.inc("logic.reduce.sig_skips", sig_skips)
+        if len(kept) == len(self._clauses):
+            return self
+        return ClauseSet._trusted(self._vocabulary, frozenset(kept))
 
     def to_formulas(self) -> tuple[Formula, ...]:
         """Each clause as a disjunction formula, in a deterministic order."""

@@ -17,7 +17,11 @@ alternative implementation, ablated against resolve-then-drop in
 ``benchmarks/bench_a02_ablations.py``.
 
 The computation is Tison-style: saturate under resolution, keep the
-subsumption-minimal clauses.  Exponential, as it must be.
+subsumption-minimal clauses.  Exponential, as it must be.  Both stages
+ride the indexed kernels: saturation is worklist-driven over the literal
+occurrence index (:func:`repro.logic.resolution.resolution_closure`) and
+the subsumption sweep is signature-filtered (:meth:`ClauseSet.reduce`),
+which only changes how the candidates are enumerated, never the result.
 """
 
 from __future__ import annotations

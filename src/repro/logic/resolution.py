@@ -9,12 +9,22 @@ Provides the primitives the clausal implementation ``BLU--C`` is built on:
 * :func:`eliminate_letter` -- one Davis-Putnam variable-elimination step,
   i.e. ``drop({A}, rclosure(Phi, {A}))``, the body of ``BLU--C[mask]``;
 * :func:`unit_resolve` -- the paper's ``unitres`` (Algorithm 2.3.8);
-* :func:`resolution_closure` -- full saturation (used in tests to check
-  refutation completeness on small instances).
+* :func:`resolution_closure` -- full saturation (used by the
+  prime-implicate engine and, on small instances, by refutation-
+  completeness tests).
+
+The fixpoints are driven by a :class:`~repro.logic.occurrence.OccurrenceIndex`
+(literal -> clauses), so each pass touches only the clauses containing the
+pivot literal instead of rescanning the whole working set per letter.  The
+paper's Theta-bounds (2.3.4/2.3.6) and the produced clause sets are
+unchanged -- the index is a correctness-preserving optimisation in the
+Section 4 sense, cross-checked against the seed full-scan implementations
+in ``tests/logic/test_kernel_differential.py``.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from collections.abc import Iterable
 
 from repro.obs import core as obs
@@ -23,9 +33,9 @@ from repro.logic.clauses import (
     ClauseSet,
     Literal,
     clause_is_tautologous,
-    clause_props,
     make_literal,
 )
+from repro.logic.occurrence import OccurrenceIndex
 
 __all__ = [
     "resolvent",
@@ -56,36 +66,79 @@ def resolvent(clause_pos: Clause, clause_neg: Clause, index: int) -> Clause | No
     return merged
 
 
+def _saturate(
+    clauses: Iterable[Clause],
+    pivot_indices: frozenset[int] | None,
+    max_clauses: int | None = None,
+) -> tuple[OccurrenceIndex, int, int, int]:
+    """Worklist resolution closure on the pivot letters (all letters if None).
+
+    Every clause enters the worklist exactly once; when it is processed,
+    the occurrence index serves up exactly the opposite-polarity partners
+    for each of its pivot literals.  Any resolvable pair ``(C1, C2)`` is
+    attempted when the later-queued of the two is processed (the earlier
+    one is in the index by then), so the result is genuinely closed under
+    resolution on the pivot letters -- the same fixpoint the seed's
+    rescan-until-stable loops computed, without the rescans.
+
+    Returns ``(index, resolvents_formed, partner_hits, scan_skips)`` where
+    ``partner_hits`` counts clauses served by index lookups and
+    ``scan_skips`` counts the clauses a per-letter full scan would have
+    examined but the index never touched.
+    """
+    occ = OccurrenceIndex(clauses)
+    queue: deque[Clause] = deque(occ)
+    formed = 0
+    hits = 0
+    skips = 0
+    while queue:
+        clause = queue.popleft()
+        for literal in clause:
+            if pivot_indices is not None and (abs(literal) - 1) not in pivot_indices:
+                continue
+            partners = occ.clauses_with(-literal)
+            if not partners:
+                skips += len(occ)
+                continue
+            index = abs(literal) - 1
+            hits += len(partners)
+            skips += len(occ) - len(partners)
+            # Copy: resolvents never contain the pivot letter (both inputs
+            # are tautology-free), so this bucket cannot grow mid-loop, but
+            # adding resolvents mutates sibling buckets of the same dict.
+            for partner in list(partners):
+                if literal > 0:
+                    res = resolvent(clause, partner, index)
+                else:
+                    res = resolvent(partner, clause, index)
+                if res is not None and occ.add(res):
+                    queue.append(res)
+                    formed += 1
+                    if max_clauses is not None and len(occ) > max_clauses:
+                        raise MemoryError(
+                            f"resolution closure exceeded {max_clauses} clauses"
+                        )
+    return occ, formed, hits, skips
+
+
 def rclosure(clause_set: ClauseSet, indices: Iterable[int]) -> ClauseSet:
     """Close ``clause_set`` under resolution on the given letters.
 
-    Faithful to Algorithm 2.3.5's ``rclosure``: for each letter ``A`` in
-    turn, add every (non-tautologous) resolvent of an ``A``-positive and an
-    ``A``-negative clause.  Later letters see resolvents produced by earlier
-    ones, and the loop re-runs until a fixpoint is reached so that the
-    result is genuinely closed under resolution on *all* listed letters.
+    Faithful to Algorithm 2.3.5's ``rclosure``: the result contains every
+    (non-tautologous) resolvent derivable by resolving on the listed
+    letters, including resolvents of resolvents, until a fixpoint.  Driven
+    by the occurrence index rather than the seed's per-letter rescan of
+    the whole working set.
     """
-    index_list = sorted(set(indices))
-    current: set[Clause] = set(clause_set.clauses)
-    formed = 0
-    changed = True
-    while changed:
-        changed = False
-        for index in index_list:
-            positive_literal = make_literal(index, positive=True)
-            negative_literal = -positive_literal
-            with_pos = [c for c in current if positive_literal in c]
-            with_neg = [c for c in current if negative_literal in c]
-            for clause_pos in with_pos:
-                for clause_neg in with_neg:
-                    res = resolvent(clause_pos, clause_neg, index)
-                    if res is not None and res not in current:
-                        current.add(res)
-                        formed += 1
-                        changed = True
+    pivot_indices = frozenset(indices)
+    occ, formed, hits, skips = _saturate(clause_set.clauses, pivot_indices)
     if formed:
         obs.inc("logic.resolution.resolvents_formed", formed)
-    return ClauseSet(clause_set.vocabulary, current)
+    if hits:
+        obs.inc("logic.resolution.index_hits", hits)
+    if skips:
+        obs.inc("logic.resolution.index_skips", skips)
+    return ClauseSet._trusted(clause_set.vocabulary, frozenset(occ))
 
 
 def drop(clause_set: ClauseSet, indices: Iterable[int]) -> ClauseSet:
@@ -118,54 +171,48 @@ def unit_resolve(clause_set: ClauseSet, literals: Iterable[Literal]) -> ClauseSe
     struck from every clause.  Note this does *not* delete satisfied
     clauses; with a total assignment, a clause reduces to the empty clause
     exactly when the assignment falsifies it.
+
+    The occurrence index locates the clauses containing ``~l`` directly;
+    the seed scanned the whole working set once per literal.
     """
     literal_list = list(literals)
-    clauses: set[Clause] = set(clause_set.clauses)
+    if not literal_list:
+        return clause_set
+    occ = OccurrenceIndex(clause_set.clauses)
     struck = 0
+    hits = 0
+    skips = 0
     for literal in literal_list:
         negated = -literal
-        updated: set[Clause] = set()
-        for clause in clauses:
-            if negated in clause:
-                updated.add(clause - {negated})
-                struck += 1
-            else:
-                updated.add(clause)
-        clauses = updated
+        affected = list(occ.clauses_with(negated))
+        hits += len(affected)
+        skips += len(occ) - len(affected)
+        for clause in affected:
+            occ.discard(clause)
+            occ.add(clause - {negated})
+            struck += 1
     if struck:
         obs.inc("logic.resolution.literals_struck", struck)
-    return ClauseSet(clause_set.vocabulary, clauses)
+    if hits:
+        obs.inc("logic.resolution.index_hits", hits)
+    if skips:
+        obs.inc("logic.resolution.index_skips", skips)
+    return ClauseSet._trusted(clause_set.vocabulary, frozenset(occ))
 
 
 def resolution_closure(clause_set: ClauseSet, max_clauses: int = 100_000) -> ClauseSet:
     """Saturate under resolution on *every* letter (total resolution).
 
-    Used only for testing (e.g. refutation-completeness checks); guarded by
-    ``max_clauses`` since saturation is exponential.
+    The basis of the prime-implicate engine; guarded by ``max_clauses``
+    since saturation is exponential.
     """
-    indices = sorted(clause_set.prop_indices)
-    current: set[Clause] = set(clause_set.clauses)
-    formed = 0
-    changed = True
-    while changed:
-        changed = False
-        snapshot = list(current)
-        for index in indices:
-            positive_literal = make_literal(index, positive=True)
-            with_pos = [c for c in snapshot if positive_literal in c]
-            with_neg = [c for c in snapshot if -positive_literal in c]
-            for clause_pos in with_pos:
-                for clause_neg in with_neg:
-                    res = resolvent(clause_pos, clause_neg, index)
-                    if res is not None and res not in current:
-                        current.add(res)
-                        formed += 1
-                        changed = True
-                        if len(current) > max_clauses:
-                            raise MemoryError(
-                                f"resolution closure exceeded {max_clauses} clauses"
-                            )
-        snapshot = list(current)
+    occ, formed, hits, skips = _saturate(
+        clause_set.clauses, None, max_clauses=max_clauses
+    )
     if formed:
         obs.inc("logic.resolution.resolvents_formed", formed)
-    return ClauseSet(clause_set.vocabulary, current)
+    if hits:
+        obs.inc("logic.resolution.index_hits", hits)
+    if skips:
+        obs.inc("logic.resolution.index_skips", skips)
+    return ClauseSet._trusted(clause_set.vocabulary, frozenset(occ))

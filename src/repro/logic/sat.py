@@ -7,11 +7,20 @@ vocabulary with every update, so measuring its query-time degradation
 is a classic DPLL with unit propagation, pure-literal elimination, and a
 most-frequent-literal branching heuristic -- entirely adequate for the
 workloads in this repository.
+
+The search is **iterative** (explicit decision stack + assignment trail),
+not recursive: the seed's recursive formulation blew Python's default
+1000-frame limit on deep propagation/decision chains (a few hundred
+letters suffice on E11-style Wilkins instances; see
+``tests/logic/test_sat_deepchain.py``).  Unit propagation is driven by a
+literal-occurrence index with per-clause satisfied/unassigned counters,
+so assigning a literal touches only the clauses containing it -- the seed
+rebuilt the entire simplified clause list on every propagation step.
 """
 
 from __future__ import annotations
 
-from collections import Counter
+from collections import Counter, deque
 
 from repro.obs import core as obs
 from repro.logic.clauses import Clause, ClauseSet, Literal
@@ -27,92 +36,197 @@ __all__ = [
 ]
 
 
-def _propagate(
-    clauses: list[Clause], assignment: dict[int, bool]
-) -> list[Clause] | None:
-    """Unit propagation; returns simplified clauses or ``None`` on conflict."""
-    work = list(clauses)
-    propagations = 0
-    while True:
-        unit: Literal | None = None
-        simplified: list[Clause] = []
-        for clause in work:
-            # Evaluate the clause under the current partial assignment.
-            remaining: list[Literal] = []
-            satisfied = False
+class _SolverState:
+    """Occurrence-indexed CNF working state with an undo trail.
+
+    Tracks, per clause, how many of its literals are currently true
+    (``n_true``) and how many are unassigned (``n_free``); a clause is
+    *open* while no literal in it is true.  Assigning a variable updates
+    only the clauses its two literals occur in (via the occurrence
+    lists), queueing clauses that become unit and detecting the ones that
+    become falsified.  ``undo_to`` rewinds the trail for backtracking.
+    """
+
+    __slots__ = (
+        "clauses",
+        "occ",
+        "assignment",
+        "trail",
+        "n_true",
+        "n_free",
+        "open_clauses",
+        "unit_queue",
+        "root_conflict",
+    )
+
+    def __init__(self, clauses: list[Clause], assignment: dict[int, bool]):
+        self.clauses = clauses
+        self.occ: dict[Literal, list[int]] = {}
+        for cid, clause in enumerate(clauses):
+            for literal in clause:
+                self.occ.setdefault(literal, []).append(cid)
+        self.assignment = assignment
+        self.trail: list[int] = []
+        self.n_true = [0] * len(clauses)
+        self.n_free = [len(clause) for clause in clauses]
+        self.open_clauses = len(clauses)
+        self.unit_queue: deque[int] = deque()
+        self.root_conflict = False
+        # Fold any pre-existing assignment (the caller's assumptions) into
+        # the counters, then pick up the clauses that start unit or empty.
+        for index, value in assignment.items():
+            if not self._apply(index, value):
+                self.root_conflict = True
+        for cid in range(len(clauses)):
+            if self.n_true[cid] == 0:
+                if self.n_free[cid] == 0:
+                    self.root_conflict = True
+                elif self.n_free[cid] == 1:
+                    self.unit_queue.append(cid)
+
+    def _apply(self, index: int, value: bool) -> bool:
+        """Update clause counters for ``index := value``.
+
+        Queues clauses that become unit; returns False when some clause
+        is falsified (all literals assigned, none true).
+        """
+        literal = index + 1 if value else -(index + 1)
+        n_true = self.n_true
+        n_free = self.n_free
+        for cid in self.occ.get(literal, ()):
+            if n_true[cid] == 0:
+                self.open_clauses -= 1
+            n_true[cid] += 1
+        ok = True
+        for cid in self.occ.get(-literal, ()):
+            n_free[cid] -= 1
+            if n_true[cid] == 0:
+                if n_free[cid] == 0:
+                    ok = False
+                elif n_free[cid] == 1:
+                    self.unit_queue.append(cid)
+        return ok
+
+    def assign(self, index: int, value: bool) -> bool:
+        """Assign on the trail; returns False on an immediate conflict."""
+        self.assignment[index] = value
+        self.trail.append(index)
+        return self._apply(index, value)
+
+    def propagate(self) -> bool:
+        """Drain the unit queue to fixpoint; False (queue cleared) on conflict."""
+        if self.root_conflict:
+            obs.inc("logic.sat.conflicts")
+            return False
+        ok = True
+        propagations = 0
+        queue = self.unit_queue
+        while ok and queue:
+            cid = queue.popleft()
+            if self.n_true[cid] > 0:
+                continue  # became satisfied since it was queued
+            if self.n_free[cid] == 0:
+                ok = False
+                break
+            unit: Literal = 0
+            for literal in self.clauses[cid]:
+                if (abs(literal) - 1) not in self.assignment:
+                    unit = literal
+                    break
+            propagations += 1
+            ok = self.assign(abs(unit) - 1, unit > 0)
+        if propagations:
+            obs.inc("logic.sat.unit_propagations", propagations)
+        if not ok:
+            obs.inc("logic.sat.conflicts")
+            queue.clear()
+        return ok
+
+    def undo_to(self, mark: int) -> None:
+        """Rewind the trail (and all clause counters) to length ``mark``."""
+        n_true = self.n_true
+        n_free = self.n_free
+        while len(self.trail) > mark:
+            index = self.trail.pop()
+            value = self.assignment.pop(index)
+            literal = index + 1 if value else -(index + 1)
+            for cid in self.occ.get(literal, ()):
+                n_true[cid] -= 1
+                if n_true[cid] == 0:
+                    self.open_clauses += 1
+            for cid in self.occ.get(-literal, ()):
+                n_free[cid] += 1
+        self.unit_queue.clear()
+
+    def scan_open(self) -> tuple[list[tuple[int, bool]], Counter]:
+        """One pass over the open clauses: pure literals + literal counts.
+
+        Returns ``(pures, counts)`` where ``pures`` are the assignments
+        pure-literal elimination may make (each unassigned letter whose
+        open-clause occurrences all share one polarity) and ``counts``
+        tallies unassigned literal occurrences for the branching
+        heuristic.
+        """
+        assignment = self.assignment
+        polarity: dict[int, int] = {}
+        counts: Counter[Literal] = Counter()
+        for cid, clause in enumerate(self.clauses):
+            if self.n_true[cid] > 0:
+                continue
             for literal in clause:
                 index = abs(literal) - 1
                 if index in assignment:
-                    if assignment[index] == (literal > 0):
-                        satisfied = True
-                        break
-                else:
-                    remaining.append(literal)
-            if satisfied:
-                continue
-            if not remaining:
-                if propagations:
-                    obs.inc("logic.sat.unit_propagations", propagations)
-                obs.inc("logic.sat.conflicts")
-                return None  # falsified clause
-            if len(remaining) == 1 and unit is None:
-                unit = remaining[0]
-            simplified.append(frozenset(remaining))
-        if unit is None:
-            if propagations:
-                obs.inc("logic.sat.unit_propagations", propagations)
-            return simplified
-        assignment[abs(unit) - 1] = unit > 0
-        propagations += 1
-        work = simplified
+                    continue
+                counts[literal] += 1
+                sign = 1 if literal > 0 else -1
+                previous = polarity.get(index)
+                if previous is None:
+                    polarity[index] = sign
+                elif previous != sign:
+                    polarity[index] = 0
+        pures = [(index, sign > 0) for index, sign in polarity.items() if sign != 0]
+        return pures, counts
 
 
-def _dpll(clauses: list[Clause], assignment: dict[int, bool]) -> dict[int, bool] | None:
-    simplified = _propagate(clauses, assignment)
-    if simplified is None:
-        return None
-    if not simplified:
-        return assignment
-    # Pure literal elimination.
-    polarity: dict[int, int] = {}
-    for clause in simplified:
-        for literal in clause:
+def _search(state: _SolverState) -> dict[int, bool] | None:
+    """Iterative DPLL over a prepared solver state."""
+    # Each frame is (variable index, first value tried, trail mark, flipped).
+    frames: list[tuple[int, bool, int, bool]] = []
+    while True:
+        if state.propagate():
+            if state.open_clauses == 0:
+                return dict(state.assignment)
+            # Cascading pure-literal elimination.  Assigning a pure literal
+            # can only satisfy open clauses (its negation occurs in none of
+            # them), so no propagation or conflict can result; satisfied
+            # clauses may expose new pure letters, hence the loop.
+            while True:
+                pures, counts = state.scan_open()
+                if not pures:
+                    break
+                for index, value in pures:
+                    state.assign(index, value)
+                if state.open_clauses == 0:
+                    return dict(state.assignment)
+            # Branch on the most frequent literal among open clauses.
+            literal, _ = counts.most_common(1)[0]
             index = abs(literal) - 1
-            sign = 1 if literal > 0 else -1
-            polarity[index] = polarity.get(index, sign) if polarity.get(index, sign) == sign else 0
-            if index not in polarity:
-                polarity[index] = sign
-    pure = {index: sign for index, sign in polarity.items() if sign != 0}
-    if pure:
-        for index, sign in pure.items():
-            if index not in assignment:
-                assignment[index] = sign > 0
-        remaining = [
-            clause
-            for clause in simplified
-            if not any(
-                (abs(l) - 1) in pure and (pure[abs(l) - 1] > 0) == (l > 0)
-                for l in clause
-            )
-        ]
-        if len(remaining) != len(simplified):
-            return _dpll(remaining, assignment)
-    # Branch on the most frequent literal.
-    counts: Counter[Literal] = Counter()
-    for clause in simplified:
-        counts.update(clause)
-    literal, _ = counts.most_common(1)[0]
-    first = literal > 0
-    for value in (first, not first):
-        if value is not first:
-            obs.inc("logic.sat.backtracks")
-        obs.inc("logic.sat.decisions")
-        trial = dict(assignment)
-        trial[abs(literal) - 1] = value
-        result = _dpll(simplified, trial)
-        if result is not None:
-            return result
-    return None
+            first = literal > 0
+            obs.inc("logic.sat.decisions")
+            frames.append((index, first, len(state.trail), False))
+            state.assign(index, first)
+        else:
+            while frames:
+                index, first, mark, flipped = frames.pop()
+                state.undo_to(mark)
+                if not flipped:
+                    obs.inc("logic.sat.backtracks")
+                    obs.inc("logic.sat.decisions")
+                    frames.append((index, first, mark, True))
+                    state.assign(index, not first)
+                    break
+            else:
+                return None
 
 
 def solve(clause_set: ClauseSet, assumptions: tuple[Literal, ...] = ()) -> dict[int, bool] | None:
@@ -132,7 +246,7 @@ def solve(clause_set: ClauseSet, assumptions: tuple[Literal, ...] = ()) -> dict[
         "logic.sat.solve", clauses=len(clause_set), assumptions=len(assumptions)
     ):
         obs.inc("logic.sat.solve_calls")
-        return _dpll(list(clause_set.clauses), assignment)
+        return _search(_SolverState(list(clause_set.clauses), assignment))
 
 
 def is_satisfiable(clause_set: ClauseSet, assumptions: tuple[Literal, ...] = ()) -> bool:
@@ -160,30 +274,58 @@ def count_models_exact(clause_set: ClauseSet) -> int:
     deliberately absent -- it is satisfiability-preserving but not
     count-preserving.  Worst case exponential (#SAT is #P-complete), but
     comfortable far beyond the 24-letter enumeration limit on the states
-    this library produces.
+    this library produces.  Iterative like :func:`solve`, so deep
+    propagation chains cannot exhaust the Python stack.
 
     Used by :meth:`repro.hlu.session.IncompleteDatabase.world_count`.
     """
     total_letters = len(clause_set.vocabulary)
-
-    def count(clauses: list[Clause], assignment: dict[int, bool]) -> int:
-        simplified = _propagate(clauses, assignment)
-        if simplified is None:
-            return 0
-        if not simplified:
-            return 1 << (total_letters - len(assignment))
-        shortest = min(simplified, key=len)
-        literal = next(iter(shortest))
-        index = abs(literal) - 1
-        obs.inc("logic.sat.decisions")
-        subtotal = 0
-        for value in (True, False):
-            trial = dict(assignment)
-            trial[index] = value
-            subtotal += count(simplified, trial)
-        return subtotal
-
-    return count(list(clause_set.clauses), {})
+    state = _SolverState(list(clause_set.clauses), {})
+    # Each frame is [variable index, trail mark, tried_false, subtotal].
+    frames: list[list] = []
+    entering = True
+    result = 0
+    while True:
+        if entering:
+            if not state.propagate():
+                result = 0
+                entering = False
+            elif state.open_clauses == 0:
+                result = 1 << (total_letters - len(state.assignment))
+                entering = False
+            else:
+                # Branch on a variable of an open clause with the fewest
+                # unassigned literals (the seed's shortest-clause rule).
+                best = -1
+                best_free = 0
+                for cid in range(len(state.clauses)):
+                    if state.n_true[cid] > 0:
+                        continue
+                    free = state.n_free[cid]
+                    if best < 0 or free < best_free:
+                        best, best_free = cid, free
+                index = -1
+                for literal in state.clauses[best]:
+                    candidate = abs(literal) - 1
+                    if candidate not in state.assignment:
+                        index = candidate
+                        break
+                obs.inc("logic.sat.decisions")
+                frames.append([index, len(state.trail), False, 0])
+                state.assign(index, True)
+        else:
+            if not frames:
+                return result
+            frame = frames[-1]
+            frame[3] += result
+            state.undo_to(frame[1])
+            if not frame[2]:
+                frame[2] = True
+                state.assign(frame[0], False)
+                entering = True
+            else:
+                result = frame[3]
+                frames.pop()
 
 
 def backbone_literals(clause_set: ClauseSet) -> frozenset[Literal]:

@@ -203,3 +203,36 @@ class TestClauseSetOperations:
         cs = ClauseSet.from_strs(VOCAB, ["A2 | A3", "A1"])
         rendered = [str(f) for f in cs.to_formulas()]
         assert rendered == ["A1", "(A2 | A3)"]
+
+
+class TestClauseSignatures:
+    def test_signature_sets_one_bit_per_letter(self):
+        from repro.logic.clauses import clause_signature
+
+        assert clause_signature(frozenset()) == 0
+        assert clause_signature(clause_of([1])) == 0b1
+        assert clause_signature(clause_of([-3])) == 0b100
+        assert clause_signature(clause_of([1, -2, 5])) == 0b10011
+        # Polarity is deliberately ignored: signatures track letters only.
+        assert clause_signature(clause_of([2])) == clause_signature(clause_of([-2]))
+
+    def test_signatures_property_covers_every_clause(self):
+        from repro.logic.clauses import clause_props, clause_signature
+
+        cs = ClauseSet.from_strs(VOCAB, ["A1 | ~A2", "A3", "~A4 | A5"])
+        sigs = cs.signatures
+        assert set(sigs) == set(cs.clauses)
+        for clause, sig in sigs.items():
+            assert sig == clause_signature(clause)
+            assert {i for i in range(5) if sig >> i & 1} == clause_props(clause)
+
+    def test_signature_is_necessary_for_subset(self):
+        small = clause_of([1, 2])
+        big = clause_of([1, 2, -3])
+        disjoint = clause_of([4, 5])
+        from repro.logic.clauses import clause_signature
+
+        assert clause_signature(small) & clause_signature(big) == clause_signature(small)
+        assert clause_signature(small) & clause_signature(disjoint) != clause_signature(
+            small
+        )

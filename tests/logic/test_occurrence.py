@@ -1,0 +1,47 @@
+"""Tests for the literal-occurrence index (repro.logic.occurrence)."""
+
+from repro.logic.clauses import clause_of
+from repro.logic.occurrence import OccurrenceIndex
+
+C12 = clause_of([1, 2])
+C13n = clause_of([-1, 3])
+C23 = clause_of([2, 3])
+
+
+class TestOccurrenceIndex:
+    def test_buckets_reflect_membership(self):
+        index = OccurrenceIndex([C12, C13n])
+        assert index.clauses_with(1) == {C12}
+        assert index.clauses_with(-1) == {C13n}
+        assert index.clauses_with(3) == {C13n}
+        assert index.clauses_with(-3) == frozenset()
+
+    def test_add_is_idempotent(self):
+        index = OccurrenceIndex([C12])
+        assert not index.add(C12)
+        assert index.add(C23)
+        assert len(index) == 2
+        assert index.clauses_with(2) == {C12, C23}
+
+    def test_discard_removes_from_every_bucket(self):
+        index = OccurrenceIndex([C12, C23])
+        assert index.discard(C12)
+        assert not index.discard(C12)
+        assert index.clauses_with(1) == frozenset()
+        assert index.clauses_with(2) == {C23}
+        assert len(index) == 1
+
+    def test_iteration_and_containment(self):
+        index = OccurrenceIndex([C12, C13n])
+        assert set(index) == {C12, C13n}
+        assert C12 in index
+        assert C23 not in index
+        index.add(C23)
+        assert frozenset(index) == frozenset({C12, C13n, C23})
+
+    def test_empty_clause_is_indexable(self):
+        index = OccurrenceIndex([frozenset()])
+        assert frozenset() in index
+        assert len(index) == 1
+        index.discard(frozenset())
+        assert len(index) == 0

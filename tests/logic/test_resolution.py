@@ -149,3 +149,32 @@ class TestResolutionClosure:
         big = ClauseSet.from_strs(VOCAB, clauses[:-1])
         with pytest.raises(MemoryError):
             resolution_closure(big, max_clauses=10)
+
+    def test_closure_is_a_fixpoint(self):
+        # resolution_closure(resolution_closure(S)) == resolution_closure(S):
+        # saturation really saturates, on hand-picked and random inputs.
+        import random
+
+        samples = [
+            ClauseSet.from_strs(VOCAB, ["A1 | A2", "~A1 | A3", "~A2 | A3"]),
+            ClauseSet.from_strs(VOCAB, ["A1", "~A1 | A2", "A3 | ~A2", "A4 | A5"]),
+            ClauseSet.tautology(VOCAB),
+            ClauseSet.contradiction(VOCAB),
+        ]
+        rng = random.Random(87)
+        for _ in range(20):
+            clauses = []
+            for _ in range(rng.randint(1, 8)):
+                letters = rng.sample(range(5), rng.randint(1, 3))
+                clauses.append(
+                    clause_of(make_literal(i, rng.random() < 0.5) for i in letters)
+                )
+            samples.append(ClauseSet(VOCAB, clauses))
+        for cs in samples:
+            closed = resolution_closure(cs)
+            assert resolution_closure(closed) == closed
+
+    def test_rclosure_is_a_fixpoint_on_its_letters(self):
+        cs = ClauseSet.from_strs(VOCAB, ["A1 | A2", "~A2 | A3", "~A3 | A4"])
+        closed = rclosure(cs, [1, 2])
+        assert rclosure(closed, [1, 2]) == closed

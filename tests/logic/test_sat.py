@@ -101,3 +101,50 @@ class TestCountModels:
     def test_scales_past_enumeration_limit_not_required(self):
         # count_models is documented as enumerative; just check tautology.
         assert count_models(ClauseSet.tautology(VOCAB)) == 64
+
+
+class TestSolverProperties:
+    """Randomized cross-check of the solver against brute-force enumeration.
+
+    Guards the pure-literal/mixed-polarity tracking (the seed carried a
+    duplicated, partly dead polarity-initialisation branch there): on
+    instances of up to 12 letters -- wide enough for every interaction of
+    unit propagation, pure-literal cascades, and backtracking -- the
+    verdicts of ``solve``/``is_satisfiable`` must match the brute-force
+    model count, and any model returned must actually satisfy the set.
+    """
+
+    def test_solve_agrees_with_brute_force_on_random_instances(self):
+        rng = random.Random(20260805)
+        for case in range(250):
+            letters = rng.randint(1, 12)
+            vocab = Vocabulary.standard(letters)
+            clauses = []
+            for _ in range(rng.randint(1, 3 * letters)):
+                width = rng.randint(1, min(4, letters))
+                chosen = rng.sample(range(letters), width)
+                clauses.append(
+                    clause_of(make_literal(i, rng.random() < 0.5) for i in chosen)
+                )
+            cs = ClauseSet(vocab, clauses)
+            brute_force_count = count_models(cs)
+            model = solve(cs)
+            assert is_satisfiable(cs) == (model is not None), f"case {case}: {cs}"
+            assert (model is not None) == (brute_force_count > 0), f"case {case}: {cs}"
+            if model is not None:
+                world = 0
+                for index, value in model.items():
+                    if value:
+                        world |= 1 << index
+                assert cs.satisfied_by(world), f"case {case}: {cs} model {model}"
+
+    def test_pure_literal_cascade_instances(self):
+        # Single-polarity chains exercise exactly the pure-literal path.
+        vocab = Vocabulary.standard(6)
+        cs = ClauseSet.from_strs(
+            vocab, ["~A1 | A2", "~A2 | A3", "~A3 | A4", "~A4 | A5", "~A5 | A6"]
+        )
+        model = solve(cs)
+        assert model is not None
+        world = sum(1 << i for i, v in model.items() if v)
+        assert cs.satisfied_by(world)

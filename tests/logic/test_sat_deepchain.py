@@ -1,0 +1,168 @@
+"""Regression: deep propagation/decision chains must not exhaust the stack.
+
+The seed ``_dpll`` was recursive: every pure-literal round and every
+branching decision consumed a Python frame, so an E11-style Wilkins
+instance -- a long chain of implications over a few thousand letters --
+blew the default 1000-frame recursion limit.  A verbatim copy of the
+seed solver is kept here (``_reference_solve``) to pin the failure mode;
+the shipped iterative solver must handle the same instance.
+"""
+
+import sys
+from collections import Counter
+
+import pytest
+
+from repro.logic.clauses import ClauseSet, make_literal
+from repro.logic.propositions import Vocabulary
+from repro.logic.sat import count_models_exact, solve
+from repro.logic.semantics import models_of_clauses
+
+
+# ---------------------------------------------------------------------------
+# the seed recursive solver, verbatim minus obs instrumentation
+# ---------------------------------------------------------------------------
+
+def _reference_propagate(clauses, assignment):
+    work = list(clauses)
+    while True:
+        unit = None
+        simplified = []
+        for clause in work:
+            remaining = []
+            satisfied = False
+            for literal in clause:
+                index = abs(literal) - 1
+                if index in assignment:
+                    if assignment[index] == (literal > 0):
+                        satisfied = True
+                        break
+                else:
+                    remaining.append(literal)
+            if satisfied:
+                continue
+            if not remaining:
+                return None
+            if len(remaining) == 1 and unit is None:
+                unit = remaining[0]
+            simplified.append(frozenset(remaining))
+        if unit is None:
+            return simplified
+        assignment[abs(unit) - 1] = unit > 0
+        work = simplified
+
+
+def _reference_dpll(clauses, assignment):
+    simplified = _reference_propagate(clauses, assignment)
+    if simplified is None:
+        return None
+    if not simplified:
+        return assignment
+    polarity = {}
+    for clause in simplified:
+        for literal in clause:
+            index = abs(literal) - 1
+            sign = 1 if literal > 0 else -1
+            polarity[index] = (
+                polarity.get(index, sign) if polarity.get(index, sign) == sign else 0
+            )
+    pure = {index: sign for index, sign in polarity.items() if sign != 0}
+    if pure:
+        for index, sign in pure.items():
+            if index not in assignment:
+                assignment[index] = sign > 0
+        remaining = [
+            clause
+            for clause in simplified
+            if not any(
+                (abs(l) - 1) in pure and (pure[abs(l) - 1] > 0) == (l > 0)
+                for l in clause
+            )
+        ]
+        if len(remaining) != len(simplified):
+            return _reference_dpll(remaining, assignment)
+    counts = Counter()
+    for clause in simplified:
+        counts.update(clause)
+    literal, _ = counts.most_common(1)[0]
+    first = literal > 0
+    for value in (first, not first):
+        trial = dict(assignment)
+        trial[abs(literal) - 1] = value
+        result = _reference_dpll(simplified, trial)
+        if result is not None:
+            return result
+    return None
+
+
+def _reference_solve(clause_set):
+    return _reference_dpll(list(clause_set.clauses), {})
+
+
+# ---------------------------------------------------------------------------
+# the deep-chain instance
+# ---------------------------------------------------------------------------
+
+def implication_chain(n: int) -> ClauseSet:
+    """``(~A_1 | A_2), (~A_2 | A_3), ...``: ``n`` chained implications.
+
+    With no unit clause the seed solver could not discharge the chain in
+    its (iterative) propagation loop; instead each pure-literal round
+    stripped one implication off each end and recursed, consuming ~n/2
+    stack frames.
+    """
+    vocab = Vocabulary.standard(n + 1)
+    clauses = [
+        frozenset({-make_literal(i), make_literal(i + 1)}) for i in range(n)
+    ]
+    return ClauseSet(vocab, clauses)
+
+
+CHAIN_LENGTH = 3000  # pure-literal recursion depth ~1500 > the 1000-frame default
+
+
+class TestDeepChainRegression:
+    def test_seed_recursive_dpll_blows_the_stack(self):
+        cs = implication_chain(CHAIN_LENGTH)
+        limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(1000)  # the CPython default, pinned
+        try:
+            with pytest.raises(RecursionError):
+                _reference_solve(cs)
+        finally:
+            sys.setrecursionlimit(limit)
+
+    def test_iterative_solver_handles_the_same_chain(self):
+        cs = implication_chain(CHAIN_LENGTH)
+        model = solve(cs)
+        assert model is not None
+        for clause in cs.clauses:
+            assert any(
+                model.get(abs(l) - 1, l > 0) == (l > 0) for l in clause
+            ), f"clause {set(clause)} unsatisfied"
+
+    def test_iterative_counting_handles_a_deep_chain(self):
+        # n chained implications over n+1 letters have exactly n+2 models
+        # (the set of true letters is an upward-closed suffix).
+        n = 1500
+        assert count_models_exact(implication_chain(n)) == n + 2
+
+    def test_count_formula_cross_checked_by_enumeration(self):
+        for n in (1, 2, 5, 9):
+            cs = implication_chain(n)
+            assert count_models_exact(cs) == len(models_of_clauses(cs)) == n + 2
+
+    def test_deep_unit_propagation_chain(self):
+        # With a unit at the head the whole chain is forced; both the
+        # propagation queue and the trail must take 2001 assignments.
+        n = 2000
+        vocab = Vocabulary.standard(n + 1)
+        clauses = [frozenset({make_literal(0)})] + [
+            frozenset({-make_literal(i), make_literal(i + 1)}) for i in range(n)
+        ]
+        cs = ClauseSet(vocab, clauses)
+        model = solve(cs)
+        assert model is not None
+        assert all(model[i] for i in range(n + 1))
+        # ... and forcing the tail false is a (deep) refutation.
+        assert solve(cs, assumptions=(-make_literal(n),)) is None

@@ -28,6 +28,7 @@ import repro.logic.clauses
 import repro.logic.cnf
 import repro.logic.formula
 import repro.logic.implicates
+import repro.logic.occurrence
 import repro.logic.parser
 import repro.logic.propositions
 import repro.relational.constants
@@ -45,6 +46,7 @@ MODULE_NAMES = [
     "repro.logic.clauses",
     "repro.logic.cnf",
     "repro.logic.implicates",
+    "repro.logic.occurrence",
     "repro.db.schema",
     "repro.db.instances",
     "repro.db.literal_base",
