@@ -7,10 +7,18 @@ This is the report generator behind EXPERIMENTS.md::
     python benchmarks/run_experiments.py E3 A1           # a selection
     python benchmarks/run_experiments.py --smoke         # fast correctness tier
     python benchmarks/run_experiments.py E1 --trace-out trace.jsonl
+    python benchmarks/run_experiments.py E16 --profile-out e16.folded --mem
 
 ``--trace-out FILE`` enables the ``repro.obs`` instrumentation for the
 whole run and writes every recorded span and counter as JSON-lines
-(schema-checked by ``tests/test_trace_smoke.py``).
+(schema-checked by ``tests/test_trace_smoke.py``).  ``--profile-out
+FILE`` likewise enables instrumentation and writes a flamegraph view of
+the run: collapsed folded stacks (``flamegraph.pl`` format), or a
+speedscope JSON profile when FILE ends in ``.json``.  ``--mem`` tracks
+per-experiment memory via ``tracemalloc`` (a real slowdown, so opt-in):
+peak/current bytes land in the run record's ``memory`` block and on the
+``experiment.*`` spans.  Analyse any ``--trace-out`` file afterwards
+with ``python -m repro.cli trace-report``.
 
 Performance trajectory (see README "Performance trajectory"):
 
@@ -26,6 +34,7 @@ Performance trajectory (see README "Performance trajectory"):
 from __future__ import annotations
 
 import argparse
+import json
 import re
 import sys
 import time
@@ -102,6 +111,20 @@ def main(argv: list[str] | None = None) -> int:
         help="enable repro.obs and write spans + counters as JSON-lines",
     )
     parser.add_argument(
+        "--profile-out",
+        metavar="FILE",
+        default=None,
+        help="enable repro.obs and write a flamegraph view of the run: "
+        "folded stacks (flamegraph.pl), or speedscope JSON if FILE ends "
+        "in .json",
+    )
+    parser.add_argument(
+        "--mem",
+        action="store_true",
+        help="track per-experiment memory with tracemalloc (peak/current "
+        "bytes in the run record and on experiment spans; slows the run)",
+    )
+    parser.add_argument(
         "--bench-out",
         metavar="FILE",
         default=None,
@@ -158,15 +181,32 @@ def main(argv: list[str] | None = None) -> int:
             f"(known: {', '.join(baseline_mod.METRIC_KINDS)})"
         )
 
-    tracing = options.trace_out is not None
+    tracing = options.trace_out is not None or options.profile_out is not None
     trace_handle = None
-    if tracing:
+    profile_handle = None
+    if options.trace_out is not None:
         try:
             trace_handle = open(options.trace_out, "w")
         except OSError as exc:
             parser.error(f"cannot write --trace-out file: {exc}")
+    if options.profile_out is not None:
+        try:
+            profile_handle = open(options.profile_out, "w")
+        except OSError as exc:
+            parser.error(f"cannot write --profile-out file: {exc}")
+    if tracing:
         obs.reset()
         obs.enable()
+
+    def run_one(runner):
+        """One experiment, optionally under tracemalloc."""
+        if options.mem:
+            with obs.track_memory() as sample:
+                report = runner()
+            report.memory = sample.to_json()
+            return report, sample
+        return runner(), None
+
     failures = 0
     results: list[tuple[object, object]] = []
     try:
@@ -176,24 +216,48 @@ def main(argv: list[str] | None = None) -> int:
                 continue
             start = time.perf_counter()
             if tracing:
-                with obs.span(f"experiment.{ident}"):
-                    report = runner()
+                with obs.span(f"experiment.{ident}") as exp_span:
+                    report, sample = run_one(runner)
+                    if sample is not None:
+                        exp_span.set(
+                            mem_peak_bytes=sample.peak_bytes,
+                            mem_current_bytes=sample.current_bytes,
+                        )
             else:
-                report = runner()
+                report, sample = run_one(runner)
             elapsed = time.perf_counter() - start
             results.append((report, elapsed))
             print(report.render())
-            print(f"(ran in {elapsed:.1f}s)\n")
+            timing_note = f"(ran in {elapsed:.1f}s"
+            if sample is not None:
+                timing_note += f", peak {sample.peak_bytes / (1024 * 1024):.1f}MB"
+            print(timing_note + ")\n")
             if not report.holds:
                 failures += 1
     finally:
         if tracing:
             obs.disable()
-            from repro.obs.export import export_jsonl
+            if trace_handle is not None:
+                from repro.obs.export import export_jsonl
 
-            with trace_handle:
-                trace_handle.write(export_jsonl(obs.tracer(), obs.counters()))
-            print(f"trace written to {options.trace_out}")
+                with trace_handle:
+                    trace_handle.write(export_jsonl(obs.tracer(), obs.counters()))
+                print(f"trace written to {options.trace_out}")
+            if profile_handle is not None:
+                from repro.obs.profile import folded_stacks, speedscope_document
+
+                with profile_handle:
+                    if options.profile_out.endswith(".json"):
+                        json.dump(
+                            speedscope_document(
+                                obs.tracer(), name="run_experiments"
+                            ),
+                            profile_handle,
+                        )
+                        profile_handle.write("\n")
+                    else:
+                        profile_handle.write(folded_stacks(obs.tracer()))
+                print(f"profile written to {options.profile_out}")
 
     record = metrics_mod.record_from_reports(results, root=REPO_ROOT)
 

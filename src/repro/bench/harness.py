@@ -219,7 +219,10 @@ class Report:
       (accumulated via :meth:`merge_counters`, exact and deterministic);
     * ``metrics`` -- named scalar results such as fitted growth
       exponents (``loglog_slope``, ``exp_base``), compared against the
-      baseline with a per-metric tolerance.
+      baseline with a per-metric tolerance;
+    * ``memory`` -- tracemalloc totals (``current_bytes``/``peak_bytes``)
+      when the run tracked memory (``run_experiments.py --mem``),
+      recorded but never gated.
     """
 
     ident: str
@@ -231,6 +234,7 @@ class Report:
     holds: bool | None = None
     counters: dict[str, int] = field(default_factory=dict)
     metrics: dict[str, float] = field(default_factory=dict)
+    memory: dict[str, int] | None = None
 
     def merge_counters(self, delta: Mapping[str, int]) -> None:
         """Accumulate a counter delta into the experiment totals."""

@@ -30,18 +30,27 @@ Commands:
 ``:stats``         kernel counter deltas since the last ``:stats reset``
                    (needs ``:trace on``); ``:stats all`` for absolute
                    totals
+``:profile [n]``   hotspot table of the spans recorded so far -- self
+                   time, call counts, p50/p90/p99 -- top ``n`` rows
+                   (default 15; needs ``:trace on``)
 ``:bench last``    summary of the most recent ``BENCH_*.json`` run
                    record (``:bench <file>`` for a specific one)
 ``:help``          this text
 ``:quit``          leave
 =================  ==================================================
 
-The module doubles as the home of the benchmark-diff tool::
+The module doubles as the home of the benchmark-diff and trace-analysis
+tools::
 
     python -m repro.cli bench-diff BENCH_x.json [--against baseline.json]
+    python -m repro.cli trace-report trace.jsonl [--limit N]
+        [--folded out.folded] [--speedscope out.speedscope.json]
 
-which renders the run-vs-baseline regression table and exits nonzero
-when gated metrics regressed (see README "Performance trajectory").
+``bench-diff`` renders the run-vs-baseline regression table and exits
+nonzero when gated metrics regressed (see README "Performance
+trajectory"); ``trace-report`` schema-checks a ``--trace-out`` JSON-lines
+file, prints its hotspot table, and can export flamegraph views (folded
+stacks for ``flamegraph.pl``, JSON for speedscope).
 """
 
 from __future__ import annotations
@@ -70,6 +79,7 @@ _COMMANDS = (
     "load",
     "trace",
     "stats",
+    "profile",
     "bench",
     "help",
     "quit",
@@ -166,6 +176,8 @@ class Shell:
             return self._trace_command(args)
         if name == "stats":
             return self._stats_command(args)
+        if name == "profile":
+            return self._profile_command(args)
         if name == "bench":
             return self._bench_command(args)
         if name == "help":
@@ -230,6 +242,22 @@ class Shell:
             claim="counter deltas since the last :stats reset",
         )
         return report.render().rstrip("\n")
+
+    def _profile_command(self, args: list[str]) -> str:
+        from repro.obs.report import hotspot_report
+
+        limit = 15
+        if args:
+            try:
+                limit = int(args[0])
+            except ValueError:
+                return "error: :profile takes an optional row limit (a number)"
+        tracer = obs.tracer()
+        if not tracer.roots:
+            if not obs.is_enabled():
+                return "(no spans recorded -- instrumentation is off; try :trace on)"
+            return "(no spans recorded)"
+        return hotspot_report(tracer, limit=limit).render().rstrip("\n")
 
     def _bench_command(self, args: list[str]) -> str:
         from repro.obs import metrics
@@ -322,12 +350,92 @@ def bench_diff_main(argv: list[str]) -> int:
     return 0
 
 
+def trace_report_main(argv: list[str]) -> int:
+    """``python -m repro.cli trace-report``: analyse a ``--trace-out`` file.
+
+    Schema-checks the JSON-lines trace (exit 2 on drift or unreadable
+    input), prints the hotspot table -- per-span-name self time, call
+    counts, and p50/p90/p99 of per-call self times -- and optionally
+    writes flamegraph exports: ``--folded`` (collapsed folded-stack text
+    for ``flamegraph.pl``) and ``--speedscope`` (speedscope JSON).
+    """
+    import json
+
+    from repro.obs.export import spans_from_jsonl, validate_jsonl
+    from repro.obs.profile import folded_stacks, speedscope_document
+    from repro.obs.report import hotspot_report
+
+    parser = argparse.ArgumentParser(
+        prog="repro-hlu trace-report",
+        description="Hotspot table and flamegraph exports for a recorded trace.",
+    )
+    parser.add_argument(
+        "trace", help="JSON-lines trace file (run_experiments.py --trace-out)"
+    )
+    parser.add_argument(
+        "--limit",
+        type=int,
+        default=15,
+        metavar="N",
+        help="show the N hottest span names (default 15)",
+    )
+    parser.add_argument(
+        "--folded",
+        metavar="FILE",
+        default=None,
+        help="also write collapsed folded stacks (flamegraph.pl format)",
+    )
+    parser.add_argument(
+        "--speedscope",
+        metavar="FILE",
+        default=None,
+        help="also write a speedscope-compatible JSON profile",
+    )
+    parser.add_argument(
+        "--no-validate",
+        action="store_true",
+        help="skip the JSON-lines schema check (e.g. for traces from "
+        "older builds)",
+    )
+    options = parser.parse_args(argv)
+    try:
+        with open(options.trace) as handle:
+            text = handle.read()
+    except OSError as exc:
+        print(f"error: cannot read trace file: {exc}", file=sys.stderr)
+        return 2
+    if not options.no_validate:
+        errors = validate_jsonl(text)
+        if errors:
+            for error in errors:
+                print(f"error: {options.trace}: {error}", file=sys.stderr)
+            return 2
+    try:
+        spans = spans_from_jsonl(text)
+    except (ValueError, KeyError, TypeError) as exc:
+        print(f"error: cannot parse trace file {options.trace}: {exc}", file=sys.stderr)
+        return 2
+    print(hotspot_report(spans, limit=options.limit).render())
+    if options.folded is not None:
+        with open(options.folded, "w") as handle:
+            handle.write(folded_stacks(spans))
+        print(f"folded stacks written to {options.folded}")
+    if options.speedscope is not None:
+        with open(options.speedscope, "w") as handle:
+            json.dump(speedscope_document(spans, name=options.trace), handle)
+            handle.write("\n")
+        print(f"speedscope profile written to {options.speedscope}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Console entry point."""
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "bench-diff":
         return bench_diff_main(argv[1:])
+    if argv and argv[0] == "trace-report":
+        return trace_report_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-hlu", description="Interactive HLU shell (Hegner, PODS 1987)"
     )

@@ -406,33 +406,35 @@ class ClauseSet:
         of ``sig(clause)``), which prunes the quadratic pair scan to the
         few genuinely comparable clauses.
         """
-        sigs = self.signatures
-        by_size = sorted(self._clauses, key=len)
-        kept: list[Clause] = []
-        kept_sigs: list[int] = []
-        subset_tests = 0
-        sig_skips = 0
-        for clause in by_size:
-            signature = sigs[clause]
-            subsumed = False
-            for kept_clause, kept_sig in zip(kept, kept_sigs):
-                if kept_sig & signature != kept_sig:
-                    sig_skips += 1
-                    continue
-                subset_tests += 1
-                if kept_clause <= clause:
-                    subsumed = True
-                    break
-            if not subsumed:
-                kept.append(clause)
-                kept_sigs.append(signature)
-        if subset_tests:
-            obs.inc("logic.reduce.subset_tests", subset_tests)
-        if sig_skips:
-            obs.inc("logic.reduce.sig_skips", sig_skips)
-        if len(kept) == len(self._clauses):
-            return self
-        return ClauseSet._trusted(self._vocabulary, frozenset(kept))
+        with obs.span("logic.reduce", clauses_in=len(self._clauses)) as current:
+            sigs = self.signatures
+            by_size = sorted(self._clauses, key=len)
+            kept: list[Clause] = []
+            kept_sigs: list[int] = []
+            subset_tests = 0
+            sig_skips = 0
+            for clause in by_size:
+                signature = sigs[clause]
+                subsumed = False
+                for kept_clause, kept_sig in zip(kept, kept_sigs):
+                    if kept_sig & signature != kept_sig:
+                        sig_skips += 1
+                        continue
+                    subset_tests += 1
+                    if kept_clause <= clause:
+                        subsumed = True
+                        break
+                if not subsumed:
+                    kept.append(clause)
+                    kept_sigs.append(signature)
+            if subset_tests:
+                obs.inc("logic.reduce.subset_tests", subset_tests)
+            if sig_skips:
+                obs.inc("logic.reduce.sig_skips", sig_skips)
+            current.set(clauses_out=len(kept), subset_tests=subset_tests)
+            if len(kept) == len(self._clauses):
+                return self
+            return ClauseSet._trusted(self._vocabulary, frozenset(kept))
 
     def to_formulas(self) -> tuple[Formula, ...]:
         """Each clause as a disjunction formula, in a deterministic order."""

@@ -131,14 +131,18 @@ def rclosure(clause_set: ClauseSet, indices: Iterable[int]) -> ClauseSet:
     the whole working set.
     """
     pivot_indices = frozenset(indices)
-    occ, formed, hits, skips = _saturate(clause_set.clauses, pivot_indices)
-    if formed:
-        obs.inc("logic.resolution.resolvents_formed", formed)
-    if hits:
-        obs.inc("logic.resolution.index_hits", hits)
-    if skips:
-        obs.inc("logic.resolution.index_skips", skips)
-    return ClauseSet._trusted(clause_set.vocabulary, frozenset(occ))
+    with obs.span(
+        "logic.rclosure", pivots=len(pivot_indices), clauses_in=len(clause_set)
+    ) as current:
+        occ, formed, hits, skips = _saturate(clause_set.clauses, pivot_indices)
+        if formed:
+            obs.inc("logic.resolution.resolvents_formed", formed)
+        if hits:
+            obs.inc("logic.resolution.index_hits", hits)
+        if skips:
+            obs.inc("logic.resolution.index_skips", skips)
+        current.set(clauses_out=len(occ), resolvents_formed=formed)
+        return ClauseSet._trusted(clause_set.vocabulary, frozenset(occ))
 
 
 def drop(clause_set: ClauseSet, indices: Iterable[int]) -> ClauseSet:

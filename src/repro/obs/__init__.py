@@ -20,6 +20,7 @@ Typical use::
 from repro.obs.core import (
     Counters,
     Histogram,
+    MemorySample,
     Span,
     Tracer,
     counters,
@@ -32,6 +33,7 @@ from repro.obs.core import (
     reset,
     span,
     tracer,
+    track_memory,
 )
 from repro.obs.export import (
     counter_report,
@@ -41,6 +43,15 @@ from repro.obs.export import (
     spans_from_jsonl,
     validate_jsonl,
 )
+from repro.obs.profile import (
+    Profile,
+    SpanStats,
+    folded_stacks,
+    profile_from_jsonl,
+    profile_spans,
+    speedscope_document,
+)
+from repro.obs.report import hotspot_report
 from repro.obs import baseline, metrics
 
 __all__ = [
@@ -48,6 +59,7 @@ __all__ = [
     "Tracer",
     "Histogram",
     "Counters",
+    "MemorySample",
     "enable",
     "disable",
     "is_enabled",
@@ -58,12 +70,20 @@ __all__ = [
     "inc",
     "observe",
     "reset",
+    "track_memory",
     "render_span_tree",
     "export_jsonl",
     "spans_from_jsonl",
     "counters_from_jsonl",
     "validate_jsonl",
     "counter_report",
+    "Profile",
+    "SpanStats",
+    "profile_spans",
+    "profile_from_jsonl",
+    "folded_stacks",
+    "speedscope_document",
+    "hotspot_report",
     "metrics",
     "baseline",
 ]

@@ -24,6 +24,7 @@ sharing the one process-wide enable flag.  Zero dependencies.
 
 from __future__ import annotations
 
+import math
 import time
 from collections.abc import Iterator, Mapping
 from contextlib import contextmanager
@@ -35,6 +36,7 @@ __all__ = [
     "Tracer",
     "Histogram",
     "Counters",
+    "MemorySample",
     "enable",
     "disable",
     "is_enabled",
@@ -45,6 +47,7 @@ __all__ = [
     "inc",
     "observe",
     "reset",
+    "track_memory",
 ]
 
 # The process-wide switch.  A plain module global (not a ContextVar) so
@@ -165,8 +168,24 @@ class Tracer:
             yield from root.walk()
 
     def clear(self) -> None:
-        """Drop all recorded spans (open spans keep recording)."""
+        """Drop all recorded spans and re-anchor any still-open ones.
+
+        Spans that are open at the moment of the clear become the new
+        forest (outermost as the root, each inner open span nested under
+        it), with their already-finished children dropped.  Work recorded
+        *after* the clear therefore lands in a reachable tree instead of
+        dangling off a span that was silently discarded with the old
+        roots.
+        """
         self.roots = []
+        parent: Span | None = None
+        for open_span in self._stack:
+            open_span.children = []
+            if parent is None:
+                self.roots.append(open_span)
+            else:
+                parent.children.append(open_span)
+            parent = open_span
 
 
 # ---------------------------------------------------------------------------
@@ -174,14 +193,30 @@ class Tracer:
 # ---------------------------------------------------------------------------
 
 
+#: Bucket index for non-positive observations (below every positive
+#: power-of-two bucket; math.frexp of the smallest subnormal is -1073).
+_ZERO_BUCKET = -1074
+
+
 @dataclass
 class Histogram:
-    """Streaming summary of an observed value: count / total / min / max."""
+    """Streaming summary of an observed value with quantile estimates.
+
+    Beyond count / total / min / max, every observation lands in a
+    power-of-two log bucket (``value in [2**(e-1), 2**e)`` goes to bucket
+    ``e``; non-positive values share one underflow bucket), so
+    :meth:`quantile` can answer p50/p90/p99 from a bounded structure:
+    the estimate is the geometric midpoint of the bucket holding the
+    requested rank, clamped to the observed min/max.  The relative error
+    is bounded by the bucket width (a factor of ``sqrt(2)`` each way),
+    and estimates are monotone in ``q`` by construction.
+    """
 
     count: int = 0
     total: float = 0.0
     minimum: float = float("inf")
     maximum: float = float("-inf")
+    buckets: dict[int, int] = field(default_factory=dict)
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -190,10 +225,47 @@ class Histogram:
             self.minimum = value
         if value > self.maximum:
             self.maximum = value
+        bucket = math.frexp(value)[1] if value > 0 else _ZERO_BUCKET
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float | None:
+        """Estimated ``q``-quantile of the observations (``None`` if empty)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile fraction must be in [0, 1], got {q}")
+        if not self.count:
+            return None
+        rank = max(1, math.ceil(q * self.count))
+        cumulative = 0
+        for bucket in sorted(self.buckets):
+            cumulative += self.buckets[bucket]
+            if cumulative >= rank:
+                if bucket == _ZERO_BUCKET or bucket > 1023:
+                    # Underflow bucket (estimate from below) or a bucket
+                    # whose midpoint would overflow a float: the clamp
+                    # supplies the estimate.
+                    estimate = 0.0 if bucket == _ZERO_BUCKET else self.maximum
+                else:
+                    estimate = 2.0 ** (bucket - 0.5)
+                return min(max(estimate, self.minimum), self.maximum)
+        # Reached only for degraded histograms restored from exports that
+        # predate buckets: fall back to the observed maximum.
+        return self.maximum
+
+    @property
+    def p50(self) -> float | None:
+        return self.quantile(0.50)
+
+    @property
+    def p90(self) -> float | None:
+        return self.quantile(0.90)
+
+    @property
+    def p99(self) -> float | None:
+        return self.quantile(0.99)
 
 
 class Counters:
@@ -311,3 +383,55 @@ def reset() -> None:
     if state is not None:
         state.tracer.clear()
         state.counters.reset()
+
+
+# ---------------------------------------------------------------------------
+# Memory tracking (opt-in; tracemalloc is process-wide and not free)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MemorySample:
+    """Allocation totals observed over one :func:`track_memory` block.
+
+    ``peak_bytes`` is the high-water mark of traced allocations inside
+    the block; ``current_bytes`` is what was still allocated when the
+    block exited (retained state, e.g. the grown clause set).
+    """
+
+    current_bytes: int = 0
+    peak_bytes: int = 0
+
+    def to_json(self) -> dict[str, int]:
+        return {"current_bytes": self.current_bytes, "peak_bytes": self.peak_bytes}
+
+
+@contextmanager
+def track_memory() -> Iterator[MemorySample]:
+    """Measure allocations of a with-block via :mod:`tracemalloc`.
+
+    Explicitly opt-in and independent of the tracing enable flag, because
+    tracemalloc instruments every allocation in the process (a real
+    slowdown, unlike spans).  If tracemalloc is already tracing, only the
+    peak is reset so nested/outer tracking keeps working; otherwise
+    tracing is started for the block and stopped afterwards.  The sample
+    is filled in when the block exits.
+    """
+    import tracemalloc
+
+    already_tracing = tracemalloc.is_tracing()
+    if already_tracing:
+        baseline = tracemalloc.get_traced_memory()[0]
+        tracemalloc.reset_peak()
+    else:
+        baseline = 0
+        tracemalloc.start()
+    sample = MemorySample()
+    try:
+        yield sample
+    finally:
+        current, peak = tracemalloc.get_traced_memory()
+        sample.current_bytes = max(0, current - baseline)
+        sample.peak_bytes = max(0, peak - baseline)
+        if not already_tracing:
+            tracemalloc.stop()

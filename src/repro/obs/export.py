@@ -62,11 +62,14 @@ def render_span_tree(spans: Iterable[Span] | Tracer) -> str:
 #    "start": float, "elapsed": float, "attributes": {...}}
 #   {"type": "counter", "name": str, "value": int}
 #   {"type": "histogram", "name": str, "count": int, "total": float,
-#    "min": float, "max": float}
+#    "min": float|null, "max": float|null, "buckets": {"<exp>": int}}
+# A zero-count histogram has min/max null (the in-memory sentinels are
+# +/-inf, which are not valid strict JSON); ``buckets`` maps the log-
+# bucket exponent (see obs.core.Histogram) to its observation count.
 
 _SPAN_KEYS = {"type", "id", "parent", "name", "start", "elapsed", "attributes"}
 _COUNTER_KEYS = {"type", "name", "value"}
-_HISTOGRAM_KEYS = {"type", "name", "count", "total", "min", "max"}
+_HISTOGRAM_KEYS = {"type", "name", "count", "total", "min", "max", "buckets"}
 
 
 def export_jsonl(
@@ -117,8 +120,11 @@ def export_jsonl(
                         "name": name,
                         "count": histogram.count,
                         "total": histogram.total,
-                        "min": histogram.minimum,
-                        "max": histogram.maximum,
+                        "min": histogram.minimum if histogram.count else None,
+                        "max": histogram.maximum if histogram.count else None,
+                        "buckets": {
+                            str(exp): n for exp, n in sorted(histogram.buckets.items())
+                        },
                     },
                     sort_keys=True,
                 )
@@ -161,14 +167,31 @@ def counters_from_jsonl(text: str) -> Counters:
         if record.get("type") == "counter":
             counters.inc(record["name"], record["value"])
         elif record.get("type") == "histogram":
+            minimum = record["min"]
+            maximum = record["max"]
             histogram = Histogram(
                 count=record["count"],
                 total=record["total"],
-                minimum=record["min"],
-                maximum=record["max"],
+                minimum=float("inf") if minimum is None else minimum,
+                maximum=float("-inf") if maximum is None else maximum,
+                # Older exports carry no buckets; quantiles then degrade
+                # to the min/max clamp instead of failing to load.
+                buckets={
+                    int(exp): n for exp, n in record.get("buckets", {}).items()
+                },
             )
             counters._histograms[record["name"]] = histogram
     return counters
+
+
+def _is_int_string(value: object) -> bool:
+    if not isinstance(value, str):
+        return False
+    try:
+        int(value)
+    except ValueError:
+        return False
+    return True
 
 
 def validate_jsonl(text: str) -> list[str]:
@@ -224,6 +247,42 @@ def validate_jsonl(text: str) -> list[str]:
                 errors.append(
                     f"line {lineno}: histogram keys {sorted(record)} != expected"
                 )
+                continue
+            if not isinstance(record["count"], int) or record["count"] < 0:
+                errors.append(
+                    f"line {lineno}: histogram count must be a non-negative int"
+                )
+                continue
+            empty = record["count"] == 0
+            for key in ("min", "max"):
+                value = record[key]
+                if empty:
+                    if value is not None:
+                        errors.append(
+                            f"line {lineno}: empty histogram must have null {key}"
+                        )
+                elif not isinstance(value, (int, float)) or isinstance(value, bool):
+                    errors.append(
+                        f"line {lineno}: histogram {key} must be a number"
+                    )
+            buckets = record["buckets"]
+            if not isinstance(buckets, dict):
+                errors.append(f"line {lineno}: histogram buckets must be an object")
+            else:
+                for exp, n in buckets.items():
+                    if not _is_int_string(exp) or isinstance(n, bool) or not isinstance(n, int):
+                        errors.append(
+                            f"line {lineno}: histogram bucket {exp!r}: {n!r} must "
+                            f"map an integer-string exponent to an int count"
+                        )
+                        break
+                else:
+                    total = sum(buckets.values())
+                    if total != record["count"]:
+                        errors.append(
+                            f"line {lineno}: histogram buckets sum to {total}, "
+                            f"count says {record['count']}"
+                        )
         else:
             errors.append(f"line {lineno}: unknown record type {kind!r}")
     return errors
@@ -258,9 +317,13 @@ def counter_report(
     for name in sorted(counts):
         report.add_row(name, counts[name])
     for name, histogram in sorted(histograms.items()):
+        if not histogram.count:
+            report.add_row(name, "n=0")
+            continue
         report.add_row(
             name,
             f"n={histogram.count} mean={histogram.mean:.1f} "
-            f"min={histogram.minimum:g} max={histogram.maximum:g}",
+            f"min={histogram.minimum:g} max={histogram.maximum:g} "
+            f"p50={histogram.p50:g} p90={histogram.p90:g} p99={histogram.p99:g}",
         )
     return report

@@ -9,10 +9,10 @@ files is the project's performance trajectory; ``repro.obs.baseline``
 diffs any record against a promoted baseline so "made the hot path
 faster" becomes a checkable claim instead of a commit-message one.
 
-Schema (version 1)::
+Schema (version 2)::
 
     {
-      "schema_version": 1,
+      "schema_version": 2,
       "created": "2026-08-05T12:34:56Z",        # UTC, ISO-8601
       "git_sha": "abc123..." | null,
       "fingerprint": {
@@ -26,15 +26,25 @@ Schema (version 1)::
                       "min": float, "max": float, "stddev": float,
                       "repeats": int, "samples": [float, ...]},
           "counters": {str: int, ...},
-          "fits": {str: float | null, ...}      # non-finite -> null
+          "fits": {str: float | null, ...},     # non-finite -> null
+          "memory": {"current_bytes": int,      # tracemalloc totals, only
+                     "peak_bytes": int} | null  # when run with --mem
         },
         ...
       ]
     }
 
+Version 2 added the opt-in per-experiment ``memory`` block
+(``run_experiments.py --mem``).  Version-1 records still load -- the
+missing block reads as ``null`` -- while records from *newer* schemas
+raise :class:`~repro.errors.MetricsVersionError` instead of being
+misread.
+
 Counters are exact, deterministic work counts (seeded workloads), so the
 regression gate holds them to exact equality; seconds and fit exponents
-get noise-aware tolerances (see ``repro.obs.baseline``).
+get noise-aware tolerances (see ``repro.obs.baseline``); memory is
+recorded for trend reading but never gated (allocator behaviour is too
+environment-dependent for an exact gate).
 """
 
 from __future__ import annotations
@@ -52,10 +62,11 @@ from collections.abc import Iterable, Mapping, Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.errors import MetricsError
+from repro.errors import MetricsError, MetricsVersionError
 
 __all__ = [
     "SCHEMA_VERSION",
+    "SUPPORTED_SCHEMA_VERSIONS",
     "BENCH_PREFIX",
     "ExperimentMetrics",
     "RunRecord",
@@ -72,10 +83,16 @@ __all__ = [
     "summary_report",
 ]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+#: Versions this build can read.  Version 1 predates the ``memory``
+#: block; loading it just leaves every experiment's memory as ``None``.
+SUPPORTED_SCHEMA_VERSIONS = (1, 2)
 
 #: Run-record files are ``BENCH_<UTC timestamp>.json`` at the repo root.
 BENCH_PREFIX = "BENCH_"
+
+_MEMORY_KEYS = frozenset({"current_bytes", "peak_bytes"})
 
 _TIMING_KEY_ORDER = (
     "best",
@@ -100,6 +117,9 @@ class ExperimentMetrics:
     seconds: dict[str, object]
     counters: dict[str, int] = field(default_factory=dict)
     fits: dict[str, float | None] = field(default_factory=dict)
+    #: ``{"current_bytes": int, "peak_bytes": int}`` when the run tracked
+    #: memory (``--mem``); ``None`` otherwise and for schema-1 records.
+    memory: dict[str, int] | None = None
 
     @property
     def median_seconds(self) -> float:
@@ -204,6 +224,7 @@ def record_from_reports(
     """
     experiments = []
     for report, seconds in reports_with_seconds:
+        memory = getattr(report, "memory", None)
         experiments.append(
             ExperimentMetrics(
                 ident=report.ident,
@@ -212,6 +233,7 @@ def record_from_reports(
                 seconds=_timing_json(seconds),
                 counters=dict(report.counters),
                 fits={str(k): v for k, v in report.metrics.items()},
+                memory=dict(memory) if memory is not None else None,
             )
         )
     return RunRecord(
@@ -260,6 +282,11 @@ def run_record_to_json(record: RunRecord) -> dict[str, object]:
                     k: _clean_fit(exp.ident, k, v)
                     for k, v in sorted(exp.fits.items())
                 },
+                "memory": (
+                    {k: int(exp.memory[k]) for k in sorted(_MEMORY_KEYS)}
+                    if exp.memory is not None
+                    else None
+                ),
             }
             for exp in record.experiments
         ],
@@ -291,11 +318,11 @@ def run_record_from_json(data: object) -> RunRecord:
             f"run record must be a JSON object, got {type(data).__name__}"
         )
     version = _require(data, "schema_version", int, "run record")
-    if version != SCHEMA_VERSION:
-        raise MetricsError(
+    if version not in SUPPORTED_SCHEMA_VERSIONS:
+        raise MetricsVersionError(
             f"run record has schema_version {version}; this build reads "
-            f"version {SCHEMA_VERSION} -- regenerate the record with "
-            f"benchmarks/run_experiments.py"
+            f"versions {SUPPORTED_SCHEMA_VERSIONS} -- regenerate the record "
+            f"with benchmarks/run_experiments.py"
         )
     created = _require(data, "created", str, "run record")
     git_sha = data.get("git_sha")
@@ -344,6 +371,23 @@ def run_record_from_json(data: object) -> RunRecord:
                     f"{where}: fits must map str -> number or null "
                     f"(offending entry {name!r}: {value!r})"
                 )
+        # Absent entirely in schema-1 records; null when the run did not
+        # track memory.  Both read back as None.
+        raw_memory = raw.get("memory")
+        memory: dict[str, int] | None = None
+        if raw_memory is not None:
+            if not isinstance(raw_memory, Mapping) or set(raw_memory) != _MEMORY_KEYS:
+                raise MetricsError(
+                    f"{where}: memory must be null or an object with keys "
+                    f"{sorted(_MEMORY_KEYS)} (got {raw_memory!r})"
+                )
+            for name, value in raw_memory.items():
+                if isinstance(value, bool) or not isinstance(value, int):
+                    raise MetricsError(
+                        f"{where}: memory {name} must be an int byte count "
+                        f"(got {value!r})"
+                    )
+            memory = {k: int(raw_memory[k]) for k in sorted(_MEMORY_KEYS)}
         experiments.append(
             ExperimentMetrics(
                 ident=ident,
@@ -352,6 +396,7 @@ def run_record_from_json(data: object) -> RunRecord:
                 seconds=dict(seconds),
                 counters={str(k): int(v) for k, v in counters.items()},
                 fits=parsed_fits,
+                memory=memory,
             )
         )
     return RunRecord(
@@ -456,7 +501,7 @@ def summary_report(record: RunRecord, source: str = ""):
             f"recorded {record.created}, git {record.git_sha or 'unknown'}, "
             f"{record.fingerprint.get('platform', '?')}"
         ),
-        columns=("experiment", "median s", "counters", "fits", "verdict"),
+        columns=("experiment", "median s", "counters", "fits", "peak mem", "verdict"),
     )
     for exp in record.experiments:
         fits = (
@@ -467,11 +512,16 @@ def summary_report(record: RunRecord, source: str = ""):
             or "-"
         )
         verdict = {True: "holds", False: "DIVERGES", None: "-"}[exp.holds]
+        if exp.memory is None:
+            peak = "-"
+        else:
+            peak = f"{exp.memory['peak_bytes'] / (1024 * 1024):.1f}MB"
         report.add_row(
             exp.ident,
             f"{exp.median_seconds:.4f}",
             sum(exp.counters.values()),
             fits,
+            peak,
             verdict,
         )
     report.observed = (

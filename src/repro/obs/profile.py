@@ -1,0 +1,211 @@
+"""Trace analysis: self-time profiles and flamegraph views of span forests.
+
+PR 1's collection layer records *where time was spent* as a raw span
+tree; this module turns that tree into answers.  Three views, all
+computable from a live :class:`~repro.obs.core.Tracer` or from a
+``--trace-out`` JSON-lines file:
+
+* :func:`profile_spans` / :func:`profile_from_jsonl` -- per-span-name
+  aggregation: call count, total time, **self time** (total minus the
+  time attributed to child spans), a quantile histogram of per-call self
+  times, and roll-ups of numeric span attributes.  Self time is the
+  quantity that finds hotspots: a parent that merely waits on an
+  instrumented kernel scores near zero, the kernel scores its real cost.
+* :func:`folded_stacks` -- the collapsed folded-stack text format
+  consumed by ``flamegraph.pl`` and every compatible renderer: one line
+  per unique span path, ``root;child;leaf <weight>``, weighted by self
+  time in integer microseconds.
+* :func:`speedscope_document` -- a speedscope-compatible JSON document
+  (``"type": "evented"`` profile) for interactive timeline/left-heavy
+  exploration in https://www.speedscope.app.
+
+Totals double-count recursive nesting by design (a name nested under
+itself contributes its elapsed at every level); self time does not, so
+per-name self times always sum to the forest's wall time.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.obs.core import Histogram, Span, Tracer
+from repro.obs.export import spans_from_jsonl
+
+__all__ = [
+    "SpanStats",
+    "Profile",
+    "profile_spans",
+    "profile_from_jsonl",
+    "folded_stacks",
+    "speedscope_document",
+]
+
+
+def _roots(spans: Iterable[Span] | Tracer) -> list[Span]:
+    return spans.roots if isinstance(spans, Tracer) else list(spans)
+
+
+@dataclass
+class SpanStats:
+    """Aggregate timing for every span sharing one name."""
+
+    name: str
+    calls: int = 0
+    total: float = 0.0
+    self_time: float = 0.0
+    #: Per-call self times; quantiles (p50/p90/p99) come from here.
+    self_times: Histogram = field(default_factory=Histogram)
+    #: Sums of numeric span attributes (e.g. ``clauses_in`` totals).
+    attributes: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def mean_self(self) -> float:
+        return self.self_time / self.calls if self.calls else 0.0
+
+
+@dataclass
+class Profile:
+    """A whole forest's per-span-name statistics."""
+
+    entries: dict[str, SpanStats] = field(default_factory=dict)
+    #: Sum of root-span elapsed times (the forest's wall clock).
+    wall: float = 0.0
+    #: How many spans were aggregated.
+    spans: int = 0
+
+    def sorted_by_self(self) -> list[SpanStats]:
+        """Entries hottest-first (self time descending, name tiebreak)."""
+        return sorted(
+            self.entries.values(), key=lambda e: (-e.self_time, e.name)
+        )
+
+    def top(self, n: int) -> list[SpanStats]:
+        return self.sorted_by_self()[: max(0, n)]
+
+    @property
+    def total_self(self) -> float:
+        return sum(entry.self_time for entry in self.entries.values())
+
+
+def profile_spans(spans: Iterable[Span] | Tracer) -> Profile:
+    """Aggregate a span forest into per-name call/total/self statistics."""
+    profile = Profile()
+    for root in _roots(spans):
+        profile.wall += root.elapsed
+        for _, node in root.walk():
+            entry = profile.entries.get(node.name)
+            if entry is None:
+                entry = profile.entries[node.name] = SpanStats(node.name)
+            child_time = sum(child.elapsed for child in node.children)
+            # Clamp: child clocks can overshoot the parent's by timer
+            # granularity; negative self time is never meaningful.
+            self_time = max(0.0, node.elapsed - child_time)
+            entry.calls += 1
+            entry.total += node.elapsed
+            entry.self_time += self_time
+            entry.self_times.observe(self_time)
+            for key, value in node.attributes.items():
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    continue
+                entry.attributes[key] = entry.attributes.get(key, 0) + value
+            profile.spans += 1
+    return profile
+
+
+def profile_from_jsonl(text: str) -> Profile:
+    """Aggregate the spans of a ``--trace-out`` JSON-lines file."""
+    return profile_spans(spans_from_jsonl(text))
+
+
+# ---------------------------------------------------------------------------
+# Flamegraph exports
+# ---------------------------------------------------------------------------
+
+
+def folded_stacks(spans: Iterable[Span] | Tracer) -> str:
+    """The forest as collapsed folded-stack text (``flamegraph.pl`` input).
+
+    One line per unique root-to-span path -- ``a;b;c <weight>`` --
+    weighted by the path's accumulated self time in integer microseconds
+    (the conventional unit for wall-clock flamegraphs).  Semicolons in
+    span names would corrupt the stack separator, so they are replaced
+    with ``:``.
+    """
+    weights: dict[tuple[str, ...], float] = {}
+
+    def visit(node: Span, path: tuple[str, ...]) -> None:
+        path = path + (node.name.replace(";", ":"),)
+        child_time = sum(child.elapsed for child in node.children)
+        self_us = max(0.0, node.elapsed - child_time) * 1e6
+        weights[path] = weights.get(path, 0.0) + self_us
+        for child in node.children:
+            visit(child, path)
+
+    for root in _roots(spans):
+        visit(root, ())
+    lines = [
+        f"{';'.join(path)} {int(round(weight))}"
+        for path, weight in sorted(weights.items())
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def speedscope_document(
+    spans: Iterable[Span] | Tracer, name: str = "repro trace"
+) -> dict[str, object]:
+    """The forest as a speedscope ``evented`` profile document.
+
+    Open/close event timestamps come from the recorded span starts and
+    elapsed times, re-based to the earliest root and clamped so the event
+    stream is monotone and properly nested even under timer jitter --
+    the two invariants speedscope validates on load.
+    """
+    roots = _roots(spans)
+    frames: list[dict[str, str]] = []
+    frame_index: dict[str, int] = {}
+    events: list[dict[str, object]] = []
+    origin = min((root.start for root in roots), default=0.0)
+    cursor = 0.0
+
+    def frame_of(span_name: str) -> int:
+        index = frame_index.get(span_name)
+        if index is None:
+            index = frame_index[span_name] = len(frames)
+            frames.append({"name": span_name})
+        return index
+
+    def visit(node: Span, parent_close: float | None) -> None:
+        nonlocal cursor
+        opened = max(node.start - origin, cursor)
+        closed = node.start - origin + node.elapsed
+        if parent_close is not None:
+            closed = min(closed, parent_close)
+        closed = max(closed, opened)
+        events.append({"type": "O", "frame": frame_of(node.name), "at": opened})
+        cursor = opened
+        for child in node.children:
+            visit(child, closed)
+        closed = max(closed, cursor)
+        events.append({"type": "C", "frame": frame_of(node.name), "at": closed})
+        cursor = closed
+
+    for root in roots:
+        visit(root, None)
+    return {
+        "$schema": "https://www.speedscope.app/file-format-schema.json",
+        "shared": {"frames": frames},
+        "profiles": [
+            {
+                "type": "evented",
+                "name": name,
+                "unit": "seconds",
+                "startValue": 0,
+                "endValue": cursor,
+                "events": events,
+            }
+        ],
+        "name": name,
+        "exporter": "repro.obs.profile",
+        "activeProfileIndex": 0,
+    }

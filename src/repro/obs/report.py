@@ -1,0 +1,80 @@
+"""Hotspot tables: profiles rendered through the harness ``Report``.
+
+The analysis layer (:mod:`repro.obs.profile`) produces numbers; this
+module turns them into the same plain-text tables every experiment
+prints, so ``python -m repro.cli trace-report``, the REPL's ``:profile``,
+and ad-hoc scripts all show hotspots in one familiar shape.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.obs.core import Span, Tracer
+from repro.obs.profile import Profile, profile_spans
+
+__all__ = ["hotspot_report"]
+
+
+def _ms(seconds: float | None) -> str:
+    return "-" if seconds is None else f"{seconds * 1000:.3f}"
+
+
+def hotspot_report(
+    profile: Profile | Tracer | Iterable[Span],
+    limit: int = 15,
+    ident: str = "PROF",
+    title: str = "trace hotspots (by self time)",
+    claim: str = "where the recorded wall time was actually spent",
+):
+    """The hottest span names as a :class:`~repro.bench.harness.Report`.
+
+    Accepts a ready :class:`~repro.obs.profile.Profile`, a live
+    :class:`~repro.obs.core.Tracer`, or a span forest.  Rows are sorted
+    by accumulated self time, one per span name, with per-call self-time
+    quantiles from the profile's log-bucketed histograms.
+    """
+    from repro.bench.harness import Report  # local import: harness imports obs.core
+
+    if not isinstance(profile, Profile):
+        profile = profile_spans(profile)
+    report = Report(
+        ident=ident,
+        title=title,
+        claim=claim,
+        columns=(
+            "span",
+            "calls",
+            "total ms",
+            "self ms",
+            "self %",
+            "p50 ms",
+            "p90 ms",
+            "p99 ms",
+        ),
+    )
+    total_self = profile.total_self
+    shown = profile.top(limit)
+    for entry in shown:
+        share = entry.self_time / total_self if total_self else 0.0
+        report.add_row(
+            entry.name,
+            entry.calls,
+            _ms(entry.total),
+            _ms(entry.self_time),
+            f"{share:.1%}",
+            _ms(entry.self_times.p50),
+            _ms(entry.self_times.p90),
+            _ms(entry.self_times.p99),
+        )
+    hidden = len(profile.entries) - len(shown)
+    observed = (
+        f"{profile.spans} span(s) over {len(profile.entries)} name(s), "
+        f"wall {profile.wall * 1000:.3f}ms"
+    )
+    if shown:
+        observed += f"; top self time: {shown[0].name}"
+    if hidden > 0:
+        observed += f" ({hidden} cooler name(s) not shown)"
+    report.observed = observed
+    return report

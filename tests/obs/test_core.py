@@ -1,8 +1,11 @@
 """Tests for repro.obs.core: spans, counters, isolation, and overhead."""
 
 import contextvars
+import math
+import random
 import threading
 import timeit
+import tracemalloc
 
 import pytest
 
@@ -88,6 +91,43 @@ class TestSpans:
         assert core.tracer().roots == []
 
 
+class TestTracerClear:
+    def test_clear_with_no_open_spans_empties_roots(self):
+        core.enable()
+        with core.span("done"):
+            pass
+        core.tracer().clear()
+        assert core.tracer().roots == []
+        assert core.tracer().depth == 0
+
+    def test_clear_inside_open_span_reanchors_it(self):
+        """Regression: spans recorded after a mid-span clear() used to land
+        on a parent that was no longer reachable from any root."""
+        core.enable()
+        with core.span("outer"):
+            with core.span("finished_child"):
+                pass
+            core.tracer().clear()
+            with core.span("after_clear"):
+                pass
+        roots = core.tracer().roots
+        assert [r.name for r in roots] == ["outer"]
+        assert [c.name for c in roots[0].children] == ["after_clear"]
+
+    def test_clear_preserves_open_span_nesting(self):
+        core.enable()
+        with core.span("a"):
+            with core.span("b"):
+                core.tracer().clear()
+                assert [r.name for r in core.tracer().roots] == ["a"]
+                assert core.tracer().depth == 2
+                with core.span("c"):
+                    pass
+        a = core.tracer().roots[0]
+        assert [child.name for child in a.children] == ["b"]
+        assert [g.name for g in a.children[0].children] == ["c"]
+
+
 class TestCounters:
     def test_inc_and_get(self):
         core.enable()
@@ -141,6 +181,110 @@ class TestCounters:
         core.reset()
         assert core.tracer().roots == []
         assert core.counters().counts == {}
+
+
+class TestHistogramQuantiles:
+    def test_empty_histogram_has_no_quantiles(self):
+        histogram = core.Histogram()
+        assert histogram.quantile(0.5) is None
+        assert histogram.p50 is None
+        assert histogram.p90 is None
+        assert histogram.p99 is None
+
+    def test_fraction_out_of_range_rejected(self):
+        histogram = core.Histogram()
+        histogram.observe(1.0)
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            histogram.quantile(1.5)
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            histogram.quantile(-0.1)
+
+    def test_single_observation_is_every_quantile(self):
+        histogram = core.Histogram()
+        histogram.observe(3.5)
+        assert histogram.quantile(0.0) == 3.5
+        assert histogram.p50 == 3.5
+        assert histogram.p99 == 3.5
+
+    def test_non_positive_values_share_underflow_bucket(self):
+        histogram = core.Histogram()
+        for value in (0.0, -2.0, 5.0):
+            histogram.observe(value)
+        assert histogram.buckets[core._ZERO_BUCKET] == 2
+        assert histogram.p50 == 0.0  # underflow estimate, clamped to range
+        assert histogram.p99 == 5.0  # top bucket midpoint clamps to max
+
+    def test_quantiles_monotone_in_q_randomized(self):
+        rng = random.Random(0xBEEF)
+        for trial in range(20):
+            histogram = core.Histogram()
+            for _ in range(rng.randrange(1, 200)):
+                histogram.observe(rng.lognormvariate(0.0, 3.0))
+            assert histogram.p50 <= histogram.p90 <= histogram.p99
+            previous = -math.inf
+            for q in (0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0):
+                estimate = histogram.quantile(q)
+                assert histogram.minimum <= estimate <= histogram.maximum
+                assert estimate >= previous
+                previous = estimate
+
+    def test_estimate_within_one_bucket_of_true_quantile(self):
+        # The estimate is the geometric midpoint of a power-of-two bucket,
+        # so it sits within a factor of sqrt(2) of the true rank statistic.
+        rng = random.Random(7)
+        values = sorted(rng.lognormvariate(0.0, 2.0) for _ in range(500))
+        histogram = core.Histogram()
+        for value in values:
+            histogram.observe(value)
+        for q in (0.5, 0.9, 0.99):
+            true = values[max(1, math.ceil(q * len(values))) - 1]
+            estimate = histogram.quantile(q)
+            assert true / math.sqrt(2) * 0.999 <= estimate
+            assert estimate <= true * math.sqrt(2) * 1.001
+
+    def test_bucketless_restore_degrades_to_maximum(self):
+        # Histograms restored from exports that predate buckets still
+        # answer quantiles (clamped), instead of failing.
+        histogram = core.Histogram(count=3, total=9.0, minimum=1.0, maximum=5.0)
+        assert histogram.p50 == 5.0
+
+
+class TestTrackMemory:
+    def test_records_peak_and_current(self):
+        with core.track_memory() as sample:
+            retained = [0] * 100_000
+        assert sample.peak_bytes >= 100_000 * 8
+        assert 0 <= sample.current_bytes <= sample.peak_bytes
+        del retained
+        assert not tracemalloc.is_tracing()
+
+    def test_released_allocations_show_in_peak_not_current(self):
+        with core.track_memory() as sample:
+            transient = [0] * 100_000
+            del transient
+        assert sample.peak_bytes >= 100_000 * 8
+        assert sample.current_bytes < sample.peak_bytes
+
+    def test_nested_tracking_keeps_outer_alive(self):
+        with core.track_memory() as outer:
+            with core.track_memory() as inner:
+                blob = [0] * 50_000
+            assert tracemalloc.is_tracing()
+            del blob
+        assert not tracemalloc.is_tracing()
+        assert inner.peak_bytes >= 50_000 * 8
+        assert outer.peak_bytes >= inner.peak_bytes * 0  # both filled in
+        assert outer.peak_bytes > 0
+
+    def test_works_independently_of_enable_flag(self):
+        assert not core.is_enabled()
+        with core.track_memory() as sample:
+            pass
+        assert sample.peak_bytes >= 0
+
+    def test_to_json_keys(self):
+        sample = core.MemorySample(current_bytes=3, peak_bytes=9)
+        assert sample.to_json() == {"current_bytes": 3, "peak_bytes": 9}
 
 
 class TestIsolation:

@@ -65,6 +65,59 @@ class TestJsonl:
         for line in export_jsonl(tracer, counters).splitlines():
             json.loads(line)
 
+    def test_non_string_attributes_round_trip(self):
+        core.enable()
+        with core.span("typed", letters=3, ratio=0.5, formula="phi", pair=(1, 2)):
+            pass
+        core.disable()
+        text = export_jsonl(core.tracer())
+        restored = spans_from_jsonl(text).pop().attributes
+        assert restored["letters"] == 3
+        assert restored["ratio"] == 0.5
+        assert restored["formula"] == "phi"
+        assert restored["pair"] == [1, 2]  # tuples come back as JSON arrays
+        assert validate_jsonl(text) == []
+
+    def test_histogram_round_trip_preserves_buckets_and_quantiles(self):
+        _, counters = _record_sample()
+        rebuilt = counters_from_jsonl(export_jsonl([], counters))
+        original = counters.histogram("state_size")
+        restored = rebuilt.histogram("state_size")
+        assert restored.buckets == original.buckets
+        assert restored.p50 == original.p50
+        assert restored.p99 == original.p99
+
+    def test_empty_histogram_exports_null_min_max(self):
+        # Regression: the +/-inf sentinels used to leak into the JSON as
+        # bare Infinity tokens, which no strict parser accepts.
+        registry = core.Counters()
+        registry._histograms["never_observed"] = core.Histogram()
+        text = export_jsonl([], registry)
+        (record,) = [json.loads(line) for line in text.splitlines()]
+        assert record["count"] == 0
+        assert record["min"] is None
+        assert record["max"] is None
+        assert validate_jsonl(text) == []
+        restored = counters_from_jsonl(text).histogram("never_observed")
+        assert restored.count == 0
+        assert restored.minimum == float("inf")
+        assert restored.maximum == float("-inf")
+        assert restored.p50 is None
+
+    def test_pre_bucket_exports_still_load(self):
+        record = {
+            "type": "histogram",
+            "name": "legacy",
+            "count": 2,
+            "total": 6.0,
+            "min": 1.0,
+            "max": 5.0,
+        }
+        restored = counters_from_jsonl(json.dumps(record)).histogram("legacy")
+        assert restored.count == 2
+        assert restored.buckets == {}
+        assert restored.p50 == 5.0  # degrades to the clamp, not a crash
+
     def test_export_without_counters(self):
         tracer, _ = _record_sample()
         text = export_jsonl(tracer)
@@ -109,6 +162,51 @@ class TestValidation:
         record = {"type": "counter", "name": "x", "value": "three"}
         errors = validate_jsonl(json.dumps(record))
         assert any("int value" in e for e in errors)
+
+    def _histogram_record(self, **overrides):
+        record = {
+            "type": "histogram",
+            "name": "h",
+            "count": 2,
+            "total": 6.0,
+            "min": 2.0,
+            "max": 4.0,
+            "buckets": {"2": 2},
+        }
+        record.update(overrides)
+        return json.dumps(record)
+
+    def test_valid_histogram_record_passes(self):
+        assert validate_jsonl(self._histogram_record()) == []
+
+    def test_histogram_missing_buckets_reported(self):
+        record = json.loads(self._histogram_record())
+        del record["buckets"]
+        errors = validate_jsonl(json.dumps(record))
+        assert any("histogram keys" in e for e in errors)
+
+    def test_histogram_negative_count_reported(self):
+        errors = validate_jsonl(self._histogram_record(count=-1))
+        assert any("non-negative int" in e for e in errors)
+
+    def test_empty_histogram_must_have_null_min_max(self):
+        errors = validate_jsonl(
+            self._histogram_record(count=0, min=0.0, max=0.0, buckets={})
+        )
+        assert any("null min" in e for e in errors)
+        assert any("null max" in e for e in errors)
+
+    def test_nonempty_histogram_min_must_be_numeric(self):
+        errors = validate_jsonl(self._histogram_record(min=None))
+        assert any("min must be a number" in e for e in errors)
+
+    def test_histogram_bucket_keys_must_be_integer_strings(self):
+        errors = validate_jsonl(self._histogram_record(buckets={"two": 2}))
+        assert any("integer-string exponent" in e for e in errors)
+
+    def test_histogram_bucket_counts_must_sum_to_count(self):
+        errors = validate_jsonl(self._histogram_record(buckets={"2": 1}))
+        assert any("sum to 1" in e for e in errors)
 
     def test_blank_lines_ignored(self):
         tracer, counters = _record_sample()

@@ -6,7 +6,7 @@ import math
 import pytest
 
 from repro.bench.harness import Report, Timing
-from repro.errors import MetricsError
+from repro.errors import MetricsError, MetricsVersionError
 from repro.obs import metrics
 
 
@@ -20,6 +20,7 @@ def make_report(ident="E1", **overrides) -> Report:
     report.holds = overrides.get("holds", True)
     report.counters = overrides.get("counters", {"blu.c.assert.calls": 3})
     report.metrics = overrides.get("metrics", {"loglog_slope": 1.02})
+    report.memory = overrides.get("memory")
     return report
 
 
@@ -141,6 +142,56 @@ class TestJsonRoundTrip:
         with pytest.raises(MetricsError, match="schema_version"):
             metrics.run_record_from_json(data)
 
+    def test_future_schema_raises_dedicated_version_error(self):
+        data = metrics.run_record_to_json(make_record())
+        data["schema_version"] = 99
+        with pytest.raises(MetricsVersionError, match="schema_version 99"):
+            metrics.run_record_from_json(data)
+
+    def test_memory_round_trips(self):
+        record = make_record(memory={"current_bytes": 1024, "peak_bytes": 4096})
+        data = json.loads(json.dumps(metrics.run_record_to_json(record)))
+        assert data["experiments"][0]["memory"] == {
+            "current_bytes": 1024,
+            "peak_bytes": 4096,
+        }
+        restored = metrics.run_record_from_json(data)
+        assert restored.experiment("E1").memory == {
+            "current_bytes": 1024,
+            "peak_bytes": 4096,
+        }
+
+    def test_memory_defaults_to_null(self):
+        data = metrics.run_record_to_json(make_record())
+        assert data["experiments"][0]["memory"] is None
+        restored = metrics.run_record_from_json(data)
+        assert restored.experiment("E1").memory is None
+
+    def test_schema_v1_record_loads_with_no_memory(self):
+        data = metrics.run_record_to_json(make_record())
+        data["schema_version"] = 1
+        for experiment in data["experiments"]:
+            del experiment["memory"]  # the key did not exist in v1
+        restored = metrics.run_record_from_json(data)
+        assert restored.schema_version == 1
+        assert restored.experiment("E1").memory is None
+
+    def test_memory_with_wrong_keys_rejected(self):
+        data = metrics.run_record_to_json(
+            make_record(memory={"current_bytes": 1, "peak_bytes": 2})
+        )
+        data["experiments"][0]["memory"] = {"peak_bytes": 2}
+        with pytest.raises(MetricsError, match="memory"):
+            metrics.run_record_from_json(data)
+
+    def test_memory_with_non_int_bytes_rejected(self):
+        data = metrics.run_record_to_json(
+            make_record(memory={"current_bytes": 1, "peak_bytes": 2})
+        )
+        data["experiments"][0]["memory"]["peak_bytes"] = "big"
+        with pytest.raises(MetricsError, match="int byte count"):
+            metrics.run_record_from_json(data)
+
     def test_missing_key_reported(self):
         data = metrics.run_record_to_json(make_record())
         del data["experiments"][0]["counters"]
@@ -224,3 +275,11 @@ class TestSummary:
         text = metrics.summary_report(record).render()
         assert "DIVERGES" in text
         assert "slope=null" in text
+
+    def test_summary_shows_peak_memory_when_tracked(self):
+        with_mem = make_record(
+            memory={"current_bytes": 0, "peak_bytes": 3 * 1024 * 1024}
+        )
+        assert "3.0MB" in metrics.summary_report(with_mem).render()
+        without = metrics.summary_report(make_record()).render()
+        assert "MB" not in without

@@ -1,0 +1,216 @@
+"""Tests for the trace-analysis layer: repro.obs.profile + repro.obs.report."""
+
+import json
+import math
+
+from repro.obs import core
+from repro.obs.export import export_jsonl
+from repro.obs.profile import (
+    folded_stacks,
+    profile_from_jsonl,
+    profile_spans,
+    speedscope_document,
+)
+from repro.obs.report import hotspot_report
+
+
+def make_span(name, start, elapsed, children=(), **attributes):
+    return core.Span(
+        name=name,
+        attributes=dict(attributes),
+        start=start,
+        elapsed=elapsed,
+        children=list(children),
+    )
+
+
+def sample_forest():
+    """One root (10s) with two kernels under it: 4s + 3s, so 3s of self."""
+    kernel_a = make_span("logic.kernel", 0.5, 4.0, clauses_in=10)
+    kernel_b = make_span("logic.kernel", 5.0, 3.0, clauses_in=6)
+    root = make_span("blu.op", 0.0, 10.0, [kernel_a, kernel_b], update="insert")
+    return [root]
+
+
+class TestProfileSpans:
+    def test_self_time_is_total_minus_children(self):
+        profile = profile_spans(sample_forest())
+        op = profile.entries["blu.op"]
+        assert op.calls == 1
+        assert op.total == 10.0
+        assert op.self_time == 3.0
+
+    def test_leaf_self_equals_total_and_calls_aggregate(self):
+        profile = profile_spans(sample_forest())
+        kernel = profile.entries["logic.kernel"]
+        assert kernel.calls == 2
+        assert kernel.total == 7.0
+        assert kernel.self_time == 7.0
+        assert kernel.mean_self == 3.5
+
+    def test_self_times_sum_to_wall(self):
+        profile = profile_spans(sample_forest())
+        assert profile.wall == 10.0
+        assert profile.total_self == 10.0
+        assert profile.spans == 3
+
+    def test_recursive_nesting_double_counts_total_not_self(self):
+        inner = make_span("rec", 1.0, 4.0)
+        outer = make_span("rec", 0.0, 10.0, [inner])
+        profile = profile_spans([outer])
+        entry = profile.entries["rec"]
+        assert entry.calls == 2
+        assert entry.total == 14.0  # elapsed counted at every level
+        assert entry.self_time == 10.0  # == the forest's wall time
+        assert profile.total_self == profile.wall
+
+    def test_negative_self_time_clamped_to_zero(self):
+        # Child clock overshoots the parent's by timer granularity.
+        child = make_span("child", 0.0, 1.5)
+        parent = make_span("parent", 0.0, 1.0, [child])
+        profile = profile_spans([parent])
+        assert profile.entries["parent"].self_time == 0.0
+
+    def test_numeric_attributes_rolled_up(self):
+        profile = profile_spans(sample_forest())
+        kernel = profile.entries["logic.kernel"]
+        assert kernel.attributes == {"clauses_in": 16}
+
+    def test_non_numeric_and_bool_attributes_skipped(self):
+        span = make_span("s", 0.0, 1.0, label="x", cached=True, size=2)
+        profile = profile_spans([span])
+        assert profile.entries["s"].attributes == {"size": 2}
+
+    def test_sorted_by_self_and_top(self):
+        profile = profile_spans(sample_forest())
+        names = [entry.name for entry in profile.sorted_by_self()]
+        assert names == ["logic.kernel", "blu.op"]
+        assert [e.name for e in profile.top(1)] == ["logic.kernel"]
+        assert profile.top(0) == []
+
+    def test_accepts_live_tracer(self):
+        core.enable()
+        with core.span("outer"):
+            with core.span("inner"):
+                pass
+        profile = profile_spans(core.tracer())
+        assert set(profile.entries) == {"outer", "inner"}
+
+    def test_per_call_quantiles_from_histogram(self):
+        profile = profile_spans(sample_forest())
+        kernel = profile.entries["logic.kernel"]
+        assert kernel.self_times.count == 2
+        assert kernel.self_times.minimum == 3.0
+        assert kernel.self_times.maximum == 4.0
+        assert 3.0 <= kernel.self_times.p50 <= 4.0
+
+    def test_empty_forest(self):
+        profile = profile_spans([])
+        assert profile.entries == {}
+        assert profile.wall == 0.0
+        assert profile.total_self == 0.0
+
+
+class TestProfileFromJsonl:
+    def test_matches_in_memory_profile(self):
+        forest = sample_forest()
+        direct = profile_spans(forest)
+        restored = profile_from_jsonl(export_jsonl(forest))
+        assert set(restored.entries) == set(direct.entries)
+        for name, entry in restored.entries.items():
+            assert entry.calls == direct.entries[name].calls
+            assert entry.total == direct.entries[name].total
+            assert entry.self_time == direct.entries[name].self_time
+        assert restored.wall == direct.wall
+
+
+class TestFoldedStacks:
+    def test_lines_are_path_and_microsecond_weight(self):
+        text = folded_stacks(sample_forest())
+        lines = text.splitlines()
+        assert "blu.op 3000000" in lines
+        assert "blu.op;logic.kernel 7000000" in lines
+        assert len(lines) == 2  # identical paths merge
+
+    def test_every_line_parses(self):
+        for line in folded_stacks(sample_forest()).splitlines():
+            stack, _, weight = line.rpartition(" ")
+            assert stack
+            assert int(weight) >= 0
+
+    def test_semicolons_in_names_escaped(self):
+        span = make_span("a;b", 0.0, 1.0)
+        assert folded_stacks([span]).startswith("a:b ")
+
+    def test_empty_forest_is_empty_text(self):
+        assert folded_stacks([]) == ""
+
+
+class TestSpeedscope:
+    def test_document_shape(self):
+        doc = speedscope_document(sample_forest(), name="t")
+        assert doc["$schema"] == "https://www.speedscope.app/file-format-schema.json"
+        assert [f["name"] for f in doc["shared"]["frames"]] == [
+            "blu.op",
+            "logic.kernel",
+        ]
+        profile = doc["profiles"][0]
+        assert profile["type"] == "evented"
+        assert profile["unit"] == "seconds"
+        assert profile["startValue"] == 0
+
+    def test_events_monotone_and_balanced(self):
+        doc = speedscope_document(sample_forest())
+        events = doc["profiles"][0]["events"]
+        last = -math.inf
+        depth = 0
+        for event in events:
+            assert event["at"] >= last
+            last = event["at"]
+            depth += 1 if event["type"] == "O" else -1
+            assert depth >= 0
+        assert depth == 0
+        assert doc["profiles"][0]["endValue"] == last
+
+    def test_overlong_child_clamped_inside_parent(self):
+        child = make_span("child", 0.0, 5.0)  # outlives its parent
+        parent = make_span("parent", 0.0, 1.0, [child])
+        events = speedscope_document([parent])["profiles"][0]["events"]
+        closes = {e["frame"]: e["at"] for e in events if e["type"] == "C"}
+        frames = speedscope_document([parent])["shared"]["frames"]
+        names = [f["name"] for f in frames]
+        assert closes[names.index("child")] <= closes[names.index("parent")]
+
+    def test_json_serializable(self):
+        json.dumps(speedscope_document(sample_forest()))
+
+
+class TestHotspotReport:
+    def test_rows_sorted_by_self_time(self):
+        report = hotspot_report(profile_spans(sample_forest()))
+        assert [row[0] for row in report.rows] == ["logic.kernel", "blu.op"]
+        assert "top self time: logic.kernel" in report.observed
+
+    def test_accepts_tracer_and_raw_forest(self):
+        core.enable()
+        with core.span("only"):
+            pass
+        assert hotspot_report(core.tracer()).rows[0][0] == "only"
+        assert hotspot_report(sample_forest()).rows[0][0] == "logic.kernel"
+
+    def test_limit_hides_cooler_names(self):
+        report = hotspot_report(profile_spans(sample_forest()), limit=1)
+        assert len(report.rows) == 1
+        assert "1 cooler name(s) not shown" in report.observed
+
+    def test_self_share_column(self):
+        report = hotspot_report(profile_spans(sample_forest()))
+        shares = {row[0]: row[4] for row in report.rows}
+        assert shares["logic.kernel"] == "70.0%"
+        assert shares["blu.op"] == "30.0%"
+
+    def test_empty_profile_renders(self):
+        report = hotspot_report(profile_spans([]))
+        assert report.rows == []
+        assert "0 span(s)" in report.observed
+        assert report.render()  # table renders without data rows

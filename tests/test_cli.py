@@ -146,6 +146,106 @@ class TestObservabilityCommands:
         assert ":trace" in help_text
 
 
+class TestProfileCommand:
+    def test_profile_shows_hotspot_table(self, traced_shell):
+        traced_shell.execute("(insert {A1 | A2})")
+        out = traced_shell.execute(":profile")
+        assert "trace hotspots" in out
+        assert "self ms" in out
+        assert "hlu.apply" in out
+
+    def test_profile_row_limit(self, traced_shell):
+        traced_shell.execute("(insert {A1 | A2})")
+        out = traced_shell.execute(":profile 1")
+        assert "cooler name(s) not shown" in out
+        # header + claim + observed + column line + rule + one data row
+        assert len(out.splitlines()) == 6
+
+    def test_profile_bad_limit_is_friendly(self, traced_shell):
+        out = traced_shell.execute(":profile lots")
+        assert out.startswith("error:")
+
+    def test_profile_hints_when_tracing_off(self, shell):
+        assert "try :trace on" in shell.execute(":profile")
+
+    def test_profile_with_no_spans_yet(self, traced_shell):
+        assert traced_shell.execute(":profile") == "(no spans recorded)"
+
+    def test_profile_suggested_for_typo(self, shell):
+        assert "did you mean :profile?" in shell.execute(":profil")
+
+    def test_help_mentions_profile(self, shell):
+        assert ":profile" in shell.execute(":help")
+
+
+class TestTraceReportMain:
+    def make_trace(self, tmp_path, name="trace.jsonl"):
+        from repro.obs.core import Span
+        from repro.obs.export import export_jsonl
+
+        kernel = Span("logic.kernel", {"clauses_in": 4}, start=0.1, elapsed=0.8)
+        root = Span("blu.op", {}, start=0.0, elapsed=1.0, children=[kernel])
+        path = tmp_path / name
+        path.write_text(export_jsonl([root]))
+        return path
+
+    def test_prints_hotspot_table(self, tmp_path, capsys):
+        path = self.make_trace(tmp_path)
+        assert main(["trace-report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "trace hotspots" in out
+        assert "logic.kernel" in out
+
+    def test_writes_flamegraph_exports(self, tmp_path, capsys):
+        import json
+
+        path = self.make_trace(tmp_path)
+        folded = tmp_path / "out.folded"
+        speedscope = tmp_path / "out.speedscope.json"
+        code = main(
+            [
+                "trace-report",
+                str(path),
+                "--folded",
+                str(folded),
+                "--speedscope",
+                str(speedscope),
+            ]
+        )
+        assert code == 0
+        assert "blu.op;logic.kernel 800000" in folded.read_text()
+        document = json.loads(speedscope.read_text())
+        assert document["profiles"][0]["type"] == "evented"
+        out = capsys.readouterr().out
+        assert "folded stacks written" in out
+        assert "speedscope profile written" in out
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["trace-report", str(tmp_path / "nope.jsonl")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_schema_drift_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"type": "mystery"}\n')
+        assert main(["trace-report", str(bad)]) == 2
+        assert "unknown record type" in capsys.readouterr().err
+
+    def test_no_validate_skips_schema_check(self, tmp_path, capsys):
+        # A legacy histogram record (no buckets) fails validation but
+        # the span analysis does not need it.
+        path = self.make_trace(tmp_path)
+        legacy = '{"type": "histogram", "name": "h", "count": 1, "total": 2.0, "min": 2.0, "max": 2.0}\n'
+        path.write_text(path.read_text() + legacy)
+        assert main(["trace-report", str(path)]) == 2
+        capsys.readouterr()
+        assert main(["trace-report", str(path), "--no-validate"]) == 0
+
+    def test_limit_flag(self, tmp_path, capsys):
+        path = self.make_trace(tmp_path)
+        assert main(["trace-report", str(path), "--limit", "1"]) == 0
+        assert "1 cooler name(s) not shown" in capsys.readouterr().out
+
+
 class TestMain:
     def test_script_mode(self, tmp_path, capsys):
         script = tmp_path / "session.hlu"
