@@ -22,7 +22,7 @@ from repro.blu.clausal_mask import clausal_mask
 from repro.logic.clauses import ClauseSet
 from repro.logic.implicates import mask_via_implicates
 from repro.logic.propositions import Vocabulary
-from repro.logic.resolution import drop, eliminate_letter
+from repro.logic.resolution import eliminate_letter
 from repro.logic.semantics import models_of_clauses
 from repro.workloads.generators import random_clause_set
 

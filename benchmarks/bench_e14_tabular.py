@@ -1,6 +1,5 @@
 """E14 -- Section 3.3.3: the Abiteboul-Grahne expressiveness gap."""
 
-import pytest
 
 from benchmarks.conftest import run_report
 from repro.baselines.tabular import (

@@ -8,6 +8,7 @@ This is the report generator behind EXPERIMENTS.md::
     python benchmarks/run_experiments.py --smoke         # fast correctness tier
     python benchmarks/run_experiments.py E1 --trace-out trace.jsonl
     python benchmarks/run_experiments.py E16 --profile-out e16.folded --mem
+    python benchmarks/run_experiments.py --smoke --cache --jobs 2
 
 ``--trace-out FILE`` enables the ``repro.obs`` instrumentation for the
 whole run and writes every recorded span and counter as JSON-lines
@@ -19,6 +20,14 @@ per-experiment memory via ``tracemalloc`` (a real slowdown, so opt-in):
 peak/current bytes land in the run record's ``memory`` block and on the
 ``experiment.*`` spans.  Analyse any ``--trace-out`` file afterwards
 with ``python -m repro.cli trace-report``.
+
+``--cache`` turns on the kernel memo-cache (``repro.cache``) for the
+run; per-kernel hit/miss/eviction stats land in the run record's
+``cache`` block (schema 3).  ``--jobs N`` fans the selected experiments
+out over ``N`` worker processes: wall times are measured inside each
+worker, per-worker traces are merged into one ``--trace-out`` /
+``--profile-out`` artifact (counters summed, histograms merged), and
+per-worker cache stats are summed into the record.
 
 Performance trajectory (see README "Performance trajectory"):
 
@@ -42,6 +51,7 @@ from pathlib import Path
 
 from repro import obs
 from repro.bench import experiments
+from repro.cache import core as cache_mod
 from repro.errors import MetricsError
 from repro.obs import baseline as baseline_mod
 from repro.obs import metrics as metrics_mod
@@ -87,6 +97,77 @@ def runner_ident(runner) -> str:
     return f"{match.group(1).upper()}{int(match.group(2))}"
 
 
+RUNNERS_BY_IDENT = {runner_ident(runner): runner for runner in RUNNERS}
+
+
+def _run_one(runner, mem: bool):
+    """One experiment, optionally under tracemalloc."""
+    if mem:
+        with obs.track_memory() as sample:
+            report = runner()
+        report.memory = sample.to_json()
+        return report, sample
+    return runner(), None
+
+
+def _run_traced(ident: str, runner, mem: bool, tracing: bool):
+    """One experiment under its ``experiment.<ident>`` span, timed."""
+    start = time.perf_counter()
+    if tracing:
+        with obs.span(f"experiment.{ident}") as exp_span:
+            report, sample = _run_one(runner, mem)
+            if sample is not None:
+                exp_span.set(
+                    mem_peak_bytes=sample.peak_bytes,
+                    mem_current_bytes=sample.current_bytes,
+                )
+    else:
+        report, sample = _run_one(runner, mem)
+    elapsed = time.perf_counter() - start
+    return report, sample, elapsed
+
+
+def _worker_run(
+    ident: str,
+    mem: bool,
+    tracing: bool,
+    use_cache: bool,
+    cache_capacity: int | None = None,
+) -> dict:
+    """One experiment inside a ``--jobs`` worker process.
+
+    The worker owns its own obs context and kernel cache; everything the
+    parent needs to merge comes back in one picklable payload.  Seconds
+    are measured here, in the worker, so the number means "time this
+    experiment took" rather than "time the parent waited".
+    """
+    runner = RUNNERS_BY_IDENT[ident]
+    if use_cache:
+        cache_mod.enable_cache(cache_capacity)
+    if tracing:
+        obs.reset()
+        obs.enable()
+    report, sample, elapsed = _run_traced(ident, runner, mem, tracing)
+    trace_text = None
+    if tracing:
+        obs.disable()
+        from repro.obs.export import export_jsonl
+
+        trace_text = export_jsonl(obs.tracer(), obs.counters())
+    stats = cache_mod.cache_stats() if use_cache else {}
+    if use_cache:
+        cache_mod.disable_cache()
+        cache_mod.clear_caches()
+    return {
+        "ident": ident,
+        "report": report,
+        "elapsed": elapsed,
+        "peak_bytes": sample.peak_bytes if sample is not None else None,
+        "trace": trace_text,
+        "cache_stats": stats,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="run_experiments",
@@ -123,6 +204,28 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="track per-experiment memory with tracemalloc (peak/current "
         "bytes in the run record and on experiment spans; slows the run)",
+    )
+    parser.add_argument(
+        "--cache",
+        action="store_true",
+        help="enable the kernel memo-cache (repro.cache) for the run; "
+        "per-kernel hit/miss stats land in the run record's cache block",
+    )
+    parser.add_argument(
+        "--cache-capacity",
+        type=int,
+        metavar="N",
+        default=None,
+        help="per-kernel LRU entry bound for --cache "
+        f"(default: {cache_mod.DEFAULT_CAPACITY})",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        metavar="N",
+        default=1,
+        help="fan the selected experiments out over N worker processes "
+        "(traces merged, cache stats summed; default: 1, in-process)",
     )
     parser.add_argument(
         "--bench-out",
@@ -180,6 +283,15 @@ def main(argv: list[str] | None = None) -> int:
             f"unknown gate kind(s): {', '.join(sorted(bad_kinds))} "
             f"(known: {', '.join(baseline_mod.METRIC_KINDS)})"
         )
+    if options.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {options.jobs}")
+    if options.cache_capacity is not None:
+        if options.cache_capacity < 0:
+            parser.error(
+                f"--cache-capacity must be >= 0, got {options.cache_capacity}"
+            )
+        if not options.cache:
+            parser.error("--cache-capacity requires --cache")
 
     tracing = options.trace_out is not None or options.profile_out is not None
     trace_handle = None
@@ -194,72 +306,111 @@ def main(argv: list[str] | None = None) -> int:
             profile_handle = open(options.profile_out, "w")
         except OSError as exc:
             parser.error(f"cannot write --profile-out file: {exc}")
-    if tracing:
-        obs.reset()
-        obs.enable()
+    selected = [
+        runner_ident(runner)
+        for runner in RUNNERS
+        if not wanted or runner_ident(runner) in wanted
+    ]
 
-    def run_one(runner):
-        """One experiment, optionally under tracemalloc."""
-        if options.mem:
-            with obs.track_memory() as sample:
-                report = runner()
-            report.memory = sample.to_json()
-            return report, sample
-        return runner(), None
+    def emit(ident: str, report, elapsed: float, peak_bytes: int | None) -> int:
+        print(report.render())
+        timing_note = f"(ran in {elapsed:.1f}s"
+        if peak_bytes is not None:
+            timing_note += f", peak {peak_bytes / (1024 * 1024):.1f}MB"
+        print(timing_note + ")\n")
+        return 0 if report.holds else 1
 
     failures = 0
     results: list[tuple[object, object]] = []
-    try:
-        for runner in RUNNERS:
-            ident = runner_ident(runner)
-            if wanted and ident not in wanted:
-                continue
-            start = time.perf_counter()
-            if tracing:
-                with obs.span(f"experiment.{ident}") as exp_span:
-                    report, sample = run_one(runner)
-                    if sample is not None:
-                        exp_span.set(
-                            mem_peak_bytes=sample.peak_bytes,
-                            mem_current_bytes=sample.current_bytes,
-                        )
-            else:
-                report, sample = run_one(runner)
-            elapsed = time.perf_counter() - start
-            results.append((report, elapsed))
-            print(report.render())
-            timing_note = f"(ran in {elapsed:.1f}s"
-            if sample is not None:
-                timing_note += f", peak {sample.peak_bytes / (1024 * 1024):.1f}MB"
-            print(timing_note + ")\n")
-            if not report.holds:
-                failures += 1
-    finally:
+    cache_kernels: dict[str, dict[str, int]] = {}
+    trace_text: str | None = None
+
+    if options.jobs > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        from repro.obs.export import merge_jsonl
+
+        trace_parts: list[str] = []
+        cache_parts: list[dict[str, dict[str, int]]] = []
+        with ProcessPoolExecutor(max_workers=options.jobs) as pool:
+            futures = [
+                pool.submit(
+                    _worker_run,
+                    ident,
+                    options.mem,
+                    tracing,
+                    options.cache,
+                    options.cache_capacity,
+                )
+                for ident in selected
+            ]
+            for ident, future in zip(selected, futures):
+                payload = future.result()
+                results.append((payload["report"], payload["elapsed"]))
+                failures += emit(
+                    ident, payload["report"], payload["elapsed"],
+                    payload["peak_bytes"],
+                )
+                if payload["trace"] is not None:
+                    trace_parts.append(payload["trace"])
+                if payload["cache_stats"]:
+                    cache_parts.append(payload["cache_stats"])
         if tracing:
-            obs.disable()
-            if trace_handle is not None:
+            trace_text = merge_jsonl(trace_parts)
+        cache_kernels = cache_mod.merge_stats(cache_parts)
+    else:
+        if options.cache:
+            cache_mod.enable_cache(options.cache_capacity)
+        if tracing:
+            obs.reset()
+            obs.enable()
+        try:
+            for ident in selected:
+                report, sample, elapsed = _run_traced(
+                    ident, RUNNERS_BY_IDENT[ident], options.mem, tracing
+                )
+                results.append((report, elapsed))
+                failures += emit(
+                    ident, report, elapsed,
+                    sample.peak_bytes if sample is not None else None,
+                )
+        finally:
+            if options.cache:
+                cache_kernels = cache_mod.cache_stats()
+                cache_mod.disable_cache()
+                cache_mod.clear_caches()
+            if tracing:
+                obs.disable()
                 from repro.obs.export import export_jsonl
 
-                with trace_handle:
-                    trace_handle.write(export_jsonl(obs.tracer(), obs.counters()))
-                print(f"trace written to {options.trace_out}")
-            if profile_handle is not None:
-                from repro.obs.profile import folded_stacks, speedscope_document
+                trace_text = export_jsonl(obs.tracer(), obs.counters())
 
-                with profile_handle:
-                    if options.profile_out.endswith(".json"):
-                        json.dump(
-                            speedscope_document(
-                                obs.tracer(), name="run_experiments"
-                            ),
-                            profile_handle,
-                        )
-                        profile_handle.write("\n")
-                    else:
-                        profile_handle.write(folded_stacks(obs.tracer()))
-                print(f"profile written to {options.profile_out}")
+    if tracing and trace_text is not None:
+        if trace_handle is not None:
+            with trace_handle:
+                trace_handle.write(trace_text)
+            print(f"trace written to {options.trace_out}")
+        if profile_handle is not None:
+            from repro.obs.export import spans_from_jsonl
+            from repro.obs.profile import folded_stacks, speedscope_document
 
-    record = metrics_mod.record_from_reports(results, root=REPO_ROOT)
+            spans = spans_from_jsonl(trace_text)
+            with profile_handle:
+                if options.profile_out.endswith(".json"):
+                    json.dump(
+                        speedscope_document(spans, name="run_experiments"),
+                        profile_handle,
+                    )
+                    profile_handle.write("\n")
+                else:
+                    profile_handle.write(folded_stacks(spans))
+            print(f"profile written to {options.profile_out}")
+
+    record = metrics_mod.record_from_reports(
+        results,
+        root=REPO_ROOT,
+        cache={"enabled": options.cache, "kernels": cache_kernels},
+    )
 
     full_run = not wanted
     if options.bench_out is not None:

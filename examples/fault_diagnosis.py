@@ -14,7 +14,7 @@ to a database that *represents* many alternative states of the world.
 Run:  python examples/fault_diagnosis.py
 """
 
-from repro.hlu import IncompleteDatabase, delete, insert, where
+from repro.hlu import IncompleteDatabase, delete, insert
 
 
 LETTERS = [

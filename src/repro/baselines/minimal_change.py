@@ -21,7 +21,7 @@ from collections.abc import Iterable
 
 from repro.db.instances import WorldSet
 from repro.logic.cnf import formulas_to_clauses
-from repro.logic.formula import Formula, Not
+from repro.logic.formula import Formula
 from repro.logic.parser import parse_formula
 from repro.logic.propositions import Vocabulary
 from repro.logic.sat import entails_clauses, is_satisfiable

@@ -34,6 +34,7 @@ from __future__ import annotations
 import itertools
 from collections.abc import Iterator
 
+from repro.cache import core as cache
 from repro.obs import core as obs
 from repro.logic.clauses import ClauseSet, Literal, make_literal
 from repro.logic.resolution import unit_resolve
@@ -102,7 +103,20 @@ def clausal_genmask(clause_set: ClauseSet) -> frozenset[int]:
     >>> vocab = Vocabulary.standard(3)
     >>> sorted(clausal_genmask(ClauseSet.from_strs(vocab, ["A1 | A2"])))
     [0, 1]
+
+    Memoised by the opt-in kernel cache on the state's fingerprint: the
+    dependence set is determined by the clause contents alone, and the
+    NP-complete Ldiff enumeration is the most expensive thing a repeated
+    update pipeline re-derives.
     """
-    return frozenset(
+    if cache._ENABLED:
+        key = (clause_set.vocabulary, clause_set.fingerprint)
+        hit = cache.lookup("blu.c.genmask", key)
+        if hit is not cache.MISS:
+            return hit
+    result = frozenset(
         index for index in clause_set.prop_indices if depends_on(clause_set, index)
     )
+    if cache._ENABLED:
+        cache.store("blu.c.genmask", key, result)
+    return result

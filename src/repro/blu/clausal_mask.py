@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 
+from repro.cache import core as cache
 from repro.obs import core as obs
 from repro.logic.clauses import ClauseSet
 from repro.logic.resolution import drop, rclosure
@@ -48,9 +49,20 @@ def clausal_mask(
     ...     vocab, ["~A1 | A3", "A1 | A4", "A4 | A5", "~A1 | ~A2 | ~A5"])
     >>> print(clausal_mask(phi, [0, 1]))
     {A3 | A4, A4 | A5}
+
+    The whole mask is memoised by the opt-in kernel cache on the state's
+    fingerprint plus the masked-letter set and ``simplify`` flag; a hit
+    skips every per-letter elimination (and their spans/counters), which
+    is where repeated-update workloads spend most of their time.
     """
+    letter_set = frozenset(indices)
+    if cache._ENABLED:
+        key = (clause_set.vocabulary, clause_set.fingerprint, letter_set, simplify)
+        hit = cache.lookup("blu.c.mask", key)
+        if hit is not cache.MISS:
+            return hit
     current = clause_set
-    for index in sorted(set(indices)):
+    for index in sorted(letter_set):
         with obs.span("blu.c.mask.eliminate", letter=index, clauses_in=len(current)):
             closed = rclosure(current, (index,))
             current = drop(closed, (index,))
@@ -58,4 +70,6 @@ def clausal_mask(
                 current = current.reduce()
             obs.inc("blu.c.mask.letters_eliminated")
             obs.inc("blu.c.mask.clauses_retained", len(current))
+    if cache._ENABLED:
+        cache.store("blu.c.mask", key, current)
     return current

@@ -1,0 +1,64 @@
+"""``repro.cache``: opt-in memoisation for the hot pure clausal kernels.
+
+Every cached kernel is a pure function of immutable inputs
+(:class:`~repro.logic.clauses.ClauseSet` values never mutate), keyed by
+a canonical clause-set fingerprint -- a sorted-clause BLAKE2b digest
+plus the letter-bitmask signature (:mod:`repro.cache.fingerprint`) --
+paired with the vocabulary and any extra kernel arguments.  Stores are
+size-bounded LRU with hit/miss/eviction tallies mirrored into
+``repro.obs`` counters (:mod:`repro.cache.core`).  See DESIGN.md
+section 1.10.
+
+Typical use::
+
+    from repro import cache
+
+    cache.enable_cache()            # default capacity per kernel
+    ... run repeated updates ...
+    print(cache.cache_stats())      # {"logic.reduce": {"hits": ...}, ...}
+
+Surfaced as ``benchmarks/run_experiments.py --cache`` and the REPL's
+``:cache`` command.  The cache is off by default; with it off, kernel
+behaviour and ``repro.obs`` counter totals are bit-identical to an
+uncached build (guarded by ``tests/cache/test_differential.py``).
+"""
+
+from repro.cache.core import (
+    DEFAULT_CAPACITY,
+    MISS,
+    STAT_KEYS,
+    KernelCache,
+    cache_capacity,
+    cache_enabled,
+    cache_stats,
+    clear_caches,
+    disable_cache,
+    enable_cache,
+    lookup,
+    merge_stats,
+    store,
+)
+from repro.cache.fingerprint import (
+    Fingerprint,
+    clause_set_fingerprint,
+    fingerprint_of_clauses,
+)
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "MISS",
+    "STAT_KEYS",
+    "KernelCache",
+    "Fingerprint",
+    "enable_cache",
+    "disable_cache",
+    "cache_enabled",
+    "cache_capacity",
+    "cache_stats",
+    "clear_caches",
+    "merge_stats",
+    "lookup",
+    "store",
+    "clause_set_fingerprint",
+    "fingerprint_of_clauses",
+]

@@ -1,0 +1,73 @@
+"""Canonical clause-set fingerprints: the keys of the kernel memo-cache.
+
+A fingerprint condenses a :class:`~repro.logic.clauses.ClauseSet`'s
+*content* -- which clauses it holds, independent of construction order --
+into a small hashable value::
+
+    (clause_count, signature_mask, digest)
+
+* ``clause_count`` -- number of (distinct, non-tautologous) clauses;
+* ``signature_mask`` -- the OR of the per-clause letter-bitmask
+  signatures introduced in :func:`repro.logic.clauses.clause_signature`:
+  bit ``i`` is set iff letter ``i`` occurs somewhere in the set.  A
+  cheap discriminator (two sets over different letters can never
+  collide) and a useful debugging handle, but *not* sufficient on its
+  own -- sets with the same letters in different clause shapes share a
+  mask, which is exactly what the digest disambiguates;
+* ``digest`` -- a 128-bit BLAKE2b hash over the **sorted** clause list,
+  each clause itself sorted, literals encoded as fixed-width signed
+  integers with an explicit clause separator.  Sorting makes the digest
+  canonical: two equal clause sets produce byte-identical digests no
+  matter how they were built, and 128 bits makes an accidental
+  collision between *unequal* sets astronomically unlikely (~2^-64
+  birthday bound even after 2^32 distinct sets).
+
+The vocabulary is deliberately **not** part of the fingerprint; cache
+keys pair the fingerprint with the (hashable) ``Vocabulary`` object, so
+equal clause contents over different vocabularies never alias.
+
+This module imports nothing from ``repro.logic`` (it is duck-typed over
+``.clauses``), so ``repro.logic.clauses`` can import it without a cycle.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections.abc import Iterable
+
+__all__ = ["Fingerprint", "fingerprint_of_clauses", "clause_set_fingerprint"]
+
+Fingerprint = tuple[int, int, bytes]
+"""Type alias: ``(clause_count, signature_mask, digest)``."""
+
+#: Literals are non-zero ints, so eight zero bytes can never be confused
+#: with an encoded literal -- a safe clause separator.
+_SEPARATOR = (0).to_bytes(8, "little", signed=True)
+
+
+def fingerprint_of_clauses(clauses: Iterable[Iterable[int]]) -> Fingerprint:
+    """Fingerprint an iterable of clauses (iterables of literal ints).
+
+    The clauses are canonicalised (each clause sorted, then the clause
+    list sorted) before hashing, so any presentation of the same set of
+    clauses fingerprints identically.
+    """
+    canonical = sorted(tuple(sorted(clause)) for clause in clauses)
+    signature_mask = 0
+    digest = hashlib.blake2b(digest_size=16)
+    for clause in canonical:
+        for literal in clause:
+            signature_mask |= 1 << (abs(literal) - 1)
+            digest.update(literal.to_bytes(8, "little", signed=True))
+        digest.update(_SEPARATOR)
+    return (len(canonical), signature_mask, digest.digest())
+
+
+def clause_set_fingerprint(clause_set) -> Fingerprint:
+    """Fingerprint anything exposing a ``.clauses`` iterable of clauses.
+
+    :meth:`repro.logic.clauses.ClauseSet.fingerprint` calls this lazily
+    and caches the result on the (immutable) instance, so in practice
+    each clause set pays the O(Length log Length) canonicalisation once.
+    """
+    return fingerprint_of_clauses(clause_set.clauses)

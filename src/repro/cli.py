@@ -35,6 +35,9 @@ Commands:
                    (default 15; needs ``:trace on``)
 ``:bench last``    summary of the most recent ``BENCH_*.json`` run
                    record (``:bench <file>`` for a specific one)
+``:cache <c>``     ``on [capacity]`` / ``off`` kernel memoisation;
+                   ``stats`` per-kernel hit/miss/eviction table;
+                   ``clear`` drops every cached entry
 ``:help``          this text
 ``:quit``          leave
 =================  ==================================================
@@ -81,6 +84,7 @@ _COMMANDS = (
     "stats",
     "profile",
     "bench",
+    "cache",
     "help",
     "quit",
     "exit",
@@ -180,6 +184,8 @@ class Shell:
             return self._profile_command(args)
         if name == "bench":
             return self._bench_command(args)
+        if name == "cache":
+            return self._cache_command(args)
         if name == "help":
             return _HELP.strip("\n")
         if name in ("quit", "exit", "q"):
@@ -258,6 +264,45 @@ class Shell:
                 return "(no spans recorded -- instrumentation is off; try :trace on)"
             return "(no spans recorded)"
         return hotspot_report(tracer, limit=limit).render().rstrip("\n")
+
+    def _cache_command(self, args: list[str]) -> str:
+        from repro import cache
+
+        mode = args[0] if args else "stats"
+        if mode == "on":
+            capacity = None
+            if len(args) > 1:
+                try:
+                    capacity = int(args[1])
+                except ValueError:
+                    return "error: :cache on takes an optional capacity (a number)"
+                if capacity < 0:
+                    return "error: cache capacity must be >= 0"
+            cache.enable_cache(capacity)
+            return f"kernel cache on (capacity {cache.cache_capacity()} per kernel)"
+        if mode == "off":
+            cache.disable_cache()
+            return "kernel cache off (entries kept; :cache clear to drop them)"
+        if mode == "clear":
+            cache.clear_caches()
+            return "kernel cache cleared"
+        if mode == "stats":
+            stats = cache.cache_stats()
+            state = "on" if cache.cache_enabled() else "off"
+            if not stats:
+                return f"(kernel cache {state}; no lookups recorded)"
+            from repro.bench.harness import Report
+
+            report = Report(
+                ident="CACHE",
+                title=f"kernel memo-cache ({state})",
+                claim="per-kernel hit/miss/eviction tallies",
+                columns=("kernel",) + cache.STAT_KEYS,
+            )
+            for kernel, values in stats.items():
+                report.add_row(kernel, *(values[key] for key in cache.STAT_KEYS))
+            return report.render().rstrip("\n")
+        return "error: :cache takes on [capacity], off, stats, or clear"
 
     def _bench_command(self, args: list[str]) -> str:
         from repro.obs import metrics

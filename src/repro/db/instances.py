@@ -239,7 +239,7 @@ class WorldSet:
         small vocabularies only.  (The canonical inverse of ``e_CI[S]`` is
         not unique; this picks a subsumption-reduced representative.)
         """
-        from repro.logic.formula import FALSE, conj, disj, var
+        from repro.logic.formula import conj, disj, var
 
         if not self._worlds:
             return ClauseSet.contradiction(self._vocabulary)

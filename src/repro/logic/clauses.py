@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Iterator
 
+from repro.cache import core as cache
 from repro.errors import InconsistentLiteralsError, ParseError, VocabularyError
 from repro.logic.formula import Formula, Not, Var
 from repro.logic.propositions import Vocabulary
@@ -227,7 +228,7 @@ class ClauseSet:
     3
     """
 
-    __slots__ = ("_vocabulary", "_clauses", "_hash", "_sigs")
+    __slots__ = ("_vocabulary", "_clauses", "_hash", "_sigs", "_fp")
 
     def __init__(self, vocabulary: Vocabulary, clauses: Iterable[Clause]):
         max_index = len(vocabulary) - 1
@@ -241,6 +242,7 @@ class ClauseSet:
         self._clauses = frozenset(kept)
         self._hash = hash((vocabulary, self._clauses))
         self._sigs = None
+        self._fp = None
 
     # --- constructors -------------------------------------------------------
 
@@ -261,6 +263,7 @@ class ClauseSet:
         self._clauses = clauses
         self._hash = hash((vocabulary, clauses))
         self._sigs = None
+        self._fp = None
         return self
 
     @classmethod
@@ -368,6 +371,22 @@ class ClauseSet:
             self._sigs = {c: clause_signature(c) for c in self._clauses}
         return self._sigs
 
+    @property
+    def fingerprint(self) -> tuple[int, int, bytes]:
+        """Canonical content fingerprint: ``(count, signature mask, digest)``.
+
+        Computed lazily and cached on the (immutable) instance; see
+        :mod:`repro.cache.fingerprint`.  Two clause sets have equal
+        fingerprints iff they hold the same clauses (up to the 128-bit
+        digest's collision bound), regardless of construction order.
+        The kernel memo-cache keys on ``(vocabulary, fingerprint, ...)``.
+        """
+        if self._fp is None:
+            from repro.cache.fingerprint import clause_set_fingerprint
+
+            self._fp = clause_set_fingerprint(self)
+        return self._fp
+
     def union(self, other: "ClauseSet") -> "ClauseSet":
         """Set union of the clauses (conjunction of the theories)."""
         self._check_vocabulary(other)
@@ -405,7 +424,23 @@ class ClauseSet:
         letter-bitmask signatures are compatible (``sig(kept)`` a submask
         of ``sig(clause)``), which prunes the quadratic pair scan to the
         few genuinely comparable clauses.
+
+        Memoised by the opt-in kernel cache (``repro.cache``) on the
+        clause set's content fingerprint: reduce is a pure function of
+        an immutable input, so a hit returns the previously computed
+        (immutable) result unchanged.
         """
+        if cache._ENABLED:
+            key = (self._vocabulary, self.fingerprint)
+            hit = cache.lookup("logic.reduce", key)
+            if hit is not cache.MISS:
+                return hit
+        result = self._reduce_uncached()
+        if cache._ENABLED:
+            cache.store("logic.reduce", key, result)
+        return result
+
+    def _reduce_uncached(self) -> "ClauseSet":
         with obs.span("logic.reduce", clauses_in=len(self._clauses)) as current:
             sigs = self.signatures
             by_size = sorted(self._clauses, key=len)
@@ -440,7 +475,7 @@ class ClauseSet:
         """Each clause as a disjunction formula, in a deterministic order."""
         ordered = sorted(
             self._clauses,
-            key=lambda c: sorted((literal_index(l), l < 0) for l in c),
+            key=lambda c: sorted((literal_index(lit), lit < 0) for lit in c),
         )
         return tuple(clause_to_formula(self._vocabulary, c) for c in ordered)
 

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 
+from repro.cache import core as cache
 from repro.obs import core as obs
 from repro.logic.clauses import Clause, ClauseSet
 from repro.logic.resolution import resolution_closure
@@ -46,13 +47,24 @@ def prime_implicates(clause_set: ClauseSet, max_clauses: int = 100_000) -> Claus
 
     An unsatisfiable set has the single prime implicate 0 (the empty
     clause); a tautologous set has none.
+
+    Memoised by the opt-in kernel cache on the clause set's fingerprint
+    plus ``max_clauses``; a top-level hit also skips the (separately
+    cached) closure and reduction stages.
     """
+    if cache._ENABLED:
+        key = (clause_set.vocabulary, clause_set.fingerprint, max_clauses)
+        hit = cache.lookup("logic.prime_implicates", key)
+        if hit is not cache.MISS:
+            return hit
     with obs.span("logic.prime_implicates", clauses_in=len(clause_set)):
         closed = resolution_closure(clause_set, max_clauses=max_clauses)
         reduced = closed.reduce()
         obs.inc("logic.implicates.candidates", len(closed))
         obs.inc("logic.implicates.survivors", len(reduced))
-        return reduced
+    if cache._ENABLED:
+        cache.store("logic.prime_implicates", key, reduced)
+    return reduced
 
 
 def is_implicate(clause_set: ClauseSet, clause: Clause) -> bool:

@@ -27,6 +27,7 @@ from __future__ import annotations
 from collections import deque
 from collections.abc import Iterable
 
+from repro.cache import core as cache
 from repro.obs import core as obs
 from repro.logic.clauses import (
     Clause,
@@ -129,8 +130,18 @@ def rclosure(clause_set: ClauseSet, indices: Iterable[int]) -> ClauseSet:
     letters, including resolvents of resolvents, until a fixpoint.  Driven
     by the occurrence index rather than the seed's per-letter rescan of
     the whole working set.
+
+    Memoised by the opt-in kernel cache (``repro.cache``) on the clause
+    set's content fingerprint plus the pivot set: the closure is a pure
+    function of immutable inputs, so a hit skips the saturation (and its
+    work counters) entirely.
     """
     pivot_indices = frozenset(indices)
+    if cache._ENABLED:
+        key = (clause_set.vocabulary, clause_set.fingerprint, pivot_indices)
+        hit = cache.lookup("logic.rclosure", key)
+        if hit is not cache.MISS:
+            return hit
     with obs.span(
         "logic.rclosure", pivots=len(pivot_indices), clauses_in=len(clause_set)
     ) as current:
@@ -142,7 +153,10 @@ def rclosure(clause_set: ClauseSet, indices: Iterable[int]) -> ClauseSet:
         if skips:
             obs.inc("logic.resolution.index_skips", skips)
         current.set(clauses_out=len(occ), resolvents_formed=formed)
-        return ClauseSet._trusted(clause_set.vocabulary, frozenset(occ))
+        result = ClauseSet._trusted(clause_set.vocabulary, frozenset(occ))
+    if cache._ENABLED:
+        cache.store("logic.rclosure", key, result)
+    return result
 
 
 def drop(clause_set: ClauseSet, indices: Iterable[int]) -> ClauseSet:
@@ -208,8 +222,15 @@ def resolution_closure(clause_set: ClauseSet, max_clauses: int = 100_000) -> Cla
     """Saturate under resolution on *every* letter (total resolution).
 
     The basis of the prime-implicate engine; guarded by ``max_clauses``
-    since saturation is exponential.
+    since saturation is exponential.  Memoised by the opt-in kernel
+    cache on the clause set's fingerprint plus ``max_clauses`` (a run
+    that raises :class:`MemoryError` is never stored).
     """
+    if cache._ENABLED:
+        key = (clause_set.vocabulary, clause_set.fingerprint, max_clauses)
+        hit = cache.lookup("logic.resolution_closure", key)
+        if hit is not cache.MISS:
+            return hit
     occ, formed, hits, skips = _saturate(
         clause_set.clauses, None, max_clauses=max_clauses
     )
@@ -219,4 +240,7 @@ def resolution_closure(clause_set: ClauseSet, max_clauses: int = 100_000) -> Cla
         obs.inc("logic.resolution.index_hits", hits)
     if skips:
         obs.inc("logic.resolution.index_skips", skips)
-    return ClauseSet._trusted(clause_set.vocabulary, frozenset(occ))
+    result = ClauseSet._trusted(clause_set.vocabulary, frozenset(occ))
+    if cache._ENABLED:
+        cache.store("logic.resolution_closure", key, result)
+    return result

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from collections import Counter, deque
 
+from repro.cache import core as cache
 from repro.obs import core as obs
 from repro.logic.clauses import Clause, ClauseSet, Literal
 
@@ -278,7 +279,23 @@ def count_models_exact(clause_set: ClauseSet) -> int:
     propagation chains cannot exhaust the Python stack.
 
     Used by :meth:`repro.hlu.session.IncompleteDatabase.world_count`.
+
+    Memoised by the opt-in kernel cache on the clause set's content
+    fingerprint (the count also depends on the vocabulary size, which
+    the vocabulary component of the key pins down).
     """
+    if cache._ENABLED:
+        key = (clause_set.vocabulary, clause_set.fingerprint)
+        hit = cache.lookup("logic.count_models_exact", key)
+        if hit is not cache.MISS:
+            return hit
+    result = _count_models_exact_uncached(clause_set)
+    if cache._ENABLED:
+        cache.store("logic.count_models_exact", key, result)
+    return result
+
+
+def _count_models_exact_uncached(clause_set: ClauseSet) -> int:
     total_letters = len(clause_set.vocabulary)
     state = _SolverState(list(clause_set.clauses), {})
     # Each frame is [variable index, trail mark, tried_false, subtotal].

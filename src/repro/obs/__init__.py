@@ -39,6 +39,7 @@ from repro.obs.export import (
     counter_report,
     counters_from_jsonl,
     export_jsonl,
+    merge_jsonl,
     render_span_tree,
     spans_from_jsonl,
     validate_jsonl,
@@ -75,6 +76,7 @@ __all__ = [
     "export_jsonl",
     "spans_from_jsonl",
     "counters_from_jsonl",
+    "merge_jsonl",
     "validate_jsonl",
     "counter_report",
     "Profile",

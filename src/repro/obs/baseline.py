@@ -268,17 +268,25 @@ def compare(
 
     Experiments present on only one side produce ``added`` / ``removed``
     deltas (neutral for gating: a ``--smoke`` subset run must not trip
-    over the experiments it deliberately skipped).  Raises
-    :class:`~repro.errors.MetricsVersionError` on a schema-version
-    mismatch rather than comparing fields that may have moved.
+    over the experiments it deliberately skipped).  Any pair of
+    *supported* schema versions compares fine -- the fields the
+    comparator reads (seconds, counters, fits) exist unchanged in every
+    supported version, and demanding exact equality would force a
+    baseline re-promotion on every additive schema bump.  A version
+    outside :data:`~repro.obs.metrics.SUPPORTED_SCHEMA_VERSIONS` (a
+    hand-edited record; loaders reject them) still raises
+    :class:`~repro.errors.MetricsVersionError`.
     """
-    if run.schema_version != baseline.schema_version:
-        raise MetricsVersionError(
-            f"cannot compare run records across schema versions: run has "
-            f"{run.schema_version}, baseline has {baseline.schema_version}. "
-            f"Re-seed the baseline with "
-            f"'python benchmarks/run_experiments.py --update-baseline'."
-        )
+    from repro.obs.metrics import SUPPORTED_SCHEMA_VERSIONS
+
+    for label, record in (("run", run), ("baseline", baseline)):
+        if record.schema_version not in SUPPORTED_SCHEMA_VERSIONS:
+            raise MetricsVersionError(
+                f"cannot compare: {label} record has schema_version "
+                f"{record.schema_version}; this build reads versions "
+                f"{SUPPORTED_SCHEMA_VERSIONS}. Re-seed the baseline with "
+                f"'python benchmarks/run_experiments.py --update-baseline'."
+            )
     comparison = Comparison(run=run, baseline=baseline, thresholds=thresholds)
     for exp in run.experiments:
         base = baseline.experiment(exp.ident)

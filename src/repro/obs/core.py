@@ -255,6 +255,23 @@ class Histogram:
         # predate buckets: fall back to the observed maximum.
         return self.maximum
 
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram's observations into this one.
+
+        Exact for everything the structure stores -- count, total,
+        min/max, and per-bucket tallies are all additive -- so merging
+        per-worker histograms (``run_experiments.py --jobs``) yields the
+        same summary a single process observing every value would hold.
+        """
+        self.count += other.count
+        self.total += other.total
+        if other.minimum < self.minimum:
+            self.minimum = other.minimum
+        if other.maximum > self.maximum:
+            self.maximum = other.maximum
+        for bucket, n in other.buckets.items():
+            self.buckets[bucket] = self.buckets.get(bucket, 0) + n
+
     @property
     def p50(self) -> float | None:
         return self.quantile(0.50)
@@ -311,6 +328,19 @@ class Counters:
             if change:
                 out[name] = change
         return out
+
+    def merge(self, other: "Counters") -> None:
+        """Fold another registry into this one (counts summed,
+        histograms merged).  The basis of multi-process trace merging:
+        each ``--jobs`` worker records into its own registry and the
+        parent folds them together."""
+        for name, value in other._counts.items():
+            self.inc(name, value)
+        for name, histogram in other._histograms.items():
+            mine = self._histograms.get(name)
+            if mine is None:
+                mine = self._histograms[name] = Histogram()
+            mine.merge(histogram)
 
     def reset(self) -> None:
         """Zero every counter and drop every histogram."""

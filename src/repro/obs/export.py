@@ -28,6 +28,7 @@ __all__ = [
     "export_jsonl",
     "spans_from_jsonl",
     "counters_from_jsonl",
+    "merge_jsonl",
     "validate_jsonl",
     "counter_report",
 ]
@@ -182,6 +183,29 @@ def counters_from_jsonl(text: str) -> Counters:
             )
             counters._histograms[record["name"]] = histogram
     return counters
+
+
+def merge_jsonl(texts: Sequence[str]) -> str:
+    """Merge several :func:`export_jsonl` documents into one.
+
+    Built for ``run_experiments.py --jobs``: each worker process emits
+    its own trace, and the parent folds them into a single artifact.
+    Span forests are concatenated in the order given (ids are freshly
+    assigned, so colliding per-worker ids cannot corrupt the tree);
+    counters are summed and histograms merged via
+    :meth:`~repro.obs.core.Counters.merge`.  The result validates under
+    :func:`validate_jsonl` whenever the inputs did.
+    """
+    roots: list[Span] = []
+    merged = Counters()
+    saw_counters = False
+    for text in texts:
+        roots.extend(spans_from_jsonl(text))
+        part = counters_from_jsonl(text)
+        if part.counts or part.histograms:
+            saw_counters = True
+        merged.merge(part)
+    return export_jsonl(roots, merged if saw_counters else None)
 
 
 def _is_int_string(value: object) -> bool:

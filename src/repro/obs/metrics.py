@@ -9,16 +9,24 @@ files is the project's performance trajectory; ``repro.obs.baseline``
 diffs any record against a promoted baseline so "made the hot path
 faster" becomes a checkable claim instead of a commit-message one.
 
-Schema (version 2)::
+Schema (version 3)::
 
     {
-      "schema_version": 2,
+      "schema_version": 3,
       "created": "2026-08-05T12:34:56Z",        # UTC, ISO-8601
       "git_sha": "abc123..." | null,
       "fingerprint": {
         "platform": str, "python": str, "implementation": str,
         "machine": str, "cpu_count": int | null, "hostname": str
       },
+      "cache": {                                # kernel memo-cache stats,
+        "enabled": true | false,                # null when the run made
+        "kernels": {                            # no cache decision at all
+          "logic.rclosure": {"hits": int, "misses": int, "evictions": int,
+                             "entries": int, "capacity": int},
+          ...
+        }
+      } | null,
       "experiments": [
         {
           "ident": "E1", "title": str, "holds": true | false | null,
@@ -35,10 +43,11 @@ Schema (version 2)::
     }
 
 Version 2 added the opt-in per-experiment ``memory`` block
-(``run_experiments.py --mem``).  Version-1 records still load -- the
-missing block reads as ``null`` -- while records from *newer* schemas
-raise :class:`~repro.errors.MetricsVersionError` instead of being
-misread.
+(``run_experiments.py --mem``); version 3 added the top-level ``cache``
+block (``run_experiments.py --cache``; see ``repro.cache``).  Older
+records still load -- a missing block reads as ``null`` -- while records
+from *newer* schemas raise :class:`~repro.errors.MetricsVersionError`
+instead of being misread.
 
 Counters are exact, deterministic work counts (seeded workloads), so the
 regression gate holds them to exact equality; seconds and fit exponents
@@ -83,11 +92,12 @@ __all__ = [
     "summary_report",
 ]
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: Versions this build can read.  Version 1 predates the ``memory``
-#: block; loading it just leaves every experiment's memory as ``None``.
-SUPPORTED_SCHEMA_VERSIONS = (1, 2)
+#: block and version 2 the ``cache`` block; loading an older record just
+#: leaves the corresponding field as ``None``.
+SUPPORTED_SCHEMA_VERSIONS = (1, 2, 3)
 
 #: Run-record files are ``BENCH_<UTC timestamp>.json`` at the repo root.
 BENCH_PREFIX = "BENCH_"
@@ -139,6 +149,10 @@ class RunRecord:
     git_sha: str | None
     fingerprint: dict[str, object]
     experiments: list[ExperimentMetrics]
+    #: ``{"enabled": bool, "kernels": {kernel: {hits, misses, ...}}}``
+    #: when the run recorded a kernel-cache decision (schema >= 3);
+    #: ``None`` for older records.
+    cache: dict[str, object] | None = None
 
     def experiment(self, ident: str) -> ExperimentMetrics | None:
         for exp in self.experiments:
@@ -214,13 +228,15 @@ def record_from_reports(
     *,
     git_sha: str | None | object = ...,
     root: str | Path | None = None,
+    cache: Mapping[str, object] | None = None,
 ) -> RunRecord:
     """Build a :class:`RunRecord` from ``(Report, seconds)`` pairs.
 
     ``seconds`` may be a harness :class:`~repro.bench.harness.Timing`, a
     plain float (one sample), or an already-serialised timing dict.  The
     report's ``counters`` and ``metrics`` channels become the record's
-    counter totals and fit exponents.
+    counter totals and fit exponents.  ``cache`` is the optional
+    kernel-cache block (``{"enabled": bool, "kernels": cache_stats()}``).
     """
     experiments = []
     for report, seconds in reports_with_seconds:
@@ -242,6 +258,7 @@ def record_from_reports(
         git_sha=current_git_sha(root) if git_sha is ... else git_sha,
         fingerprint=machine_fingerprint(),
         experiments=experiments,
+        cache=dict(cache) if cache is not None else None,
     )
 
 
@@ -264,6 +281,19 @@ def _clean_fit(ident: str, name: str, value: object) -> float | None:
     return number
 
 
+def _cache_json(cache: Mapping[str, object] | None) -> dict[str, object] | None:
+    if cache is None:
+        return None
+    kernels = cache.get("kernels") or {}
+    return {
+        "enabled": bool(cache.get("enabled")),
+        "kernels": {
+            str(kernel): {str(k): int(v) for k, v in sorted(dict(stats).items())}
+            for kernel, stats in sorted(dict(kernels).items())
+        },
+    }
+
+
 def run_record_to_json(record: RunRecord) -> dict[str, object]:
     """The record as a plain JSON-ready dict (non-finite fits -> null)."""
     return {
@@ -271,6 +301,7 @@ def run_record_to_json(record: RunRecord) -> dict[str, object]:
         "created": record.created,
         "git_sha": record.git_sha,
         "fingerprint": dict(record.fingerprint),
+        "cache": _cache_json(record.cache),
         "experiments": [
             {
                 "ident": exp.ident,
@@ -329,6 +360,35 @@ def run_record_from_json(data: object) -> RunRecord:
     if git_sha is not None and not isinstance(git_sha, str):
         raise MetricsError("run record: git_sha must be a string or null")
     fingerprint = _require(data, "fingerprint", Mapping, "run record")
+    # Absent before schema 3; null when the run recorded no cache block.
+    raw_cache = data.get("cache")
+    cache: dict[str, object] | None = None
+    if raw_cache is not None:
+        if not isinstance(raw_cache, Mapping) or "enabled" not in raw_cache:
+            raise MetricsError(
+                "run record: cache must be null or an object with an "
+                f"'enabled' key (got {raw_cache!r})"
+            )
+        enabled = raw_cache["enabled"]
+        if not isinstance(enabled, bool):
+            raise MetricsError("run record: cache.enabled must be a boolean")
+        raw_kernels = raw_cache.get("kernels") or {}
+        if not isinstance(raw_kernels, Mapping):
+            raise MetricsError("run record: cache.kernels must be an object")
+        kernels: dict[str, dict[str, int]] = {}
+        for kernel, stats in raw_kernels.items():
+            if not isinstance(stats, Mapping):
+                raise MetricsError(
+                    f"run record: cache.kernels[{kernel!r}] must be an object"
+                )
+            for name, value in stats.items():
+                if isinstance(value, bool) or not isinstance(value, int):
+                    raise MetricsError(
+                        f"run record: cache.kernels[{kernel!r}].{name} must "
+                        f"be an int (got {value!r})"
+                    )
+            kernels[str(kernel)] = {str(k): int(v) for k, v in stats.items()}
+        cache = {"enabled": enabled, "kernels": kernels}
     raw_experiments = _require(data, "experiments", Sequence, "run record")
     if isinstance(raw_experiments, (str, bytes)):
         raise MetricsError("run record: experiments must be a list")
@@ -405,6 +465,7 @@ def run_record_from_json(data: object) -> RunRecord:
         git_sha=git_sha,
         fingerprint=dict(fingerprint),
         experiments=experiments,
+        cache=cache,
     )
 
 

@@ -24,7 +24,6 @@ semantics of a store that only ever asserts positives).
 
 from __future__ import annotations
 
-import itertools
 from collections.abc import Iterable
 
 from repro.relational.atoms import OpenAtom, atom_valuations

@@ -17,7 +17,6 @@ from repro.errors import SchemaError
 from repro.logic.formula import Formula, Var, conj, disj
 from repro.logic.propositions import Vocabulary
 from repro.relational.atoms import OpenAtom, atom_valuations
-from repro.relational.constants import ConstantDictionary
 from repro.relational.schema import RelationalSchema
 
 __all__ = ["Grounding"]

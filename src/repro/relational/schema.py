@@ -13,7 +13,7 @@ from __future__ import annotations
 from collections.abc import Iterable
 
 from repro.errors import SchemaError
-from repro.relational.constants import ConstantDictionary, InternalConstant
+from repro.relational.constants import ConstantDictionary
 from repro.relational.types import TypeAlgebra, TypeExpr
 
 __all__ = ["Attribute", "RelationSignature", "RelationalSchema"]

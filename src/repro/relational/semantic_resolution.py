@@ -74,7 +74,7 @@ class OpenClause:
     def __repr__(self) -> str:
         if not self.literals:
             return "OpenClause(0)"
-        return " | ".join(sorted(repr(l) for l in self.literals))
+        return " | ".join(sorted(repr(lit) for lit in self.literals))
 
 
 def semantic_unify(

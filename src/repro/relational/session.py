@@ -22,13 +22,12 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Mapping
 
-from repro.errors import SchemaError
 from repro.hlu.session import IncompleteDatabase
 from repro.db.schema import DbSchema
 from repro.relational.atoms import OpenAtom
 from repro.relational.constants import CategoryExpr, InternalConstant
 from repro.relational.grounding import Grounding
-from repro.relational.language import AtomTemplate, Binding, Exists, TemplateArg, Wildcard
+from repro.relational.language import AtomTemplate, TemplateArg
 from repro.relational.schema import RelationalSchema
 from repro.relational.types import TypeExpr
 

@@ -2,12 +2,10 @@
 (the empty clause set) through every operator, plus empty-vocabulary and
 degenerate-mask corners."""
 
-import pytest
 
 from repro.blu.clausal_genmask import clausal_genmask
 from repro.blu.clausal_impl import (
     ClausalImplementation,
-    clausal_combine,
     clausal_complement,
 )
 from repro.blu.clausal_mask import clausal_mask

@@ -16,7 +16,6 @@ to flag every one of them:
 
 import random
 
-import pytest
 
 from repro.blu.clausal_impl import ClausalImplementation
 from repro.blu.emulation import canonical_emulation
@@ -56,7 +55,7 @@ class ClausewiseComplement(ClausalImplementation):
 
     def op_complement(self, state):
         flipped: set[Clause] = {
-            frozenset(-l for l in clause) for clause in state.clauses
+            frozenset(-lit for lit in clause) for clause in state.clauses
         }
         return ClauseSet(state.vocabulary, flipped)
 

@@ -1,0 +1,26 @@
+"""Fixtures for the kernel memo-cache tests: every test starts and ends
+with the cache disabled and empty, and obs instrumentation off, so the
+process-wide flags never leak between tests (or into the rest of the
+suite, which asserts kernel counter totals with the cache off)."""
+
+import pytest
+
+from repro.cache import core as cache
+from repro.obs import core as obs
+
+
+@pytest.fixture(autouse=True)
+def clean_cache():
+    cache.disable_cache()
+    cache.clear_caches()
+    cache._CACHES.clear()  # drop stores so per-test capacities can't leak
+    cache._CAPACITY = cache.DEFAULT_CAPACITY
+    obs.disable()
+    obs.reset()
+    yield
+    cache.disable_cache()
+    cache.clear_caches()
+    cache._CACHES.clear()  # drop stores so per-test capacities can't leak
+    cache._CAPACITY = cache.DEFAULT_CAPACITY
+    obs.disable()
+    obs.reset()

@@ -1,0 +1,129 @@
+"""The cache-transparency guarantee, tested differentially.
+
+``enable_cache()`` must never change what any kernel returns: for every
+memoised kernel, the value computed with the cache ON (both the cold
+first call that populates the store and the warm second call served
+from it) must be bit-identical to the cache-OFF reference.  Randomised
+over 200+ clause sets, plus aliasing regressions (equal fingerprints
+with different vocabularies or different extra arguments must not share
+entries)."""
+
+import random
+
+from repro.blu.clausal_genmask import clausal_genmask
+from repro.blu.clausal_mask import clausal_mask
+from repro.cache import core as cache
+from repro.logic.clauses import ClauseSet, make_literal
+from repro.logic.implicates import prime_implicates
+from repro.logic.propositions import Vocabulary
+from repro.logic.resolution import rclosure, resolution_closure
+from repro.logic.sat import count_models_exact
+
+
+def _random_clause_set(rng, vocab, clause_count, max_width):
+    n = len(vocab)
+    clauses = []
+    for _ in range(clause_count):
+        width = rng.randint(1, min(max_width, n))
+        letters = rng.sample(range(n), width)
+        clauses.append(
+            frozenset(make_literal(i, rng.random() < 0.5) for i in letters)
+        )
+    return ClauseSet(vocab, clauses)
+
+
+def _kernel_calls(rng, cs):
+    """One (name, thunk) per memoised kernel, arguments fixed per case."""
+    indices = sorted(rng.sample(range(len(cs.vocabulary)),
+                                rng.randint(1, min(3, len(cs.vocabulary)))))
+    simplify = rng.random() < 0.5
+    return [
+        ("logic.reduce", lambda: cs.reduce()),
+        ("logic.rclosure", lambda: rclosure(cs, indices)),
+        ("logic.resolution_closure", lambda: resolution_closure(cs)),
+        ("logic.count_models_exact", lambda: count_models_exact(cs)),
+        ("logic.prime_implicates", lambda: prime_implicates(cs)),
+        ("blu.c.mask", lambda: clausal_mask(cs, indices, simplify=simplify)),
+        ("blu.c.genmask", lambda: clausal_genmask(cs)),
+    ]
+
+
+def test_cache_never_changes_kernel_output_randomized():
+    rng = random.Random(0xCACE)
+    cases = 0
+    for _ in range(30):
+        vocab = Vocabulary.standard(rng.randint(2, 10))
+        cs = _random_clause_set(rng, vocab, rng.randint(1, 8), 3)
+        for name, call in _kernel_calls(rng, cs):
+            cache.disable_cache()
+            reference = call()
+            cache.enable_cache()
+            cold = call()
+            warm = call()
+            assert cold == reference, f"{name} cold != uncached on {cs}"
+            assert warm == reference, f"{name} warm != uncached on {cs}"
+            assert type(cold) is type(reference), name
+            cases += 1
+    assert cases >= 200  # 30 clause sets x 7 kernels
+    # and the warm calls really were served from the store
+    stats = cache.cache_stats()
+    assert sum(s["hits"] for s in stats.values()) >= 30 * 7
+
+
+def test_hits_accumulate_per_kernel():
+    vocab = Vocabulary.standard(4)
+    cs = ClauseSet.from_strs(vocab, ["A1 | A2", "~A1 | A3", "A4"])
+    cache.enable_cache()
+    for _ in range(3):
+        count_models_exact(cs)
+    stats = cache.cache_stats()["logic.count_models_exact"]
+    assert stats["misses"] == 1
+    assert stats["hits"] == 2
+    assert stats["entries"] == 1
+
+
+def test_equal_fingerprints_across_vocabularies_do_not_alias():
+    """Keys pair the fingerprint with the Vocabulary object, so the same
+    clause shape over different letter names must stay separate."""
+    vocab_a = Vocabulary(("P", "Q"))
+    vocab_b = Vocabulary(("X", "Y"))
+    cs_a = ClauseSet.from_strs(vocab_a, ["P | Q"])
+    cs_b = ClauseSet.from_strs(vocab_b, ["X | Y"])
+    assert cs_a.fingerprint == cs_b.fingerprint
+    cache.enable_cache()
+    closed_a = resolution_closure(cs_a)
+    closed_b = resolution_closure(cs_b)
+    assert closed_a.vocabulary is vocab_a
+    assert closed_b.vocabulary is vocab_b
+    stats = cache.cache_stats()["logic.resolution_closure"]
+    assert stats["misses"] == 2 and stats["hits"] == 0
+
+
+def test_extra_arguments_are_part_of_the_key():
+    vocab = Vocabulary.standard(3)
+    cs = ClauseSet.from_strs(vocab, ["A1 | A2", "~A2 | A3"])
+    cache.enable_cache()
+    masked_simplified = clausal_mask(cs, [1], simplify=True)
+    masked_raw = clausal_mask(cs, [1], simplify=False)
+    assert clausal_mask(cs, [1], simplify=True) == masked_simplified
+    assert clausal_mask(cs, [1], simplify=False) == masked_raw
+    stats = cache.cache_stats()["blu.c.mask"]
+    assert stats["misses"] == 2 and stats["hits"] == 2
+    # rclosure keyed on the pivot set, too
+    assert rclosure(cs, [1]) == rclosure(cs, [1])
+    assert cache.cache_stats()["logic.rclosure"]["misses"] == 1
+
+
+def test_capacity_zero_cache_still_transparent():
+    rng = random.Random(7)
+    cache.enable_cache(capacity=0)
+    for _ in range(5):
+        vocab = Vocabulary.standard(rng.randint(2, 6))
+        cs = _random_clause_set(rng, vocab, rng.randint(1, 5), 3)
+        cache.disable_cache()
+        reference = count_models_exact(cs)
+        cache.enable_cache()
+        assert count_models_exact(cs) == reference
+        assert count_models_exact(cs) == reference
+    stats = cache.cache_stats()["logic.count_models_exact"]
+    assert stats["hits"] == 0 and stats["entries"] == 0

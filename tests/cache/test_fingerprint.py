@@ -1,0 +1,93 @@
+"""Fingerprint canonicalisation and collision resistance.
+
+The memo-cache is only sound if (a) equal clause-set *contents* always
+map to equal fingerprints regardless of presentation, and (b) unequal
+contents essentially never collide -- in particular not for sets that
+share a signature bitmask (same letters, different clause shapes),
+which is exactly the regime the digest exists to separate."""
+
+import random
+
+from repro.cache.fingerprint import clause_set_fingerprint, fingerprint_of_clauses
+from repro.logic import Vocabulary
+from repro.logic.clauses import ClauseSet
+
+
+def test_presentation_invariance():
+    base = [(1, -2, 3), (-1, 2), (4,)]
+    reordered = [(4,), (-1, 2), (3, 1, -2)]  # clause order and literal order
+    assert fingerprint_of_clauses(base) == fingerprint_of_clauses(reordered)
+
+
+def test_components_are_meaningful():
+    count, mask, digest = fingerprint_of_clauses([(1, -3), (2,)])
+    assert count == 2
+    assert mask == 0b111  # letters 1, 2, 3 as bits 0..2
+    assert len(digest) == 16
+
+
+def test_duplicate_clauses_not_collapsed_by_fingerprint():
+    # Canonicalisation sorts but deliberately keeps duplicates: the
+    # function hashes exactly what it is given, and ClauseSet dedupes
+    # upstream.  [c, c] and [c] differ in clause_count, hence in key.
+    once = fingerprint_of_clauses([(1, 2)])
+    twice = fingerprint_of_clauses([(1, 2), (2, 1)])
+    assert once[0] == 1 and twice[0] == 2
+    assert once != twice
+
+
+def test_empty_set_and_empty_clause_are_distinct():
+    nothing = fingerprint_of_clauses([])
+    box = fingerprint_of_clauses([()])  # the empty clause (unsatisfiable)
+    assert nothing != box
+    assert nothing[0] == 0 and box[0] == 1
+
+
+def test_separator_prevents_clause_boundary_aliasing():
+    # Same literal multiset, different grouping: {{1,2},{3}} vs {{1},{2,3}}.
+    split_a = fingerprint_of_clauses([(1, 2), (3,)])
+    split_b = fingerprint_of_clauses([(1,), (2, 3)])
+    assert split_a[1] == split_b[1]  # same letters -> same mask
+    assert split_a[2] != split_b[2]  # digest separates the shapes
+
+
+def test_equal_bitmask_sets_do_not_collide():
+    """Randomised sweep over clause sets built from a FIXED letter pool:
+    every set shares the signature mask, so the digest alone must keep
+    distinct contents apart."""
+    rng = random.Random(0x51ED)
+    letters = [1, 2, 3, 4, 5, 6]
+    seen: dict[bytes, tuple] = {}
+    masks = set()
+    for _ in range(500):
+        clause_count = rng.randint(1, 5)
+        clauses = []
+        for _ in range(clause_count):
+            width = rng.randint(1, 4)
+            chosen = rng.sample(letters, width)
+            clauses.append(tuple(
+                idx if rng.random() < 0.5 else -idx for idx in chosen
+            ))
+        # Pad so every letter occurs somewhere: forces identical masks.
+        used = {abs(lit) for clause in clauses for lit in clause}
+        missing = [idx for idx in letters if idx not in used]
+        if missing:
+            clauses.append(tuple(missing))
+        canonical = tuple(sorted(tuple(sorted(c)) for c in clauses))
+        count, mask, digest = fingerprint_of_clauses(clauses)
+        masks.add(mask)
+        if digest in seen:
+            assert seen[digest] == canonical, (
+                f"digest collision: {seen[digest]} vs {canonical}"
+            )
+        seen[digest] = canonical
+    assert masks == {0b111111}  # the sweep really did pin the bitmask
+
+
+def test_clause_set_fingerprint_matches_and_is_cached_on_instance():
+    vocab = Vocabulary.standard(4)
+    built = ClauseSet.from_strs(vocab, ["A1 | ~A2", "A3"])
+    rebuilt = ClauseSet.from_strs(vocab, ["A3", "~A2 | A1"])
+    assert built.fingerprint == rebuilt.fingerprint
+    assert built.fingerprint == clause_set_fingerprint(built)
+    assert built.fingerprint is built.fingerprint  # lazily computed once

@@ -1,0 +1,128 @@
+"""Schema v3 of the BENCH run record: the optional ``cache`` block.
+
+v3 adds one top-level field next to ``fingerprint``; everything else is
+v2.  These tests pin the serialised shape, the round trip, the
+validation of malformed blocks, and -- the compatibility promise -- that
+v2 documents (no ``cache`` key, ``schema_version: 2``) still load and
+still compare against v3 records."""
+
+import json
+
+import pytest
+
+from repro.bench.harness import Report, Timing
+from repro.errors import MetricsError
+from repro.obs import baseline, metrics
+
+CACHE_BLOCK = {
+    "enabled": True,
+    "kernels": {
+        "logic.reduce": {
+            "hits": 7, "misses": 3, "evictions": 1,
+            "entries": 2, "capacity": 4096,
+        },
+    },
+}
+
+
+def make_report(ident="E1"):
+    report = Report(
+        ident=ident,
+        title=f"experiment {ident}",
+        claim="claims scale",
+        columns=("size", "value"),
+    )
+    report.holds = True
+    report.counters = {"blu.c.assert.calls": 3}
+    report.metrics = {"loglog_slope": 1.02}
+    report.memory = None
+    return report
+
+
+def make_record(cache=None):
+    return metrics.record_from_reports(
+        [(make_report(), Timing([0.25, 0.2, 0.3]))],
+        git_sha="deadbeef",
+        cache=cache,
+    )
+
+
+class TestCacheBlockRoundTrip:
+    def test_default_record_has_null_cache(self):
+        record = make_record()
+        assert record.cache is None
+        data = metrics.run_record_to_json(record)
+        assert data["schema_version"] == 3
+        assert data["cache"] is None
+
+    def test_cache_block_serialises_sorted_and_int_coerced(self):
+        record = make_record(cache={
+            "enabled": True,
+            "kernels": {
+                "z.kernel": {"hits": 1, "misses": 0, "evictions": 0,
+                             "entries": 1, "capacity": 16},
+                "a.kernel": {"hits": True, "misses": 2, "evictions": 0,
+                             "entries": 1, "capacity": 16},
+            },
+        })
+        data = metrics.run_record_to_json(record)
+        assert list(data["cache"]["kernels"]) == ["a.kernel", "z.kernel"]
+        hits = data["cache"]["kernels"]["a.kernel"]["hits"]
+        assert hits == 1 and hits is not True
+
+    def test_round_trip_preserves_cache_block(self):
+        record = make_record(cache=CACHE_BLOCK)
+        restored = metrics.run_record_from_json(
+            json.loads(json.dumps(metrics.run_record_to_json(record)))
+        )
+        assert restored.cache == CACHE_BLOCK
+        assert restored.schema_version == 3
+
+    def test_v2_document_without_cache_key_still_loads(self):
+        data = metrics.run_record_to_json(make_record(cache=CACHE_BLOCK))
+        data["schema_version"] = 2
+        del data["cache"]
+        restored = metrics.run_record_from_json(data)
+        assert restored.schema_version == 2
+        assert restored.cache is None
+
+    def test_v3_and_v2_records_compare(self):
+        run = make_record(cache=CACHE_BLOCK)
+        base_data = metrics.run_record_to_json(make_record())
+        base_data["schema_version"] = 2
+        del base_data["cache"]
+        base = metrics.run_record_from_json(base_data)
+        comparison = baseline.compare(run, base)
+        assert comparison.regressions() == []
+
+
+class TestCacheBlockValidation:
+    def bad(self, cache):
+        data = metrics.run_record_to_json(make_record())
+        data["cache"] = cache
+        return data
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(MetricsError, match="cache"):
+            metrics.run_record_from_json(self.bad([1, 2]))
+
+    def test_enabled_must_be_bool(self):
+        with pytest.raises(MetricsError, match="enabled"):
+            metrics.run_record_from_json(
+                self.bad({"enabled": 1, "kernels": {}})
+            )
+
+    def test_kernels_must_be_mapping_of_int_stats(self):
+        with pytest.raises(MetricsError, match="kernels"):
+            metrics.run_record_from_json(
+                self.bad({"enabled": True, "kernels": [1]})
+            )
+        with pytest.raises(MetricsError):
+            metrics.run_record_from_json(
+                self.bad({"enabled": True,
+                          "kernels": {"k": {"hits": "three"}}})
+            )
+
+    def test_null_cache_accepted(self):
+        restored = metrics.run_record_from_json(self.bad(None))
+        assert restored.cache is None

@@ -1,0 +1,86 @@
+"""End-to-end through ``benchmarks/run_experiments.py`` with the cache
+and the process-pool on: ``--cache --jobs 2`` must exit 0, write a
+schema-v3 record whose cache block carries merged per-worker stats, and
+emit a merged trace that still passes the exporter schema check."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.obs import metrics
+from repro.obs.export import counters_from_jsonl, spans_from_jsonl, validate_jsonl
+
+BENCH_DIR = Path(__file__).resolve().parent.parent.parent / "benchmarks"
+
+
+@pytest.fixture()
+def run_main(monkeypatch):
+    monkeypatch.syspath_prepend(str(BENCH_DIR))
+    sys.modules.pop("run_experiments", None)
+    import run_experiments
+
+    yield run_experiments.main
+    sys.modules.pop("run_experiments", None)
+
+
+def test_serial_cache_run_records_stats(run_main, tmp_path, capsys):
+    out = tmp_path / "BENCH_cached.json"
+    code = run_main(["E6", "--cache", "--bench-out", str(out)])
+    capsys.readouterr()
+    assert code == 0
+    record = metrics.read_run_record(out)
+    assert record.schema_version == 3
+    assert record.cache is not None
+    assert record.cache["enabled"] is True
+    stats = record.cache["kernels"]
+    assert stats, "cached run recorded no kernel lookups"
+    assert all(set(v) >= {"hits", "misses"} for v in stats.values())
+
+
+def test_uncached_run_records_disabled_cache_block(run_main, tmp_path, capsys):
+    out = tmp_path / "BENCH_plain.json"
+    code = run_main(["E6", "--bench-out", str(out)])
+    capsys.readouterr()
+    assert code == 0
+    record = metrics.read_run_record(out)
+    assert record.cache is not None
+    assert record.cache["enabled"] is False
+    assert record.cache["kernels"] == {}
+
+
+def test_cache_capacity_requires_cache_flag(run_main, capsys):
+    with pytest.raises(SystemExit):
+        run_main(["E6", "--cache-capacity", "64"])
+    capsys.readouterr()
+
+
+@pytest.mark.smoke
+def test_jobs_two_merges_traces_and_cache_stats(run_main, tmp_path, capsys):
+    out = tmp_path / "BENCH_par.json"
+    trace = tmp_path / "trace.jsonl"
+    code = run_main([
+        "E6", "E7", "--cache", "--jobs", "2",
+        "--bench-out", str(out), "--trace-out", str(trace),
+    ])
+    stdout = capsys.readouterr().out
+    assert code == 0
+    assert "E6" in stdout and "E7" in stdout
+
+    record = metrics.read_run_record(out)
+    assert record.idents == ["E6", "E7"]
+    assert record.cache is not None and record.cache["enabled"] is True
+    assert record.cache["kernels"], "merged cache stats are empty"
+    # per-experiment payloads survive the pool round trip
+    for ident in ("E6", "E7"):
+        exp = record.experiment(ident)
+        assert exp.seconds["repeats"] >= 1
+        assert exp.counters
+
+    text = trace.read_text()
+    assert validate_jsonl(text) == []
+    roots = spans_from_jsonl(text)
+    names = {root.name for root in roots}
+    assert {"experiment.E6", "experiment.E7"} <= names
+    counters = counters_from_jsonl(text)
+    assert any(key.startswith("cache.") for key in counters.counts)

@@ -1,0 +1,55 @@
+"""The shell's ``:cache`` command: enable/disable/clear/stats and the
+error paths, driving real kernel work through the HLU pipeline so the
+stats table shows genuine hits."""
+
+from repro.cache import core as cache
+from repro.cli import Shell
+
+
+def test_cache_on_off_clear_messages():
+    shell = Shell(5)
+    assert shell.execute(":cache on") == (
+        f"kernel cache on (capacity {cache.DEFAULT_CAPACITY} per kernel)"
+    )
+    assert cache.cache_enabled()
+    assert shell.execute(":cache off") == (
+        "kernel cache off (entries kept; :cache clear to drop them)"
+    )
+    assert not cache.cache_enabled()
+    assert shell.execute(":cache clear") == "kernel cache cleared"
+
+
+def test_cache_on_with_capacity():
+    shell = Shell(5)
+    assert shell.execute(":cache on 128").endswith("(capacity 128 per kernel)")
+    assert cache.cache_capacity() == 128
+
+
+def test_cache_stats_empty_then_populated():
+    shell = Shell(5)
+    assert shell.execute(":cache stats") == "(kernel cache off; no lookups recorded)"
+    shell.execute(":cache on")
+    shell.execute("(insert {A1 | A2})")
+    shell.execute("(insert {A1 | A2})")  # second pass re-derives -> hits
+    table = shell.execute(":cache stats")
+    assert "kernel memo-cache (on)" in table
+    assert "logic.reduce" in table
+    for column in cache.STAT_KEYS:
+        assert column in table
+
+
+def test_cache_default_mode_is_stats():
+    shell = Shell(5)
+    assert shell.execute(":cache") == "(kernel cache off; no lookups recorded)"
+
+
+def test_cache_error_paths():
+    shell = Shell(5)
+    assert shell.execute(":cache on lots").startswith("error:")
+    assert shell.execute(":cache on -1") == "error: cache capacity must be >= 0"
+    assert shell.execute(":cache sideways").startswith("error:")
+    assert not cache.cache_enabled()
+
+
+def test_help_mentions_cache():
+    assert ":cache" in Shell(5).execute(":help")

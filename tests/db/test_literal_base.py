@@ -95,7 +95,7 @@ class TestInset:
         for texts in (["A1 | A2"], ["A1 & A3"], ["A1 <-> A2"], ["A1 | ~A1"]):
             indices = inset_prop_indices(V3, texts)
             props = frozenset(
-                abs(l) - 1 for s in inset(V3, texts) for l in s
+                abs(lit) - 1 for s in inset(V3, texts) for lit in s
             )
             assert props == indices
 

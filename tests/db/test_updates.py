@@ -150,7 +150,7 @@ class TestModifyLiterals:
         post = [make_literal(A2)]
         f = modify_literals(VOCAB, pre, post)
         delete_then_insert = insert_literals(
-            VOCAB, [-l for l in pre]
+            VOCAB, [-lit for lit in pre]
         ).then(insert_literals(VOCAB, post))
         for world in all_worlds(VOCAB):
             pre_holds = get_bit(world, A1) and not get_bit(world, A2)

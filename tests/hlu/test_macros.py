@@ -1,9 +1,7 @@
 """Tests for the where macros (Section 3.2)."""
 
-import pytest
 
 from repro.blu.parser import parse_program, parse_term
-from repro.errors import MacroExpansionError
 from repro.hlu.macros import arglist, atomappend, substitute_term, where1, where2
 from repro.hlu.programs import HLU_DELETE, HLU_INSERT, HLU_MODIFY, IDENTITY
 

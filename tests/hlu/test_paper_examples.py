@@ -5,13 +5,10 @@
 * Example 1.4.6 / Remark 1.4.7 surface behaviour through HLU.
 """
 
-import pytest
 
 from repro.blu.clausal_impl import ClausalImplementation, clausal_combine
-from repro.blu.instance_impl import InstanceImplementation
 from repro.db.instances import WorldSet
 from repro.hlu import language
-from repro.hlu.interpreter import run_update
 from repro.hlu.session import IncompleteDatabase
 from repro.logic.clauses import ClauseSet
 from repro.logic.propositions import Vocabulary

@@ -18,8 +18,8 @@ def cs(*texts):
 
 def backbone_names(clause_set):
     return frozenset(
-        literal_to_str(clause_set.vocabulary, l)
-        for l in backbone_literals(clause_set)
+        literal_to_str(clause_set.vocabulary, lit)
+        for lit in backbone_literals(clause_set)
     )
 
 
@@ -88,7 +88,7 @@ def test_backbone_matches_enumeration_property(clauses):
     state = ClauseSet(vocab, clauses)
     expected = sat_literals(vocab, models_of_clauses(state))
     got = frozenset(
-        literal_to_str(vocab, l) for l in backbone_literals(state)
+        literal_to_str(vocab, lit) for lit in backbone_literals(state)
     )
     assert got == expected
 

@@ -1,6 +1,5 @@
 """Tests for prime implicates (repro.logic.implicates)."""
 
-import pytest
 
 from repro.logic.clauses import ClauseSet, clause_of, make_literal
 from repro.logic.implicates import (

@@ -81,8 +81,8 @@ def test_entailment_agrees_with_enumeration(clause_set, clause):
     models = models_of_clauses(clause_set)
     expected = all(
         any(
-            ((world >> (abs(l) - 1)) & 1) == (1 if l > 0 else 0)
-            for l in clause
+            ((world >> (abs(lit) - 1)) & 1) == (1 if lit > 0 else 0)
+            for lit in clause
         )
         for world in models
     )

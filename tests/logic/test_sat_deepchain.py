@@ -75,8 +75,8 @@ def _reference_dpll(clauses, assignment):
             clause
             for clause in simplified
             if not any(
-                (abs(l) - 1) in pure and (pure[abs(l) - 1] > 0) == (l > 0)
-                for l in clause
+                (abs(lit) - 1) in pure and (pure[abs(lit) - 1] > 0) == (lit > 0)
+                for lit in clause
             )
         ]
         if len(remaining) != len(simplified):
@@ -138,7 +138,7 @@ class TestDeepChainRegression:
         assert model is not None
         for clause in cs.clauses:
             assert any(
-                model.get(abs(l) - 1, l > 0) == (l > 0) for l in clause
+                model.get(abs(lit) - 1, lit > 0) == (lit > 0) for lit in clause
             ), f"clause {set(clause)} unsatisfied"
 
     def test_iterative_counting_handles_a_deep_chain(self):

@@ -138,12 +138,24 @@ class TestComparator:
         assert len(comparison.regressions(frozenset({"counter"}))) == 1
         assert comparison.regressions(frozenset({"fit"})) == []
 
-    def test_schema_version_mismatch_raises(self):
+    def test_unsupported_schema_version_raises(self):
         base = make_record(("E1", 0.2, {}, {}))
         run = make_record(("E1", 0.2, {}, {}))
         object.__setattr__(run, "schema_version", metrics.SCHEMA_VERSION + 1)
-        with pytest.raises(MetricsVersionError, match="schema version"):
+        with pytest.raises(MetricsVersionError, match="schema_version"):
             baseline_mod.compare(run, base)
+        with pytest.raises(MetricsVersionError, match="baseline record"):
+            baseline_mod.compare(base, run)
+
+    def test_supported_schema_versions_compare_across(self):
+        # A fresh (v3) run must diff cleanly against a baseline promoted
+        # before the cache block existed (v2): the compared fields are
+        # identical across every supported version.
+        base = make_record(("E1", 0.2, {"c": 1}, {}))
+        object.__setattr__(base, "schema_version", 2)
+        run = make_record(("E1", 0.2, {"c": 1}, {}))
+        comparison = baseline_mod.compare(run, base)
+        assert comparison.regressions() == []
 
     def test_report_suppresses_neutral_counters_by_default(self):
         base = make_record(("E1", 0.2, {"c": 5}, {"slope": 1.0}))

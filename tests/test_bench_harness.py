@@ -145,9 +145,9 @@ class TestReport:
 
     def test_columns_align(self):
         lines = self.make_report().render().splitlines()
-        data_lines = [l for l in lines if l and l[0].isdigit()]
-        header_line = next(l for l in lines if l.startswith("size"))
-        assert all(len(l) <= len(header_line) + 10 for l in data_lines)
+        data_lines = [line for line in lines if line and line[0].isdigit()]
+        header_line = next(line for line in lines if line.startswith("size"))
+        assert all(len(line) <= len(header_line) + 10 for line in data_lines)
 
     def test_str_is_render(self):
         report = self.make_report()

@@ -5,40 +5,14 @@ Keeps the examples in the API documentation honest: if a docstring's
 """
 
 import doctest
-import sys
+import importlib
 
 import pytest
 
-import repro.baselines.wilkins
-import repro.blu.clausal_impl
-import repro.blu.clausal_genmask
-import repro.blu.clausal_mask
-import repro.blu.definitions
-import repro.blu.instance_impl
-import repro.blu.parser
-import repro.blu.sexpr
-import repro.db.instances
-import repro.db.literal_base
-import repro.db.masks
-import repro.db.schema
-import repro.hlu.macros
-import repro.hlu.session
-import repro.hlu.surface
-import repro.logic.clauses
-import repro.logic.cnf
-import repro.logic.formula
-import repro.logic.implicates
-import repro.logic.occurrence
-import repro.logic.parser
-import repro.logic.propositions
-import repro.relational.constants
-import repro.relational.grounding
-import repro.relational.schema
-import repro.relational.session
-
-# Looked up via sys.modules: several packages re-export same-named
-# *functions* (e.g. repro.db.literal_base the module vs repro.db's
-# imported literal_base function), so attribute access would be shadowed.
+# Resolved via importlib rather than attribute access: several packages
+# re-export same-named *functions* (e.g. repro.db.literal_base the
+# module vs repro.db's imported literal_base function), so
+# ``repro.db.literal_base`` as an expression would be shadowed.
 MODULE_NAMES = [
     "repro.logic.propositions",
     "repro.logic.formula",
@@ -67,7 +41,7 @@ MODULE_NAMES = [
     "repro.relational.session",
     "repro.baselines.wilkins",
 ]
-MODULES = [sys.modules[name] for name in MODULE_NAMES]
+MODULES = [importlib.import_module(name) for name in MODULE_NAMES]
 
 
 @pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)

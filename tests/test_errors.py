@@ -1,6 +1,5 @@
 """Tests for the exception hierarchy (repro.errors)."""
 
-import pytest
 
 from repro import errors
 
