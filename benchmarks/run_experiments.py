@@ -29,6 +29,16 @@ worker, per-worker traces are merged into one ``--trace-out`` /
 ``--profile-out`` artifact (counters summed, histograms merged), and
 per-worker cache stats are summed into the record.
 
+``--live`` turns on live runtime telemetry (``repro.obs.runtime``) and
+renders an in-place ANSI dashboard on stderr while the run works:
+per-worker status, windowed ops/s, p50/p99 latency, and kernel-cache
+hit rate (headless environments -- no TTY, ``TERM=dumb``, or
+``REPRO_LIVE_HEADLESS=1`` -- get one plain summary line per refresh
+instead).  ``--telemetry-out FILE`` streams the schema-versioned JSONL
+telemetry feed to a file (per-worker feeds are merged, keeping each
+worker's snapshots plus one combined record); replay or summarise it
+afterwards with ``python -m repro.cli telemetry FILE``.
+
 Performance trajectory (see README "Performance trajectory"):
 
 * a full run writes a schema-versioned ``BENCH_<timestamp>.json`` run
@@ -43,9 +53,13 @@ Performance trajectory (see README "Performance trajectory"):
 from __future__ import annotations
 
 import argparse
+import io
 import json
+import os
 import re
+import shutil
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -54,7 +68,9 @@ from repro.bench import experiments
 from repro.cache import core as cache_mod
 from repro.errors import MetricsError
 from repro.obs import baseline as baseline_mod
+from repro.obs import live as live_mod
 from repro.obs import metrics as metrics_mod
+from repro.obs import runtime as runtime_mod
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_BASELINE = REPO_ROOT / baseline_mod.DEFAULT_BASELINE_RELPATH
@@ -127,12 +143,19 @@ def _run_traced(ident: str, runner, mem: bool, tracing: bool):
     return report, sample, elapsed
 
 
+def _feed_path(feed_dir: str, ident: str) -> str:
+    """The per-worker telemetry feed file for one experiment."""
+    return os.path.join(feed_dir, f"feed_{ident}.jsonl")
+
+
 def _worker_run(
     ident: str,
     mem: bool,
     tracing: bool,
     use_cache: bool,
     cache_capacity: int | None = None,
+    feed_dir: str | None = None,
+    feed_interval: float = 0.5,
 ) -> dict:
     """One experiment inside a ``--jobs`` worker process.
 
@@ -140,6 +163,12 @@ def _worker_run(
     parent needs to merge comes back in one picklable payload.  Seconds
     are measured here, in the worker, so the number means "time this
     experiment took" rather than "time the parent waited".
+
+    With ``feed_dir`` set the worker also runs live telemetry: the
+    registry is reset (pool processes are reused across tasks) and a
+    background pump streams snapshots to this experiment's feed file,
+    which the parent tails for the ``--live`` dashboard and merges into
+    the ``--telemetry-out`` artifact.
     """
     runner = RUNNERS_BY_IDENT[ident]
     if use_cache:
@@ -147,7 +176,23 @@ def _worker_run(
     if tracing:
         obs.reset()
         obs.enable()
-    report, sample, elapsed = _run_traced(ident, runner, mem, tracing)
+    pump = None
+    writer = None
+    if feed_dir is not None:
+        runtime_mod.reset()
+        runtime_mod.enable()
+        writer = runtime_mod.TelemetryWriter(_feed_path(feed_dir, ident), worker=ident)
+        pump = runtime_mod.TelemetryPump(
+            writer, feed_interval, runtime_mod.ResourceSampler()
+        )
+        pump.start()
+    try:
+        report, sample, elapsed = _run_traced(ident, runner, mem, tracing)
+    finally:
+        if pump is not None:
+            pump.stop(final_snapshot=True)
+            runtime_mod.disable()
+            writer.close()
     trace_text = None
     if tracing:
         obs.disable()
@@ -166,6 +211,31 @@ def _worker_run(
         "trace": trace_text,
         "cache_stats": stats,
     }
+
+
+class _LiveFeedWriter(runtime_mod.TelemetryWriter):
+    """A TelemetryWriter that also repaints the live dashboard.
+
+    Used on the in-process (``--jobs 1``) path, where the pump thread is
+    the only thing that runs between experiment steps: each streamed
+    snapshot doubles as a dashboard refresh.
+    """
+
+    def __init__(self, sink, worker, display=None, model=None):
+        super().__init__(sink, worker=worker)
+        self._display = display
+        self._model = model
+        self._label = worker or "main"
+
+    def write_snapshot(self, now: float | None = None) -> dict:
+        snap = super().write_snapshot(now)
+        if self._display is not None and self._model is not None:
+            view = self._model.worker(self._label)
+            view.snapshot = snap
+            if view.status == "pending":
+                view.status = "running"
+            self._display.update(self._model)
+        return snap
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -228,6 +298,29 @@ def main(argv: list[str] | None = None) -> int:
         "(traces merged, cache stats summed; default: 1, in-process)",
     )
     parser.add_argument(
+        "--live",
+        action="store_true",
+        help="enable live runtime telemetry and render an in-place "
+        "dashboard on stderr (per-worker ops/s, windowed p50/p99, cache "
+        "hit rate); headless environments get plain summary lines",
+    )
+    parser.add_argument(
+        "--telemetry-out",
+        metavar="FILE",
+        default=None,
+        help="enable live runtime telemetry and write the JSONL feed "
+        "here (per-worker feeds merged; inspect with "
+        "'python -m repro.cli telemetry FILE')",
+    )
+    parser.add_argument(
+        "--telemetry-interval",
+        type=float,
+        metavar="SECONDS",
+        default=0.5,
+        help="seconds between telemetry snapshots / dashboard refreshes "
+        "(default: 0.5)",
+    )
+    parser.add_argument(
         "--bench-out",
         metavar="FILE",
         default=None,
@@ -285,6 +378,10 @@ def main(argv: list[str] | None = None) -> int:
         )
     if options.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {options.jobs}")
+    if options.telemetry_interval <= 0:
+        parser.error(
+            f"--telemetry-interval must be > 0, got {options.telemetry_interval}"
+        )
     if options.cache_capacity is not None:
         if options.cache_capacity < 0:
             parser.error(
@@ -306,6 +403,12 @@ def main(argv: list[str] | None = None) -> int:
             profile_handle = open(options.profile_out, "w")
         except OSError as exc:
             parser.error(f"cannot write --profile-out file: {exc}")
+    telemetry_handle = None
+    if options.telemetry_out is not None:
+        try:
+            telemetry_handle = open(options.telemetry_out, "w")
+        except OSError as exc:
+            parser.error(f"cannot write --telemetry-out file: {exc}")
     selected = [
         runner_ident(runner)
         for runner in RUNNERS
@@ -324,37 +427,86 @@ def main(argv: list[str] | None = None) -> int:
     results: list[tuple[object, object]] = []
     cache_kernels: dict[str, dict[str, int]] = {}
     trace_text: str | None = None
+    telemetry = options.live or options.telemetry_out is not None
+    telemetry_text: str | None = None
+    display: live_mod.LiveDisplay | None = None
+    model: live_mod.DashboardModel | None = None
+    if options.live:
+        model = live_mod.DashboardModel(
+            title=f"run_experiments ({len(selected)} experiment(s), "
+            f"--jobs {options.jobs})"
+        )
+        display = live_mod.LiveDisplay(sys.stderr)
 
     if options.jobs > 1:
         from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures import wait as futures_wait
 
         from repro.obs.export import merge_jsonl
 
         trace_parts: list[str] = []
         cache_parts: list[dict[str, dict[str, int]]] = []
-        with ProcessPoolExecutor(max_workers=options.jobs) as pool:
-            futures = [
-                pool.submit(
-                    _worker_run,
-                    ident,
-                    options.mem,
-                    tracing,
-                    options.cache,
-                    options.cache_capacity,
-                )
-                for ident in selected
-            ]
-            for ident, future in zip(selected, futures):
-                payload = future.result()
-                results.append((payload["report"], payload["elapsed"]))
-                failures += emit(
-                    ident, payload["report"], payload["elapsed"],
-                    payload["peak_bytes"],
-                )
-                if payload["trace"] is not None:
-                    trace_parts.append(payload["trace"])
-                if payload["cache_stats"]:
-                    cache_parts.append(payload["cache_stats"])
+        feed_dir = tempfile.mkdtemp(prefix="repro_telemetry_") if telemetry else None
+        if model is not None:
+            for ident in selected:
+                model.worker(ident)
+        try:
+            with ProcessPoolExecutor(max_workers=options.jobs) as pool:
+                futures = [
+                    pool.submit(
+                        _worker_run,
+                        ident,
+                        options.mem,
+                        tracing,
+                        options.cache,
+                        options.cache_capacity,
+                        feed_dir,
+                        options.telemetry_interval,
+                    )
+                    for ident in selected
+                ]
+                if display is not None and model is not None and feed_dir is not None:
+                    tailers = [
+                        live_mod.FeedTailer(_feed_path(feed_dir, ident))
+                        for ident in selected
+                    ]
+                    pending = set(futures)
+                    while pending:
+                        _, pending = futures_wait(
+                            pending, timeout=options.telemetry_interval
+                        )
+                        for ident, future in zip(selected, futures):
+                            view = model.worker(ident)
+                            if future.done():
+                                view.status = (
+                                    "failed" if future.exception() else "done"
+                                )
+                            elif future.running():
+                                view.status = "running"
+                        live_mod.tail_snapshots(tailers, model)
+                        display.update(model)
+                for ident, future in zip(selected, futures):
+                    payload = future.result()
+                    results.append((payload["report"], payload["elapsed"]))
+                    failures += emit(
+                        ident, payload["report"], payload["elapsed"],
+                        payload["peak_bytes"],
+                    )
+                    if payload["trace"] is not None:
+                        trace_parts.append(payload["trace"])
+                    if payload["cache_stats"]:
+                        cache_parts.append(payload["cache_stats"])
+            if feed_dir is not None:
+                feed_texts = []
+                for ident in selected:
+                    try:
+                        feed_texts.append(Path(_feed_path(feed_dir, ident)).read_text())
+                    except OSError:
+                        pass
+                telemetry_text = runtime_mod.merge_feeds(feed_texts)
+        finally:
+            if feed_dir is not None:
+                shutil.rmtree(feed_dir, ignore_errors=True)
         if tracing:
             trace_text = merge_jsonl(trace_parts)
         cache_kernels = cache_mod.merge_stats(cache_parts)
@@ -364,6 +516,19 @@ def main(argv: list[str] | None = None) -> int:
         if tracing:
             obs.reset()
             obs.enable()
+        pump = None
+        feed_buffer: io.StringIO | None = None
+        if telemetry:
+            runtime_mod.reset()
+            runtime_mod.enable()
+            feed_buffer = io.StringIO()
+            writer = _LiveFeedWriter(
+                feed_buffer, worker="main", display=display, model=model
+            )
+            pump = runtime_mod.TelemetryPump(
+                writer, options.telemetry_interval, runtime_mod.ResourceSampler()
+            )
+            pump.start()
         try:
             for ident in selected:
                 report, sample, elapsed = _run_traced(
@@ -375,6 +540,10 @@ def main(argv: list[str] | None = None) -> int:
                     sample.peak_bytes if sample is not None else None,
                 )
         finally:
+            if pump is not None:
+                pump.stop(final_snapshot=True)
+                runtime_mod.disable()
+                telemetry_text = feed_buffer.getvalue()
             if options.cache:
                 cache_kernels = cache_mod.cache_stats()
                 cache_mod.disable_cache()
@@ -384,6 +553,17 @@ def main(argv: list[str] | None = None) -> int:
                 from repro.obs.export import export_jsonl
 
                 trace_text = export_jsonl(obs.tracer(), obs.counters())
+
+    if display is not None and model is not None:
+        for view in model.workers.values():
+            if view.status in ("pending", "running"):
+                view.status = "done"
+        display.close(model)
+
+    if telemetry_handle is not None:
+        with telemetry_handle:
+            telemetry_handle.write(telemetry_text or "")
+        print(f"telemetry feed written to {options.telemetry_out}")
 
     if tracing and trace_text is not None:
         if trace_handle is not None:

@@ -39,6 +39,7 @@ from collections import OrderedDict
 from collections.abc import Iterable, Mapping
 
 from repro.obs import core as obs
+from repro.obs import runtime
 
 __all__ = [
     "DEFAULT_CAPACITY",
@@ -101,10 +102,12 @@ class KernelCache:
         if value is MISS:
             self.misses += 1
             obs.inc(f"cache.{self.name}.misses")
+            runtime.count("cache.misses")
             return MISS
         self._entries.move_to_end(key)
         self.hits += 1
         obs.inc(f"cache.{self.name}.hits")
+        runtime.count("cache.hits")
         return value
 
     def store(self, key, value) -> None:
@@ -124,6 +127,7 @@ class KernelCache:
             self._entries.popitem(last=False)
             self.evictions += 1
             obs.inc(f"cache.{self.name}.evictions")
+            runtime.count("cache.evictions")
         self._entries[key] = value
 
     def resize(self, capacity: int) -> None:

@@ -38,6 +38,10 @@ Commands:
 ``:cache <c>``     ``on [capacity]`` / ``off`` kernel memoisation;
                    ``stats`` per-kernel hit/miss/eviction table;
                    ``clear`` drops every cached entry
+``:watch [n]``     live telemetry view: per-op counts, windowed ops/s
+                   and p50/p99, counters, gauges (auto-enables
+                   ``repro.obs.runtime``); with ``n`` seconds and a
+                   TTY, refreshes every ``n`` seconds until Ctrl-C
 ``:help``          this text
 ``:quit``          leave
 =================  ==================================================
@@ -48,12 +52,16 @@ tools::
     python -m repro.cli bench-diff BENCH_x.json [--against baseline.json]
     python -m repro.cli trace-report trace.jsonl [--limit N]
         [--folded out.folded] [--speedscope out.speedscope.json]
+    python -m repro.cli telemetry telemetry.jsonl [--prometheus]
 
 ``bench-diff`` renders the run-vs-baseline regression table and exits
 nonzero when gated metrics regressed (see README "Performance
 trajectory"); ``trace-report`` schema-checks a ``--trace-out`` JSON-lines
 file, prints its hotspot table, and can export flamegraph views (folded
-stacks for ``flamegraph.pl``, JSON for speedscope).
+stacks for ``flamegraph.pl``, JSON for speedscope); ``telemetry``
+schema-checks a ``--telemetry-out`` JSONL feed and replays it as a
+summary (workers, snapshot counts, final per-op table -- or the final
+state as a Prometheus text exposition with ``--prometheus``).
 """
 
 from __future__ import annotations
@@ -85,6 +93,7 @@ _COMMANDS = (
     "profile",
     "bench",
     "cache",
+    "watch",
     "help",
     "quit",
     "exit",
@@ -186,6 +195,8 @@ class Shell:
             return self._bench_command(args)
         if name == "cache":
             return self._cache_command(args)
+        if name == "watch":
+            return self._watch_command(args)
         if name == "help":
             return _HELP.strip("\n")
         if name in ("quit", "exit", "q"):
@@ -303,6 +314,46 @@ class Shell:
                 report.add_row(kernel, *(values[key] for key in cache.STAT_KEYS))
             return report.render().rstrip("\n")
         return "error: :cache takes on [capacity], off, stats, or clear"
+
+    def _watch_command(self, args: list[str]) -> str:
+        from repro.obs import live, runtime
+
+        interval = None
+        if args:
+            try:
+                interval = float(args[0])
+            except ValueError:
+                return "error: :watch takes an optional refresh interval in seconds"
+            if interval <= 0:
+                return "error: :watch interval must be > 0"
+        newly_enabled = not runtime.is_enabled()
+        if newly_enabled:
+            runtime.enable()
+        frame = live.render_watch(
+            runtime.registry().snapshot(), title="live telemetry"
+        )
+        if newly_enabled:
+            frame += "\n(telemetry was off -- now recording; run some updates)"
+        if interval is None or not sys.stdout.isatty():
+            return frame
+        # Interactive refresh loop: repaint in place until Ctrl-C.
+        import time
+
+        display_height = 0
+        try:
+            while True:
+                frame = live.render_watch(
+                    runtime.registry().snapshot(), title="live telemetry"
+                )
+                lines = frame.split("\n")
+                if display_height:
+                    sys.stdout.write(f"\x1b[{display_height}F")
+                sys.stdout.write("".join(f"\x1b[2K{line}\n" for line in lines))
+                sys.stdout.flush()
+                display_height = len(lines)
+                time.sleep(interval)
+        except KeyboardInterrupt:
+            return ""
 
     def _bench_command(self, args: list[str]) -> str:
         from repro.obs import metrics
@@ -473,6 +524,93 @@ def trace_report_main(argv: list[str]) -> int:
     return 0
 
 
+def telemetry_main(argv: list[str]) -> int:
+    """``python -m repro.cli telemetry``: replay a telemetry JSONL feed.
+
+    Schema-checks the feed (exit 2 on drift or unreadable input), prints
+    its provenance (schema, window, workers, snapshot counts) and the
+    final per-op summary -- windowed ops/s and p50/p99 from the last
+    snapshot of each worker, merged exactly.  ``--prometheus`` instead
+    renders that final merged state in Prometheus text exposition
+    format, for eyeballing what a ``/metrics`` endpoint would serve.
+    """
+    from repro.obs import live
+    from repro.obs import runtime
+
+    parser = argparse.ArgumentParser(
+        prog="repro-hlu telemetry",
+        description="Summarise a telemetry feed (run_experiments.py --telemetry-out).",
+    )
+    parser.add_argument(
+        "feed", help="JSONL telemetry feed (run_experiments.py --telemetry-out)"
+    )
+    parser.add_argument(
+        "--prometheus",
+        action="store_true",
+        help="render the final merged state as a Prometheus text exposition",
+    )
+    parser.add_argument(
+        "--no-validate",
+        action="store_true",
+        help="skip the feed schema check (e.g. for feeds from older builds)",
+    )
+    options = parser.parse_args(argv)
+    try:
+        with open(options.feed) as handle:
+            text = handle.read()
+    except OSError as exc:
+        print(f"error: cannot read feed file: {exc}", file=sys.stderr)
+        return 2
+    if not options.no_validate:
+        errors = runtime.validate_feed(text)
+        if errors:
+            for error in errors:
+                print(f"error: {options.feed}: {error}", file=sys.stderr)
+            return 2
+    meta, snapshots = runtime.read_feed(text)
+    if not snapshots:
+        print(f"{options.feed}: feed has no snapshots")
+        return 0
+
+    # The final state: each worker's last snapshot, merged exactly (a
+    # pre-merged "merged" record, when present, already is that).
+    finals: dict[str, dict] = {}
+    for snap in snapshots:
+        finals[str(snap.get("worker") or "main")] = snap
+    if "merged" in finals and len(finals) > 1:
+        final = finals.pop("merged")
+    elif len(finals) == 1:
+        final = next(iter(finals.values()))
+    else:
+        final = runtime.merge_snapshots(list(finals.values()))
+
+    if options.prometheus:
+        print(runtime.prometheus_from_snapshot(final), end="")
+        return 0
+
+    if meta is not None:
+        workers = meta.get("workers") or (
+            [meta["worker"]] if meta.get("worker") else []
+        )
+        print(
+            f"{options.feed}: feed schema {meta.get('schema')}, "
+            f"window {meta.get('window_seconds')}s x {meta.get('slots')} slot(s)"
+        )
+        if workers:
+            print(f"workers: {', '.join(str(w) for w in workers)}")
+    per_worker: dict[str, int] = {}
+    for snap in snapshots:
+        label = str(snap.get("worker") or "main")
+        per_worker[label] = per_worker.get(label, 0) + 1
+    print(
+        f"{len(snapshots)} snapshot(s): "
+        + ", ".join(f"{label} x{n}" for label, n in sorted(per_worker.items()))
+    )
+    print()
+    print(live.render_watch(final, title=f"final state ({options.feed})"))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Console entry point."""
     if argv is None:
@@ -481,6 +619,8 @@ def main(argv: list[str] | None = None) -> int:
         return bench_diff_main(argv[1:])
     if argv and argv[0] == "trace-report":
         return trace_report_main(argv[1:])
+    if argv and argv[0] == "telemetry":
+        return telemetry_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-hlu", description="Interactive HLU shell (Hegner, PODS 1987)"
     )

@@ -25,6 +25,7 @@ from collections.abc import Iterable
 
 from repro.db.morphisms import Morphism
 from repro.errors import InconsistentLiteralsError
+from repro.obs import runtime
 from repro.logic.clauses import (
     Literal,
     literal_index,
@@ -46,12 +47,14 @@ __all__ = [
 def insert_atom(vocabulary: Vocabulary, name: str) -> Morphism:
     """``insert[Ai]`` (Definition 1.3.3(a)): ``Ai <- 1``."""
     vocabulary.index_of(name)  # validate
+    runtime.count("db.updates.insert_atom")
     return Morphism(vocabulary, vocabulary, {name: TRUE})
 
 
 def delete_atom(vocabulary: Vocabulary, name: str) -> Morphism:
     """``delete[Ai]`` (Definition 1.3.3(b)): ``Ai <- 0``."""
     vocabulary.index_of(name)
+    runtime.count("db.updates.delete_atom")
     return Morphism(vocabulary, vocabulary, {name: FALSE})
 
 
@@ -63,6 +66,7 @@ def modify_atom(vocabulary: Vocabulary, old: str, new: str) -> Morphism:
     """
     vocabulary.index_of(old)
     vocabulary.index_of(new)
+    runtime.count("db.updates.modify_atom")
     if old == new:
         return Morphism.identity(vocabulary)
     return Morphism(
@@ -87,6 +91,7 @@ def insert_literals(vocabulary: Vocabulary, literals: Iterable[Literal]) -> Morp
     """
     literal_tuple = tuple(literals)
     _require_consistent(literal_tuple, "insert literal set")
+    runtime.count("db.updates.insert_literals")
     assignment: dict[str, Formula] = {}
     for literal in literal_tuple:
         name = vocabulary.name_of(literal_index(literal))
@@ -113,6 +118,7 @@ def modify_literals(
     new_tuple = tuple(new_literals)
     _require_consistent(old_tuple, "modify precondition literal set")
     _require_consistent(new_tuple, "modify postcondition literal set")
+    runtime.count("db.updates.modify_literals")
 
     condition = conj(literal_to_formula(vocabulary, lit) for lit in old_tuple)
 

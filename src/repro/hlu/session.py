@@ -22,6 +22,7 @@ from collections.abc import Iterable
 from typing import Any
 
 from repro.obs import core as obs
+from repro.obs import runtime
 from repro.blu.clausal_impl import ClausalImplementation
 from repro.blu.implementation import Implementation
 from repro.blu.syntax import Sort
@@ -135,7 +136,7 @@ class IncompleteDatabase:
 
     def apply(self, update: language.Update) -> "IncompleteDatabase":
         """Apply any :class:`~repro.hlu.language.Update`; returns self."""
-        with obs.span(
+        with runtime.timed("hlu.update"), obs.span(
             "hlu.apply",
             update=type(update).__name__.lower(),
             backend=self._backend_name,
@@ -213,7 +214,9 @@ class IncompleteDatabase:
     def is_certain(self, formula: Formula | str) -> bool:
         """Does the formula hold in *every* possible world?"""
         formula = self._parse(formula)
-        with obs.span("hlu.is_certain", backend=self._backend_name):
+        with runtime.timed("hlu.query"), obs.span(
+            "hlu.is_certain", backend=self._backend_name
+        ):
             obs.inc("hlu.queries")
             if isinstance(self._state, WorldSet):
                 return self._state.satisfies_everywhere(formula)
@@ -223,7 +226,9 @@ class IncompleteDatabase:
     def is_possible(self, formula: Formula | str) -> bool:
         """Does the formula hold in *some* possible world?"""
         formula = self._parse(formula)
-        with obs.span("hlu.is_possible", backend=self._backend_name):
+        with runtime.timed("hlu.query"), obs.span(
+            "hlu.is_possible", backend=self._backend_name
+        ):
             obs.inc("hlu.queries")
             if isinstance(self._state, WorldSet):
                 return self._state.satisfies_somewhere(formula)

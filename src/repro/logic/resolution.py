@@ -29,6 +29,7 @@ from collections.abc import Iterable
 
 from repro.cache import core as cache
 from repro.obs import core as obs
+from repro.obs import runtime
 from repro.logic.clauses import (
     Clause,
     ClauseSet,
@@ -142,12 +143,13 @@ def rclosure(clause_set: ClauseSet, indices: Iterable[int]) -> ClauseSet:
         hit = cache.lookup("logic.rclosure", key)
         if hit is not cache.MISS:
             return hit
-    with obs.span(
+    with runtime.timed("logic.rclosure"), obs.span(
         "logic.rclosure", pivots=len(pivot_indices), clauses_in=len(clause_set)
     ) as current:
         occ, formed, hits, skips = _saturate(clause_set.clauses, pivot_indices)
         if formed:
             obs.inc("logic.resolution.resolvents_formed", formed)
+            runtime.count("logic.resolvents_formed", formed)
         if hits:
             obs.inc("logic.resolution.index_hits", hits)
         if skips:
@@ -236,6 +238,7 @@ def resolution_closure(clause_set: ClauseSet, max_clauses: int = 100_000) -> Cla
     )
     if formed:
         obs.inc("logic.resolution.resolvents_formed", formed)
+        runtime.count("logic.resolvents_formed", formed)
     if hits:
         obs.inc("logic.resolution.index_hits", hits)
     if skips:

@@ -24,6 +24,7 @@ from collections import Counter, deque
 
 from repro.cache import core as cache
 from repro.obs import core as obs
+from repro.obs import runtime
 from repro.logic.clauses import Clause, ClauseSet, Literal
 
 __all__ = [
@@ -243,7 +244,7 @@ def solve(clause_set: ClauseSet, assumptions: tuple[Literal, ...] = ()) -> dict[
         if assignment.get(index, value) != value:
             return None
         assignment[index] = value
-    with obs.span(
+    with runtime.timed("logic.sat.solve"), obs.span(
         "logic.sat.solve", clauses=len(clause_set), assumptions=len(assumptions)
     ):
         obs.inc("logic.sat.solve_calls")

@@ -24,6 +24,7 @@ from repro.obs.core import (
     Span,
     Tracer,
     counters,
+    current_span,
     disable,
     enable,
     enabled,
@@ -53,7 +54,8 @@ from repro.obs.profile import (
     speedscope_document,
 )
 from repro.obs.report import hotspot_report
-from repro.obs import baseline, metrics
+from repro.obs import baseline, live, metrics, runtime
+from repro.obs import logging as structured_logging
 
 __all__ = [
     "Span",
@@ -86,6 +88,10 @@ __all__ = [
     "folded_stacks",
     "speedscope_document",
     "hotspot_report",
+    "current_span",
     "metrics",
     "baseline",
+    "runtime",
+    "live",
+    "structured_logging",
 ]

@@ -24,6 +24,7 @@ sharing the one process-wide enable flag.  Zero dependencies.
 
 from __future__ import annotations
 
+import itertools
 import math
 import time
 from collections.abc import Iterator, Mapping
@@ -43,6 +44,7 @@ __all__ = [
     "enabled",
     "tracer",
     "counters",
+    "current_span",
     "span",
     "inc",
     "observe",
@@ -90,15 +92,28 @@ def enabled() -> Iterator[None]:
 # ---------------------------------------------------------------------------
 
 
+#: Process-wide span id source.  Ids exist for *correlation* -- structured
+#: log records (``repro.obs.logging``) carry the id of the span that was
+#: open when they were emitted -- so they are unique per process, not per
+#: tracer, and survive tracer clears.
+_SPAN_IDS = itertools.count(1)
+
+
 @dataclass
 class Span:
-    """One timed, attributed region of work; spans nest into a tree."""
+    """One timed, attributed region of work; spans nest into a tree.
+
+    ``sid`` is a process-unique id assigned when the span is opened; log
+    records emitted inside the span carry it for correlation.  (The
+    exporter's ``id`` field is a separate, per-document numbering.)
+    """
 
     name: str
     attributes: dict[str, object] = field(default_factory=dict)
     start: float = 0.0
     elapsed: float = 0.0
     children: list["Span"] = field(default_factory=list)
+    sid: int = 0
 
     def set(self, **attributes: object) -> "Span":
         """Attach attributes discovered mid-span (e.g. output sizes)."""
@@ -149,9 +164,14 @@ class Tracer:
         """How many spans are currently open."""
         return len(self._stack)
 
+    @property
+    def current(self) -> Span | None:
+        """The innermost span still open, or ``None``."""
+        return self._stack[-1] if self._stack else None
+
     @contextmanager
     def span(self, name: str, **attributes: object) -> Iterator[Span]:
-        record = Span(name, dict(attributes))
+        record = Span(name, dict(attributes), sid=next(_SPAN_IDS))
         parent = self._stack[-1] if self._stack else None
         (parent.children if parent is not None else self.roots).append(record)
         self._stack.append(record)
@@ -255,22 +275,37 @@ class Histogram:
         # predate buckets: fall back to the observed maximum.
         return self.maximum
 
-    def merge(self, other: "Histogram") -> None:
+    def merge(self, other: "Histogram") -> "Histogram":
         """Fold another histogram's observations into this one.
 
         Exact for everything the structure stores -- count, total,
         min/max, and per-bucket tallies are all additive -- so merging
         per-worker histograms (``run_experiments.py --jobs``) yields the
         same summary a single process observing every value would hold.
+
+        Edge cases matter to window rotation and feed restore: merging an
+        *empty* histogram is a no-op (its min/max sentinels -- or the
+        bogus finite values a degraded export might restore them to --
+        must not poison the target's range), merging into an empty
+        histogram adopts the other's min/max verbatim, and mismatched
+        bucket sets union rather than raise.  Returns ``self`` so window
+        merges chain.
         """
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            self.minimum = other.minimum
+            self.maximum = other.maximum
+        else:
+            if other.minimum < self.minimum:
+                self.minimum = other.minimum
+            if other.maximum > self.maximum:
+                self.maximum = other.maximum
         self.count += other.count
         self.total += other.total
-        if other.minimum < self.minimum:
-            self.minimum = other.minimum
-        if other.maximum > self.maximum:
-            self.maximum = other.maximum
         for bucket, n in other.buckets.items():
             self.buckets[bucket] = self.buckets.get(bucket, 0) + n
+        return self
 
     @property
     def p50(self) -> float | None:
@@ -380,6 +415,18 @@ def tracer() -> Tracer:
 def counters() -> Counters:
     """The current context's counter registry."""
     return _state().counters
+
+
+def current_span() -> Span | None:
+    """The innermost span open in the current context, or ``None``.
+
+    The correlation hook for structured logging: a log record emitted
+    mid-span carries this span's name and ``sid``.
+    """
+    state = _STATE.get()
+    if state is None:
+        return None
+    return state.tracer.current
 
 
 def span(name: str, **attributes: object):

@@ -1,0 +1,124 @@
+"""Structured JSON-line log records, correlated with the active trace span.
+
+Stdlib-``logging``-compatible: :class:`JsonLineFormatter` is a plain
+``logging.Formatter`` subclass, so it drops into any handler, and
+:func:`configure` wires a ready-to-use logger writing one JSON object per
+line.  Every record carries:
+
+* ``ts`` -- UNIX epoch seconds (``record.created``);
+* ``level`` / ``logger`` / ``message``;
+* ``span`` / ``span_id`` -- the name and process-unique ``sid`` of the
+  innermost :mod:`repro.obs` span open on the emitting context, when one
+  is (the correlation hook: grep a telemetry feed's ops against the log
+  lines emitted inside the same span);
+* ``extra`` -- any non-reserved attributes passed via ``logger.info(...,
+  extra={...})``, JSON-encoded with a ``str`` fallback;
+* ``exc`` -- the formatted traceback, when the record carries one.
+
+Zero new dependencies, and no import-time side effects on the root
+logger: nothing is configured until :func:`configure` is called.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+from typing import IO
+
+from repro.obs import core
+
+__all__ = [
+    "LOG_SCHEMA_VERSION",
+    "JsonLineFormatter",
+    "configure",
+    "get_logger",
+    "capture_buffer",
+]
+
+#: Bumped when the record shape changes; carried on every line so replay
+#: tooling can gate on it.
+LOG_SCHEMA_VERSION = 1
+
+#: Attributes every LogRecord carries; anything else came in via ``extra``.
+_RESERVED = frozenset(
+    vars(
+        logging.LogRecord("reserved", logging.INFO, __file__, 0, "", (), None)
+    )
+) | {"message", "asctime", "taskName"}
+
+
+class JsonLineFormatter(logging.Formatter):
+    """Formats each record as one sorted-key JSON object."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict[str, object] = {
+            "schema": LOG_SCHEMA_VERSION,
+            "ts": record.created,
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        span = core.current_span()
+        if span is not None:
+            payload["span"] = span.name
+            payload["span_id"] = span.sid
+        extra = {
+            key: value
+            for key, value in vars(record).items()
+            if key not in _RESERVED
+        }
+        if extra:
+            payload["extra"] = extra
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True, default=str)
+
+
+#: Marker attribute so re-configuration replaces our handler instead of
+#: stacking duplicates.
+_HANDLER_TAG = "_repro_obs_logging"
+
+
+def configure(
+    stream: IO[str] | None = None,
+    level: int = logging.INFO,
+    name: str = "repro",
+) -> logging.Logger:
+    """Attach a JSON-lines handler to the named logger and return it.
+
+    Idempotent: calling again (e.g. to redirect to a new stream) replaces
+    the previously attached handler rather than adding a second one.
+    Propagation is disabled so records do not double-print through the
+    root logger.
+    """
+    logger = logging.getLogger(name)
+    for handler in list(logger.handlers):
+        if getattr(handler, _HANDLER_TAG, False):
+            logger.removeHandler(handler)
+            handler.close()
+    handler = logging.StreamHandler(stream) if stream is not None else (
+        logging.StreamHandler()
+    )
+    setattr(handler, _HANDLER_TAG, True)
+    handler.setFormatter(JsonLineFormatter())
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    logger.propagate = False
+    return logger
+
+
+def get_logger(name: str = "repro") -> logging.Logger:
+    """The named logger (configured or not); sugar for instrumented code."""
+    return logging.getLogger(name)
+
+
+def capture_buffer(
+    level: int = logging.INFO, name: str = "repro"
+) -> tuple[logging.Logger, io.StringIO]:
+    """A configured logger writing into a fresh in-memory buffer.
+
+    Convenience for tests and the REPL: returns ``(logger, buffer)``.
+    """
+    buffer = io.StringIO()
+    return configure(buffer, level=level, name=name), buffer

@@ -1,0 +1,958 @@
+"""Live runtime telemetry: a process-wide registry of windowed metrics.
+
+The tracing layer (:mod:`repro.obs.core`) is *post-hoc*: spans, counters,
+and histograms accumulate for the whole run and are flushed once at the
+end.  Long-lived workloads -- the incremental-update streams and
+concurrent-session services the ROADMAP targets -- need the complement:
+*current* throughput and *current* tail latency, observable while the
+process is still working.  This module provides that substrate:
+
+* :class:`MetricsRegistry` -- named gauges, monotonic counters,
+  :class:`RateMeter` throughput meters, and :class:`WindowedHistogram`
+  sliding-window quantile summaries (a ring of the cumulative
+  log-bucketed :class:`~repro.obs.core.Histogram`, rotated on a
+  configurable window and merged via ``Histogram.merge``);
+* module-level hook helpers (:func:`count`, :func:`observe`,
+  :func:`set_gauge`, :func:`timed`) that the hot layers call; like
+  ``obs.core`` they sit behind one process-wide enable flag, so the
+  disabled path costs a single global load per call site and the seed
+  ``obs`` counters are bit-identical while telemetry is off;
+* :class:`ResourceSampler` / :class:`TelemetryPump` -- a background
+  thread sampling RSS / GC / tracemalloc gauges and streaming periodic
+  snapshots;
+* three exports of the same registry state: a schema-versioned JSONL
+  telemetry feed (:class:`TelemetryWriter`, :func:`validate_feed`,
+  :func:`read_feed`, :func:`merge_feeds`), a Prometheus text exposition
+  (:func:`render_prometheus` -- a future server can mount the output at
+  ``/metrics`` verbatim), and structured log records (see
+  :mod:`repro.obs.logging`).
+
+Unlike the context-local tracer, the registry is deliberately
+process-wide and lock-guarded: the sampler thread, the live-dashboard
+pump, and the instrumented workload all feed the same store, and a
+snapshot must be consistent across them.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+from collections import deque
+from collections.abc import Callable, Iterable, Mapping, Sequence
+from typing import IO, Any
+
+from repro.obs.core import Histogram
+
+__all__ = [
+    "DEFAULT_WINDOW_SECONDS",
+    "DEFAULT_SLOTS",
+    "FEED_SCHEMA_VERSION",
+    "SUPPORTED_FEED_SCHEMAS",
+    "RateMeter",
+    "WindowedHistogram",
+    "MetricsRegistry",
+    "ResourceSampler",
+    "TelemetryWriter",
+    "TelemetryPump",
+    "enable",
+    "disable",
+    "is_enabled",
+    "registry",
+    "set_registry",
+    "reset",
+    "count",
+    "observe",
+    "set_gauge",
+    "timed",
+    "record_op",
+    "snapshot_histogram",
+    "merge_snapshots",
+    "prometheus_from_snapshot",
+    "render_prometheus",
+    "validate_feed",
+    "read_feed",
+    "merge_feeds",
+]
+
+#: Default sliding-window span for rate meters and windowed histograms.
+DEFAULT_WINDOW_SECONDS = 10.0
+
+#: Ring slots per window: rotation granularity is ``window / slots``.
+DEFAULT_SLOTS = 5
+
+#: Telemetry feed schema (independent of the BENCH record schema).
+FEED_SCHEMA_VERSION = 1
+SUPPORTED_FEED_SCHEMAS = (1,)
+
+# The process-wide switch, mirroring repro.obs.core / repro.cache.core:
+# a plain module global so the disabled check at hook call sites is a
+# single global load.
+_ENABLED = False
+
+
+# ---------------------------------------------------------------------------
+# Windowed primitives
+# ---------------------------------------------------------------------------
+
+
+class RateMeter:
+    """A monotonic event counter with a sliding-window rate.
+
+    ``total`` only ever grows; :meth:`rate` answers "events per second
+    over (at most) the trailing window" from a ring of per-slot tallies.
+    Rotation is lazy -- driven by the ``now`` passed to :meth:`tick` /
+    :meth:`rate` -- so an idle meter costs nothing.
+    """
+
+    __slots__ = ("total", "_slot_seconds", "_slots", "_closed", "_current", "_slot_start")
+
+    def __init__(
+        self,
+        window_seconds: float = DEFAULT_WINDOW_SECONDS,
+        slots: int = DEFAULT_SLOTS,
+        now: float = 0.0,
+    ):
+        if window_seconds <= 0 or slots < 1:
+            raise ValueError("window_seconds must be > 0 and slots >= 1")
+        self.total = 0
+        self._slots = slots
+        self._slot_seconds = window_seconds / slots
+        self._closed: deque[int] = deque(maxlen=slots)
+        self._current = 0
+        self._slot_start = now
+
+    def _rotate(self, now: float) -> None:
+        gap = now - self._slot_start
+        if gap < self._slot_seconds:
+            return
+        steps = int(gap // self._slot_seconds)
+        self._closed.append(self._current)
+        self._current = 0
+        for _ in range(min(steps - 1, self._slots)):
+            self._closed.append(0)
+        self._slot_start += steps * self._slot_seconds
+
+    def tick(self, amount: int = 1, now: float = 0.0) -> None:
+        """Record ``amount`` events at time ``now``."""
+        self._rotate(now)
+        self._current += amount
+        self.total += amount
+
+    def rate(self, now: float = 0.0) -> float:
+        """Events per second over the live portion of the window."""
+        self._rotate(now)
+        events = self._current + sum(self._closed)
+        covered = len(self._closed) * self._slot_seconds + max(
+            0.0, now - self._slot_start
+        )
+        if covered <= 0.0:
+            return 0.0
+        return events / covered
+
+
+class WindowedHistogram:
+    """A sliding-window quantile summary over the log-bucketed Histogram.
+
+    Maintains a cumulative :class:`~repro.obs.core.Histogram` (whole
+    lifetime) plus a ring of per-slot histograms; :meth:`window` merges
+    the live slots via ``Histogram.merge`` into one bounded summary whose
+    p50/p90/p99 reflect only the trailing window.
+    """
+
+    __slots__ = ("cumulative", "_slot_seconds", "_slots", "_closed", "_current", "_slot_start")
+
+    def __init__(
+        self,
+        window_seconds: float = DEFAULT_WINDOW_SECONDS,
+        slots: int = DEFAULT_SLOTS,
+        now: float = 0.0,
+    ):
+        if window_seconds <= 0 or slots < 1:
+            raise ValueError("window_seconds must be > 0 and slots >= 1")
+        self.cumulative = Histogram()
+        self._slots = slots
+        self._slot_seconds = window_seconds / slots
+        self._closed: deque[Histogram] = deque(maxlen=slots)
+        self._current = Histogram()
+        self._slot_start = now
+
+    def _rotate(self, now: float) -> None:
+        gap = now - self._slot_start
+        if gap < self._slot_seconds:
+            return
+        steps = int(gap // self._slot_seconds)
+        self._closed.append(self._current)
+        self._current = Histogram()
+        for _ in range(min(steps - 1, self._slots)):
+            self._closed.append(Histogram())
+        self._slot_start += steps * self._slot_seconds
+
+    def observe(self, value: float, now: float = 0.0) -> None:
+        self._rotate(now)
+        self._current.observe(value)
+        self.cumulative.observe(value)
+
+    def window(self, now: float = 0.0) -> Histogram:
+        """The live slots merged into one histogram (trailing window only)."""
+        self._rotate(now)
+        merged = Histogram()
+        for closed in self._closed:
+            merged.merge(closed)
+        merged.merge(self._current)
+        return merged
+
+
+# ---------------------------------------------------------------------------
+# The registry
+# ---------------------------------------------------------------------------
+
+
+def snapshot_histogram(histogram: Histogram) -> dict[str, Any]:
+    """One histogram as the JSON-safe shape used in feed snapshots."""
+    empty = histogram.count == 0
+    return {
+        "count": histogram.count,
+        "total": histogram.total,
+        "min": None if empty else histogram.minimum,
+        "max": None if empty else histogram.maximum,
+        "p50": histogram.p50,
+        "p90": histogram.p90,
+        "p99": histogram.p99,
+        "buckets": {str(exp): n for exp, n in sorted(histogram.buckets.items())},
+    }
+
+
+def _histogram_from_snapshot(payload: Mapping[str, Any]) -> Histogram:
+    minimum = payload.get("min")
+    maximum = payload.get("max")
+    return Histogram(
+        count=int(payload.get("count", 0)),
+        total=float(payload.get("total", 0.0)),
+        minimum=float("inf") if minimum is None else float(minimum),
+        maximum=float("-inf") if maximum is None else float(maximum),
+        buckets={int(exp): n for exp, n in payload.get("buckets", {}).items()},
+    )
+
+
+class MetricsRegistry:
+    """Named gauges, counters, rate meters, and windowed histograms.
+
+    Thread-safe (one lock around every mutation and snapshot) because a
+    sampler/pump thread and the instrumented workload feed it
+    concurrently.  All time comes from the injected ``clock`` so tests
+    can drive rotation deterministically.
+    """
+
+    def __init__(
+        self,
+        window_seconds: float = DEFAULT_WINDOW_SECONDS,
+        slots: int = DEFAULT_SLOTS,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.window_seconds = window_seconds
+        self.slots = slots
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = {}
+        self._gauges: dict[str, float] = {}
+        self._meters: dict[str, RateMeter] = {}
+        self._histograms: dict[str, WindowedHistogram] = {}
+        self._created = clock()
+        self._seq = 0
+
+    def _now(self, now: float | None) -> float:
+        return self._clock() if now is None else now
+
+    # --- recording -------------------------------------------------------
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Add to a monotonic counter."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set a point-in-time gauge (last write wins)."""
+        with self._lock:
+            self._gauges[name] = value
+
+    def tick(self, name: str, amount: int = 1, now: float | None = None) -> None:
+        """Record events on the named rate meter."""
+        now = self._now(now)
+        with self._lock:
+            meter = self._meters.get(name)
+            if meter is None:
+                meter = self._meters[name] = RateMeter(
+                    self.window_seconds, self.slots, now
+                )
+            meter.tick(amount, now)
+
+    def observe(self, name: str, value: float, now: float | None = None) -> None:
+        """Record one observation into the named windowed histogram."""
+        now = self._now(now)
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = WindowedHistogram(
+                    self.window_seconds, self.slots, now
+                )
+            histogram.observe(value, now)
+
+    def record_op(self, name: str, seconds: float, now: float | None = None) -> None:
+        """One completed operation: ticks ``<name>`` and observes
+        ``<name>.seconds`` -- the shape every per-op hook uses, so the
+        dashboard can pair each throughput meter with its latency
+        quantiles."""
+        now = self._now(now)
+        self.tick(name, 1, now)
+        self.observe(f"{name}.seconds", seconds, now)
+
+    # --- reading ---------------------------------------------------------
+
+    def snapshot(self, now: float | None = None) -> dict[str, Any]:
+        """The whole registry as one JSON-safe snapshot record."""
+        now = self._now(now)
+        with self._lock:
+            self._seq += 1
+            return {
+                "type": "snapshot",
+                "seq": self._seq,
+                "now": now,
+                "uptime": max(0.0, now - self._created),
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "meters": {
+                    name: {"count": meter.total, "rate": meter.rate(now)}
+                    for name, meter in sorted(self._meters.items())
+                },
+                "histograms": {
+                    name: {
+                        **snapshot_histogram(hist.cumulative),
+                        "window": snapshot_histogram(hist.window(now)),
+                    }
+                    for name, hist in sorted(self._histograms.items())
+                },
+            }
+
+    def reset(self) -> None:
+        """Drop every metric (the enable flag is untouched)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._meters.clear()
+            self._histograms.clear()
+            self._created = self._clock()
+            self._seq = 0
+
+    def render_prometheus(self, now: float | None = None) -> str:
+        """The registry in Prometheus text exposition format (0.0.4).
+
+        Counters become ``repro_<name>_total``, gauges plain gauges,
+        rate meters a counter plus a ``_rate`` gauge, and windowed
+        histograms summaries (windowed p50/p90/p99 as ``quantile``
+        labels, cumulative ``_sum`` / ``_count``).  A future update
+        service can serve this verbatim at ``/metrics``.
+        """
+        return prometheus_from_snapshot(self.snapshot(now))
+
+
+def prometheus_from_snapshot(snap: Mapping[str, Any]) -> str:
+    """Render any snapshot record (live or replayed from a feed) as a
+    Prometheus text exposition -- the same bytes
+    :meth:`MetricsRegistry.render_prometheus` would serve."""
+    lines: list[str] = []
+
+    def emit(name: str, kind: str, help_text: str, samples: list[str]) -> None:
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+        lines.extend(samples)
+
+    for name, value in sorted(snap.get("counters", {}).items()):
+        metric = f"{_prom_name(name)}_total"
+        emit(metric, "counter", f"monotonic counter {name}", [f"{metric} {value}"])
+    for name, value in sorted(snap.get("gauges", {}).items()):
+        metric = _prom_name(name)
+        emit(metric, "gauge", f"gauge {name}", [f"{metric} {_prom_value(value)}"])
+    for name, meter in sorted(snap.get("meters", {}).items()):
+        metric = f"{_prom_name(name)}_ops_total"
+        emit(metric, "counter", f"operations {name}", [f"{metric} {meter['count']}"])
+        rate_metric = f"{_prom_name(name)}_ops_rate"
+        emit(
+            rate_metric,
+            "gauge",
+            f"windowed ops/s {name}",
+            [f"{rate_metric} {_prom_value(meter['rate'])}"],
+        )
+    for name, hist in sorted(snap.get("histograms", {}).items()):
+        metric = _prom_name(name)
+        samples = []
+        window = hist.get("window", {})
+        for label, key in (("0.5", "p50"), ("0.9", "p90"), ("0.99", "p99")):
+            quantile = window.get(key)
+            if quantile is not None:
+                samples.append(
+                    f'{metric}{{quantile="{label}"}} {_prom_value(quantile)}'
+                )
+        samples.append(f"{metric}_sum {_prom_value(hist['total'])}")
+        samples.append(f"{metric}_count {hist['count']}")
+        emit(metric, "summary", f"windowed quantile summary {name}", samples)
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _prom_name(name: str) -> str:
+    cleaned = "".join(ch if ch.isalnum() or ch == "_" else "_" for ch in name)
+    if cleaned and cleaned[0].isdigit():
+        cleaned = f"_{cleaned}"
+    return f"repro_{cleaned}"
+
+
+def _prom_value(value: float) -> str:
+    if isinstance(value, float) and math.isnan(value):
+        return "NaN"
+    return repr(float(value)) if isinstance(value, float) else str(value)
+
+
+# ---------------------------------------------------------------------------
+# Merging (per-worker feeds -> one fleet view)
+# ---------------------------------------------------------------------------
+
+
+def merge_snapshots(snapshots: Sequence[Mapping[str, Any]]) -> dict[str, Any]:
+    """Fold per-worker snapshot records into one combined view.
+
+    Counters, meter counts, and rates are summed; gauges are summed too
+    (RSS across workers is the fleet's footprint); histograms are merged
+    *exactly* from their transported buckets via ``Histogram.merge``, so
+    the combined p50/p99 is what a single registry observing every value
+    would answer, not an average of averages.
+    """
+    counters: dict[str, int] = {}
+    gauges: dict[str, float] = {}
+    meters: dict[str, dict[str, float]] = {}
+    cumulative: dict[str, Histogram] = {}
+    windows: dict[str, Histogram] = {}
+    totals: dict[str, float] = {}
+    newest = 0.0
+    seq = 0
+    for snap in snapshots:
+        newest = max(newest, float(snap.get("now", 0.0)))
+        seq = max(seq, int(snap.get("seq", 0)))
+        for name, value in snap.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + int(value)
+        for name, value in snap.get("gauges", {}).items():
+            gauges[name] = gauges.get(name, 0.0) + float(value)
+        for name, meter in snap.get("meters", {}).items():
+            slot = meters.setdefault(name, {"count": 0, "rate": 0.0})
+            slot["count"] += int(meter.get("count", 0))
+            slot["rate"] += float(meter.get("rate", 0.0))
+        for name, hist in snap.get("histograms", {}).items():
+            cumulative.setdefault(name, Histogram()).merge(
+                _histogram_from_snapshot(hist)
+            )
+            windows.setdefault(name, Histogram()).merge(
+                _histogram_from_snapshot(hist.get("window", {}))
+            )
+            totals[name] = totals.get(name, 0.0) + float(hist.get("total", 0.0))
+    return {
+        "type": "snapshot",
+        "seq": seq,
+        "now": newest,
+        "uptime": max(
+            (float(snap.get("uptime", 0.0)) for snap in snapshots), default=0.0
+        ),
+        "counters": counters,
+        "gauges": gauges,
+        "meters": meters,
+        "histograms": {
+            name: {
+                **snapshot_histogram(cumulative[name]),
+                "window": snapshot_histogram(windows[name]),
+            }
+            for name in sorted(cumulative)
+        },
+    }
+
+
+# ---------------------------------------------------------------------------
+# The module-level hook surface the hot layers call
+# ---------------------------------------------------------------------------
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-wide registry the hook helpers feed."""
+    return _REGISTRY
+
+
+def set_registry(new: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-wide registry (returns the previous one)."""
+    global _REGISTRY
+    previous = _REGISTRY
+    _REGISTRY = new
+    return previous
+
+
+def enable() -> None:
+    """Turn live telemetry on (process-wide)."""
+    global _ENABLED
+    _ENABLED = True
+
+
+def disable() -> None:
+    """Turn live telemetry off (the registry keeps its data)."""
+    global _ENABLED
+    _ENABLED = False
+
+
+def is_enabled() -> bool:
+    """Whether the hot-layer hooks are currently recording."""
+    return _ENABLED
+
+
+def reset() -> None:
+    """Drop every recorded metric in the process-wide registry."""
+    _REGISTRY.reset()
+
+
+def count(name: str, amount: int = 1) -> None:
+    """Monotonic-counter hook (no-op while telemetry is off)."""
+    if _ENABLED:
+        _REGISTRY.count(name, amount)
+
+
+def observe(name: str, value: float) -> None:
+    """Windowed-histogram hook (no-op while telemetry is off)."""
+    if _ENABLED:
+        _REGISTRY.observe(name, value)
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Gauge hook (no-op while telemetry is off)."""
+    if _ENABLED:
+        _REGISTRY.set_gauge(name, value)
+
+
+def record_op(name: str, seconds: float) -> None:
+    """Completed-operation hook (no-op while telemetry is off)."""
+    if _ENABLED:
+        _REGISTRY.record_op(name, seconds)
+
+
+class _NullTimer:
+    """Shared do-nothing timer handed out while telemetry is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullTimer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+
+_NULL_TIMER = _NullTimer()
+
+
+class _Timer:
+    __slots__ = ("name", "start")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.start = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        _REGISTRY.record_op(self.name, time.perf_counter() - self.start)
+        return False
+
+
+def timed(name: str):
+    """``with timed("hlu.update"):`` -- throughput + latency for one op.
+
+    Returns the shared null timer while telemetry is off, so a hot call
+    site costs one global load; enabled, the exit records both the rate
+    meter tick and the windowed latency observation.
+    """
+    if not _ENABLED:
+        return _NULL_TIMER
+    return _Timer(name)
+
+
+# ---------------------------------------------------------------------------
+# Background sampling (RSS / GC / tracemalloc gauges)
+# ---------------------------------------------------------------------------
+
+
+def _rss_bytes() -> int | None:
+    """Resident set size of this process, best effort, stdlib only."""
+    try:
+        with open("/proc/self/statm") as handle:
+            fields = handle.read().split()
+        import resource
+
+        page = resource.getpagesize()
+        return int(fields[1]) * page
+    except (OSError, IndexError, ValueError):
+        try:
+            import resource
+
+            peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+            return int(peak_kb) * 1024
+        except Exception:
+            return None
+
+
+class ResourceSampler:
+    """Samples process gauges into a registry: RSS, GC tallies, and (when
+    tracemalloc is already tracing) traced current/peak bytes.
+
+    ``sample_once`` is separable from the thread so the pump (or a test)
+    can drive it synchronously.
+    """
+
+    def __init__(self, target: MetricsRegistry | None = None):
+        self._registry = target if target is not None else _REGISTRY
+
+    def sample_once(self) -> None:
+        import gc
+
+        rss = _rss_bytes()
+        if rss is not None:
+            self._registry.set_gauge("proc.rss_bytes", float(rss))
+        gen0, gen1, gen2 = gc.get_count()
+        self._registry.set_gauge("gc.gen0_objects", float(gen0))
+        self._registry.set_gauge(
+            "gc.collections",
+            float(sum(stat.get("collections", 0) for stat in gc.get_stats())),
+        )
+        import tracemalloc
+
+        if tracemalloc.is_tracing():
+            current, peak = tracemalloc.get_traced_memory()
+            self._registry.set_gauge("tracemalloc.current_bytes", float(current))
+            self._registry.set_gauge("tracemalloc.peak_bytes", float(peak))
+
+
+# ---------------------------------------------------------------------------
+# The streaming feed
+# ---------------------------------------------------------------------------
+
+_META_REQUIRED = {"type", "schema", "window_seconds", "slots", "worker"}
+_SNAPSHOT_REQUIRED = {
+    "type",
+    "seq",
+    "now",
+    "uptime",
+    "counters",
+    "gauges",
+    "meters",
+    "histograms",
+}
+
+
+class TelemetryWriter:
+    """Streams registry snapshots to a JSONL feed, one record per line.
+
+    The first line is a schema-versioned ``meta`` record; every
+    subsequent line is a ``snapshot``.  Lines are flushed as written so a
+    tailer (the live dashboard) sees them immediately.
+    """
+
+    def __init__(
+        self,
+        sink: str | IO[str],
+        source: MetricsRegistry | None = None,
+        worker: str | None = None,
+    ):
+        self._registry = source if source is not None else _REGISTRY
+        self._worker = worker
+        if isinstance(sink, str):
+            self._handle: IO[str] = open(sink, "w")
+            self._owns_handle = True
+        else:
+            self._handle = sink
+            self._owns_handle = False
+        self._wrote_meta = False
+
+    def _write(self, record: Mapping[str, Any]) -> None:
+        self._handle.write(json.dumps(record, sort_keys=True, default=str) + "\n")
+        self._handle.flush()
+
+    def _ensure_meta(self) -> None:
+        if self._wrote_meta:
+            return
+        self._write(
+            {
+                "type": "meta",
+                "schema": FEED_SCHEMA_VERSION,
+                "window_seconds": self._registry.window_seconds,
+                "slots": self._registry.slots,
+                "worker": self._worker,
+            }
+        )
+        self._wrote_meta = True
+
+    def write_snapshot(self, now: float | None = None) -> dict[str, Any]:
+        """Append one snapshot record (meta line emitted lazily first)."""
+        self._ensure_meta()
+        snap = self._registry.snapshot(now)
+        if self._worker is not None:
+            snap["worker"] = self._worker
+        self._write(snap)
+        return snap
+
+    def close(self) -> None:
+        self._ensure_meta()  # an empty feed is still a valid, attributable feed
+        if self._owns_handle:
+            self._handle.close()
+
+
+class TelemetryPump(threading.Thread):
+    """Background thread: sample resource gauges, then stream a snapshot,
+    every ``interval`` seconds until :meth:`stop`.
+
+    This is what makes telemetry *live* inside a busy worker: the
+    workload thread only pays the cheap hook calls, and the pump turns
+    the registry into a feed on its own clock.
+    """
+
+    def __init__(
+        self,
+        writer: TelemetryWriter,
+        interval: float = 0.5,
+        sampler: ResourceSampler | None = None,
+    ):
+        super().__init__(name="repro-telemetry-pump", daemon=True)
+        self._writer = writer
+        self._interval = interval
+        self._sampler = sampler
+        self._stop_event = threading.Event()
+
+    def run(self) -> None:
+        while not self._stop_event.wait(self._interval):
+            self.pump_once()
+
+    def pump_once(self) -> None:
+        if self._sampler is not None:
+            self._sampler.sample_once()
+        self._writer.write_snapshot()
+
+    def stop(self, final_snapshot: bool = True) -> None:
+        """Stop the loop; by default flush one last snapshot so the feed
+        always ends with the complete totals."""
+        self._stop_event.set()
+        if self.is_alive():
+            self.join(timeout=5.0)
+        if final_snapshot:
+            self.pump_once()
+
+
+# ---------------------------------------------------------------------------
+# Feed reading and validation
+# ---------------------------------------------------------------------------
+
+
+def read_feed(text: str) -> tuple[dict[str, Any] | None, list[dict[str, Any]]]:
+    """Parse a feed into ``(meta, snapshots)``; unknown records are skipped."""
+    meta: dict[str, Any] | None = None
+    snapshots: list[dict[str, Any]] = []
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        record = json.loads(line)
+        if not isinstance(record, dict):
+            continue
+        if record.get("type") == "meta" and meta is None:
+            meta = record
+        elif record.get("type") == "snapshot":
+            snapshots.append(record)
+    return meta, snapshots
+
+
+def _check_histogram_payload(payload: Any, where: str) -> list[str]:
+    errors: list[str] = []
+    if not isinstance(payload, dict):
+        return [f"{where}: histogram must be an object"]
+    for key in ("count", "total", "min", "max", "p50", "p90", "p99", "buckets"):
+        if key not in payload:
+            errors.append(f"{where}: histogram missing key {key!r}")
+    count = payload.get("count")
+    if not isinstance(count, int) or count < 0:
+        errors.append(f"{where}: histogram count must be a non-negative int")
+        return errors
+    empty = count == 0
+    for key in ("min", "max"):
+        value = payload.get(key)
+        if empty:
+            if value is not None:
+                errors.append(f"{where}: empty histogram must have null {key}")
+        elif not isinstance(value, (int, float)) or isinstance(value, bool):
+            errors.append(f"{where}: histogram {key} must be a number")
+    buckets = payload.get("buckets")
+    if not isinstance(buckets, dict):
+        errors.append(f"{where}: histogram buckets must be an object")
+    else:
+        total = 0
+        for exp, n in buckets.items():
+            try:
+                int(exp)
+            except (TypeError, ValueError):
+                errors.append(f"{where}: bucket key {exp!r} is not an integer string")
+                return errors
+            if isinstance(n, bool) or not isinstance(n, int):
+                errors.append(f"{where}: bucket count {n!r} must be an int")
+                return errors
+            total += n
+        if total != count:
+            errors.append(
+                f"{where}: buckets sum to {total}, count says {count}"
+            )
+    return errors
+
+
+def validate_feed(text: str) -> list[str]:
+    """Schema-check a telemetry feed; an empty list means it is valid.
+
+    Mirrors :func:`repro.obs.export.validate_jsonl` in spirit: every line
+    must parse, the first record must be a supported ``meta``, snapshot
+    sections must carry the right shapes, and histogram buckets must sum
+    to their counts -- so exporter drift fails CI instead of silently
+    corrupting telemetry artifacts.
+    """
+    errors: list[str] = []
+    saw_meta = False
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            errors.append(f"line {lineno}: not valid JSON ({exc})")
+            continue
+        if not isinstance(record, dict):
+            errors.append(f"line {lineno}: record is not an object")
+            continue
+        kind = record.get("type")
+        if kind == "meta":
+            saw_meta = True  # malformed meta is still a meta record
+            missing = _META_REQUIRED - set(record)
+            if missing:
+                errors.append(
+                    f"line {lineno}: meta missing key(s) {sorted(missing)}"
+                )
+            if "schema" in record and record["schema"] not in SUPPORTED_FEED_SCHEMAS:
+                errors.append(
+                    f"line {lineno}: unsupported feed schema {record['schema']!r} "
+                    f"(supported: {SUPPORTED_FEED_SCHEMAS})"
+                )
+        elif kind == "snapshot":
+            if not saw_meta:
+                errors.append(f"line {lineno}: snapshot before any meta record")
+            missing = _SNAPSHOT_REQUIRED - set(record)
+            if missing:
+                errors.append(
+                    f"line {lineno}: snapshot missing key(s) {sorted(missing)}"
+                )
+                continue
+            if not isinstance(record["counters"], dict) or not all(
+                isinstance(k, str) and isinstance(v, int) and not isinstance(v, bool)
+                for k, v in record["counters"].items()
+            ):
+                errors.append(f"line {lineno}: counters must map str -> int")
+            if not isinstance(record["gauges"], dict) or not all(
+                isinstance(v, (int, float)) and not isinstance(v, bool)
+                for v in record["gauges"].values()
+            ):
+                errors.append(f"line {lineno}: gauges must map str -> number")
+            meters = record["meters"]
+            if not isinstance(meters, dict):
+                errors.append(f"line {lineno}: meters must be an object")
+            else:
+                for name, meter in meters.items():
+                    if (
+                        not isinstance(meter, dict)
+                        or not isinstance(meter.get("count"), int)
+                        or not isinstance(meter.get("rate"), (int, float))
+                    ):
+                        errors.append(
+                            f"line {lineno}: meter {name!r} needs int count "
+                            f"and numeric rate"
+                        )
+                        break
+            histograms = record["histograms"]
+            if not isinstance(histograms, dict):
+                errors.append(f"line {lineno}: histograms must be an object")
+            else:
+                for name, payload in histograms.items():
+                    where = f"line {lineno}: histogram {name!r}"
+                    errors.extend(_check_histogram_payload(payload, where))
+                    if isinstance(payload, dict) and "window" in payload:
+                        errors.extend(
+                            _check_histogram_payload(
+                                payload["window"], f"{where} window"
+                            )
+                        )
+                    elif isinstance(payload, dict):
+                        errors.append(f"{where}: missing window section")
+        else:
+            errors.append(f"line {lineno}: unknown record type {kind!r}")
+    if not saw_meta and text.strip():
+        errors.append("feed has no meta record")
+    return errors
+
+
+def merge_feeds(texts: Iterable[str]) -> str:
+    """Merge several per-worker feeds into one artifact.
+
+    One meta record (workers listed), then every worker's snapshots in
+    feed order, each keeping its ``worker`` label, finally one combined
+    ``snapshot`` merged from each worker's *last* snapshot -- the
+    fleet-wide totals a single process would have reported.  The result
+    validates under :func:`validate_feed` whenever the inputs did.
+    """
+    metas: list[dict[str, Any]] = []
+    all_snapshots: list[dict[str, Any]] = []
+    finals: list[dict[str, Any]] = []
+    workers: list[str] = []
+    for text in texts:
+        meta, snapshots = read_feed(text)
+        if meta is not None:
+            metas.append(meta)
+            if meta.get("worker"):
+                workers.append(str(meta["worker"]))
+        all_snapshots.extend(snapshots)
+        if snapshots:
+            finals.append(snapshots[-1])
+    window = metas[0]["window_seconds"] if metas else DEFAULT_WINDOW_SECONDS
+    slots = metas[0]["slots"] if metas else DEFAULT_SLOTS
+    lines = [
+        json.dumps(
+            {
+                "type": "meta",
+                "schema": FEED_SCHEMA_VERSION,
+                "window_seconds": window,
+                "slots": slots,
+                "worker": None,
+                "workers": workers,
+            },
+            sort_keys=True,
+        )
+    ]
+    for snap in all_snapshots:
+        lines.append(json.dumps(snap, sort_keys=True, default=str))
+    if finals:
+        combined = merge_snapshots(finals)
+        combined["worker"] = "merged"
+        lines.append(json.dumps(combined, sort_keys=True, default=str))
+    return "\n".join(lines) + "\n"
+
+
+def render_prometheus(now: float | None = None) -> str:
+    """The process-wide registry in Prometheus text exposition format."""
+    return _REGISTRY.render_prometheus(now)

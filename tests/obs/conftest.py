@@ -1,15 +1,20 @@
 """Fixtures for the observability tests: every test starts and ends with
-instrumentation off and a clean context-local state."""
+instrumentation off and a clean context-local state (and a clean
+process-wide telemetry registry)."""
 
 import pytest
 
-from repro.obs import core
+from repro.obs import core, runtime
 
 
 @pytest.fixture(autouse=True)
 def clean_obs():
     core.disable()
     core.reset()
+    runtime.disable()
+    runtime.reset()
     yield
     core.disable()
     core.reset()
+    runtime.disable()
+    runtime.reset()

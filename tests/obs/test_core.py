@@ -249,6 +249,136 @@ class TestHistogramQuantiles:
         assert histogram.p50 == 5.0
 
 
+class TestHistogramMerge:
+    def _filled(self, *values):
+        histogram = core.Histogram()
+        for value in values:
+            histogram.observe(value)
+        return histogram
+
+    def test_merge_combines_counts_totals_and_range(self):
+        left = self._filled(1.0, 4.0)
+        right = self._filled(0.5, 16.0)
+        left.merge(right)
+        assert left.count == 4
+        assert left.total == 21.5
+        assert left.minimum == 0.5
+        assert left.maximum == 16.0
+
+    def test_merge_returns_self_so_window_merges_chain(self):
+        left = self._filled(1.0)
+        assert left.merge(self._filled(2.0)) is left
+
+    def test_merging_empty_histogram_is_a_noop(self):
+        """Regression: an empty histogram's min/max sentinels (inf/-inf)
+        must not poison the target's range."""
+        target = self._filled(2.0, 3.0)
+        target.merge(core.Histogram())
+        assert target.count == 2
+        assert target.minimum == 2.0
+        assert target.maximum == 3.0
+
+    def test_merging_empty_with_bogus_finite_sentinels_is_a_noop(self):
+        """A degraded export can restore an empty histogram with finite
+        min/max; count == 0 must still win."""
+        target = self._filled(2.0, 3.0)
+        bogus_empty = core.Histogram(count=0, total=0.0, minimum=-99.0, maximum=99.0)
+        target.merge(bogus_empty)
+        assert target.minimum == 2.0
+        assert target.maximum == 3.0
+        assert target.count == 2
+
+    def test_merging_into_empty_adopts_other_range(self):
+        target = core.Histogram()
+        target.merge(self._filled(2.0, 8.0))
+        assert target.count == 2
+        assert target.minimum == 2.0
+        assert target.maximum == 8.0
+        assert target.p50 is not None
+
+    def test_empty_into_empty_keeps_quantiles_none(self):
+        target = core.Histogram()
+        target.merge(core.Histogram())
+        assert target.count == 0
+        assert target.p50 is None
+
+    def test_mismatched_bucket_sets_union(self):
+        # 0.001 and 1000.0 land in buckets the other histogram lacks.
+        left = self._filled(0.001)
+        right = self._filled(1000.0)
+        left_buckets = set(left.buckets)
+        right_buckets = set(right.buckets)
+        assert left_buckets.isdisjoint(right_buckets)
+        left.merge(right)
+        assert set(left.buckets) == left_buckets | right_buckets
+        assert sum(left.buckets.values()) == left.count == 2
+
+    def test_merge_is_exact_vs_single_histogram(self):
+        rng = random.Random(0xC0DE)
+        values = [rng.lognormvariate(0.0, 2.0) for _ in range(300)]
+        single = self._filled(*values)
+        merged = core.Histogram()
+        for start in range(0, len(values), 50):
+            merged.merge(self._filled(*values[start : start + 50]))
+        assert merged.count == single.count
+        assert merged.buckets == single.buckets
+        assert merged.minimum == single.minimum
+        assert merged.maximum == single.maximum
+        assert merged.p50 == single.p50
+        assert merged.p99 == single.p99
+
+
+class TestCountersMerge:
+    def test_counts_sum_and_histograms_merge(self):
+        left = core.Counters()
+        left.inc("shared", 2)
+        left.observe("h", 1.0)
+        right = core.Counters()
+        right.inc("shared", 3)
+        right.inc("only_right")
+        right.observe("h", 5.0)
+        right.observe("only_right_h", 2.0)
+        left.merge(right)
+        assert left.get("shared") == 5
+        assert left.get("only_right") == 1
+        assert left.histogram("h").count == 2
+        assert left.histogram("h").maximum == 5.0
+        assert left.histogram("only_right_h").count == 1
+
+    def test_merging_counters_with_empty_histogram_keeps_target_range(self):
+        left = core.Counters()
+        left.observe("h", 4.0)
+        right = core.Counters()
+        right._histograms["h"] = core.Histogram()  # empty, sentinel min/max
+        left.merge(right)
+        assert left.histogram("h").minimum == 4.0
+        assert left.histogram("h").maximum == 4.0
+
+
+class TestSpanIds:
+    def test_span_ids_are_unique_and_increasing(self):
+        core.enable()
+        with core.span("a") as a:
+            with core.span("b") as b:
+                pass
+        assert a.sid > 0
+        assert b.sid > a.sid
+
+    def test_current_span_tracks_the_open_span(self):
+        core.enable()
+        assert core.current_span() is None
+        with core.span("outer") as outer:
+            assert core.current_span() is outer
+            with core.span("inner") as inner:
+                assert core.current_span() is inner
+            assert core.current_span() is outer
+        assert core.current_span() is None
+
+    def test_current_span_is_none_while_disabled(self):
+        with core.span("ignored"):
+            assert core.current_span() is None
+
+
 class TestTrackMemory:
     def test_records_peak_and_current(self):
         with core.track_memory() as sample:

@@ -1,0 +1,110 @@
+"""Tests for repro.obs.logging: JSON log lines and span correlation."""
+
+import json
+import logging
+
+from repro.obs import core
+from repro.obs import logging as structured
+
+
+def _lines(buffer):
+    return [json.loads(line) for line in buffer.getvalue().splitlines()]
+
+
+class TestJsonLines:
+    def test_each_record_is_one_json_object(self):
+        logger, buffer = structured.capture_buffer(name="repro.test.basic")
+        logger.info("first")
+        logger.warning("second %s", "formatted")
+        first, second = _lines(buffer)
+        assert first["schema"] == structured.LOG_SCHEMA_VERSION
+        assert first["level"] == "info"
+        assert first["logger"] == "repro.test.basic"
+        assert first["message"] == "first"
+        assert isinstance(first["ts"], float)
+        assert second["level"] == "warning"
+        assert second["message"] == "second formatted"
+
+    def test_extra_attributes_survive(self):
+        logger, buffer = structured.capture_buffer(name="repro.test.extra")
+        logger.info("op done", extra={"ident": "E6", "clauses": 17})
+        (record,) = _lines(buffer)
+        assert record["extra"] == {"ident": "E6", "clauses": 17}
+
+    def test_non_json_extra_falls_back_to_str(self):
+        logger, buffer = structured.capture_buffer(name="repro.test.objextra")
+        logger.info("op", extra={"obj": frozenset({1})})
+        (record,) = _lines(buffer)
+        assert "1" in record["extra"]["obj"]
+
+    def test_exception_traceback_is_carried(self):
+        logger, buffer = structured.capture_buffer(name="repro.test.exc")
+        try:
+            raise ValueError("boom")
+        except ValueError:
+            logger.exception("failed")
+        (record,) = _lines(buffer)
+        assert record["level"] == "error"
+        assert "ValueError: boom" in record["exc"]
+
+    def test_level_filtering_applies(self):
+        logger, buffer = structured.capture_buffer(
+            level=logging.WARNING, name="repro.test.level"
+        )
+        logger.info("dropped")
+        logger.error("kept")
+        records = _lines(buffer)
+        assert [r["message"] for r in records] == ["kept"]
+
+
+class TestSpanCorrelation:
+    def test_record_inside_span_carries_name_and_sid(self):
+        core.enable()
+        logger, buffer = structured.capture_buffer(name="repro.test.span")
+        with core.span("hlu.apply") as span:
+            logger.info("mid-span")
+        logger.info("after-span")
+        mid, after = _lines(buffer)
+        assert mid["span"] == "hlu.apply"
+        assert mid["span_id"] == span.sid
+        assert "span" not in after
+        assert "span_id" not in after
+
+    def test_nested_span_wins(self):
+        core.enable()
+        logger, buffer = structured.capture_buffer(name="repro.test.nested")
+        with core.span("outer"):
+            with core.span("inner") as inner:
+                logger.info("deep")
+        (record,) = _lines(buffer)
+        assert record["span"] == "inner"
+        assert record["span_id"] == inner.sid
+
+    def test_disabled_instrumentation_means_no_span_fields(self):
+        logger, buffer = structured.capture_buffer(name="repro.test.off")
+        with core.span("ignored"):
+            logger.info("plain")
+        (record,) = _lines(buffer)
+        assert "span" not in record
+
+
+class TestConfigure:
+    def test_reconfigure_replaces_handler_not_stacks(self):
+        import io
+
+        first = io.StringIO()
+        second = io.StringIO()
+        structured.configure(first, name="repro.test.reconf")
+        logger = structured.configure(second, name="repro.test.reconf")
+        assert len(logger.handlers) == 1
+        logger.info("once")
+        assert first.getvalue() == ""
+        assert len(_lines(second)) == 1
+
+    def test_propagation_is_disabled(self):
+        logger, _ = structured.capture_buffer(name="repro.test.noprop")
+        assert logger.propagate is False
+
+    def test_get_logger_returns_same_instance(self):
+        logger, _ = structured.capture_buffer(name="repro.test.same")
+        assert structured.get_logger("repro.test.same") is logger

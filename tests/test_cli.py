@@ -355,3 +355,112 @@ class TestBenchCommand:
 
     def test_help_mentions_bench(self, shell):
         assert ":bench last" in shell.execute(":help")
+
+
+class TestWatchCommand:
+    @pytest.fixture(autouse=True)
+    def clean_runtime(self):
+        from repro.obs import runtime
+
+        runtime.disable()
+        runtime.reset()
+        yield
+        runtime.disable()
+        runtime.reset()
+
+    def test_watch_auto_enables_telemetry(self, shell):
+        from repro.obs import runtime
+
+        assert not runtime.is_enabled()
+        out = shell.execute(":watch")
+        assert runtime.is_enabled()
+        assert "now recording" in out
+
+    def test_watch_shows_per_op_table_after_updates(self, shell):
+        shell.execute(":watch")  # enables telemetry
+        shell.execute("(insert {A1 | A2})")
+        shell.execute("? A1")
+        out = shell.execute(":watch")
+        assert "hlu.update" in out
+        assert "hlu.query" in out
+        assert "ops/s" in out and "p50" in out and "p99" in out
+
+    def test_watch_bad_interval_is_friendly(self, shell):
+        assert shell.execute(":watch nope").startswith("error:")
+        assert shell.execute(":watch -1").startswith("error:")
+        assert shell.execute(":watch 0").startswith("error:")
+
+    def test_watch_with_interval_but_no_tty_renders_once(self, shell):
+        shell.execute(":watch")
+        shell.execute("(insert {A1})")
+        out = shell.execute(":watch 0.5")  # stdout is not a tty under pytest
+        assert "hlu.update" in out
+        assert "\x1b[" not in out
+
+    def test_watch_suggested_for_typo(self, shell):
+        assert "did you mean :watch?" in shell.execute(":watc")
+
+    def test_help_mentions_watch(self, shell):
+        assert ":watch" in shell.execute(":help")
+
+
+class TestTelemetryMain:
+    def _write_feed(self, path):
+        from repro.obs import runtime
+
+        registry = runtime.MetricsRegistry(clock=lambda: 1.0)
+        registry.count("cache.hits", 3)
+        registry.count("cache.misses", 1)
+        registry.record_op("hlu.update", 0.002)
+        writer = runtime.TelemetryWriter(str(path), source=registry, worker="E6")
+        writer.write_snapshot(now=2.0)
+        writer.close()
+
+    def test_summarises_feed(self, tmp_path, capsys):
+        feed = tmp_path / "telemetry.jsonl"
+        self._write_feed(feed)
+        assert main(["telemetry", str(feed)]) == 0
+        out = capsys.readouterr().out
+        assert "feed schema 1" in out
+        assert "workers: E6" in out
+        assert "hlu.update" in out
+        assert "cache hit rate: 75%" in out
+
+    def test_prometheus_rendering(self, tmp_path, capsys):
+        feed = tmp_path / "telemetry.jsonl"
+        self._write_feed(feed)
+        assert main(["telemetry", str(feed), "--prometheus"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_cache_hits_total counter" in out
+        assert "repro_cache_hits_total 3" in out
+        assert "# TYPE repro_hlu_update_seconds summary" in out
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["telemetry", str(tmp_path / "absent.jsonl")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    _DRIFTED_META = (
+        '{"type": "meta", "schema": 42, "window_seconds": 10.0, '
+        '"slots": 5, "worker": null}\n'
+    )
+
+    def test_schema_drift_exits_2(self, tmp_path, capsys):
+        feed = tmp_path / "bad.jsonl"
+        feed.write_text(self._DRIFTED_META)
+        assert main(["telemetry", str(feed)]) == 2
+        assert "unsupported feed schema" in capsys.readouterr().err
+
+    def test_no_validate_skips_schema_check(self, tmp_path, capsys):
+        feed = tmp_path / "old.jsonl"
+        feed.write_text(self._DRIFTED_META)
+        assert main(["telemetry", str(feed), "--no-validate"]) == 0
+        assert "no snapshots" in capsys.readouterr().out
+
+    def test_empty_feed_reports_no_snapshots(self, tmp_path, capsys):
+        feed = tmp_path / "empty.jsonl"
+        from repro.obs import runtime
+
+        writer = runtime.TelemetryWriter(str(feed), worker="E6")
+        writer.close()
+        assert main(["telemetry", str(feed)]) == 0
+        assert "no snapshots" in capsys.readouterr().out
