@@ -39,6 +39,13 @@ telemetry feed to a file (per-worker feeds are merged, keeping each
 worker's snapshots plus one combined record); replay or summarise it
 afterwards with ``python -m repro.cli telemetry FILE``.
 
+``--audit-out FILE`` enables the session audit trail
+(``repro.hlu.audit``) for the whole run: every database session an
+experiment opens records its operations -- args, pre/post fingerprints,
+outcomes -- as JSONL.  Per-worker trails are concatenated (session ids
+embed the worker pid, so they never collide); validate and replay the
+result with ``python -m repro.cli audit FILE --replay``.
+
 Performance trajectory (see README "Performance trajectory"):
 
 * a full run writes a schema-versioned ``BENCH_<timestamp>.json`` run
@@ -67,6 +74,7 @@ from repro import obs
 from repro.bench import experiments
 from repro.cache import core as cache_mod
 from repro.errors import MetricsError
+from repro.hlu import audit as audit_mod
 from repro.obs import baseline as baseline_mod
 from repro.obs import live as live_mod
 from repro.obs import metrics as metrics_mod
@@ -148,6 +156,11 @@ def _feed_path(feed_dir: str, ident: str) -> str:
     return os.path.join(feed_dir, f"feed_{ident}.jsonl")
 
 
+def _audit_path(audit_dir: str, ident: str) -> str:
+    """The per-worker audit trail file for one experiment."""
+    return os.path.join(audit_dir, f"audit_{ident}.jsonl")
+
+
 def _worker_run(
     ident: str,
     mem: bool,
@@ -156,6 +169,7 @@ def _worker_run(
     cache_capacity: int | None = None,
     feed_dir: str | None = None,
     feed_interval: float = 0.5,
+    audit_dir: str | None = None,
 ) -> dict:
     """One experiment inside a ``--jobs`` worker process.
 
@@ -186,13 +200,23 @@ def _worker_run(
             writer, feed_interval, runtime_mod.ResourceSampler()
         )
         pump.start()
+    if audit_dir is not None:
+        audit_mod.enable(_audit_path(audit_dir, ident))
     try:
         report, sample, elapsed = _run_traced(ident, runner, mem, tracing)
     finally:
+        if audit_dir is not None:
+            audit_mod.disable()
         if pump is not None:
             pump.stop(final_snapshot=True)
             runtime_mod.disable()
             writer.close()
+    audit_text = None
+    if audit_dir is not None:
+        try:
+            audit_text = Path(_audit_path(audit_dir, ident)).read_text()
+        except OSError:
+            audit_text = ""
     trace_text = None
     if tracing:
         obs.disable()
@@ -210,6 +234,7 @@ def _worker_run(
         "peak_bytes": sample.peak_bytes if sample is not None else None,
         "trace": trace_text,
         "cache_stats": stats,
+        "audit": audit_text,
     }
 
 
@@ -321,6 +346,14 @@ def main(argv: list[str] | None = None) -> int:
         "(default: 0.5)",
     )
     parser.add_argument(
+        "--audit-out",
+        metavar="FILE",
+        default=None,
+        help="enable the session audit trail (repro.hlu.audit) for the "
+        "run and write it here as JSONL (per-worker trails concatenated; "
+        "check with 'python -m repro.cli audit FILE --replay')",
+    )
+    parser.add_argument(
         "--bench-out",
         metavar="FILE",
         default=None,
@@ -409,6 +442,12 @@ def main(argv: list[str] | None = None) -> int:
             telemetry_handle = open(options.telemetry_out, "w")
         except OSError as exc:
             parser.error(f"cannot write --telemetry-out file: {exc}")
+    audit_handle = None
+    if options.audit_out is not None:
+        try:
+            audit_handle = open(options.audit_out, "w")
+        except OSError as exc:
+            parser.error(f"cannot write --audit-out file: {exc}")
     selected = [
         runner_ident(runner)
         for runner in RUNNERS
@@ -446,7 +485,13 @@ def main(argv: list[str] | None = None) -> int:
 
         trace_parts: list[str] = []
         cache_parts: list[dict[str, dict[str, int]]] = []
+        audit_parts: list[str] = []
         feed_dir = tempfile.mkdtemp(prefix="repro_telemetry_") if telemetry else None
+        audit_dir = (
+            tempfile.mkdtemp(prefix="repro_audit_")
+            if audit_handle is not None
+            else None
+        )
         if model is not None:
             for ident in selected:
                 model.worker(ident)
@@ -462,6 +507,7 @@ def main(argv: list[str] | None = None) -> int:
                         options.cache_capacity,
                         feed_dir,
                         options.telemetry_interval,
+                        audit_dir,
                     )
                     for ident in selected
                 ]
@@ -496,6 +542,8 @@ def main(argv: list[str] | None = None) -> int:
                         trace_parts.append(payload["trace"])
                     if payload["cache_stats"]:
                         cache_parts.append(payload["cache_stats"])
+                    if payload["audit"]:
+                        audit_parts.append(payload["audit"])
             if feed_dir is not None:
                 feed_texts = []
                 for ident in selected:
@@ -507,6 +555,10 @@ def main(argv: list[str] | None = None) -> int:
         finally:
             if feed_dir is not None:
                 shutil.rmtree(feed_dir, ignore_errors=True)
+            if audit_dir is not None:
+                shutil.rmtree(audit_dir, ignore_errors=True)
+        if audit_handle is not None:
+            audit_handle.write("".join(audit_parts))
         if tracing:
             trace_text = merge_jsonl(trace_parts)
         cache_kernels = cache_mod.merge_stats(cache_parts)
@@ -529,6 +581,10 @@ def main(argv: list[str] | None = None) -> int:
                 writer, options.telemetry_interval, runtime_mod.ResourceSampler()
             )
             pump.start()
+        if audit_handle is not None:
+            # Stream straight into the (already truncated) output file;
+            # the writer wraps the handle without taking ownership.
+            audit_mod.enable(audit_handle)
         try:
             for ident in selected:
                 report, sample, elapsed = _run_traced(
@@ -540,6 +596,8 @@ def main(argv: list[str] | None = None) -> int:
                     sample.peak_bytes if sample is not None else None,
                 )
         finally:
+            if audit_handle is not None:
+                audit_mod.disable()
             if pump is not None:
                 pump.stop(final_snapshot=True)
                 runtime_mod.disable()
@@ -564,6 +622,10 @@ def main(argv: list[str] | None = None) -> int:
         with telemetry_handle:
             telemetry_handle.write(telemetry_text or "")
         print(f"telemetry feed written to {options.telemetry_out}")
+
+    if audit_handle is not None:
+        audit_handle.close()
+        print(f"audit trail written to {options.audit_out}")
 
     if tracing and trace_text is not None:
         if trace_handle is not None:

@@ -42,17 +42,27 @@ Commands:
                    and p50/p99, counters, gauges (auto-enables
                    ``repro.obs.runtime``); with ``n`` seconds and a
                    TTY, refreshes every ``n`` seconds until Ctrl-C
+``:why [f]``       an independently verified derivation of why formula
+                   ``f`` is certain (by refutation); with no argument,
+                   of why the state is inconsistent (the empty clause)
+``:audit <c>``     ``on [file]`` / ``off`` the session audit trail;
+                   ``:audit [n]`` shows the last ``n`` in-memory
+                   records (default 10); ``save <file>`` writes them
+                   out; ``replay`` re-applies and checks the trail
 ``:help``          this text
 ``:quit``          leave
 =================  ==================================================
 
-The module doubles as the home of the benchmark-diff and trace-analysis
-tools::
+The module doubles as the home of the benchmark-diff, trace-analysis,
+and explain/audit tools::
 
     python -m repro.cli bench-diff BENCH_x.json [--against baseline.json]
     python -m repro.cli trace-report trace.jsonl [--limit N]
         [--folded out.folded] [--speedscope out.speedscope.json]
     python -m repro.cli telemetry telemetry.jsonl [--prometheus]
+    python -m repro.cli explain session.txt [--certain F | --clause C]
+        [--max-clauses N] [--json]
+    python -m repro.cli audit audit.jsonl [--replay] [--limit N]
 
 ``bench-diff`` renders the run-vs-baseline regression table and exits
 nonzero when gated metrics regressed (see README "Performance
@@ -61,7 +71,14 @@ file, prints its hotspot table, and can export flamegraph views (folded
 stacks for ``flamegraph.pl``, JSON for speedscope); ``telemetry``
 schema-checks a ``--telemetry-out`` JSONL feed and replays it as a
 summary (workers, snapshot counts, final per-op table -- or the final
-state as a Prometheus text exposition with ``--prometheus``).
+state as a Prometheus text exposition with ``--prometheus``);
+``explain`` loads a saved session file and prints a derivation -- of why
+a formula is certain, a clause is in the closure, or the state is
+inconsistent -- re-checked by the independent verifier (exit 1 when no
+derivation exists, 2 when verification fails); ``audit`` schema-checks a
+session audit trail (exit 2 on drift) and, with ``--replay``, rebuilds
+every session, re-applies each operation, and exits 2 when any recorded
+fingerprint or outcome disagrees.
 """
 
 from __future__ import annotations
@@ -94,6 +111,8 @@ _COMMANDS = (
     "bench",
     "cache",
     "watch",
+    "why",
+    "audit",
     "help",
     "quit",
     "exit",
@@ -197,6 +216,10 @@ class Shell:
             return self._cache_command(args)
         if name == "watch":
             return self._watch_command(args)
+        if name == "why":
+            return self._why_command(args)
+        if name == "audit":
+            return self._audit_command(args)
         if name == "help":
             return _HELP.strip("\n")
         if name in ("quit", "exit", "q"):
@@ -354,6 +377,133 @@ class Shell:
                 time.sleep(interval)
         except KeyboardInterrupt:
             return ""
+
+    def _why_command(self, args: list[str]) -> str:
+        from repro.logic.clauses import clause_to_str
+        from repro.logic.cnf import formula_to_clauses
+        from repro.logic.parser import parse_formula
+        from repro.obs import provenance
+
+        clause_set = self._db.clauses()
+        if not args:
+            steps = provenance.explain_inconsistency(clause_set)
+            if steps is None:
+                return (
+                    "state is consistent -- no derivation of the empty "
+                    "clause exists (try :why <formula>)"
+                )
+            return self._render_proof("why the state is inconsistent", steps)
+        formula = parse_formula(" ".join(args))
+        query = formula_to_clauses(formula, self._db.vocabulary)
+        targets = query.sorted_clauses()
+        if not targets:
+            return "certain (the formula is a tautology -- nothing to derive)"
+        blocks = []
+        for target in targets:
+            rendered = clause_to_str(self._db.vocabulary, target)
+            steps = provenance.explain_entailment(clause_set, target)
+            if steps is None:
+                return (
+                    f"not certain: no refutation derives {rendered} "
+                    "(a world violating it is possible)"
+                )
+            blocks.append(self._render_proof(f"why {rendered} is certain", steps))
+        return "\n\n".join(blocks)
+
+    def _render_proof(self, title: str, steps) -> str:
+        from repro.obs import provenance
+
+        defects = provenance.verify_derivation(
+            steps, target=steps[-1].clause, axioms=self._db.clauses().clauses
+        )
+        proof = provenance.render_derivation(steps, self._db.vocabulary)
+        status = (
+            "independently verified"
+            if not defects
+            else "VERIFICATION FAILED: " + "; ".join(defects)
+        )
+        return f"{title}:\n{proof}\n({len(steps)} step(s), {status})"
+
+    def _audit_command(self, args: list[str]) -> str:
+        from repro.errors import AuditError
+        from repro.hlu import audit as audit_mod
+
+        mode = args[0] if args else "show"
+        if mode == "on":
+            if len(args) > 1:
+                audit_mod.enable(args[1])
+                self._db.attach_audit()
+                return f"audit on -> {args[1]} (append-only JSONL)"
+            audit_mod.enable()
+            self._db.attach_audit()
+            return "audit on (in-memory; :audit save <file> to write it out)"
+        if mode == "off":
+            if not audit_mod.is_enabled():
+                return "audit is already off"
+            audit_mod.disable()
+            return "audit off"
+        if mode == "save":
+            if len(args) < 2:
+                return "error: :audit save needs a file path"
+            sink = audit_mod.sink()
+            if not isinstance(sink, audit_mod.AuditTrail):
+                return (
+                    "error: :audit save needs the in-memory trail "
+                    "(a file sink already persists its records)"
+                )
+            sink.save(args[1])
+            return f"saved {len(sink)} audit record(s) to {args[1]}"
+        if mode == "replay":
+            sink = audit_mod.sink()
+            if not isinstance(sink, audit_mod.AuditTrail):
+                return (
+                    "error: :audit replay needs the in-memory trail "
+                    "(use 'python -m repro.cli audit FILE --replay' on files)"
+                )
+            try:
+                return audit_mod.replay_audit(sink).render()
+            except AuditError as error:
+                return f"error: {error}"
+        if mode == "show":
+            limit = 10
+        else:
+            try:
+                limit = int(mode)
+            except ValueError:
+                return (
+                    "error: :audit takes on [file], off, save <file>, "
+                    "replay, or a record count"
+                )
+        sink = audit_mod.sink()
+        if sink is None:
+            return "(audit is off; :audit on to start recording)"
+        if not isinstance(sink, audit_mod.AuditTrail):
+            return "(audit records are streaming to a file; :audit off closes it)"
+        records = sink.records[-limit:] if limit > 0 else []
+        if not records:
+            return "(no audit records yet)"
+        lines = []
+        for record in records:
+            if record["kind"] == "session":
+                lines.append(
+                    f"{record['session']}  session  backend={record['backend']} "
+                    f"{len(record['letters'])} letter(s), "
+                    f"{len(record['initial'])} clause(s)"
+                )
+                continue
+            head = f"{record['session']} #{record['seq']}  {record['op']}"
+            if record["args"]:
+                head += f" {record['args']}"
+            post = record.get("post")
+            shape = (
+                f" {record['pre']['n']}->{post['n']} clause(s)" if post else ""
+            )
+            error = f" ({record['error']})" if "error" in record else ""
+            lines.append(
+                f"{head}  -> {record['outcome']}{shape} "
+                f"[{record['wall_ms']:.2f}ms]{error}"
+            )
+        return "\n".join(lines)
 
     def _bench_command(self, args: list[str]) -> str:
         from repro.obs import metrics
@@ -611,6 +761,232 @@ def telemetry_main(argv: list[str]) -> int:
     return 0
 
 
+def explain_main(argv: list[str]) -> int:
+    """``python -m repro.cli explain``: a verified derivation for a session.
+
+    Loads a session file (written by the REPL's ``:save`` or
+    :func:`repro.hlu.persistence.dump_session`) and derives -- then
+    re-checks with the independent verifier -- why a formula is certain
+    (``--certain``, by refutation), why a clause is in the resolution
+    closure (``--clause``), or, by default, why the state is
+    inconsistent.  Exits 0 with the rendered (or ``--json``) proof, 1
+    when no derivation exists (the formula is not certain / the clause
+    not derivable / the state consistent), 2 on unreadable input, an
+    exhausted ``--max-clauses`` budget, or a derivation the verifier
+    rejects.
+    """
+    import json
+
+    from repro.errors import ClosureBudgetError
+    from repro.hlu.persistence import load_session
+    from repro.logic.clauses import clause_to_str
+    from repro.logic.cnf import formula_to_clauses
+    from repro.logic.parser import parse_formula
+    from repro.obs import provenance
+
+    parser = argparse.ArgumentParser(
+        prog="repro-hlu explain",
+        description="Derive, and independently verify, why a saved session "
+        "state entails a formula, contains a clause, or is inconsistent.",
+    )
+    parser.add_argument(
+        "session", help="a session file (REPL :save / hlu.persistence)"
+    )
+    question = parser.add_mutually_exclusive_group()
+    question.add_argument(
+        "--certain",
+        metavar="FORMULA",
+        default=None,
+        help="explain why this formula is certain (one refutation per "
+        "clause of its CNF)",
+    )
+    question.add_argument(
+        "--clause",
+        metavar="CLAUSE",
+        default=None,
+        help="explain why this clause is in the resolution closure",
+    )
+    parser.add_argument(
+        "--max-clauses",
+        type=int,
+        default=100_000,
+        metavar="N",
+        help="saturation budget for the explanation (default 100000)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit each derivation as one schema-versioned JSON document "
+        "per line instead of the rendered proof",
+    )
+    options = parser.parse_args(argv)
+    try:
+        with open(options.session) as handle:
+            db = load_session(handle.read())
+    except OSError as exc:
+        print(f"error: cannot read session file: {exc}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"error: {options.session}: {exc}", file=sys.stderr)
+        return 2
+    clause_set = db.clauses()
+    vocabulary = db.vocabulary
+
+    proofs: list[tuple[str, list]] = []
+    try:
+        if options.clause is not None:
+            query = formula_to_clauses(parse_formula(options.clause), vocabulary)
+            targets = query.sorted_clauses()
+            if len(targets) != 1:
+                print(
+                    "error: --clause needs a single disjunction of literals "
+                    f"(got {len(targets)} clause(s))",
+                    file=sys.stderr,
+                )
+                return 2
+            target = targets[0]
+            rendered = clause_to_str(vocabulary, target)
+            steps = provenance.explain_in_closure(
+                clause_set, target, max_clauses=options.max_clauses
+            )
+            if steps is None:
+                print(
+                    f"{rendered} is not in the resolution closure "
+                    "(an entailed-but-subsumed clause needs --certain)"
+                )
+                return 1
+            proofs.append((f"why {rendered} is in the closure", steps))
+        elif options.certain is not None:
+            query = formula_to_clauses(parse_formula(options.certain), vocabulary)
+            targets = query.sorted_clauses()
+            if not targets:
+                print("certain (the formula is a tautology -- nothing to derive)")
+                return 0
+            for target in targets:
+                rendered = clause_to_str(vocabulary, target)
+                steps = provenance.explain_entailment(
+                    clause_set, target, max_clauses=options.max_clauses
+                )
+                if steps is None:
+                    print(
+                        f"not certain: no refutation derives {rendered} "
+                        "(a world violating it is possible)"
+                    )
+                    return 1
+                proofs.append((f"why {rendered} is certain", steps))
+        else:
+            steps = provenance.explain_inconsistency(
+                clause_set, max_clauses=options.max_clauses
+            )
+            if steps is None:
+                print(
+                    f"{options.session}: state is consistent -- no derivation "
+                    "of the empty clause exists"
+                )
+                return 1
+            proofs.append(("why the state is inconsistent", steps))
+    except ReproError as exc:
+        if isinstance(exc, ClosureBudgetError):
+            print(f"error: {exc} (raise --max-clauses?)", file=sys.stderr)
+        else:
+            print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    failed = False
+    for title, steps in proofs:
+        defects = provenance.verify_derivation(
+            steps, target=steps[-1].clause, axioms=clause_set.clauses
+        )
+        if defects:
+            failed = True
+            for defect in defects:
+                print(f"error: {title}: {defect}", file=sys.stderr)
+            continue
+        if options.json:
+            print(json.dumps(provenance.derivation_to_json(steps), sort_keys=True))
+        else:
+            print(f"{title}:")
+            print(provenance.render_derivation(steps, vocabulary))
+            print(f"({len(steps)} step(s), independently verified)")
+    return 2 if failed else 0
+
+
+def audit_main(argv: list[str]) -> int:
+    """``python -m repro.cli audit``: validate / summarise / replay a trail.
+
+    Schema-checks and structurally validates an audit JSONL file (exit 2
+    on drift or malformed records), prints a summary, and -- with
+    ``--replay`` -- rebuilds every recorded session, re-applies each
+    operation, and checks the recorded pre/post fingerprints and query
+    outcomes, exiting 2 on any disagreement.
+    """
+    from repro.errors import AuditError
+    from repro.hlu import audit as audit_mod
+
+    parser = argparse.ArgumentParser(
+        prog="repro-hlu audit",
+        description="Validate, summarise, and replay a session audit trail.",
+    )
+    parser.add_argument(
+        "trail",
+        help="audit JSONL file (REPL ':audit on FILE' or "
+        "run_experiments.py --audit-out)",
+    )
+    parser.add_argument(
+        "--replay",
+        action="store_true",
+        help="rebuild every session and re-apply each operation, checking "
+        "the recorded fingerprints and outcomes",
+    )
+    parser.add_argument(
+        "--limit",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also print the last N operation records",
+    )
+    options = parser.parse_args(argv)
+    try:
+        records = audit_mod.read_audit(options.trail)
+    except OSError as exc:
+        print(f"error: cannot read audit file: {exc}", file=sys.stderr)
+        return 2
+    except AuditError as exc:
+        print(f"error: {options.trail}: {exc}", file=sys.stderr)
+        return 2
+    problems = audit_mod.validate_audit(records)
+    if problems:
+        for problem in problems:
+            print(f"error: {options.trail}: {problem}", file=sys.stderr)
+        return 2
+    sessions = [r for r in records if r["kind"] == "session"]
+    ops = [r for r in records if r["kind"] == "op"]
+    outcomes: dict[str, int] = {}
+    for record in ops:
+        outcomes[record["outcome"]] = outcomes.get(record["outcome"], 0) + 1
+    summary = ", ".join(f"{name} x{n}" for name, n in sorted(outcomes.items()))
+    print(
+        f"{options.trail}: schema {audit_mod.AUDIT_SCHEMA_VERSION}, "
+        f"{len(sessions)} session(s), {len(ops)} op(s)"
+        + (f" ({summary})" if summary else "")
+    )
+    for record in ops[-options.limit:] if options.limit > 0 else []:
+        head = f"  {record['session']} #{record['seq']} {record['op']}"
+        if record["args"]:
+            head += f" {record['args']}"
+        print(f"{head} -> {record['outcome']} [{record['wall_ms']:.2f}ms]")
+    if options.replay:
+        try:
+            report = audit_mod.replay_audit(records)
+        except AuditError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(report.render())
+        if not report.ok:
+            return 2
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Console entry point."""
     if argv is None:
@@ -621,6 +997,10 @@ def main(argv: list[str] | None = None) -> int:
         return trace_report_main(argv[1:])
     if argv and argv[0] == "telemetry":
         return telemetry_main(argv[1:])
+    if argv and argv[0] == "explain":
+        return explain_main(argv[1:])
+    if argv and argv[0] == "audit":
+        return audit_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-hlu", description="Interactive HLU shell (Hegner, PODS 1987)"
     )

@@ -21,11 +21,13 @@ truth table.
 
 from __future__ import annotations
 
+import logging as _logging
 from collections.abc import Iterable
 
 from repro.db.morphisms import Morphism
 from repro.errors import InconsistentLiteralsError
 from repro.obs import runtime
+from repro.obs.logging import get_logger
 from repro.logic.clauses import (
     Literal,
     literal_index,
@@ -43,11 +45,22 @@ __all__ = [
     "modify_literals",
 ]
 
+#: Structured logger for morphism construction (DEBUG: these run inside
+#: every BLU update, so INFO would be noisy); the rejection path logs at
+#: WARNING with the offending literal set echoed.
+_LOG = get_logger("repro.db.updates")
+
+
+def _log_built(op: str, **detail: object) -> None:
+    if _LOG.isEnabledFor(_logging.DEBUG):
+        _LOG.debug("morphism built", extra={"op": op, **detail})
+
 
 def insert_atom(vocabulary: Vocabulary, name: str) -> Morphism:
     """``insert[Ai]`` (Definition 1.3.3(a)): ``Ai <- 1``."""
     vocabulary.index_of(name)  # validate
     runtime.count("db.updates.insert_atom")
+    _log_built("insert_atom", atom=name)
     return Morphism(vocabulary, vocabulary, {name: TRUE})
 
 
@@ -55,6 +68,7 @@ def delete_atom(vocabulary: Vocabulary, name: str) -> Morphism:
     """``delete[Ai]`` (Definition 1.3.3(b)): ``Ai <- 0``."""
     vocabulary.index_of(name)
     runtime.count("db.updates.delete_atom")
+    _log_built("delete_atom", atom=name)
     return Morphism(vocabulary, vocabulary, {name: FALSE})
 
 
@@ -67,6 +81,7 @@ def modify_atom(vocabulary: Vocabulary, old: str, new: str) -> Morphism:
     vocabulary.index_of(old)
     vocabulary.index_of(new)
     runtime.count("db.updates.modify_atom")
+    _log_built("modify_atom", old=old, new=new)
     if old == new:
         return Morphism.identity(vocabulary)
     return Morphism(
@@ -78,6 +93,11 @@ def modify_atom(vocabulary: Vocabulary, old: str, new: str) -> Morphism:
 
 def _require_consistent(literals: tuple[Literal, ...], label: str) -> None:
     if not literals_consistent(literals):
+        if _LOG.isEnabledFor(_logging.WARNING):
+            _LOG.warning(
+                "morphism rejected",
+                extra={"op": label, "literals": sorted(literals, key=abs)},
+            )
         raise InconsistentLiteralsError(
             f"{label} contains a complementary literal pair"
         )
@@ -92,6 +112,7 @@ def insert_literals(vocabulary: Vocabulary, literals: Iterable[Literal]) -> Morp
     literal_tuple = tuple(literals)
     _require_consistent(literal_tuple, "insert literal set")
     runtime.count("db.updates.insert_literals")
+    _log_built("insert_literals", literals=sorted(literal_tuple, key=abs))
     assignment: dict[str, Formula] = {}
     for literal in literal_tuple:
         name = vocabulary.name_of(literal_index(literal))
@@ -119,6 +140,11 @@ def modify_literals(
     _require_consistent(old_tuple, "modify precondition literal set")
     _require_consistent(new_tuple, "modify postcondition literal set")
     runtime.count("db.updates.modify_literals")
+    _log_built(
+        "modify_literals",
+        old=sorted(old_tuple, key=abs),
+        new=sorted(new_tuple, key=abs),
+    )
 
     condition = conj(literal_to_formula(vocabulary, lit) for lit in old_tuple)
 

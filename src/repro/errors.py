@@ -22,6 +22,9 @@ __all__ = [
     "TypeAlgebraError",
     "MacroExpansionError",
     "EvaluationError",
+    "ClosureBudgetError",
+    "ProvenanceError",
+    "AuditError",
     "MetricsError",
     "MetricsVersionError",
 ]
@@ -93,6 +96,35 @@ class MacroExpansionError(ReproError):
 
 class EvaluationError(ReproError):
     """A BLU/HLU term could not be evaluated in the chosen implementation."""
+
+
+class ClosureBudgetError(ReproError, MemoryError):
+    """A saturation kernel exceeded its ``max_clauses`` working-set budget.
+
+    Resolution closure is exponential in the worst case, so the kernels
+    take an explicit clause budget and abort (rather than silently
+    truncate) when the working set outgrows it.  Subclasses
+    ``MemoryError`` for compatibility with callers that treated the
+    budget as an out-of-memory condition before this class existed.
+
+    ``budget`` is the limit that was exceeded and ``formed`` how many
+    resolvents had been generated when the kernel gave up.
+    """
+
+    def __init__(self, message: str, budget: int | None = None, formed: int | None = None):
+        super().__init__(message)
+        self.budget = budget
+        self.formed = formed
+
+
+class ProvenanceError(ReproError):
+    """A derivation record is malformed, unverifiable, or from an
+    incompatible provenance schema version."""
+
+
+class AuditError(ReproError):
+    """A session audit trail is malformed, from an incompatible audit
+    schema version, or failed to replay to the recorded fingerprints."""
 
 
 class MetricsError(ReproError):

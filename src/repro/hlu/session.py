@@ -18,18 +18,21 @@ asserting the constraint clauses after every update.
 
 from __future__ import annotations
 
+import logging as _logging
 from collections.abc import Iterable
 from typing import Any
 
 from repro.obs import core as obs
 from repro.obs import runtime
+from repro.obs.logging import get_logger
 from repro.blu.clausal_impl import ClausalImplementation
 from repro.blu.implementation import Implementation
 from repro.blu.syntax import Sort
 from repro.blu.instance_impl import InstanceImplementation
 from repro.db.instances import WorldSet
 from repro.db.schema import DbSchema
-from repro.errors import EvaluationError
+from repro.errors import EvaluationError, ReproError
+from repro.hlu import audit as audit_mod
 from repro.hlu import language
 from repro.hlu.interpreter import run_update
 from repro.logic.clauses import ClauseSet
@@ -42,6 +45,11 @@ from repro.logic.sat import entails_clauses, is_satisfiable
 __all__ = ["IncompleteDatabase"]
 
 _BACKENDS = ("clausal", "instance")
+
+#: Structured (JSON-lines) logger for session operations; silent until
+#: ``repro.obs.logging.configure`` attaches a handler.  Records emitted
+#: inside an open span carry its name and sid for trace correlation.
+_LOG = get_logger("repro.hlu.session")
 
 
 class IncompleteDatabase:
@@ -82,6 +90,9 @@ class IncompleteDatabase:
         self._snapshots: list[Any] = []
         if enforce_constraints:
             self._state = self._apply_constraints(self._state)
+        self._audit: audit_mod.SessionAudit | None = None
+        if audit_mod._ENABLED:
+            self._audit = audit_mod.register_session(self)
 
     # --- constructors ------------------------------------------------------------
 
@@ -135,19 +146,53 @@ class IncompleteDatabase:
     # --- the HLU operations -----------------------------------------------------------
 
     def apply(self, update: language.Update) -> "IncompleteDatabase":
-        """Apply any :class:`~repro.hlu.language.Update`; returns self."""
+        """Apply any :class:`~repro.hlu.language.Update`; returns self.
+
+        When the audit trail is enabled the operation is recorded with
+        pre/post fingerprints; a rejected update (any :class:`ReproError`
+        out of the interpreter) is recorded with outcome ``"rejected"``,
+        logged with the offending operation echoed, and re-raised.
+        """
+        entry = None
+        if audit_mod._ENABLED and self._audit is not None:
+            entry = self._audit.begin("apply", str(update), self.clauses().fingerprint)
         with runtime.timed("hlu.update"), obs.span(
             "hlu.apply",
             update=type(update).__name__.lower(),
             backend=self._backend_name,
-        ):
+        ) as current:
             obs.inc("hlu.updates")
-            new_state = run_update(self._implementation, self._state, update)
-            if self._enforce_constraints:
-                new_state = self._apply_constraints(new_state)
+            if entry is not None:
+                entry.span_sid = getattr(current, "sid", 0)
+            try:
+                new_state = run_update(self._implementation, self._state, update)
+                if self._enforce_constraints:
+                    new_state = self._apply_constraints(new_state)
+            except ReproError as error:
+                if _LOG.isEnabledFor(_logging.WARNING):
+                    _LOG.warning(
+                        "update rejected",
+                        extra={
+                            "op": str(update),
+                            "backend": self._backend_name,
+                            "error": str(error),
+                        },
+                    )
+                if entry is not None:
+                    self._audit.commit(entry, "rejected", error=str(error))
+                raise
+            if _LOG.isEnabledFor(_logging.INFO):
+                _LOG.info(
+                    "update applied",
+                    extra={"op": str(update), "backend": self._backend_name},
+                )
         self._snapshots.append(self._state)
         self._state = new_state
         self._history.append(update)
+        if entry is not None:
+            self._audit.commit(
+                entry, self._outcome(), post=self.clauses().fingerprint
+            )
         return self
 
     def undo(self) -> "IncompleteDatabase":
@@ -158,13 +203,44 @@ class IncompleteDatabase:
         destroys information -- so undo is only possible through
         snapshots; this is the session-level counterpart of Section 1.5's
         observation that a morphism's preimage is an equivalence class,
-        not a point.
+        not a point.  The audit trail records the undo like any other
+        operation, so a replay traverses the same state trajectory.
         """
+        entry = None
+        if audit_mod._ENABLED and self._audit is not None:
+            entry = self._audit.begin("undo", "", self.clauses().fingerprint)
         if not self._snapshots:
+            if entry is not None:
+                self._audit.commit(entry, "rejected", error="nothing to undo")
+            if _LOG.isEnabledFor(_logging.WARNING):
+                _LOG.warning(
+                    "undo rejected",
+                    extra={"backend": self._backend_name, "error": "nothing to undo"},
+                )
             raise EvaluationError("nothing to undo")
         self._state = self._snapshots.pop()
         self._history.pop()
+        if _LOG.isEnabledFor(_logging.INFO):
+            _LOG.info("undo applied", extra={"backend": self._backend_name})
+        if entry is not None:
+            self._audit.commit(
+                entry, self._outcome(), post=self.clauses().fingerprint
+            )
         return self
+
+    def attach_audit(self) -> audit_mod.SessionAudit:
+        """Start auditing this session (audit must be enabled).
+
+        Sessions created while :func:`repro.hlu.audit.enable` is active
+        register automatically; this is the late-attachment hook for
+        sessions that predate the enable (e.g. the REPL's ``:audit on``).
+        The session record captures the *current* state as the initial
+        one, so replay still converges.
+        """
+        if not audit_mod.is_enabled():
+            raise EvaluationError("audit recording is not enabled")
+        self._audit = audit_mod.register_session(self)
+        return self._audit
 
     def assert_(self, *formulas: Formula | str) -> "IncompleteDatabase":
         """``(assert W)``: monotonically add the information ``W``."""
@@ -214,26 +290,68 @@ class IncompleteDatabase:
     def is_certain(self, formula: Formula | str) -> bool:
         """Does the formula hold in *every* possible world?"""
         formula = self._parse(formula)
+        entry = None
+        if audit_mod._ENABLED and self._audit is not None:
+            entry = self._audit.begin(
+                "query_certain", str(formula), self.clauses().fingerprint
+            )
         with runtime.timed("hlu.query"), obs.span(
             "hlu.is_certain", backend=self._backend_name
-        ):
+        ) as current:
             obs.inc("hlu.queries")
+            if entry is not None:
+                entry.span_sid = getattr(current, "sid", 0)
             if isinstance(self._state, WorldSet):
-                return self._state.satisfies_everywhere(formula)
-            query = formula_to_clauses(formula, self.vocabulary)
-            return entails_clauses(self._state, query)
+                result = self._state.satisfies_everywhere(formula)
+            else:
+                query = formula_to_clauses(formula, self.vocabulary)
+                result = entails_clauses(self._state, query)
+            if _LOG.isEnabledFor(_logging.INFO):
+                _LOG.info(
+                    "query",
+                    extra={
+                        "kind": "certain",
+                        "formula": str(formula),
+                        "backend": self._backend_name,
+                        "result": result,
+                    },
+                )
+        if entry is not None:
+            self._audit.commit(entry, "true" if result else "false")
+        return result
 
     def is_possible(self, formula: Formula | str) -> bool:
         """Does the formula hold in *some* possible world?"""
         formula = self._parse(formula)
+        entry = None
+        if audit_mod._ENABLED and self._audit is not None:
+            entry = self._audit.begin(
+                "query_possible", str(formula), self.clauses().fingerprint
+            )
         with runtime.timed("hlu.query"), obs.span(
             "hlu.is_possible", backend=self._backend_name
-        ):
+        ) as current:
             obs.inc("hlu.queries")
+            if entry is not None:
+                entry.span_sid = getattr(current, "sid", 0)
             if isinstance(self._state, WorldSet):
-                return self._state.satisfies_somewhere(formula)
-            query = formula_to_clauses(formula, self.vocabulary)
-            return is_satisfiable(self._state.union(query))
+                result = self._state.satisfies_somewhere(formula)
+            else:
+                query = formula_to_clauses(formula, self.vocabulary)
+                result = is_satisfiable(self._state.union(query))
+            if _LOG.isEnabledFor(_logging.INFO):
+                _LOG.info(
+                    "query",
+                    extra={
+                        "kind": "possible",
+                        "formula": str(formula),
+                        "backend": self._backend_name,
+                        "result": result,
+                    },
+                )
+        if entry is not None:
+            self._audit.commit(entry, "true" if result else "false")
+        return result
 
     def is_consistent(self) -> bool:
         """Is there at least one possible world?"""
@@ -326,6 +444,17 @@ class IncompleteDatabase:
         if isinstance(state, WorldSet):
             return state.legal(self._schema)
         return state.union(self._schema.constraint_clauses()).reduce()
+
+    def _outcome(self) -> str:
+        """The audit outcome of the current state: ``"inconsistent"`` when
+        inconsistency is representationally evident (an explicit empty
+        clause, or an empty world set), else ``"ok"``.  A deliberately
+        cheap check -- the semantic question is ``is_consistent()`` and,
+        for an explanation, ``repro.obs.provenance.explain_inconsistency``.
+        """
+        if isinstance(self._state, ClauseSet):
+            return "inconsistent" if self._state.has_empty_clause else "ok"
+        return "ok" if self._state else "inconsistent"
 
     def _parse(self, formula: Formula | str) -> Formula:
         return parse_formula(formula) if isinstance(formula, str) else formula

@@ -42,6 +42,7 @@ __all__ = [
     "clause_props",
     "clause_signature",
     "clause_is_tautologous",
+    "clause_sort_key",
     "clause_to_str",
     "clause_to_formula",
     "clause_satisfied_by",
@@ -170,6 +171,17 @@ def clause_signature(clause: Clause) -> int:
 def clause_is_tautologous(clause: Clause) -> bool:
     """True iff the clause contains a complementary literal pair (the 1)."""
     return any(-literal in clause for literal in clause)
+
+
+def clause_sort_key(clause: Clause) -> tuple[tuple[int, bool], ...]:
+    """A canonical total order on clauses: sorted ``(letter index, negated)``
+    pairs.  Distinct clauses always get distinct keys (the pairs determine
+    the literals), so sorting by this key is deterministic across runs and
+    hash seeds -- the order every rendered clause listing (``__str__``,
+    explain output, audit records, session dumps) uses.  Numeric, not
+    lexicographic: ``A2`` sorts before ``A10``.
+    """
+    return tuple(sorted((literal_index(lit), lit < 0) for lit in clause))
 
 
 def clause_to_str(vocabulary: Vocabulary, clause: Clause) -> str:
@@ -359,8 +371,9 @@ class ClauseSet:
     def __str__(self) -> str:
         if not self._clauses:
             return "{1}"
-        rendered = sorted(clause_to_str(self._vocabulary, c) for c in self._clauses)
-        return "{" + ", ".join(rendered) + "}"
+        return "{" + ", ".join(
+            clause_to_str(self._vocabulary, c) for c in self.sorted_clauses()
+        ) + "}"
 
     # --- operations ---------------------------------------------------------
 
@@ -471,13 +484,21 @@ class ClauseSet:
                 return self
             return ClauseSet._trusted(self._vocabulary, frozenset(kept))
 
+    def sorted_clauses(self) -> tuple[Clause, ...]:
+        """The clauses in the canonical :func:`clause_sort_key` order.
+
+        The deterministic iteration every rendered listing uses (``str``,
+        explain output, audit records, session dumps): independent of
+        set-iteration order and hash seed, so derivations and audit diffs
+        are stable across runs.
+        """
+        return tuple(sorted(self._clauses, key=clause_sort_key))
+
     def to_formulas(self) -> tuple[Formula, ...]:
         """Each clause as a disjunction formula, in a deterministic order."""
-        ordered = sorted(
-            self._clauses,
-            key=lambda c: sorted((literal_index(lit), lit < 0) for lit in c),
+        return tuple(
+            clause_to_formula(self._vocabulary, c) for c in self.sorted_clauses()
         )
-        return tuple(clause_to_formula(self._vocabulary, c) for c in ordered)
 
     def _check_vocabulary(self, other: "ClauseSet") -> None:
         if self._vocabulary != other._vocabulary:

@@ -43,14 +43,21 @@ def prime_implicates(clause_set: ClauseSet, max_clauses: int = 100_000) -> Claus
     >>> vocab = Vocabulary.standard(3)
     >>> cs = ClauseSet.from_strs(vocab, ["A1 | A2", "~A1 | A3"])
     >>> print(prime_implicates(cs))
-    {A1 | A2, A2 | A3, ~A1 | A3}
+    {A1 | A2, ~A1 | A3, A2 | A3}
 
     An unsatisfiable set has the single prime implicate 0 (the empty
     clause); a tautologous set has none.
 
+    The underlying saturation is exponential; when its working set
+    outgrows ``max_clauses`` the computation raises
+    :class:`repro.errors.ClosureBudgetError` (a dedicated budget error --
+    also a :class:`MemoryError` subclass for older callers) rather than
+    returning a silently truncated implicate set.
+
     Memoised by the opt-in kernel cache on the clause set's fingerprint
     plus ``max_clauses``; a top-level hit also skips the (separately
-    cached) closure and reduction stages.
+    cached) closure and reduction stages.  A run that exceeds the budget
+    is never stored.
     """
     if cache._ENABLED:
         key = (clause_set.vocabulary, clause_set.fingerprint, max_clauses)

@@ -28,13 +28,16 @@ from collections import deque
 from collections.abc import Iterable
 
 from repro.cache import core as cache
+from repro.errors import ClosureBudgetError
 from repro.obs import core as obs
+from repro.obs import provenance
 from repro.obs import runtime
 from repro.logic.clauses import (
     Clause,
     ClauseSet,
     Literal,
     clause_is_tautologous,
+    clause_sort_key,
     make_literal,
 )
 from repro.logic.occurrence import OccurrenceIndex
@@ -72,6 +75,7 @@ def _saturate(
     clauses: Iterable[Clause],
     pivot_indices: frozenset[int] | None,
     max_clauses: int | None = None,
+    stop_on: Clause | None = None,
 ) -> tuple[OccurrenceIndex, int, int, int]:
     """Worklist resolution closure on the pivot letters (all letters if None).
 
@@ -83,16 +87,38 @@ def _saturate(
     resolution on the pivot letters -- the same fixpoint the seed's
     rescan-until-stable loops computed, without the rescans.
 
+    Exceeding ``max_clauses`` raises :class:`ClosureBudgetError`.  When
+    ``stop_on`` is given, the saturation returns early as soon as that
+    exact clause is formed (it may also be an input) -- the explain
+    drivers use this to stop a refutation at the empty clause instead of
+    paying for the full closure.  The early exit returns a *partial*
+    index, so the memoised closure wrappers never pass ``stop_on``.
+
+    With :mod:`repro.obs.provenance` enabled, every input clause and
+    every resolvent is recorded into the context recorder (rule
+    ``"resolve"``, parents ``(positive, negative)``, the pivot letter
+    index as the attribute); inputs are recorded in canonical order so
+    ids are stable across runs.
+
     Returns ``(index, resolvents_formed, partner_hits, scan_skips)`` where
     ``partner_hits`` counts clauses served by index lookups and
     ``scan_skips`` counts the clauses a per-letter full scan would have
     examined but the index never touched.
     """
     occ = OccurrenceIndex(clauses)
-    queue: deque[Clause] = deque(occ)
+    rec = provenance.recorder() if provenance._ENABLED else None
+    if rec is not None:
+        ordered_inputs = sorted(occ, key=clause_sort_key)
+        for input_clause in ordered_inputs:
+            rec.ensure(input_clause)
+        queue: deque[Clause] = deque(ordered_inputs)
+    else:
+        queue = deque(occ)
     formed = 0
     hits = 0
     skips = 0
+    if stop_on is not None and stop_on in occ:
+        return occ, formed, hits, skips
     while queue:
         clause = queue.popleft()
         for literal in clause:
@@ -116,9 +142,19 @@ def _saturate(
                 if res is not None and occ.add(res):
                     queue.append(res)
                     formed += 1
+                    if rec is not None:
+                        if literal > 0:
+                            parents = (rec.ensure(clause), rec.ensure(partner))
+                        else:
+                            parents = (rec.ensure(partner), rec.ensure(clause))
+                        rec.record(res, "resolve", parents, pivot=index)
+                    if res == stop_on:
+                        return occ, formed, hits, skips
                     if max_clauses is not None and len(occ) > max_clauses:
-                        raise MemoryError(
-                            f"resolution closure exceeded {max_clauses} clauses"
+                        raise ClosureBudgetError(
+                            f"resolution closure exceeded {max_clauses} clauses",
+                            budget=max_clauses,
+                            formed=formed,
                         )
     return occ, formed, hits, skips
 
@@ -194,23 +230,41 @@ def unit_resolve(clause_set: ClauseSet, literals: Iterable[Literal]) -> ClauseSe
 
     The occurrence index locates the clauses containing ``~l`` directly;
     the seed scanned the whole working set once per literal.
+
+    With :mod:`repro.obs.provenance` enabled, each given literal is
+    recorded as a ``"given"`` unit clause and every strike as a
+    ``"resolve"`` step against that unit (striking ``~l`` from ``C`` *is*
+    resolving ``C`` with ``{l}`` on ``l``'s letter).
     """
     literal_list = list(literals)
     if not literal_list:
         return clause_set
     occ = OccurrenceIndex(clause_set.clauses)
+    rec = provenance.recorder() if provenance._ENABLED else None
     struck = 0
     hits = 0
     skips = 0
     for literal in literal_list:
         negated = -literal
-        affected = list(occ.clauses_with(negated))
+        unit_id = rec.record(frozenset((literal,)), "given") if rec is not None else 0
+        affected = sorted(occ.clauses_with(negated), key=clause_sort_key) if (
+            rec is not None
+        ) else list(occ.clauses_with(negated))
         hits += len(affected)
         skips += len(occ) - len(affected)
         for clause in affected:
             occ.discard(clause)
-            occ.add(clause - {negated})
+            reduced = clause - {negated}
+            occ.add(reduced)
             struck += 1
+            if rec is not None:
+                source_id = rec.ensure(clause)
+                if literal > 0:
+                    rec.record(reduced, "resolve", (unit_id, source_id),
+                               pivot=literal - 1)
+                else:
+                    rec.record(reduced, "resolve", (source_id, unit_id),
+                               pivot=-literal - 1)
     if struck:
         obs.inc("logic.resolution.literals_struck", struck)
     if hits:
@@ -224,9 +278,11 @@ def resolution_closure(clause_set: ClauseSet, max_clauses: int = 100_000) -> Cla
     """Saturate under resolution on *every* letter (total resolution).
 
     The basis of the prime-implicate engine; guarded by ``max_clauses``
-    since saturation is exponential.  Memoised by the opt-in kernel
-    cache on the clause set's fingerprint plus ``max_clauses`` (a run
-    that raises :class:`MemoryError` is never stored).
+    since saturation is exponential -- exceeding the budget raises
+    :class:`repro.errors.ClosureBudgetError` (a :class:`MemoryError`
+    subclass, for callers that treated the budget as an out-of-memory
+    condition).  Memoised by the opt-in kernel cache on the clause set's
+    fingerprint plus ``max_clauses`` (a run that raises is never stored).
     """
     if cache._ENABLED:
         key = (clause_set.vocabulary, clause_set.fingerprint, max_clauses)

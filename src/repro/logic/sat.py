@@ -24,8 +24,9 @@ from collections import Counter, deque
 
 from repro.cache import core as cache
 from repro.obs import core as obs
+from repro.obs import provenance
 from repro.obs import runtime
-from repro.logic.clauses import Clause, ClauseSet, Literal
+from repro.logic.clauses import Clause, ClauseSet, Literal, clause_sort_key
 
 __all__ = [
     "is_satisfiable",
@@ -59,9 +60,19 @@ class _SolverState:
         "open_clauses",
         "unit_queue",
         "root_conflict",
+        "conflict_cid",
+        "prov",
+        "prov_active",
+        "clause_ids",
+        "reasons",
     )
 
-    def __init__(self, clauses: list[Clause], assignment: dict[int, bool]):
+    def __init__(
+        self,
+        clauses: list[Clause],
+        assignment: dict[int, bool],
+        record_provenance: bool = False,
+    ):
         self.clauses = clauses
         self.occ: dict[Literal, list[int]] = {}
         for cid, clause in enumerate(clauses):
@@ -74,6 +85,30 @@ class _SolverState:
         self.open_clauses = len(clauses)
         self.unit_queue: deque[int] = deque()
         self.root_conflict = False
+        self.conflict_cid = -1
+        # Provenance (opt-in, sound only at decision level 0): input
+        # clauses are recorded as "input", the caller's assumptions as
+        # "assumption" units, and each root unit propagation as a
+        # "unitprop" node whose id becomes the assigned variable's
+        # *reason*.  prov_active is switched off at the first decision or
+        # pure-literal assignment -- consequences under either are not
+        # consequences of the clause set.
+        self.prov: provenance.DerivationRecorder | None = None
+        self.prov_active = False
+        self.clause_ids: list[int] = []
+        self.reasons: dict[int, int] = {}
+        if record_provenance and provenance._ENABLED:
+            rec = provenance.recorder()
+            self.prov = rec
+            self.prov_active = True
+            for input_clause in sorted(clauses, key=clause_sort_key):
+                rec.ensure(input_clause)
+            self.clause_ids = [rec.ensure(clause) for clause in clauses]
+            for index, value in assignment.items():
+                literal = index + 1 if value else -(index + 1)
+                self.reasons[index] = rec.record(
+                    frozenset((literal,)), "assumption"
+                )
         # Fold any pre-existing assignment (the caller's assumptions) into
         # the counters, then pick up the clauses that start unit or empty.
         for index, value in assignment.items():
@@ -83,6 +118,7 @@ class _SolverState:
             if self.n_true[cid] == 0:
                 if self.n_free[cid] == 0:
                     self.root_conflict = True
+                    self.conflict_cid = cid
                 elif self.n_free[cid] == 1:
                     self.unit_queue.append(cid)
 
@@ -105,6 +141,7 @@ class _SolverState:
             if n_true[cid] == 0:
                 if n_free[cid] == 0:
                     ok = False
+                    self.conflict_cid = cid
                 elif n_free[cid] == 1:
                     self.unit_queue.append(cid)
         return ok
@@ -119,6 +156,7 @@ class _SolverState:
         """Drain the unit queue to fixpoint; False (queue cleared) on conflict."""
         if self.root_conflict:
             obs.inc("logic.sat.conflicts")
+            self._record_conflict()
             return False
         ok = True
         propagations = 0
@@ -129,20 +167,54 @@ class _SolverState:
                 continue  # became satisfied since it was queued
             if self.n_free[cid] == 0:
                 ok = False
+                self.conflict_cid = cid
                 break
             unit: Literal = 0
             for literal in self.clauses[cid]:
                 if (abs(literal) - 1) not in self.assignment:
                     unit = literal
                     break
+            if self.prov_active:
+                self._record_unit(cid, unit)
             propagations += 1
             ok = self.assign(abs(unit) - 1, unit > 0)
         if propagations:
             obs.inc("logic.sat.unit_propagations", propagations)
         if not ok:
             obs.inc("logic.sat.conflicts")
+            self._record_conflict()
             queue.clear()
         return ok
+
+    def _record_unit(self, cid: int, unit: Literal) -> None:
+        """Record one level-0 unit propagation: clause ``cid`` forces
+        ``unit`` because its other literals are all falsified; the forcing
+        node becomes the variable's reason."""
+        rec = self.prov
+        if rec is None:
+            return
+        parents = [self.clause_ids[cid]]
+        for literal in self.clauses[cid]:
+            if literal != unit:
+                parents.append(self.reasons[abs(literal) - 1])
+        self.reasons[abs(unit) - 1] = rec.record(
+            frozenset((unit,)), "unitprop", tuple(parents)
+        )
+
+    def _record_conflict(self) -> None:
+        """Record the empty clause from a level-0 conflict: the falsified
+        clause plus the unit reasons of every literal in it."""
+        rec = self.prov
+        cid = self.conflict_cid
+        if rec is None or not self.prov_active or cid < 0:
+            return
+        parents = [self.clause_ids[cid]]
+        for literal in self.clauses[cid]:
+            reason = self.reasons.get(abs(literal) - 1)
+            if reason is None:
+                return  # a literal with no recorded reason: not level 0
+            parents.append(reason)
+        rec.record(frozenset(), "unitprop", tuple(parents))
 
     def undo_to(self, mark: int) -> None:
         """Rewind the trail (and all clause counters) to length ``mark``."""
@@ -198,6 +270,10 @@ def _search(state: _SolverState) -> dict[int, bool] | None:
         if state.propagate():
             if state.open_clauses == 0:
                 return dict(state.assignment)
+            # Past this point every assignment sits under a pure-literal
+            # choice or a decision, neither of which is a consequence of
+            # the clause set -- stop recording provenance.
+            state.prov_active = False
             # Cascading pure-literal elimination.  Assigning a pure literal
             # can only satisfy open clauses (its negation occurs in none of
             # them), so no propagation or conflict can result; satisfied
@@ -242,13 +318,27 @@ def solve(clause_set: ClauseSet, assumptions: tuple[Literal, ...] = ()) -> dict[
         index = abs(literal) - 1
         value = literal > 0
         if assignment.get(index, value) != value:
+            if provenance._ENABLED:
+                # Complementary assumptions refute themselves; record the
+                # two units and their empty resolvent so the derivation
+                # DAG still explains the failure.
+                rec = provenance.recorder()
+                pos = rec.record(frozenset((index + 1,)), "assumption")
+                neg = rec.record(frozenset((-(index + 1),)), "assumption")
+                rec.record(frozenset(), "resolve", (pos, neg), pivot=index)
             return None
         assignment[index] = value
     with runtime.timed("logic.sat.solve"), obs.span(
         "logic.sat.solve", clauses=len(clause_set), assumptions=len(assumptions)
     ):
         obs.inc("logic.sat.solve_calls")
-        return _search(_SolverState(list(clause_set.clauses), assignment))
+        return _search(
+            _SolverState(
+                list(clause_set.clauses),
+                assignment,
+                record_provenance=provenance._ENABLED,
+            )
+        )
 
 
 def is_satisfiable(clause_set: ClauseSet, assumptions: tuple[Literal, ...] = ()) -> bool:

@@ -54,7 +54,7 @@ from repro.obs.profile import (
     speedscope_document,
 )
 from repro.obs.report import hotspot_report
-from repro.obs import baseline, live, metrics, runtime
+from repro.obs import baseline, live, metrics, provenance, runtime
 from repro.obs import logging as structured_logging
 
 __all__ = [
@@ -94,4 +94,5 @@ __all__ = [
     "runtime",
     "live",
     "structured_logging",
+    "provenance",
 ]

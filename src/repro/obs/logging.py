@@ -40,6 +40,13 @@ __all__ = [
 #: tooling can gate on it.
 LOG_SCHEMA_VERSION = 1
 
+# Library-style default: a NullHandler on the package root logger keeps
+# unconfigured WARNING-level records (e.g. rejected-update echoes) off
+# stderr -- stdlib logging would otherwise print them via its lastResort
+# handler.  A :func:`configure` call attaches the real handler; this
+# touches only the "repro" logger, never the root logger.
+logging.getLogger("repro").addHandler(logging.NullHandler())
+
 #: Attributes every LogRecord carries; anything else came in via ``extra``.
 _RESERVED = frozenset(
     vars(

@@ -1,0 +1,121 @@
+"""Session edge cases: undo against empty history, backend switching
+mid-session, and the audit trail across undo."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.hlu import audit
+from repro.hlu.session import IncompleteDatabase
+
+
+@pytest.fixture(autouse=True)
+def clean_audit():
+    audit.disable()
+    yield
+    audit.disable()
+
+
+class TestUndoEdges:
+    def test_undo_past_empty_history_raises(self):
+        db = IncompleteDatabase.over(3)
+        with pytest.raises(EvaluationError):
+            db.undo()
+
+    def test_undo_to_empty_then_past_it(self):
+        db = IncompleteDatabase.over(3)
+        db.insert("A1")
+        db.undo()
+        assert db.history == ()
+        with pytest.raises(EvaluationError):
+            db.undo()
+
+    def test_failed_undo_leaves_state_untouched(self):
+        db = IncompleteDatabase.over(3)
+        db.insert("A1")
+        fingerprint = db.clauses().fingerprint
+        db.undo()
+        with pytest.raises(EvaluationError):
+            db.undo()
+        assert db.is_possible("~A1")
+        db.insert("A2")  # the session still works after the failure
+        assert db.clauses().fingerprint != fingerprint
+
+    def test_undo_after_backend_switch_raises(self):
+        # Snapshots are representation-level values; they do not carry
+        # across with_backend, so the clone starts with nothing to undo.
+        db = IncompleteDatabase.over(3)
+        db.insert("A1")
+        clone = db.with_backend("instance")
+        assert clone.history == db.history
+        with pytest.raises(EvaluationError):
+            clone.undo()
+
+
+class TestBackendSwitching:
+    def test_switch_preserves_information_both_ways(self):
+        db = IncompleteDatabase.over(4)
+        db.assert_("A1 | A2", "~A2 | A3")
+        instance = db.with_backend("instance")
+        assert instance.backend == "instance"
+        assert instance.is_certain("A1 | A2")
+        back = instance.with_backend("clausal")
+        assert back.is_certain("A2 -> A3")
+        assert back.worlds().worlds == db.worlds().worlds
+
+    def test_switch_mid_session_then_continue_updating(self):
+        db = IncompleteDatabase.over(3)
+        db.insert("A1")
+        flipped = db.with_backend("instance")
+        flipped.insert("A2")
+        assert flipped.is_certain("A1 & A2")
+        # The original is untouched by updates on the clone.
+        assert not db.is_certain("A2")
+
+    def test_switch_registers_a_new_audited_session(self):
+        trail = audit.enable()
+        db = IncompleteDatabase.over(3)
+        db.insert("A1")
+        clone = db.with_backend("instance")
+        clone.is_certain("A1")
+        sessions = [r for r in trail if r["kind"] == "session"]
+        assert len(sessions) == 2
+        assert [s["backend"] for s in sessions] == ["clausal", "instance"]
+        # The clone's session record carries the switched-in state, so the
+        # concatenated trail replays end to end.
+        assert audit.replay_audit(trail).ok
+
+
+class TestAuditAcrossUndo:
+    def test_undo_is_recorded_and_replay_converges(self):
+        trail = audit.enable()
+        db = IncompleteDatabase.over(4)
+        db.insert("A1 | A2")
+        db.insert("A3")
+        db.undo()
+        db.insert("A4")
+        ops = [r["op"] for r in trail if r["kind"] == "op"]
+        assert ops == ["apply", "apply", "undo", "apply"]
+        report = audit.replay_audit(trail)
+        assert report.ok, report.mismatches
+
+    def test_rejected_undo_is_recorded_and_replays(self):
+        trail = audit.enable()
+        db = IncompleteDatabase.over(3)
+        with pytest.raises(EvaluationError):
+            db.undo()
+        record = trail.records[-1]
+        assert record["op"] == "undo"
+        assert record["outcome"] == "rejected"
+        assert record["error"] == "nothing to undo"
+        assert audit.replay_audit(trail).ok
+
+    def test_undo_restores_the_recorded_pre_fingerprint(self):
+        trail = audit.enable()
+        db = IncompleteDatabase.over(4)
+        db.insert("A1")
+        db.insert("A2")
+        db.undo()
+        ops = [r for r in trail if r["kind"] == "op"]
+        # Undoing the second insert lands exactly on its pre fingerprint.
+        assert ops[-1]["post"] == ops[1]["pre"]
+        assert ops[-1]["post"] == audit.fingerprint_json(db.clauses().fingerprint)

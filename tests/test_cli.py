@@ -464,3 +464,223 @@ class TestTelemetryMain:
         writer.close()
         assert main(["telemetry", str(feed)]) == 0
         assert "no snapshots" in capsys.readouterr().out
+
+
+@pytest.fixture()
+def audited_shell():
+    """A shell with the audit trail cleaned up afterwards."""
+    from repro.hlu import audit
+
+    audit.disable()
+    yield Shell(5)
+    audit.disable()
+
+
+class TestWhyCommand:
+    def test_why_certain_formula_renders_verified_proof(self, shell):
+        shell.execute("(assert {A1 | A2, ~A2 | A1})")
+        out = shell.execute(":why A1")
+        assert "why A1 is certain" in out
+        assert "assumption" in out
+        assert "independently verified" in out
+
+    def test_why_not_certain(self, shell):
+        shell.execute("(assert {A1 | A2})")
+        out = shell.execute(":why A1")
+        assert out.startswith("not certain")
+
+    def test_why_without_args_explains_inconsistency(self, shell):
+        shell.execute("(assert {A1})")
+        shell.execute("(assert {~A1})")
+        out = shell.execute(":why")
+        assert "why the state is inconsistent" in out
+        assert "resolve" in out
+        assert "independently verified" in out
+
+    def test_why_on_consistent_state(self, shell):
+        assert "state is consistent" in shell.execute(":why")
+
+    def test_why_tautology(self, shell):
+        assert "tautology" in shell.execute(":why A1 | ~A1")
+
+    def test_why_conjunction_proves_each_clause(self, shell):
+        shell.execute("(assert {A1, A2})")
+        out = shell.execute(":why A1 & A2")
+        assert out.count("independently verified") == 2
+
+    def test_why_leaves_provenance_disabled(self, shell):
+        from repro.obs import provenance
+
+        shell.execute("(assert {A1})")
+        shell.execute(":why A1")
+        assert not provenance.is_enabled()
+
+
+class TestAuditShellCommand:
+    def test_on_record_show_replay_off(self, audited_shell):
+        sh = audited_shell
+        assert "audit on" in sh.execute(":audit on")
+        sh.execute("(insert {A1 | A2})")
+        sh.execute("? A1 | A2")
+        listing = sh.execute(":audit")
+        assert "session" in listing
+        assert "apply" in listing and "query_certain" in listing
+        assert "replay: " in sh.execute(":audit replay")
+        assert "audit off" == sh.execute(":audit off")
+
+    def test_show_respects_limit(self, audited_shell):
+        sh = audited_shell
+        sh.execute(":audit on")
+        for _ in range(3):
+            sh.execute("(insert {A1})")
+        assert len(sh.execute(":audit 2").splitlines()) == 2
+
+    def test_save_writes_replayable_file(self, audited_shell, tmp_path):
+        sh = audited_shell
+        sh.execute(":audit on")
+        sh.execute("(insert {A1})")
+        path = tmp_path / "audit_repl.jsonl"
+        assert "saved" in sh.execute(f":audit save {path}")
+        assert main(["audit", str(path), "--replay"]) == 0
+
+    def test_audit_on_file_streams(self, audited_shell, tmp_path):
+        sh = audited_shell
+        path = tmp_path / "audit_stream.jsonl"
+        sh.execute(f":audit on {path}")
+        sh.execute("(insert {A1})")
+        assert "streaming to a file" in sh.execute(":audit")
+        sh.execute(":audit off")
+        assert main(["audit", str(path), "--replay"]) == 0
+
+    def test_off_when_already_off(self, audited_shell):
+        assert "already off" in audited_shell.execute(":audit off")
+
+    def test_unknown_subcommand(self, audited_shell):
+        assert "error" in audited_shell.execute(":audit sideways")
+
+
+def _saved_session(tmp_path, *programs):
+    shell = Shell(5)
+    for program in programs:
+        shell.execute(program)
+    path = tmp_path / "session.txt"
+    shell.execute(f":save {path}")
+    return str(path)
+
+
+class TestExplainMain:
+    def test_certain_prints_verified_refutation(self, tmp_path, capsys):
+        session = _saved_session(tmp_path, "(assert {A1 | A2, ~A2 | A1})")
+        assert main(["explain", session, "--certain", "A1"]) == 0
+        out = capsys.readouterr().out
+        assert "why A1 is certain" in out
+        assert "independently verified" in out
+
+    def test_not_certain_exits_1(self, tmp_path, capsys):
+        session = _saved_session(tmp_path, "(assert {A1 | A2})")
+        assert main(["explain", session, "--certain", "A1"]) == 1
+        assert "not certain" in capsys.readouterr().out
+
+    def test_clause_in_closure(self, tmp_path, capsys):
+        session = _saved_session(tmp_path, "(assert {A1 | A2, ~A1 | A3})")
+        assert main(["explain", session, "--clause", "A2 | A3"]) == 0
+        assert "in the closure" in capsys.readouterr().out
+
+    def test_clause_not_derivable_exits_1(self, tmp_path, capsys):
+        session = _saved_session(tmp_path, "(assert {A1 | A2})")
+        assert main(["explain", session, "--clause", "A3"]) == 1
+        assert "not in the resolution closure" in capsys.readouterr().out
+
+    def test_default_explains_inconsistency(self, tmp_path, capsys):
+        session = _saved_session(tmp_path, "(assert {A1})", "(assert {~A1})")
+        assert main(["explain", session]) == 0
+        assert "why the state is inconsistent" in capsys.readouterr().out
+
+    def test_consistent_state_exits_1(self, tmp_path, capsys):
+        session = _saved_session(tmp_path, "(assert {A1})")
+        assert main(["explain", session]) == 1
+        assert "state is consistent" in capsys.readouterr().out
+
+    def test_json_output_round_trips(self, tmp_path, capsys):
+        import json as json_mod
+
+        from repro.obs import provenance
+
+        session = _saved_session(tmp_path, "(assert {A1})", "(assert {~A1})")
+        assert main(["explain", session, "--json"]) == 0
+        document = json_mod.loads(capsys.readouterr().out)
+        steps = provenance.derivation_from_json(document)
+        assert provenance.verify_derivation(steps, target=frozenset()) == []
+
+    def test_missing_session_exits_2(self, tmp_path, capsys):
+        assert main(["explain", str(tmp_path / "absent.txt")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_budget_overflow_exits_2(self, tmp_path, capsys):
+        import itertools
+
+        clauses = ", ".join(
+            "(" + " | ".join(
+                f"{'~' if s else ''}A{i + 1}" for i, s in enumerate(signs)
+            ) + ")"
+            for signs in itertools.product([0, 1], repeat=4)
+        )
+        session = _saved_session(tmp_path, f"(assert {{{clauses}}})")
+        assert main(
+            ["explain", session, "--max-clauses", "5"]
+        ) == 2
+        assert "--max-clauses" in capsys.readouterr().err
+
+
+class TestAuditMain:
+    def _trail(self, tmp_path, tamper=None):
+        from repro.hlu import audit
+
+        audit.disable()
+        trail = audit.enable()
+        shell = Shell(5)  # created while enabled: auto-registers
+        shell.execute("(insert {A1 | A2})")
+        shell.execute("? A1 | A2")
+        audit.disable()
+        if tamper is not None:
+            tamper(trail.records)
+        path = tmp_path / "audit_main.jsonl"
+        trail.save(path)
+        return str(path)
+
+    def test_summarises_and_replays(self, tmp_path, capsys):
+        path = self._trail(tmp_path)
+        assert main(["audit", path, "--replay", "--limit", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "1 session(s), 2 op(s)" in out
+        assert "audit replay" in out and "ok" in out
+
+    def test_schema_drift_exits_2(self, tmp_path, capsys):
+        def drift(records):
+            records[0]["schema"] = 99
+
+        path = self._trail(tmp_path, tamper=drift)
+        assert main(["audit", path]) == 2
+        assert "schema" in capsys.readouterr().err
+
+    def test_structural_problem_exits_2(self, tmp_path, capsys):
+        def gap(records):
+            records[-1]["seq"] = 7
+
+        path = self._trail(tmp_path, tamper=gap)
+        assert main(["audit", path]) == 2
+        assert "seq" in capsys.readouterr().err
+
+    def test_failed_replay_exits_2(self, tmp_path, capsys):
+        def forge(records):
+            for record in records:
+                if record.get("post") is not None:
+                    record["post"]["digest"] = "00" * 8
+
+        path = self._trail(tmp_path, tamper=forge)
+        assert main(["audit", path, "--replay"]) == 2
+        assert "mismatch" in capsys.readouterr().out
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["audit", str(tmp_path / "absent.jsonl")]) == 2
+        assert "cannot read" in capsys.readouterr().err

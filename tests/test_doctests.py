@@ -32,9 +32,11 @@ MODULE_NAMES = [
     "repro.blu.clausal_mask",
     "repro.blu.clausal_genmask",
     "repro.blu.definitions",
+    "repro.hlu.audit",
     "repro.hlu.macros",
     "repro.hlu.session",
     "repro.hlu.surface",
+    "repro.obs.provenance",
     "repro.relational.constants",
     "repro.relational.schema",
     "repro.relational.grounding",
