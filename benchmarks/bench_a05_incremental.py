@@ -1,0 +1,109 @@
+"""Ablation A5: incremental closure maintenance on update sequences.
+
+An update-sequence workload (random single-clause insert/delete walk,
+querying the resolution closure and prime implicates after every step)
+run under three regimes:
+
+* scratch: every query re-saturates from nothing;
+* cached: the fingerprint-keyed memo cache (a state revisited verbatim
+  is free, a state off by one clause pays full price);
+* incremental: live lineages maintained by delta-driven saturation --
+  each step pays only its frontier.
+
+The incremental arm must be bit-identical to scratch at every step;
+that equality is asserted inside each benchmarked run.
+"""
+
+import random
+
+import pytest
+
+from repro.cache import core as cache_mod
+from repro.logic import incremental
+from repro.logic.clauses import ClauseSet, make_literal
+from repro.logic.implicates import prime_implicates
+from repro.logic.propositions import Vocabulary
+from repro.logic.resolution import resolution_closure
+
+VOCAB = Vocabulary.standard(7)
+STEPS = 18
+SEED = 29
+
+
+def walk():
+    rng = random.Random(SEED)
+    current: set[frozenset[int]] = set()
+    states = []
+    while len(states) < STEPS:
+        if current and rng.random() < 0.3:
+            current.discard(rng.choice(sorted(current, key=sorted)))
+        else:
+            width = rng.randint(1, 3)
+            letters = rng.sample(range(7), width)
+            current.add(
+                frozenset(make_literal(i, rng.random() < 0.5) for i in letters)
+            )
+        states.append(ClauseSet(VOCAB, current))
+    return states
+
+
+STATES = walk()
+
+
+def query_sequence():
+    return [
+        (resolution_closure(state), prime_implicates(state))
+        for state in STATES
+    ]
+
+
+@pytest.fixture(autouse=True)
+def _pristine_switches():
+    cache_was_on = cache_mod.cache_enabled()
+    incremental_was_on = incremental.incremental_enabled()
+    cache_mod.disable_cache()
+    cache_mod.clear_caches()
+    incremental.disable_incremental()
+    incremental.reset_incremental()
+    yield
+    cache_mod.clear_caches()
+    incremental.reset_incremental()
+    if cache_was_on:
+        cache_mod.enable_cache()
+    else:
+        cache_mod.disable_cache()
+    if incremental_was_on:
+        incremental.enable_incremental()
+    else:
+        incremental.disable_incremental()
+
+
+def test_update_sequence_scratch(benchmark):
+    results = benchmark(query_sequence)
+    assert len(results) == STEPS
+
+
+def test_update_sequence_cached(benchmark):
+    def run():
+        cache_mod.clear_caches()
+        cache_mod.enable_cache()
+        try:
+            return query_sequence()
+        finally:
+            cache_mod.disable_cache()
+
+    results = benchmark(run)
+    assert results == query_sequence()
+
+
+def test_update_sequence_incremental(benchmark):
+    def run():
+        incremental.reset_incremental()
+        incremental.enable_incremental()
+        try:
+            return query_sequence()
+        finally:
+            incremental.disable_incremental()
+
+    results = benchmark(run)
+    assert results == query_sequence()

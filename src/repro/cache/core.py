@@ -53,6 +53,7 @@ __all__ = [
     "cache_stats",
     "merge_stats",
     "lookup",
+    "peek",
     "store",
 ]
 
@@ -251,6 +252,23 @@ def lookup(kernel: str, key):
     if not _ENABLED:
         return MISS
     return _cache(kernel).lookup(key)
+
+
+def peek(kernel: str, key):
+    """A side-effect-free probe: the memoised value or :data:`MISS`.
+
+    Unlike :func:`lookup`, a peek tallies nothing and does not refresh
+    the entry's LRU position -- it is for *validation*, not retrieval:
+    :mod:`repro.logic.incremental` cross-checks maintained closures
+    against from-scratch cached results without perturbing the hit/miss
+    counters the bench gates compare.
+    """
+    if not _ENABLED:
+        return MISS
+    found = _CACHES.get(kernel)
+    if found is None:
+        return MISS
+    return found._entries.get(key, MISS)
 
 
 def store(kernel: str, key, value) -> None:

@@ -25,10 +25,12 @@ import logging as _logging
 from collections.abc import Iterable
 
 from repro.db.morphisms import Morphism
-from repro.errors import InconsistentLiteralsError
+from repro.errors import InconsistentLiteralsError, VocabularyError
 from repro.obs import runtime
 from repro.obs.logging import get_logger
 from repro.logic.clauses import (
+    Clause,
+    ClauseSet,
     Literal,
     literal_index,
     literal_to_formula,
@@ -43,6 +45,8 @@ __all__ = [
     "modify_atom",
     "insert_literals",
     "modify_literals",
+    "clause_delta",
+    "apply_clause_delta",
 ]
 
 #: Structured logger for morphism construction (DEBUG: these run inside
@@ -54,6 +58,41 @@ _LOG = get_logger("repro.db.updates")
 def _log_built(op: str, **detail: object) -> None:
     if _LOG.isEnabledFor(_logging.DEBUG):
         _LOG.debug("morphism built", extra={"op": op, **detail})
+
+
+def clause_delta(
+    old: ClauseSet, new: ClauseSet
+) -> tuple[frozenset[Clause], frozenset[Clause]]:
+    """The symmetric difference of two same-vocabulary states, split as
+    ``(inserts, deletes)``: ``new == (old - deletes) | inserts``.
+
+    This is the syntactic footprint of an update morphism's application,
+    and exactly the frontier the incremental closure engine
+    (:mod:`repro.logic.incremental`) replays instead of re-saturating.
+    """
+    if old.vocabulary != new.vocabulary:
+        raise VocabularyError(
+            "clause_delta requires states over the same vocabulary"
+        )
+    inserts = frozenset(new.clauses - old.clauses)
+    deletes = frozenset(old.clauses - new.clauses)
+    return inserts, deletes
+
+
+def apply_clause_delta(
+    state: ClauseSet,
+    inserts: Iterable[Clause],
+    deletes: Iterable[Clause],
+) -> ClauseSet:
+    """Replay a delta produced by :func:`clause_delta` onto ``state``.
+
+    Deltas carry already-normalised clauses (they were members of a
+    ``ClauseSet``), so the result is built without re-normalising.
+    """
+    clauses = (state.clauses - frozenset(deletes)) | frozenset(inserts)
+    if clauses == state.clauses:
+        return state
+    return ClauseSet._trusted(state.vocabulary, frozenset(clauses))
 
 
 def insert_atom(vocabulary: Vocabulary, name: str) -> Morphism:

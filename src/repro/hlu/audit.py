@@ -58,8 +58,11 @@ __all__ = [
 #: tooling can refuse trails it would silently mis-read.
 AUDIT_SCHEMA_VERSION = 1
 
-#: Operation kinds an ``"op"`` record may carry.
-OPS = ("apply", "undo", "query_certain", "query_possible")
+#: Operation kinds an ``"op"`` record may carry.  ``restore_history``
+#: replaces the documentary update history (persistence restore) without
+#: touching the state -- recorded so a trail never silently diverges
+#: from the session's reported history.
+OPS = ("apply", "undo", "query_certain", "query_possible", "restore_history")
 
 #: Outcomes: state ops end "ok"/"inconsistent"/"rejected", queries
 #: "true"/"false" (or "rejected" when the argument itself was refused).
@@ -484,6 +487,9 @@ def replay_audit(source: Any) -> AuditReplay:
                     db.undo()
                 except EvaluationError:
                     rejected = True
+            elif op == "restore_history":
+                args = record["args"]
+                db.restore_history(parse_updates(args) if args else ())
             elif op == "query_certain":
                 result = db.is_certain(record["args"])
                 if outcome in ("true", "false") and result != (outcome == "true"):

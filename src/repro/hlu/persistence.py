@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from repro.db.schema import DbSchema
 from repro.errors import ParseError
-from repro.hlu.session import IncompleteDatabase
+from repro.hlu.session import BACKENDS, IncompleteDatabase
 from repro.logic.clauses import ClauseSet, clause_to_str
 
 __all__ = ["dump_session", "load_session"]
@@ -74,6 +74,12 @@ def load_session(text: str) -> IncompleteDatabase:
         if key == "vocabulary":
             names = rest.split()
         elif key == "backend":
+            if rest not in BACKENDS:
+                raise ParseError(
+                    f"unknown backend {rest!r}; valid backends: "
+                    + ", ".join(BACKENDS),
+                    text=line,
+                )
             backend = rest
         elif key == "constraint":
             constraints.append(rest)
@@ -94,5 +100,5 @@ def load_session(text: str) -> IncompleteDatabase:
     if update_texts:
         from repro.hlu.surface import parse_updates
 
-        session._history = list(parse_updates(" ".join(update_texts)))
+        session.restore_history(parse_updates(" ".join(update_texts)))
     return session

@@ -35,6 +35,7 @@ from repro.errors import EvaluationError, ReproError
 from repro.hlu import audit as audit_mod
 from repro.hlu import language
 from repro.hlu.interpreter import run_update
+from repro.logic import incremental
 from repro.logic.clauses import ClauseSet
 from repro.logic.cnf import formula_to_clauses
 from repro.logic.formula import Formula
@@ -42,9 +43,12 @@ from repro.logic.parser import parse_formula
 from repro.logic.propositions import Vocabulary
 from repro.logic.sat import entails_clauses, is_satisfiable
 
-__all__ = ["IncompleteDatabase"]
+__all__ = ["IncompleteDatabase", "BACKENDS"]
 
-_BACKENDS = ("clausal", "instance")
+#: The valid session backends (public so persistence and error messages
+#: can enumerate them without reaching into private state).
+BACKENDS = ("clausal", "instance")
+_BACKENDS = BACKENDS
 
 #: Structured (JSON-lines) logger for session operations; silent until
 #: ``repro.obs.logging.configure`` attaches a handler.  Records emitted
@@ -186,9 +190,11 @@ class IncompleteDatabase:
                     "update applied",
                     extra={"op": str(update), "backend": self._backend_name},
                 )
+        old_state = self._state
         self._snapshots.append(self._state)
         self._state = new_state
         self._history.append(update)
+        self._after_transition(old_state, new_state)
         if entry is not None:
             self._audit.commit(
                 entry, self._outcome(), post=self.clauses().fingerprint
@@ -218,14 +224,50 @@ class IncompleteDatabase:
                     extra={"backend": self._backend_name, "error": "nothing to undo"},
                 )
             raise EvaluationError("nothing to undo")
+        old_state = self._state
         self._state = self._snapshots.pop()
         self._history.pop()
+        self._after_transition(old_state, self._state)
         if _LOG.isEnabledFor(_logging.INFO):
             _LOG.info("undo applied", extra={"backend": self._backend_name})
         if entry is not None:
             self._audit.commit(
                 entry, self._outcome(), post=self.clauses().fingerprint
             )
+        return self
+
+    def restore_history(
+        self, updates: Iterable[language.Update]
+    ) -> "IncompleteDatabase":
+        """Replace the recorded update history (persistence restore).
+
+        The state is untouched: the restored history is documentary --
+        it reports how the current state came to be, it is not replayed.
+        Undo snapshots are cleared (they pair with the live history, and
+        a restored history has none), matching the save-format contract
+        that snapshots are not persisted.  The operation is recorded in
+        the audit trail as ``restore_history`` (state fingerprints
+        unchanged), so loading a session never silently diverges a trail
+        from the session's reported history -- the reason callers must
+        use this API instead of poking ``_history`` directly.
+        """
+        update_list = list(updates)
+        for update in update_list:
+            if not isinstance(update, language.Update):
+                raise EvaluationError(
+                    f"history entries must be HLU updates, got {update!r}"
+                )
+        entry = None
+        if audit_mod._ENABLED and self._audit is not None:
+            entry = self._audit.begin(
+                "restore_history",
+                " ".join(str(update) for update in update_list),
+                self.clauses().fingerprint,
+            )
+        self._history = update_list
+        self._snapshots.clear()
+        if entry is not None:
+            self._audit.commit(entry, "ok", post=self.clauses().fingerprint)
         return self
 
     def attach_audit(self) -> audit_mod.SessionAudit:
@@ -444,6 +486,26 @@ class IncompleteDatabase:
         if isinstance(state, WorldSet):
             return state.legal(self._schema)
         return state.union(self._schema.constraint_clauses()).reduce()
+
+    def _after_transition(self, old_state: Any, new_state: Any) -> None:
+        """Post-transition hook: feed the state change to the incremental
+        closure engine and record the clausal delta size.
+
+        Only clausal states participate (``WorldSet`` transitions are a
+        structural break the engine does not track); within the clausal
+        backend, :func:`repro.logic.incremental.touch` adopts the nearest
+        known lineage and replays the insert/delete frontier, falling back
+        to a fresh lineage when the vocabulary changed or the delta is too
+        large to be worth replaying.
+        """
+        if isinstance(old_state, ClauseSet) and isinstance(new_state, ClauseSet):
+            if obs._ENABLED and old_state.vocabulary == new_state.vocabulary:
+                from repro.db.updates import clause_delta
+
+                inserts, deletes = clause_delta(old_state, new_state)
+                obs.observe("hlu.update.delta_size", len(inserts) + len(deletes))
+        if incremental._ENABLED and isinstance(new_state, ClauseSet):
+            incremental.touch(new_state)
 
     def _outcome(self) -> str:
         """The audit outcome of the current state: ``"inconsistent"`` when

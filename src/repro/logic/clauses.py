@@ -60,6 +60,13 @@ Clause = frozenset[int]
 EMPTY_CLAUSE: Clause = frozenset()
 """The empty clause (the paper's box / 0): satisfied by no world."""
 
+#: Routing hook installed by :func:`repro.logic.incremental.enable_incremental`
+#: (and removed on disable).  Late-bound so this module never imports the
+#: incremental engine -- the same one-global-load discipline as the cache
+#: and obs flags.  When set, :meth:`ClauseSet.reduce` offers the call to
+#: the maintained subsumption-minimal tracks first.
+_INCREMENTAL_REDUCE = None
+
 
 # --------------------------------------------------------------------------
 # literals
@@ -414,9 +421,21 @@ class ClauseSet:
         return ClauseSet._trusted(self._vocabulary, self._clauses | {clause})
 
     def without_letters(self, indices: Iterable[int]) -> "ClauseSet":
-        """Clauses that do not mention any of the given letters (``drop``)."""
+        """Clauses that do not mention any of the given letters (``drop``).
+
+        Raises :class:`VocabularyError` on a negative or out-of-range
+        letter index: a negative index used to surface as a bare
+        ``ValueError`` from the mask shift and an overlarge one silently
+        matched nothing, both of which hid caller bugs.
+        """
         forbidden_mask = 0
+        size = len(self._vocabulary)
         for index in indices:
+            if not 0 <= index < size:
+                raise VocabularyError(
+                    f"letter index {index} is outside the vocabulary "
+                    f"(size {size})"
+                )
             forbidden_mask |= 1 << index
         sigs = self.signatures
         return ClauseSet._trusted(
@@ -441,8 +460,15 @@ class ClauseSet:
         Memoised by the opt-in kernel cache (``repro.cache``) on the
         clause set's content fingerprint: reduce is a pure function of
         an immutable input, so a hit returns the previously computed
-        (immutable) result unchanged.
+        (immutable) result unchanged.  With incremental maintenance
+        enabled (:mod:`repro.logic.incremental`), the call is served
+        from a maintained subsumption-minimal track instead, which
+        handles its own cache validation and storage.
         """
+        if _INCREMENTAL_REDUCE is not None:
+            routed = _INCREMENTAL_REDUCE(self)
+            if routed is not None:
+                return routed
         if cache._ENABLED:
             key = (self._vocabulary, self.fingerprint)
             hit = cache.lookup("logic.reduce", key)

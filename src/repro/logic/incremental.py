@@ -1,0 +1,817 @@
+"""Incremental closure maintenance: delta-driven saturation.
+
+The memo-cache (``repro.cache``) only fires when an *identical* clause
+set recurs; real update sequences (E10/E16/A4, the session workloads)
+produce *nearly*-identical sets -- one clause inserted or deleted per
+step.  This module maintains the expensive closure kernels
+(``rclosure``, ``resolution_closure``, ``prime_implicates``,
+``reduce``) *incrementally* under single-clause deltas, in the spirit
+of Chabin & Halfeld Ferrari's incremental consistent updating
+(PAPERS.md) and the classic delete-and-rederive (DRed) treatment of
+materialised views.
+
+How it stays exact
+------------------
+
+* **Insert.**  The resolution closure is a least fixpoint, so
+  ``closure(S + {c}) = saturate(closure(S) + {c})`` -- the worklist is
+  seeded with only the *delta frontier* (the new clause and its
+  transitive resolvents) instead of the whole set.  The saturation
+  invariant of :func:`repro.logic.resolution._saturate` carries over:
+  every co-present pair is attempted exactly once, when the
+  later-queued clause is processed against the live occurrence index.
+
+* **Delete.**  Every formed resolvent records *support edges*
+  ``resolvent -> (positive parent, negative parent, pivot)`` -- even
+  when two distinct pairs collapse to the same resolvent, so every
+  derivation path is known.  Deleting a clause over-deletes its
+  transitive support cone from the index, then re-derives: a cone
+  member comes back iff it is a base clause or some support pair has
+  both parents currently alive.  The two phases are the exact DRed
+  fixpoint, so orphaned resolvents retract without re-saturating and
+  clauses that survive on an independent derivation stay.
+
+* **Reduce / prime implicates.**  The subsumption-reduced form is the
+  (unique) set of subset-minimal clauses; :class:`_MinimalSet`
+  maintains it under inserts (evict supersets) and deletes (promote
+  the clauses only the deleted minimal subsumed).  Prime implicates
+  are the minimal set of the full closure, maintained from the
+  closure track's add/retract stream.
+
+* **Budgets.**  ``resolution_closure``'s working set only ever grows,
+  so the scratch kernel raises :class:`ClosureBudgetError` iff the
+  final closure exceeds ``max_clauses`` -- a maintained track mirrors
+  that bit-for-bit: a mid-delta overflow evicts the track (the next
+  call rebuilds from scratch, and the memo-cache is never touched on
+  the failing path), and a completed track re-raises at query time
+  whenever its closure outgrows the requested budget.
+
+Lineages and routing
+--------------------
+
+State evolves along *lineages*: an :class:`IncrementalClosure` owns
+the maintained tracks for one evolving clause set.  A process-wide
+LRU registry adopts each kernel query into the nearest lineage (the
+one with the smallest symmetric difference, when that delta is small
+enough to be worth replaying) and otherwise starts a fresh lineage --
+the structural-break fallback for backend switches, vocabulary
+changes, and budget overflows.  Everything is **opt-in** behind one
+module flag (:func:`enable_incremental`), mirroring ``repro.cache``
+and ``repro.obs``: the disabled path at each kernel call site costs a
+single global load and tier-1 counter totals are untouched.
+
+When the memo-cache holds a from-scratch result for the same key, the
+routed result is cross-checked against it
+(``logic.incremental.validations`` / ``validation_failures``); a
+mismatch marks the lineage stale and the cached scratch value wins.
+With :mod:`repro.obs.provenance` enabled, incremental saturations
+record inputs and resolvents exactly like ``_saturate``, so
+``explain`` still produces verifiable derivations from incremental
+runs.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from collections.abc import Iterable
+from typing import Any
+
+from repro.cache import core as cache
+from repro.errors import ClosureBudgetError
+from repro.obs import core as obs
+from repro.obs import provenance
+from repro.logic.clauses import (
+    Clause,
+    ClauseSet,
+    clause_signature,
+    clause_sort_key,
+)
+from repro.logic.occurrence import OccurrenceIndex
+
+__all__ = [
+    "IncrementalClosure",
+    "enable_incremental",
+    "disable_incremental",
+    "incremental_enabled",
+    "reset_incremental",
+    "incremental_stats",
+    "touch",
+    "route_rclosure",
+    "route_resolution_closure",
+    "route_prime_implicates",
+    "route_reduce",
+]
+
+#: Lineages kept in the process-wide registry before LRU eviction.
+DEFAULT_LINEAGES = 8
+
+#: Maintained tracks (per pivot set / reduce) kept per lineage.
+DEFAULT_TRACKS = 8
+
+# The process-wide switch.  A plain module global (not a ContextVar) so
+# the disabled check at kernel call sites is a single global load --
+# the same discipline as repro.cache.core and repro.obs.core.
+_ENABLED = False
+_LINEAGE_CAP = DEFAULT_LINEAGES
+_TRACK_CAP = DEFAULT_TRACKS
+
+#: Track key for the subsumption-minimal (reduce) track; closure tracks
+#: are keyed by their pivot frozenset, or None for all-letters closure.
+_REDUCE_KEY = "reduce"
+
+
+# ---------------------------------------------------------------------------
+# Subsumption-minimal sets under single-clause deltas
+# ---------------------------------------------------------------------------
+
+
+class _MinimalSet:
+    """The subset-minimal clauses of a base set, maintained under deltas.
+
+    ``minimal`` is exactly ``{c in base : no proper subset of c is in
+    base}`` -- the (unique) result set of :meth:`ClauseSet.reduce`'s
+    size-ordered sweep.  Subset tests are pre-filtered by letter-bitmask
+    signatures, like the scratch sweep.
+    """
+
+    __slots__ = ("base", "minimal", "_sigs")
+
+    def __init__(self, clauses: Iterable[Clause]):
+        self.base: set[Clause] = set(clauses)
+        self._sigs: dict[Clause, int] = {
+            c: clause_signature(c) for c in self.base
+        }
+        self.minimal: set[Clause] = set()
+        for clause in sorted(self.base, key=len):
+            if not self._subsumed(clause):
+                self.minimal.add(clause)
+
+    def _subsumed(self, clause: Clause) -> bool:
+        """Is some *other* minimal clause a subset of ``clause``?"""
+        sig = self._sigs[clause]
+        sigs = self._sigs
+        for kept in self.minimal:
+            if kept is clause:
+                continue
+            kept_sig = sigs[kept]
+            if kept_sig & sig == kept_sig and kept <= clause:
+                return True
+        return False
+
+    def insert(self, clause: Clause) -> None:
+        if clause in self.base:
+            return
+        self.base.add(clause)
+        sig = self._sigs[clause] = clause_signature(clause)
+        sigs = self._sigs
+        for kept in self.minimal:
+            kept_sig = sigs[kept]
+            if kept_sig & sig == kept_sig and kept <= clause:
+                return  # subsumed by an existing minimal: nothing changes
+        # The new clause is minimal; it may strictly subsume old minimals.
+        self.minimal = {
+            kept
+            for kept in self.minimal
+            if not (sig & sigs[kept] == sig and clause < kept)
+        }
+        self.minimal.add(clause)
+
+    def delete(self, clause: Clause) -> None:
+        if clause not in self.base:
+            return
+        self.base.discard(clause)
+        sig = self._sigs.pop(clause)
+        if clause not in self.minimal:
+            return
+        self.minimal.discard(clause)
+        # Promote the clauses whose only subsumer was the deleted minimal:
+        # candidates are its proper supersets, swept in size order so
+        # newly promoted minimals screen their own supersets.
+        sigs = self._sigs
+        candidates = [
+            other
+            for other in self.base
+            if sig & sigs[other] == sig and clause < other
+        ]
+        for other in sorted(candidates, key=len):
+            if not self._subsumed(other):
+                self.minimal.add(other)
+
+
+class _ReduceTrack:
+    """A maintained subsumption-minimal form of the lineage's base set."""
+
+    __slots__ = ("min",)
+
+    def __init__(self, clauses: Iterable[Clause]):
+        self.min = _MinimalSet(clauses)
+
+    def apply(self, deletes: Iterable[Clause], inserts: Iterable[Clause]) -> None:
+        for clause in deletes:
+            self.min.delete(clause)
+        for clause in inserts:
+            self.min.insert(clause)
+
+
+# ---------------------------------------------------------------------------
+# Closure tracks: frontier-seeded saturation + DRed retraction
+# ---------------------------------------------------------------------------
+
+
+class _Track:
+    """One maintained resolution closure for a fixed pivot set.
+
+    ``pivots`` is a frozenset of letter indices, or ``None`` for
+    closure under resolution on every letter (the prime-implicate
+    substrate).  ``base`` is the current input clause set; ``index``
+    holds its exact closure.  ``supports``/``children`` are the
+    support edges every formed resolvent leaves behind -- recorded for
+    *every* derivation attempt (including re-derivations of an
+    already-present clause) and never dropped, which is what makes the
+    DRed retraction exact across arbitrarily long delta histories.
+    """
+
+    __slots__ = (
+        "pivots",
+        "budget",
+        "base",
+        "index",
+        "supports",
+        "children",
+        "minimal",
+        "formed_total",
+    )
+
+    def __init__(
+        self,
+        clauses: Iterable[Clause],
+        pivots: frozenset[int] | None,
+        budget: int | None = None,
+    ):
+        self.pivots = pivots
+        self.budget = budget
+        self.base: set[Clause] = set()
+        self.index = OccurrenceIndex()
+        self.supports: dict[Clause, set[tuple[Clause, Clause, int]]] = {}
+        self.children: dict[Clause, set[Clause]] = {}
+        self.minimal: _MinimalSet | None = None
+        self.formed_total = 0
+        seed = list(clauses)
+        self.base.update(seed)
+        self._saturate_from(seed)
+
+    # -- the saturation engine ------------------------------------------------
+
+    def _edge(self, res: Clause, pos: Clause, neg: Clause, pivot: int) -> None:
+        self.supports.setdefault(res, set()).add((pos, neg, pivot))
+        self.children.setdefault(pos, set()).add(res)
+        self.children.setdefault(neg, set()).add(res)
+
+    def _note_added(self, clause: Clause) -> None:
+        if self.minimal is not None:
+            self.minimal.insert(clause)
+
+    def _note_removed(self, clause: Clause) -> None:
+        if self.minimal is not None:
+            self.minimal.delete(clause)
+
+    def _saturate_from(self, seed_clauses: Iterable[Clause]) -> tuple[int, int]:
+        """Saturate with the worklist seeded by ``seed_clauses`` only.
+
+        Mirrors :func:`repro.logic.resolution._saturate` (same pair
+        invariant, same budget raise, same provenance recording) but
+        runs against the maintained index and records support edges.
+        Returns ``(frontier, formed)``: clauses processed and
+        resolvents genuinely added.
+        """
+        from repro.logic.resolution import resolvent
+
+        occ = self.index
+        rec = provenance.recorder() if provenance._ENABLED else None
+        if rec is not None:
+            seeds = sorted(seed_clauses, key=clause_sort_key)
+            for clause in seeds:
+                rec.ensure(clause)
+        else:
+            seeds = list(seed_clauses)
+        queue: deque[Clause] = deque()
+        for clause in seeds:
+            if occ.add(clause):
+                queue.append(clause)
+                self._note_added(clause)
+        frontier = 0
+        formed = 0
+        pivots = self.pivots
+        while queue:
+            clause = queue.popleft()
+            frontier += 1
+            for literal in clause:
+                index = abs(literal) - 1
+                if pivots is not None and index not in pivots:
+                    continue
+                partners = occ.clauses_with(-literal)
+                if not partners:
+                    continue
+                for partner in list(partners):
+                    if literal > 0:
+                        pos, neg = clause, partner
+                    else:
+                        pos, neg = partner, clause
+                    res = resolvent(pos, neg, index)
+                    if res is None:
+                        continue
+                    # The edge is recorded even when the resolvent is
+                    # already present: retraction must know every
+                    # derivation path, not just the first one found.
+                    self._edge(res, pos, neg, index)
+                    if occ.add(res):
+                        queue.append(res)
+                        formed += 1
+                        self.formed_total += 1
+                        self._note_added(res)
+                        if rec is not None:
+                            parents = (rec.ensure(pos), rec.ensure(neg))
+                            rec.record(res, "resolve", parents, pivot=index)
+                        if self.budget is not None and len(occ) > self.budget:
+                            raise ClosureBudgetError(
+                                f"resolution closure exceeded {self.budget}"
+                                " clauses",
+                                budget=self.budget,
+                                formed=formed,
+                            )
+        if formed:
+            # The same work counter the scratch saturation uses, so
+            # incremental-vs-scratch kernel work is directly comparable
+            # in bench run records.
+            obs.inc("logic.resolution.resolvents_formed", formed)
+        return frontier, formed
+
+    # -- deltas ---------------------------------------------------------------
+
+    def insert(self, clause: Clause) -> None:
+        if clause in self.base:
+            return
+        self.base.add(clause)
+        if clause in self.index:
+            # Already derivable: the closure is unchanged (idempotence
+            # of the least fixpoint); the clause is merely base now.
+            obs.observe("logic.incremental.frontier_size", 0)
+            return
+        frontier, _formed = self._saturate_from((clause,))
+        obs.observe("logic.incremental.frontier_size", frontier)
+        reused = len(self.index) - frontier
+        if reused > 0:
+            obs.inc("logic.incremental.reused_clauses", reused)
+
+    def delete(self, clause: Clause) -> None:
+        if clause not in self.base:
+            return
+        self.base.discard(clause)
+        if clause not in self.index:
+            return
+        # Phase 1 (over-delete): remove the clause and everything its
+        # support edges transitively reach within the live index.
+        cone: list[Clause] = []
+        seen: set[Clause] = {clause}
+        stack: list[Clause] = [clause]
+        index = self.index
+        children = self.children
+        while stack:
+            doomed = stack.pop()
+            if doomed not in index:
+                continue
+            index.discard(doomed)
+            self._note_removed(doomed)
+            cone.append(doomed)
+            for child in children.get(doomed, ()):
+                if child not in seen:
+                    seen.add(child)
+                    stack.append(child)
+        # Phase 2 (re-derive): a cone member returns iff it is a base
+        # clause or some support pair has both parents currently alive;
+        # each restoration wakes its dead children, so the loop is the
+        # least fixpoint of "derivable from what survives".
+        supports = self.supports
+        work: deque[Clause] = deque(cone)
+        while work:
+            candidate = work.popleft()
+            if candidate in index:
+                continue
+            alive = candidate in self.base
+            if not alive:
+                for pos, neg, _pivot in supports.get(candidate, ()):
+                    if pos in index and neg in index:
+                        alive = True
+                        break
+            if alive:
+                index.add(candidate)
+                self._note_added(candidate)
+                for child in children.get(candidate, ()):
+                    if child not in index and child in seen:
+                        work.append(child)
+        retracted = sum(1 for doomed in cone if doomed not in index)
+        if retracted:
+            obs.inc("logic.incremental.retractions", retracted)
+
+    def apply(self, deletes: Iterable[Clause], inserts: Iterable[Clause]) -> None:
+        """Apply one delta batch; deletes run first so the working set
+        never grows past what the final state needs."""
+        for clause in deletes:
+            self.delete(clause)
+        for clause in inserts:
+            self.insert(clause)
+
+    # -- queries --------------------------------------------------------------
+
+    def closure(self) -> frozenset[Clause]:
+        return frozenset(self.index)
+
+    def prime_minimal(self) -> set[Clause]:
+        """The subsumption-minimal clauses of the maintained closure
+        (built lazily on the first prime-implicate query, maintained
+        from the closure's add/retract stream afterwards)."""
+        if self.minimal is None:
+            self.minimal = _MinimalSet(self.index)
+        return self.minimal.minimal
+
+
+# ---------------------------------------------------------------------------
+# Lineages
+# ---------------------------------------------------------------------------
+
+
+class IncrementalClosure:
+    """The maintained closures of one evolving clause set.
+
+    Wraps occurrence-indexed closure tracks (per pivot set, plus the
+    all-letters track the prime implicates ride on) and a
+    subsumption-minimal track, all kept valid under
+    :meth:`insert_clause` / :meth:`delete_clause` deltas or wholesale
+    :meth:`advance` to a nearby clause set.  Tracks are built lazily on
+    first query and LRU-capped; a track whose maintenance exceeds its
+    closure budget is evicted (``stale`` flips on) and the next query
+    on it rebuilds from scratch.
+    """
+
+    __slots__ = ("_current", "_tracks", "stale")
+
+    def __init__(self, clause_set: ClauseSet):
+        self._current = clause_set
+        self._tracks: OrderedDict[Any, _Track | _ReduceTrack] = OrderedDict()
+        self.stale = False
+
+    @property
+    def current(self) -> ClauseSet:
+        """The clause set the maintained closures are valid for."""
+        return self._current
+
+    @property
+    def vocabulary(self):
+        return self._current.vocabulary
+
+    @property
+    def track_keys(self) -> tuple[Any, ...]:
+        """The live track keys (pivot frozensets, None, ``"reduce"``)."""
+        return tuple(self._tracks)
+
+    # -- deltas ---------------------------------------------------------------
+
+    def advance(self, clause_set: ClauseSet) -> int:
+        """Move the lineage to ``clause_set``, replaying the symmetric
+        difference through every live track; returns the delta size."""
+        old = self._current.clauses
+        new = clause_set.clauses
+        if old == new:
+            self._current = clause_set
+            return 0
+        inserts = new - old
+        deletes = old - new
+        with obs.span(
+            "logic.incremental.delta",
+            inserts=len(inserts),
+            deletes=len(deletes),
+            tracks=len(self._tracks),
+        ):
+            obs.inc("logic.incremental.inserts", len(inserts))
+            obs.inc("logic.incremental.deletes", len(deletes))
+            for key in list(self._tracks):
+                track = self._tracks[key]
+                try:
+                    track.apply(deletes, inserts)
+                except ClosureBudgetError:
+                    # Mid-delta overflow: the track is inconsistent, so
+                    # evict it -- the next query rebuilds from scratch
+                    # (and the memo-cache was never written to).
+                    del self._tracks[key]
+                    self.stale = True
+                    obs.inc("logic.incremental.budget_evictions")
+        self._current = clause_set
+        return len(inserts) + len(deletes)
+
+    def insert_clause(self, clause: Clause) -> "IncrementalClosure":
+        """Add one clause to the maintained set (no-op if present)."""
+        return self._step(self._current.with_clause(frozenset(clause)))
+
+    def delete_clause(self, clause: Clause) -> "IncrementalClosure":
+        """Remove one clause from the maintained set (no-op if absent)."""
+        clause = frozenset(clause)
+        if clause not in self._current.clauses:
+            return self
+        return self._step(
+            ClauseSet._trusted(
+                self._current.vocabulary, self._current.clauses - {clause}
+            )
+        )
+
+    def _step(self, clause_set: ClauseSet) -> "IncrementalClosure":
+        self.advance(clause_set)
+        return self
+
+    # -- tracks ---------------------------------------------------------------
+
+    def _track(self, key: Any, budget: int | None = None):
+        track = self._tracks.get(key)
+        if track is None:
+            obs.inc("logic.incremental.track_builds")
+            if key == _REDUCE_KEY:
+                track = _ReduceTrack(self._current.clauses)
+            else:
+                track = _Track(self._current.clauses, key, budget)
+            self._tracks[key] = track
+            while len(self._tracks) > _TRACK_CAP:
+                self._tracks.popitem(last=False)
+        else:
+            self._tracks.move_to_end(key)
+        return track
+
+    def _raise_budget(self, key: Any, budget: int) -> None:
+        """Lift a closure track's maintenance budget before advancing, so
+        a query with a larger ``max_clauses`` is not spuriously evicted."""
+        track = self._tracks.get(key)
+        if isinstance(track, _Track) and track.budget is not None:
+            track.budget = max(track.budget, budget)
+
+    # -- queries --------------------------------------------------------------
+
+    def rclosure(self, pivot_indices: Iterable[int]) -> ClauseSet:
+        """The maintained closure under resolution on the given letters."""
+        pivots = frozenset(pivot_indices)
+        track = self._track(pivots)
+        return ClauseSet._trusted(self._current.vocabulary, track.closure())
+
+    def _check_budget(self, track: _Track, max_clauses: int) -> None:
+        """Scratch-parity budget check: ``_saturate`` only tests the
+        budget when a *resolvent* is added (seed clauses are exempt), so
+        a closure with no derived clauses never raises regardless of its
+        size.  The maintained mirror: raise iff the closure outgrows
+        ``max_clauses`` and contains at least one derived clause."""
+        size = len(track.index)
+        if size > max_clauses and size > len(track.base):
+            raise ClosureBudgetError(
+                f"resolution closure exceeded {max_clauses} clauses",
+                budget=max_clauses,
+                formed=track.formed_total,
+            )
+
+    def resolution_closure(self, max_clauses: int = 100_000) -> ClauseSet:
+        """The maintained all-letters closure (scratch-parity budget:
+        raises iff a from-scratch saturation of the current set would)."""
+        self._raise_budget(None, max_clauses)
+        track = self._track(None, budget=max_clauses)
+        self._check_budget(track, max_clauses)
+        return ClauseSet._trusted(self._current.vocabulary, track.closure())
+
+    def prime_implicates(self, max_clauses: int = 100_000) -> ClauseSet:
+        """The maintained prime implicates (minimal clauses of the
+        all-letters closure)."""
+        self._raise_budget(None, max_clauses)
+        track = self._track(None, budget=max_clauses)
+        self._check_budget(track, max_clauses)
+        return ClauseSet._trusted(
+            self._current.vocabulary, frozenset(track.prime_minimal())
+        )
+
+    def reduce(self) -> ClauseSet:
+        """The maintained subsumption-reduced form of the current set."""
+        track = self._track(_REDUCE_KEY)
+        minimal = track.min.minimal
+        if len(minimal) == len(self._current.clauses):
+            return self._current
+        return ClauseSet._trusted(self._current.vocabulary, frozenset(minimal))
+
+    def __repr__(self) -> str:
+        return (
+            f"IncrementalClosure({len(self._current)} clauses, "
+            f"{len(self._tracks)} track(s){', stale' if self.stale else ''})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# The process-wide registry and enable flag
+# ---------------------------------------------------------------------------
+
+
+_LINEAGES: OrderedDict[int, IncrementalClosure] = OrderedDict()
+_NEXT_LINEAGE_ID = 0
+
+
+def enable_incremental(
+    lineages: int | None = None, tracks: int | None = None
+) -> None:
+    """Turn incremental closure maintenance on (process-wide, opt-in).
+
+    ``lineages`` / ``tracks`` bound the registry LRU and each lineage's
+    track LRU.  Also installs the :meth:`ClauseSet.reduce` routing hook
+    (a late-bound module global there, so the clauses module never
+    imports this one).
+    """
+    global _ENABLED, _LINEAGE_CAP, _TRACK_CAP
+    if lineages is not None:
+        if lineages < 1:
+            raise ValueError(f"lineage cap must be >= 1, got {lineages}")
+        _LINEAGE_CAP = lineages
+    if tracks is not None:
+        if tracks < 1:
+            raise ValueError(f"track cap must be >= 1, got {tracks}")
+        _TRACK_CAP = tracks
+    _ENABLED = True
+    from repro.logic import clauses as clauses_mod
+
+    clauses_mod._INCREMENTAL_REDUCE = route_reduce
+
+
+def disable_incremental() -> None:
+    """Turn incremental maintenance off.  Lineages are kept (re-enable
+    to reuse); call :func:`reset_incremental` to free them."""
+    global _ENABLED
+    _ENABLED = False
+    from repro.logic import clauses as clauses_mod
+
+    clauses_mod._INCREMENTAL_REDUCE = None
+
+
+def incremental_enabled() -> bool:
+    """Whether kernel queries are routed through maintained closures."""
+    return _ENABLED
+
+
+def reset_incremental() -> None:
+    """Drop every lineage (and its tracks and support edges)."""
+    _LINEAGES.clear()
+
+
+def incremental_stats() -> dict[str, int]:
+    """Registry occupancy: ``{lineages, tracks, stale}``."""
+    return {
+        "lineages": len(_LINEAGES),
+        "tracks": sum(len(l._tracks) for l in _LINEAGES.values()),
+        "stale": sum(1 for l in _LINEAGES.values() if l.stale),
+    }
+
+
+def _delta_cap(size: int) -> int:
+    """How large a symmetric difference is still worth replaying into an
+    existing lineage; beyond it a fresh lineage (scratch build on first
+    query) is cheaper."""
+    return max(4, size // 4)
+
+
+def _adopt(clause_set: ClauseSet) -> IncrementalClosure:
+    """The nearest lineage for ``clause_set``, or a fresh one.
+
+    Nearest = smallest symmetric difference among same-vocabulary
+    lineages; adopted only when that delta is within :func:`_delta_cap`.
+    A vocabulary change or a far-away set is a structural break and
+    starts a new lineage (evicting LRU beyond the cap).
+    """
+    global _NEXT_LINEAGE_ID
+    target = clause_set.clauses
+    best_key = None
+    best: IncrementalClosure | None = None
+    best_delta = 0
+    for key, lineage in _LINEAGES.items():
+        if lineage.vocabulary != clause_set.vocabulary:
+            continue
+        delta = len(lineage.current.clauses.symmetric_difference(target))
+        if best is None or delta < best_delta:
+            best_key, best, best_delta = key, lineage, delta
+    if best is not None and best_delta <= _delta_cap(len(target)):
+        _LINEAGES.move_to_end(best_key)
+        obs.inc("logic.incremental.lineage_hits")
+        return best
+    lineage = IncrementalClosure(clause_set)
+    _NEXT_LINEAGE_ID += 1
+    _LINEAGES[_NEXT_LINEAGE_ID] = lineage
+    while len(_LINEAGES) > _LINEAGE_CAP:
+        _LINEAGES.popitem(last=False)
+    obs.inc("logic.incremental.adoptions")
+    return lineage
+
+
+def touch(clause_set: ClauseSet) -> IncrementalClosure | None:
+    """Advance (or adopt) the lineage for ``clause_set`` eagerly.
+
+    The session/BLU layers call this after each state transition so the
+    maintained closures track the live state and the next kernel query
+    lands on a zero-delta lineage.  Returns the lineage, or ``None``
+    when incremental maintenance is off or the state is not clausal.
+    """
+    if not _ENABLED or not isinstance(clause_set, ClauseSet):
+        return None
+    lineage = _adopt(clause_set)
+    lineage.advance(clause_set)
+    return lineage
+
+
+def _drop(lineage: IncrementalClosure) -> None:
+    for key, candidate in list(_LINEAGES.items()):
+        if candidate is lineage:
+            del _LINEAGES[key]
+            return
+
+
+def _validated(kernel: str, key, lineage: IncrementalClosure, result):
+    """Cross-check a routed result against the memo-cache, then publish.
+
+    When the cache holds a from-scratch value for the same fingerprint
+    key, the maintained result must match it bit-for-bit; a mismatch
+    marks the lineage stale, drops it, and yields the scratch value.
+    Otherwise the routed result is stored so scratch callers (and other
+    processes' merges) see the same entry a scratch run would produce.
+    """
+    if cache._ENABLED:
+        cached = cache.peek(kernel, key)
+        if cached is not cache.MISS:
+            if cached != result:
+                obs.inc("logic.incremental.validation_failures")
+                lineage.stale = True
+                _drop(lineage)
+                return cached
+            obs.inc("logic.incremental.validations")
+            return cached
+        cache.store(kernel, key, result)
+    obs.inc("logic.incremental.results")
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Kernel routing (called from resolution / implicates / clauses)
+# ---------------------------------------------------------------------------
+
+
+def route_rclosure(
+    clause_set: ClauseSet, pivot_indices: frozenset[int]
+) -> ClauseSet | None:
+    """Serve ``rclosure`` from a maintained lineage (None when off)."""
+    if not _ENABLED:
+        return None
+    lineage = _adopt(clause_set)
+    lineage.advance(clause_set)
+    result = lineage.rclosure(pivot_indices)
+    key = (clause_set.vocabulary, clause_set.fingerprint, pivot_indices)
+    return _validated("logic.rclosure", key, lineage, result)
+
+
+def route_resolution_closure(
+    clause_set: ClauseSet, max_clauses: int
+) -> ClauseSet | None:
+    """Serve ``resolution_closure`` from a maintained lineage.
+
+    Scratch parity on budgets: raises :class:`ClosureBudgetError` iff
+    the closure of the current set exceeds ``max_clauses``, whether
+    that is discovered during the delta replay, a fresh track build,
+    or the final size check.
+    """
+    if not _ENABLED:
+        return None
+    lineage = _adopt(clause_set)
+    lineage._raise_budget(None, max_clauses)
+    lineage.advance(clause_set)
+    result = lineage.resolution_closure(max_clauses)
+    key = (clause_set.vocabulary, clause_set.fingerprint, max_clauses)
+    return _validated("logic.resolution_closure", key, lineage, result)
+
+
+def route_prime_implicates(
+    clause_set: ClauseSet, max_clauses: int
+) -> ClauseSet | None:
+    """Serve ``prime_implicates`` from a maintained lineage."""
+    if not _ENABLED:
+        return None
+    lineage = _adopt(clause_set)
+    lineage._raise_budget(None, max_clauses)
+    lineage.advance(clause_set)
+    result = lineage.prime_implicates(max_clauses)
+    key = (clause_set.vocabulary, clause_set.fingerprint, max_clauses)
+    return _validated("logic.prime_implicates", key, lineage, result)
+
+
+def route_reduce(clause_set: ClauseSet) -> ClauseSet | None:
+    """Serve :meth:`ClauseSet.reduce` from a maintained lineage."""
+    if not _ENABLED:
+        return None
+    lineage = _adopt(clause_set)
+    lineage.advance(clause_set)
+    result = lineage.reduce()
+    key = (clause_set.vocabulary, clause_set.fingerprint)
+    return _validated("logic.reduce", key, lineage, result)

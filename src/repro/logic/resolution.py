@@ -41,6 +41,7 @@ from repro.logic.clauses import (
     make_literal,
 )
 from repro.logic.occurrence import OccurrenceIndex
+from repro.logic import incremental
 
 __all__ = [
     "resolvent",
@@ -171,9 +172,16 @@ def rclosure(clause_set: ClauseSet, indices: Iterable[int]) -> ClauseSet:
     Memoised by the opt-in kernel cache (``repro.cache``) on the clause
     set's content fingerprint plus the pivot set: the closure is a pure
     function of immutable inputs, so a hit skips the saturation (and its
-    work counters) entirely.
+    work counters) entirely.  With incremental maintenance enabled
+    (:mod:`repro.logic.incremental`), the closure is served from a
+    delta-maintained track instead of re-saturating; the routed path
+    validates against and feeds the same memo-cache keys.
     """
     pivot_indices = frozenset(indices)
+    if incremental._ENABLED:
+        routed = incremental.route_rclosure(clause_set, pivot_indices)
+        if routed is not None:
+            return routed
     if cache._ENABLED:
         key = (clause_set.vocabulary, clause_set.fingerprint, pivot_indices)
         hit = cache.lookup("logic.rclosure", key)
@@ -255,7 +263,12 @@ def unit_resolve(clause_set: ClauseSet, literals: Iterable[Literal]) -> ClauseSe
         for clause in affected:
             occ.discard(clause)
             reduced = clause - {negated}
-            occ.add(reduced)
+            if not occ.add(reduced):
+                # Two distinct clauses collapsed to the same reduced
+                # clause (or it was already present): nothing new was
+                # added, so neither the strike counter nor provenance
+                # should claim a fresh derivation.
+                continue
             struck += 1
             if rec is not None:
                 source_id = rec.ensure(clause)
@@ -283,7 +296,13 @@ def resolution_closure(clause_set: ClauseSet, max_clauses: int = 100_000) -> Cla
     subclass, for callers that treated the budget as an out-of-memory
     condition).  Memoised by the opt-in kernel cache on the clause set's
     fingerprint plus ``max_clauses`` (a run that raises is never stored).
+    With incremental maintenance enabled the closure is served from a
+    delta-maintained track with the same budget semantics.
     """
+    if incremental._ENABLED:
+        routed = incremental.route_resolution_closure(clause_set, max_clauses)
+        if routed is not None:
+            return routed
     if cache._ENABLED:
         key = (clause_set.vocabulary, clause_set.fingerprint, max_clauses)
         hit = cache.lookup("logic.resolution_closure", key)

@@ -156,3 +156,38 @@ class TestModifyLiterals:
             pre_holds = get_bit(world, A1) and not get_bit(world, A2)
             expected = delete_then_insert.apply_world(world) if pre_holds else world
             assert f.apply_world(world) == expected
+
+
+class TestClauseDelta:
+    def test_delta_splits_symmetric_difference(self):
+        from repro.db.updates import apply_clause_delta, clause_delta
+        from repro.logic.clauses import ClauseSet
+
+        vocab = Vocabulary.standard(4)
+        old = ClauseSet.from_strs(vocab, ["A1 | A2", "A3"])
+        new = ClauseSet.from_strs(vocab, ["A1 | A2", "~A3 | A4"])
+        inserts, deletes = clause_delta(old, new)
+        assert inserts == frozenset({frozenset({-3, 4})})
+        assert deletes == frozenset({frozenset({3})})
+        assert apply_clause_delta(old, inserts, deletes) == new
+
+    def test_empty_delta_returns_same_object(self):
+        from repro.db.updates import apply_clause_delta, clause_delta
+
+        from repro.logic.clauses import ClauseSet
+
+        cs = ClauseSet.from_strs(VOCAB, ["A1 | A2"])
+        inserts, deletes = clause_delta(cs, cs)
+        assert inserts == deletes == frozenset()
+        assert apply_clause_delta(cs, inserts, deletes) is cs
+
+    def test_vocabulary_mismatch_rejected(self):
+        from repro.db.updates import clause_delta
+        from repro.errors import VocabularyError
+        from repro.logic.clauses import ClauseSet
+
+        other = Vocabulary.standard(7)
+        with pytest.raises(VocabularyError):
+            clause_delta(
+                ClauseSet.tautology(VOCAB), ClauseSet.tautology(other)
+            )

@@ -94,3 +94,62 @@ class TestErrors:
         )
         db = load_session(text)
         assert db.is_certain("A1")
+
+
+class TestBackendValidation:
+    def test_unknown_backend_rejected_with_valid_list(self):
+        # Regression: unknown backend values were silently treated as
+        # clausal; they must fail loudly, naming the valid backends.
+        text = dump_session(sample_session()).replace(
+            "backend clausal", "backend postgres"
+        )
+        with pytest.raises(ParseError, match="unknown backend 'postgres'") as info:
+            load_session(text)
+        assert "clausal" in str(info.value)
+        assert "instance" in str(info.value)
+
+    def test_every_declared_backend_loads(self):
+        from repro.hlu.session import BACKENDS
+
+        base = dump_session(sample_session())
+        for backend in BACKENDS:
+            restored = load_session(
+                base.replace("backend clausal", f"backend {backend}")
+            )
+            assert restored.backend == backend
+
+
+class TestRestoreHistory:
+    def test_load_goes_through_the_public_api(self):
+        # Regression: load_session used to poke session._history
+        # directly; the public API also clears undo snapshots, so a
+        # freshly restored session has nothing to undo.
+        from repro.errors import EvaluationError
+
+        restored = load_session(dump_session(sample_session()))
+        assert len(restored.history) == 3
+        with pytest.raises(EvaluationError, match="nothing to undo"):
+            restored.undo()
+
+    def test_restore_history_rejects_non_updates(self):
+        from repro.errors import EvaluationError
+
+        db = IncompleteDatabase.over(3)
+        with pytest.raises(EvaluationError, match="HLU updates"):
+            db.restore_history(["(insert {A1})"])  # strings, not Updates
+
+    def test_restore_history_is_audited_and_replayable(self):
+        from repro.hlu import audit
+
+        audit.disable()
+        trail = audit.enable()
+        try:
+            db = IncompleteDatabase.over(3)
+            db.insert("A1")
+            db.restore_history(db.history)
+            ops = [r["op"] for r in trail if r["kind"] == "op"]
+            assert ops == ["apply", "restore_history"]
+            replay = audit.replay_audit(trail)
+            assert replay.ok, replay.render()
+        finally:
+            audit.disable()

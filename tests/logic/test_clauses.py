@@ -191,6 +191,18 @@ class TestClauseSetOperations:
         kept = cs.without_letters([1])  # drop anything mentioning A2
         assert kept == ClauseSet.from_strs(VOCAB, ["A3"])
 
+    def test_without_letters_rejects_out_of_range_indices(self):
+        # Regression: negative or too-large indices were silently
+        # accepted (negatives even aliased other letters via Python
+        # indexing of the bitmask); they must name the offending index.
+        cs = ClauseSet.from_strs(VOCAB, ["A1 | A2", "A3"])
+        with pytest.raises(VocabularyError, match="-1"):
+            cs.without_letters([-1])
+        with pytest.raises(VocabularyError, match="5"):
+            cs.without_letters([0, 5])
+        with pytest.raises(VocabularyError, match="outside the vocabulary"):
+            cs.without_letters([99])
+
     def test_reduce_removes_subsumed(self):
         cs = ClauseSet.from_strs(VOCAB, ["A1", "A1 | A2", "A1 | A2 | A3", "A4 | A5"])
         assert cs.reduce() == ClauseSet.from_strs(VOCAB, ["A1", "A4 | A5"])

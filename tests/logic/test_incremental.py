@@ -1,0 +1,387 @@
+"""Unit tests for :mod:`repro.logic.incremental`.
+
+The differential guarantee (routed kernels bit-identical to scratch on
+randomized insert/delete sequences) lives in
+``test_incremental_differential.py``; this module pins the engine's
+mechanics: frontier-seeded insertion, support-count retraction, minimal
+-set maintenance, budget parity and staleness, lineage adoption, cache
+validation, and provenance recording.
+"""
+
+import pytest
+
+from repro.cache import core as cache
+from repro.errors import ClosureBudgetError
+from repro.logic import incremental
+from repro.logic.clauses import ClauseSet
+from repro.logic.implicates import prime_implicates
+from repro.logic.incremental import IncrementalClosure
+from repro.logic.propositions import Vocabulary
+from repro.logic.resolution import rclosure, resolution_closure
+from repro.obs import core as obs
+from repro.obs import provenance
+
+
+@pytest.fixture(autouse=True)
+def _clean_slate():
+    """Every test starts and ends with all opt-in layers off and empty."""
+    incremental.disable_incremental()
+    incremental.reset_incremental()
+    cache.disable_cache()
+    cache.clear_caches()
+    obs.disable()
+    obs.reset()
+    yield
+    incremental.disable_incremental()
+    incremental.reset_incremental()
+    cache.disable_cache()
+    cache.clear_caches()
+    obs.disable()
+    obs.reset()
+
+
+def _cs(vocab, *texts):
+    return ClauseSet.from_strs(vocab, texts)
+
+
+class TestIncrementalClosureDeltas:
+    def test_insert_matches_scratch_closure(self):
+        vocab = Vocabulary.standard(4)
+        base = _cs(vocab, "A1 | A2", "~A2 | A3")
+        inc = IncrementalClosure(base)
+        assert inc.resolution_closure() == resolution_closure(base)
+        inc.insert_clause(frozenset({-3, 4}))  # ~A3 | A4
+        grown = base.with_clause(frozenset({-3, 4}))
+        assert inc.current == grown
+        assert inc.resolution_closure() == resolution_closure(grown)
+        assert inc.prime_implicates() == prime_implicates(grown)
+
+    def test_delete_retracts_orphaned_resolvents(self):
+        vocab = Vocabulary.standard(3)
+        base = _cs(vocab, "A1 | A2", "~A2 | A3")
+        inc = IncrementalClosure(base)
+        closed = inc.resolution_closure()
+        assert frozenset({1, 3}) in closed.clauses  # A1 | A3 resolvent
+        inc.delete_clause(frozenset({-2, 3}))
+        shrunk = _cs(vocab, "A1 | A2")
+        assert inc.current == shrunk
+        result = inc.resolution_closure()
+        assert frozenset({1, 3}) not in result.clauses
+        assert result == resolution_closure(shrunk)
+
+    def test_delete_keeps_independently_derivable_clauses(self):
+        # A1 | A3 is derivable from either bridge clause; deleting one
+        # bridge must keep the resolvent alive via the other derivation.
+        vocab = Vocabulary.standard(4)
+        base = _cs(vocab, "A1 | A2", "~A2 | A3", "A1 | A4", "~A4 | A3")
+        inc = IncrementalClosure(base)
+        assert frozenset({1, 3}) in inc.resolution_closure().clauses
+        inc.delete_clause(frozenset({-2, 3}))
+        remaining = _cs(vocab, "A1 | A2", "A1 | A4", "~A4 | A3")
+        assert frozenset({1, 3}) in inc.resolution_closure().clauses
+        assert inc.resolution_closure() == resolution_closure(remaining)
+
+    def test_delete_after_insert_round_trips(self):
+        vocab = Vocabulary.standard(4)
+        base = _cs(vocab, "A1 | A2", "~A2 | A3")
+        inc = IncrementalClosure(base)
+        before = inc.resolution_closure()
+        clause = frozenset({-3, 4})
+        inc.insert_clause(clause)
+        inc.delete_clause(clause)
+        assert inc.current == base
+        assert inc.resolution_closure() == before
+
+    def test_rclosure_track_restricts_pivots(self):
+        vocab = Vocabulary.standard(4)
+        base = _cs(vocab, "A1 | A2", "~A2 | A3", "~A3 | A4")
+        inc = IncrementalClosure(base)
+        for pivots in ((1,), (1, 2), ()):
+            assert inc.rclosure(pivots) == rclosure(base, pivots)
+        inc.insert_clause(frozenset({-1, 4}))
+        grown = base.with_clause(frozenset({-1, 4}))
+        for pivots in ((1,), (1, 2), (0,)):
+            assert inc.rclosure(pivots) == rclosure(grown, pivots)
+
+    def test_reduce_track_under_deltas(self):
+        vocab = Vocabulary.standard(4)
+        base = _cs(vocab, "A1 | A2", "A1 | A2 | A3")
+        inc = IncrementalClosure(base)
+        assert inc.reduce() == base.reduce()
+        # Insert a subsumer: both old clauses fall away.
+        inc.insert_clause(frozenset({1}))
+        assert inc.reduce().clauses == frozenset({frozenset({1})})
+        # Delete it again: the previous minimal is promoted back.
+        inc.delete_clause(frozenset({1}))
+        assert inc.reduce() == base.reduce()
+        assert inc.reduce().clauses == frozenset({frozenset({1, 2})})
+
+    def test_reduce_returns_input_object_when_nothing_subsumed(self):
+        vocab = Vocabulary.standard(3)
+        base = _cs(vocab, "A1 | A2", "~A2 | A3")
+        inc = IncrementalClosure(base)
+        assert inc.reduce() is base
+
+    def test_track_lru_eviction(self):
+        vocab = Vocabulary.standard(6)
+        base = _cs(vocab, "A1 | A2")
+        inc = IncrementalClosure(base)
+        old_cap = incremental._TRACK_CAP
+        incremental._TRACK_CAP = 2
+        try:
+            inc.rclosure((0,))
+            inc.rclosure((1,))
+            inc.rclosure((2,))
+            assert len(inc.track_keys) == 2
+            assert frozenset({0}) not in inc.track_keys
+        finally:
+            incremental._TRACK_CAP = old_cap
+
+
+class TestBudgets:
+    def _exploding(self, vocab):
+        # Pairwise chains whose total closure far exceeds tiny budgets.
+        return _cs(
+            vocab,
+            "A1 | A2",
+            "~A1 | A3",
+            "~A2 | A4",
+            "~A3 | A5",
+            "~A4 | A5",
+            "~A5 | A1",
+        )
+
+    def test_budget_raise_matches_scratch(self):
+        vocab = Vocabulary.standard(5)
+        cs = self._exploding(vocab)
+        for budget in (1, 3, 10, 100_000):
+            inc = IncrementalClosure(cs)
+            try:
+                scratch = resolution_closure(cs, max_clauses=budget)
+            except ClosureBudgetError:
+                with pytest.raises(ClosureBudgetError):
+                    inc.resolution_closure(max_clauses=budget)
+            else:
+                assert inc.resolution_closure(max_clauses=budget) == scratch
+
+    def test_mid_delta_overflow_evicts_track_and_marks_stale(self):
+        vocab = Vocabulary.standard(5)
+        base = _cs(vocab, "A1 | A2")
+        inc = IncrementalClosure(base)
+        inc.resolution_closure(max_clauses=3)
+        grown = self._exploding(vocab)
+        inc.advance(grown)  # overflows the budget-3 track mid-replay
+        assert inc.stale
+        assert None not in inc.track_keys
+        # The next query rebuilds from scratch with parity.
+        with pytest.raises(ClosureBudgetError):
+            inc.resolution_closure(max_clauses=3)
+        assert inc.resolution_closure(max_clauses=100_000) == (
+            resolution_closure(grown)
+        )
+
+    def test_budget_error_leaves_memo_cache_unpolluted_and_rebuilds(self):
+        # Satellite: a ClosureBudgetError mid-delta must not write the
+        # memo-cache, and the stale lineage must rebuild from scratch.
+        # The delta (two clauses) is within the adoption cap, so the
+        # second query replays into the budget-3 track and overflows it
+        # mid-delta rather than building a fresh lineage.
+        vocab = Vocabulary.standard(5)
+        base = _cs(vocab, "A1 | A2", "~A2 | A3")
+        grown = base.with_clause(frozenset({-3, 4})).with_clause(
+            frozenset({-4, 5})
+        )
+        cache.enable_cache()
+        incremental.enable_incremental()
+        assert resolution_closure(base, max_clauses=3) is not None
+        with pytest.raises(ClosureBudgetError):
+            resolution_closure(grown, max_clauses=3)
+        key = (grown.vocabulary, grown.fingerprint, 3)
+        assert cache.peek("logic.resolution_closure", key) is cache.MISS
+        assert incremental.incremental_stats()["stale"] >= 1
+        # Recovery: the same lineage serves the larger budget from a
+        # scratch rebuild, bit-identical to the scratch kernel.
+        routed = resolution_closure(grown, max_clauses=100_000)
+        incremental.disable_incremental()
+        cache.disable_cache()
+        assert routed == resolution_closure(grown)
+
+    def test_larger_budget_query_lifts_track_budget(self):
+        vocab = Vocabulary.standard(5)
+        cs = self._exploding(vocab)
+        inc = IncrementalClosure(cs)
+        with pytest.raises(ClosureBudgetError):
+            inc.resolution_closure(max_clauses=2)
+        # A later, larger-budget query must not be poisoned by the small
+        # budget of the first attempt.
+        assert inc.resolution_closure(max_clauses=100_000) == (
+            resolution_closure(cs)
+        )
+
+
+class TestRoutingAndLineages:
+    def test_disabled_routes_return_none(self):
+        vocab = Vocabulary.standard(3)
+        cs = _cs(vocab, "A1 | A2")
+        assert incremental.route_reduce(cs) is None
+        assert incremental.route_rclosure(cs, frozenset({0})) is None
+        assert incremental.route_resolution_closure(cs, 100) is None
+        assert incremental.route_prime_implicates(cs, 100) is None
+        assert incremental.touch(cs) is None
+
+    def test_enable_installs_and_removes_reduce_hook(self):
+        from repro.logic import clauses as clauses_mod
+
+        assert clauses_mod._INCREMENTAL_REDUCE is None
+        incremental.enable_incremental()
+        assert clauses_mod._INCREMENTAL_REDUCE is incremental.route_reduce
+        assert incremental.incremental_enabled()
+        incremental.disable_incremental()
+        assert clauses_mod._INCREMENTAL_REDUCE is None
+        assert not incremental.incremental_enabled()
+
+    def test_touch_adopts_nearby_lineage(self):
+        vocab = Vocabulary.standard(6)
+        incremental.enable_incremental()
+        base = _cs(vocab, "A1 | A2", "~A2 | A3", "A4 | A5")
+        first = incremental.touch(base)
+        assert first is not None
+        second = incremental.touch(base.with_clause(frozenset({-5, 6})))
+        assert second is first  # one-clause delta: adopted, not rebuilt
+        assert incremental.incremental_stats()["lineages"] == 1
+
+    def test_vocabulary_change_starts_fresh_lineage(self):
+        incremental.enable_incremental()
+        a = incremental.touch(_cs(Vocabulary.standard(3), "A1 | A2"))
+        b = incremental.touch(_cs(Vocabulary.standard(4), "A1 | A2"))
+        assert a is not b
+        assert incremental.incremental_stats()["lineages"] == 2
+
+    def test_far_delta_starts_fresh_lineage(self):
+        vocab = Vocabulary.standard(30)
+        incremental.enable_incremental()
+        first = incremental.touch(
+            ClauseSet(vocab, [frozenset({i + 1}) for i in range(12)])
+        )
+        second = incremental.touch(
+            ClauseSet(vocab, [frozenset({-(i + 1)}) for i in range(12)])
+        )
+        assert second is not first
+
+    def test_lineage_lru_cap(self):
+        incremental.enable_incremental(lineages=2)
+        try:
+            for size in (3, 13, 23):
+                incremental.touch(_cs(Vocabulary.standard(size), "A1 | A2"))
+            assert incremental.incremental_stats()["lineages"] == 2
+        finally:
+            incremental._LINEAGE_CAP = incremental.DEFAULT_LINEAGES
+
+    def test_routed_kernels_match_scratch(self):
+        vocab = Vocabulary.standard(4)
+        cs = _cs(vocab, "A1 | A2", "~A2 | A3", "~A1 | A4")
+        scratch = (
+            resolution_closure(cs),
+            prime_implicates(cs),
+            rclosure(cs, (1,)),
+            cs.reduce(),
+        )
+        incremental.enable_incremental()
+        routed = (
+            resolution_closure(cs),
+            prime_implicates(cs),
+            rclosure(cs, (1,)),
+            cs.reduce(),
+        )
+        assert routed == scratch
+
+    def test_enable_rejects_bad_caps(self):
+        with pytest.raises(ValueError):
+            incremental.enable_incremental(lineages=0)
+        with pytest.raises(ValueError):
+            incremental.enable_incremental(tracks=0)
+
+
+class TestCacheValidation:
+    def test_routed_result_validates_against_cached_scratch(self):
+        vocab = Vocabulary.standard(4)
+        cs = _cs(vocab, "A1 | A2", "~A2 | A3")
+        cache.enable_cache()
+        obs.enable()
+        scratch = resolution_closure(cs)  # fills the memo-cache
+        incremental.enable_incremental()
+        assert resolution_closure(cs) == scratch
+        counts = obs.counters().snapshot()
+        assert counts.get("logic.incremental.validations") == 1
+        assert "logic.incremental.validation_failures" not in counts
+
+    def test_validation_failure_prefers_cached_and_drops_lineage(self):
+        vocab = Vocabulary.standard(4)
+        cs = _cs(vocab, "A1 | A2", "~A2 | A3")
+        poisoned = _cs(vocab, "A3")
+        cache.enable_cache()
+        obs.enable()
+        key = (cs.vocabulary, cs.fingerprint, 100_000)
+        cache.store("logic.resolution_closure", key, poisoned)
+        incremental.enable_incremental()
+        assert resolution_closure(cs) == poisoned  # cached value wins
+        counts = obs.counters().snapshot()
+        assert counts.get("logic.incremental.validation_failures") == 1
+        assert incremental.incremental_stats()["lineages"] == 0
+
+    def test_routed_result_is_stored_on_cache_miss(self):
+        vocab = Vocabulary.standard(4)
+        cs = _cs(vocab, "A1 | A2", "~A2 | A3")
+        cache.enable_cache()
+        incremental.enable_incremental()
+        routed = resolution_closure(cs)
+        key = (cs.vocabulary, cs.fingerprint, 100_000)
+        assert cache.peek("logic.resolution_closure", key) == routed
+
+    def test_peek_does_not_count_or_reorder(self):
+        cache.enable_cache()
+        cache.store("k", "key", "value")
+        before = cache.cache_stats().get("k", {})
+        assert cache.peek("k", "key") == "value"
+        assert cache.peek("k", "other") is cache.MISS
+        assert cache.cache_stats().get("k", {}) == before
+
+
+class TestObservability:
+    def test_delta_counters_and_frontier_histogram(self):
+        vocab = Vocabulary.standard(4)
+        obs.enable()
+        inc = IncrementalClosure(_cs(vocab, "A1 | A2", "~A2 | A3"))
+        inc.resolution_closure()
+        inc.insert_clause(frozenset({-3, 4}))
+        inc.delete_clause(frozenset({-3, 4}))
+        counts = obs.counters().snapshot()
+        assert counts.get("logic.incremental.inserts") == 1
+        assert counts.get("logic.incremental.deletes") == 1
+        assert counts.get("logic.incremental.retractions", 0) >= 1
+        assert obs.counters().histogram(
+            "logic.incremental.frontier_size"
+        ) is not None
+
+    def test_provenance_recorded_for_incremental_resolvents(self):
+        vocab = Vocabulary.standard(3)
+        incremental.enable_incremental()
+        with provenance.recording() as rec:
+            cs = _cs(vocab, "A1 | A2", "~A2 | A3")
+            closed = resolution_closure(cs)
+            resolvent = frozenset({1, 3})
+            assert resolvent in closed.clauses
+            derivation = rec.derivation(resolvent)
+        assert derivation is not None
+        assert provenance.verify_derivation(derivation, target=resolvent) == []
+
+
+class TestStatsSurface:
+    def test_incremental_stats_shape(self):
+        stats = incremental.incremental_stats()
+        assert stats == {"lineages": 0, "tracks": 0, "stale": 0}
+        incremental.enable_incremental()
+        incremental.touch(_cs(Vocabulary.standard(3), "A1 | A2")).reduce()
+        stats = incremental.incremental_stats()
+        assert stats["lineages"] == 1
+        assert stats["tracks"] == 1

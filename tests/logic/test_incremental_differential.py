@@ -1,0 +1,222 @@
+"""Differential tests: incremental closure maintenance vs scratch kernels.
+
+The incremental engine promises *bit-identical* results: after any
+sequence of single-clause inserts and deletes, every maintained query
+(``rclosure``, ``resolution_closure``, ``prime_implicates``,
+``reduce``) equals the scratch kernel run on the final clause set --
+same ``ClauseSet`` values, same budget errors.  This module drives
+hundreds of seeded random insert/delete walks (vocabularies up to 40
+letters), through both the :class:`IncrementalClosure` API and the
+enabled-flag kernel routing, including delete-after-insert churn and
+budget-overflow recovery.
+
+Full-closure walks stay on small vocabularies (total resolution is
+exponential -- the scratch comparator, not the engine, is the cost);
+the wide-vocabulary walks exercise ``reduce`` and few-pivot
+``rclosure``, which stay polynomial.
+"""
+
+import random
+
+import pytest
+
+from repro.cache import core as cache
+from repro.errors import ClosureBudgetError
+from repro.logic import incremental
+from repro.logic.clauses import Clause, ClauseSet, make_literal
+from repro.logic.implicates import prime_implicates
+from repro.logic.incremental import IncrementalClosure
+from repro.logic.propositions import Vocabulary
+from repro.logic.resolution import rclosure, resolution_closure
+
+
+@pytest.fixture(autouse=True)
+def _clean_slate():
+    incremental.disable_incremental()
+    incremental.reset_incremental()
+    cache.disable_cache()
+    cache.clear_caches()
+    yield
+    incremental.disable_incremental()
+    incremental.reset_incremental()
+    cache.disable_cache()
+    cache.clear_caches()
+
+
+def _random_clause(rng: random.Random, n: int, max_width: int) -> Clause:
+    width = rng.randint(1, min(max_width, n))
+    letters = rng.sample(range(n), width)
+    return frozenset(make_literal(i, rng.random() < 0.5) for i in letters)
+
+
+def _step(rng: random.Random, current: set[Clause], n: int, max_width: int):
+    """One walk step: (kind, clause).  Deletes prefer churn -- removing
+    a clause that an earlier step inserted -- so delete-after-insert
+    retraction is exercised constantly, not incidentally."""
+    if current and rng.random() < 0.4:
+        return "delete", rng.choice(sorted(current, key=sorted))
+    return "insert", _random_clause(rng, n, max_width)
+
+
+def _apply(kind: str, clause: Clause, current: set[Clause]) -> None:
+    if kind == "insert":
+        current.add(clause)
+    else:
+        current.discard(clause)
+
+
+class TestDirectEngineDifferential:
+    def test_full_kernels_on_small_vocabulary_walks(self):
+        # 120 sequences x 8 steps, every maintained query checked
+        # against its scratch kernel at every step.
+        rng = random.Random(1987)
+        for trial in range(120):
+            n = rng.randint(2, 7)
+            vocab = Vocabulary.standard(n)
+            current: set[Clause] = {
+                _random_clause(rng, n, 3) for _ in range(rng.randint(1, 4))
+            }
+            inc = IncrementalClosure(ClauseSet(vocab, current))
+            pivots = tuple(rng.sample(range(n), rng.randint(1, min(2, n))))
+            for step in range(8):
+                kind, clause = _step(rng, current, n, 3)
+                _apply(kind, clause, current)
+                if kind == "insert":
+                    inc.insert_clause(clause)
+                else:
+                    inc.delete_clause(clause)
+                scratch = ClauseSet(vocab, current)
+                label = f"trial {trial} step {step} ({kind} {sorted(clause)})"
+                assert inc.current == scratch, label
+                assert inc.resolution_closure() == resolution_closure(
+                    scratch
+                ), label
+                assert inc.prime_implicates() == prime_implicates(
+                    scratch
+                ), label
+                assert inc.rclosure(pivots) == rclosure(scratch, pivots), label
+                assert inc.reduce() == scratch.reduce(), label
+
+    def test_reduce_and_rclosure_on_wide_vocabulary_walks(self):
+        # 120 sequences over vocabularies up to 40 letters; reduce and
+        # few-pivot rclosure stay cheap at this width.
+        rng = random.Random(315)
+        for trial in range(120):
+            n = rng.randint(10, 40)
+            vocab = Vocabulary.standard(n)
+            current: set[Clause] = {
+                _random_clause(rng, n, 4) for _ in range(rng.randint(2, 10))
+            }
+            inc = IncrementalClosure(ClauseSet(vocab, current))
+            pivots = tuple(rng.sample(range(n), 2))
+            for step in range(10):
+                kind, clause = _step(rng, current, n, 4)
+                _apply(kind, clause, current)
+                if kind == "insert":
+                    inc.insert_clause(clause)
+                else:
+                    inc.delete_clause(clause)
+                scratch = ClauseSet(vocab, current)
+                label = f"trial {trial} step {step} ({kind} {sorted(clause)})"
+                assert inc.reduce() == scratch.reduce(), label
+                assert inc.rclosure(pivots) == rclosure(scratch, pivots), label
+
+    def test_insert_then_delete_round_trips_exactly(self):
+        # Churn walks: every inserted clause is later deleted, so the
+        # engine must retract whole derivation cones repeatedly and
+        # land back on the base set's closures.
+        rng = random.Random(238)
+        for trial in range(40):
+            n = rng.randint(3, 7)
+            vocab = Vocabulary.standard(n)
+            base: set[Clause] = {
+                _random_clause(rng, n, 3) for _ in range(rng.randint(1, 3))
+            }
+            inc = IncrementalClosure(ClauseSet(vocab, base))
+            reference_closure = inc.resolution_closure()
+            reference_reduced = inc.reduce()
+            inserted = []
+            for _ in range(rng.randint(1, 4)):
+                clause = _random_clause(rng, n, 3)
+                if clause in base:
+                    continue
+                inserted.append(clause)
+                inc.insert_clause(clause)
+            for clause in reversed(inserted):
+                inc.delete_clause(clause)
+            label = f"trial {trial}"
+            assert inc.current.clauses == frozenset(base), label
+            assert inc.resolution_closure() == reference_closure, label
+            assert inc.reduce() == reference_reduced, label
+
+
+class TestRoutedKernelDifferential:
+    def test_routed_walks_match_scratch(self):
+        # 40 sequences x 6 steps through the enabled-flag routing: the
+        # scratch comparator runs with the flag off, the routed query
+        # with it on, on the same clause set.
+        rng = random.Random(4655)
+        for trial in range(40):
+            n = rng.randint(2, 7)
+            vocab = Vocabulary.standard(n)
+            current: set[Clause] = {
+                _random_clause(rng, n, 3) for _ in range(rng.randint(1, 4))
+            }
+            pivots = tuple(rng.sample(range(n), 1))
+            for step in range(6):
+                kind, clause = _step(rng, current, n, 3)
+                _apply(kind, clause, current)
+                cs = ClauseSet(vocab, current)
+                incremental.disable_incremental()
+                scratch = (
+                    resolution_closure(cs),
+                    prime_implicates(cs),
+                    rclosure(cs, pivots),
+                    cs.reduce(),
+                )
+                incremental.enable_incremental()
+                routed = (
+                    resolution_closure(cs),
+                    prime_implicates(cs),
+                    rclosure(cs, pivots),
+                    cs.reduce(),
+                )
+                assert routed == scratch, f"trial {trial} step {step}"
+
+    def test_budget_overflow_recovery_in_walks(self):
+        # Walks queried under a tight budget: the routed kernel must
+        # raise exactly when scratch raises, never pollute the
+        # memo-cache on the failing path, and keep serving exact
+        # results after each overflow forced a track eviction.
+        rng = random.Random(5921)
+        cache.enable_cache()
+        for trial in range(30):
+            n = rng.randint(3, 6)
+            vocab = Vocabulary.standard(n)
+            current: set[Clause] = {_random_clause(rng, n, 3)}
+            budget = rng.choice((3, 6, 12))
+            for step in range(6):
+                kind, clause = _step(rng, current, n, 3)
+                _apply(kind, clause, current)
+                cs = ClauseSet(vocab, current)
+                incremental.disable_incremental()
+                cache.clear_caches()
+                try:
+                    scratch = resolution_closure(cs, max_clauses=budget)
+                except ClosureBudgetError:
+                    scratch = ClosureBudgetError
+                cache.clear_caches()
+                incremental.enable_incremental()
+                label = f"trial {trial} step {step} budget {budget}"
+                if scratch is ClosureBudgetError:
+                    with pytest.raises(ClosureBudgetError):
+                        resolution_closure(cs, max_clauses=budget)
+                    key = (cs.vocabulary, cs.fingerprint, budget)
+                    assert (
+                        cache.peek("logic.resolution_closure", key)
+                        is cache.MISS
+                    ), label
+                else:
+                    assert (
+                        resolution_closure(cs, max_clauses=budget) == scratch
+                    ), label

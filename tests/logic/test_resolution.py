@@ -178,3 +178,54 @@ class TestResolutionClosure:
         cs = ClauseSet.from_strs(VOCAB, ["A1 | A2", "~A2 | A3", "~A3 | A4"])
         closed = rclosure(cs, [1, 2])
         assert rclosure(closed, [1, 2]) == closed
+
+
+class TestUnitResolveCounters:
+    """Regression: the strike counter (and provenance) must count only
+    genuine additions -- when two clauses collapse to the same reduced
+    clause, or the residue already exists, nothing new was derived."""
+
+    def _struck(self, cs, literals):
+        from repro.obs import core as obs
+
+        obs.enable()
+        obs.reset()
+        try:
+            result = unit_resolve(cs, literals)
+            return result, obs.counters().snapshot().get(
+                "logic.resolution.literals_struck", 0
+            )
+        finally:
+            obs.reset()
+            obs.disable()
+
+    def test_genuine_strikes_counted(self):
+        cs = ClauseSet.from_strs(VOCAB, ["A1 | ~A2", "A3 | ~A4"])
+        result, struck = self._struck(cs, [2, 4])
+        assert result == ClauseSet.from_strs(VOCAB, ["A1", "A3"])
+        assert struck == 2
+
+    def test_strike_into_existing_clause_not_counted(self):
+        cs = ClauseSet.from_strs(VOCAB, ["A1 | ~A2", "A1"])
+        result, struck = self._struck(cs, [2])
+        assert result == ClauseSet.from_strs(VOCAB, ["A1"])
+        assert struck == 0
+
+    def test_collapsing_clauses_count_once(self):
+        # Both clauses reduce to A1; only the first addition is genuine.
+        cs = ClauseSet.from_strs(VOCAB, ["A1 | ~A2", "A1 | ~A3"])
+        result, struck = self._struck(cs, [2, 3])
+        assert result == ClauseSet.from_strs(VOCAB, ["A1"])
+        assert struck == 1
+
+    def test_collapsed_duplicate_still_has_a_valid_derivation(self):
+        from repro.obs import provenance
+
+        cs = ClauseSet.from_strs(VOCAB, ["A1 | ~A2", "A1 | ~A3"])
+        with provenance.recording() as rec:
+            result = unit_resolve(cs, [2, 3])
+            target = frozenset({1})
+            assert target in result.clauses
+            steps = rec.derivation(target)
+        assert steps is not None
+        assert provenance.verify_derivation(steps, target=target) == []
