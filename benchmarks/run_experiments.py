@@ -54,7 +54,11 @@ Performance trajectory (see README "Performance trajectory"):
 * ``--check-regressions`` compares the run against the committed
   baseline (``--baseline PATH``) and exits nonzero on gated regressions,
   so CI can hold the line;
-* ``--update-baseline`` promotes the run record to be the new baseline.
+* ``--update-baseline`` promotes the run record to be the new baseline;
+* ``--history`` (or ``--history-dir DIR``) also appends the record to
+  the longitudinal perf history (``benchmarks/history/``), the
+  append-only log behind ``python -m repro.cli perf-history
+  trend|bisect`` and the ``:trend`` shell command.
 """
 
 from __future__ import annotations
@@ -391,6 +395,20 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="promote this run's record to be the baseline",
     )
+    parser.add_argument(
+        "--history",
+        action="store_true",
+        help="append this run's record to the longitudinal perf history "
+        "(benchmarks/history/; inspect with "
+        "'python -m repro.cli perf-history trend')",
+    )
+    parser.add_argument(
+        "--history-dir",
+        metavar="DIR",
+        default=None,
+        help="history directory or .jsonl file for --history "
+        "(implies --history; default: benchmarks/history/)",
+    )
     options = parser.parse_args(argv)
 
     wanted = {name.upper() for name in options.experiments}
@@ -669,6 +687,24 @@ def main(argv: list[str] | None = None) -> int:
     if options.update_baseline:
         promoted = baseline_mod.promote_baseline(record, options.baseline)
         print(f"baseline updated: {promoted}")
+
+    if options.history or options.history_dir is not None:
+        from repro.obs import history as history_mod
+
+        history_dir = (
+            Path(options.history_dir)
+            if options.history_dir is not None
+            else REPO_ROOT / history_mod.DEFAULT_HISTORY_RELPATH
+        )
+        entry = history_mod.append_history(
+            record,
+            directory=history_dir,
+            label="smoke" if options.smoke else ("full" if full_run else "partial"),
+        )
+        print(
+            f"history entry {entry.short_sha} ({entry.label}) appended to "
+            f"{history_mod.history_path(history_dir)}"
+        )
 
     regressions = 0
     if options.check_regressions and not options.update_baseline:

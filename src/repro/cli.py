@@ -35,6 +35,9 @@ Commands:
                    (default 15; needs ``:trace on``)
 ``:bench last``    summary of the most recent ``BENCH_*.json`` run
                    record (``:bench <file>`` for a specific one)
+``:trend [e]``     per-experiment sparkline trends from the perf
+                   history in ``benchmarks/history/`` (optionally
+                   limited to the named experiment idents)
 ``:cache <c>``     ``on [capacity]`` / ``off`` kernel memoisation;
                    ``stats`` per-kernel hit/miss/eviction table;
                    ``clear`` drops every cached entry
@@ -57,6 +60,10 @@ The module doubles as the home of the benchmark-diff, trace-analysis,
 and explain/audit tools::
 
     python -m repro.cli bench-diff BENCH_x.json [--against baseline.json]
+        [--attribute [--trace t.jsonl] [--base-trace b.jsonl]]
+    python -m repro.cli perf-history record BENCH_x.json [--label L]
+    python -m repro.cli perf-history trend [EXPERIMENT ...] [--metric M]
+    python -m repro.cli perf-history bisect [EXPERIMENT ...]
     python -m repro.cli trace-report trace.jsonl [--limit N]
         [--folded out.folded] [--speedscope out.speedscope.json]
     python -m repro.cli telemetry telemetry.jsonl [--prometheus]
@@ -66,7 +73,13 @@ and explain/audit tools::
 
 ``bench-diff`` renders the run-vs-baseline regression table and exits
 nonzero when gated metrics regressed (see README "Performance
-trajectory"); ``trace-report`` schema-checks a ``--trace-out`` JSON-lines
+trajectory"); with ``--attribute`` it also prints the ranked
+regression-suspect table (per-span self-time deltas when traces are
+supplied, per-kernel counter deltas, quantile shifts); ``perf-history``
+maintains the append-only longitudinal log in ``benchmarks/history/``
+(``record`` appends a run, ``trend`` renders sparkline trends, and
+``bisect`` names the first commit where a metric left its noise band);
+``trace-report`` schema-checks a ``--trace-out`` JSON-lines
 file, prints its hotspot table, and can export flamegraph views (folded
 stacks for ``flamegraph.pl``, JSON for speedscope); ``telemetry``
 schema-checks a ``--telemetry-out`` JSONL feed and replays it as a
@@ -109,6 +122,7 @@ _COMMANDS = (
     "stats",
     "profile",
     "bench",
+    "trend",
     "cache",
     "watch",
     "why",
@@ -212,6 +226,8 @@ class Shell:
             return self._profile_command(args)
         if name == "bench":
             return self._bench_command(args)
+        if name == "trend":
+            return self._trend_command(args)
         if name == "cache":
             return self._cache_command(args)
         if name == "watch":
@@ -530,12 +546,56 @@ class Shell:
         report = metrics.summary_report(record, source=str(path))
         return report.render().rstrip("\n")
 
+    def _trend_command(self, args: list[str]) -> str:
+        from pathlib import Path
+
+        from repro.obs import history as history_mod
+
+        directory = Path.cwd() / history_mod.DEFAULT_HISTORY_RELPATH
+        try:
+            entries = history_mod.read_history(directory)
+        except ReproError as error:
+            return f"error: {error}"
+        report = history_mod.trend_report(
+            entries,
+            experiments=args or None,
+            source=str(history_mod.history_path(directory)),
+        )
+        if not report.rows:
+            wanted = ", ".join(args) if args else "(any)"
+            return f"(no history for experiment(s) {wanted})"
+        return report.render().rstrip("\n")
+
+
+def _input_error(path: object, problem: object) -> int:
+    """The uniform CLI input failure: one stderr line, exit code 2.
+
+    Every file-reading subcommand funnels unreadable/missing/malformed
+    input through here, so the shape is always ``error: <path>: ...``
+    and never a raw traceback.
+    """
+    print(f"error: {path}: {problem}", file=sys.stderr)
+    return 2
+
+
+def _read_input_file(path: str) -> str:
+    """Read a CLI input file as text; raises ``OSError`` or
+    ``UnicodeDecodeError`` (both handled by callers via
+    :func:`_input_error`)."""
+    with open(path, encoding="utf-8") as handle:
+        return handle.read()
+
 
 def bench_diff_main(argv: list[str]) -> int:
     """``python -m repro.cli bench-diff``: diff a run record vs a baseline.
 
     Exits 0 when no gated metric regressed, 1 when one did, 2 on a
     usage/data error (missing file, malformed record, schema mismatch).
+    With ``--attribute`` the ranked-suspect table
+    (:mod:`repro.obs.attribution`) prints under the regression table --
+    per-experiment counter deltas always, per-span self-time deltas and
+    quantile shifts when ``--trace``/``--base-trace`` supply the two
+    recorded traces.
     """
     from repro.obs import baseline as baseline_mod
     from repro.obs import metrics as metrics_mod
@@ -564,6 +624,25 @@ def bench_diff_main(argv: list[str]) -> int:
         action="store_true",
         help="show neutral counter/fit rows too",
     )
+    parser.add_argument(
+        "--attribute",
+        action="store_true",
+        help="also print the ranked regression-suspect table "
+        "(repro.obs.attribution)",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="this run's --trace-out JSONL, for span-level attribution "
+        "(requires --attribute)",
+    )
+    parser.add_argument(
+        "--base-trace",
+        metavar="FILE",
+        default=None,
+        help="the baseline run's --trace-out JSONL (requires --attribute)",
+    )
     options = parser.parse_args(argv)
     gate = frozenset(kind.strip() for kind in options.gate.split(",") if kind.strip())
     bad_kinds = gate - set(baseline_mod.METRIC_KINDS)
@@ -572,6 +651,8 @@ def bench_diff_main(argv: list[str]) -> int:
             f"unknown gate kind(s): {', '.join(sorted(bad_kinds))} "
             f"(known: {', '.join(baseline_mod.METRIC_KINDS)})"
         )
+    if (options.trace or options.base_trace) and not options.attribute:
+        parser.error("--trace/--base-trace require --attribute")
     against = options.against
     if against is None:
         from pathlib import Path
@@ -579,12 +660,41 @@ def bench_diff_main(argv: list[str]) -> int:
         against = Path.cwd() / baseline_mod.DEFAULT_BASELINE_RELPATH
     try:
         run = metrics_mod.read_run_record(options.run)
+    except ReproError as error:
+        return _input_error(options.run, error)
+    try:
         base = baseline_mod.load_baseline(against)
+    except ReproError as error:
+        return _input_error(against, error)
+    try:
         comparison = baseline_mod.compare(run, base)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     print(comparison.report(include_neutral=options.include_neutral).render())
+
+    if options.attribute:
+        from repro.obs import attribution as attribution_mod
+        from repro.obs.export import spans_from_jsonl
+
+        traces = {}
+        for trace_path in (options.trace, options.base_trace):
+            if trace_path is None:
+                traces[trace_path] = None
+                continue
+            try:
+                traces[trace_path] = spans_from_jsonl(_read_input_file(trace_path))
+            except (OSError, UnicodeDecodeError) as exc:
+                return _input_error(trace_path, exc)
+            except (ValueError, KeyError, TypeError) as exc:
+                return _input_error(trace_path, f"malformed trace: {exc}")
+        run_spans = traces[options.trace]
+        base_spans = traces[options.base_trace]
+        attributed = attribution_mod.attribute(
+            run, base, run_spans=run_spans, base_spans=base_spans
+        )
+        print(attributed.report().render())
+
     regressions = comparison.regressions(gate)
     if regressions:
         print(
@@ -645,11 +755,9 @@ def trace_report_main(argv: list[str]) -> int:
     )
     options = parser.parse_args(argv)
     try:
-        with open(options.trace) as handle:
-            text = handle.read()
-    except OSError as exc:
-        print(f"error: cannot read trace file: {exc}", file=sys.stderr)
-        return 2
+        text = _read_input_file(options.trace)
+    except (OSError, UnicodeDecodeError) as exc:
+        return _input_error(options.trace, exc)
     if not options.no_validate:
         errors = validate_jsonl(text)
         if errors:
@@ -706,11 +814,9 @@ def telemetry_main(argv: list[str]) -> int:
     )
     options = parser.parse_args(argv)
     try:
-        with open(options.feed) as handle:
-            text = handle.read()
-    except OSError as exc:
-        print(f"error: cannot read feed file: {exc}", file=sys.stderr)
-        return 2
+        text = _read_input_file(options.feed)
+    except (OSError, UnicodeDecodeError) as exc:
+        return _input_error(options.feed, exc)
     if not options.no_validate:
         errors = runtime.validate_feed(text)
         if errors:
@@ -821,14 +927,11 @@ def explain_main(argv: list[str]) -> int:
     )
     options = parser.parse_args(argv)
     try:
-        with open(options.session) as handle:
-            db = load_session(handle.read())
-    except OSError as exc:
-        print(f"error: cannot read session file: {exc}", file=sys.stderr)
-        return 2
+        db = load_session(_read_input_file(options.session))
+    except (OSError, UnicodeDecodeError) as exc:
+        return _input_error(options.session, exc)
     except ReproError as exc:
-        print(f"error: {options.session}: {exc}", file=sys.stderr)
-        return 2
+        return _input_error(options.session, exc)
     clause_set = db.clauses()
     vocabulary = db.vocabulary
 
@@ -948,12 +1051,10 @@ def audit_main(argv: list[str]) -> int:
     options = parser.parse_args(argv)
     try:
         records = audit_mod.read_audit(options.trail)
-    except OSError as exc:
-        print(f"error: cannot read audit file: {exc}", file=sys.stderr)
-        return 2
+    except (OSError, UnicodeDecodeError) as exc:
+        return _input_error(options.trail, exc)
     except AuditError as exc:
-        print(f"error: {options.trail}: {exc}", file=sys.stderr)
-        return 2
+        return _input_error(options.trail, exc)
     problems = audit_mod.validate_audit(records)
     if problems:
         for problem in problems:
@@ -1147,12 +1248,180 @@ def incremental_diff_main(argv: list[str]) -> int:
     return 0
 
 
+def perf_history_main(argv: list[str]) -> int:
+    """``python -m repro.cli perf-history``: the longitudinal perf log.
+
+    ``record RUN`` appends one BENCH run record to the append-only
+    history store (default ``benchmarks/history/history.jsonl``);
+    ``trend`` renders per-experiment sparkline tables and exits 1 when a
+    metric has drifted out of its noise band; ``bisect`` names the first
+    recorded commit where each drifting metric left the band (exit 0
+    when it found one, 1 when everything is stable).  All subcommands
+    exit 2 on missing, unreadable, or schema-drifted input.
+    """
+    from pathlib import Path
+
+    from repro.obs import history as history_mod
+    from repro.obs import metrics as metrics_mod
+
+    parser = argparse.ArgumentParser(
+        prog="repro-hlu perf-history",
+        description="Record and interrogate the longitudinal benchmark history.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_dir(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--dir",
+            metavar="DIR",
+            default=None,
+            help="history directory or .jsonl file "
+            "(default: benchmarks/history/ under the current directory)",
+        )
+
+    record_parser = subparsers.add_parser(
+        "record", help="append a BENCH run record to the history"
+    )
+    record_parser.add_argument("run", help="the BENCH_*.json run record to append")
+    add_dir(record_parser)
+    record_parser.add_argument(
+        "--label",
+        default="full",
+        help="entry label, e.g. full/smoke/baseline (default: full)",
+    )
+
+    def add_query_args(sub: argparse.ArgumentParser, metric_default: str | None) -> None:
+        sub.add_argument(
+            "experiments",
+            nargs="*",
+            metavar="EXPERIMENT",
+            help="experiment ident(s); default: every experiment in the "
+            "most recent entry",
+        )
+        add_dir(sub)
+        sub.add_argument(
+            "--metric",
+            default=metric_default,
+            metavar="METRIC",
+            help="seconds, counter:NAME or fit:NAME"
+            + (
+                " (default: seconds)"
+                if metric_default
+                else " (default: scan every recorded metric)"
+            ),
+        )
+        sub.add_argument(
+            "--last",
+            type=int,
+            default=0,
+            metavar="N",
+            help="only consider the N most recent runs (default: all)",
+        )
+        sub.add_argument(
+            "--machine",
+            default=None,
+            metavar="KEY",
+            help="filter to one machine key; 'current' resolves this "
+            "machine's key (default: no filter)",
+        )
+
+    trend_parser = subparsers.add_parser(
+        "trend", help="per-experiment sparkline trend table with drift verdicts"
+    )
+    add_query_args(trend_parser, "seconds")
+    bisect_parser = subparsers.add_parser(
+        "bisect", help="name the first commit where a metric left its noise band"
+    )
+    add_query_args(bisect_parser, None)
+
+    options = parser.parse_args(argv)
+    directory = options.dir or (Path.cwd() / history_mod.DEFAULT_HISTORY_RELPATH)
+
+    if options.command == "record":
+        try:
+            record = metrics_mod.read_run_record(options.run)
+        except ReproError as error:
+            return _input_error(options.run, error)
+        try:
+            entry = history_mod.append_history(
+                record, directory=directory, label=options.label
+            )
+        except OSError as error:
+            return _input_error(directory, error)
+        target = history_mod.history_path(directory)
+        print(
+            f"recorded {entry.short_sha} ({entry.label}, machine "
+            f"{entry.machine}) -> {target}"
+        )
+        return 0
+
+    machine = options.machine
+    if machine == "current":
+        machine = history_mod.machine_key(metrics_mod.machine_fingerprint())
+    try:
+        entries = history_mod.read_history(directory)
+    except ReproError as error:
+        return _input_error(history_mod.history_path(directory), error)
+    experiments = list(options.experiments) or (
+        list(entries[-1].record.idents) if entries else []
+    )
+
+    if options.command == "trend":
+        report = history_mod.trend_report(
+            entries,
+            experiments=experiments or None,
+            metric=options.metric,
+            last=options.last,
+            machine=machine,
+            source=str(history_mod.history_path(directory)),
+        )
+        print(report.render())
+        return 0 if report.holds else 1
+
+    changepoints = []
+    for ident in experiments:
+        metrics = (
+            [options.metric]
+            if options.metric
+            else history_mod.available_metrics(entries, ident)
+        )
+        for metric in metrics:
+            trend = history_mod.experiment_trend(
+                entries,
+                ident,
+                metric=metric,
+                last=options.last,
+                machine=machine,
+            )
+            changepoint = history_mod.detect_changepoint(trend)
+            if changepoint is not None:
+                changepoints.append(changepoint)
+    if not changepoints:
+        print(
+            f"no changepoint across {len(entries)} run(s): every tracked "
+            f"metric stayed inside its noise band"
+        )
+        return 1
+    for changepoint in changepoints:
+        point = changepoint.point
+        print(
+            f"{changepoint.experiment} {changepoint.metric}: "
+            f"{changepoint.status} at {point.short_sha} "
+            f"({point.recorded}, {point.label}) -- "
+            f"{changepoint.before:.6g} -> {changepoint.after:.6g} "
+            f"({changepoint.relative:+.0%})"
+        )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Console entry point."""
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "bench-diff":
         return bench_diff_main(argv[1:])
+    if argv and argv[0] == "perf-history":
+        return perf_history_main(argv[1:])
     if argv and argv[0] == "incremental-diff":
         return incremental_diff_main(argv[1:])
     if argv and argv[0] == "trace-report":

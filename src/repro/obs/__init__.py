@@ -54,7 +54,7 @@ from repro.obs.profile import (
     speedscope_document,
 )
 from repro.obs.report import hotspot_report
-from repro.obs import baseline, live, metrics, provenance, runtime
+from repro.obs import attribution, baseline, history, live, metrics, provenance, runtime
 from repro.obs import logging as structured_logging
 
 __all__ = [
@@ -91,6 +91,8 @@ __all__ = [
     "current_span",
     "metrics",
     "baseline",
+    "history",
+    "attribution",
     "runtime",
     "live",
     "structured_logging",

@@ -37,9 +37,13 @@ __all__ = [
     "DEFAULT_BASELINE_RELPATH",
     "DEFAULT_GATE",
     "METRIC_KINDS",
+    "SPREAD_SIGMAS",
     "Thresholds",
     "MetricDelta",
     "Comparison",
+    "classify_seconds",
+    "classify_counter",
+    "classify_fit",
     "compare",
     "load_baseline",
     "promote_baseline",
@@ -67,6 +71,78 @@ class Thresholds:
     seconds_rtol: float = 0.5
     seconds_floor: float = 0.005
     fit_atol: float = 0.35
+
+
+#: How many standard deviations of recorded repeat spread widen the
+#: noise band when a caller supplies one (``classify_seconds(spread=...)``).
+#: The gate itself passes ``spread=0.0``, so supplying measured spread can
+#: only make a verdict *more* conservative, never flag something the gate
+#: would call neutral.
+SPREAD_SIGMAS = 3.0
+
+
+def classify_seconds(
+    current: float,
+    baseline: float,
+    thresholds: Thresholds = Thresholds(),
+    *,
+    spread: float = 0.0,
+) -> tuple[str, str]:
+    """THE definition of a significant wall-time change: ``(status, detail)``.
+
+    Shared by the baseline gate (:func:`compare`), the differential
+    attributor (:mod:`repro.obs.attribution`), and the history
+    changepoint detector (:mod:`repro.obs.history`) so the three can
+    never disagree on what "significant" means.  ``status`` is
+    ``regressed`` / ``improved`` / ``neutral``.
+
+    The noise band is multiplicative (``seconds_rtol`` each way, with an
+    absolute ``seconds_floor`` below which timings are never compared),
+    optionally widened by ``spread`` -- a standard deviation of recorded
+    repeat samples, scaled by :data:`SPREAD_SIGMAS`.  With ``spread=0``
+    this is bit-identical to the historical gate rule.
+    """
+    floor = thresholds.seconds_floor
+    if current < floor and baseline < floor:
+        return "neutral", "below noise floor"
+    tolerance = 1.0 + thresholds.seconds_rtol
+    band = SPREAD_SIGMAS * max(0.0, spread)
+    if current > baseline * tolerance + band:
+        return "regressed", ""
+    if current < baseline / tolerance - band:
+        return "improved", ""
+    return "neutral", ""
+
+
+def classify_counter(current: float, baseline: float) -> tuple[str, str]:
+    """The exact counter rule: any increase regresses, any decrease improves.
+
+    Counters are deterministic work counts on seeded workloads, so there
+    is no tolerance in either direction.
+    """
+    if current > baseline:
+        return "regressed", "exact gate"
+    if current < baseline:
+        return "improved", "exact gate"
+    return "neutral", ""
+
+
+def classify_fit(
+    current: float | None,
+    baseline: float | None,
+    thresholds: Thresholds = Thresholds(),
+) -> tuple[str, str]:
+    """The fit-exponent rule: drift beyond ``fit_atol`` either way flags.
+
+    Fits are shape claims, not speed: a slope falling from 1.0 to 0.4 is
+    as suspicious as one rising to 1.6, so both directions classify as
+    ``regressed``.
+    """
+    if current is None or baseline is None:
+        return "neutral", "fit unavailable"
+    if abs(current - baseline) > thresholds.fit_atol:
+        return "regressed", f"exponent drifted > {thresholds.fit_atol}"
+    return "neutral", ""
 
 
 @dataclass(frozen=True)
@@ -172,20 +248,10 @@ class Comparison:
 def _compare_seconds(
     ident: str, current: float, baseline: float, thresholds: Thresholds
 ) -> MetricDelta:
-    floor = thresholds.seconds_floor
-    if current < floor and baseline < floor:
-        return MetricDelta(
-            ident, "seconds", "seconds", baseline, current, "neutral",
-            detail="below noise floor",
-        )
-    tolerance = 1.0 + thresholds.seconds_rtol
-    if current > baseline * tolerance:
-        status = "regressed"
-    elif current < baseline / tolerance:
-        status = "improved"
-    else:
-        status = "neutral"
-    return MetricDelta(ident, "seconds", "seconds", baseline, current, status)
+    status, detail = classify_seconds(current, baseline, thresholds)
+    return MetricDelta(
+        ident, "seconds", "seconds", baseline, current, status, detail=detail
+    )
 
 
 def _compare_counters(
@@ -202,24 +268,12 @@ def _compare_counters(
             deltas.append(
                 MetricDelta(ident, metric, "counter", baseline[name], None, "removed")
             )
-        elif current[name] > baseline[name]:
-            deltas.append(
-                MetricDelta(
-                    ident, metric, "counter", baseline[name], current[name],
-                    "regressed", detail="exact gate",
-                )
-            )
-        elif current[name] < baseline[name]:
-            deltas.append(
-                MetricDelta(
-                    ident, metric, "counter", baseline[name], current[name],
-                    "improved", detail="exact gate",
-                )
-            )
         else:
+            status, detail = classify_counter(current[name], baseline[name])
             deltas.append(
                 MetricDelta(
-                    ident, metric, "counter", baseline[name], current[name], "neutral"
+                    ident, metric, "counter", baseline[name], current[name],
+                    status, detail=detail,
                 )
             )
     return deltas
@@ -240,22 +294,11 @@ def _compare_fits(
             deltas.append(MetricDelta(ident, metric, "fit", None, cur, "added"))
         elif name not in current:
             deltas.append(MetricDelta(ident, metric, "fit", base, None, "removed"))
-        elif cur is None or base is None:
-            deltas.append(
-                MetricDelta(
-                    ident, metric, "fit", base, cur, "neutral",
-                    detail="fit unavailable",
-                )
-            )
-        elif abs(cur - base) > thresholds.fit_atol:
-            deltas.append(
-                MetricDelta(
-                    ident, metric, "fit", base, cur, "regressed",
-                    detail=f"exponent drifted > {thresholds.fit_atol}",
-                )
-            )
         else:
-            deltas.append(MetricDelta(ident, metric, "fit", base, cur, "neutral"))
+            status, detail = classify_fit(cur, base, thresholds)
+            deltas.append(
+                MetricDelta(ident, metric, "fit", base, cur, status, detail=detail)
+            )
     return deltas
 
 

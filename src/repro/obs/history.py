@@ -1,0 +1,614 @@
+"""Longitudinal performance history: the append-only BENCH trajectory.
+
+``repro.obs.metrics`` captures one run as a ``BENCH_*.json`` record and
+``repro.obs.baseline`` diffs it against a single promoted baseline; this
+module keeps *every* run, so a regression question changes from "did
+something slip?" to "which commit, on which machine, by how much?".
+
+The store is a schema-versioned JSON-lines file --
+``benchmarks/history/history.jsonl`` by default -- where each line wraps
+one full run record together with its trajectory key::
+
+    {
+      "schema_version": 1,
+      "recorded": "2026-08-07T12:34:56Z",   # append time, UTC ISO-8601
+      "label": "full" | "smoke" | ...,       # what kind of run this was
+      "git_sha": "abc123..." | null,         # from the wrapped record
+      "machine": "9f2c61d0a8b4",             # machine_key(fingerprint)
+      "record": { ...BENCH run record... }   # schema-versioned itself
+    }
+
+Appends are atomic (one ``O_APPEND`` write per line), loads are
+validated line by line (a corrupt line names its line number; a newer
+``schema_version`` raises :class:`~repro.errors.MetricsVersionError`
+instead of being misread), and the file is append-only by construction:
+nothing in this module ever rewrites it.
+
+On top of the store sit the two longitudinal queries:
+
+* :func:`experiment_trend` -- one metric of one experiment as an ordered
+  series of :class:`TrendPoint`\\ s (median wall seconds with recorded
+  repeat spread, a counter, or a fitted exponent), optionally filtered
+  to one machine key;
+* :func:`detect_changepoint` -- the first entry where the metric left
+  its noise band *and stayed out*: the earliest split whose every
+  subsequent point classifies non-neutral (same direction) against the
+  median of the points before it, using exactly the
+  :func:`repro.obs.baseline.classify_seconds` /
+  :func:`~repro.obs.baseline.classify_counter` /
+  :func:`~repro.obs.baseline.classify_fit` rules the regression gate
+  uses -- widened by the recorded repeat spread, so one noisy sample
+  cannot fake a drift and the gate and the detector can never disagree
+  about what "significant" means.
+
+``python -m repro.cli perf-history record|trend|bisect`` and the REPL's
+``:trend`` surface these; ``run_experiments.py --history`` auto-appends
+fresh runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import MetricsError, MetricsVersionError
+from repro.obs.baseline import (
+    Thresholds,
+    classify_counter,
+    classify_fit,
+    classify_seconds,
+)
+from repro.obs.metrics import (
+    RunRecord,
+    run_record_from_json,
+    run_record_to_json,
+)
+
+__all__ = [
+    "HISTORY_SCHEMA_VERSION",
+    "DEFAULT_HISTORY_RELPATH",
+    "HISTORY_FILENAME",
+    "HistoryEntry",
+    "machine_key",
+    "history_path",
+    "entry_from_record",
+    "entry_to_json",
+    "entry_from_json",
+    "append_history",
+    "read_history",
+    "TrendPoint",
+    "MetricTrend",
+    "metric_value",
+    "available_metrics",
+    "experiment_trend",
+    "Changepoint",
+    "detect_changepoint",
+    "sparkline",
+    "trend_report",
+]
+
+HISTORY_SCHEMA_VERSION = 1
+
+#: Where the committed history lives, relative to the repo root.
+DEFAULT_HISTORY_RELPATH = Path("benchmarks") / "history"
+
+#: The store file inside the history directory.  Scratch stores that
+#: must not be committed go next to it as ``*.local.jsonl`` (gitignored).
+HISTORY_FILENAME = "history.jsonl"
+
+#: Fingerprint fields that identify a machine for trend purposes.  The
+#: full ``platform`` string is deliberately excluded: kernel patch
+#: releases churn it without changing performance identity.
+_MACHINE_KEY_FIELDS = ("implementation", "python", "machine", "cpu_count", "hostname")
+
+
+def machine_key(fingerprint: Mapping[str, object]) -> str:
+    """A short stable digest of a run's machine fingerprint.
+
+    Two entries with the same key are comparable runs of the same
+    environment; the trajectory key is ``(git_sha, machine_key)``.
+    """
+    blob = "\x00".join(
+        f"{name}={fingerprint.get(name)!r}" for name in _MACHINE_KEY_FIELDS
+    )
+    return hashlib.blake2b(blob.encode(), digest_size=6).hexdigest()
+
+
+@dataclass
+class HistoryEntry:
+    """One appended run: the trajectory key plus the full run record."""
+
+    schema_version: int
+    recorded: str
+    label: str
+    git_sha: str | None
+    machine: str
+    record: RunRecord
+
+    @property
+    def short_sha(self) -> str:
+        return (self.git_sha or "?")[:7]
+
+
+def history_path(source: str | Path) -> Path:
+    """Resolve a history *directory or file* argument to the store file."""
+    path = Path(source)
+    if path.suffix == ".jsonl":
+        return path
+    return path / HISTORY_FILENAME
+
+
+def entry_from_record(
+    record: RunRecord,
+    label: str = "full",
+    recorded: str | None = None,
+) -> HistoryEntry:
+    """Wrap a run record as a history entry keyed on its own identity."""
+    if recorded is None:
+        recorded = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    return HistoryEntry(
+        schema_version=HISTORY_SCHEMA_VERSION,
+        recorded=recorded,
+        label=str(label),
+        git_sha=record.git_sha,
+        machine=machine_key(record.fingerprint),
+        record=record,
+    )
+
+
+def entry_to_json(entry: HistoryEntry) -> dict[str, object]:
+    return {
+        "schema_version": entry.schema_version,
+        "recorded": entry.recorded,
+        "label": entry.label,
+        "git_sha": entry.git_sha,
+        "machine": entry.machine,
+        "record": run_record_to_json(entry.record),
+    }
+
+
+def entry_from_json(data: object, where: str = "history entry") -> HistoryEntry:
+    """Parse and validate one history line (raises on any drift)."""
+    if not isinstance(data, Mapping):
+        raise MetricsError(
+            f"{where}: must be a JSON object, got {type(data).__name__}"
+        )
+    version = data.get("schema_version")
+    if not isinstance(version, int) or isinstance(version, bool):
+        raise MetricsError(f"{where}: missing integer schema_version")
+    if version > HISTORY_SCHEMA_VERSION:
+        raise MetricsVersionError(
+            f"{where}: schema_version {version} is newer than this build's "
+            f"{HISTORY_SCHEMA_VERSION}; upgrade before reading this history"
+        )
+    if version < 1:
+        raise MetricsError(f"{where}: schema_version must be >= 1, got {version}")
+    recorded = data.get("recorded")
+    if not isinstance(recorded, str):
+        raise MetricsError(f"{where}: recorded must be a string timestamp")
+    label = data.get("label")
+    if not isinstance(label, str):
+        raise MetricsError(f"{where}: label must be a string")
+    git_sha = data.get("git_sha")
+    if git_sha is not None and not isinstance(git_sha, str):
+        raise MetricsError(f"{where}: git_sha must be a string or null")
+    machine = data.get("machine")
+    if not isinstance(machine, str) or not machine:
+        raise MetricsError(f"{where}: machine must be a non-empty string")
+    if "record" not in data:
+        raise MetricsError(f"{where}: missing wrapped run record")
+    try:
+        record = run_record_from_json(data["record"])
+    except MetricsVersionError:
+        raise
+    except MetricsError as exc:
+        raise MetricsError(f"{where}: bad wrapped run record: {exc}") from exc
+    return HistoryEntry(
+        schema_version=version,
+        recorded=recorded,
+        label=label,
+        git_sha=git_sha,
+        machine=machine,
+        record=record,
+    )
+
+
+def append_history(
+    record: RunRecord,
+    directory: str | Path = DEFAULT_HISTORY_RELPATH,
+    label: str = "full",
+    recorded: str | None = None,
+) -> HistoryEntry:
+    """Append one run record to the store (atomic single-write append).
+
+    The line is serialised first and written with one ``O_APPEND`` write,
+    so concurrent appenders interleave whole lines, never fragments, and
+    a crash can at worst lose the line being written -- existing history
+    is never touched.
+    """
+    entry = entry_from_record(record, label=label, recorded=recorded)
+    line = json.dumps(entry_to_json(entry), sort_keys=False) + "\n"
+    target = history_path(directory)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    fd = os.open(
+        target, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+    )
+    try:
+        os.write(fd, line.encode())
+    finally:
+        os.close(fd)
+    return entry
+
+
+def read_history(source: str | Path = DEFAULT_HISTORY_RELPATH) -> list[HistoryEntry]:
+    """Load and validate every entry of a history store, oldest first.
+
+    Raises :class:`~repro.errors.MetricsError` with the offending line
+    number on corruption, :class:`~repro.errors.MetricsVersionError` on
+    entries (or wrapped records) from a newer schema, and a pointed
+    "seed one" message when the store does not exist yet.
+    """
+    target = history_path(source)
+    if not target.exists():
+        raise MetricsError(
+            f"no performance history at {target}; record one with "
+            f"'python -m repro.cli perf-history record BENCH_x.json' or "
+            f"'python benchmarks/run_experiments.py --history'"
+        )
+    try:
+        text = target.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise MetricsError(f"cannot read history {target}: {exc}") from exc
+    except UnicodeDecodeError as exc:
+        raise MetricsError(f"history {target} is not UTF-8 text: {exc}") from exc
+    entries: list[HistoryEntry] = []
+    for number, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise MetricsError(
+                f"{target}: line {number} is not valid JSON ({exc}); the "
+                f"store is append-only -- restore the file from git"
+            ) from exc
+        entries.append(entry_from_json(data, where=f"{target}: line {number}"))
+    return entries
+
+
+# ---------------------------------------------------------------------------
+# Trend extraction
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TrendPoint:
+    """One history entry's value of one metric."""
+
+    position: int  # index into the (filtered) history, oldest = 0
+    recorded: str
+    git_sha: str | None
+    machine: str
+    label: str
+    value: float | None
+    #: Recorded repeat-sample spread (stddev); 0.0 for exact metrics.
+    spread: float = 0.0
+
+    @property
+    def short_sha(self) -> str:
+        return (self.git_sha or "?")[:7]
+
+
+@dataclass
+class MetricTrend:
+    """An ordered series of one experiment's metric over the history."""
+
+    experiment: str
+    metric: str  # "seconds", "counter:<name>", or "fit:<name>"
+    kind: str  # seconds | counter | fit
+    points: list[TrendPoint] = field(default_factory=list)
+
+    def values(self) -> list[float]:
+        return [p.value for p in self.points if p.value is not None]
+
+    @property
+    def first(self) -> float | None:
+        values = self.values()
+        return values[0] if values else None
+
+    @property
+    def last(self) -> float | None:
+        values = self.values()
+        return values[-1] if values else None
+
+    @property
+    def spread(self) -> float:
+        return max((p.spread for p in self.points), default=0.0)
+
+
+def _metric_kind(metric: str) -> str:
+    if metric == "seconds":
+        return "seconds"
+    if metric.startswith("counter:"):
+        return "counter"
+    if metric.startswith("fit:"):
+        return "fit"
+    raise MetricsError(
+        f"unknown metric {metric!r} (expected 'seconds', 'counter:<name>', "
+        f"or 'fit:<name>')"
+    )
+
+
+def metric_value(experiment, metric: str) -> tuple[float | None, float]:
+    """``(value, spread)`` of one metric of one ExperimentMetrics slice."""
+    kind = _metric_kind(metric)
+    if kind == "seconds":
+        return experiment.median_seconds, experiment.seconds_stddev
+    if kind == "counter":
+        name = metric.split(":", 1)[1]
+        value = experiment.counters.get(name)
+        return (float(value) if value is not None else None), 0.0
+    name = metric.split(":", 1)[1]
+    value = experiment.fits.get(name)
+    return (float(value) if value is not None else None), 0.0
+
+
+def available_metrics(entries: Iterable[HistoryEntry], experiment: str) -> list[str]:
+    """Every metric the history has seen for one experiment."""
+    metrics = {"seconds"}
+    for entry in entries:
+        exp = entry.record.experiment(experiment)
+        if exp is None:
+            continue
+        metrics.update(f"counter:{name}" for name in exp.counters)
+        metrics.update(f"fit:{name}" for name in exp.fits)
+    return sorted(metrics)
+
+
+def experiment_trend(
+    entries: Sequence[HistoryEntry],
+    experiment: str,
+    metric: str = "seconds",
+    last: int = 0,
+    machine: str | None = None,
+) -> MetricTrend:
+    """One metric of one experiment as an ordered trend.
+
+    ``machine`` filters to one :func:`machine_key` (cross-machine wall
+    times are not comparable; counters and fits are).  ``last`` keeps
+    only the N most recent points (0 = all).
+    """
+    kind = _metric_kind(metric)
+    trend = MetricTrend(experiment=experiment, metric=metric, kind=kind)
+    selected = [
+        entry for entry in entries if machine is None or entry.machine == machine
+    ]
+    if last > 0:
+        selected = selected[-last:]
+    for position, entry in enumerate(selected):
+        exp = entry.record.experiment(experiment)
+        if exp is None:
+            continue
+        value, spread = metric_value(exp, metric)
+        trend.points.append(
+            TrendPoint(
+                position=position,
+                recorded=entry.recorded,
+                git_sha=entry.git_sha,
+                machine=entry.machine,
+                label=entry.label,
+                value=value,
+                spread=spread,
+            )
+        )
+    return trend
+
+
+# ---------------------------------------------------------------------------
+# Changepoint / drift detection
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Changepoint:
+    """The first history point where a metric left its noise band."""
+
+    experiment: str
+    metric: str
+    kind: str
+    point: TrendPoint  # the first off-band point (the suspect commit)
+    before: float  # median of the points before the changepoint
+    after: float  # median of the changepoint and everything after it
+    status: str  # regressed | improved
+    detail: str = ""
+
+    @property
+    def delta(self) -> float:
+        return self.after - self.before
+
+    @property
+    def relative(self) -> float:
+        return self.delta / abs(self.before) if self.before else float("inf")
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2
+
+
+def _classify(
+    kind: str, current: float, baseline: float, thresholds: Thresholds, spread: float
+) -> tuple[str, str]:
+    if kind == "seconds":
+        return classify_seconds(current, baseline, thresholds, spread=spread)
+    if kind == "counter":
+        return classify_counter(current, baseline)
+    return classify_fit(current, baseline, thresholds)
+
+
+def detect_changepoint(
+    trend: MetricTrend, thresholds: Thresholds = Thresholds()
+) -> Changepoint | None:
+    """The first point where the metric left its noise band *and stayed out*.
+
+    For every candidate split the reference is the median of the points
+    before it; the split is a changepoint iff every point from the
+    candidate onward classifies non-neutral in the same direction
+    against that reference -- using the shared gate rules
+    (:func:`~repro.obs.baseline.classify_seconds` widened by the
+    recorded repeat spread, the exact counter rule, the fit tolerance).
+    A single off-band sample followed by a return to the band is a blip,
+    not a drift, and is never flagged.  Returns ``None`` for a stable
+    (or too-short) trend.
+    """
+    points = [p for p in trend.points if p.value is not None]
+    if len(points) < 2:
+        return None
+    values = [float(p.value) for p in points]  # type: ignore[arg-type]
+    spread = max(p.spread for p in points)
+    for split in range(1, len(points)):
+        before = _median(values[:split])
+        # A blip inside the prefix poisons its median (e.g. [a, BLIP] has
+        # a median halfway up the spike, making the return-to-normal look
+        # like an improvement), so the prefix must itself be stable.
+        stable_prefix = all(
+            _classify(trend.kind, value, before, thresholds, spread)[0] == "neutral"
+            for value in values[:split]
+        )
+        if not stable_prefix:
+            continue
+        statuses = {
+            _classify(trend.kind, value, before, thresholds, spread)[0]
+            for value in values[split:]
+        }
+        if "neutral" in statuses or len(statuses) != 1:
+            continue
+        status = statuses.pop()
+        after = _median(values[split:])
+        _, detail = _classify(trend.kind, after, before, thresholds, spread)
+        return Changepoint(
+            experiment=trend.experiment,
+            metric=trend.metric,
+            kind=trend.kind,
+            point=points[split],
+            before=before,
+            after=after,
+            status=status,
+            detail=detail,
+        )
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+
+_SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float | None]) -> str:
+    """The series as a unicode sparkline (``·`` for missing points)."""
+    present = [v for v in values if v is not None]
+    if not present:
+        return ""
+    low, high = min(present), max(present)
+    span = high - low
+    chars = []
+    for value in values:
+        if value is None:
+            chars.append("·")
+        elif span <= 0:
+            chars.append(_SPARK_BLOCKS[3])
+        else:
+            index = int((value - low) / span * (len(_SPARK_BLOCKS) - 1))
+            chars.append(_SPARK_BLOCKS[index])
+    return "".join(chars)
+
+
+def _fmt_value(value: float | None, kind: str) -> str:
+    if value is None:
+        return "-"
+    if kind == "counter":
+        return str(int(value))
+    return f"{value:.4f}" if kind == "seconds" else f"{value:.3f}"
+
+
+def trend_report(
+    entries: Sequence[HistoryEntry],
+    experiments: Sequence[str] | None = None,
+    metric: str = "seconds",
+    last: int = 0,
+    machine: str | None = None,
+    thresholds: Thresholds = Thresholds(),
+    source: str = "",
+):
+    """Per-experiment trend table (sparkline, endpoints, drift verdict).
+
+    Renders through the harness :class:`~repro.bench.harness.Report`, the
+    same table shape every other surface prints.  ``experiments``
+    defaults to everything the most recent entry covers.
+    """
+    from repro.bench.harness import Report  # local: harness imports obs.core
+
+    if experiments is None:
+        experiments = entries[-1].record.idents if entries else []
+    title = "performance history"
+    if source:
+        title += f" ({source})"
+    machines = sorted({entry.machine for entry in entries})
+    report = Report(
+        ident="TREND",
+        title=title,
+        claim=(
+            f"{len(entries)} run(s), metric {metric}, "
+            f"machine(s) {', '.join(machines) if machines else '-'}"
+        ),
+        columns=(
+            "experiment", "runs", "trend", "first", "last", "change", "drift"
+        ),
+    )
+    drifts = 0
+    for ident in experiments:
+        trend = experiment_trend(
+            entries, ident, metric=metric, last=last, machine=machine
+        )
+        if not trend.points:
+            continue
+        changepoint = detect_changepoint(trend, thresholds)
+        first, latest = trend.first, trend.last
+        if first not in (None, 0) and latest is not None:
+            change = f"{(latest - first) / abs(first):+.0%}"
+        else:
+            change = "-"
+        if changepoint is None:
+            drift = "-"
+        else:
+            drifts += 1
+            drift = (
+                f"{changepoint.status} at {changepoint.point.short_sha} "
+                f"({_fmt_value(changepoint.before, trend.kind)} -> "
+                f"{_fmt_value(changepoint.after, trend.kind)})"
+            )
+        report.add_row(
+            ident,
+            len(trend.points),
+            sparkline([p.value for p in trend.points]),
+            _fmt_value(first, trend.kind),
+            _fmt_value(latest, trend.kind),
+            change,
+            drift,
+        )
+    report.observed = (
+        f"{len(report.rows)} experiment(s) with history; "
+        f"{drifts} drifting on metric {metric}"
+    )
+    report.holds = drifts == 0
+    return report

@@ -139,6 +139,17 @@ class ExperimentMetrics:
     def best_seconds(self) -> float:
         return float(self.seconds["best"])
 
+    @property
+    def seconds_stddev(self) -> float:
+        """Population stddev of the recorded repeat samples (0.0 for one)."""
+        return float(self.seconds.get("stddev", 0.0) or 0.0)
+
+    @property
+    def seconds_samples(self) -> list[float]:
+        """The raw repeat samples behind :attr:`median_seconds`."""
+        samples = self.seconds.get("samples") or []
+        return [float(s) for s in samples]
+
 
 @dataclass
 class RunRecord:
@@ -508,6 +519,10 @@ def read_run_record(path: str | Path) -> RunRecord:
         text = source.read_text()
     except OSError as exc:
         raise MetricsError(f"cannot read run record {source}: {exc}") from exc
+    except UnicodeDecodeError as exc:
+        raise MetricsError(
+            f"run record {source} is not UTF-8 text: {exc}"
+        ) from exc
     try:
         data = json.loads(text)
     except json.JSONDecodeError as exc:

@@ -33,13 +33,19 @@ from repro.obs.core import Histogram, Span, Tracer
 from repro.obs.export import spans_from_jsonl
 
 __all__ = [
+    "EXPERIMENT_SPAN_PREFIX",
     "SpanStats",
     "Profile",
     "profile_spans",
     "profile_from_jsonl",
+    "experiment_forests",
     "folded_stacks",
     "speedscope_document",
 ]
+
+#: ``run_experiments.py`` wraps every experiment in a root span named
+#: ``experiment.<ident>``; :func:`experiment_forests` keys on it.
+EXPERIMENT_SPAN_PREFIX = "experiment."
 
 
 def _roots(spans: Iterable[Span] | Tracer) -> list[Span]:
@@ -116,6 +122,27 @@ def profile_spans(spans: Iterable[Span] | Tracer) -> Profile:
 def profile_from_jsonl(text: str) -> Profile:
     """Aggregate the spans of a ``--trace-out`` JSON-lines file."""
     return profile_spans(spans_from_jsonl(text))
+
+
+def experiment_forests(
+    spans: Iterable[Span] | Tracer,
+) -> dict[str, list[Span]]:
+    """Group a span forest by its ``experiment.<ident>`` root spans.
+
+    ``run_experiments.py`` opens one ``experiment.<ident>`` span per
+    experiment, so a recorded trace splits cleanly into per-experiment
+    sub-forests -- the unit the differential attributor diffs.  Roots
+    not named ``experiment.*`` (REPL sessions, ad-hoc traces) collect
+    under the empty key ``""``.
+    """
+    forests: dict[str, list[Span]] = {}
+    for root in _roots(spans):
+        if root.name.startswith(EXPERIMENT_SPAN_PREFIX):
+            key = root.name[len(EXPERIMENT_SPAN_PREFIX):]
+        else:
+            key = ""
+        forests.setdefault(key, []).append(root)
+    return forests
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,184 @@
+"""Tests for ``repro.obs.attribution``: differential profiling.
+
+The two properties the module exists for:
+
+* an injected slowdown in one kernel ranks that kernel's span (or
+  counter) as the top suspect;
+* two clean back-to-back runs attribute to *nothing* -- no significant
+  suspects, by construction.
+"""
+
+import pytest
+
+from repro.bench.harness import Report, Timing
+from repro.obs import attribution as attribution_mod
+from repro.obs import metrics
+from repro.obs.core import Span
+from repro.obs.profile import profile_spans
+
+
+def make_record(*experiments, git_sha="cafef00d"):
+    """A RunRecord from (ident, seconds, counters) tuples."""
+    pairs = []
+    for ident, seconds, counters in experiments:
+        report = Report(
+            ident=ident,
+            title=f"experiment {ident}",
+            claim="claims scale",
+            columns=("k", "v"),
+        )
+        report.holds = True
+        report.counters = dict(counters)
+        pairs.append((report, Timing([seconds] * 3)))
+    return metrics.record_from_reports(pairs, git_sha=git_sha)
+
+
+def experiment_trace(ident, *spans_spec):
+    """One ``experiment.<ident>`` root with (name, elapsed) children."""
+    children = [Span(name=name, elapsed=elapsed) for name, elapsed in spans_spec]
+    total = sum(elapsed for _, elapsed in spans_spec)
+    return [Span(name=f"experiment.{ident}", elapsed=total, children=children)]
+
+
+class TestAttribute:
+    def test_injected_span_regression_ranks_first(self):
+        base = make_record(("E6", 0.020, {"resolution.steps": 100}))
+        run = make_record(("E6", 0.060, {"resolution.steps": 100}))
+        base_spans = experiment_trace(
+            "E6", ("logic.resolve", 0.010), ("logic.reduce", 0.010)
+        )
+        run_spans = experiment_trace(
+            "E6", ("logic.resolve", 0.050), ("logic.reduce", 0.010)
+        )
+        result = attribution_mod.attribute(
+            run, base, run_spans=run_spans, base_spans=base_spans
+        )
+        (exp,) = result.experiments
+        assert exp.status == "regressed"
+        assert exp.top is not None
+        assert exp.top.kind == "span"
+        assert exp.top.name == "logic.resolve"
+        assert exp.top.delta == pytest.approx(0.040)
+        # the injected span explains the whole 40ms wall regression
+        assert exp.top.share == pytest.approx(1.0)
+
+    def test_clean_back_to_back_runs_attribute_to_nothing(self):
+        base = make_record(("E6", 0.0200, {"resolution.steps": 100}))
+        run = make_record(("E6", 0.0210, {"resolution.steps": 100}))
+        spans = experiment_trace("E6", ("logic.resolve", 0.010))
+        result = attribution_mod.attribute(
+            run, base, run_spans=spans, base_spans=spans
+        )
+        assert not result.has_significant
+        assert result.regressed() == []
+        report = result.report()
+        assert report.holds is True
+        assert report.rows == []
+
+    def test_recorded_spread_suppresses_noisy_seconds(self):
+        # A 2x median jump, but the repeats scatter across the whole
+        # range: the shared gate says noise, so attribution must too.
+        base = metrics.record_from_reports(
+            [(Report(ident="E6", title="t", claim="c", columns=("k",)),
+              Timing([0.02, 0.30, 0.02]))],
+            git_sha="a" * 8,
+        )
+        run = metrics.record_from_reports(
+            [(Report(ident="E6", title="t", claim="c", columns=("k",)),
+              Timing([0.04, 0.32, 0.04]))],
+            git_sha="b" * 8,
+        )
+        result = attribution_mod.attribute(run, base)
+        (exp,) = result.experiments
+        assert exp.status == "neutral"
+
+    def test_counter_move_attributes_without_traces(self):
+        base = make_record(("E6", 0.020, {"resolution.steps": 100}))
+        run = make_record(("E6", 0.020, {"resolution.steps": 150}))
+        result = attribution_mod.attribute(run, base)
+        (exp,) = result.experiments
+        assert exp.status == "neutral"
+        assert exp.top is not None
+        assert exp.top.kind == "counter"
+        assert exp.top.name == "resolution.steps"
+        assert exp.top.delta == 50
+        assert exp.top.share == pytest.approx(0.5)
+
+    def test_counters_lead_when_seconds_did_not_regress(self):
+        base = make_record(("E6", 0.020, {"resolution.steps": 100}))
+        run = make_record(("E6", 0.020, {"resolution.steps": 150}))
+        spans_base = experiment_trace("E6", ("logic.resolve", 0.010))
+        spans_run = experiment_trace("E6", ("logic.resolve", 0.050))
+        result = attribution_mod.attribute(
+            run, base, run_spans=spans_run, base_spans=spans_base
+        )
+        (exp,) = result.experiments
+        # counters moved, so spans were hunted too -- but with wall time
+        # neutral the exact counter evidence outranks the span delta
+        kinds = [s.kind for s in exp.suspects if s.significant]
+        assert kinds[0] == "counter"
+        assert "span" in kinds
+
+    def test_unaligned_experiments_are_skipped(self):
+        base = make_record(("E1", 0.020, {}))
+        run = make_record(("E6", 0.060, {}))
+        result = attribution_mod.attribute(run, base)
+        assert result.experiments == []
+
+    def test_whole_run_forest_diffs_as_pseudo_experiment(self):
+        base_spans = [Span(name="session", elapsed=0.010,
+                           children=[Span(name="logic.resolve", elapsed=0.008)])]
+        run_spans = [Span(name="session", elapsed=0.050,
+                          children=[Span(name="logic.resolve", elapsed=0.048)])]
+        base = make_record(("E6", 0.020, {}))
+        run = make_record(("E6", 0.020, {}))
+        result = attribution_mod.attribute(
+            run, base, run_spans=run_spans, base_spans=base_spans
+        )
+        whole = [e for e in result.experiments
+                 if e.ident == attribution_mod.WHOLE_RUN]
+        assert len(whole) == 1
+        assert whole[0].status == "regressed"
+        assert whole[0].top is not None
+        assert whole[0].top.name == "logic.resolve"
+
+
+class TestDiffProfiles:
+    def test_quantile_shift_detected_when_totals_rebalance(self):
+        # Baseline: 4 calls x 10ms.  Current: 1 call x 40ms.  Total self
+        # time is identical (span delta neutral) but every remaining call
+        # is 4x slower -- exactly what the quantile detector is for.
+        base_profile = profile_spans(
+            [Span(name="logic.resolve", elapsed=0.010) for _ in range(4)]
+        )
+        run_profile = profile_spans([Span(name="logic.resolve", elapsed=0.040)])
+        suspects = attribution_mod.diff_profiles(run_profile, base_profile)
+        quantiles = [s for s in suspects if s.kind == "quantile"]
+        assert len(quantiles) == 1
+        assert quantiles[0].significant
+        assert quantiles[0].name.startswith("logic.resolve p")
+        spans = [s for s in suspects if s.kind == "span"]
+        assert all(not s.significant for s in spans)
+
+    def test_below_floor_spans_never_produce_suspects(self):
+        base_profile = profile_spans([Span(name="tiny", elapsed=0.0001)])
+        run_profile = profile_spans([Span(name="tiny", elapsed=0.0004)])
+        suspects = attribution_mod.diff_profiles(run_profile, base_profile)
+        assert all(not s.significant for s in suspects)
+
+
+class TestDiffCounters:
+    def test_exact_deltas_and_relative_share(self):
+        suspects = attribution_mod.diff_counters(
+            {"a": 150, "b": 90, "c": 7}, {"a": 100, "b": 90, "c": 14}
+        )
+        by_name = {s.name: s for s in suspects}
+        assert set(by_name) == {"a", "c"}
+        assert by_name["a"].delta == 50
+        assert by_name["a"].share == pytest.approx(0.5)
+        assert by_name["c"].delta == -7
+        assert by_name["c"].share == pytest.approx(-0.5)
+
+    def test_added_and_removed_counters_are_structural_not_suspects(self):
+        suspects = attribution_mod.diff_counters({"new": 5}, {"old": 5})
+        assert suspects == []

@@ -1,0 +1,248 @@
+"""Tests for ``repro.obs.history``: the append-only perf trajectory.
+
+Covers store round-trips (atomic appends, validated loads), corruption
+and schema-drift diagnostics, machine keys, trend extraction, the
+changepoint detector (sustained departures flagged, blips and clean
+noise never), and the sparkline/trend-report rendering.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.harness import Report, Timing
+from repro.errors import MetricsError, MetricsVersionError
+from repro.obs import history as history_mod
+from repro.obs import metrics
+
+
+def make_record(ident="E6", seconds=0.02, counters=None, fits=None,
+                git_sha="a" * 40, samples=None):
+    report = Report(
+        ident=ident,
+        title=f"experiment {ident}",
+        claim="claims scale",
+        columns=("k", "v"),
+    )
+    report.holds = True
+    report.counters = dict(counters or {"resolution.steps": 100})
+    report.metrics = dict(fits or {})
+    timing = Timing(samples if samples is not None else [seconds] * 3)
+    return metrics.record_from_reports([(report, timing)], git_sha=git_sha)
+
+
+def seed(tmp_path, specs):
+    """Append one entry per (sha, seconds, counter) spec; return entries."""
+    store = tmp_path / "hist"
+    for day, (sha, seconds, counter) in enumerate(specs, 1):
+        history_mod.append_history(
+            make_record(seconds=seconds, counters={"resolution.steps": counter},
+                        git_sha=sha),
+            directory=store,
+            recorded=f"2026-08-{day:02d}T00:00:00Z",
+        )
+    return history_mod.read_history(store)
+
+
+class TestStore:
+    def test_round_trip_preserves_entry_and_record(self, tmp_path):
+        record = make_record(fits={"slope": 1.02})
+        entry = history_mod.append_history(
+            record, directory=tmp_path, label="full",
+            recorded="2026-08-01T00:00:00Z",
+        )
+        loaded = history_mod.read_history(tmp_path)
+        assert len(loaded) == 1
+        got = loaded[0]
+        assert got.schema_version == history_mod.HISTORY_SCHEMA_VERSION
+        assert got.label == "full"
+        assert got.recorded == "2026-08-01T00:00:00Z"
+        assert got.git_sha == "a" * 40
+        assert got.machine == entry.machine == history_mod.machine_key(
+            record.fingerprint
+        )
+        exp = got.record.experiment("E6")
+        assert exp is not None
+        assert exp.counters == {"resolution.steps": 100}
+        assert exp.fits == {"slope": 1.02}
+
+    def test_appends_accumulate_oldest_first(self, tmp_path):
+        entries = seed(tmp_path, [("a" * 40, 0.02, 100), ("b" * 40, 0.02, 100)])
+        assert [e.git_sha[:1] for e in entries] == ["a", "b"]
+
+    def test_file_argument_and_directory_argument_agree(self, tmp_path):
+        history_mod.append_history(make_record(), directory=tmp_path)
+        direct = tmp_path / history_mod.HISTORY_FILENAME
+        assert history_mod.read_history(direct) == history_mod.read_history(tmp_path)
+
+    def test_missing_store_names_the_seeding_commands(self, tmp_path):
+        with pytest.raises(MetricsError, match="perf-history record"):
+            history_mod.read_history(tmp_path / "nowhere")
+
+    def test_corrupt_line_names_its_line_number(self, tmp_path):
+        history_mod.append_history(make_record(), directory=tmp_path)
+        store = tmp_path / history_mod.HISTORY_FILENAME
+        with open(store, "a") as handle:
+            handle.write("{not json\n")
+        with pytest.raises(MetricsError, match="line 2"):
+            history_mod.read_history(tmp_path)
+
+    def test_newer_schema_version_raises_version_error(self, tmp_path):
+        history_mod.append_history(make_record(), directory=tmp_path)
+        store = tmp_path / history_mod.HISTORY_FILENAME
+        line = json.loads(store.read_text().splitlines()[0])
+        line["schema_version"] = history_mod.HISTORY_SCHEMA_VERSION + 1
+        with open(store, "a") as handle:
+            handle.write(json.dumps(line) + "\n")
+        with pytest.raises(MetricsVersionError, match="newer"):
+            history_mod.read_history(tmp_path)
+
+    def test_non_object_line_is_rejected(self, tmp_path):
+        store = tmp_path / history_mod.HISTORY_FILENAME
+        store.parent.mkdir(parents=True, exist_ok=True)
+        store.write_text("[1, 2, 3]\n")
+        with pytest.raises(MetricsError, match="JSON object"):
+            history_mod.read_history(tmp_path)
+
+    def test_machine_key_ignores_platform_churn(self):
+        record = make_record()
+        fingerprint = dict(record.fingerprint)
+        fingerprint["platform"] = "Linux-99.0.0-different-kernel"
+        assert history_mod.machine_key(fingerprint) == history_mod.machine_key(
+            record.fingerprint
+        )
+        other = dict(record.fingerprint, hostname="elsewhere")
+        assert history_mod.machine_key(other) != history_mod.machine_key(
+            record.fingerprint
+        )
+
+
+class TestTrend:
+    def test_trend_orders_points_and_reads_metrics(self, tmp_path):
+        entries = seed(
+            tmp_path,
+            [("a" * 40, 0.02, 100), ("b" * 40, 0.03, 110), ("c" * 40, 0.04, 120)],
+        )
+        trend = history_mod.experiment_trend(entries, "E6")
+        assert trend.values() == [0.02, 0.03, 0.04]
+        counter = history_mod.experiment_trend(
+            entries, "E6", metric="counter:resolution.steps"
+        )
+        assert counter.values() == [100.0, 110.0, 120.0]
+
+    def test_last_window_and_machine_filter(self, tmp_path):
+        entries = seed(tmp_path, [("a" * 40, 0.02, 100), ("b" * 40, 0.04, 100)])
+        windowed = history_mod.experiment_trend(entries, "E6", last=1)
+        assert windowed.values() == [0.04]
+        elsewhere = history_mod.experiment_trend(entries, "E6", machine="ffffffffffff")
+        assert elsewhere.values() == []
+
+    def test_available_metrics_lists_counters_and_fits(self, tmp_path):
+        store = tmp_path / "hist"
+        history_mod.append_history(
+            make_record(counters={"c1": 1}, fits={"slope": 2.0}), directory=store
+        )
+        entries = history_mod.read_history(store)
+        assert history_mod.available_metrics(entries, "E6") == [
+            "counter:c1",
+            "fit:slope",
+            "seconds",
+        ]
+
+
+class TestChangepoint:
+    def test_sustained_step_is_flagged_at_the_first_off_band_commit(self, tmp_path):
+        entries = seed(
+            tmp_path,
+            [
+                ("a" * 40, 0.020, 100),
+                ("b" * 40, 0.021, 100),
+                ("c" * 40, 0.050, 100),
+                ("d" * 40, 0.051, 100),
+            ],
+        )
+        trend = history_mod.experiment_trend(entries, "E6")
+        changepoint = history_mod.detect_changepoint(trend)
+        assert changepoint is not None
+        assert changepoint.status == "regressed"
+        assert changepoint.point.git_sha == "c" * 40
+        assert changepoint.before == pytest.approx(0.0205)
+        assert changepoint.after == pytest.approx(0.0505)
+
+    def test_counter_step_is_flagged_exactly(self, tmp_path):
+        entries = seed(
+            tmp_path,
+            [("a" * 40, 0.02, 100), ("b" * 40, 0.02, 100), ("c" * 40, 0.02, 140)],
+        )
+        trend = history_mod.experiment_trend(
+            entries, "E6", metric="counter:resolution.steps"
+        )
+        changepoint = history_mod.detect_changepoint(trend)
+        assert changepoint is not None
+        assert changepoint.point.git_sha == "c" * 40
+        assert changepoint.delta == 40
+
+    def test_single_blip_is_never_a_changepoint(self, tmp_path):
+        entries = seed(
+            tmp_path,
+            [
+                ("a" * 40, 0.020, 100),
+                ("b" * 40, 0.090, 100),  # one bad sample ...
+                ("c" * 40, 0.021, 100),  # ... back in band
+            ],
+        )
+        trend = history_mod.experiment_trend(entries, "E6")
+        assert history_mod.detect_changepoint(trend) is None
+
+    def test_in_band_noise_is_never_a_changepoint(self, tmp_path):
+        entries = seed(
+            tmp_path,
+            [("a" * 40, 0.020, 100), ("b" * 40, 0.022, 100), ("c" * 40, 0.019, 100)],
+        )
+        trend = history_mod.experiment_trend(entries, "E6")
+        assert history_mod.detect_changepoint(trend) is None
+
+    def test_recorded_spread_widens_the_band(self, tmp_path):
+        # A 2x jump would normally regress, but huge recorded repeat
+        # scatter means the gate cannot call it significant.
+        store = tmp_path / "hist"
+        history_mod.append_history(
+            make_record(samples=[0.02, 0.30, 0.02], git_sha="a" * 40),
+            directory=store,
+        )
+        history_mod.append_history(
+            make_record(samples=[0.04, 0.32, 0.04], git_sha="b" * 40),
+            directory=store,
+        )
+        entries = history_mod.read_history(store)
+        trend = history_mod.experiment_trend(entries, "E6")
+        assert history_mod.detect_changepoint(trend) is None
+
+
+class TestRendering:
+    def test_sparkline_shape(self):
+        assert history_mod.sparkline([1.0, 1.0, 8.0]) == "▁▁█"
+        assert history_mod.sparkline([2.0, None, 2.0]) == "▄·▄"
+        assert history_mod.sparkline([]) == ""
+
+    def test_trend_report_flags_drift_and_fails_verdict(self, tmp_path):
+        entries = seed(
+            tmp_path,
+            [
+                ("a" * 40, 0.020, 100),
+                ("b" * 40, 0.021, 100),
+                ("c" * 40, 0.050, 100),
+                ("d" * 40, 0.051, 100),
+            ],
+        )
+        report = history_mod.trend_report(entries)
+        assert report.holds is False
+        rendered = report.render()
+        assert "E6" in rendered
+        assert "regressed at ccccccc" in rendered
+
+    def test_trend_report_on_stable_history_holds(self, tmp_path):
+        entries = seed(tmp_path, [("a" * 40, 0.02, 100), ("b" * 40, 0.02, 100)])
+        report = history_mod.trend_report(entries)
+        assert report.holds is True
+        assert "drifting" in report.observed

@@ -342,3 +342,149 @@ class TestRunExperimentsIntegration:
     def test_unknown_experiment_is_usage_error(self, run_main):
         with pytest.raises(SystemExit):
             run_main(["E99"])
+
+
+class TestBenchDiffAttribute:
+    """``bench-diff --attribute`` end to end over real smoke records."""
+
+    @pytest.fixture()
+    def run_main(self, monkeypatch):
+        monkeypatch.syspath_prepend(str(BENCH_DIR))
+        sys.modules.pop("run_experiments", None)
+        import run_experiments
+
+        yield run_experiments.main
+        sys.modules.pop("run_experiments", None)
+
+    def record_e6(self, run_main, tmp_path, name):
+        bench = tmp_path / f"BENCH_{name}.json"
+        trace = tmp_path / f"trace_{name}.jsonl"
+        assert run_main(
+            ["E6", "--bench-out", str(bench), "--trace-out", str(trace)]
+        ) == 0
+        return bench, trace
+
+    def test_clean_back_to_back_runs_have_no_counter_suspects(
+        self, run_main, tmp_path, capsys
+    ):
+        base, base_trace = self.record_e6(run_main, tmp_path, "base")
+        run, run_trace = self.record_e6(run_main, tmp_path, "run")
+        capsys.readouterr()
+        code = bench_diff_main(
+            [
+                str(run), "--against", str(base),
+                "--attribute", "--trace", str(run_trace),
+                "--base-trace", str(base_trace),
+                "--gate", "counter,fit",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0  # counters are deterministic run to run
+        assert "== ATTR:" in out
+        # identical counters can never be suspects
+        assert "significant (exact gate)" not in out
+
+    def test_injected_counter_regression_names_the_kernel(
+        self, run_main, tmp_path, capsys
+    ):
+        base, _ = self.record_e6(run_main, tmp_path, "base")
+        run = tmp_path / "BENCH_perturbed.json"
+        data = json.loads(base.read_text())
+        counters = data["experiments"][0]["counters"]
+        kernel = sorted(counters)[0]
+        counters[kernel] *= 3
+        run.write_text(json.dumps(data))
+        capsys.readouterr()
+        code = bench_diff_main(
+            [str(run), "--against", str(base), "--attribute", "--gate", "counter"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "== ATTR:" in out
+        assert f"{kernel}" in out.split("== ATTR:")[1]
+        assert "significant (exact gate)" in out
+
+    def test_injected_span_slowdown_ranks_that_span_top(
+        self, run_main, tmp_path, capsys
+    ):
+        base, base_trace = self.record_e6(run_main, tmp_path, "base")
+        # Pick a real kernel span from the recorded trace and slow every
+        # occurrence down 50x in a copied trace + record pair.
+        lines = base_trace.read_text().splitlines()
+        spans = [json.loads(l) for l in lines if '"type": "span"' in l]
+        named = [
+            s for s in spans
+            if not s["name"].startswith("experiment.") and s["elapsed"] > 0
+        ]
+        victim = max(named, key=lambda s: s["elapsed"])["name"]
+        injected = []
+        for line in lines:
+            record = json.loads(line)
+            if record.get("type") == "span" and record["name"] == victim:
+                record["elapsed"] = record["elapsed"] * 50 + 0.05
+            injected.append(json.dumps(record))
+        run_trace = tmp_path / "trace_injected.jsonl"
+        run_trace.write_text("\n".join(injected) + "\n")
+        run = tmp_path / "BENCH_injected.json"
+        data = json.loads(base.read_text())
+        seconds = data["experiments"][0]["seconds"]
+        seconds["samples"] = [s * 50 + 0.05 for s in seconds["samples"]]
+        for key in ("best", "median", "mean", "min", "max"):
+            seconds[key] = seconds[key] * 50 + 0.05
+        run.write_text(json.dumps(data))
+        capsys.readouterr()
+        code = bench_diff_main(
+            [
+                str(run), "--against", str(base),
+                "--attribute", "--trace", str(run_trace),
+                "--base-trace", str(base_trace),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        attr = out.split("== ATTR:")[1]
+        assert f"E6 -> {victim} (span)" in attr
+
+    def test_trace_flags_require_attribute(self, tmp_path):
+        with pytest.raises(SystemExit):
+            bench_diff_main(["x.json", "--trace", "t.jsonl"])
+
+    def test_unreadable_trace_exits_two(self, run_main, tmp_path, capsys):
+        base, _ = self.record_e6(run_main, tmp_path, "base")
+        capsys.readouterr()
+        code = bench_diff_main(
+            [
+                str(base), "--against", str(base),
+                "--attribute", "--trace", str(tmp_path / "nope.jsonl"),
+            ]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestRunExperimentsHistory:
+    """``run_experiments.py --history`` appends to the longitudinal log."""
+
+    @pytest.fixture()
+    def run_main(self, monkeypatch):
+        monkeypatch.syspath_prepend(str(BENCH_DIR))
+        sys.modules.pop("run_experiments", None)
+        import run_experiments
+
+        yield run_experiments.main
+        sys.modules.pop("run_experiments", None)
+
+    def test_history_dir_appends_labelled_entries(
+        self, run_main, tmp_path, capsys
+    ):
+        from repro.obs import history as history_mod
+
+        store = tmp_path / "hist"
+        assert run_main(["E6", "--history-dir", str(store)]) == 0
+        assert run_main(["E6", "--history-dir", str(store)]) == 0
+        entries = history_mod.read_history(store)
+        assert len(entries) == 2
+        assert [e.label for e in entries] == ["partial", "partial"]
+        assert entries[0].machine == entries[1].machine
+        assert all(e.record.idents == ["E6"] for e in entries)
+        assert "appended to" in capsys.readouterr().out

@@ -221,8 +221,11 @@ class TestTraceReportMain:
         assert "speedscope profile written" in out
 
     def test_missing_file_exits_2(self, tmp_path, capsys):
-        assert main(["trace-report", str(tmp_path / "nope.jsonl")]) == 2
-        assert "cannot read" in capsys.readouterr().err
+        path = tmp_path / "nope.jsonl"
+        assert main(["trace-report", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith(f"error: {path}:")
+        assert len(err.strip().splitlines()) == 1
 
     def test_schema_drift_exits_2(self, tmp_path, capsys):
         bad = tmp_path / "bad.jsonl"
@@ -436,8 +439,11 @@ class TestTelemetryMain:
         assert "# TYPE repro_hlu_update_seconds summary" in out
 
     def test_missing_file_exits_2(self, tmp_path, capsys):
-        assert main(["telemetry", str(tmp_path / "absent.jsonl")]) == 2
-        assert "cannot read" in capsys.readouterr().err
+        path = tmp_path / "absent.jsonl"
+        assert main(["telemetry", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith(f"error: {path}:")
+        assert len(err.strip().splitlines()) == 1
 
     _DRIFTED_META = (
         '{"type": "meta", "schema": 42, "window_seconds": 10.0, '
@@ -613,8 +619,11 @@ class TestExplainMain:
         assert provenance.verify_derivation(steps, target=frozenset()) == []
 
     def test_missing_session_exits_2(self, tmp_path, capsys):
-        assert main(["explain", str(tmp_path / "absent.txt")]) == 2
-        assert "cannot read" in capsys.readouterr().err
+        path = tmp_path / "absent.txt"
+        assert main(["explain", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith(f"error: {path}:")
+        assert len(err.strip().splitlines()) == 1
 
     def test_budget_overflow_exits_2(self, tmp_path, capsys):
         import itertools
@@ -682,8 +691,11 @@ class TestAuditMain:
         assert "mismatch" in capsys.readouterr().out
 
     def test_missing_file_exits_2(self, tmp_path, capsys):
-        assert main(["audit", str(tmp_path / "absent.jsonl")]) == 2
-        assert "cannot read" in capsys.readouterr().err
+        path = tmp_path / "absent.jsonl"
+        assert main(["audit", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith(f"error: {path}:")
+        assert len(err.strip().splitlines()) == 1
 
 
 class TestIncrementalDiffMain:
@@ -726,3 +738,196 @@ class TestIncrementalDiffMain:
         assert main(["incremental-diff", "--sequences", "3"]) == 0
         assert not cache_mod.cache_enabled()
         assert not incremental.incremental_enabled()
+
+
+class TestInputErrorPaths:
+    """Every file-reading subcommand: one `error: <path>: ...` line, exit 2.
+
+    Pinned for both a missing path and a non-UTF-8 (binary) file -- the
+    latter used to escape as a raw UnicodeDecodeError traceback.
+    """
+
+    SUBCOMMANDS = (
+        lambda p: ["bench-diff", p],
+        lambda p: ["trace-report", p],
+        lambda p: ["telemetry", p],
+        lambda p: ["explain", p, "--certain", "A1"],
+        lambda p: ["audit", p],
+        lambda p: ["perf-history", "record", p],
+    )
+
+    @pytest.mark.parametrize("argv_for", SUBCOMMANDS)
+    def test_missing_file_is_one_error_line_exit_2(
+        self, argv_for, tmp_path, capsys
+    ):
+        path = str(tmp_path / "missing.input")
+        assert main(argv_for(path)) == 2
+        err = capsys.readouterr().err
+        assert err.startswith(f"error: {path}:")
+        assert len(err.strip().splitlines()) == 1
+
+    @pytest.mark.parametrize("argv_for", SUBCOMMANDS)
+    def test_binary_file_is_one_error_line_exit_2(
+        self, argv_for, tmp_path, capsys
+    ):
+        target = tmp_path / "binary.input"
+        target.write_bytes(b"\xff\xfe\x00BENCH\x9d\x80")
+        assert main(argv_for(str(target))) == 2
+        err = capsys.readouterr().err
+        assert err.startswith(f"error: {target}:")
+        assert len(err.strip().splitlines()) == 1
+
+
+class TestPerfHistoryMain:
+    def make_record_file(self, tmp_path, name, seconds=0.02, counter=100,
+                         git_sha="a" * 40):
+        from repro.bench.harness import Report, Timing
+        from repro.obs import metrics
+
+        report = Report(ident="E6", title="t", claim="c", columns=("k", "v"))
+        report.holds = True
+        report.counters = {"resolution.steps": counter}
+        record = metrics.record_from_reports(
+            [(report, Timing([seconds] * 3))], git_sha=git_sha
+        )
+        return str(metrics.write_run_record(record, tmp_path / name))
+
+    def seed_store(self, tmp_path, specs):
+        store = tmp_path / "hist"
+        for sha, seconds, counter in specs:
+            path = self.make_record_file(
+                tmp_path, f"BENCH_{sha[:4]}.json", seconds, counter, sha
+            )
+            assert main(
+                ["perf-history", "record", path, "--dir", str(store)]
+            ) == 0
+        return str(store)
+
+    def test_record_appends_and_reports_target(self, tmp_path, capsys):
+        store = self.seed_store(tmp_path, [("a" * 40, 0.02, 100)])
+        out = capsys.readouterr().out
+        assert "recorded aaaaaaa" in out
+        assert "history.jsonl" in out
+        from repro.obs import history as history_mod
+
+        assert len(history_mod.read_history(store)) == 1
+
+    def test_trend_renders_sparkline_table(self, tmp_path, capsys):
+        store = self.seed_store(
+            tmp_path, [("a" * 40, 0.02, 100), ("b" * 40, 0.021, 100)]
+        )
+        capsys.readouterr()
+        assert main(["perf-history", "trend", "--dir", store]) == 0
+        out = capsys.readouterr().out
+        assert "== TREND:" in out
+        assert "E6" in out
+
+    def test_trend_exits_1_on_drift(self, tmp_path, capsys):
+        store = self.seed_store(
+            tmp_path,
+            [
+                ("a" * 40, 0.02, 100),
+                ("b" * 40, 0.02, 100),
+                ("c" * 40, 0.06, 100),
+                ("d" * 40, 0.06, 100),
+            ],
+        )
+        capsys.readouterr()
+        assert main(["perf-history", "trend", "--dir", store]) == 1
+        assert "regressed at ccccccc" in capsys.readouterr().out
+
+    def test_bisect_names_the_first_drifting_commit(self, tmp_path, capsys):
+        store = self.seed_store(
+            tmp_path,
+            [
+                ("a" * 40, 0.02, 100),
+                ("b" * 40, 0.02, 100),
+                ("c" * 40, 0.02, 140),
+            ],
+        )
+        capsys.readouterr()
+        assert main(["perf-history", "bisect", "--dir", store]) == 0
+        out = capsys.readouterr().out
+        assert "E6 counter:resolution.steps: regressed at ccccccc" in out
+
+    def test_bisect_on_stable_history_exits_1(self, tmp_path, capsys):
+        store = self.seed_store(
+            tmp_path, [("a" * 40, 0.02, 100), ("b" * 40, 0.02, 100)]
+        )
+        capsys.readouterr()
+        assert main(["perf-history", "bisect", "--dir", store]) == 1
+        assert "no changepoint" in capsys.readouterr().out
+
+    def test_machine_filter_current_matches_recorded_entries(
+        self, tmp_path, capsys
+    ):
+        store = self.seed_store(
+            tmp_path, [("a" * 40, 0.02, 100), ("b" * 40, 0.02, 100)]
+        )
+        capsys.readouterr()
+        assert main(
+            ["perf-history", "trend", "--dir", store, "--machine", "current"]
+        ) == 0
+        assert "E6" in capsys.readouterr().out
+
+    def test_schema_drift_exits_2(self, tmp_path, capsys):
+        import json as json_mod
+
+        store = tmp_path / "hist"
+        path = self.make_record_file(tmp_path, "BENCH_a.json")
+        assert main(["perf-history", "record", path, "--dir", str(store)]) == 0
+        store_file = store / "history.jsonl"
+        line = json_mod.loads(store_file.read_text().splitlines()[0])
+        line["schema_version"] = 99
+        store_file.write_text(json_mod.dumps(line) + "\n")
+        capsys.readouterr()
+        assert main(["perf-history", "trend", "--dir", str(store)]) == 2
+        assert "newer" in capsys.readouterr().err
+
+    def test_missing_store_exits_2_with_seeding_hint(self, tmp_path, capsys):
+        assert main(
+            ["perf-history", "trend", "--dir", str(tmp_path / "none")]
+        ) == 2
+        assert "perf-history record" in capsys.readouterr().err
+
+
+class TestTrendCommand:
+    def test_trend_renders_history_from_cwd(self, shell, tmp_path, monkeypatch):
+        from repro.bench.harness import Report, Timing
+        from repro.obs import history as history_mod
+        from repro.obs import metrics
+
+        monkeypatch.chdir(tmp_path)
+        for day, sha in enumerate(("a" * 40, "b" * 40), 1):
+            report = Report(ident="E6", title="t", claim="c", columns=("k",))
+            report.holds = True
+            report.counters = {"c": 1}
+            record = metrics.record_from_reports(
+                [(report, Timing([0.02] * 3))], git_sha=sha
+            )
+            history_mod.append_history(
+                record,
+                directory=tmp_path / history_mod.DEFAULT_HISTORY_RELPATH,
+                recorded=f"2026-08-{day:02d}T00:00:00Z",
+            )
+        output = shell.execute(":trend")
+        assert "== TREND:" in output
+        assert "E6" in output
+        filtered = shell.execute(":trend E6")
+        assert "E6" in filtered
+        missing = shell.execute(":trend E99")
+        assert "no history" in missing
+
+    def test_trend_without_history_is_friendly(self, shell, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        output = shell.execute(":trend")
+        assert output.startswith("error:")
+        assert "perf-history record" in output
+
+    def test_trend_suggested_for_typo(self, shell):
+        assert "did you mean :trend" in shell.execute(":trned")
+
+    def test_help_mentions_trend_and_perf_history(self, shell):
+        text = shell.execute(":help")
+        assert ":trend" in text
+        assert "perf-history" in text
