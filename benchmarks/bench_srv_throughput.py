@@ -1,0 +1,203 @@
+"""Service throughput benchmark: the load driver as a bench-suite citizen.
+
+Self-hosts the update service (:mod:`repro.server.service`) on a
+temporary Unix socket, drives it with N seeded concurrent clients per
+scenario (:mod:`repro.server.loadgen`), and writes the runs as one
+schema-v4 ``BENCH`` record -- a ``bench_srv_<scenario>`` experiment per
+scenario plus the top-level ``throughput`` block for the primary one --
+so load runs live in the same trajectory (``bench-diff``,
+``perf-history``) as the paper experiments.
+
+Usage::
+
+    python benchmarks/bench_srv_throughput.py                 # mixed, 4x10s
+    python benchmarks/bench_srv_throughput.py --scenarios mixed,stream \
+        --clients 8 --duration 20 --out BENCH_srv.json
+    python benchmarks/bench_srv_throughput.py --check-regressions \
+        --against benchmarks/baselines/baseline_srv.json \
+        --gate counter,throughput
+
+``--check-regressions`` diffs the run against a promoted baseline with
+the percentile-aware throughput bands of :mod:`repro.obs.baseline` and
+exits 1 on gated regressions; the default gate excludes the noisy
+``throughput`` kind, so CI opts in explicitly where runners allow it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.bench.harness import Timing  # noqa: E402
+from repro.obs import baseline as baseline_mod  # noqa: E402
+from repro.obs import metrics as metrics_mod  # noqa: E402
+from repro.server import loadgen  # noqa: E402
+
+
+def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--scenarios",
+        default="mixed",
+        help="comma-separated scenarios to run "
+        f"(any of: {', '.join(loadgen.SCENARIOS)}; default: mixed)",
+    )
+    parser.add_argument("--clients", type=int, default=4, metavar="N")
+    parser.add_argument("--duration", type=float, default=10.0, metavar="SECONDS")
+    parser.add_argument("--read-fraction", type=float, default=0.5, metavar="F")
+    parser.add_argument("--letters", type=int, default=10, metavar="N")
+    parser.add_argument("--width", type=int, default=2, metavar="W")
+    parser.add_argument(
+        "--backend", choices=("clausal", "instance"), default="clausal"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--live", action="store_true", help="live throughput table while driving"
+    )
+    parser.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="write the BENCH schema-v4 record here "
+        "(default: BENCH_srv_<timestamp>.json in the repo root)",
+    )
+    parser.add_argument(
+        "--check-regressions",
+        action="store_true",
+        help="diff against the baseline and exit 1 on gated regressions",
+    )
+    parser.add_argument(
+        "--against",
+        metavar="FILE",
+        default=str(REPO_ROOT / "benchmarks" / "baselines" / "baseline_srv.json"),
+        help="baseline record for --check-regressions",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="promote this run to be the --against baseline",
+    )
+    parser.add_argument(
+        "--gate",
+        default="counter,throughput",
+        help="metric kinds that gate --check-regressions "
+        f"(subset of: {','.join(baseline_mod.METRIC_KINDS)}; "
+        "default: counter,throughput)",
+    )
+    return parser.parse_args(argv)
+
+
+def main(argv: list[str] | None = None) -> int:
+    options = parse_args(argv)
+    scenarios = [s.strip() for s in options.scenarios.split(",") if s.strip()]
+    unknown = [s for s in scenarios if s not in loadgen.SCENARIOS]
+    if not scenarios or unknown:
+        print(
+            f"bench_srv_throughput: unknown scenario(s) {unknown} "
+            f"(known: {', '.join(loadgen.SCENARIOS)})",
+            file=sys.stderr,
+        )
+        return 2
+    gate_kinds = frozenset(
+        kind.strip() for kind in options.gate.split(",") if kind.strip()
+    )
+    bad = gate_kinds - set(baseline_mod.METRIC_KINDS)
+    if bad:
+        print(
+            f"bench_srv_throughput: unknown gate kind(s) {sorted(bad)} "
+            f"(known: {','.join(baseline_mod.METRIC_KINDS)})",
+            file=sys.stderr,
+        )
+        return 2
+
+    experiments = []
+    reports = {}
+    for scenario in scenarios:
+        config = loadgen.LoadConfig(
+            clients=options.clients,
+            duration=options.duration,
+            scenario=scenario,
+            read_fraction=options.read_fraction,
+            letters=options.letters,
+            width=options.width,
+            backend=options.backend,
+            seed=options.seed,
+        )
+        report = loadgen.run_load(config, self_host=True, live=options.live)
+        reports[scenario] = report
+        print(loadgen.render_report(report))
+        print()
+        if report["client_failures"]:
+            print(
+                f"bench_srv_throughput: {report['client_failures']} client(s) "
+                f"failed in scenario {scenario!r}",
+                file=sys.stderr,
+            )
+            return 1
+        experiments.append(
+            metrics_mod.ExperimentMetrics(
+                ident=f"bench_srv_{scenario}",
+                title=(
+                    f"service throughput: {config.clients} clients, "
+                    f"scenario {scenario}"
+                ),
+                holds=report["errors"] == 0,
+                seconds=Timing([report["duration_seconds"]]).to_json(),
+                counters={
+                    "total_ops": report["total_ops"],
+                    "errors": report["errors"],
+                },
+            )
+        )
+
+    # The throughput block carries the *primary* (first) scenario; the
+    # others still land as experiments, so their op counts are tracked.
+    record = metrics_mod.RunRecord(
+        schema_version=metrics_mod.SCHEMA_VERSION,
+        created=time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        git_sha=metrics_mod.current_git_sha(REPO_ROOT),
+        fingerprint=metrics_mod.machine_fingerprint(),
+        experiments=experiments,
+        throughput=loadgen.report_to_throughput(reports[scenarios[0]]),
+    )
+    out = options.out or str(
+        REPO_ROOT / metrics_mod.bench_filename().replace("BENCH_", "BENCH_srv_")
+    )
+    metrics_mod.write_run_record(record, out)
+    print(f"wrote BENCH record to {out}")
+
+    if options.update_baseline:
+        baseline_mod.promote_baseline(record, options.against)
+        print(f"promoted baseline -> {options.against}")
+        return 0
+
+    if options.check_regressions:
+        against = Path(options.against)
+        if not against.exists():
+            print(
+                f"no baseline at {against}; promote one with "
+                f"--update-baseline first",
+                file=sys.stderr,
+            )
+            return 1
+        comparison = baseline_mod.compare(
+            record, baseline_mod.load_baseline(against)
+        )
+        print(comparison.report().render())
+        gated = comparison.regressions(gate_kinds)
+        if gated:
+            print(
+                f"bench_srv_throughput: {len(gated)} gated regression(s)",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -70,6 +70,11 @@ and explain/audit tools::
     python -m repro.cli explain session.txt [--certain F | --clause C]
         [--max-clauses N] [--json]
     python -m repro.cli audit audit.jsonl [--replay] [--limit N]
+    python -m repro.cli serve --socket /tmp/repro.sock
+        [--telemetry-out feed.jsonl] [--audit-out trail.jsonl]
+    python -m repro.cli loadgen --connect /tmp/repro.sock | --self-host
+        [--clients N] [--duration S] [--scenario mixed|stream|repair]
+        [--live] [--bench-out BENCH_srv.json]
 
 ``bench-diff`` renders the run-vs-baseline regression table and exits
 nonzero when gated metrics regressed (see README "Performance
@@ -91,7 +96,11 @@ inconsistent -- re-checked by the independent verifier (exit 1 when no
 derivation exists, 2 when verification fails); ``audit`` schema-checks a
 session audit trail (exit 2 on drift) and, with ``--replay``, rebuilds
 every session, re-applies each operation, and exits 2 when any recorded
-fingerprint or outcome disagrees.
+fingerprint or outcome disagrees; ``serve`` runs the concurrent update
+service (newline-delimited JSON over a Unix or TCP socket, graceful
+drain on SIGTERM -- see :mod:`repro.server`); ``loadgen`` drives N
+seeded concurrent clients at it and can record the run as a schema-v4
+``BENCH`` record with ops/s and latency percentiles.
 """
 
 from __future__ import annotations
@@ -1432,6 +1441,14 @@ def main(argv: list[str] | None = None) -> int:
         return explain_main(argv[1:])
     if argv and argv[0] == "audit":
         return audit_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from repro.server.service import serve_main
+
+        return serve_main(argv[1:])
+    if argv and argv[0] == "loadgen":
+        from repro.server.loadgen import loadgen_main
+
+        return loadgen_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-hlu", description="Interactive HLU shell (Hegner, PODS 1987)"
     )

@@ -27,6 +27,7 @@ __all__ = [
     "AuditError",
     "MetricsError",
     "MetricsVersionError",
+    "ProtocolError",
 ]
 
 
@@ -129,6 +130,21 @@ class AuditError(ReproError):
 
 class MetricsError(ReproError):
     """A benchmark run record (``BENCH_*.json``) is malformed or invalid."""
+
+
+class ProtocolError(ReproError):
+    """A wire request to the update service is malformed or unsupported.
+
+    ``code`` is the machine-readable error code the service echoes back
+    to the client (see :mod:`repro.server.protocol`); ``request_id`` is
+    the offending request's id when one could be extracted, so the
+    client can correlate the failure with its pipeline.
+    """
+
+    def __init__(self, message: str, code: str = "bad-request", request_id: object = None):
+        super().__init__(message)
+        self.code = code
+        self.request_id = request_id
 
 
 class MetricsVersionError(MetricsError):

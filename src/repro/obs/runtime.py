@@ -662,6 +662,15 @@ class TelemetryWriter:
     The first line is a schema-versioned ``meta`` record; every
     subsequent line is a ``snapshot``.  Lines are flushed as written so a
     tailer (the live dashboard) sees them immediately.
+
+    Safe under concurrent producers: a writer is typically fed by both a
+    :class:`TelemetryPump` thread and the workload's own flush points
+    (e.g. a final snapshot on shutdown), and ``io.TextIOWrapper`` makes
+    no atomicity promise for ``write`` -- so one lock serialises the
+    whole emit-a-record sequence.  Without it two concurrent first
+    snapshots can each emit a meta line, or interleave partial lines,
+    both of which fail :func:`validate_feed`.  Snapshots are taken
+    *inside* the lock so ``seq`` order always matches line order.
     """
 
     def __init__(
@@ -679,8 +688,11 @@ class TelemetryWriter:
             self._handle = sink
             self._owns_handle = False
         self._wrote_meta = False
+        self._io_lock = threading.Lock()
 
     def _write(self, record: Mapping[str, Any]) -> None:
+        # Callers hold ``_io_lock``: the dump+write+flush must not
+        # interleave with another record's.
         self._handle.write(json.dumps(record, sort_keys=True, default=str) + "\n")
         self._handle.flush()
 
@@ -700,17 +712,19 @@ class TelemetryWriter:
 
     def write_snapshot(self, now: float | None = None) -> dict[str, Any]:
         """Append one snapshot record (meta line emitted lazily first)."""
-        self._ensure_meta()
-        snap = self._registry.snapshot(now)
-        if self._worker is not None:
-            snap["worker"] = self._worker
-        self._write(snap)
+        with self._io_lock:
+            self._ensure_meta()
+            snap = self._registry.snapshot(now)
+            if self._worker is not None:
+                snap["worker"] = self._worker
+            self._write(snap)
         return snap
 
     def close(self) -> None:
-        self._ensure_meta()  # an empty feed is still a valid, attributable feed
-        if self._owns_handle:
-            self._handle.close()
+        with self._io_lock:
+            self._ensure_meta()  # an empty feed is still valid and attributable
+            if self._owns_handle:
+                self._handle.close()
 
 
 class TelemetryPump(threading.Thread):

@@ -1,0 +1,26 @@
+"""The concurrent update service: a long-lived server over HLU sessions.
+
+The paper specifies update programs against a single session; the
+ROADMAP's north star is a production-scale system serving heavy
+concurrent traffic.  This package is the bridge: a long-lived asyncio
+front end around :class:`repro.hlu.session.IncompleteDatabase` that
+accepts concurrent BLU/HLU update, query, undo, and explain sessions
+over a newline-delimited-JSON socket protocol, plus the load driver
+that turns the bench suite into a throughput story.
+
+* :mod:`repro.server.protocol` -- the schema-versioned wire protocol
+  (request validation, response shapes, error codes);
+* :mod:`repro.server.sessions` -- the per-connection session registry
+  (per-session locks, idle eviction, live-session gauge);
+* :mod:`repro.server.service` -- the asyncio service itself (TCP or
+  Unix socket, graceful drain on SIGTERM, live telemetry and audit
+  wiring, ``python -m repro.cli serve``);
+* :mod:`repro.server.loadgen` -- N concurrent clients with a
+  configurable read/write mix and scenario, a live throughput table,
+  and schema-v4 ``BENCH`` records with ops/s and latency percentiles
+  (``python -m repro.cli loadgen``).
+"""
+
+from __future__ import annotations
+
+__all__ = ["protocol", "sessions", "service", "loadgen"]

@@ -1,0 +1,586 @@
+"""The load driver: N concurrent clients hammering the update service.
+
+This is the demand side of the throughput story: seeded clients speak
+the wire protocol (:mod:`repro.server.protocol`) over a Unix or TCP
+socket, each driving its own session with a configurable read/write mix
+and scenario built from :mod:`repro.workloads.generators` -- so a load
+run is as reproducible as any bench table.
+
+Scenarios:
+
+* ``mixed``   -- the steady-state service shape: queries and small
+  inserts interleaved per ``--read-fraction``, with the occasional
+  verified ``explain``;
+* ``stream``  -- the Section 4 incremental-insert stream: a run of
+  width-bounded inserts with a periodic certain-query checkpoint;
+* ``repair``  -- updates racing queries with periodic ``undo``, the
+  view-update/repair traffic pattern (every client keeps rewinding
+  part of its own history).
+
+Every completed round trip lands in a client-side
+:class:`~repro.obs.runtime.MetricsRegistry` (``srv.update``,
+``srv.query``, ...), which gives the live table and the final report the
+same windowed ops/s and log-bucketed latency quantiles the server's own
+telemetry uses.  The report becomes the BENCH schema-v4 ``throughput``
+block (see :mod:`repro.obs.metrics`); ``--bench-out`` writes a full v4
+run record so the baseline tooling can diff load runs like any other
+experiment.
+
+``python -m repro.cli loadgen --connect /tmp/repro.sock`` attaches to a
+running server; ``--self-host`` spins the service in-process on a
+temporary Unix socket for one-command smoke runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import random
+import sys
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.logic.clauses import clause_to_formula
+from repro.logic.propositions import Vocabulary
+from repro.obs import live as live_mod
+from repro.obs import runtime
+from repro.server import protocol
+from repro.workloads import generators
+
+__all__ = [
+    "SCENARIOS",
+    "LoadConfig",
+    "run_load",
+    "report_to_throughput",
+    "write_bench_record",
+    "render_report",
+    "loadgen_main",
+]
+
+SCENARIOS = ("mixed", "stream", "repair")
+
+#: Ops the driver issues and reports on, in table order.
+REPORTED_OPS = ("update", "query", "undo", "explain")
+
+
+@dataclass
+class LoadConfig:
+    """One load run, fully determined (seeded) by its fields."""
+
+    clients: int = 4
+    duration: float = 10.0
+    scenario: str = "mixed"
+    read_fraction: float = 0.5
+    letters: int = 10
+    width: int = 2
+    backend: str = "clausal"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.clients < 1:
+            raise ValueError(f"clients must be >= 1, got {self.clients}")
+        if self.duration <= 0:
+            raise ValueError(f"duration must be > 0, got {self.duration}")
+        if self.scenario not in SCENARIOS:
+            raise ValueError(
+                f"scenario must be one of {SCENARIOS}, got {self.scenario!r}"
+            )
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ValueError(
+                f"read_fraction must be in [0, 1], got {self.read_fraction}"
+            )
+        if self.letters < 2:
+            raise ValueError(f"letters must be >= 2, got {self.letters}")
+        if not 1 <= self.width <= self.letters:
+            raise ValueError(
+                f"width must be in [1, letters], got {self.width}"
+            )
+        if self.backend not in protocol.BACKENDS:
+            raise ValueError(
+                f"backend must be one of {protocol.BACKENDS}, got {self.backend!r}"
+            )
+
+
+class _WireClient:
+    """One connection: write a request line, read the response line."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        self._reader = reader
+        self._writer = writer
+        self._ids = 0
+
+    async def call(self, op: str, **fields: Any) -> dict[str, Any]:
+        self._ids += 1
+        record = {"id": self._ids, "op": op, **fields}
+        self._writer.write(protocol.encode(record))
+        await self._writer.drain()
+        line = await self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        response = json.loads(line)
+        if not isinstance(response, dict):
+            raise ConnectionError(f"malformed response line: {line!r}")
+        return response
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def _connect(
+    socket_path: str | None, host: str | None, port: int | None
+) -> _WireClient:
+    if socket_path is not None:
+        reader, writer = await asyncio.open_unix_connection(socket_path)
+    else:
+        assert host is not None and port is not None
+        reader, writer = await asyncio.open_connection(host, port)
+    return _WireClient(reader, writer)
+
+
+def _choose_op(rng: random.Random, config: LoadConfig, step: int, undoable: int) -> str:
+    """The next op kind for one client, per scenario."""
+    if config.scenario == "stream":
+        return "query" if step % 10 == 9 else "update"
+    roll = rng.random()
+    if config.scenario == "repair" and undoable > 0 and roll < 0.15:
+        return "undo"
+    if roll < 0.02:
+        return "explain"
+    return "query" if rng.random() < config.read_fraction else "update"
+
+
+async def _run_client(
+    index: int,
+    config: LoadConfig,
+    deadline: float,
+    metrics: runtime.MetricsRegistry,
+    socket_path: str | None,
+    host: str | None,
+    port: int | None,
+) -> None:
+    """One client: open a session, issue scenario ops until the deadline.
+
+    Each client derives its own :class:`random.Random` from the run seed
+    and its index, so N clients explore N distinct-but-reproducible
+    trajectories.
+    """
+    rng = random.Random(config.seed * 1_000_003 + index)
+    client = await _connect(socket_path, host, port)
+    try:
+        hello = await client.call("hello")
+        served = hello.get("protocol")
+        if served != protocol.PROTOCOL_VERSION:
+            raise ConnectionError(
+                f"server speaks protocol {served!r}, "
+                f"driver speaks {protocol.PROTOCOL_VERSION}"
+            )
+        opened = await client.call(
+            "open", session="load", letters=config.letters, backend=config.backend
+        )
+        if not opened.get("ok"):
+            raise ConnectionError(f"open failed: {opened.get('error')}")
+        vocabulary = Vocabulary(opened["letters"])
+        undoable = 0
+        step = 0
+        while time.monotonic() < deadline:
+            op = _choose_op(rng, config, step, undoable)
+            step += 1
+            started = time.perf_counter()
+            if op == "update":
+                payload = clause_to_formula(
+                    vocabulary,
+                    generators.random_clause(rng, len(vocabulary), config.width),
+                )
+                response = await client.call(
+                    "update", session="load", program=f"(insert {{{payload}}})"
+                )
+                if response.get("ok"):
+                    undoable += 1
+            elif op == "query":
+                formula = generators.random_formula(rng, vocabulary, depth=2)
+                mode = "certain" if rng.random() < 0.5 else "possible"
+                response = await client.call(
+                    "query", session="load", mode=mode, formula=str(formula)
+                )
+            elif op == "undo":
+                response = await client.call("undo", session="load")
+                if response.get("ok"):
+                    undoable -= 1
+            else:  # explain
+                formula = generators.random_formula(rng, vocabulary, depth=1)
+                response = await client.call(
+                    "explain", session="load", formula=str(formula)
+                )
+            elapsed = time.perf_counter() - started
+            metrics.record_op(f"srv.{op}", elapsed)
+            if not response.get("ok"):
+                metrics.count(f"load.{op}.errors")
+                metrics.count("load.errors")
+    finally:
+        await client.close()
+
+
+async def _live_loop(
+    metrics: runtime.MetricsRegistry,
+    display: live_mod.LiveDisplay,
+    model: live_mod.DashboardModel,
+    interval: float,
+) -> None:
+    view = model.worker("loadgen")
+    view.status = "running"
+    while True:
+        await asyncio.sleep(interval)
+        view.snapshot = metrics.snapshot()
+        display.update(model)
+
+
+async def _run_load_async(
+    config: LoadConfig,
+    socket_path: str | None,
+    host: str | None,
+    port: int | None,
+    live: bool,
+    live_interval: float,
+) -> dict[str, Any]:
+    metrics = runtime.MetricsRegistry(window_seconds=5.0)
+    display = live_mod.LiveDisplay(sys.stdout) if live else None
+    model = live_mod.DashboardModel(title=f"loadgen {config.scenario}")
+    live_task: asyncio.Task[None] | None = None
+    if display is not None:
+        live_task = asyncio.create_task(
+            _live_loop(metrics, display, model, live_interval)
+        )
+    started = time.monotonic()
+    deadline = started + config.duration
+    results = await asyncio.gather(
+        *(
+            _run_client(
+                index, config, deadline, metrics, socket_path, host, port
+            )
+            for index in range(config.clients)
+        ),
+        return_exceptions=True,
+    )
+    elapsed = time.monotonic() - started
+    if live_task is not None:
+        live_task.cancel()
+        try:
+            await live_task
+        except asyncio.CancelledError:
+            pass
+    if display is not None:
+        view = model.worker("loadgen")
+        view.snapshot = metrics.snapshot()
+        view.status = "done"
+        display.close(model)
+    failures = [r for r in results if isinstance(r, BaseException)]
+    for failure in failures:
+        print(f"loadgen: client failed: {failure!r}", file=sys.stderr)
+    return _build_report(config, metrics, elapsed, len(failures))
+
+
+def _build_report(
+    config: LoadConfig,
+    metrics: runtime.MetricsRegistry,
+    elapsed: float,
+    client_failures: int,
+) -> dict[str, Any]:
+    snap = metrics.snapshot()
+    counters = snap["counters"]
+    operations: dict[str, Any] = {}
+    total_ops = 0
+    total_errors = int(counters.get("load.errors", 0))
+    for op in REPORTED_OPS:
+        meter = snap["meters"].get(f"srv.{op}")
+        if meter is None:
+            continue
+        count = int(meter["count"])
+        total_ops += count
+        hist = snap["histograms"][f"srv.{op}.seconds"]
+        operations[op] = {
+            "count": count,
+            "errors": int(counters.get(f"load.{op}.errors", 0)),
+            "ops_per_second": count / elapsed if elapsed > 0 else 0.0,
+            "latency_seconds": {
+                "mean": float(hist["total"]) / count if count else 0.0,
+                "p50": hist["p50"],
+                "p90": hist["p90"],
+                "p99": hist["p99"],
+                "max": hist["max"],
+            },
+        }
+    return {
+        "duration_seconds": elapsed,
+        "clients": config.clients,
+        "scenario": config.scenario,
+        "read_fraction": config.read_fraction,
+        "seed": config.seed,
+        "backend": config.backend,
+        "letters": config.letters,
+        "total_ops": total_ops,
+        "errors": total_errors,
+        "client_failures": client_failures,
+        "ops_per_second": total_ops / elapsed if elapsed > 0 else 0.0,
+        "operations": operations,
+    }
+
+
+def run_load(
+    config: LoadConfig,
+    socket_path: str | None = None,
+    host: str | None = None,
+    port: int | None = None,
+    self_host: bool = False,
+    live: bool = False,
+    live_interval: float = 1.0,
+) -> dict[str, Any]:
+    """Run one load scenario and return the throughput report.
+
+    Either attach to a running service (``socket_path`` or
+    ``host``/``port``) or pass ``self_host=True`` to spin an in-process
+    :class:`~repro.server.service.UpdateService` on a temporary Unix
+    socket for the duration of the run -- the benchmark and smoke-test
+    path, where one process is both sides of the socket and the ops/s
+    number still exercises the full wire protocol.
+    """
+
+    async def _go() -> dict[str, Any]:
+        if not self_host:
+            return await _run_load_async(
+                config, socket_path, host, port, live, live_interval
+            )
+        from repro.server.service import UpdateService
+
+        with tempfile.TemporaryDirectory(prefix="repro-loadgen-") as tmp:
+            path = str(Path(tmp) / "service.sock")
+            service = UpdateService()
+            await service.start(socket_path=path)
+            try:
+                return await _run_load_async(
+                    config, path, None, None, live, live_interval
+                )
+            finally:
+                await service.stop()
+
+    return asyncio.run(_go())
+
+
+# ---------------------------------------------------------------------------
+# Reporting
+# ---------------------------------------------------------------------------
+
+
+def report_to_throughput(report: dict[str, Any]) -> dict[str, Any]:
+    """The report trimmed to the BENCH schema-v4 ``throughput`` block."""
+    keep = (
+        "duration_seconds",
+        "clients",
+        "scenario",
+        "read_fraction",
+        "seed",
+        "total_ops",
+        "errors",
+        "ops_per_second",
+        "operations",
+    )
+    return {key: report[key] for key in keep}
+
+
+def write_bench_record(report: dict[str, Any], path: str) -> Path:
+    """Write a load run as a schema-v4 BENCH run record.
+
+    The run becomes one ``bench_srv_<scenario>`` experiment (wall time,
+    op/error counters) plus the top-level ``throughput`` block, so the
+    existing baseline tooling (``bench-diff``, ``perf-history``) can
+    track load runs alongside the paper experiments.
+    """
+    from repro.bench.harness import Timing
+    from repro.obs import metrics as metrics_mod
+
+    ident = f"bench_srv_{report['scenario']}"
+    record = metrics_mod.RunRecord(
+        schema_version=metrics_mod.SCHEMA_VERSION,
+        created=time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        git_sha=metrics_mod.current_git_sha(),
+        fingerprint=metrics_mod.machine_fingerprint(),
+        experiments=[
+            metrics_mod.ExperimentMetrics(
+                ident=ident,
+                title=(
+                    f"service throughput: {report['clients']} clients, "
+                    f"scenario {report['scenario']}"
+                ),
+                holds=report["client_failures"] == 0,
+                seconds=Timing([report["duration_seconds"]]).to_json(),
+                counters={
+                    "total_ops": report["total_ops"],
+                    "errors": report["errors"],
+                },
+            )
+        ],
+        throughput=report_to_throughput(report),
+    )
+    return metrics_mod.write_run_record(record, path)
+
+
+def render_report(report: dict[str, Any]) -> str:
+    """The report as the compact table the CLI prints."""
+    lines = [
+        f"== loadgen {report['scenario']}: {report['clients']} clients, "
+        f"{report['duration_seconds']:.1f}s ==",
+        f"{'op':<9}{'count':>8}{'errors':>8}{'ops/s':>10}"
+        f"{'p50':>10}{'p90':>10}{'p99':>10}",
+    ]
+
+    def _ms(value: float | None) -> str:
+        return "-" if value is None else f"{value * 1e3:.2f}ms"
+
+    for op, stats in sorted(report["operations"].items()):
+        latency = stats["latency_seconds"]
+        lines.append(
+            f"{op:<9}{stats['count']:>8}{stats['errors']:>8}"
+            f"{stats['ops_per_second']:>10.1f}"
+            f"{_ms(latency['p50']):>10}{_ms(latency['p90']):>10}"
+            f"{_ms(latency['p99']):>10}"
+        )
+    lines.append(
+        f"{'TOTAL':<9}{report['total_ops']:>8}{report['errors']:>8}"
+        f"{report['ops_per_second']:>10.1f}"
+    )
+    return "\n".join(lines)
+
+
+def loadgen_main(argv: list[str] | None = None) -> int:
+    """``python -m repro.cli loadgen``: drive load at an update service."""
+    parser = argparse.ArgumentParser(
+        prog="repro-hlu loadgen",
+        description="Drive N concurrent seeded clients at the update service.",
+    )
+    target = parser.add_mutually_exclusive_group(required=True)
+    target.add_argument(
+        "--connect",
+        metavar="SOCKET",
+        default=None,
+        help="Unix socket path of a running service",
+    )
+    target.add_argument(
+        "--tcp",
+        metavar="HOST:PORT",
+        default=None,
+        help="TCP address of a running service",
+    )
+    target.add_argument(
+        "--self-host",
+        action="store_true",
+        help="spin the service in-process on a temporary Unix socket",
+    )
+    parser.add_argument("--clients", type=int, default=4, metavar="N")
+    parser.add_argument("--duration", type=float, default=10.0, metavar="SECONDS")
+    parser.add_argument(
+        "--scenario", choices=SCENARIOS, default="mixed"
+    )
+    parser.add_argument(
+        "--read-fraction",
+        type=float,
+        default=0.5,
+        metavar="F",
+        help="fraction of mixed/repair traffic that is queries (default: 0.5)",
+    )
+    parser.add_argument("--letters", type=int, default=10, metavar="N")
+    parser.add_argument(
+        "--width",
+        type=int,
+        default=2,
+        metavar="W",
+        help="clause width of generated inserts (default: 2)",
+    )
+    parser.add_argument(
+        "--backend", choices=("clausal", "instance"), default="clausal"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--live",
+        action="store_true",
+        help="repaint a live throughput table while driving "
+        "(headless-safe: one summary line per interval without a TTY)",
+    )
+    parser.add_argument(
+        "--live-interval", type=float, default=1.0, metavar="SECONDS"
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full report as JSON instead of the table",
+    )
+    parser.add_argument(
+        "--bench-out",
+        metavar="FILE",
+        default=None,
+        help="also write a BENCH schema-v4 run record with the "
+        "throughput block (diffable via 'python -m repro.cli bench-diff')",
+    )
+    options = parser.parse_args(argv)
+
+    host = port = None
+    if options.tcp is not None:
+        address, _, port_text = options.tcp.rpartition(":")
+        try:
+            port = int(port_text)
+        except ValueError:
+            parser.error(f"--tcp wants HOST:PORT, got {options.tcp!r}")
+        host = address or "127.0.0.1"
+    try:
+        config = LoadConfig(
+            clients=options.clients,
+            duration=options.duration,
+            scenario=options.scenario,
+            read_fraction=options.read_fraction,
+            letters=options.letters,
+            width=options.width,
+            backend=options.backend,
+            seed=options.seed,
+        )
+    except ValueError as error:
+        parser.error(str(error))
+
+    try:
+        report = run_load(
+            config,
+            socket_path=options.connect,
+            host=host,
+            port=port,
+            self_host=options.self_host,
+            live=options.live,
+            live_interval=options.live_interval,
+        )
+    except (ConnectionError, OSError) as error:
+        print(f"loadgen: cannot reach service: {error}", file=sys.stderr)
+        return 1
+
+    if options.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_report(report))
+
+    if options.bench_out is not None:
+        path = write_bench_record(report, options.bench_out)
+        print(f"wrote BENCH record to {path}")
+
+    if report["client_failures"]:
+        return 1
+    if report["total_ops"] == 0:
+        print("loadgen: no operations completed", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(loadgen_main())

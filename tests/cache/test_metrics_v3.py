@@ -52,7 +52,7 @@ class TestCacheBlockRoundTrip:
         record = make_record()
         assert record.cache is None
         data = metrics.run_record_to_json(record)
-        assert data["schema_version"] == 3
+        assert data["schema_version"] == metrics.SCHEMA_VERSION
         assert data["cache"] is None
 
     def test_cache_block_serialises_sorted_and_int_coerced(self):
@@ -76,7 +76,7 @@ class TestCacheBlockRoundTrip:
             json.loads(json.dumps(metrics.run_record_to_json(record)))
         )
         assert restored.cache == CACHE_BLOCK
-        assert restored.schema_version == 3
+        assert restored.schema_version == metrics.SCHEMA_VERSION
 
     def test_v2_document_without_cache_key_still_loads(self):
         data = metrics.run_record_to_json(make_record(cache=CACHE_BLOCK))

@@ -30,7 +30,7 @@ def test_serial_cache_run_records_stats(run_main, tmp_path, capsys):
     capsys.readouterr()
     assert code == 0
     record = metrics.read_run_record(out)
-    assert record.schema_version == 3
+    assert record.schema_version == metrics.SCHEMA_VERSION
     assert record.cache is not None
     assert record.cache["enabled"] is True
     stats = record.cache["kernels"]

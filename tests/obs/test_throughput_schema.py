@@ -1,0 +1,192 @@
+"""Schema-v4 throughput block: round trip, validation, and comparison."""
+
+import copy
+
+import pytest
+
+from repro.bench.harness import Timing
+from repro.errors import MetricsError
+from repro.obs import baseline as baseline_mod
+from repro.obs import metrics as metrics_mod
+from repro.obs.baseline import (
+    Thresholds,
+    classify_latency,
+    classify_throughput,
+    compare,
+)
+
+
+def _latency(scale: float) -> dict[str, float]:
+    return {
+        "mean": 0.002 * scale,
+        "p50": 0.002 * scale,
+        "p90": 0.004 * scale,
+        "p99": 0.008 * scale,
+        "max": 0.02 * scale,
+    }
+
+
+def _throughput(scale: float = 1.0) -> dict[str, object]:
+    return {
+        "duration_seconds": 10.0,
+        "clients": 4,
+        "scenario": "mixed",
+        "total_ops": int(30_000 * scale),
+        "errors": 0,
+        "ops_per_second": 3_000.0 * scale,
+        "operations": {
+            "update": {
+                "count": int(15_000 * scale),
+                "errors": 0,
+                "ops_per_second": 1_500.0 * scale,
+                "latency_seconds": _latency(1.0 / scale),
+            },
+            "query": {
+                "count": int(15_000 * scale),
+                "errors": 0,
+                "ops_per_second": 1_500.0 * scale,
+                "latency_seconds": _latency(1.0 / scale),
+            },
+        },
+    }
+
+
+def _record(throughput: dict[str, object] | None) -> metrics_mod.RunRecord:
+    return metrics_mod.RunRecord(
+        schema_version=metrics_mod.SCHEMA_VERSION,
+        created="2026-08-07T00:00:00Z",
+        git_sha=None,
+        fingerprint={"platform": "test"},
+        experiments=[
+            metrics_mod.ExperimentMetrics(
+                ident="bench_srv_mixed",
+                title="service throughput",
+                holds=True,
+                seconds=Timing([10.0]).to_json(),
+                counters={"total_ops": 30_000, "errors": 0},
+            )
+        ],
+        throughput=throughput,
+    )
+
+
+class TestRoundTrip:
+    def test_v4_record_with_throughput_round_trips(self):
+        record = _record(_throughput())
+        data = metrics_mod.run_record_to_json(record)
+        assert data["schema_version"] == 4
+        back = metrics_mod.run_record_from_json(data)
+        assert back.throughput == record.throughput
+
+    def test_throughput_is_optional(self):
+        record = _record(None)
+        back = metrics_mod.run_record_from_json(
+            metrics_mod.run_record_to_json(record)
+        )
+        assert back.throughput is None
+
+    def test_extra_keys_pass_through(self):
+        throughput = _throughput()
+        throughput["read_fraction"] = 0.5
+        throughput["seed"] = 7
+        back = metrics_mod.run_record_from_json(
+            metrics_mod.run_record_to_json(_record(throughput))
+        )
+        assert back.throughput["read_fraction"] == 0.5
+        assert back.throughput["seed"] == 7
+
+
+class TestValidation:
+    def _reject(self, mutate) -> None:
+        data = metrics_mod.run_record_to_json(_record(_throughput()))
+        mutate(data["throughput"])
+        with pytest.raises(MetricsError):
+            metrics_mod.run_record_from_json(data)
+
+    def test_rejects_missing_required_key(self):
+        self._reject(lambda t: t.pop("scenario"))
+
+    def test_rejects_negative_duration(self):
+        self._reject(lambda t: t.update(duration_seconds=-1.0))
+
+    def test_rejects_boolean_counts(self):
+        self._reject(lambda t: t.update(total_ops=True))
+
+    def test_rejects_incomplete_latency_block(self):
+        def mutate(t):
+            del t["operations"]["update"]["latency_seconds"]["p99"]
+
+        self._reject(mutate)
+
+    def test_rejects_non_mapping_operations(self):
+        self._reject(lambda t: t.update(operations=[1, 2]))
+
+
+class TestClassifiers:
+    def test_throughput_lower_regresses_higher_improves(self):
+        thresholds = Thresholds()
+        assert classify_throughput(1000.0, 2000.0, thresholds)[0] == "regressed"
+        assert classify_throughput(4000.0, 2000.0, thresholds)[0] == "improved"
+        assert classify_throughput(1900.0, 2000.0, thresholds)[0] == "neutral"
+        assert classify_throughput(0.0, 0.0, thresholds)[0] == "neutral"
+
+    def test_latency_bands_widen_with_the_percentile(self):
+        thresholds = Thresholds()
+        # 1.9x is outside the p50 band (+75%) but inside the p99 one (+150%).
+        assert classify_latency(0.0019, 0.001, "p50", thresholds)[0] == "regressed"
+        assert classify_latency(0.0019, 0.001, "p99", thresholds)[0] == "neutral"
+
+    def test_latency_floor_and_missing_values_are_neutral(self):
+        thresholds = Thresholds()
+        assert classify_latency(0.0001, 0.0002, "p50", thresholds)[0] == "neutral"
+        assert classify_latency(None, 0.001, "p50", thresholds)[0] == "neutral"
+
+    def test_unknown_percentile_raises(self):
+        with pytest.raises(MetricsError):
+            Thresholds().latency_rtol("p75")
+
+
+class TestCompare:
+    def test_v3_baseline_still_compares_against_a_v4_run(self):
+        run = _record(_throughput())
+        old = _record(None)
+        old.schema_version = 3
+        comparison = compare(run, old)
+        # Throughput appears one-sided: reported as added, never gating.
+        added = [d for d in comparison.deltas if d.kind == "throughput"]
+        assert added and all(d.status == "added" for d in added)
+        assert not comparison.regressions()
+
+    def test_throughput_collapse_regresses_but_is_not_gated_by_default(self):
+        run = _record(_throughput(scale=0.25))  # 4x slower, 4x latency
+        base = _record(_throughput(scale=1.0))
+        # Counters gate exactly, so align them before comparing.
+        run.experiments[0].counters = dict(base.experiments[0].counters)
+        comparison = compare(run, base)
+        regressed = [d for d in comparison.deltas if d.is_regression]
+        assert any(d.kind == "throughput" for d in regressed)
+        assert not comparison.regressions()  # DEFAULT_GATE excludes throughput
+        gated = comparison.regressions(frozenset({"throughput"}))
+        assert gated
+        metrics = {d.metric for d in gated}
+        assert "ops_per_second" in metrics
+
+    def test_scenario_mismatch_is_a_single_neutral_delta(self):
+        run_throughput = _throughput()
+        run_throughput["scenario"] = "stream"
+        comparison = compare(_record(run_throughput), _record(_throughput()))
+        deltas = [d for d in comparison.deltas if d.kind == "throughput"]
+        assert len(deltas) == 1
+        assert deltas[0].status == "neutral"
+        assert "not compared" in deltas[0].detail
+
+    def test_identical_throughput_is_all_neutral(self):
+        record = _record(_throughput())
+        comparison = compare(record, copy.deepcopy(record))
+        deltas = [d for d in comparison.deltas if d.kind == "throughput"]
+        assert deltas
+        assert all(d.status == "neutral" for d in deltas)
+
+    def test_default_gate_excludes_throughput(self):
+        assert "throughput" in baseline_mod.METRIC_KINDS
+        assert "throughput" not in baseline_mod.DEFAULT_GATE

@@ -1,0 +1,63 @@
+"""End-to-end tests for repro.server.loadgen against a self-hosted service."""
+
+import pytest
+
+from repro.obs import metrics as metrics_mod
+from repro.server import loadgen
+from repro.server.loadgen import LoadConfig
+
+
+class TestLoadConfig:
+    def test_defaults_are_valid(self):
+        config = LoadConfig()
+        assert config.clients == 4
+        assert config.scenario == "mixed"
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            LoadConfig(clients=0)
+        with pytest.raises(ValueError):
+            LoadConfig(duration=0)
+        with pytest.raises(ValueError):
+            LoadConfig(scenario="chaos")
+        with pytest.raises(ValueError):
+            LoadConfig(read_fraction=1.5)
+        with pytest.raises(ValueError):
+            LoadConfig(backend="sqlite")
+
+
+@pytest.mark.smoke
+class TestHeadlessLoadRun:
+    def test_self_hosted_mixed_run_produces_a_clean_report(self, tmp_path):
+        config = LoadConfig(clients=2, duration=1.0, letters=6, seed=7)
+        report = loadgen.run_load(config, self_host=True)
+
+        assert report["clients"] == 2
+        assert report["scenario"] == "mixed"
+        assert report["client_failures"] == 0
+        assert report["errors"] == 0
+        assert report["total_ops"] > 0
+        assert report["ops_per_second"] > 0
+        operations = report["operations"]
+        assert set(operations) <= set(loadgen.REPORTED_OPS)
+        assert sum(stats["count"] for stats in operations.values()) == (
+            report["total_ops"]
+        )
+        for stats in operations.values():
+            latency = stats["latency_seconds"]
+            assert set(latency) == {"mean", "p50", "p90", "p99", "max"}
+
+        # The report converts into a schema-v4 throughput block and a
+        # BENCH record that round-trips through the reader.
+        throughput = loadgen.report_to_throughput(report)
+        assert throughput["total_ops"] == report["total_ops"]
+        assert "client_failures" not in throughput
+
+        out = tmp_path / "BENCH_srv.json"
+        loadgen.write_bench_record(report, str(out))
+        record = metrics_mod.read_run_record(out)
+        assert record.schema_version == 4
+        assert record.throughput is not None
+        assert record.throughput["scenario"] == "mixed"
+        assert record.experiments[0].ident == "bench_srv_mixed"
+        assert record.experiments[0].holds is True
